@@ -1,0 +1,17 @@
+//! Fig. 15: Procnew for a chain of 1-4 replicated nodes (D = 2 s each,
+//! 30 s boundary-mute failure). Paper: Delay & Delay grows ~2 s per node;
+//! Process & Process stays near a single node's delay (+~0.3 s per node).
+
+use borealis_workloads::{render_chain, run_chain};
+
+fn main() {
+    let rows = run_chain(&[1, 2, 3, 4], &[30.0]);
+    println!("{}", render_chain(
+        "Fig. 15: Procnew (seconds) vs chain depth, 30 s failure",
+        &rows,
+        false,
+    ));
+    for r in &rows {
+        assert_eq!(r.dup_stable, 0, "duplicate stable tuples at depth {}", r.depth);
+    }
+}

@@ -1,0 +1,18 @@
+//! Fig. 16: Ntentative vs chain depth for 5/10/15/30 s failures. Paper:
+//! with Delay & Delay the count *decreases* with depth (gain proportional
+//! to the accumulated chain delay); with Process & Process it grows
+//! slightly with depth (longer reconciliations).
+
+use borealis_workloads::{render_chain, run_chain};
+
+fn main() {
+    let rows = run_chain(&[1, 2, 3, 4], &[5.0, 10.0, 15.0, 30.0]);
+    println!("{}", render_chain(
+        "Fig. 16: Ntentative vs chain depth (short failures)",
+        &rows,
+        true,
+    ));
+    for r in &rows {
+        assert_eq!(r.dup_stable, 0, "duplicate stable tuples at depth {}", r.depth);
+    }
+}

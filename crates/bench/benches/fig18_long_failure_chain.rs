@@ -1,0 +1,17 @@
+//! Fig. 18: Ntentative vs chain depth for a 60 s failure. Paper: the
+//! benefit of delaying almost disappears — the gain is only the delay of
+//! the last node in the chain.
+
+use borealis_workloads::{render_chain, run_chain};
+
+fn main() {
+    let rows = run_chain(&[1, 2, 3, 4], &[60.0]);
+    println!("{}", render_chain(
+        "Fig. 18: Ntentative vs chain depth, 60 s failure",
+        &rows,
+        true,
+    ));
+    for r in &rows {
+        assert_eq!(r.dup_stable, 0, "duplicate stable tuples at depth {}", r.depth);
+    }
+}

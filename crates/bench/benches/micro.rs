@@ -1,0 +1,144 @@
+//! Criterion microbenchmarks (§7 runtime-overhead angle, measured in real
+//! time): operator throughput, SUnion serialization cost, fragment
+//! checkpoint/restore cost, and end-to-end simulated-cluster throughput.
+
+use borealis_diagram::{plan, Deployment, DiagramBuilder, DpcConfig, LogicalOp};
+use borealis_engine::Fragment;
+use borealis_ops::{
+    AggFn, Aggregate, AggregateSpec, Emitter, Filter, Operator, SUnion, SUnionConfig,
+};
+use borealis_types::{Duration, Expr, Time, Tuple, TupleId, Value};
+use borealis_workloads::{single_node_system, SingleNodeOptions};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+fn tuples(n: u64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| Tuple::insertion(TupleId(i + 1), Time::from_millis(i), vec![Value::Int(i as i64)]))
+        .collect()
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let input = tuples(1024);
+    let mut g = c.benchmark_group("operators");
+    g.throughput(Throughput::Elements(input.len() as u64));
+    g.bench_function("filter_1k", |b| {
+        let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(100)));
+        let mut out = Emitter::new();
+        b.iter(|| {
+            for t in &input {
+                f.process(0, t, Time::ZERO, &mut out);
+            }
+            out.tuples.clear();
+        });
+    });
+    g.bench_function("aggregate_1k", |b| {
+        let mut a = Aggregate::new(AggregateSpec {
+            window: Duration::from_millis(100),
+            slide: Duration::from_millis(100),
+            group_by: vec![],
+            aggs: vec![AggFn::count(), AggFn::sum(Expr::field(0))],
+        });
+        let mut out = Emitter::new();
+        b.iter(|| {
+            for t in &input {
+                a.process(0, t, Time::ZERO, &mut out);
+            }
+            a.process(
+                0,
+                &Tuple::boundary(TupleId::NONE, Time::from_secs(100)),
+                Time::ZERO,
+                &mut out,
+            );
+            out.tuples.clear();
+        });
+    });
+    g.finish();
+}
+
+fn bench_sunion(c: &mut Criterion) {
+    let input = tuples(1024);
+    let mut g = c.benchmark_group("sunion");
+    g.throughput(Throughput::Elements(input.len() as u64));
+    for bucket_ms in [10u64, 100, 500] {
+        g.bench_function(format!("serialize_bucket_{bucket_ms}ms"), |b| {
+            b.iter_batched(
+                || {
+                    let mut cfg = SUnionConfig::new(1);
+                    cfg.bucket = Duration::from_millis(bucket_ms);
+                    cfg.is_input = true;
+                    SUnion::new(cfg)
+                },
+                |mut s| {
+                    let mut out = Emitter::new();
+                    for t in &input {
+                        s.process(0, t, t.stime, &mut out);
+                    }
+                    s.process(
+                        0,
+                        &Tuple::boundary(TupleId::NONE, Time::from_secs(10)),
+                        Time::from_secs(10),
+                        &mut out,
+                    );
+                    black_box(out.tuples.len())
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    // A fragment with a join carrying state: measures whole-fragment
+    // checkpoint cost (the §4.4.1 operation on the UP_FAILURE transition).
+    let mut b = DiagramBuilder::new();
+    let l = b.source("l");
+    let r = b.source("r");
+    let j = b.add(
+        "joined",
+        LogicalOp::Join(borealis_diagram::JoinSpec {
+            window: Duration::from_secs(10),
+            left_key: Expr::field(0),
+            right_key: Expr::field(0),
+            max_state: Some(1000),
+        }),
+        &[l, r],
+    );
+    b.output(j);
+    let d = b.build().unwrap();
+    let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
+    let mut fragment = Fragment::from_plan(&p.fragments[0]);
+    // Load up state.
+    for (i, t) in tuples(2000).into_iter().enumerate() {
+        let stream = if i % 2 == 0 { l } else { r };
+        fragment.push(stream, &t, t.stime);
+    }
+    c.bench_function("fragment_checkpoint_2k_state", |b| {
+        b.iter(|| {
+            fragment.take_checkpoint();
+            black_box(&fragment);
+        });
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    // Full simulated cluster: 3 sources, replicated node pair, client;
+    // one virtual second of processing at 900 tuples/s.
+    let mut g = c.benchmark_group("simulation");
+    g.sample_size(10);
+    g.bench_function("cluster_one_virtual_second", |b| {
+        b.iter_batched(
+            || single_node_system(&SingleNodeOptions::default()),
+            |mut sys| {
+                sys.run_until(Time::from_secs(1));
+                black_box(sys.metrics.total_tentative())
+            },
+            BatchSize::SmallInput,
+        );
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_filter, bench_sunion, bench_checkpoint, bench_end_to_end);
+criterion_main!(benches);

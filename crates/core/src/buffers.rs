@@ -1,0 +1,299 @@
+//! Output-buffer management (§8.1).
+//!
+//! "A node must buffer the output tuples it produces until all replicas of
+//! all downstream neighbors receive these tuples" — any downstream replica
+//! may subscribe at any time and ask for everything after its last stable
+//! tuple. The buffer is the emission *log* of one output stream (stable
+//! data, boundaries, tentative data, undo and rec-done markers, in emission
+//! order); new subscriptions are served by replaying a suffix of the log.
+//!
+//! Truncation: cumulative acknowledgments from downstream consumers move
+//! the safe horizon forward; everything at or before the acked stable tuple
+//! is dropped. With bounded buffers ([`BufferPolicy::DropOldest`]) the
+//! buffer additionally evicts its oldest entries under memory pressure —
+//! the paper's convergent-capable mode, where only "a predefined window of
+//! most recent results will be corrected after the failure heals".
+
+use borealis_types::{Tuple, TupleId, TupleKind};
+use std::collections::VecDeque;
+
+/// What to do when an output buffer grows past its bound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BufferPolicy {
+    /// Keep everything (the paper's default assumption, §2.2).
+    Unbounded,
+    /// Keep at most this many entries, evicting the oldest. Downstream
+    /// replicas that fall behind the eviction horizon permanently miss the
+    /// evicted tuples (tracked by [`OutputBuffer::truncation_misses`]).
+    DropOldest(usize),
+}
+
+#[derive(Debug)]
+struct LogEntry {
+    tuple: Tuple,
+    /// Tentative entries rolled back by a later UNDO: current subscribers
+    /// already received them (and the UNDO), and new subscribers must not —
+    /// replaying dead history would only re-inflate their tentative input.
+    dead: bool,
+}
+
+/// The emission log of one output stream.
+#[derive(Debug)]
+pub struct OutputBuffer {
+    /// Logical index of `log[0]` (grows as the prefix is truncated).
+    base: usize,
+    log: VecDeque<LogEntry>,
+    last_stable_id: TupleId,
+    policy: BufferPolicy,
+    truncation_misses: u64,
+}
+
+impl OutputBuffer {
+    /// An empty buffer with the given policy.
+    pub fn new(policy: BufferPolicy) -> OutputBuffer {
+        OutputBuffer {
+            base: 0,
+            log: VecDeque::new(),
+            last_stable_id: TupleId::NONE,
+            policy,
+            truncation_misses: 0,
+        }
+    }
+
+    /// Appends one emitted tuple. Appending an UNDO marks the tentative
+    /// suffix it rolls back as dead (excluded from future replays).
+    pub fn append(&mut self, t: Tuple) {
+        if t.is_stable_data() {
+            self.last_stable_id = self.last_stable_id.max(t.id);
+        }
+        if t.kind == TupleKind::Undo {
+            let target = t.undo_target().unwrap_or(TupleId::NONE);
+            for e in self.log.iter_mut().rev() {
+                if e.tuple.is_stable_data() && e.tuple.id <= target {
+                    break;
+                }
+                if e.tuple.is_tentative() {
+                    e.dead = true;
+                }
+            }
+        }
+        self.log.push_back(LogEntry { tuple: t, dead: false });
+        if let BufferPolicy::DropOldest(max) = self.policy {
+            while self.log.len() > max {
+                self.log.pop_front();
+                self.base += 1;
+            }
+        }
+    }
+
+    /// Logical end position (total entries ever appended).
+    pub fn end(&self) -> usize {
+        self.base + self.log.len()
+    }
+
+    /// Entries currently buffered.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// True if no entries are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+
+    /// Id of the most recent stable data tuple appended.
+    pub fn last_stable_id(&self) -> TupleId {
+        self.last_stable_id
+    }
+
+    /// Number of subscriptions that requested data older than the buffer
+    /// holds (possible only with bounded buffers).
+    pub fn truncation_misses(&self) -> u64 {
+        self.truncation_misses
+    }
+
+    /// Live entries from logical position `pos` (clamped to what remains;
+    /// undone tentative history is skipped).
+    pub fn entries_from(&self, pos: usize) -> impl Iterator<Item = &Tuple> {
+        let skip = pos.saturating_sub(self.base);
+        self.log.iter().skip(skip).filter(|e| !e.dead).map(|e| &e.tuple)
+    }
+
+    /// The logical position just after the stable data tuple `id` — where a
+    /// subscriber that already has the stable prefix through `id` should
+    /// start replaying. If the buffer was truncated past `id`, replay
+    /// starts at the earliest retained entry (and the miss is counted).
+    pub fn position_after_stable(&mut self, id: TupleId) -> usize {
+        if id == TupleId::NONE {
+            if self.base > 0 {
+                self.truncation_misses += 1;
+            }
+            return self.base;
+        }
+        // Scan for the first stable data entry beyond `id`; everything
+        // before it (including interleaved boundaries and undone
+        // tentatives) was already covered by the subscriber's prefix.
+        let mut pos_after = None;
+        for (i, e) in self.log.iter().enumerate() {
+            let t = &e.tuple;
+            if t.is_stable_data() {
+                if t.id <= id {
+                    pos_after = Some(self.base + i + 1);
+                } else {
+                    break;
+                }
+            }
+        }
+        match pos_after {
+            Some(p) => p,
+            None => {
+                // Either the prefix was truncated away (subscriber misses
+                // data) or the buffer holds no stable tuple <= id yet
+                // (subscriber is ahead of the truncation horizon: replay
+                // from the start of what we hold).
+                if self.base > 0 && self.last_stable_id > id {
+                    self.truncation_misses += 1;
+                }
+                self.base
+            }
+        }
+    }
+
+    /// Drops every entry up to and including the stable tuple `through`
+    /// (cumulative-ack truncation, §8.1).
+    pub fn truncate_through(&mut self, through: TupleId) {
+        while let Some(front) = self.log.front() {
+            let stop = match front.tuple.kind {
+                TupleKind::Insertion => front.tuple.id > through,
+                // Non-stable entries before the acked point are history
+                // that no future subscriber needs.
+                _ => !self
+                    .log
+                    .iter()
+                    .any(|e| e.tuple.is_stable_data() && e.tuple.id <= through),
+            };
+            if stop {
+                break;
+            }
+            self.log.pop_front();
+            self.base += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::{Time, Value};
+
+    fn stable(id: u64) -> Tuple {
+        Tuple::insertion(TupleId(id), Time::from_millis(id), vec![Value::Int(id as i64)])
+    }
+
+    fn tentative(id: u64) -> Tuple {
+        Tuple::tentative(TupleId(id), Time::from_millis(id), vec![])
+    }
+
+    fn boundary(ms: u64) -> Tuple {
+        Tuple::boundary(TupleId::NONE, Time::from_millis(ms))
+    }
+
+    #[test]
+    fn append_and_replay_from_position() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        b.append(stable(1));
+        b.append(boundary(10));
+        b.append(stable(2));
+        let pos = b.position_after_stable(TupleId(1));
+        let rest: Vec<_> = b.entries_from(pos).cloned().collect();
+        assert_eq!(rest, vec![boundary(10), stable(2)]);
+    }
+
+    #[test]
+    fn replay_from_none_returns_everything() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        b.append(stable(1));
+        b.append(stable(2));
+        let pos = b.position_after_stable(TupleId::NONE);
+        assert_eq!(b.entries_from(pos).count(), 2);
+    }
+
+    #[test]
+    fn replay_skips_undone_tentative_history() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        b.append(stable(1));
+        b.append(tentative(2));
+        b.append(Tuple::undo(TupleId::NONE, TupleId(1)));
+        b.append(stable(2));
+        let pos = b.position_after_stable(TupleId(1));
+        let rest: Vec<TupleKind> = b.entries_from(pos).map(|t| t.kind).collect();
+        // The rolled-back tentative tuple is dead history: a new subscriber
+        // gets the undo (harmless) and the corrections only.
+        assert_eq!(rest, vec![TupleKind::Undo, TupleKind::Insertion]);
+    }
+
+    #[test]
+    fn live_tentative_suffix_still_replays() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        b.append(stable(1));
+        b.append(tentative(2));
+        b.append(tentative(3));
+        let pos = b.position_after_stable(TupleId(1));
+        assert_eq!(b.entries_from(pos).count(), 2, "uncorrected suffix replays");
+    }
+
+    #[test]
+    fn truncation_drops_prefix_and_tracks_base() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        for i in 1..=5 {
+            b.append(stable(i));
+        }
+        b.truncate_through(TupleId(3));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.end(), 5);
+        let pos = b.position_after_stable(TupleId(4));
+        let rest: Vec<_> = b.entries_from(pos).map(|t| t.id.0).collect();
+        assert_eq!(rest, vec![5]);
+    }
+
+    #[test]
+    fn truncated_past_subscriber_counts_miss() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        for i in 1..=5 {
+            b.append(stable(i));
+        }
+        b.truncate_through(TupleId(4));
+        // Subscriber only has tuple 1; tuples 2-4 are gone.
+        let pos = b.position_after_stable(TupleId(1));
+        assert_eq!(pos, b.end() - 1, "replay starts at earliest retained");
+        assert_eq!(b.truncation_misses(), 1);
+    }
+
+    #[test]
+    fn bounded_buffer_evicts_oldest() {
+        let mut b = OutputBuffer::new(BufferPolicy::DropOldest(3));
+        for i in 1..=10 {
+            b.append(stable(i));
+        }
+        assert_eq!(b.len(), 3);
+        let all: Vec<u64> = b.entries_from(0).map(|t| t.id.0).collect();
+        assert_eq!(all, vec![8, 9, 10]);
+    }
+
+    #[test]
+    fn truncate_keeps_interleaved_metadata_after_point() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        b.append(stable(1));
+        b.append(boundary(5));
+        b.append(stable(2));
+        b.append(boundary(15));
+        b.truncate_through(TupleId(1));
+        let rest: Vec<TupleKind> = b.entries_from(b.end() - b.len()).map(|t| t.kind).collect();
+        // The boundary directly after stable 1 is retained: a subscriber
+        // resuming after stable 1 still needs that watermark.
+        assert_eq!(
+            rest,
+            vec![TupleKind::Boundary, TupleKind::Insertion, TupleKind::Boundary]
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! The inter-node protocol messages of DPC.
+//!
+//! Nodes, sources, and client proxies exchange these over the simulated
+//! network's reliable in-order links: data subscriptions and replays
+//! (§4.3, Fig. 8), keep-alive heartbeats carrying consistency states
+//! (§4.2.3), acknowledgments for output-buffer truncation (§8.1), and the
+//! inter-replica stabilization stagger protocol (§4.4.3, Fig. 9).
+
+use borealis_types::{StreamId, Tuple, TupleId};
+
+/// Consistency state of a node or of one of its output streams (Fig. 5,
+/// plus the `Failed` state a monitor assigns to unreachable peers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeState {
+    /// All inputs stable, outputs stable.
+    Stable,
+    /// An upstream failure is in progress; outputs may be tentative.
+    UpFailure,
+    /// Reconciling state and correcting outputs.
+    Stabilization,
+    /// Not responding to keep-alives (crashed or partitioned away).
+    Failed,
+}
+
+/// A message between two participants of the deployed system.
+#[derive(Debug, Clone)]
+pub enum NetMsg {
+    /// Tuples on a stream, in order.
+    Data {
+        /// The stream they belong to.
+        stream: StreamId,
+        /// The tuples (data, boundaries, undo, rec-done).
+        tuples: Vec<Tuple>,
+    },
+    /// Subscribe to a stream, stating exactly what was already received so
+    /// the upstream peer can replay missing tuples or correct tentative
+    /// ones (§4.3: "it indicates the last stable tuple it received and
+    /// whether it received tentative tuples after stable ones").
+    Subscribe {
+        /// The requested stream.
+        stream: StreamId,
+        /// Last stable tuple received on it ([`TupleId::NONE`] for none).
+        last_stable: TupleId,
+        /// True if tentative tuples followed that stable prefix.
+        saw_tentative: bool,
+        /// True to receive only *new* emissions (no history replay): used
+        /// for the §4.4.3 dual subscription, where the consumer already
+        /// holds the tentative era and only needs fresh data from the
+        /// still-available replica.
+        fresh_only: bool,
+    },
+    /// Stop sending a stream.
+    Unsubscribe {
+        /// The stream to drop.
+        stream: StreamId,
+    },
+    /// Cumulative acknowledgment of stable delivery, enabling upstream
+    /// output-buffer truncation (§8.1). Broadcast to every replica of the
+    /// upstream neighbor, since any of them may serve the stream later.
+    Ack {
+        /// The acknowledged stream.
+        stream: StreamId,
+        /// All stable tuples up to and including this id were received.
+        through: TupleId,
+    },
+    /// Keep-alive request (the Consistency Manager "periodically requests a
+    /// heartbeat response from each replica of each upstream neighbor").
+    HeartbeatReq,
+    /// Keep-alive response advertising the node's consistency state and the
+    /// per-output-stream states (§8.2 fine-grained advertisement).
+    HeartbeatResp {
+        /// Overall node state.
+        node_state: NodeState,
+        /// Per-output-stream states (streams unaffected by a failure stay
+        /// `Stable`).
+        stream_states: Vec<(StreamId, NodeState)>,
+    },
+    /// Stagger protocol (Fig. 9): ask a replica for permission to enter
+    /// STABILIZATION (the replica promises to keep processing new tuples).
+    ReconcileRequest,
+    /// Permission granted.
+    ReconcileGrant,
+    /// Permission denied (the replica is stabilizing itself, or needs to
+    /// and wins the id tie-break).
+    ReconcileReject,
+    /// The requester finished stabilizing; the partner's promise is
+    /// released.
+    ReconcileDone,
+}
+
+impl NetMsg {
+    /// Short tag for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            NetMsg::Data { .. } => "data",
+            NetMsg::Subscribe { .. } => "subscribe",
+            NetMsg::Unsubscribe { .. } => "unsubscribe",
+            NetMsg::Ack { .. } => "ack",
+            NetMsg::HeartbeatReq => "hb-req",
+            NetMsg::HeartbeatResp { .. } => "hb-resp",
+            NetMsg::ReconcileRequest => "rec-req",
+            NetMsg::ReconcileGrant => "rec-grant",
+            NetMsg::ReconcileReject => "rec-reject",
+            NetMsg::ReconcileDone => "rec-done",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_cover_all_variants() {
+        let msgs = [
+            NetMsg::Data { stream: StreamId(0), tuples: vec![] },
+            NetMsg::Subscribe { stream: StreamId(0), last_stable: TupleId::NONE, saw_tentative: false, fresh_only: false },
+            NetMsg::Unsubscribe { stream: StreamId(0) },
+            NetMsg::Ack { stream: StreamId(0), through: TupleId(3) },
+            NetMsg::HeartbeatReq,
+            NetMsg::HeartbeatResp { node_state: NodeState::Stable, stream_states: vec![] },
+            NetMsg::ReconcileRequest,
+            NetMsg::ReconcileGrant,
+            NetMsg::ReconcileReject,
+            NetMsg::ReconcileDone,
+        ];
+        let names: Vec<_> = msgs.iter().map(|m| m.kind_name()).collect();
+        assert_eq!(names.len(), 10);
+        assert!(names.contains(&"subscribe"));
+    }
+}

@@ -1,0 +1,285 @@
+//! Data sources (§2.2).
+//!
+//! Sources stamp tuples with the (virtual) clock, emit periodic boundary
+//! tuples as punctuation + heartbeat (§4.2.1), and "log input tuples
+//! persistently before transmitting them to all replicas that process the
+//! corresponding streams" — here, an in-memory log per source with
+//! per-subscriber delivery positions. A subscriber that was unreachable
+//! (link failure) simply stops advancing; when the link heals, the next
+//! delivery flushes the whole backlog — the paper's "the data source
+//! replays all missing tuples while continuing to produce new tuples".
+//!
+//! Scripted faults: [`DataSource::MUTE_BOUNDARIES`] suppresses boundary
+//! production only (the §6.2 failure mode used by the chain experiments,
+//! where the output rate must stay unchanged), and link failures are
+//! injected at the network layer.
+
+use crate::msg::{NetMsg, NodeState};
+use borealis_sim::{Actor, Ctx, FaultEvent};
+use borealis_types::{Duration, NodeId, StreamId, Time, Tuple, TupleId, Value};
+use std::collections::HashMap;
+
+/// Deterministic tuple-payload generators.
+#[derive(Debug, Clone)]
+pub enum ValueGen {
+    /// `[Int(seq)]` — a sequence number.
+    Seq,
+    /// `[Int(seq % keys), Int(seq)]` — a group key plus sequence.
+    Keyed {
+        /// Number of distinct keys.
+        keys: i64,
+    },
+    /// `[Int(seq % keys), Float(amplitude * f(seq))]` — a keyed reading with
+    /// a deterministic wave, for sensor-style workloads.
+    Reading {
+        /// Number of distinct keys (sensors).
+        keys: i64,
+        /// Reading amplitude.
+        amplitude: f64,
+    },
+}
+
+impl ValueGen {
+    fn gen(&self, seq: u64) -> Vec<Value> {
+        match self {
+            ValueGen::Seq => vec![Value::Int(seq as i64)],
+            ValueGen::Keyed { keys } => {
+                vec![Value::Int(seq as i64 % keys), Value::Int(seq as i64)]
+            }
+            ValueGen::Reading { keys, amplitude } => {
+                let phase = (seq % 97) as f64 / 97.0;
+                vec![
+                    Value::Int(seq as i64 % keys),
+                    Value::Float(amplitude * (2.0 * std::f64::consts::PI * phase).sin()),
+                ]
+            }
+        }
+    }
+}
+
+/// Static configuration of one data source.
+#[derive(Debug, Clone)]
+pub struct SourceConfig {
+    /// The stream this source produces.
+    pub stream: StreamId,
+    /// Data rate in tuples per second.
+    pub rate: f64,
+    /// Boundary (punctuation/heartbeat) period; `Duration::ZERO` disables
+    /// boundaries (the paper's non-fault-tolerant baseline).
+    pub boundary_interval: Duration,
+    /// Generation tick: tuples are produced in batches every tick.
+    pub batch_period: Duration,
+    /// Payload generator.
+    pub values: ValueGen,
+}
+
+impl SourceConfig {
+    /// A sequence source at `rate` tuples/second with 100 ms boundaries.
+    pub fn seq(stream: StreamId, rate: f64) -> SourceConfig {
+        SourceConfig {
+            stream,
+            rate,
+            boundary_interval: Duration::from_millis(100),
+            batch_period: Duration::from_millis(10),
+            values: ValueGen::Seq,
+        }
+    }
+}
+
+const TIMER_GEN: u64 = 1;
+const TIMER_BOUNDARY: u64 = 2;
+
+/// The data-source actor.
+pub struct DataSource {
+    cfg: SourceConfig,
+    log: Vec<Tuple>,
+    next_id: u64,
+    /// Fractional tuple carry between generation ticks.
+    carry: f64,
+    /// End of the interval already covered by generated tuples.
+    generated_through: Time,
+    subscribers: HashMap<NodeId, usize>,
+    /// Last stable tuple each subscriber acknowledged (rewind point after
+    /// a link failure: in-flight tuples may have been lost).
+    acked: HashMap<NodeId, TupleId>,
+    boundaries_muted: bool,
+}
+
+impl DataSource {
+    /// Custom fault tag: stop producing boundary tuples (§6.2 failures).
+    pub const MUTE_BOUNDARIES: u64 = 1;
+    /// Custom fault tag: resume producing boundary tuples.
+    pub const UNMUTE_BOUNDARIES: u64 = 2;
+
+    /// Creates a source from its configuration.
+    pub fn new(cfg: SourceConfig) -> DataSource {
+        DataSource {
+            cfg,
+            log: Vec::new(),
+            next_id: 1,
+            carry: 0.0,
+            generated_through: Time::ZERO,
+            subscribers: HashMap::new(),
+            acked: HashMap::new(),
+            boundaries_muted: false,
+        }
+    }
+
+    /// Size of the persistent log (tests, buffer accounting).
+    pub fn log_len(&self) -> usize {
+        self.log.len()
+    }
+
+    fn flush(&mut self, ctx: &mut Ctx<NetMsg>) {
+        let stream = self.cfg.stream;
+        for (&sub, pos) in &mut self.subscribers {
+            if *pos >= self.log.len() || !ctx.reachable(sub) {
+                continue;
+            }
+            let tuples: Vec<Tuple> = self.log[*pos..].to_vec();
+            *pos = self.log.len();
+            ctx.send(sub, NetMsg::Data { stream, tuples });
+        }
+    }
+
+    /// Generates all tuples for the interval `(generated_through, now]`.
+    ///
+    /// Generation is time-based (not tick-based) so it can run from both
+    /// the generation timer and the boundary timer: a boundary with stime
+    /// `now` may only be emitted after every tuple with stime <= `now` is
+    /// in the log — the §4.2.1 punctuation contract.
+    fn generate(&mut self, now: Time) {
+        let elapsed = now.since(self.generated_through);
+        if elapsed == Duration::ZERO {
+            return;
+        }
+        let secs = elapsed.as_micros() as f64 / 1_000_000.0;
+        let exact = self.cfg.rate * secs + self.carry;
+        let n = exact.floor() as u64;
+        self.carry = exact - n as f64;
+        let step = elapsed.as_micros() / (n.max(1) + 1);
+        for i in 0..n {
+            // Spread stimes across the elapsed interval for a smooth stream.
+            let stime = Time(self.generated_through.as_micros() + (i + 1) * step);
+            let t = Tuple::insertion(TupleId(self.next_id), stime, self.cfg.values.gen(self.next_id));
+            self.next_id += 1;
+            self.log.push(t);
+        }
+        self.generated_through = now;
+    }
+}
+
+impl Actor<NetMsg> for DataSource {
+    fn on_start(&mut self, ctx: &mut Ctx<NetMsg>) {
+        ctx.set_timer(ctx.now() + self.cfg.batch_period, TIMER_GEN);
+        if self.cfg.boundary_interval > Duration::ZERO {
+            ctx.set_timer(ctx.now() + self.cfg.boundary_interval, TIMER_BOUNDARY);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
+        match msg {
+            NetMsg::Subscribe { stream, last_stable, saw_tentative, fresh_only } => {
+                if stream != self.cfg.stream {
+                    return;
+                }
+                // Find the position after the subscriber's stable prefix.
+                let pos = if fresh_only {
+                    self.log.len()
+                } else {
+                    self.log
+                        .iter()
+                        .rposition(|t| t.is_stable_data() && t.id <= last_stable)
+                        .map(|i| i + 1)
+                        .unwrap_or(0)
+                };
+                self.subscribers.insert(from, pos);
+                if saw_tentative {
+                    // Sources never produce tentative data, but a recovering
+                    // subscriber may hold junk from a dead upstream: clear it.
+                    ctx.send(
+                        from,
+                        NetMsg::Data {
+                            stream,
+                            tuples: vec![Tuple::undo(TupleId::NONE, last_stable)],
+                        },
+                    );
+                }
+                self.flush(ctx);
+            }
+            NetMsg::Unsubscribe { stream } => {
+                if stream == self.cfg.stream {
+                    self.subscribers.remove(&from);
+                }
+            }
+            NetMsg::HeartbeatReq => {
+                ctx.send(
+                    from,
+                    NetMsg::HeartbeatResp {
+                        node_state: NodeState::Stable,
+                        stream_states: vec![(self.cfg.stream, NodeState::Stable)],
+                    },
+                );
+            }
+            NetMsg::Ack { stream, through } => {
+                // The persistent log is never truncated (§2.2), but acks
+                // mark the safe rewind point after link failures.
+                if stream == self.cfg.stream {
+                    let e = self.acked.entry(from).or_insert(TupleId::NONE);
+                    *e = (*e).max(through);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
+        match kind {
+            TIMER_GEN => {
+                self.generate(ctx.now());
+                self.flush(ctx);
+                ctx.set_timer(ctx.now() + self.cfg.batch_period, TIMER_GEN);
+            }
+            TIMER_BOUNDARY => {
+                if !self.boundaries_muted {
+                    // Data with stime <= now must precede the boundary.
+                    self.generate(ctx.now());
+                    self.log.push(Tuple::boundary(TupleId::NONE, ctx.now()));
+                    self.flush(ctx);
+                }
+                ctx.set_timer(ctx.now() + self.cfg.boundary_interval, TIMER_BOUNDARY);
+            }
+            _ => {}
+        }
+    }
+
+    fn on_fault(&mut self, ctx: &mut Ctx<NetMsg>, fault: &FaultEvent) {
+        match fault {
+            FaultEvent::Custom { tag, .. } if *tag == Self::MUTE_BOUNDARIES => {
+                self.boundaries_muted = true;
+            }
+            FaultEvent::Custom { tag, .. } if *tag == Self::UNMUTE_BOUNDARIES => {
+                self.boundaries_muted = false;
+            }
+            FaultEvent::LinkUp { a, b } => {
+                // Tuples in flight when the link broke were lost; rewind the
+                // healed subscriber to its last acknowledged tuple (the
+                // consumer deduplicates any overlap) and resend the backlog.
+                for peer in [*a, *b] {
+                    if let Some(pos) = self.subscribers.get_mut(&peer) {
+                        let acked = self.acked.get(&peer).copied().unwrap_or(TupleId::NONE);
+                        let rewind = self
+                            .log
+                            .iter()
+                            .rposition(|t| t.is_stable_data() && t.id <= acked)
+                            .map(|i| i + 1)
+                            .unwrap_or(0);
+                        *pos = (*pos).min(rewind);
+                    }
+                }
+                self.flush(ctx);
+            }
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! Deployment builder: wires sources, replicated fragment nodes, and a
+//! client proxy into one simulated system (the Fig. 2 replicated query
+//! diagram).
+//!
+//! The builder assigns actor ids deterministically (sources, then each
+//! fragment's replicas in order, then the client), computes who produces
+//! each stream, derives every node's upstream candidate sets and expected
+//! downstream consumer counts (for §8.1 truncation), and exposes fault
+//! scripting helpers for the experiments.
+
+use crate::client::{ClientProxy, ClientStream, ClientTuning};
+use crate::metrics::MetricsHub;
+use crate::msg::NetMsg;
+use crate::node::{NodeConfig, NodeTuning, ProcessingNode, UpstreamSpec};
+use crate::source::{DataSource, SourceConfig};
+use borealis_diagram::{PhysicalPlan, StreamOrigin};
+use borealis_sim::{FaultEvent, Network, Sim};
+use borealis_types::{Duration, NodeId, StreamId, Time};
+use std::collections::HashMap;
+
+/// Builds a complete simulated deployment.
+pub struct SystemBuilder {
+    seed: u64,
+    latency: Duration,
+    sources: Vec<SourceConfig>,
+    plan: Option<PhysicalPlan>,
+    replication: usize,
+    node_tuning: NodeTuning,
+    client_tuning: ClientTuning,
+    client_streams: Vec<StreamId>,
+    metrics: MetricsHub,
+}
+
+impl SystemBuilder {
+    /// Starts a builder with the given determinism seed and link latency.
+    pub fn new(seed: u64, latency: Duration) -> SystemBuilder {
+        SystemBuilder {
+            seed,
+            latency,
+            sources: Vec::new(),
+            plan: None,
+            replication: 2,
+            node_tuning: NodeTuning::default(),
+            client_tuning: ClientTuning::default(),
+            client_streams: Vec::new(),
+            metrics: MetricsHub::new(),
+        }
+    }
+
+    /// Adds a data source.
+    pub fn source(mut self, cfg: SourceConfig) -> Self {
+        self.sources.push(cfg);
+        self
+    }
+
+    /// Sets the physical plan to deploy.
+    pub fn plan(mut self, plan: PhysicalPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// Number of replicas per fragment (the paper requires at least two for
+    /// availability during stabilization; one is allowed for Fig. 11-style
+    /// single-node studies).
+    pub fn replication(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one replica per fragment");
+        self.replication = n;
+        self
+    }
+
+    /// Node tuning knobs.
+    pub fn node_tuning(mut self, t: NodeTuning) -> Self {
+        self.node_tuning = t;
+        self
+    }
+
+    /// Client tuning knobs.
+    pub fn client_tuning(mut self, t: ClientTuning) -> Self {
+        self.client_tuning = t;
+        self
+    }
+
+    /// The client consumes these output streams.
+    pub fn client_streams(mut self, streams: Vec<StreamId>) -> Self {
+        self.client_streams = streams;
+        self
+    }
+
+    /// Shares a metrics hub (to read results after the run).
+    pub fn metrics(mut self, hub: MetricsHub) -> Self {
+        self.metrics = hub;
+        self
+    }
+
+    /// Instantiates the system.
+    ///
+    /// # Panics
+    /// Panics if no plan was provided or a consumed stream has no producer —
+    /// both deployment bugs.
+    pub fn build(self) -> RunningSystem {
+        let plan = self.plan.expect("SystemBuilder requires a plan");
+        let n_sources = self.sources.len();
+        let n_fragments = plan.fragments.len();
+
+        // Deterministic id layout.
+        let source_id = |i: usize| NodeId(i as u32);
+        let node_id = |frag: usize, rep: usize| {
+            NodeId((n_sources + frag * self.replication + rep) as u32)
+        };
+        let client_id = NodeId((n_sources + n_fragments * self.replication) as u32);
+
+        // Stream producers.
+        let mut producers: HashMap<StreamId, Vec<NodeId>> = HashMap::new();
+        for (i, s) in self.sources.iter().enumerate() {
+            producers.insert(s.stream, vec![source_id(i)]);
+        }
+        for (fi, fp) in plan.fragments.iter().enumerate() {
+            for out in &fp.outputs {
+                let reps = (0..self.replication).map(|r| node_id(fi, r)).collect();
+                producers.insert(out.stream, reps);
+            }
+        }
+
+        // Downstream consumer counts per crossing stream.
+        let mut consumer_counts: HashMap<StreamId, usize> = HashMap::new();
+        for fp in &plan.fragments {
+            for input in &fp.inputs {
+                *consumer_counts.entry(input.stream).or_default() += self.replication;
+            }
+        }
+        for s in &self.client_streams {
+            *consumer_counts.entry(*s).or_default() += 1;
+        }
+
+        let mut sim: Sim<NetMsg> = Sim::new(self.seed, Network::new(self.latency));
+        let mut source_ids = Vec::new();
+        for cfg in &self.sources {
+            let id = sim.add_actor(Box::new(DataSource::new(cfg.clone())));
+            source_ids.push((cfg.stream, id));
+        }
+
+        let mut fragment_replicas: Vec<Vec<NodeId>> = Vec::new();
+        for (fi, fp) in plan.fragments.iter().enumerate() {
+            let ids: Vec<NodeId> = (0..self.replication).map(|r| node_id(fi, r)).collect();
+            for &my_id in &ids {
+                let replicas = ids.iter().copied().filter(|&r| r != my_id).collect();
+                // One upstream spec per distinct input stream.
+                let mut upstreams: Vec<UpstreamSpec> = Vec::new();
+                for input in &fp.inputs {
+                    if upstreams.iter().any(|u| u.stream == input.stream) {
+                        continue;
+                    }
+                    let candidates = producers
+                        .get(&input.stream)
+                        .unwrap_or_else(|| panic!("no producer for {}", input.stream))
+                        .clone();
+                    // Fragment streams are monitored for Table II switching;
+                    // source streams are monitored so that a node cut off
+                    // from its sources detects the silence via missed
+                    // keep-alives (Fig. 5) even with no data in flight.
+                    let _ = matches!(input.origin, StreamOrigin::Fragment(_));
+                    upstreams.push(UpstreamSpec { stream: input.stream, candidates, monitor: true });
+                }
+                let downstream_counts = fp
+                    .outputs
+                    .iter()
+                    .map(|o| (o.stream, consumer_counts.get(&o.stream).copied().unwrap_or(0)))
+                    .collect();
+                let cfg = NodeConfig {
+                    plan: fp.clone(),
+                    replicas,
+                    upstreams,
+                    downstream_counts,
+                    tuning: self.node_tuning.clone(),
+                };
+                let actual = sim.add_actor(Box::new(ProcessingNode::new(cfg)));
+                assert_eq!(actual, my_id, "id layout mismatch");
+            }
+            fragment_replicas.push(ids);
+        }
+
+        let client = if self.client_streams.is_empty() {
+            None
+        } else {
+            let streams = self
+                .client_streams
+                .iter()
+                .map(|&s| ClientStream {
+                    stream: s,
+                    candidates: producers
+                        .get(&s)
+                        .unwrap_or_else(|| panic!("no producer for {s}"))
+                        .clone(),
+                })
+                .collect();
+            let id = sim.add_actor(Box::new(ClientProxy::new(
+                streams,
+                self.client_tuning.clone(),
+                self.metrics.clone(),
+            )));
+            assert_eq!(id, client_id, "id layout mismatch");
+            Some(id)
+        };
+
+        RunningSystem {
+            sim,
+            metrics: self.metrics,
+            source_ids,
+            fragment_replicas,
+            client,
+        }
+    }
+}
+
+/// A built deployment, ready to run and script faults against.
+pub struct RunningSystem {
+    /// The simulation.
+    pub sim: Sim<NetMsg>,
+    /// Metrics collected by the client proxy.
+    pub metrics: MetricsHub,
+    /// Source actor ids, per stream.
+    pub source_ids: Vec<(StreamId, NodeId)>,
+    /// Node ids per fragment (outer index = fragment index).
+    pub fragment_replicas: Vec<Vec<NodeId>>,
+    /// The client proxy, if any.
+    pub client: Option<NodeId>,
+}
+
+impl RunningSystem {
+    /// The actor id of the source producing `stream`.
+    ///
+    /// # Panics
+    /// Panics if no source produces `stream` (an experiment-script bug).
+    pub fn source_of(&self, stream: StreamId) -> NodeId {
+        self.source_ids
+            .iter()
+            .find(|(s, _)| *s == stream)
+            .map(|(_, id)| *id)
+            .unwrap_or_else(|| panic!("no source for {stream}"))
+    }
+
+    /// Disconnects `stream`'s source from every replica of fragment `frag`
+    /// between `from` and `to` — the §5/§6.1 failure: "temporarily
+    /// disconnecting one of the input streams without stopping the data
+    /// source".
+    pub fn disconnect_source(&mut self, stream: StreamId, frag: usize, from: Time, to: Time) {
+        let src = self.source_of(stream);
+        for &node in self.fragment_replicas[frag].clone().iter() {
+            self.sim.schedule_fault(from, FaultEvent::LinkDown { a: src, b: node });
+            self.sim.schedule_fault(to, FaultEvent::LinkUp { a: src, b: node });
+        }
+    }
+
+    /// Mutes only the boundary tuples of `stream`'s source between `from`
+    /// and `to` — the §6.2 failure used in the chain experiments (data keeps
+    /// flowing, so the output rate is unchanged).
+    pub fn mute_boundaries(&mut self, stream: StreamId, from: Time, to: Time) {
+        let src = self.source_of(stream);
+        self.sim.schedule_fault(
+            from,
+            FaultEvent::Custom { target: src, tag: DataSource::MUTE_BOUNDARIES },
+        );
+        self.sim.schedule_fault(
+            to,
+            FaultEvent::Custom { target: src, tag: DataSource::UNMUTE_BOUNDARIES },
+        );
+    }
+
+    /// Crashes one replica of a fragment between `from` and `to`.
+    pub fn crash_node(&mut self, frag: usize, replica: usize, from: Time, to: Option<Time>) {
+        let node = self.fragment_replicas[frag][replica];
+        self.sim.schedule_fault(from, FaultEvent::NodeDown(node));
+        if let Some(to) = to {
+            self.sim.schedule_fault(to, FaultEvent::NodeUp(node));
+        }
+    }
+
+    /// Runs the simulation to `until`.
+    pub fn run_until(&mut self, until: Time) {
+        self.sim.run_until(until);
+    }
+}

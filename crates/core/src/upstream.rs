@@ -1,0 +1,522 @@
+//! Per-input-stream upstream management: the downstream half of the Data
+//! Path plus the Consistency Manager's monitoring and switching logic
+//! (§4.2.3, §4.3, Table II).
+//!
+//! For each input stream a node (or client proxy) tracks the set of
+//! upstream replicas able to produce it, their advertised consistency
+//! states (from keep-alive responses), and what this consumer has received
+//! so far (last stable tuple, tentative suffix). From those facts it
+//! decides, per Table II:
+//!
+//! * stay with a STABLE upstream;
+//! * switch to a STABLE replica as soon as the current upstream is not
+//!   STABLE;
+//! * otherwise prefer an UP_FAILURE replica (tentative data maintains
+//!   availability);
+//! * while the current upstream is STABILIZING, stay connected for the
+//!   corrections *and* subscribe to an UP_FAILURE replica for fresh
+//!   tentative data — the §4.4.3 dual subscription — until a REC_DONE
+//!   arrives, at which point the stabilized upstream becomes the sole
+//!   provider.
+
+use crate::msg::NodeState;
+use borealis_types::{Duration, NodeId, StreamId, Time, Tuple, TupleId, TupleKind};
+use std::collections::BTreeSet;
+
+/// Subscription changes requested by the manager; the owning actor turns
+/// them into `Subscribe`/`Unsubscribe` messages.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpstreamAction {
+    /// Subscribe to `to`, resuming after `last_stable` (with `saw_tentative`
+    /// signalling that an UNDO + corrections are needed first).
+    Subscribe {
+        /// Replica to subscribe to.
+        to: NodeId,
+        /// Stable prefix already held.
+        last_stable: TupleId,
+        /// True if an uncorrected tentative suffix follows the prefix.
+        saw_tentative: bool,
+        /// Skip history: deliver only new emissions (dual subscription).
+        fresh_only: bool,
+    },
+    /// Drop the subscription to `from`.
+    Unsubscribe {
+        /// Replica to leave.
+        from: NodeId,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PeerInfo {
+    state: NodeState,
+    last_heard: Time,
+}
+
+/// Manager for one input stream of one consumer.
+#[derive(Debug)]
+pub struct UpstreamManager {
+    /// Debug tracing (set via BOREALIS_TRACE_SWITCH env).
+    trace: bool,
+    stream: StreamId,
+    candidates: Vec<NodeId>,
+    /// Whether to monitor and switch (false for single-source streams).
+    monitor: bool,
+    /// The primary upstream (Curr(s) in Table II).
+    curr: NodeId,
+    /// All live subscriptions (curr plus, during upstream stabilization,
+    /// one UP_FAILURE replica for fresh data).
+    subscribed: BTreeSet<NodeId>,
+    peers: Vec<PeerInfo>,
+    last_stable: TupleId,
+    saw_tentative: bool,
+}
+
+impl UpstreamManager {
+    /// Creates a manager; the first candidate is the initial upstream.
+    ///
+    /// # Panics
+    /// Panics if `candidates` is empty — a stream with no producer is a
+    /// deployment bug.
+    pub fn new(stream: StreamId, candidates: Vec<NodeId>, monitor: bool, now: Time) -> Self {
+        assert!(!candidates.is_empty(), "stream {stream} has no producers");
+        let curr = candidates[0];
+        let peers = candidates
+            .iter()
+            .map(|_| PeerInfo { state: NodeState::Stable, last_heard: now })
+            .collect();
+        UpstreamManager {
+            trace: std::env::var("BOREALIS_TRACE_SWITCH").is_ok(),
+            stream,
+            candidates,
+            monitor,
+            curr,
+            subscribed: BTreeSet::new(),
+            peers,
+            last_stable: TupleId::NONE,
+            saw_tentative: false,
+        }
+    }
+
+    /// The managed stream.
+    pub fn stream(&self) -> StreamId {
+        self.stream
+    }
+
+    /// Current primary upstream.
+    pub fn current(&self) -> NodeId {
+        self.curr
+    }
+
+    /// All upstream replicas of this stream.
+    pub fn candidates(&self) -> &[NodeId] {
+        &self.candidates
+    }
+
+    /// Id of the last stable tuple received.
+    pub fn last_stable(&self) -> TupleId {
+        self.last_stable
+    }
+
+    /// True if data from `from` should be accepted (we are subscribed).
+    pub fn accepts_from(&self, from: NodeId) -> bool {
+        self.subscribed.contains(&from)
+    }
+
+    /// True for stable tuples already received (an upstream retransmission
+    /// after a link heal): consumers drop these before processing. Stable
+    /// ids are identical across replicas (determinism), so the check is
+    /// valid across switches too.
+    pub fn is_duplicate(&self, t: &Tuple) -> bool {
+        t.is_stable_data() && t.id <= self.last_stable
+    }
+
+    /// Peers to send keep-alive requests to.
+    pub fn heartbeat_targets(&self) -> Vec<NodeId> {
+        if self.monitor {
+            self.candidates.clone()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// True if at least one producer of this stream is believed reachable.
+    /// A stream whose every producer misses keep-alives is a failed input
+    /// even before any data deadline expires (Fig. 5: "missing
+    /// heartbeats").
+    pub fn has_live_producer(&self) -> bool {
+        self.peers.iter().any(|p| p.state != NodeState::Failed)
+    }
+
+    /// The initial subscription at startup.
+    pub fn initial_subscribe(&mut self) -> Vec<UpstreamAction> {
+        self.subscribed.insert(self.curr);
+        vec![UpstreamAction::Subscribe {
+            to: self.curr,
+            last_stable: self.last_stable,
+            saw_tentative: self.saw_tentative,
+            fresh_only: false,
+        }]
+    }
+
+    /// Records a keep-alive response.
+    pub fn heartbeat_response(
+        &mut self,
+        from: NodeId,
+        node_state: NodeState,
+        stream_states: &[(StreamId, NodeState)],
+        now: Time,
+    ) {
+        let Some(i) = self.candidates.iter().position(|&c| c == from) else {
+            return;
+        };
+        // Fine-grained (§8.2): the per-stream state overrides the node
+        // state when advertised.
+        let state = stream_states
+            .iter()
+            .find(|(s, _)| *s == self.stream)
+            .map(|(_, st)| *st)
+            .unwrap_or(node_state);
+        self.peers[i] = PeerInfo { state, last_heard: now };
+    }
+
+    /// Updates received-prefix bookkeeping and handles the REC_DONE
+    /// switchback. Returns subscription changes to apply.
+    pub fn observe_tuple(&mut self, from: NodeId, t: &Tuple) -> Vec<UpstreamAction> {
+        match t.kind {
+            TupleKind::Insertion => {
+                self.last_stable = self.last_stable.max(t.id);
+            }
+            TupleKind::Tentative => {
+                self.saw_tentative = true;
+            }
+            TupleKind::Undo => {
+                if let Some(target) = t.undo_target() {
+                    self.last_stable = self.last_stable.min(target);
+                }
+                self.saw_tentative = false;
+            }
+            TupleKind::RecDone => {
+                // §4.4: "The downstream node stays connected to both
+                // upstream replicas until it receives a REC_DONE tuple on
+                // the corrected stream" — then the stabilized replica is
+                // up to date and becomes the sole provider.
+                self.saw_tentative = false;
+                if self.trace {
+                    eprintln!("[um {}] RecDone from {} -> collapse", self.stream, from);
+                }
+                if self.subscribed.contains(&from) {
+                    let mut actions = Vec::new();
+                    for other in self.subscribed.clone() {
+                        if other != from {
+                            actions.push(UpstreamAction::Unsubscribe { from: other });
+                            self.subscribed.remove(&other);
+                        }
+                    }
+                    self.curr = from;
+                    return actions;
+                }
+            }
+            TupleKind::Boundary => {}
+        }
+        Vec::new()
+    }
+
+    fn state_of(&self, node: NodeId) -> NodeState {
+        self.candidates
+            .iter()
+            .position(|&c| c == node)
+            .map(|i| self.peers[i].state)
+            .unwrap_or(NodeState::Failed)
+    }
+
+    /// Applies staleness (missed keep-alives => Failed) and the Table II
+    /// condition-action rules. Returns subscription changes.
+    pub fn evaluate(&mut self, now: Time, stale_after: Duration) -> Vec<UpstreamAction> {
+        if !self.monitor {
+            return Vec::new();
+        }
+        for (i, p) in self.peers.iter_mut().enumerate() {
+            if now.since(p.last_heard) > stale_after && p.state != NodeState::Failed {
+                p.state = NodeState::Failed;
+                // A peer that stopped answering keep-alives has lost (or
+                // will lose) our subscription state: treat the connection
+                // as broken, like a TCP reset.
+                self.subscribed.remove(&self.candidates[i]);
+            }
+        }
+        let curr_state = self.state_of(self.curr);
+        let mut actions = Vec::new();
+        if self.trace {
+            let states: Vec<String> = self.candidates.iter().map(|&c| format!("{}={:?}", c, self.state_of(c))).collect();
+            eprintln!("[um {} @{}] curr={} states={:?} subs={:?}", self.stream, now, self.curr, states, self.subscribed);
+        }
+
+        match curr_state {
+            NodeState::Stable => {
+                // Shed any extra (dual) subscriptions left over.
+                for other in self.subscribed.clone() {
+                    if other != self.curr {
+                        actions.push(UpstreamAction::Unsubscribe { from: other });
+                        self.subscribed.remove(&other);
+                    }
+                }
+                // Re-establish a connection broken while the peer was
+                // unreachable (e.g. it crashed and recovered, §4.5).
+                if !self.subscribed.contains(&self.curr) {
+                    self.subscribed.insert(self.curr);
+                    actions.push(UpstreamAction::Subscribe {
+                        to: self.curr,
+                        last_stable: self.last_stable,
+                        saw_tentative: self.saw_tentative,
+                        fresh_only: false,
+                    });
+                }
+            }
+            _ => {
+                let find = |state: NodeState, except: NodeId| {
+                    self.candidates
+                        .iter()
+                        .copied()
+                        .find(|&c| c != except && self.state_of(c) == state)
+                };
+                if let Some(stable) = find(NodeState::Stable, self.curr) {
+                    // Rule 2: a STABLE replica exists — switch to it.
+                    for other in self.subscribed.clone() {
+                        actions.push(UpstreamAction::Unsubscribe { from: other });
+                        self.subscribed.remove(&other);
+                    }
+                    self.curr = stable;
+                    self.subscribed.insert(stable);
+                    actions.push(UpstreamAction::Subscribe {
+                        to: stable,
+                        last_stable: self.last_stable,
+                        saw_tentative: self.saw_tentative,
+                        fresh_only: false,
+                    });
+                } else {
+                    match curr_state {
+                        NodeState::UpFailure => {
+                            // Rule 3: stay with the UP_FAILURE upstream.
+                        }
+                        NodeState::Stabilization => {
+                            // §4.4.3 dual subscription: keep the corrections
+                            // flowing and add an UP_FAILURE replica for
+                            // fresh tentative data.
+                            if let Some(fresh) = find(NodeState::UpFailure, self.curr) {
+                                if !self.subscribed.contains(&fresh) {
+                                    self.subscribed.insert(fresh);
+                                    // The consumer already holds the
+                                    // tentative era: only new data, please.
+                                    actions.push(UpstreamAction::Subscribe {
+                                        to: fresh,
+                                        last_stable: self.last_stable,
+                                        saw_tentative: self.saw_tentative,
+                                        fresh_only: true,
+                                    });
+                                }
+                            }
+                        }
+                        NodeState::Failed => {
+                            // Prefer UP_FAILURE, else a stabilizing replica
+                            // (at least corrections flow), else nothing.
+                            let next = find(NodeState::UpFailure, self.curr)
+                                .or_else(|| find(NodeState::Stabilization, self.curr));
+                            if let Some(next) = next {
+                                for other in self.subscribed.clone() {
+                                    actions.push(UpstreamAction::Unsubscribe { from: other });
+                                    self.subscribed.remove(&other);
+                                }
+                                self.curr = next;
+                                self.subscribed.insert(next);
+                                actions.push(UpstreamAction::Subscribe {
+                                    to: next,
+                                    last_stable: self.last_stable,
+                                    saw_tentative: self.saw_tentative,
+                                    fresh_only: false,
+                                });
+                            }
+                        }
+                        NodeState::Stable => unreachable!("handled above"),
+                    }
+                }
+            }
+        }
+        actions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn um() -> UpstreamManager {
+        UpstreamManager::new(
+            StreamId(0),
+            vec![NodeId(10), NodeId(11)],
+            true,
+            Time::ZERO,
+        )
+    }
+
+    fn hb(u: &mut UpstreamManager, from: NodeId, state: NodeState, ms: u64) {
+        u.heartbeat_response(from, state, &[], Time::from_millis(ms));
+    }
+
+    const STALE: Duration = Duration::from_millis(250);
+
+    #[test]
+    fn initial_subscribe_targets_first_candidate() {
+        let mut u = um();
+        let actions = u.initial_subscribe();
+        assert_eq!(
+            actions,
+            vec![UpstreamAction::Subscribe {
+                to: NodeId(10),
+                last_stable: TupleId::NONE,
+                saw_tentative: false,
+                fresh_only: false
+            }]
+        );
+        assert!(u.accepts_from(NodeId(10)));
+        assert!(!u.accepts_from(NodeId(11)));
+    }
+
+    #[test]
+    fn stays_with_stable_upstream() {
+        let mut u = um();
+        u.initial_subscribe();
+        hb(&mut u, NodeId(10), NodeState::Stable, 100);
+        hb(&mut u, NodeId(11), NodeState::Stable, 100);
+        assert!(u.evaluate(Time::from_millis(150), STALE).is_empty());
+        assert_eq!(u.current(), NodeId(10));
+    }
+
+    #[test]
+    fn switches_to_stable_replica_when_current_fails() {
+        let mut u = um();
+        u.initial_subscribe();
+        hb(&mut u, NodeId(10), NodeState::UpFailure, 100);
+        hb(&mut u, NodeId(11), NodeState::Stable, 100);
+        let actions = u.evaluate(Time::from_millis(150), STALE);
+        assert_eq!(u.current(), NodeId(11));
+        assert!(actions.contains(&UpstreamAction::Unsubscribe { from: NodeId(10) }));
+        assert!(matches!(
+            actions.last(),
+            Some(UpstreamAction::Subscribe { to: NodeId(11), .. })
+        ));
+    }
+
+    #[test]
+    fn stays_with_up_failure_when_no_stable_exists() {
+        let mut u = um();
+        u.initial_subscribe();
+        hb(&mut u, NodeId(10), NodeState::UpFailure, 100);
+        hb(&mut u, NodeId(11), NodeState::UpFailure, 100);
+        assert!(u.evaluate(Time::from_millis(150), STALE).is_empty());
+        assert_eq!(u.current(), NodeId(10));
+    }
+
+    #[test]
+    fn missed_heartbeats_mark_peer_failed_and_switch() {
+        let mut u = um();
+        u.initial_subscribe();
+        hb(&mut u, NodeId(11), NodeState::UpFailure, 900);
+        // Node 10 last heard at t=0; at t=1000 it is stale.
+        let actions = u.evaluate(Time::from_millis(1000), STALE);
+        assert_eq!(u.current(), NodeId(11));
+        assert!(!actions.is_empty());
+    }
+
+    #[test]
+    fn dual_subscription_during_upstream_stabilization() {
+        let mut u = um();
+        u.initial_subscribe();
+        hb(&mut u, NodeId(10), NodeState::Stabilization, 100);
+        hb(&mut u, NodeId(11), NodeState::UpFailure, 100);
+        let actions = u.evaluate(Time::from_millis(150), STALE);
+        // Keeps node 10 (corrections) and adds node 11 (fresh data).
+        assert_eq!(u.current(), NodeId(10));
+        assert!(u.accepts_from(NodeId(10)));
+        assert!(u.accepts_from(NodeId(11)));
+        assert_eq!(
+            actions,
+            vec![UpstreamAction::Subscribe {
+                to: NodeId(11),
+                last_stable: TupleId::NONE,
+                saw_tentative: false,
+                fresh_only: true
+            }]
+        );
+        // Idempotent: a second evaluation adds nothing.
+        assert!(u.evaluate(Time::from_millis(200), STALE).is_empty());
+    }
+
+    #[test]
+    fn rec_done_collapses_dual_subscription() {
+        let mut u = um();
+        u.initial_subscribe();
+        hb(&mut u, NodeId(10), NodeState::Stabilization, 100);
+        hb(&mut u, NodeId(11), NodeState::UpFailure, 100);
+        u.evaluate(Time::from_millis(150), STALE);
+        let rd = Tuple::rec_done(TupleId::NONE, Time::from_millis(200));
+        let actions = u.observe_tuple(NodeId(10), &rd);
+        assert_eq!(actions, vec![UpstreamAction::Unsubscribe { from: NodeId(11) }]);
+        assert_eq!(u.current(), NodeId(10));
+        assert!(!u.accepts_from(NodeId(11)));
+    }
+
+    #[test]
+    fn bookkeeping_tracks_prefix_and_tentative_suffix() {
+        let mut u = um();
+        u.initial_subscribe();
+        let s = Tuple::insertion(TupleId(4), Time::ZERO, vec![]);
+        u.observe_tuple(NodeId(10), &s);
+        assert_eq!(u.last_stable(), TupleId(4));
+        let t = Tuple::tentative(TupleId(9), Time::ZERO, vec![]);
+        u.observe_tuple(NodeId(10), &t);
+        // A switch now must request correction of the tentative suffix.
+        hb(&mut u, NodeId(10), NodeState::Failed, 100);
+        hb(&mut u, NodeId(11), NodeState::Stable, 100);
+        let actions = u.evaluate(Time::from_millis(150), STALE);
+        assert!(actions.contains(&UpstreamAction::Subscribe {
+            to: NodeId(11),
+            last_stable: TupleId(4),
+            saw_tentative: true,
+            fresh_only: false
+        }));
+        // The UNDO from the new upstream clears the tentative flag.
+        let undo = Tuple::undo(TupleId::NONE, TupleId(4));
+        u.observe_tuple(NodeId(11), &undo);
+        assert_eq!(u.last_stable(), TupleId(4));
+    }
+
+    #[test]
+    fn unmonitored_streams_never_switch() {
+        let mut u = UpstreamManager::new(StreamId(0), vec![NodeId(5)], false, Time::ZERO);
+        u.initial_subscribe();
+        assert!(u.heartbeat_targets().is_empty());
+        assert!(u.evaluate(Time::from_secs(100), STALE).is_empty());
+        assert_eq!(u.current(), NodeId(5));
+    }
+
+    #[test]
+    fn failed_current_prefers_up_failure_then_stabilizing() {
+        let mut u = UpstreamManager::new(
+            StreamId(0),
+            vec![NodeId(1), NodeId(2), NodeId(3)],
+            true,
+            Time::ZERO,
+        );
+        u.initial_subscribe();
+        hb(&mut u, NodeId(1), NodeState::Failed, 100);
+        hb(&mut u, NodeId(2), NodeState::Stabilization, 100);
+        hb(&mut u, NodeId(3), NodeState::UpFailure, 100);
+        u.evaluate(Time::from_millis(150), STALE);
+        assert_eq!(u.current(), NodeId(3), "UP_FAILURE preferred");
+
+        // If only a stabilizing replica remains, use it.
+        hb(&mut u, NodeId(3), NodeState::Failed, 200);
+        u.evaluate(Time::from_millis(250), STALE);
+        assert_eq!(u.current(), NodeId(2));
+    }
+}

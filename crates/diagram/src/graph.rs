@@ -1,0 +1,418 @@
+//! Logical query diagrams: loop-free, directed graphs of operators (§2.1).
+//!
+//! Applications describe *what* to compute with [`LogicalOp`]s connected by
+//! named streams; the DPC planner ([`mod@crate::plan`]) then derives the
+//! *physical* per-fragment diagrams with SUnion/SJoin/SOutput inserted.
+
+use borealis_ops::AggregateSpec;
+use borealis_types::{Duration, Expr, FragmentId, OpId, StreamId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A logical (pre-DPC) join specification. The planner turns each `Join`
+/// into an SUnion (serializing its two inputs) followed by an SJoin (§3).
+#[derive(Debug, Clone)]
+pub struct JoinSpec {
+    /// Maximum stime distance between matching tuples.
+    pub window: Duration,
+    /// Equality key on the left input.
+    pub left_key: Expr,
+    /// Equality key on the right input.
+    pub right_key: Expr,
+    /// Optional cap on buffered tuples per side.
+    pub max_state: Option<usize>,
+}
+
+/// A logical operator, before DPC planning.
+#[derive(Debug, Clone)]
+pub enum LogicalOp {
+    /// Predicate filter.
+    Filter {
+        /// Predicate tuples must satisfy.
+        predicate: Expr,
+    },
+    /// Per-tuple projection.
+    Map {
+        /// One expression per output attribute.
+        outputs: Vec<Expr>,
+    },
+    /// Merge of several streams (becomes an SUnion).
+    Union,
+    /// Windowed aggregate.
+    Aggregate(AggregateSpec),
+    /// Windowed equi-join (becomes SUnion + SJoin).
+    Join(JoinSpec),
+}
+
+impl LogicalOp {
+    /// Short kind name, for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            LogicalOp::Filter { .. } => "filter",
+            LogicalOp::Map { .. } => "map",
+            LogicalOp::Union => "union",
+            LogicalOp::Aggregate(_) => "aggregate",
+            LogicalOp::Join(_) => "join",
+        }
+    }
+
+    fn expected_inputs(&self) -> Option<usize> {
+        match self {
+            LogicalOp::Union => None, // any number >= 2
+            LogicalOp::Join(_) => Some(2),
+            _ => Some(1),
+        }
+    }
+}
+
+/// One operator node in the logical diagram.
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    /// Operator id.
+    pub id: OpId,
+    /// What it computes.
+    pub op: LogicalOp,
+    /// Input streams, in port order.
+    pub inputs: Vec<StreamId>,
+    /// The stream it produces.
+    pub output: StreamId,
+}
+
+/// Errors detected while building or validating a diagram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagramError {
+    /// A stream name was declared twice.
+    DuplicateStream(String),
+    /// An operator consumes a stream that nothing produces.
+    UnknownStream(StreamId),
+    /// An operator has the wrong number of inputs for its kind.
+    ArityMismatch {
+        /// The offending operator.
+        op: OpId,
+        /// What its kind requires.
+        expected: usize,
+        /// What it was given.
+        actual: usize,
+    },
+    /// Union needs at least two inputs.
+    UnionTooNarrow(OpId),
+    /// The graph contains a cycle (query diagrams are loop-free, §2.1).
+    Cyclic,
+    /// An output stream was declared that no operator or source produces.
+    UnknownOutput(StreamId),
+    /// An operator was assigned to no fragment during deployment.
+    Unassigned(OpId),
+    /// Operators in the same fragment must form a connected sub-diagram
+    /// deployable on one node; this edge crosses fragments backwards.
+    BackwardsEdge {
+        /// Producing fragment.
+        from: FragmentId,
+        /// Consuming fragment.
+        to: FragmentId,
+    },
+}
+
+impl fmt::Display for DiagramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagramError::DuplicateStream(n) => write!(f, "stream {n:?} declared twice"),
+            DiagramError::UnknownStream(s) => write!(f, "stream {s} is consumed but never produced"),
+            DiagramError::ArityMismatch { op, expected, actual } => {
+                write!(f, "operator {op} expects {expected} inputs, got {actual}")
+            }
+            DiagramError::UnionTooNarrow(op) => write!(f, "union {op} needs >= 2 inputs"),
+            DiagramError::Cyclic => write!(f, "query diagram contains a cycle"),
+            DiagramError::UnknownOutput(s) => write!(f, "declared output {s} is never produced"),
+            DiagramError::Unassigned(op) => write!(f, "operator {op} not assigned to a fragment"),
+            DiagramError::BackwardsEdge { from, to } => {
+                write!(f, "fragment {to} feeds earlier fragment {from} (cycle between fragments)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DiagramError {}
+
+/// A validated logical query diagram.
+#[derive(Debug, Clone)]
+pub struct Diagram {
+    ops: Vec<OpNode>,
+    source_streams: Vec<StreamId>,
+    output_streams: Vec<StreamId>,
+    stream_names: Vec<String>,
+    /// op ids in topological order.
+    topo: Vec<OpId>,
+}
+
+impl Diagram {
+    /// The operators, indexable by [`OpId::index`].
+    pub fn ops(&self) -> &[OpNode] {
+        &self.ops
+    }
+
+    /// Streams entering the diagram from data sources.
+    pub fn source_streams(&self) -> &[StreamId] {
+        &self.source_streams
+    }
+
+    /// Streams delivered to client applications.
+    pub fn output_streams(&self) -> &[StreamId] {
+        &self.output_streams
+    }
+
+    /// Operator ids in a topological order.
+    pub fn topo_order(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// Name of a stream.
+    pub fn stream_name(&self, s: StreamId) -> &str {
+        &self.stream_names[s.index()]
+    }
+
+    /// Number of streams (source + intermediate).
+    pub fn n_streams(&self) -> usize {
+        self.stream_names.len()
+    }
+
+    /// The operator producing `stream`, if any (sources produce none).
+    pub fn producer(&self, stream: StreamId) -> Option<&OpNode> {
+        self.ops.iter().find(|o| o.output == stream)
+    }
+
+    /// The operators consuming `stream`.
+    pub fn consumers(&self, stream: StreamId) -> Vec<&OpNode> {
+        self.ops.iter().filter(|o| o.inputs.contains(&stream)).collect()
+    }
+}
+
+/// Incrementally builds a [`Diagram`].
+#[derive(Debug, Default)]
+pub struct DiagramBuilder {
+    ops: Vec<OpNode>,
+    stream_names: Vec<String>,
+    stream_index: HashMap<String, StreamId>,
+    source_streams: Vec<StreamId>,
+    output_streams: Vec<StreamId>,
+    errors: Vec<DiagramError>,
+}
+
+impl DiagramBuilder {
+    /// Starts an empty diagram.
+    pub fn new() -> DiagramBuilder {
+        DiagramBuilder::default()
+    }
+
+    fn intern(&mut self, name: &str) -> StreamId {
+        if let Some(&s) = self.stream_index.get(name) {
+            return s;
+        }
+        let s = StreamId(self.stream_names.len() as u32);
+        self.stream_names.push(name.to_string());
+        self.stream_index.insert(name.to_string(), s);
+        s
+    }
+
+    /// Declares a source stream (produced outside the diagram).
+    pub fn source(&mut self, name: &str) -> StreamId {
+        if self.stream_index.contains_key(name) {
+            self.errors.push(DiagramError::DuplicateStream(name.to_string()));
+        }
+        let s = self.intern(name);
+        self.source_streams.push(s);
+        s
+    }
+
+    /// Adds an operator producing stream `output_name` from `inputs`.
+    pub fn add(&mut self, output_name: &str, op: LogicalOp, inputs: &[StreamId]) -> StreamId {
+        if self.stream_index.contains_key(output_name) {
+            self.errors.push(DiagramError::DuplicateStream(output_name.to_string()));
+        }
+        let output = self.intern(output_name);
+        let id = OpId(self.ops.len() as u32);
+        match op.expected_inputs() {
+            Some(n) if n != inputs.len() => {
+                self.errors.push(DiagramError::ArityMismatch { op: id, expected: n, actual: inputs.len() });
+            }
+            None if inputs.len() < 2 => self.errors.push(DiagramError::UnionTooNarrow(id)),
+            _ => {}
+        }
+        self.ops.push(OpNode { id, op, inputs: inputs.to_vec(), output });
+        output
+    }
+
+    /// Marks a stream as a client-visible output.
+    pub fn output(&mut self, stream: StreamId) {
+        self.output_streams.push(stream);
+    }
+
+    /// Validates and freezes the diagram.
+    pub fn build(self) -> Result<Diagram, DiagramError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        // Every consumed stream must be produced by a source or an operator.
+        let mut produced = vec![false; self.stream_names.len()];
+        for &s in &self.source_streams {
+            produced[s.index()] = true;
+        }
+        for op in &self.ops {
+            produced[op.output.index()] = true;
+        }
+        for op in &self.ops {
+            for &s in &op.inputs {
+                if !produced.get(s.index()).copied().unwrap_or(false) {
+                    return Err(DiagramError::UnknownStream(s));
+                }
+            }
+        }
+        for &s in &self.output_streams {
+            if !produced.get(s.index()).copied().unwrap_or(false) {
+                return Err(DiagramError::UnknownOutput(s));
+            }
+        }
+        let topo = self.topo_sort()?;
+        Ok(Diagram {
+            ops: self.ops,
+            source_streams: self.source_streams,
+            output_streams: self.output_streams,
+            stream_names: self.stream_names,
+            topo,
+        })
+    }
+
+    /// Kahn's algorithm over operator nodes; detects cycles.
+    fn topo_sort(&self) -> Result<Vec<OpId>, DiagramError> {
+        let n = self.ops.len();
+        // producer_of[stream] = op index
+        let mut producer_of: HashMap<StreamId, usize> = HashMap::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            producer_of.insert(op.output, i);
+        }
+        let mut indegree = vec![0usize; n];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (i, op) in self.ops.iter().enumerate() {
+            for s in &op.inputs {
+                if let Some(&p) = producer_of.get(s) {
+                    indegree[i] += 1;
+                    consumers[p].push(i);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(i) = queue.pop() {
+            order.push(OpId(i as u32));
+            for &c in &consumers[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(DiagramError::Cyclic);
+        }
+        // Deterministic order: sort stable by position in a BFS layering.
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::Expr;
+
+    fn filter() -> LogicalOp {
+        LogicalOp::Filter { predicate: Expr::Const(borealis_types::Value::Bool(true)) }
+    }
+
+    #[test]
+    fn simple_chain_builds() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("in");
+        let f = b.add("filtered", filter(), &[s]);
+        b.output(f);
+        let d = b.build().unwrap();
+        assert_eq!(d.ops().len(), 1);
+        assert_eq!(d.source_streams(), &[StreamId(0)]);
+        assert_eq!(d.output_streams(), &[f]);
+        assert_eq!(d.stream_name(s), "in");
+        assert!(d.producer(f).is_some());
+        assert!(d.producer(s).is_none());
+        assert_eq!(d.consumers(s).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_stream_rejected() {
+        let mut b = DiagramBuilder::new();
+        b.source("x");
+        b.source("x");
+        assert!(matches!(b.build(), Err(DiagramError::DuplicateStream(_))));
+    }
+
+    #[test]
+    fn unknown_input_rejected() {
+        let mut b = DiagramBuilder::new();
+        b.source("a");
+        // Stream id 5 was never declared.
+        b.add("out", filter(), &[StreamId(0)]);
+        let mut b2 = DiagramBuilder::new();
+        let s = b2.source("a");
+        let _ = s;
+        b2.add("out", filter(), &[StreamId(7)]);
+        assert!(b.build().is_ok());
+        // Building with a dangling id fails.
+        assert!(b2.build().is_err());
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut b = DiagramBuilder::new();
+        let a = b.source("a");
+        let c = b.source("b");
+        b.add("j", LogicalOp::Join(JoinSpec {
+            window: Duration::from_millis(10),
+            left_key: Expr::field(0),
+            right_key: Expr::field(0),
+            max_state: None,
+        }), &[a]);
+        let _ = c;
+        assert!(matches!(b.build(), Err(DiagramError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn union_needs_two_inputs() {
+        let mut b = DiagramBuilder::new();
+        let a = b.source("a");
+        b.add("u", LogicalOp::Union, &[a]);
+        assert!(matches!(b.build(), Err(DiagramError::UnionTooNarrow(_))));
+    }
+
+    #[test]
+    fn topo_order_covers_all_ops() {
+        let mut b = DiagramBuilder::new();
+        let a = b.source("a");
+        let c = b.source("b");
+        let u = b.add("u", LogicalOp::Union, &[a, c]);
+        let f = b.add("f", filter(), &[u]);
+        b.output(f);
+        let d = b.build().unwrap();
+        assert_eq!(d.topo_order().len(), 2);
+        // Union must precede filter.
+        let pos = |id: OpId| d.topo_order().iter().position(|&o| o == id).unwrap();
+        assert!(pos(OpId(0)) < pos(OpId(1)));
+    }
+
+    #[test]
+    fn fan_out_is_allowed() {
+        let mut b = DiagramBuilder::new();
+        let a = b.source("a");
+        let f1 = b.add("f1", filter(), &[a]);
+        let f2 = b.add("f2", filter(), &[a]);
+        b.output(f1);
+        b.output(f2);
+        let d = b.build().unwrap();
+        assert_eq!(d.consumers(a).len(), 2);
+    }
+}

@@ -1,0 +1,17 @@
+//! # borealis-diagram
+//!
+//! Logical query diagrams (loop-free operator DAGs, §2.1 of the paper),
+//! validation, deployment onto fragments, and the DPC physical planner that
+//! inserts SUnion / SJoin / SOutput operators and assigns delay budgets
+//! (§3, §6.3).
+
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod plan;
+
+pub use graph::{Diagram, DiagramBuilder, DiagramError, JoinSpec, LogicalOp, OpNode};
+pub use plan::{
+    plan, DelayAssignment, Deployment, DpcConfig, FragmentInput, FragmentOutput, FragmentPlan,
+    PhysOp, PhysicalPlan, StreamOrigin,
+};

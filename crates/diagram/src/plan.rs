@@ -1,0 +1,673 @@
+//! DPC physical planning (§3, §6.3).
+//!
+//! Turns a validated logical [`Diagram`] plus a fragment assignment into the
+//! per-fragment *physical* diagrams that nodes execute:
+//!
+//! * every stream entering a fragment passes through an **input SUnion**
+//!   (failure detection, delay management, replay logging — §4.2.3);
+//! * every `Union` becomes an **SUnion**, every `Join` becomes an SUnion
+//!   followed by an **SJoin** (§3);
+//! * every stream leaving a fragment passes through an **SOutput** (§4.4.2);
+//! * each SUnion receives its share of the application's incremental latency
+//!   budget `X` according to the chosen [`DelayAssignment`] (§6.3).
+
+use crate::graph::{Diagram, DiagramError, LogicalOp};
+use borealis_ops::{DelayMode, OperatorSpec, SJoinSpec, SUnionConfig};
+use borealis_types::{Duration, FragmentId, OpId, StreamId};
+use std::collections::HashMap;
+
+/// How the total incremental latency `X` is divided among SUnions (§6.3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DelayAssignment {
+    /// `X / max-SUnions-per-path` at each SUnion — the naive division the
+    /// paper shows to be suboptimal.
+    Uniform,
+    /// The full budget (minus a queueing safety margin chosen by the caller,
+    /// e.g. 6.5 s of an 8 s budget) at *every* SUnion — the paper's
+    /// recommended strategy: on a failure every downstream SUnion suspends
+    /// simultaneously, so the initial delays do not add up.
+    Full {
+        /// The effective per-SUnion delay (X minus the safety margin).
+        effective: Duration,
+    },
+}
+
+/// DPC deployment parameters.
+#[derive(Debug, Clone)]
+pub struct DpcConfig {
+    /// SUnion bucket granularity (§4.2.1).
+    pub bucket: Duration,
+    /// The application's maximum incremental processing latency `X`
+    /// (§2.3.1).
+    pub total_delay: Duration,
+    /// Fraction of the assigned delay actually used before declaring a
+    /// failure; the paper's implementation uses 0.9 "as a precaution"
+    /// because operators do not control when the scheduler runs them.
+    pub safety: f64,
+    /// Delay division strategy.
+    pub assignment: DelayAssignment,
+    /// Policy during UP_FAILURE (§6.1).
+    pub failure_mode: DelayMode,
+    /// Policy during STABILIZATION (§6.1).
+    pub stabilization_mode: DelayMode,
+    /// Minimum wait before releasing a tentative bucket in Process mode
+    /// (300 ms in the paper, footnote 5).
+    pub tentative_wait: Duration,
+}
+
+impl Default for DpcConfig {
+    fn default() -> Self {
+        DpcConfig {
+            bucket: Duration::from_millis(100),
+            total_delay: Duration::from_secs(3),
+            safety: 0.9,
+            assignment: DelayAssignment::Uniform,
+            failure_mode: DelayMode::Process,
+            stabilization_mode: DelayMode::Process,
+            tentative_wait: Duration::from_millis(300),
+        }
+    }
+}
+
+/// Where a fragment input stream comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StreamOrigin {
+    /// Produced by a data source outside the query diagram.
+    Source,
+    /// Produced by another fragment (its SOutput).
+    Fragment(FragmentId),
+}
+
+/// A physical operator instance within a fragment.
+#[derive(Debug, Clone)]
+pub struct PhysOp {
+    /// What to instantiate.
+    pub spec: OperatorSpec,
+    /// Intra-fragment consumers of this op's output: `(op index, port)`.
+    pub fanout: Vec<(usize, usize)>,
+    /// Set if this op's output leaves the fragment (it is then an SOutput).
+    pub external_output: Option<StreamId>,
+}
+
+/// An external input binding of a fragment.
+#[derive(Debug, Clone)]
+pub struct FragmentInput {
+    /// The global stream.
+    pub stream: StreamId,
+    /// Index of the receiving op (always an input SUnion).
+    pub target: usize,
+    /// Port on that op.
+    pub port: usize,
+    /// Who produces the stream.
+    pub origin: StreamOrigin,
+}
+
+/// An output binding of a fragment.
+#[derive(Debug, Clone)]
+pub struct FragmentOutput {
+    /// The global stream.
+    pub stream: StreamId,
+    /// Index of the SOutput op producing it.
+    pub op: usize,
+}
+
+/// The physical diagram of one fragment.
+#[derive(Debug, Clone)]
+pub struct FragmentPlan {
+    /// Fragment identity.
+    pub id: FragmentId,
+    /// Operators in topological order.
+    pub ops: Vec<PhysOp>,
+    /// External input bindings.
+    pub inputs: Vec<FragmentInput>,
+    /// Output bindings.
+    pub outputs: Vec<FragmentOutput>,
+}
+
+impl FragmentPlan {
+    /// Indexes of the SUnion ops.
+    pub fn sunion_indexes(&self) -> Vec<usize> {
+        self.ops
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.spec.is_sunion())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// The full physical plan.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// One plan per fragment, indexed by [`FragmentId::index`].
+    pub fragments: Vec<FragmentPlan>,
+    /// Maximum number of SUnions on any source→output path (drives the
+    /// Uniform delay assignment).
+    pub max_sunion_depth: usize,
+    /// The per-SUnion detection delay that was assigned.
+    pub per_sunion_delay: Duration,
+}
+
+/// Assignment of logical operators to fragments.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// `assignment[op.index()] = fragment`.
+    pub assignment: Vec<FragmentId>,
+    /// Number of fragments.
+    pub n_fragments: usize,
+}
+
+impl Deployment {
+    /// Puts every operator in a single fragment.
+    pub fn single(diagram: &Diagram) -> Deployment {
+        Deployment {
+            assignment: vec![FragmentId(0); diagram.ops().len()],
+            n_fragments: 1,
+        }
+    }
+
+    /// Explicit assignment.
+    pub fn explicit(assignment: Vec<FragmentId>) -> Deployment {
+        let n = assignment
+            .iter()
+            .map(|f| f.index() + 1)
+            .max()
+            .unwrap_or(0);
+        Deployment { assignment, n_fragments: n }
+    }
+
+    fn of(&self, op: OpId) -> FragmentId {
+        self.assignment[op.index()]
+    }
+}
+
+/// Plans the physical per-fragment diagrams.
+pub fn plan(
+    diagram: &Diagram,
+    deployment: &Deployment,
+    cfg: &DpcConfig,
+) -> Result<PhysicalPlan, DiagramError> {
+    if deployment.assignment.len() != diagram.ops().len() {
+        if let Some(op) = diagram.ops().get(deployment.assignment.len()) {
+            return Err(DiagramError::Unassigned(op.id));
+        }
+    }
+    let mut fragments: Vec<FragmentPlan> = (0..deployment.n_fragments)
+        .map(|i| FragmentPlan {
+            id: FragmentId(i as u32),
+            ops: Vec::new(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        })
+        .collect();
+
+    // Which fragment produces each stream (None = source).
+    let mut produced_in: HashMap<StreamId, FragmentId> = HashMap::new();
+    for op in diagram.ops() {
+        produced_in.insert(op.output, deployment.of(op.id));
+    }
+
+    // Streams that must leave their producing fragment: consumed by another
+    // fragment or delivered to clients.
+    let mut crosses: Vec<StreamId> = Vec::new();
+    for op in diagram.ops() {
+        for &s in &op.inputs {
+            match produced_in.get(&s) {
+                Some(&pf) if pf != deployment.of(op.id) => crosses.push(s),
+                _ => {}
+            }
+        }
+    }
+    crosses.extend(diagram.output_streams().iter().copied());
+    crosses.sort();
+    crosses.dedup();
+
+    // Build each fragment.
+    // Per fragment: map from global stream -> (op index, is origin-tagging needed)
+    // local_producer[frag][stream] = op index producing it inside the fragment.
+    let mut local_producer: Vec<HashMap<StreamId, usize>> =
+        vec![HashMap::new(); deployment.n_fragments];
+    // Entry SUnions created per (frag, external stream).
+    let mut entry_sunion: Vec<HashMap<StreamId, usize>> =
+        vec![HashMap::new(); deployment.n_fragments];
+
+    let base_sunion = |n: usize, is_input: bool| -> SUnionConfig {
+        SUnionConfig {
+            n_inputs: n,
+            bucket: cfg.bucket,
+            // Delays are assigned after planning; placeholder here.
+            detect_delay: cfg.total_delay,
+            delay_budget: cfg.total_delay,
+            tentative_wait: cfg.tentative_wait,
+            failure_mode: cfg.failure_mode,
+            stabilization_mode: cfg.stabilization_mode,
+            is_input,
+        }
+    };
+
+    // How many fragment-local consumers a stream has (to decide whether a
+    // multi-input op can absorb its external inputs into its own SUnion).
+    let consumers_in_frag = |s: StreamId, f: FragmentId| -> usize {
+        diagram
+            .ops()
+            .iter()
+            .filter(|o| deployment.of(o.id) == f)
+            .map(|o| o.inputs.iter().filter(|&&i| i == s).count())
+            .sum()
+    };
+
+    for &opid in diagram.topo_order() {
+        let node = &diagram.ops()[opid.index()];
+        let f = deployment.of(node.id);
+        let fp = &mut fragments[f.index()];
+        let external = |s: StreamId| produced_in.get(&s).map(|&p| p) != Some(f);
+
+        // Ensures `s` is available inside the fragment, returning the local
+        // producing op index. Creates an entry SUnion for external streams.
+        macro_rules! ensure_local {
+            ($s:expr) => {{
+                let s: StreamId = $s;
+                if let Some(&idx) = local_producer[f.index()].get(&s) {
+                    idx
+                } else if let Some(&idx) = entry_sunion[f.index()].get(&s) {
+                    idx
+                } else {
+                    let idx = fp.ops.len();
+                    fp.ops.push(PhysOp {
+                        spec: OperatorSpec::SUnion(base_sunion(1, true)),
+                        fanout: Vec::new(),
+                        external_output: None,
+                    });
+                    fp.inputs.push(FragmentInput {
+                        stream: s,
+                        target: idx,
+                        port: 0,
+                        origin: produced_in
+                            .get(&s)
+                            .map_or(StreamOrigin::Source, |&p| StreamOrigin::Fragment(p)),
+                    });
+                    entry_sunion[f.index()].insert(s, idx);
+                    idx
+                }
+            }};
+        }
+
+        // True when a multi-input op can act as the fragment entry for all
+        // of its inputs: every input is external, feeds only this op, and no
+        // entry SUnion exists for it yet.
+        let absorb_ok = node.inputs.iter().all(|&s| {
+            external(s)
+                && consumers_in_frag(s, f) == 1
+                && !entry_sunion[f.index()].contains_key(&s)
+        });
+
+        let out_idx = match &node.op {
+            LogicalOp::Union => {
+                let idx = fp.ops.len();
+                if absorb_ok {
+                    fp.ops.push(PhysOp {
+                        spec: OperatorSpec::SUnion(base_sunion(node.inputs.len(), true)),
+                        fanout: Vec::new(),
+                        external_output: None,
+                    });
+                    for (port, &s) in node.inputs.iter().enumerate() {
+                        fp.inputs.push(FragmentInput {
+                            stream: s,
+                            target: idx,
+                            port,
+                            origin: produced_in
+                                .get(&s)
+                                .map_or(StreamOrigin::Source, |&p| StreamOrigin::Fragment(p)),
+                        });
+                    }
+                    idx
+                } else {
+                    let feeders: Vec<usize> =
+                        node.inputs.iter().map(|&s| ensure_local!(s)).collect();
+                    let idx = fp.ops.len();
+                    fp.ops.push(PhysOp {
+                        spec: OperatorSpec::SUnion(base_sunion(node.inputs.len(), false)),
+                        fanout: Vec::new(),
+                        external_output: None,
+                    });
+                    for (port, &src) in feeders.iter().enumerate() {
+                        fp.ops[src].fanout.push((idx, port));
+                    }
+                    idx
+                }
+            }
+            LogicalOp::Join(js) => {
+                // SUnion(2) serializing both inputs, then the SJoin.
+                let su_idx = fp.ops.len();
+                if absorb_ok {
+                    fp.ops.push(PhysOp {
+                        spec: OperatorSpec::SUnion(base_sunion(2, true)),
+                        fanout: Vec::new(),
+                        external_output: None,
+                    });
+                    for (port, &s) in node.inputs.iter().enumerate() {
+                        fp.inputs.push(FragmentInput {
+                            stream: s,
+                            target: su_idx,
+                            port,
+                            origin: produced_in
+                                .get(&s)
+                                .map_or(StreamOrigin::Source, |&p| StreamOrigin::Fragment(p)),
+                        });
+                    }
+                } else {
+                    let feeders: Vec<usize> =
+                        node.inputs.iter().map(|&s| ensure_local!(s)).collect();
+                    fp.ops.push(PhysOp {
+                        spec: OperatorSpec::SUnion(base_sunion(2, false)),
+                        fanout: Vec::new(),
+                        external_output: None,
+                    });
+                    for (port, &src) in feeders.iter().enumerate() {
+                        fp.ops[src].fanout.push((su_idx, port));
+                    }
+                }
+                let j_idx = fp.ops.len();
+                fp.ops.push(PhysOp {
+                    spec: OperatorSpec::SJoin(SJoinSpec {
+                        window: js.window,
+                        left_key: js.left_key.clone(),
+                        right_key: js.right_key.clone(),
+                        max_state: js.max_state,
+                        left_split: 1,
+                    }),
+                    fanout: Vec::new(),
+                    external_output: None,
+                });
+                fp.ops[su_idx].fanout.push((j_idx, 0));
+                j_idx
+            }
+            single => {
+                let input = node.inputs[0];
+                let feeder = ensure_local!(input);
+                let spec = match single {
+                    LogicalOp::Filter { predicate } => {
+                        OperatorSpec::Filter { predicate: predicate.clone() }
+                    }
+                    LogicalOp::Map { outputs } => OperatorSpec::Map { outputs: outputs.clone() },
+                    LogicalOp::Aggregate(a) => OperatorSpec::Aggregate(a.clone()),
+                    LogicalOp::Union | LogicalOp::Join(_) => unreachable!("handled above"),
+                };
+                let idx = fp.ops.len();
+                fp.ops.push(PhysOp { spec, fanout: Vec::new(), external_output: None });
+                fp.ops[feeder].fanout.push((idx, 0));
+                idx
+            }
+        };
+        local_producer[f.index()].insert(node.output, out_idx);
+
+        // Append an SOutput if this stream crosses the fragment boundary.
+        if crosses.contains(&node.output) {
+            let so_idx = fp.ops.len();
+            fp.ops.push(PhysOp {
+                spec: OperatorSpec::SOutput,
+                fanout: Vec::new(),
+                external_output: Some(node.output),
+            });
+            fp.ops[out_idx].fanout.push((so_idx, 0));
+            fp.outputs.push(FragmentOutput { stream: node.output, op: so_idx });
+        }
+    }
+
+    // Fragment DAG sanity: a fragment may only consume from strictly earlier
+    // fragments or sources (prevents cross-fragment cycles).
+    for fp in &fragments {
+        for input in &fp.inputs {
+            if let StreamOrigin::Fragment(from) = input.origin {
+                if from == fp.id {
+                    return Err(DiagramError::BackwardsEdge { from, to: fp.id });
+                }
+            }
+        }
+    }
+
+    // Delay assignment (§6.3).
+    let max_depth = max_sunion_depth(&fragments);
+    let per_delay = match cfg.assignment {
+        DelayAssignment::Uniform => {
+            let d = cfg.total_delay.as_micros() / max_depth.max(1) as u64;
+            Duration::from_micros((d as f64 * cfg.safety) as u64)
+        }
+        DelayAssignment::Full { effective } => effective,
+    };
+    for fp in &mut fragments {
+        for op in &mut fp.ops {
+            if let OperatorSpec::SUnion(su) = &mut op.spec {
+                su.detect_delay = per_delay;
+                su.delay_budget = per_delay;
+            }
+        }
+    }
+
+    Ok(PhysicalPlan { fragments, max_sunion_depth: max_depth, per_sunion_delay: per_delay })
+}
+
+/// Longest source→output path measured in SUnion hops, across fragments.
+fn max_sunion_depth(fragments: &[FragmentPlan]) -> usize {
+    // Global node = (fragment index, op index). Longest-path DP over the
+    // global DAG; depth counts SUnion nodes.
+    let mut memo: HashMap<(usize, usize), usize> = HashMap::new();
+    // producers of each crossing stream
+    let mut stream_producer: HashMap<StreamId, (usize, usize)> = HashMap::new();
+    for (fi, fp) in fragments.iter().enumerate() {
+        for o in &fp.outputs {
+            stream_producer.insert(o.stream, (fi, o.op));
+        }
+    }
+
+    fn depth(
+        node: (usize, usize),
+        fragments: &[FragmentPlan],
+        stream_producer: &HashMap<StreamId, (usize, usize)>,
+        memo: &mut HashMap<(usize, usize), usize>,
+    ) -> usize {
+        if let Some(&d) = memo.get(&node) {
+            return d;
+        }
+        let (fi, oi) = node;
+        let op = &fragments[fi].ops[oi];
+        let own = usize::from(op.spec.is_sunion());
+        let mut best = 0;
+        for &(c, _) in &op.fanout {
+            best = best.max(depth((fi, c), fragments, stream_producer, memo));
+        }
+        if let Some(stream) = op.external_output {
+            // Find fragments consuming this stream.
+            for (cfi, cfp) in fragments.iter().enumerate() {
+                for inp in &cfp.inputs {
+                    if inp.stream == stream {
+                        best = best.max(depth(
+                            (cfi, inp.target),
+                            fragments,
+                            stream_producer,
+                            memo,
+                        ));
+                    }
+                }
+            }
+        }
+        let d = own + best;
+        memo.insert(node, d);
+        d
+    }
+
+    let mut max = 0;
+    for (fi, fp) in fragments.iter().enumerate() {
+        for inp in &fp.inputs {
+            if inp.origin == StreamOrigin::Source {
+                max = max.max(depth(
+                    (fi, inp.target),
+                    fragments,
+                    &stream_producer,
+                    &mut memo,
+                ));
+            }
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DiagramBuilder, JoinSpec};
+    use borealis_types::Expr;
+
+    fn filter() -> LogicalOp {
+        LogicalOp::Filter { predicate: Expr::Const(borealis_types::Value::Bool(true)) }
+    }
+
+    /// Union over three sources in one fragment: the SUnion absorbs the
+    /// inputs (one SUnion, is_input = true), plus an SOutput.
+    #[test]
+    fn union_absorbs_external_inputs() {
+        let mut b = DiagramBuilder::new();
+        let s1 = b.source("s1");
+        let s2 = b.source("s2");
+        let s3 = b.source("s3");
+        let u = b.add("merged", LogicalOp::Union, &[s1, s2, s3]);
+        b.output(u);
+        let d = b.build().unwrap();
+        let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
+        assert_eq!(p.fragments.len(), 1);
+        let fp = &p.fragments[0];
+        assert_eq!(fp.ops.len(), 2, "SUnion + SOutput");
+        assert!(matches!(&fp.ops[0].spec, OperatorSpec::SUnion(c) if c.n_inputs == 3 && c.is_input));
+        assert!(fp.ops[1].spec.is_soutput());
+        assert_eq!(fp.inputs.len(), 3);
+        assert_eq!(fp.outputs.len(), 1);
+        assert_eq!(p.max_sunion_depth, 1);
+    }
+
+    /// Single-input op on an external stream gets an entry SUnion.
+    #[test]
+    fn single_input_gets_entry_sunion() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("s");
+        let f = b.add("f", filter(), &[s]);
+        b.output(f);
+        let d = b.build().unwrap();
+        let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
+        let fp = &p.fragments[0];
+        let kinds: Vec<&str> = fp.ops.iter().map(|o| o.spec.kind_name()).collect();
+        assert_eq!(kinds, vec!["sunion", "filter", "soutput"]);
+        assert!(matches!(&fp.ops[0].spec, OperatorSpec::SUnion(c) if c.is_input));
+    }
+
+    /// A two-fragment chain: fragment 1's filter reads fragment 0's output
+    /// through its own entry SUnion; uniform assignment splits X.
+    #[test]
+    fn chain_divides_delay_uniformly() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("s");
+        let f0 = b.add("f0", filter(), &[s]);
+        let f1 = b.add("f1", filter(), &[f0]);
+        b.output(f1);
+        let d = b.build().unwrap();
+        let dep = Deployment::explicit(vec![FragmentId(0), FragmentId(1)]);
+        let cfg = DpcConfig {
+            total_delay: Duration::from_secs(4),
+            safety: 1.0,
+            ..DpcConfig::default()
+        };
+        let p = plan(&d, &dep, &cfg).unwrap();
+        assert_eq!(p.max_sunion_depth, 2);
+        assert_eq!(p.per_sunion_delay, Duration::from_secs(2));
+        // Fragment 1's input comes from fragment 0.
+        let f1p = &p.fragments[1];
+        assert_eq!(f1p.inputs.len(), 1);
+        assert_eq!(f1p.inputs[0].origin, StreamOrigin::Fragment(FragmentId(0)));
+        // Fragment 0's output is the crossing stream.
+        assert_eq!(p.fragments[0].outputs.len(), 1);
+    }
+
+    /// Full assignment gives every SUnion the same large delay.
+    #[test]
+    fn full_assignment_sets_effective_everywhere() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("s");
+        let f0 = b.add("f0", filter(), &[s]);
+        let f1 = b.add("f1", filter(), &[f0]);
+        b.output(f1);
+        let d = b.build().unwrap();
+        let dep = Deployment::explicit(vec![FragmentId(0), FragmentId(1)]);
+        let cfg = DpcConfig {
+            total_delay: Duration::from_secs(8),
+            assignment: DelayAssignment::Full { effective: Duration::from_secs_f64(6.5) },
+            ..DpcConfig::default()
+        };
+        let p = plan(&d, &dep, &cfg).unwrap();
+        for fp in &p.fragments {
+            for i in fp.sunion_indexes() {
+                if let OperatorSpec::SUnion(su) = &fp.ops[i].spec {
+                    assert_eq!(su.detect_delay, Duration::from_secs_f64(6.5));
+                }
+            }
+        }
+    }
+
+    /// Join becomes SUnion + SJoin.
+    #[test]
+    fn join_lowered_to_sunion_sjoin() {
+        let mut b = DiagramBuilder::new();
+        let l = b.source("l");
+        let r = b.source("r");
+        let j = b.add("j", LogicalOp::Join(JoinSpec {
+            window: Duration::from_millis(50),
+            left_key: Expr::field(0),
+            right_key: Expr::field(0),
+            max_state: Some(100),
+        }), &[l, r]);
+        b.output(j);
+        let d = b.build().unwrap();
+        let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
+        let kinds: Vec<&str> = p.fragments[0].ops.iter().map(|o| o.spec.kind_name()).collect();
+        assert_eq!(kinds, vec!["sunion", "sjoin", "soutput"]);
+    }
+
+    /// A stream consumed by two ops in the same fragment gets one entry
+    /// SUnion, fanned out.
+    #[test]
+    fn shared_external_stream_single_entry() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("s");
+        let a = b.add("a", filter(), &[s]);
+        let c = b.add("c", filter(), &[s]);
+        b.output(a);
+        b.output(c);
+        let d = b.build().unwrap();
+        let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
+        let fp = &p.fragments[0];
+        let n_sunions = fp.sunion_indexes().len();
+        assert_eq!(n_sunions, 1, "one shared entry SUnion");
+        assert_eq!(fp.ops[fp.sunion_indexes()[0]].fanout.len(), 2);
+    }
+
+    /// Union with one internal and one external input: external port gets an
+    /// entry SUnion, the union itself is a non-input SUnion.
+    #[test]
+    fn mixed_union_uses_entry_sunions() {
+        let mut b = DiagramBuilder::new();
+        let s1 = b.source("s1");
+        let s2 = b.source("s2");
+        let f = b.add("f", filter(), &[s1]);
+        let u = b.add("u", LogicalOp::Union, &[f, s2]);
+        b.output(u);
+        let d = b.build().unwrap();
+        let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
+        let fp = &p.fragments[0];
+        let sunions = fp.sunion_indexes();
+        // entry for s1, entry for s2, plus the union's serializer.
+        assert_eq!(sunions.len(), 3);
+        let input_count = sunions
+            .iter()
+            .filter(|&&i| matches!(&fp.ops[i].spec, OperatorSpec::SUnion(c) if c.is_input))
+            .count();
+        assert_eq!(input_count, 2);
+    }
+}

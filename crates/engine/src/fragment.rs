@@ -1,0 +1,355 @@
+//! The per-node fragment executor.
+//!
+//! A [`Fragment`] is one node's slice of the query diagram: a topologically
+//! ordered set of operators with intra-node wiring, external input bindings,
+//! and SOutput-guarded output streams. It implements the node-local half of
+//! DPC:
+//!
+//! * **Checkpoint before tentative** (§4.4.1): the first tentative tuple to
+//!   enter the fragment — or the first SUnion about to release tentative
+//!   data — triggers a whole-fragment checkpoint *before* the tuple is
+//!   processed, and switches the input SUnions' replay logs on.
+//! * **Taint tracking**: once an operator has processed tentative data its
+//!   state may have diverged, so all its subsequent data outputs are
+//!   relabelled tentative until reconciliation (the paper's observation
+//!   that "the state of replicas diverges as they process different
+//!   inputs").
+//! * **Checkpoint/redo reconciliation** (§4.4): restore every operator from
+//!   the checkpoint (except SOutput, which keeps its duplicate-suppression
+//!   memory), replay the input SUnions' logs in original arrival order, and
+//!   emit REC_DONE markers that propagate to the outputs.
+
+use borealis_diagram::FragmentPlan;
+use borealis_ops::sunion::Phase;
+use borealis_ops::{Emitter, OpSnapshot, Operator};
+use borealis_types::{ControlSignal, StreamId, Time, Tuple, TupleKind};
+use std::collections::VecDeque;
+
+/// Everything a fragment produced while handling one call: output-stream
+/// tuples, control signals for the Consistency Manager, and the number of
+/// data tuples processed (the node's CPU-cost accounting).
+#[derive(Debug, Default)]
+pub struct Batch {
+    /// Tuples leaving the node, per output stream, in emission order.
+    pub tuples: Vec<(StreamId, Tuple)>,
+    /// Control signals raised by SUnion/SOutput operators.
+    pub signals: Vec<ControlSignal>,
+    /// Data tuples processed by operators during this call.
+    pub work: u64,
+}
+
+impl Batch {
+    fn merge(&mut self, mut other: Batch) {
+        self.tuples.append(&mut other.tuples);
+        self.signals.append(&mut other.signals);
+        self.work += other.work;
+    }
+}
+
+/// A running instance of one fragment's physical diagram.
+pub struct Fragment {
+    ops: Vec<Box<dyn Operator>>,
+    fanout: Vec<Vec<(usize, usize)>>,
+    external_output: Vec<Option<StreamId>>,
+    /// `(stream, op, port)` bindings for external inputs.
+    input_bindings: Vec<(StreamId, usize, usize)>,
+    /// Indexes of input SUnions (replay-log holders).
+    input_sunions: Vec<usize>,
+    /// Per-op input queues.
+    queues: Vec<VecDeque<(usize, Tuple)>>,
+    /// Per-op divergence flags.
+    op_tainted: Vec<bool>,
+    /// Fragment-level: checkpoint taken, tentative processing under way.
+    tainted: bool,
+    checkpoint: Option<Vec<OpSnapshot>>,
+    /// Cumulative data tuples processed (all time).
+    total_work: u64,
+}
+
+impl Fragment {
+    /// Instantiates a fragment from its physical plan.
+    pub fn from_plan(plan: &FragmentPlan) -> Fragment {
+        let ops: Vec<Box<dyn Operator>> = plan.ops.iter().map(|o| o.spec.instantiate()).collect();
+        let n = ops.len();
+        let mut f = Fragment {
+            ops,
+            fanout: plan.ops.iter().map(|o| o.fanout.clone()).collect(),
+            external_output: plan.ops.iter().map(|o| o.external_output).collect(),
+            input_bindings: plan
+                .inputs
+                .iter()
+                .map(|i| (i.stream, i.target, i.port))
+                .collect(),
+            input_sunions: Vec::new(),
+            queues: (0..n).map(|_| VecDeque::new()).collect(),
+            op_tainted: vec![false; n],
+            tainted: false,
+            checkpoint: None,
+            total_work: 0,
+        };
+        f.input_sunions = (0..n)
+            .filter(|&i| f.ops[i].as_sunion().is_some_and(|s| s.config().is_input))
+            .collect();
+        f
+    }
+
+    /// External input streams this fragment consumes.
+    pub fn input_streams(&self) -> Vec<StreamId> {
+        let mut v: Vec<StreamId> = self.input_bindings.iter().map(|(s, _, _)| *s).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Output streams this fragment produces.
+    pub fn output_streams(&self) -> Vec<StreamId> {
+        self.external_output.iter().flatten().copied().collect()
+    }
+
+    /// True once a failure checkpoint has been taken and tentative data has
+    /// entered the fragment (the node is in UP_FAILURE or awaiting
+    /// reconciliation).
+    pub fn is_tainted(&self) -> bool {
+        self.tainted
+    }
+
+    /// Total data tuples processed since construction.
+    pub fn total_work(&self) -> u64 {
+        self.total_work
+    }
+
+    /// True when reconciliation is both needed and possible: a checkpoint
+    /// exists and every input SUnion reports its streams corrected (§4.4).
+    pub fn can_reconcile(&self) -> bool {
+        self.tainted
+            && self.input_sunions.iter().all(|&i| {
+                self.ops[i]
+                    .as_sunion()
+                    .expect("input_sunions holds SUnions")
+                    .corrected_now()
+            })
+    }
+
+    /// Earliest operator deadline (SUnion bucket releases).
+    pub fn next_deadline(&self) -> Option<Time> {
+        self.ops.iter().filter_map(|o| o.next_deadline()).min()
+    }
+
+    /// Total tuples buffered in replay logs, for buffer accounting (§8.1).
+    pub fn replay_buffered(&self) -> usize {
+        self.input_sunions
+            .iter()
+            .map(|&i| self.ops[i].as_sunion().expect("sunion").replay_log_len())
+            .sum()
+    }
+
+    /// Delivers one external tuple to the fragment.
+    pub fn push(&mut self, stream: StreamId, tuple: &Tuple, now: Time) -> Batch {
+        let mut batch = Batch::default();
+        // Checkpoint-before-tentative (§4.4.1): capture pre-failure state
+        // before the first tentative tuple mutates any operator.
+        if tuple.is_tentative() && !self.tainted {
+            self.take_checkpoint();
+        }
+        let bindings: Vec<(usize, usize)> = self
+            .input_bindings
+            .iter()
+            .filter(|(s, _, _)| *s == stream)
+            .map(|(_, op, port)| (*op, *port))
+            .collect();
+        for (op, port) in bindings {
+            self.queues[op].push_back((port, tuple.clone()));
+        }
+        self.drain(now, &mut batch);
+        batch
+    }
+
+    /// Delivers a batch of external tuples (all on one stream).
+    pub fn push_many(&mut self, stream: StreamId, tuples: &[Tuple], now: Time) -> Batch {
+        let mut batch = Batch::default();
+        for t in tuples {
+            batch.merge(self.push(stream, t, now));
+        }
+        batch
+    }
+
+    /// Advances virtual time: fires SUnion deadlines, taking the failure
+    /// checkpoint first if a release is pending.
+    pub fn tick(&mut self, now: Time) -> Batch {
+        let mut batch = Batch::default();
+        if !self.tainted && self.ops.iter().any(|o| o.wants_tentative(now)) {
+            self.take_checkpoint();
+        }
+        let permitted = self.tainted;
+        for i in 0..self.ops.len() {
+            let mut em = Emitter::new();
+            self.ops[i].tick(now, permitted, &mut em);
+            self.route(i, em, &mut batch);
+        }
+        self.drain(now, &mut batch);
+        batch
+    }
+
+    /// Checkpoint/redo reconciliation (§4.4): restore, replay, stabilize.
+    ///
+    /// # Panics
+    /// Panics if called without a prior checkpoint — the node state machine
+    /// only enters STABILIZATION from UP_FAILURE.
+    pub fn reconcile(&mut self, _now: Time) -> Batch {
+        let snapshot = self
+            .checkpoint
+            .take()
+            .expect("reconcile requires a failure checkpoint");
+        // 1. Take the replay logs (this also stops recording).
+        let mut log: Vec<(Time, usize, usize, Tuple)> = Vec::new();
+        for &i in &self.input_sunions.clone() {
+            let entries = self.ops[i]
+                .as_sunion_mut()
+                .expect("input_sunions holds SUnions")
+                .take_replay_log();
+            log.extend(entries.into_iter().map(|(t, port, tuple)| (t, i, port, tuple)));
+        }
+        // Original arrival order across all inputs (stable by op index).
+        log.sort_by_key(|(t, i, port, _)| (*t, *i, *port));
+
+        // 2. Restore operators; SOutput keeps its memory and enters
+        //    duplicate-suppression mode instead.
+        for (i, snap) in snapshot.iter().enumerate() {
+            if self.ops[i].restore_on_reconcile() {
+                self.ops[i].restore(snap);
+            } else if let Some(so) = self.ops[i].as_soutput_mut() {
+                so.begin_stabilization();
+            }
+            self.op_tainted[i] = false;
+            self.queues[i].clear();
+        }
+        self.tainted = false;
+
+        // 3. Replay in arrival order. A tentative entry (an uncorrected
+        //    newer failure) re-triggers the checkpoint machinery exactly as
+        //    live input would.
+        let mut batch = Batch::default();
+        for (arrival, op, port, tuple) in log {
+            if tuple.is_tentative() && !self.tainted {
+                self.take_checkpoint();
+            }
+            self.queues[op].push_back((port, tuple));
+            self.drain(arrival, &mut batch);
+        }
+
+        batch
+    }
+
+    /// Ends a reconciliation once the node has caught up with normal
+    /// execution (§4.4.2): REC_DONE flows from every input SUnion to the
+    /// outputs, where SOutput rolls back any remaining tentative suffix and
+    /// signals the Consistency Manager. The node calls this when its CPU
+    /// queue drains — the paper's "catches up with current execution".
+    pub fn finish_reconciliation(&mut self, now: Time) -> Batch {
+        let mut batch = Batch::default();
+        for &i in &self.input_sunions.clone() {
+            let mut em = Emitter::new();
+            self.ops[i]
+                .as_sunion_mut()
+                .expect("input_sunions holds SUnions")
+                .emit_rec_done(now, &mut em);
+            self.route(i, em, &mut batch);
+        }
+        self.drain(now, &mut batch);
+        batch
+    }
+
+    /// Immediate checkpoint (exposed for crash-recovery tooling and tests;
+    /// the fragment takes its own checkpoints during normal operation).
+    pub fn take_checkpoint(&mut self) {
+        let snaps: Vec<OpSnapshot> = self.ops.iter().map(|o| o.checkpoint()).collect();
+        self.checkpoint = Some(snaps);
+        self.tainted = true;
+        for &i in &self.input_sunions.clone() {
+            self.ops[i]
+                .as_sunion_mut()
+                .expect("input_sunions holds SUnions")
+                .set_recording(true);
+        }
+    }
+
+    /// Routes one operator's emissions: relabels outputs of diverged
+    /// operators, feeds intra-fragment consumers, and collects output-stream
+    /// tuples and control signals.
+    fn route(&mut self, from: usize, mut em: Emitter, batch: &mut Batch) {
+        let (tuples, signals) = em.take();
+        batch.signals.extend(signals);
+        for mut t in tuples {
+            if t.kind == TupleKind::Insertion
+                && self.op_tainted[from]
+                && self.ops[from].as_soutput_mut().is_none()
+            {
+                // Divergence relabel: a diverged operator cannot vouch for
+                // stability (SOutput is exempt — it is the stabilizer).
+                t.kind = TupleKind::Tentative;
+            }
+            if let Some(stream) = self.external_output[from] {
+                batch.tuples.push((stream, t.clone()));
+            }
+            for &(op, port) in &self.fanout[from] {
+                self.queues[op].push_back((port, t.clone()));
+            }
+        }
+    }
+
+    /// Drains all queues in topological order until quiescent.
+    fn drain(&mut self, now: Time, batch: &mut Batch) {
+        loop {
+            let mut progressed = false;
+            for i in 0..self.ops.len() {
+                while let Some((port, t)) = self.queues[i].pop_front() {
+                    progressed = true;
+                    if t.is_data() {
+                        self.total_work += 1;
+                        batch.work += 1;
+                    }
+                    if t.is_tentative() {
+                        self.op_tainted[i] = true;
+                    }
+                    let mut em = Emitter::new();
+                    self.ops[i].process(port, &t, now, &mut em);
+                    self.route(i, em, batch);
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+    }
+
+    /// Per-output-stream health (§8.2 fine-grained failure advertisement):
+    /// `true` means the stream currently ends in an uncorrected tentative
+    /// suffix.
+    pub fn output_health(&self) -> Vec<(StreamId, bool)> {
+        (0..self.ops.len())
+            .filter_map(|i| {
+                let stream = self.external_output[i]?;
+                let so = self.ops[i].as_soutput()?;
+                Some((stream, so.tentative_since_stable()))
+            })
+            .collect()
+    }
+
+    /// Phase of each input SUnion (diagnostics, node state computation).
+    pub fn input_phases(&self) -> Vec<Phase> {
+        self.input_sunions
+            .iter()
+            .map(|&i| self.ops[i].as_sunion().expect("sunion").phase())
+            .collect()
+    }
+
+    /// Direct access to an operator (tests and diagnostics).
+    pub fn op(&self, index: usize) -> &dyn Operator {
+        self.ops[index].as_ref()
+    }
+
+    /// Number of operators.
+    pub fn n_ops(&self) -> usize {
+        self.ops.len()
+    }
+}

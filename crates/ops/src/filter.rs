@@ -1,0 +1,97 @@
+//! Filter: tests each input tuple against a predicate (§2.1).
+
+use crate::{Emitter, OpSnapshot, Operator};
+use borealis_types::{Expr, Time, Tuple, TupleKind};
+
+/// A stateless predicate filter.
+///
+/// Data tuples that satisfy the predicate pass through unchanged (same id,
+/// same stime, same kind — tentative stays tentative). Boundary, undo, and
+/// rec-done tuples always pass: they are stream metadata, not data.
+/// Tuples on which the predicate errors (type mismatch, missing field) are
+/// dropped deterministically; a deterministic drop preserves replica
+/// consistency, which is all DPC requires.
+pub struct Filter {
+    predicate: Expr,
+}
+
+impl Filter {
+    /// Builds a filter with the given predicate expression.
+    pub fn new(predicate: Expr) -> Filter {
+        Filter { predicate }
+    }
+}
+
+impl Operator for Filter {
+    fn name(&self) -> &'static str {
+        "filter"
+    }
+
+    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut Emitter) {
+        match tuple.kind {
+            TupleKind::Insertion | TupleKind::Tentative => {
+                if self.predicate.eval_bool(tuple).unwrap_or(false) {
+                    out.push(tuple.clone());
+                }
+            }
+            // Punctuation and recovery markers always propagate.
+            TupleKind::Boundary | TupleKind::Undo | TupleKind::RecDone => {
+                out.push(tuple.clone());
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> OpSnapshot {
+        // Stateless: nothing to capture.
+        OpSnapshot::new(())
+    }
+
+    fn restore(&mut self, _snap: &OpSnapshot) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::{TupleId, Value};
+
+    fn data(id: u64, v: i64) -> Tuple {
+        Tuple::insertion(TupleId(id), Time::from_millis(id), vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn passes_matching_drops_rest() {
+        let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(10)));
+        let mut out = Emitter::new();
+        f.process(0, &data(1, 5), Time::ZERO, &mut out);
+        f.process(0, &data(2, 15), Time::ZERO, &mut out);
+        assert_eq!(out.tuples.len(), 1);
+        assert_eq!(out.tuples[0].id, TupleId(2));
+    }
+
+    #[test]
+    fn preserves_tentative_kind() {
+        let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(0)));
+        let mut out = Emitter::new();
+        let t = Tuple::tentative(TupleId(3), Time::ZERO, vec![Value::Int(1)]);
+        f.process(0, &t, Time::ZERO, &mut out);
+        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
+    }
+
+    #[test]
+    fn metadata_always_passes() {
+        let mut f = Filter::new(Expr::Const(Value::Bool(false)));
+        let mut out = Emitter::new();
+        f.process(0, &Tuple::boundary(TupleId::NONE, Time::from_secs(1)), Time::ZERO, &mut out);
+        f.process(0, &Tuple::undo(TupleId::NONE, TupleId(4)), Time::ZERO, &mut out);
+        f.process(0, &Tuple::rec_done(TupleId::NONE, Time::ZERO), Time::ZERO, &mut out);
+        assert_eq!(out.tuples.len(), 3);
+    }
+
+    #[test]
+    fn predicate_errors_drop_the_tuple() {
+        let mut f = Filter::new(Expr::gt(Expr::field(7), Expr::int(0)));
+        let mut out = Emitter::new();
+        f.process(0, &data(1, 1), Time::ZERO, &mut out);
+        assert!(out.tuples.is_empty());
+    }
+}

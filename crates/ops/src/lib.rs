@@ -1,0 +1,171 @@
+//! # borealis-ops
+//!
+//! The Borealis/Aurora operator set (§2.1 of the paper) extended for DPC
+//! (§3): `Filter`, `Map`, `Union`, windowed `Aggregate`, and the three
+//! DPC-specific operators — the serializing [`SUnion`], the order-driven
+//! [`SJoin`], and the output-stabilizing [`SOutput`].
+//!
+//! All operators are **deterministic** (§2.1): their outputs depend only on
+//! input data and order, never on arrival times or randomness. They support
+//! the extended tuple model (stable / tentative / boundary / undo /
+//! rec-done), label their outputs correctly (tentative in → tentative out),
+//! propagate boundary tuples, and implement `checkpoint`/`restore` so a
+//! whole query-diagram fragment can be rolled back and replayed during DPC
+//! state reconciliation (§4.4.1).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod filter;
+pub mod join;
+pub mod map;
+pub mod snapshot;
+pub mod soutput;
+pub mod spec;
+pub mod sunion;
+pub mod union;
+
+pub use aggregate::{AggFn, Aggregate, AggregateSpec};
+pub use filter::Filter;
+pub use join::{SJoin, SJoinSpec};
+pub use map::Map;
+pub use snapshot::OpSnapshot;
+pub use soutput::SOutput;
+pub use spec::OperatorSpec;
+pub use sunion::{DelayMode, SUnion, SUnionConfig};
+pub use union::Union;
+
+use borealis_types::{ControlSignal, Time, Tuple};
+
+/// Collects the tuples and control signals an operator emits while
+/// processing one input tuple or one timer tick.
+///
+/// Operators have a single output stream in this engine (as in Aurora);
+/// the fragment routes emitted tuples to all consumers of that stream.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    /// Tuples emitted on the operator's output stream, in order.
+    pub tuples: Vec<Tuple>,
+    /// Control signals destined for the node's Consistency Manager
+    /// (Table I, control streams).
+    pub signals: Vec<ControlSignal>,
+}
+
+impl Emitter {
+    /// Creates an empty emitter.
+    pub fn new() -> Emitter {
+        Emitter::default()
+    }
+
+    /// Emits a tuple on the output stream.
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Emits a control signal to the Consistency Manager.
+    pub fn signal(&mut self, s: ControlSignal) {
+        self.signals.push(s);
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty() && self.signals.is_empty()
+    }
+
+    /// Moves the contents out, leaving the emitter empty.
+    pub fn take(&mut self) -> (Vec<Tuple>, Vec<ControlSignal>) {
+        (std::mem::take(&mut self.tuples), std::mem::take(&mut self.signals))
+    }
+}
+
+/// A deterministic stream operator.
+///
+/// Operators process one tuple at a time and may also react to the passage
+/// of virtual time through [`Operator::tick`]; SUnion uses ticks to enforce
+/// the availability deadline (`Delaynew < X`, Property 1) by emitting
+/// overdue buckets tentatively.
+pub trait Operator: Send {
+    /// Human-readable operator kind, for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Number of input ports.
+    fn n_inputs(&self) -> usize {
+        1
+    }
+
+    /// Processes one input tuple arriving on `port` at virtual time `now`.
+    fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut Emitter);
+
+    /// Reacts to the passage of time. `tentative_permitted` is set by the
+    /// fragment once the pre-failure checkpoint has been taken (§4.4.1):
+    /// SUnion must not release tentative data before the fragment state has
+    /// been captured.
+    fn tick(&mut self, _now: Time, _tentative_permitted: bool, _out: &mut Emitter) {}
+
+    /// The next instant at which this operator needs a [`Operator::tick`],
+    /// if any.
+    fn next_deadline(&self) -> Option<Time> {
+        None
+    }
+
+    /// True if a tick at `now` would release tentative data. The fragment
+    /// polls this before ticking to take the reconciliation checkpoint
+    /// first.
+    fn wants_tentative(&self, _now: Time) -> bool {
+        false
+    }
+
+    /// Captures the operator's state for checkpoint/redo reconciliation.
+    fn checkpoint(&self) -> OpSnapshot;
+
+    /// Restores the operator's state from a checkpoint.
+    fn restore(&mut self, snap: &OpSnapshot);
+
+    /// Whether fragment-wide reconciliation restores this operator. SOutput
+    /// keeps its runtime duplicate-suppression state across reconciliations
+    /// (§4.4.2) and returns `false`.
+    fn restore_on_reconcile(&self) -> bool {
+        true
+    }
+
+    /// Downcast hook for the fragment's SUnion-specific plumbing (replay
+    /// buffers, correction status).
+    fn as_sunion_mut(&mut self) -> Option<&mut SUnion> {
+        None
+    }
+
+    /// Downcast hook for the fragment's SOutput-specific plumbing
+    /// (stabilization mode).
+    fn as_soutput_mut(&mut self) -> Option<&mut SOutput> {
+        None
+    }
+
+    /// Downcast hook used by tests and diagnostics.
+    fn as_sunion(&self) -> Option<&SUnion> {
+        None
+    }
+
+    /// Downcast hook used for per-stream health reporting (§8.2).
+    fn as_soutput(&self) -> Option<&SOutput> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::TupleId;
+
+    #[test]
+    fn emitter_take_resets() {
+        let mut e = Emitter::new();
+        assert!(e.is_empty());
+        e.push(Tuple::boundary(TupleId::NONE, Time::ZERO));
+        e.signal(ControlSignal::UpFailure);
+        assert!(!e.is_empty());
+        let (tuples, signals) = e.take();
+        assert_eq!(tuples.len(), 1);
+        assert_eq!(signals, vec![ControlSignal::UpFailure]);
+        assert!(e.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Map: transforms each input tuple into a single output tuple (§2.1).
+
+use crate::{Emitter, OpSnapshot, Operator};
+use borealis_types::{Expr, Time, Tuple, TupleKind};
+
+/// A stateless projection/transformation.
+///
+/// Each output attribute is an expression over the input tuple. Ids, stime,
+/// and kind pass through unchanged so that downstream duplicate suppression
+/// and serialization behave identically before and after a Map.
+pub struct Map {
+    outputs: Vec<Expr>,
+}
+
+impl Map {
+    /// Builds a map producing one attribute per expression.
+    pub fn new(outputs: Vec<Expr>) -> Map {
+        Map { outputs }
+    }
+}
+
+impl Operator for Map {
+    fn name(&self) -> &'static str {
+        "map"
+    }
+
+    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut Emitter) {
+        match tuple.kind {
+            TupleKind::Insertion | TupleKind::Tentative => {
+                let mut values = Vec::with_capacity(self.outputs.len());
+                for e in &self.outputs {
+                    match e.eval(tuple) {
+                        Ok(v) => values.push(v),
+                        // Deterministic drop on evaluation error, as Filter.
+                        Err(_) => return,
+                    }
+                }
+                let mut t = tuple.clone();
+                t.values = values;
+                out.push(t);
+            }
+            TupleKind::Boundary | TupleKind::Undo | TupleKind::RecDone => {
+                out.push(tuple.clone());
+            }
+        }
+    }
+
+    fn checkpoint(&self) -> OpSnapshot {
+        OpSnapshot::new(())
+    }
+
+    fn restore(&mut self, _snap: &OpSnapshot) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::{TupleId, Value};
+
+    #[test]
+    fn transforms_values_and_keeps_identity() {
+        let mut m = Map::new(vec![
+            Expr::add(Expr::field(0), Expr::int(100)),
+            Expr::field(1),
+        ]);
+        let t = Tuple::insertion(
+            TupleId(7),
+            Time::from_millis(3),
+            vec![Value::Int(1), Value::str("k")],
+        );
+        let mut out = Emitter::new();
+        m.process(0, &t, Time::ZERO, &mut out);
+        let r = &out.tuples[0];
+        assert_eq!(r.values, vec![Value::Int(101), Value::str("k")]);
+        assert_eq!(r.id, TupleId(7));
+        assert_eq!(r.stime, Time::from_millis(3));
+    }
+
+    #[test]
+    fn tentative_stays_tentative() {
+        let mut m = Map::new(vec![Expr::field(0)]);
+        let t = Tuple::tentative(TupleId(1), Time::ZERO, vec![Value::Int(2)]);
+        let mut out = Emitter::new();
+        m.process(0, &t, Time::ZERO, &mut out);
+        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
+    }
+
+    #[test]
+    fn boundary_passes_untouched() {
+        let mut m = Map::new(vec![Expr::field(0)]);
+        let b = Tuple::boundary(TupleId::NONE, Time::from_secs(2));
+        let mut out = Emitter::new();
+        m.process(0, &b, Time::ZERO, &mut out);
+        assert_eq!(out.tuples[0], b);
+    }
+}

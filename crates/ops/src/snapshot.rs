@@ -1,0 +1,90 @@
+//! Type-erased operator state snapshots for checkpoint/redo reconciliation
+//! (§4.4.1): "all operators are extended with the ability to save and
+//! recover their state from a checkpoint".
+
+use std::any::Any;
+
+/// Object-safe clone for boxed snapshot payloads.
+trait SnapState: Any + Send {
+    fn clone_box(&self) -> Box<dyn SnapState>;
+    fn as_any(&self) -> &dyn Any;
+}
+
+impl<T: Any + Send + Clone> SnapState for T {
+    fn clone_box(&self) -> Box<dyn SnapState> {
+        Box::new(self.clone())
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+/// A type-erased snapshot of one operator's state.
+///
+/// A checkpoint may be restored multiple times (a node can fail again during
+/// stabilization, Fig. 11(b)), so snapshots hand out borrowed views and the
+/// operator clones what it needs.
+pub struct OpSnapshot(Box<dyn SnapState>);
+
+impl OpSnapshot {
+    /// Wraps a concrete state value.
+    pub fn new<T: Any + Send + Clone>(state: T) -> OpSnapshot {
+        OpSnapshot(Box::new(state))
+    }
+
+    /// Borrows the concrete state.
+    ///
+    /// # Panics
+    /// Panics if the snapshot holds a different type than requested — that
+    /// is always a wiring bug (a snapshot restored into the wrong operator).
+    pub fn get<T: Any>(&self) -> &T {
+        self.0
+            .as_any()
+            .downcast_ref::<T>()
+            .expect("operator snapshot restored into an operator of a different type")
+    }
+}
+
+impl Clone for OpSnapshot {
+    fn clone(&self) -> Self {
+        OpSnapshot(self.0.clone_box())
+    }
+}
+
+impl std::fmt::Debug for OpSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("OpSnapshot(..)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct DemoState {
+        counter: u64,
+        items: Vec<i64>,
+    }
+
+    #[test]
+    fn snapshot_round_trip() {
+        let st = DemoState { counter: 9, items: vec![1, 2, 3] };
+        let snap = OpSnapshot::new(st.clone());
+        assert_eq!(snap.get::<DemoState>(), &st);
+    }
+
+    #[test]
+    fn snapshot_clone_is_deep() {
+        let snap = OpSnapshot::new(DemoState { counter: 1, items: vec![5] });
+        let copy = snap.clone();
+        assert_eq!(copy.get::<DemoState>().items, vec![5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "different type")]
+    fn wrong_type_panics() {
+        let snap = OpSnapshot::new(1u64);
+        let _ = snap.get::<String>();
+    }
+}

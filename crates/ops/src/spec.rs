@@ -1,0 +1,118 @@
+//! Declarative operator specifications.
+//!
+//! A query diagram (`borealis-diagram`) is described with [`OperatorSpec`]s
+//! rather than live operators so that the same diagram can be instantiated
+//! identically on every replica of a fragment — the replication model of
+//! §2.1 ("each operator in the query diagram is instantiated on at least two
+//! distinct processing nodes").
+
+use crate::{
+    Aggregate, AggregateSpec, Filter, Map, Operator, SJoin, SJoinSpec, SOutput, SUnion,
+    SUnionConfig, Union,
+};
+use borealis_types::Expr;
+
+/// The specification of one operator instance.
+#[derive(Debug, Clone)]
+pub enum OperatorSpec {
+    /// Predicate filter (§2.1).
+    Filter {
+        /// The predicate tuples must satisfy to pass.
+        predicate: Expr,
+    },
+    /// Per-tuple transformation (§2.1).
+    Map {
+        /// One expression per output attribute.
+        outputs: Vec<Expr>,
+    },
+    /// Plain, non-serializing union — baseline only; DPC diagrams replace it
+    /// with SUnion (§3).
+    Union {
+        /// Number of input streams.
+        n_inputs: usize,
+    },
+    /// Windowed, grouped aggregate (§2.1).
+    Aggregate(AggregateSpec),
+    /// Serialized windowed join (§3).
+    SJoin(SJoinSpec),
+    /// Serializing union (§4.2).
+    SUnion(SUnionConfig),
+    /// Output stabilization (§4.4.2).
+    SOutput,
+}
+
+impl OperatorSpec {
+    /// Instantiates a live operator from the spec.
+    pub fn instantiate(&self) -> Box<dyn Operator> {
+        match self {
+            OperatorSpec::Filter { predicate } => Box::new(Filter::new(predicate.clone())),
+            OperatorSpec::Map { outputs } => Box::new(Map::new(outputs.clone())),
+            OperatorSpec::Union { n_inputs } => Box::new(Union::new(*n_inputs)),
+            OperatorSpec::Aggregate(spec) => Box::new(Aggregate::new(spec.clone())),
+            OperatorSpec::SJoin(spec) => Box::new(SJoin::new(spec.clone())),
+            OperatorSpec::SUnion(cfg) => Box::new(SUnion::new(cfg.clone())),
+            OperatorSpec::SOutput => Box::new(SOutput::new()),
+        }
+    }
+
+    /// Number of input ports the instantiated operator will have.
+    pub fn n_inputs(&self) -> usize {
+        match self {
+            OperatorSpec::Union { n_inputs } => *n_inputs,
+            OperatorSpec::SUnion(cfg) => cfg.n_inputs,
+            _ => 1,
+        }
+    }
+
+    /// True for SUnion specs.
+    pub fn is_sunion(&self) -> bool {
+        matches!(self, OperatorSpec::SUnion(_))
+    }
+
+    /// True for SOutput specs.
+    pub fn is_soutput(&self) -> bool {
+        matches!(self, OperatorSpec::SOutput)
+    }
+
+    /// Short kind name, for diagnostics.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            OperatorSpec::Filter { .. } => "filter",
+            OperatorSpec::Map { .. } => "map",
+            OperatorSpec::Union { .. } => "union",
+            OperatorSpec::Aggregate(_) => "aggregate",
+            OperatorSpec::SJoin(_) => "sjoin",
+            OperatorSpec::SUnion(_) => "sunion",
+            OperatorSpec::SOutput => "soutput",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiation_matches_spec() {
+        let specs = [
+            OperatorSpec::Filter { predicate: Expr::Const(borealis_types::Value::Bool(true)) },
+            OperatorSpec::Map { outputs: vec![Expr::field(0)] },
+            OperatorSpec::Union { n_inputs: 3 },
+            OperatorSpec::SUnion(SUnionConfig::new(2)),
+            OperatorSpec::SOutput,
+        ];
+        for spec in &specs {
+            let op = spec.instantiate();
+            assert_eq!(op.name(), spec.kind_name());
+            assert_eq!(op.n_inputs(), spec.n_inputs());
+        }
+    }
+
+    #[test]
+    fn predicates_and_flags() {
+        assert!(OperatorSpec::SUnion(SUnionConfig::new(1)).is_sunion());
+        assert!(OperatorSpec::SOutput.is_soutput());
+        assert!(!OperatorSpec::SOutput.is_sunion());
+        assert_eq!(OperatorSpec::Union { n_inputs: 4 }.n_inputs(), 4);
+    }
+}

@@ -1,0 +1,867 @@
+//! SUnion: the data-serializing operator at the core of DPC (§4.2).
+//!
+//! SUnion takes one or more input streams and orders all their tuples into a
+//! single deterministic sequence so that every replica of a query-diagram
+//! fragment processes identical input in identical order. It buffers tuples
+//! in **buckets** — fixed, disjoint intervals of `tuple_stime` — and uses
+//! **boundary tuples** to decide when a bucket is *stable* (eq. 1 of the
+//! paper): a bucket `[kB, (k+1)B)` is stable once every input stream has
+//! delivered a boundary with stime ≥ `(k+1)B`.
+//!
+//! Because it already buffers tuples, SUnion is also where DPC implements
+//! the availability/consistency trade-off (§4.3, §6):
+//!
+//! * While **stable**, buckets are emitted in order as they become stable,
+//!   followed by an output boundary.
+//! * When a bucket overruns its **detection delay** (the assigned initial
+//!   suspend, §6.3) without becoming stable, the SUnion declares an upstream
+//!   failure, asks the fragment to checkpoint (§4.4.1), and emits the
+//!   bucket's available tuples as **tentative**.
+//! * While failed, subsequent buckets are released according to the
+//!   configured [`DelayMode`] — `Process` (almost immediately), `Delay`
+//!   (each bucket held up to the delay budget), or `Suspend` (held
+//!   indefinitely) — the six §6.1 variants are combinations of these for the
+//!   UP_FAILURE and STABILIZATION phases.
+//!
+//! SUnions placed on a node's *input streams* additionally record a replay
+//! log of everything received since the last checkpoint; reconciliation
+//! replays that log through the restored fragment (§4.4.1). They also
+//! consume UNDO / REC_DONE tuples arriving from stabilizing upstream
+//! neighbors, replacing undone tentative input with its stable corrections
+//! (§4.4.2).
+
+use crate::{Emitter, OpSnapshot, Operator};
+use borealis_types::{ControlSignal, Duration, Time, Tuple, TupleId, TupleKind};
+use std::collections::BTreeMap;
+
+/// How an SUnion treats buckets that cannot (yet) be emitted stably.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DelayMode {
+    /// Hold new tuples indefinitely (consistency over availability; only
+    /// viable for failures shorter than the delay bound, §6.1).
+    Suspend,
+    /// Hold each bucket up to the delay budget before emitting tentatively
+    /// ("running on the verge of breaking the availability requirement").
+    Delay,
+    /// Emit buckets almost as they arrive, after a short minimum wait (the
+    /// paper's 300 ms: without tentative boundaries an SUnion cannot know
+    /// how soon a tentative bucket is complete, footnote 5).
+    Process,
+}
+
+/// Static + policy configuration of an [`SUnion`].
+#[derive(Debug, Clone)]
+pub struct SUnionConfig {
+    /// Number of input streams to serialize.
+    pub n_inputs: usize,
+    /// Bucket granularity (§4.2.1).
+    pub bucket: Duration,
+    /// Failure-detection threshold and initial suspend: a bucket older than
+    /// this that is still unstable triggers UP_FAILURE. §6.3 shows this
+    /// should be the application's full incremental latency budget (minus a
+    /// queueing safety margin) at *every* SUnion.
+    pub detect_delay: Duration,
+    /// Per-bucket delay used by [`DelayMode::Delay`] after detection.
+    pub delay_budget: Duration,
+    /// Minimum wait before releasing a tentative bucket in
+    /// [`DelayMode::Process`].
+    pub tentative_wait: Duration,
+    /// Policy while an upstream failure is in progress (UP_FAILURE).
+    pub failure_mode: DelayMode,
+    /// Policy after the failure healed but before this node reconciled
+    /// (STABILIZATION of this node or its replica).
+    pub stabilization_mode: DelayMode,
+    /// True if this SUnion sits on a node input stream: it then keeps the
+    /// reconciliation replay log and consumes UNDO/REC_DONE from upstream.
+    pub is_input: bool,
+}
+
+impl SUnionConfig {
+    /// A reasonable starting configuration for `n` inputs: 100 ms buckets,
+    /// 3 s detection delay, Process & Process policies.
+    pub fn new(n_inputs: usize) -> SUnionConfig {
+        SUnionConfig {
+            n_inputs,
+            bucket: Duration::from_millis(100),
+            detect_delay: Duration::from_secs(3),
+            delay_budget: Duration::from_secs(3),
+            tentative_wait: Duration::from_millis(300),
+            failure_mode: DelayMode::Process,
+            stabilization_mode: DelayMode::Process,
+            is_input: false,
+        }
+    }
+}
+
+/// Consistency phase of one SUnion (a per-operator shadow of the node state
+/// machine in Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// All inputs stable; emitting stable buckets.
+    Stable,
+    /// An upstream failure is in progress: some input is missing boundaries
+    /// or carries uncorrected tentative data.
+    Failure,
+    /// All inputs corrected; awaiting fragment reconciliation.
+    Healed,
+}
+
+#[derive(Debug, Clone)]
+struct Bucket {
+    tuples: Vec<Tuple>,
+    /// Earliest arrival time of any tuple in the bucket; deadlines are
+    /// measured from here ("within D time-units of their arrival", §2.3.1).
+    first_arrival: Time,
+    /// Tentative-release deadline, frozen under the delay policy in force
+    /// when the bucket was created. Freezing is what produces the paper's
+    /// §6.1 trade-off: a bucket still unexpired when reconciliation
+    /// replaces it is never emitted tentatively (the Delay savings), while
+    /// a long stabilization lets deadlines expire and the data flows
+    /// tentatively anyway (why delaying stops helping for long failures,
+    /// Fig. 18).
+    deadline: Time,
+}
+
+/// One entry of the reconciliation replay log: (arrival time, input port,
+/// tuple). Arrival times are preserved so replayed buckets keep their
+/// original deadlines.
+pub type ReplayEntry = (Time, usize, Tuple);
+
+#[derive(Clone)]
+struct SUnionState {
+    buckets: BTreeMap<u64, Bucket>,
+    /// Latest boundary stime per port.
+    watermarks: Vec<Option<Time>>,
+    /// Highest bucket index emitted (stably or tentatively).
+    emitted_through: Option<u64>,
+    /// Stable-boundary frontier already announced downstream.
+    announced_wm: Option<Time>,
+    phase: Phase,
+    /// Ports that delivered tentative tuples not yet corrected by an
+    /// UNDO + REC_DONE sequence.
+    awaiting_correction: Vec<bool>,
+    /// REC_DONE merge tracking for mid-diagram SUnions.
+    rec_done_seen: Vec<bool>,
+    /// Output id generator.
+    next_id: u64,
+}
+
+/// The serializing union. See the module docs for the full protocol role.
+pub struct SUnion {
+    cfg: SUnionConfig,
+    state: SUnionState,
+    /// Reconciliation replay log (input SUnions only); *not* part of the
+    /// checkpointed state — it is the data replayed after a restore.
+    replay_log: Vec<ReplayEntry>,
+    recording: bool,
+}
+
+impl SUnion {
+    /// Builds an SUnion from its configuration.
+    ///
+    /// # Panics
+    /// Panics on a zero bucket size or zero inputs (configuration errors).
+    pub fn new(cfg: SUnionConfig) -> SUnion {
+        assert!(cfg.n_inputs >= 1, "sunion needs at least one input");
+        assert!(cfg.bucket.as_micros() > 0, "bucket size must be positive");
+        let n = cfg.n_inputs;
+        SUnion {
+            cfg,
+            state: SUnionState {
+                buckets: BTreeMap::new(),
+                watermarks: vec![None; n],
+                emitted_through: None,
+                announced_wm: None,
+                phase: Phase::Stable,
+                awaiting_correction: vec![false; n],
+                rec_done_seen: vec![false; n],
+                next_id: 1,
+            },
+            replay_log: Vec::new(),
+            recording: false,
+        }
+    }
+
+    /// Current consistency phase.
+    pub fn phase(&self) -> Phase {
+        self.state.phase
+    }
+
+    /// Configuration access.
+    pub fn config(&self) -> &SUnionConfig {
+        &self.cfg
+    }
+
+    /// Mutable configuration access (the Consistency Manager adjusts delay
+    /// policies at deployment time).
+    pub fn config_mut(&mut self) -> &mut SUnionConfig {
+        &mut self.cfg
+    }
+
+    /// Number of buffered (unemitted) tuples, for buffer accounting.
+    pub fn buffered_tuples(&self) -> usize {
+        self.state.buckets.values().map(|b| b.tuples.len()).sum()
+    }
+
+    /// Length of the reconciliation replay log, for buffer accounting
+    /// (§8.1).
+    pub fn replay_log_len(&self) -> usize {
+        self.replay_log.len()
+    }
+
+    /// Starts (or stops) recording arrivals into the replay log. The
+    /// fragment enables recording when it takes its pre-failure checkpoint.
+    pub fn set_recording(&mut self, on: bool) {
+        self.recording = on;
+        if !on {
+            self.replay_log.clear();
+        }
+    }
+
+    /// True if recording arrivals for replay.
+    pub fn is_recording(&self) -> bool {
+        self.recording
+    }
+
+    /// Takes the replay log for reconciliation, leaving recording off.
+    pub fn take_replay_log(&mut self) -> Vec<ReplayEntry> {
+        self.recording = false;
+        std::mem::take(&mut self.replay_log)
+    }
+
+    /// True when this (input) SUnion's failed inputs have all been
+    /// corrected: every tentative port saw its REC_DONE and boundaries cover
+    /// every bucket emitted so far. This is the per-stream part of the
+    /// node's "can reconcile" condition (§4.4).
+    pub fn corrected_now(&self) -> bool {
+        if self.state.phase == Phase::Stable {
+            return true;
+        }
+        self.conditions_for_healed()
+    }
+
+    /// Emits the REC_DONE marker at the end of a reconciliation replay
+    /// (§4.4.2) — called by the fragment on input SUnions.
+    pub fn emit_rec_done(&mut self, now: Time, out: &mut Emitter) {
+        out.push(Tuple::rec_done(TupleId::NONE, now));
+    }
+
+    fn bucket_index(&self, stime: Time) -> u64 {
+        stime.as_micros() / self.cfg.bucket.as_micros()
+    }
+
+    fn bucket_end(&self, index: u64) -> Time {
+        Time((index + 1) * self.cfg.bucket.as_micros())
+    }
+
+    fn min_watermark(&self) -> Option<Time> {
+        let mut min = Time::MAX;
+        for wm in &self.state.watermarks {
+            match wm {
+                Some(t) => min = min.min(*t),
+                None => return None,
+            }
+        }
+        Some(min)
+    }
+
+    /// The delay applied to the next unstable bucket in the current phase;
+    /// `None` means hold indefinitely.
+    fn phase_delay(&self) -> Option<Duration> {
+        let mode = match self.state.phase {
+            Phase::Stable => return Some(self.cfg.detect_delay),
+            Phase::Failure => self.cfg.failure_mode,
+            Phase::Healed => self.cfg.stabilization_mode,
+        };
+        match mode {
+            DelayMode::Suspend => None,
+            DelayMode::Delay => Some(self.cfg.delay_budget),
+            DelayMode::Process => Some(self.cfg.tentative_wait),
+        }
+    }
+
+    /// Earliest tentative-release deadline over all buffered buckets.
+    fn oldest_deadline(&self) -> Option<Time> {
+        self.state
+            .buckets
+            .values()
+            .map(|b| b.deadline)
+            .filter(|&d| d != Time::MAX)
+            .min()
+    }
+
+    fn conditions_for_healed(&self) -> bool {
+        if self.state.awaiting_correction.iter().any(|&w| w) {
+            return false;
+        }
+        let Some(min_wm) = self.min_watermark() else {
+            return false;
+        };
+        match self.state.emitted_through {
+            Some(et) => min_wm >= self.bucket_end(et),
+            None => true,
+        }
+    }
+
+    /// Re-evaluates the phase from current facts; signals REC_REQUEST on the
+    /// Failure → Healed edge (Table I, control streams).
+    fn recheck_phase(&mut self, out: &mut Emitter) {
+        match self.state.phase {
+            Phase::Stable => {}
+            Phase::Failure => {
+                if self.conditions_for_healed() {
+                    self.state.phase = Phase::Healed;
+                    out.signal(ControlSignal::RecRequest);
+                }
+            }
+            Phase::Healed => {
+                if !self.conditions_for_healed() {
+                    self.state.phase = Phase::Failure;
+                }
+            }
+        }
+    }
+
+    fn enter_failure(&mut self, out: &mut Emitter) {
+        if self.state.phase == Phase::Stable {
+            self.state.phase = Phase::Failure;
+            // The initial suspend is over: the buffered backlog follows the
+            // UP_FAILURE policy from here ("after the initial delay, nodes
+            // process subsequent tuples without any delay" for Process).
+            let delay = self.phase_delay();
+            for b in self.state.buckets.values_mut() {
+                b.deadline = match delay {
+                    Some(d) => b.deadline.min(b.first_arrival + d),
+                    None => Time::MAX,
+                };
+            }
+            out.signal(ControlSignal::UpFailure);
+        } else if self.state.phase == Phase::Healed {
+            self.state.phase = Phase::Failure;
+        }
+    }
+
+    fn insert_data(&mut self, port: usize, tuple: &Tuple, now: Time) {
+        let idx = self.bucket_index(tuple.stime);
+        if self
+            .state
+            .emitted_through
+            .is_some_and(|et| idx <= et)
+        {
+            // Late tuple for an already-emitted bucket. Under stable
+            // operation the boundary contract makes this impossible; during
+            // failures it happens (e.g. right after an upstream switch) and
+            // the tuple is dropped tentatively — reconciliation replays it
+            // from the log (paper footnote 6).
+            return;
+        }
+        let mut t = tuple.clone();
+        t.origin = port as u16;
+        let delay = self.phase_delay();
+        let entry = self.state.buckets.entry(idx).or_insert_with(|| Bucket {
+            tuples: Vec::new(),
+            first_arrival: now,
+            deadline: match delay {
+                Some(d) => now + d,
+                None => Time::MAX,
+            },
+        });
+        entry.first_arrival = entry.first_arrival.min(now);
+        entry.tuples.push(t);
+    }
+
+    /// Emits every bucket that the boundary frontier now covers, stably, in
+    /// index order; then announces the new frontier downstream. Only valid
+    /// in the Stable phase — after a failure all output must stay tentative
+    /// until reconciliation (stable output is a prefix property).
+    fn emit_stable_ready(&mut self, out: &mut Emitter) {
+        debug_assert_eq!(self.state.phase, Phase::Stable);
+        let Some(frontier) = self.min_watermark() else {
+            return;
+        };
+        let bucket_us = self.cfg.bucket.as_micros();
+        let frontier_idx = frontier.as_micros() / bucket_us; // buckets < this are covered
+        if frontier_idx == 0 {
+            return;
+        }
+        let covered_through = frontier_idx - 1;
+        if self
+            .state
+            .emitted_through
+            .is_some_and(|et| et >= covered_through)
+        {
+            return;
+        }
+        loop {
+            let Some((&idx, _)) = self.state.buckets.iter().next() else {
+                break;
+            };
+            if idx > covered_through {
+                break;
+            }
+            let bucket = self.state.buckets.remove(&idx).expect("bucket key just read");
+            self.emit_bucket(bucket, false, out);
+        }
+        self.state.emitted_through = Some(
+            self.state
+                .emitted_through
+                .map_or(covered_through, |et| et.max(covered_through)),
+        );
+        // Announce the covered frontier downstream (§4.2.1: operators
+        // produce boundaries with monotonically increasing values).
+        let announce = self.bucket_end(covered_through);
+        if self.state.announced_wm.is_none_or(|w| announce > w) {
+            self.state.announced_wm = Some(announce);
+            out.push(Tuple::boundary(TupleId::NONE, announce));
+        }
+    }
+
+    /// Emits one bucket's tuples in the canonical deterministic order.
+    fn emit_bucket(&mut self, mut bucket: Bucket, force_tentative: bool, out: &mut Emitter) {
+        bucket
+            .tuples
+            .sort_by(|a, b| (a.stime, a.origin, a.id).cmp(&(b.stime, b.origin, b.id)));
+        for mut t in bucket.tuples {
+            t.id = TupleId(self.state.next_id);
+            self.state.next_id += 1;
+            if force_tentative {
+                t.kind = TupleKind::Tentative;
+            }
+            out.push(t);
+        }
+    }
+
+    /// Releases expired buckets tentatively (availability path). Buckets
+    /// whose frozen deadlines have not passed stay buffered — if a
+    /// reconciliation replaces them first, they are emitted stably instead
+    /// (the Delay-mode savings).
+    fn emit_overdue(&mut self, now: Time, out: &mut Emitter) {
+        loop {
+            let expired: Option<u64> = self
+                .state
+                .buckets
+                .iter()
+                .find(|(_, b)| b.deadline <= now)
+                .map(|(&k, _)| k);
+            let Some(idx) = expired else {
+                return;
+            };
+            // Release is a failure event if we were stable (this also
+            // re-deadlines the backlog under the UP_FAILURE policy, so keep
+            // looping: more buckets may now be expired).
+            self.enter_failure(out);
+            if self.state.buckets[&idx].deadline > now {
+                continue;
+            }
+            let bucket = self.state.buckets.remove(&idx).expect("bucket key just read");
+            self.emit_bucket(bucket, true, out);
+            self.state.emitted_through = Some(
+                self.state.emitted_through.map_or(idx, |et| et.max(idx)),
+            );
+        }
+    }
+
+    /// Handles an UNDO arriving from a stabilizing upstream neighbor: drop
+    /// the uncorrected tentative input of that port from the replay log and
+    /// from unemitted buckets; stable corrections follow on the stream.
+    fn apply_undo(&mut self, port: usize) {
+        self.replay_log
+            .retain(|(_, p, t)| *p != port || !t.is_tentative());
+        for bucket in self.state.buckets.values_mut() {
+            bucket
+                .tuples
+                .retain(|t| t.origin as usize != port || !t.is_tentative());
+        }
+        self.state.buckets.retain(|_, b| !b.tuples.is_empty());
+    }
+}
+
+impl Operator for SUnion {
+    fn name(&self) -> &'static str {
+        "sunion"
+    }
+
+    fn n_inputs(&self) -> usize {
+        self.cfg.n_inputs
+    }
+
+    fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut Emitter) {
+        assert!(port < self.cfg.n_inputs, "port out of range");
+        // Data and boundaries are recorded for replay; UNDO and REC_DONE are
+        // not — they *edit* the log (replacing undone input with its
+        // corrections) rather than belonging to it.
+        if self.recording
+            && self.cfg.is_input
+            && matches!(
+                tuple.kind,
+                TupleKind::Insertion | TupleKind::Tentative | TupleKind::Boundary
+            )
+        {
+            self.replay_log.push((now, port, tuple.clone()));
+        }
+        match tuple.kind {
+            TupleKind::Insertion => self.insert_data(port, tuple, now),
+            TupleKind::Tentative => {
+                self.state.awaiting_correction[port] = true;
+                self.enter_failure(out);
+                self.insert_data(port, tuple, now);
+            }
+            TupleKind::Boundary => {
+                let wm = &mut self.state.watermarks[port];
+                *wm = Some(wm.map_or(tuple.stime, |w| w.max(tuple.stime)));
+                if self.state.phase == Phase::Stable {
+                    self.emit_stable_ready(out);
+                } else {
+                    self.recheck_phase(out);
+                }
+            }
+            TupleKind::Undo => {
+                if self.cfg.is_input {
+                    self.apply_undo(port);
+                } else {
+                    out.push(tuple.clone());
+                }
+            }
+            TupleKind::RecDone => {
+                if self.cfg.is_input {
+                    // Upstream finished stabilizing this stream: the stream
+                    // is fully corrected from here (§4.4: tentative tuples
+                    // after the REC_DONE belong to a *new* failure).
+                    self.apply_undo(port);
+                    self.state.awaiting_correction[port] = false;
+                    self.recheck_phase(out);
+                } else {
+                    // Mid-diagram merge: forward one REC_DONE once every
+                    // input port has delivered one (§4.4.2).
+                    self.state.rec_done_seen[port] = true;
+                    if self.state.rec_done_seen.iter().all(|&b| b) {
+                        self.state.rec_done_seen.iter_mut().for_each(|b| *b = false);
+                        self.state.awaiting_correction.iter_mut().for_each(|b| *b = false);
+                        out.push(tuple.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, now: Time, tentative_permitted: bool, out: &mut Emitter) {
+        if self.state.phase == Phase::Stable {
+            self.emit_stable_ready(out);
+        }
+        if tentative_permitted {
+            self.emit_overdue(now, out);
+        }
+        self.recheck_phase(out);
+    }
+
+    fn next_deadline(&self) -> Option<Time> {
+        self.oldest_deadline()
+    }
+
+    fn wants_tentative(&self, now: Time) -> bool {
+        self.oldest_deadline().is_some_and(|d| now >= d)
+    }
+
+    fn checkpoint(&self) -> OpSnapshot {
+        OpSnapshot::new(self.state.clone())
+    }
+
+    fn restore(&mut self, snap: &OpSnapshot) {
+        self.state = snap.get::<SUnionState>().clone();
+    }
+
+    fn as_sunion_mut(&mut self) -> Option<&mut SUnion> {
+        Some(self)
+    }
+
+    fn as_sunion(&self) -> Option<&SUnion> {
+        Some(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::Value;
+
+    fn cfg(n: usize) -> SUnionConfig {
+        SUnionConfig {
+            n_inputs: n,
+            bucket: Duration::from_millis(100),
+            detect_delay: Duration::from_secs(2),
+            delay_budget: Duration::from_secs(2),
+            tentative_wait: Duration::from_millis(300),
+            failure_mode: DelayMode::Process,
+            stabilization_mode: DelayMode::Process,
+            is_input: true,
+        }
+    }
+
+    fn data(id: u64, ms: u64) -> Tuple {
+        Tuple::insertion(TupleId(id), Time::from_millis(ms), vec![Value::Int(id as i64)])
+    }
+
+    fn boundary(ms: u64) -> Tuple {
+        Tuple::boundary(TupleId::NONE, Time::from_millis(ms))
+    }
+
+    /// Feeds the same tuples in two different arrival interleavings and
+    /// checks the emitted order is identical — the core §4.2 guarantee.
+    #[test]
+    fn serialization_is_order_insensitive() {
+        let run = |swap: bool| {
+            let mut s = SUnion::new(cfg(2));
+            let mut out = Emitter::new();
+            let now = Time::from_millis(1);
+            let a = data(1, 30);
+            let b = data(1, 10);
+            if swap {
+                s.process(1, &b, now, &mut out);
+                s.process(0, &a, now, &mut out);
+            } else {
+                s.process(0, &a, now, &mut out);
+                s.process(1, &b, now, &mut out);
+            }
+            s.process(0, &boundary(100), now, &mut out);
+            s.process(1, &boundary(100), now, &mut out);
+            out.tuples
+                .iter()
+                .filter(|t| t.is_data())
+                .map(|t| (t.stime.as_millis(), t.origin))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(false), run(true));
+        assert_eq!(run(false), vec![(10, 1), (30, 0)]);
+    }
+
+    #[test]
+    fn stable_emission_waits_for_all_ports() {
+        let mut s = SUnion::new(cfg(2));
+        let mut out = Emitter::new();
+        let now = Time::from_millis(1);
+        s.process(0, &data(1, 50), now, &mut out);
+        s.process(0, &boundary(200), now, &mut out);
+        assert!(out.tuples.is_empty(), "port 1 has no boundary yet");
+        s.process(1, &boundary(200), now, &mut out);
+        let kinds: Vec<TupleKind> = out.tuples.iter().map(|t| t.kind).collect();
+        assert_eq!(kinds, vec![TupleKind::Insertion, TupleKind::Boundary]);
+        assert_eq!(out.tuples[1].stime, Time::from_millis(200));
+    }
+
+    #[test]
+    fn out_of_order_within_bucket_is_sorted() {
+        let mut s = SUnion::new(cfg(1));
+        let mut out = Emitter::new();
+        let now = Time::from_millis(1);
+        s.process(0, &data(1, 80), now, &mut out);
+        s.process(0, &data(2, 20), now, &mut out);
+        s.process(0, &boundary(100), now, &mut out);
+        let stimes: Vec<u64> = out
+            .tuples
+            .iter()
+            .filter(|t| t.is_data())
+            .map(|t| t.stime.as_millis())
+            .collect();
+        assert_eq!(stimes, vec![20, 80]);
+    }
+
+    #[test]
+    fn detection_fires_after_detect_delay_and_signals_up_failure() {
+        let mut s = SUnion::new(cfg(2));
+        let mut out = Emitter::new();
+        let arrival = Time::from_millis(100);
+        s.process(0, &data(1, 50), arrival, &mut out);
+        // Port 1 never delivers a boundary: the bucket cannot stabilize.
+        assert!(!s.wants_tentative(Time::from_millis(2099)));
+        assert!(s.wants_tentative(Time::from_millis(2100)));
+        s.tick(Time::from_millis(2100), true, &mut out);
+        assert_eq!(s.phase(), Phase::Failure);
+        assert_eq!(out.signals, vec![ControlSignal::UpFailure]);
+        let emitted: Vec<TupleKind> = out.tuples.iter().map(|t| t.kind).collect();
+        assert_eq!(emitted, vec![TupleKind::Tentative]);
+    }
+
+    #[test]
+    fn tentative_release_respects_permission() {
+        let mut s = SUnion::new(cfg(2));
+        let mut out = Emitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
+        // Overdue but the fragment has not checkpointed yet.
+        s.tick(Time::from_secs(10), false, &mut out);
+        assert!(out.tuples.is_empty());
+        s.tick(Time::from_secs(10), true, &mut out);
+        assert_eq!(out.tuples.len(), 1);
+    }
+
+    #[test]
+    fn process_mode_emits_subsequent_buckets_after_short_wait() {
+        let mut s = SUnion::new(cfg(2));
+        let mut out = Emitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
+        s.tick(Time::from_millis(2100), true, &mut out); // detection
+        out.take();
+        // Next bucket arrives at t=2200; in Process mode it is released
+        // after tentative_wait (300 ms), not after detect_delay.
+        s.process(0, &data(2, 2150), Time::from_millis(2200), &mut out);
+        assert!(!s.wants_tentative(Time::from_millis(2499)));
+        assert!(s.wants_tentative(Time::from_millis(2500)));
+        s.tick(Time::from_millis(2500), true, &mut out);
+        assert_eq!(out.tuples.len(), 1);
+        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
+    }
+
+    #[test]
+    fn delay_mode_holds_each_bucket_for_the_budget() {
+        let mut c = cfg(2);
+        c.failure_mode = DelayMode::Delay;
+        let mut s = SUnion::new(c);
+        let mut out = Emitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
+        s.tick(Time::from_millis(2100), true, &mut out); // detection
+        out.take();
+        s.process(0, &data(2, 2150), Time::from_millis(2200), &mut out);
+        s.tick(Time::from_millis(2500), true, &mut out);
+        assert!(out.tuples.is_empty(), "delay mode holds the full budget");
+        s.tick(Time::from_millis(4200), true, &mut out);
+        assert_eq!(out.tuples.len(), 1);
+    }
+
+    #[test]
+    fn suspend_mode_never_releases() {
+        let mut c = cfg(2);
+        c.failure_mode = DelayMode::Suspend;
+        let mut s = SUnion::new(c);
+        let mut out = Emitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
+        s.tick(Time::from_millis(2100), true, &mut out); // detection releases 1st
+        out.take();
+        s.process(0, &data(2, 2150), Time::from_millis(2200), &mut out);
+        s.tick(Time::from_secs(100), true, &mut out);
+        assert!(out.tuples.is_empty());
+        assert_eq!(s.next_deadline(), None);
+    }
+
+    #[test]
+    fn heal_signals_rec_request() {
+        let mut s = SUnion::new(cfg(2));
+        let mut out = Emitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
+        s.tick(Time::from_millis(2100), true, &mut out); // detection
+        out.take();
+        // Failure heals: both ports deliver boundaries covering everything
+        // emitted so far.
+        s.process(0, &boundary(100), Time::from_millis(2200), &mut out);
+        s.process(1, &boundary(100), Time::from_millis(2200), &mut out);
+        assert_eq!(s.phase(), Phase::Healed);
+        assert!(out.signals.contains(&ControlSignal::RecRequest));
+        assert!(s.corrected_now());
+    }
+
+    #[test]
+    fn tentative_input_triggers_failure_and_requires_rec_done() {
+        let mut s = SUnion::new(cfg(1));
+        let mut out = Emitter::new();
+        let t = Tuple::tentative(TupleId(1), Time::from_millis(10), vec![]);
+        s.process(0, &t, Time::from_millis(20), &mut out);
+        assert_eq!(s.phase(), Phase::Failure);
+        assert_eq!(out.signals, vec![ControlSignal::UpFailure]);
+        // Boundary alone does not heal: the tentative input is uncorrected.
+        s.process(0, &boundary(100), Time::from_millis(30), &mut out);
+        assert_eq!(s.phase(), Phase::Failure);
+        // UNDO + corrections + REC_DONE heal it.
+        s.process(0, &Tuple::undo(TupleId::NONE, TupleId::NONE), Time::from_millis(40), &mut out);
+        s.process(0, &data(1, 10), Time::from_millis(40), &mut out);
+        s.process(0, &Tuple::rec_done(TupleId::NONE, Time::from_millis(40)), Time::from_millis(40), &mut out);
+        assert_eq!(s.phase(), Phase::Healed);
+    }
+
+    #[test]
+    fn undo_drops_tentative_from_log_and_buckets() {
+        let mut s = SUnion::new(cfg(1));
+        s.set_recording(true);
+        let mut out = Emitter::new();
+        let t = Tuple::tentative(TupleId(5), Time::from_millis(10), vec![]);
+        s.process(0, &t, Time::from_millis(20), &mut out);
+        s.process(0, &data(9, 15), Time::from_millis(21), &mut out);
+        assert_eq!(s.replay_log_len(), 2);
+        assert_eq!(s.buffered_tuples(), 2);
+        s.process(0, &Tuple::undo(TupleId::NONE, TupleId::NONE), Time::from_millis(30), &mut out);
+        assert_eq!(s.replay_log_len(), 1, "stable entry kept");
+        assert_eq!(s.buffered_tuples(), 1);
+    }
+
+    #[test]
+    fn mid_diagram_sunion_merges_rec_done() {
+        let mut c = cfg(2);
+        c.is_input = false;
+        let mut s = SUnion::new(c);
+        let mut out = Emitter::new();
+        let rd = Tuple::rec_done(TupleId::NONE, Time::ZERO);
+        s.process(0, &rd, Time::ZERO, &mut out);
+        assert!(out.tuples.is_empty(), "waits for all ports");
+        s.process(1, &rd, Time::ZERO, &mut out);
+        assert_eq!(out.tuples.len(), 1);
+        assert_eq!(out.tuples[0].kind, TupleKind::RecDone);
+    }
+
+    #[test]
+    fn checkpoint_restore_resets_serialization_but_keeps_replay_log() {
+        let mut s = SUnion::new(cfg(1));
+        let mut out = Emitter::new();
+        let snap = s.checkpoint();
+        s.set_recording(true);
+        s.process(0, &data(1, 50), Time::from_millis(60), &mut out);
+        s.tick(Time::from_secs(10), true, &mut out); // tentative release
+        assert_eq!(s.phase(), Phase::Failure);
+        s.restore(&snap);
+        assert_eq!(s.phase(), Phase::Stable);
+        assert_eq!(s.buffered_tuples(), 0);
+        assert_eq!(s.replay_log_len(), 1, "replay log survives restore");
+    }
+
+    #[test]
+    fn replay_regenerates_identical_stable_output() {
+        let run = |mut s: SUnion| {
+            let mut out = Emitter::new();
+            s.process(0, &data(1, 10), Time::from_millis(20), &mut out);
+            s.process(0, &data(2, 60), Time::from_millis(70), &mut out);
+            s.process(0, &boundary(100), Time::from_millis(110), &mut out);
+            out.tuples
+        };
+        let first = run(SUnion::new(cfg(1)));
+        // Restore-from-checkpoint then replay produces identical ids/kinds.
+        let mut s = SUnion::new(cfg(1));
+        let snap = s.checkpoint();
+        s.restore(&snap);
+        let second = run(s);
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn late_tuple_for_emitted_bucket_is_dropped() {
+        let mut s = SUnion::new(cfg(1));
+        let mut out = Emitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(60), &mut out);
+        s.process(0, &boundary(100), Time::from_millis(110), &mut out);
+        let n = out.tuples.len();
+        // stime 30 belongs to the already-emitted bucket 0.
+        s.process(0, &data(2, 30), Time::from_millis(120), &mut out);
+        s.process(0, &boundary(200), Time::from_millis(210), &mut out);
+        let data_after: Vec<u64> = out.tuples[n..]
+            .iter()
+            .filter(|t| t.is_data())
+            .map(|t| t.stime.as_millis())
+            .collect();
+        assert!(data_after.is_empty(), "late tuple dropped: {data_after:?}");
+    }
+
+    #[test]
+    fn empty_buckets_advance_frontier_with_boundaries_only() {
+        let mut s = SUnion::new(cfg(1));
+        let mut out = Emitter::new();
+        s.process(0, &boundary(500), Time::from_millis(510), &mut out);
+        assert_eq!(out.tuples.len(), 1);
+        assert_eq!(out.tuples[0].kind, TupleKind::Boundary);
+        assert_eq!(out.tuples[0].stime, Time::from_millis(500));
+    }
+}

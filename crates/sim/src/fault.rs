@@ -1,0 +1,54 @@
+//! Failure injection events (§2.2's failure model).
+//!
+//! DPC handles crash failures of processing nodes and network failures that
+//! "cause message losses and delays, preventing any subset of nodes from
+//! communicating with one another, possibly partitioning the system". The
+//! simulator scripts those as timed [`FaultEvent`]s.
+
+use borealis_types::NodeId;
+
+/// A scripted fault (or heal) applied to the simulated system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultEvent {
+    /// The link between two endpoints stops delivering messages (both
+    /// directions). Models network failures and, pairwise, partitions.
+    LinkDown {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// The link heals.
+    LinkUp {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Crash failure: the node stops sending, receiving, and firing timers.
+    /// Volatile state is lost (§2.2: "buffers are lost when a processing
+    /// node fails").
+    NodeDown(NodeId),
+    /// The node restarts (empty state; see §4.5 failed-node recovery).
+    NodeUp(NodeId),
+    /// An application-defined fault delivered to one actor's `on_fault`
+    /// hook. Used for source-level scripting: muting a source's output or
+    /// just its boundary tuples (the §6.2 failure mode).
+    Custom {
+        /// The actor the fault applies to.
+        target: NodeId,
+        /// Application-defined discriminator.
+        tag: u64,
+    },
+}
+
+impl FaultEvent {
+    /// Actors that must be notified of this fault.
+    pub fn notifies(&self) -> Vec<NodeId> {
+        match self {
+            FaultEvent::LinkDown { a, b } | FaultEvent::LinkUp { a, b } => vec![*a, *b],
+            FaultEvent::NodeDown(n) | FaultEvent::NodeUp(n) => vec![*n],
+            FaultEvent::Custom { target, .. } => vec![*target],
+        }
+    }
+}

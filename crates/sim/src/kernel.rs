@@ -1,0 +1,424 @@
+//! The deterministic discrete-event kernel.
+//!
+//! All distributed-protocol logic in this repository runs as [`Actor`]s
+//! inside a [`Sim`]: a virtual clock, a totally ordered event queue
+//! (time, then insertion sequence), a seeded RNG, and the simulated
+//! [`Network`]. Two runs with the same seed and script produce identical
+//! event interleavings — which is what lets the test suite assert exact
+//! protocol behaviour and lets the benchmark harness reproduce the paper's
+//! experiments without a physical cluster.
+
+use crate::fault::FaultEvent;
+use crate::net::Network;
+use borealis_types::{NodeId, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulated participant: processing node, data source, or client proxy.
+pub trait Actor<M> {
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<M>) {}
+
+    /// Handles a message delivered from another actor.
+    fn on_message(&mut self, ctx: &mut Ctx<M>, from: NodeId, msg: M);
+
+    /// Handles a timer previously set with [`Ctx::set_timer`].
+    fn on_timer(&mut self, ctx: &mut Ctx<M>, kind: u64);
+
+    /// Notified of faults involving this actor (link/node failures, custom
+    /// scripted faults).
+    fn on_fault(&mut self, _ctx: &mut Ctx<M>, _fault: &FaultEvent) {}
+}
+
+/// Deferred actions an actor requests while handling an event.
+enum Action<M> {
+    Send { to: NodeId, msg: M, at: Time },
+    Timer { at: Time, kind: u64 },
+}
+
+/// The handler-side view of the simulation.
+pub struct Ctx<'a, M> {
+    now: Time,
+    self_id: NodeId,
+    net: &'a Network,
+    rng: &'a mut StdRng,
+    actions: Vec<Action<M>>,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// This actor's id.
+    pub fn id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Seeded RNG shared by the whole simulation (deterministic).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+
+    /// True if `to` is currently reachable from this actor.
+    pub fn reachable(&self, to: NodeId) -> bool {
+        self.net.reachable(self.self_id, to)
+    }
+
+    /// Sends `msg` to `to`, arriving one link latency from now. Lost if the
+    /// link or either endpoint is down at send or delivery time.
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        let at = self.now + self.net.latency(self.self_id, to);
+        self.send_at_raw(to, msg, at);
+    }
+
+    /// Sends `msg` so that it arrives one link latency after `depart` —
+    /// used by nodes whose CPU model finishes processing at a future
+    /// instant (outputs leave when the work completes).
+    pub fn send_after(&mut self, to: NodeId, msg: M, depart: Time) {
+        let depart = depart.max(self.now);
+        let at = depart + self.net.latency(self.self_id, to);
+        self.send_at_raw(to, msg, at);
+    }
+
+    fn send_at_raw(&mut self, to: NodeId, msg: M, at: Time) {
+        // Send-time reachability check; delivery is checked again when the
+        // event fires.
+        if self.net.reachable(self.self_id, to) {
+            self.actions.push(Action::Send { to, msg, at });
+        }
+    }
+
+    /// Schedules `on_timer(kind)` at virtual time `at` (clamped to now).
+    pub fn set_timer(&mut self, at: Time, kind: u64) {
+        self.actions.push(Action::Timer { at: at.max(self.now), kind });
+    }
+}
+
+enum EventKind<M> {
+    Message { from: NodeId, to: NodeId, msg: M },
+    Timer { actor: NodeId, kind: u64 },
+    Fault(FaultEvent),
+    Start(NodeId),
+}
+
+struct Event<M> {
+    at: Time,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// The discrete-event simulation.
+pub struct Sim<M> {
+    actors: Vec<Box<dyn Actor<M>>>,
+    started: Vec<bool>,
+    net: Network,
+    queue: BinaryHeap<Event<M>>,
+    now: Time,
+    seq: u64,
+    rng: StdRng,
+    events_dispatched: u64,
+}
+
+impl<M> Sim<M> {
+    /// Creates a simulation with the given RNG seed and network.
+    pub fn new(seed: u64, net: Network) -> Sim<M> {
+        Sim {
+            actors: Vec::new(),
+            started: Vec::new(),
+            net,
+            queue: BinaryHeap::new(),
+            now: Time::ZERO,
+            seq: 0,
+            rng: StdRng::seed_from_u64(seed),
+            events_dispatched: 0,
+        }
+    }
+
+    /// Registers an actor; its `on_start` fires at time zero (or at the
+    /// current time if the simulation is already running).
+    pub fn add_actor(&mut self, actor: Box<dyn Actor<M>>) -> NodeId {
+        let id = NodeId(self.actors.len() as u32);
+        self.actors.push(actor);
+        self.started.push(false);
+        self.push_event(self.now, EventKind::Start(id));
+        id
+    }
+
+    /// Network configuration access (latencies, manual link state).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Read-only network access.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Schedules a fault (or heal) at `at`.
+    pub fn schedule_fault(&mut self, at: Time, fault: FaultEvent) {
+        self.push_event(at, EventKind::Fault(fault));
+    }
+
+    /// Schedules a timer on behalf of an actor (used to bootstrap periodic
+    /// work from outside).
+    pub fn schedule_timer(&mut self, at: Time, actor: NodeId, kind: u64) {
+        self.push_event(at, EventKind::Timer { actor, kind });
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of events dispatched so far (throughput benchmarking).
+    pub fn events_dispatched(&self) -> u64 {
+        self.events_dispatched
+    }
+
+    fn push_event(&mut self, at: Time, kind: EventKind<M>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Event { at, seq, kind });
+    }
+
+    /// Runs until the queue is empty or virtual time would exceed `until`.
+    /// Returns the number of events dispatched.
+    pub fn run_until(&mut self, until: Time) -> u64 {
+        let mut dispatched = 0;
+        while let Some(ev) = self.queue.peek() {
+            if ev.at > until {
+                break;
+            }
+            let ev = self.queue.pop().expect("peeked event exists");
+            self.now = self.now.max(ev.at);
+            self.dispatch(ev);
+            dispatched += 1;
+        }
+        self.now = self.now.max(until);
+        self.events_dispatched += dispatched;
+        dispatched
+    }
+
+    fn dispatch(&mut self, ev: Event<M>) {
+        match ev.kind {
+            EventKind::Message { from, to, msg } => {
+                // Delivery-time reachability: a link that broke mid-flight
+                // loses the message (broken TCP connection).
+                if !self.net.reachable(from, to) {
+                    return;
+                }
+                self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+            }
+            EventKind::Timer { actor, kind } => {
+                if !self.net.node_up(actor) {
+                    return; // crashed nodes fire no timers
+                }
+                self.with_actor(actor, |a, ctx| a.on_timer(ctx, kind));
+            }
+            EventKind::Fault(fault) => {
+                match &fault {
+                    FaultEvent::LinkDown { a, b } => self.net.link_down(*a, *b),
+                    FaultEvent::LinkUp { a, b } => self.net.link_up(*a, *b),
+                    FaultEvent::NodeDown(n) => self.net.node_down(*n),
+                    FaultEvent::NodeUp(n) => self.net.node_up_again(*n),
+                    FaultEvent::Custom { .. } => {}
+                }
+                for id in fault.notifies() {
+                    if !self.net.node_up(id) && !matches!(fault, FaultEvent::NodeDown(_)) {
+                        continue;
+                    }
+                    let f = fault.clone();
+                    self.with_actor(id, |a, ctx| a.on_fault(ctx, &f));
+                }
+            }
+            EventKind::Start(id) => {
+                if !self.started[id.index()] {
+                    self.started[id.index()] = true;
+                    self.with_actor(id, |a, ctx| a.on_start(ctx));
+                }
+            }
+        }
+    }
+
+    /// Runs one actor handler with a fresh [`Ctx`], then applies the actions
+    /// it queued.
+    fn with_actor<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut dyn Actor<M>, &mut Ctx<M>),
+    {
+        let Some(actor) = self.actors.get_mut(id.index()) else {
+            return;
+        };
+        let mut ctx = Ctx {
+            now: self.now,
+            self_id: id,
+            net: &self.net,
+            rng: &mut self.rng,
+            actions: Vec::new(),
+        };
+        f(actor.as_mut(), &mut ctx);
+        let actions = ctx.actions;
+        for action in actions {
+            match action {
+                Action::Send { to, msg, at } => {
+                    self.push_event(at, EventKind::Message { from: id, to, msg })
+                }
+                Action::Timer { at, kind } => {
+                    self.push_event(at, EventKind::Timer { actor: id, kind })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::Duration;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    type Log = Rc<RefCell<Vec<(u64, NodeId, String)>>>;
+
+    /// Echoes every message back and logs receipt times (ms).
+    struct Echo {
+        log: Log,
+        replies: u32,
+    }
+
+    impl Actor<String> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<String>, from: NodeId, msg: String) {
+            self.log.borrow_mut().push((ctx.now().as_millis(), ctx.id(), msg.clone()));
+            if self.replies > 0 {
+                self.replies -= 1;
+                ctx.send(from, format!("re:{msg}"));
+            }
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<String>, _kind: u64) {}
+    }
+
+    /// Sends one message at start and logs timer firings.
+    struct Starter {
+        to: NodeId,
+        log: Log,
+    }
+
+    impl Actor<String> for Starter {
+        fn on_start(&mut self, ctx: &mut Ctx<String>) {
+            ctx.send(self.to, "hello".into());
+            ctx.set_timer(Time::from_millis(50), 7);
+        }
+        fn on_message(&mut self, ctx: &mut Ctx<String>, _from: NodeId, msg: String) {
+            self.log.borrow_mut().push((ctx.now().as_millis(), ctx.id(), msg));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<String>, kind: u64) {
+            self.log.borrow_mut().push((ctx.now().as_millis(), ctx.id(), format!("timer{kind}")));
+        }
+    }
+
+    fn new_sim() -> Sim<String> {
+        Sim::new(42, Network::new(Duration::from_millis(1)))
+    }
+
+    #[test]
+    fn messages_arrive_after_latency_in_order() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 1 }));
+        let _starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        sim.run_until(Time::from_secs(1));
+        let entries = log.borrow();
+        // hello arrives at 1 ms, reply at 2 ms, timer at 50 ms.
+        assert_eq!(entries[0], (1, NodeId(0), "hello".into()));
+        assert_eq!(entries[1], (2, NodeId(1), "re:hello".into()));
+        assert_eq!(entries[2], (50, NodeId(1), "timer7".into()));
+    }
+
+    #[test]
+    fn link_failure_drops_messages() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
+        let starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        sim.schedule_fault(Time::ZERO, FaultEvent::LinkDown { a: echo, b: starter });
+        sim.run_until(Time::from_secs(1));
+        let entries = log.borrow();
+        // Only the timer fires; the hello was dropped.
+        assert_eq!(entries.len(), 1);
+        assert_eq!(entries[0].2, "timer7");
+    }
+
+    #[test]
+    fn crashed_node_receives_nothing_and_fires_no_timers() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
+        let starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        sim.schedule_fault(Time::ZERO, FaultEvent::NodeDown(starter));
+        sim.run_until(Time::from_secs(1));
+        assert!(log.borrow().is_empty(), "{:?}", log.borrow());
+        let _ = echo;
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = || {
+            let log: Log = Rc::new(RefCell::new(Vec::new()));
+            let mut sim = new_sim();
+            let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 3 }));
+            sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+            sim.run_until(Time::from_secs(2));
+            let v = log.borrow().clone();
+            v
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
+        sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        sim.run_until(Time::from_millis(10));
+        assert_eq!(log.borrow().len(), 1, "timer at 50 ms not yet fired");
+        assert_eq!(sim.now(), Time::from_millis(10));
+        sim.run_until(Time::from_millis(100));
+        assert_eq!(log.borrow().len(), 2);
+    }
+
+    #[test]
+    fn healed_link_delivers_again() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
+        let starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        // Down at 0, up at 20 ms; the start message (sent at 0) is lost.
+        sim.schedule_fault(Time::ZERO, FaultEvent::LinkDown { a: echo, b: starter });
+        sim.schedule_fault(Time::from_millis(20), FaultEvent::LinkUp { a: echo, b: starter });
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(log.borrow().len(), 1, "only the timer");
+    }
+}

@@ -1,0 +1,20 @@
+//! # borealis-sim
+//!
+//! A deterministic discrete-event simulator: virtual clock, totally ordered
+//! event queue, seeded RNG, and a simulated network with reliable in-order
+//! links, per-pair latencies, and scripted link/node/custom faults — the
+//! §2.2 system model of the paper, reproducible on one machine.
+//!
+//! The DPC protocol itself (`borealis-dpc`) is written against this crate's
+//! [`Actor`] interface; experiments script [`FaultEvent`]s to recreate every
+//! failure scenario of the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod kernel;
+pub mod net;
+
+pub use fault::FaultEvent;
+pub use kernel::{Actor, Ctx, Sim};
+pub use net::Network;

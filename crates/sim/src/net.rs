@@ -1,0 +1,153 @@
+//! The simulated network: reliable, in-order, point-to-point links.
+//!
+//! The paper assumes "replicas communicate using a reliable, in-order
+//! protocol like TCP" (§2.2). The simulator provides exactly that: constant
+//! per-pair latency (FIFO order falls out of a deterministic event queue)
+//! and explicit link/node failure state. Messages sent or delivered while a
+//! link or endpoint is down are lost, like segments of a broken TCP
+//! connection.
+
+use borealis_types::{Duration, NodeId};
+use std::collections::{HashMap, HashSet};
+
+/// Connectivity and latency state of the simulated network.
+#[derive(Debug, Clone)]
+pub struct Network {
+    default_latency: Duration,
+    latency_overrides: HashMap<(NodeId, NodeId), Duration>,
+    down_links: HashSet<(NodeId, NodeId)>,
+    down_nodes: HashSet<NodeId>,
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+impl Network {
+    /// A fully connected network with the given default one-way latency.
+    pub fn new(default_latency: Duration) -> Network {
+        Network {
+            default_latency,
+            latency_overrides: HashMap::new(),
+            down_links: HashSet::new(),
+            down_nodes: HashSet::new(),
+        }
+    }
+
+    /// Sets a specific latency for the pair `(a, b)` (both directions).
+    pub fn set_latency(&mut self, a: NodeId, b: NodeId, latency: Duration) {
+        self.latency_overrides.insert(ordered(a, b), latency);
+    }
+
+    /// One-way latency between two endpoints.
+    pub fn latency(&self, a: NodeId, b: NodeId) -> Duration {
+        self.latency_overrides
+            .get(&ordered(a, b))
+            .copied()
+            .unwrap_or(self.default_latency)
+    }
+
+    /// True if a message from `a` can currently reach `b`.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        !self.down_nodes.contains(&a)
+            && !self.down_nodes.contains(&b)
+            && !self.down_links.contains(&ordered(a, b))
+    }
+
+    /// True if the node itself is up.
+    pub fn node_up(&self, n: NodeId) -> bool {
+        !self.down_nodes.contains(&n)
+    }
+
+    /// Takes a link down (both directions).
+    pub fn link_down(&mut self, a: NodeId, b: NodeId) {
+        self.down_links.insert(ordered(a, b));
+    }
+
+    /// Heals a link.
+    pub fn link_up(&mut self, a: NodeId, b: NodeId) {
+        self.down_links.remove(&ordered(a, b));
+    }
+
+    /// Crashes a node.
+    pub fn node_down(&mut self, n: NodeId) {
+        self.down_nodes.insert(n);
+    }
+
+    /// Restarts a node.
+    pub fn node_up_again(&mut self, n: NodeId) {
+        self.down_nodes.remove(&n);
+    }
+
+    /// Partitions the system: every link between `group_a` and `group_b`
+    /// goes down.
+    pub fn partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.link_down(a, b);
+            }
+        }
+    }
+
+    /// Heals a partition created with [`Network::partition`].
+    pub fn heal_partition(&mut self, group_a: &[NodeId], group_b: &[NodeId]) {
+        for &a in group_a {
+            for &b in group_b {
+                self.link_up(a, b);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_and_override_latency() {
+        let mut net = Network::new(Duration::from_millis(1));
+        assert_eq!(net.latency(NodeId(0), NodeId(1)), Duration::from_millis(1));
+        net.set_latency(NodeId(0), NodeId(1), Duration::from_millis(5));
+        assert_eq!(net.latency(NodeId(1), NodeId(0)), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn link_failures_are_bidirectional() {
+        let mut net = Network::new(Duration::from_millis(1));
+        assert!(net.reachable(NodeId(0), NodeId(1)));
+        net.link_down(NodeId(1), NodeId(0));
+        assert!(!net.reachable(NodeId(0), NodeId(1)));
+        assert!(!net.reachable(NodeId(1), NodeId(0)));
+        net.link_up(NodeId(0), NodeId(1));
+        assert!(net.reachable(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn node_crash_blocks_all_its_links() {
+        let mut net = Network::new(Duration::from_millis(1));
+        net.node_down(NodeId(2));
+        assert!(!net.reachable(NodeId(0), NodeId(2)));
+        assert!(!net.reachable(NodeId(2), NodeId(1)));
+        assert!(net.reachable(NodeId(0), NodeId(1)), "others unaffected");
+        net.node_up_again(NodeId(2));
+        assert!(net.reachable(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn partition_cuts_cross_links_only() {
+        let mut net = Network::new(Duration::from_millis(1));
+        let a = [NodeId(0), NodeId(1)];
+        let b = [NodeId(2), NodeId(3)];
+        net.partition(&a, &b);
+        assert!(!net.reachable(NodeId(0), NodeId(2)));
+        assert!(!net.reachable(NodeId(1), NodeId(3)));
+        assert!(net.reachable(NodeId(0), NodeId(1)));
+        assert!(net.reachable(NodeId(2), NodeId(3)));
+        net.heal_partition(&a, &b);
+        assert!(net.reachable(NodeId(0), NodeId(3)));
+    }
+}

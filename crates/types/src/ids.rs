@@ -1,0 +1,75 @@
+//! Identifiers shared across the workspace.
+//!
+//! A *query diagram* (the logical dataflow) is partitioned into *fragments*;
+//! each fragment is deployed on one or more physical *nodes* (its replicas).
+//! Streams connect operators; the streams that cross fragment boundaries are
+//! the ones the DPC protocol manages.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The numeric index.
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A named stream in the query diagram (either a source stream, an
+    /// intermediate stream, or an output stream).
+    StreamId,
+    "s"
+);
+
+id_type!(
+    /// An operator instance in the query diagram.
+    OpId,
+    "op"
+);
+
+id_type!(
+    /// A logical fragment of the query diagram: the unit of deployment and
+    /// replication. All replicas of a fragment run identical operator sets.
+    FragmentId,
+    "f"
+);
+
+id_type!(
+    /// A physical processing node (one replica of one fragment), a data
+    /// source, or a client endpoint in the deployed system.
+    NodeId,
+    "n"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_uses_prefixes() {
+        assert_eq!(StreamId(3).to_string(), "s3");
+        assert_eq!(OpId(1).to_string(), "op1");
+        assert_eq!(FragmentId(0).to_string(), "f0");
+        assert_eq!(NodeId(9).to_string(), "n9");
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(StreamId(4).index(), 4);
+    }
+}

@@ -1,0 +1,25 @@
+//! # borealis-types
+//!
+//! Foundational types for the Borealis/DPC reproduction: virtual time, tuple
+//! values, the DPC tuple model (stable / tentative / boundary / undo /
+//! rec-done tuples, §4.1 of the paper), shared identifiers, and a small
+//! deterministic expression language used by operator specifications.
+//!
+//! Everything in this crate is deliberately free of protocol logic so that
+//! operators (`borealis-ops`), the engine (`borealis-engine`), the simulator
+//! (`borealis-sim`), and the DPC protocol (`borealis-dpc`) can all share one
+//! vocabulary.
+
+#![warn(missing_docs)]
+
+pub mod expr;
+pub mod ids;
+pub mod time;
+pub mod tuple;
+pub mod value;
+
+pub use expr::{BinOp, EvalError, Expr};
+pub use ids::{FragmentId, NodeId, OpId, StreamId};
+pub use time::{Duration, Time};
+pub use tuple::{ControlSignal, Tuple, TupleId, TupleKind};
+pub use value::Value;

@@ -1,0 +1,195 @@
+//! Virtual time.
+//!
+//! All of the protocol logic in this repository is written against an
+//! abstract, discrete clock measured in **microseconds**. The paper's
+//! experiments are phrased in seconds and milliseconds; microsecond
+//! resolution lets the simulator also charge sub-millisecond per-tuple CPU
+//! costs (see `borealis-sim`) without rounding artifacts.
+//!
+//! [`Time`] is a point on the virtual timeline, [`Duration`] a span. Both are
+//! plain `u64` newtypes with saturating/checked semantics chosen to make
+//! protocol code panic-free.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in microseconds since the start of a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(pub u64);
+
+/// A span of virtual time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Time {
+    /// The origin of the virtual timeline.
+    pub const ZERO: Time = Time(0);
+    /// The maximum representable instant. Used as "never" for deadlines.
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// A point `ms` milliseconds after the origin.
+    pub const fn from_millis(ms: u64) -> Time {
+        Time(ms * 1_000)
+    }
+
+    /// A point `s` seconds after the origin.
+    pub const fn from_secs(s: u64) -> Time {
+        Time(s * 1_000_000)
+    }
+
+    /// Microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds since the origin (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds since the origin, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Duration since `earlier`, saturating to zero if `earlier` is later.
+    pub fn since(self, earlier: Time) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The instant `d` after `self`, saturating at [`Time::MAX`].
+    pub fn saturating_add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The maximum representable span. Used as "infinite" delays.
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// A span of `us` microseconds.
+    pub const fn from_micros(us: u64) -> Duration {
+        Duration(us)
+    }
+
+    /// A span of `ms` milliseconds.
+    pub const fn from_millis(ms: u64) -> Duration {
+        Duration(ms * 1_000)
+    }
+
+    /// A span of `s` seconds.
+    pub const fn from_secs(s: u64) -> Duration {
+        Duration(s * 1_000_000)
+    }
+
+    /// A span of `s` seconds given as a float; sub-microsecond precision is
+    /// truncated.
+    pub fn from_secs_f64(s: f64) -> Duration {
+        assert!(s >= 0.0, "negative duration");
+        Duration((s * 1_000_000.0) as u64)
+    }
+
+    /// Microseconds in this span.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Whole milliseconds in this span (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Seconds in this span, as a float (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// `self * n`, saturating.
+    pub fn saturating_mul(self, n: u64) -> Duration {
+        Duration(self.0.saturating_mul(n))
+    }
+
+    /// `self - other`, saturating to zero.
+    pub fn saturating_sub(self, other: Duration) -> Duration {
+        Duration(self.0.saturating_sub(other.0))
+    }
+}
+
+impl Add<Duration> for Time {
+    type Output = Time;
+    fn add(self, d: Duration) -> Time {
+        Time(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<Duration> for Time {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Time> for Time {
+    type Output = Duration;
+    fn sub(self, other: Time) -> Duration {
+        self.since(other)
+    }
+}
+
+impl Add<Duration> for Duration {
+    type Output = Duration;
+    fn add(self, d: Duration) -> Duration {
+        Duration(self.0.saturating_add(d.0))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_round_trip() {
+        assert_eq!(Time::from_secs(3).as_millis(), 3_000);
+        assert_eq!(Time::from_millis(250).as_micros(), 250_000);
+        assert_eq!(Duration::from_secs(2).as_millis(), 2_000);
+        assert!((Duration::from_secs_f64(1.5).as_millis()) == 1_500);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = Time::from_secs(1) + Duration::from_millis(500);
+        assert_eq!(t.as_millis(), 1_500);
+        assert_eq!((t - Time::from_secs(1)).as_millis(), 500);
+        // Saturating subtraction: earlier minus later is zero, not underflow.
+        assert_eq!((Time::from_secs(1) - t).as_micros(), 0);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        assert_eq!(Time::MAX + Duration::from_secs(1), Time::MAX);
+        assert_eq!(Duration::MAX.saturating_mul(2), Duration::MAX);
+        assert_eq!(
+            Duration::from_secs(1).saturating_sub(Duration::from_secs(2)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Time::from_millis(10) < Time::from_millis(11));
+        assert!(Duration::from_micros(1) > Duration::ZERO);
+    }
+}

@@ -1,0 +1,233 @@
+//! The DPC data model (§4.1, Table I of the paper).
+//!
+//! A Borealis stream is an append-only sequence of tuples
+//! `(tuple_type, tuple_id, tuple_stime, a1, ..., am)`. DPC extends the
+//! traditional insertion-only model with four additional tuple types:
+//!
+//! * **TENTATIVE** — result of processing a subset of inputs; may later be
+//!   amended with a stable version.
+//! * **BOUNDARY** — punctuation + heartbeat: no later tuple on the stream
+//!   will carry an `stime` smaller than the boundary's.
+//! * **UNDO** — instructs consumers to roll back the suffix of the stream
+//!   that follows the identified tuple.
+//! * **REC_DONE** — marks the end of a reconciliation's correction sequence.
+
+use crate::time::Time;
+use crate::value::Value;
+use std::fmt;
+
+/// Identifies a tuple uniquely within its stream.
+///
+/// The paper relies on reliable in-order transport so that a single tuple id
+/// describes an exact stream position (§2.2); ids are assigned by the
+/// producing source or operator from a monotone per-stream counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TupleId(pub u64);
+
+impl TupleId {
+    /// Sentinel meaning "before the first tuple of the stream"; used in
+    /// subscriptions and undo targets for an empty stable prefix.
+    pub const NONE: TupleId = TupleId(0);
+
+    /// The next id after `self`.
+    pub fn next(self) -> TupleId {
+        TupleId(self.0 + 1)
+    }
+}
+
+impl fmt::Display for TupleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// The tuple type tag (Table I, data streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TupleKind {
+    /// Regular stable tuple.
+    Insertion,
+    /// Best-effort tuple produced from a subset of inputs.
+    Tentative,
+    /// Punctuation/heartbeat: all following tuples have `stime >=` this one's.
+    Boundary,
+    /// Roll back the stream suffix after [`Tuple::undo_target`].
+    Undo,
+    /// End of a reconciliation's corrections.
+    RecDone,
+}
+
+impl TupleKind {
+    /// True for the two data-carrying kinds (stable or tentative insertions).
+    pub fn is_data(self) -> bool {
+        matches!(self, TupleKind::Insertion | TupleKind::Tentative)
+    }
+}
+
+/// A stream tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tuple {
+    /// Type tag.
+    pub kind: TupleKind,
+    /// Unique id within the producing stream.
+    pub id: TupleId,
+    /// Serialization timestamp (`tuple_stime`, §4.1): the attribute SUnion
+    /// buckets and orders on. Assigned by data sources from their (loosely
+    /// synchronized) clocks, and propagated deterministically by operators.
+    pub stime: Time,
+    /// Tag identifying which input stream of the upstream SUnion this tuple
+    /// arrived on. SUnion sets it when serializing multiple streams into one
+    /// so that a following SJoin can tell its two logical inputs apart.
+    pub origin: u16,
+    /// Attribute values `a1, ..., am`.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// A stable insertion.
+    pub fn insertion(id: TupleId, stime: Time, values: Vec<Value>) -> Tuple {
+        Tuple { kind: TupleKind::Insertion, id, stime, origin: 0, values }
+    }
+
+    /// A tentative insertion.
+    pub fn tentative(id: TupleId, stime: Time, values: Vec<Value>) -> Tuple {
+        Tuple { kind: TupleKind::Tentative, id, stime, origin: 0, values }
+    }
+
+    /// A boundary tuple promising that no later tuple on the stream carries
+    /// `stime < stime`.
+    pub fn boundary(id: TupleId, stime: Time) -> Tuple {
+        Tuple { kind: TupleKind::Boundary, id, stime, origin: 0, values: Vec::new() }
+    }
+
+    /// An undo tuple: everything after `last_kept` (exclusive) is rolled
+    /// back. `last_kept == TupleId::NONE` undoes the entire stream.
+    pub fn undo(id: TupleId, last_kept: TupleId) -> Tuple {
+        Tuple {
+            kind: TupleKind::Undo,
+            id,
+            stime: Time::ZERO,
+            origin: 0,
+            values: vec![Value::Int(last_kept.0 as i64)],
+        }
+    }
+
+    /// A reconciliation-done marker.
+    pub fn rec_done(id: TupleId, stime: Time) -> Tuple {
+        Tuple { kind: TupleKind::RecDone, id, stime, origin: 0, values: Vec::new() }
+    }
+
+    /// For [`TupleKind::Undo`] tuples, the id of the last tuple *not* undone.
+    pub fn undo_target(&self) -> Option<TupleId> {
+        if self.kind != TupleKind::Undo {
+            return None;
+        }
+        self.values
+            .first()
+            .and_then(Value::as_int)
+            .map(|v| TupleId(v as u64))
+    }
+
+    /// True if this is a stable insertion.
+    pub fn is_stable_data(&self) -> bool {
+        self.kind == TupleKind::Insertion
+    }
+
+    /// True if this is a tentative insertion.
+    pub fn is_tentative(&self) -> bool {
+        self.kind == TupleKind::Tentative
+    }
+
+    /// True for the data-carrying kinds.
+    pub fn is_data(&self) -> bool {
+        self.kind.is_data()
+    }
+
+    /// Returns a copy relabelled tentative (used by operators that process a
+    /// subset of inputs, §4.1: tentative in, tentative out — and any output
+    /// produced while the node's state has diverged).
+    pub fn as_tentative(&self) -> Tuple {
+        let mut t = self.clone();
+        t.kind = TupleKind::Tentative;
+        t
+    }
+
+    /// Returns a copy relabelled stable.
+    pub fn as_stable(&self) -> Tuple {
+        let mut t = self.clone();
+        t.kind = TupleKind::Insertion;
+        t
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let tag = match self.kind {
+            TupleKind::Insertion => "S",
+            TupleKind::Tentative => "T",
+            TupleKind::Boundary => "B",
+            TupleKind::Undo => "U",
+            TupleKind::RecDone => "R",
+        };
+        write!(f, "{tag}{}@{}", self.id, self.stime)?;
+        if let Some(target) = self.undo_target() {
+            write!(f, "->{target}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Control signals sent by SUnion and SOutput operators to the node's
+/// Consistency Manager (Table I, control streams).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlSignal {
+    /// An SUnion entered an inconsistent state (produced or passed tentative
+    /// data, or timed out waiting for a missing input).
+    UpFailure,
+    /// An SUnion on an input stream received corrections for all previously
+    /// tentative data: the node may reconcile its state.
+    RecRequest,
+    /// An SOutput saw reconciliation complete on its output stream.
+    RecDone,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_kinds() {
+        let t = Tuple::insertion(TupleId(1), Time::from_millis(5), vec![Value::Int(9)]);
+        assert!(t.is_stable_data() && t.is_data() && !t.is_tentative());
+        let t = Tuple::tentative(TupleId(2), Time::ZERO, vec![]);
+        assert!(t.is_tentative() && t.is_data());
+        let b = Tuple::boundary(TupleId(3), Time::from_secs(1));
+        assert_eq!(b.kind, TupleKind::Boundary);
+        assert!(!b.is_data());
+    }
+
+    #[test]
+    fn undo_round_trips_target() {
+        let u = Tuple::undo(TupleId(10), TupleId(7));
+        assert_eq!(u.undo_target(), Some(TupleId(7)));
+        let not_undo = Tuple::insertion(TupleId(1), Time::ZERO, vec![]);
+        assert_eq!(not_undo.undo_target(), None);
+    }
+
+    #[test]
+    fn relabelling_preserves_payload() {
+        let t = Tuple::insertion(TupleId(4), Time::from_millis(10), vec![Value::Int(1)]);
+        let tt = t.as_tentative();
+        assert_eq!(tt.kind, TupleKind::Tentative);
+        assert_eq!(tt.values, t.values);
+        assert_eq!(tt.id, t.id);
+        let back = tt.as_stable();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn tuple_id_ordering_and_next() {
+        assert!(TupleId(1) < TupleId(2));
+        assert_eq!(TupleId(1).next(), TupleId(2));
+        assert_eq!(TupleId::NONE.next(), TupleId(1));
+    }
+}

@@ -1,0 +1,40 @@
+use borealis_workloads::*;
+use borealis_types::{Duration, StreamId, Time, TupleKind};
+use borealis_dpc::MetricsHub;
+
+fn main() {
+    let o = SingleNodeOptions {
+        with_join: false,
+        total_rate: 4500.0,
+        delay: Duration::from_secs(3),
+        variant: VARIANTS[0], // Process & Process
+        trace: true,
+        ..Default::default()
+    };
+    let mut sys = single_node_system(&o);
+    sys.disconnect_source(StreamId(2), 0, Time::from_secs(15), Time::from_secs(25));
+    sys.run_until(Time::from_secs(50));
+    let hub: &MetricsHub = &sys.metrics;
+    hub.with(SINGLE_NODE_OUT, |m| {
+        let trace = m.trace.as_ref().unwrap();
+        // compute frontier-advancing latencies over time
+        let mut frontier = Time::ZERO;
+        let mut worst: Vec<(u64, u64, TupleKind)> = Vec::new(); // (lat_ms, arrival_ms)
+        for e in trace {
+            if matches!(e.kind, TupleKind::Insertion | TupleKind::Tentative) && e.stime > frontier {
+                frontier = e.stime;
+                let lat = e.arrival.since(e.stime).as_millis();
+                worst.push((lat, e.arrival.as_millis(), e.kind));
+            }
+        }
+        worst.sort_by(|a,b| b.0.cmp(&a.0));
+        println!("top 12 new-tuple latencies (lat_ms, arrival_ms, kind):");
+        for w in worst.iter().take(12) { println!("  {:?}", w); }
+        // markers
+        for e in trace {
+            if matches!(e.kind, TupleKind::Undo | TupleKind::RecDone) {
+                println!("marker {:?} at {} ms", e.kind, e.arrival.as_millis());
+            }
+        }
+    });
+}

@@ -1,0 +1,365 @@
+//! Experiment runners: one function per table/figure of the paper's
+//! evaluation (§5–§7). Each runner scripts the paper's failure scenario
+//! against a deployment from [`crate::setups`] and returns structured rows;
+//! `crates/bench` renders them in the paper's format.
+
+use crate::setups::{
+    chain_system, overhead_system, single_node_system, ChainOptions, OverheadOptions,
+    PolicyVariant, SingleNodeOptions, DISTRIBUTED_VARIANTS, SINGLE_NODE_OUT, VARIANTS,
+};
+use borealis_diagram::DelayAssignment;
+use borealis_dpc::TraceEntry;
+use borealis_types::{Duration, StreamId, Time};
+
+/// When failures start in every scenario (after warm-up).
+const FAILURE_START: Time = Time::from_secs(15);
+
+/// Result of one Fig. 11 run: the full client arrival trace plus summary
+/// counters.
+#[derive(Debug)]
+pub struct Fig11Result {
+    /// Complete arrival trace at the client (sequence numbers over time).
+    pub trace: Vec<TraceEntry>,
+    /// Tentative tuples received.
+    pub n_tentative: u64,
+    /// Stable tuples received.
+    pub n_stable: u64,
+    /// UNDO markers received.
+    pub n_undo: u64,
+    /// REC_DONE markers received.
+    pub n_rec_done: u64,
+    /// Duplicate stable tuples (must be 0).
+    pub dup_stable: u64,
+    /// Maximum gap between new tuples.
+    pub max_gap: Duration,
+}
+
+/// Fig. 11: eventual consistency under simultaneous failures (a) and a
+/// failure during recovery (b). Single unreplicated node, D = 2 s,
+/// failures on input streams 1 and 3.
+pub fn run_fig11(failure_during_recovery: bool) -> Fig11Result {
+    let o = SingleNodeOptions {
+        replication: 1,
+        total_rate: 300.0,
+        delay: Duration::from_secs(2),
+        trace: true,
+        ..Default::default()
+    };
+    let mut sys = single_node_system(&o);
+    let s1 = StreamId(0);
+    let s3 = StreamId(2);
+    let f1_heal = FAILURE_START + Duration::from_secs(8);
+    sys.disconnect_source(s1, 0, FAILURE_START, f1_heal);
+    if failure_during_recovery {
+        // Failure 2 begins exactly as failure 1 heals (Fig. 11(b)).
+        sys.disconnect_source(s3, 0, f1_heal, f1_heal + Duration::from_secs(8));
+    } else {
+        // Overlapping failures (Fig. 11(a)).
+        let f2_start = FAILURE_START + Duration::from_secs(4);
+        sys.disconnect_source(s3, 0, f2_start, f2_start + Duration::from_secs(8));
+    }
+    sys.run_until(Time::from_secs(45));
+    sys.metrics.with(SINGLE_NODE_OUT, |m| Fig11Result {
+        trace: m.trace.clone().unwrap_or_default(),
+        n_tentative: m.n_tentative,
+        n_stable: m.n_stable,
+        n_undo: m.n_undo,
+        n_rec_done: m.n_rec_done,
+        dup_stable: m.dup_stable,
+        max_gap: m.max_gap,
+    })
+}
+
+/// One row of Table III / Fig. 13.
+#[derive(Debug, Clone)]
+pub struct AvailabilityRow {
+    /// Policy variant name.
+    pub variant: &'static str,
+    /// Failure duration in seconds.
+    pub failure_secs: f64,
+    /// Measured `Procnew` (max processing latency of new tuples).
+    pub procnew: Duration,
+    /// Measured `Ntentative`.
+    pub ntentative: u64,
+    /// Protocol violations (must be 0).
+    pub dup_stable: u64,
+}
+
+fn run_single_node_failure(o: &SingleNodeOptions, failure: Duration) -> AvailabilityRow {
+    let mut sys = single_node_system(o);
+    sys.disconnect_source(StreamId(2), 0, FAILURE_START, FAILURE_START + failure);
+    // Warm-up + failure + generous recovery/settle time.
+    sys.run_until(FAILURE_START + failure + Duration::from_secs(25));
+    sys.metrics.with(SINGLE_NODE_OUT, |m| AvailabilityRow {
+        variant: o.variant.name,
+        failure_secs: failure.as_secs_f64(),
+        procnew: m.procnew,
+        ntentative: m.n_tentative,
+        dup_stable: m.dup_stable,
+    })
+}
+
+/// Table III: `Procnew` for different failure durations, replicated node
+/// pair running SUnion + SJoin(100) + SOutput under Process & Process with
+/// a 3 s budget. The paper's result: constant ≈ 2.8 s, below the bound,
+/// independent of failure duration.
+pub fn run_table3(failure_secs: &[f64]) -> Vec<AvailabilityRow> {
+    failure_secs
+        .iter()
+        .map(|&f| {
+            let o = SingleNodeOptions {
+                with_join: true,
+                total_rate: 900.0,
+                delay: Duration::from_secs(3),
+                variant: VARIANTS[0], // Process & Process
+                ..Default::default()
+            };
+            run_single_node_failure(&o, Duration::from_secs_f64(f))
+        })
+        .collect()
+}
+
+/// Fig. 13: `Procnew` and `Ntentative` for the six §6.1 policy variants on
+/// a replicated single-node deployment at 4500 tuples/s with a 3 s budget.
+pub fn run_fig13(variants: &[PolicyVariant], failure_secs: &[f64]) -> Vec<AvailabilityRow> {
+    let mut rows = Vec::new();
+    for &variant in variants {
+        for &f in failure_secs {
+            let o = SingleNodeOptions {
+                with_join: false,
+                total_rate: 4500.0,
+                delay: Duration::from_secs(3),
+                variant,
+                ..Default::default()
+            };
+            rows.push(run_single_node_failure(&o, Duration::from_secs_f64(f)));
+        }
+    }
+    rows
+}
+
+/// One row of the chain experiments (Figs. 15, 16, 18, 19, 20).
+#[derive(Debug, Clone)]
+pub struct ChainRow {
+    /// Configuration label.
+    pub label: String,
+    /// Chain depth.
+    pub depth: usize,
+    /// Failure duration (seconds).
+    pub failure_secs: f64,
+    /// Measured `Procnew`.
+    pub procnew: Duration,
+    /// Measured `Ntentative` on the final output.
+    pub ntentative: u64,
+    /// Protocol violations (must be 0).
+    pub dup_stable: u64,
+}
+
+fn run_chain_failure(o: &ChainOptions, failure: Duration, label: String) -> ChainRow {
+    let (mut sys, out) = chain_system(o);
+    // §6.2 failure: mute only the boundary tuples of one input stream so
+    // the output rate stays unchanged.
+    sys.mute_boundaries(StreamId(2), FAILURE_START, FAILURE_START + failure);
+    sys.run_until(FAILURE_START + failure + Duration::from_secs(25));
+    sys.metrics.with(out, |m| ChainRow {
+        label,
+        depth: o.depth,
+        failure_secs: failure.as_secs_f64(),
+        procnew: m.procnew,
+        ntentative: m.n_tentative,
+        dup_stable: m.dup_stable,
+    })
+}
+
+/// Figs. 15/16/18: chains of depth 1–4 with D = 2 s per SUnion, comparing
+/// Delay & Delay against Process & Process for the given failure durations.
+pub fn run_chain(depths: &[usize], failure_secs: &[f64]) -> Vec<ChainRow> {
+    let mut rows = Vec::new();
+    for &variant in &DISTRIBUTED_VARIANTS {
+        for &depth in depths {
+            for &f in failure_secs {
+                let o = ChainOptions { depth, variant, ..Default::default() };
+                rows.push(run_chain_failure(
+                    &o,
+                    Duration::from_secs_f64(f),
+                    variant.name.to_string(),
+                ));
+            }
+        }
+    }
+    rows
+}
+
+/// Figs. 19/20: delay assignment on a chain of four nodes with an 8 s
+/// total budget — uniform 2 s per SUnion (Delay & Delay and Process &
+/// Process) versus the full budget (6.5 s after the queueing safety margin)
+/// at every SUnion with Process & Process.
+pub fn run_delay_assignment(failure_secs: &[f64]) -> Vec<ChainRow> {
+    let mut rows = Vec::new();
+    let configs: [(String, ChainOptions); 3] = [
+        (
+            "Delay & Delay, D=2s".to_string(),
+            ChainOptions { variant: DISTRIBUTED_VARIANTS[0], ..Default::default() },
+        ),
+        (
+            "Process & Process, D=2s".to_string(),
+            ChainOptions { variant: DISTRIBUTED_VARIANTS[1], ..Default::default() },
+        ),
+        (
+            "Process & Process, D=6.5s".to_string(),
+            ChainOptions {
+                variant: DISTRIBUTED_VARIANTS[1],
+                assignment: DelayAssignment::Full {
+                    effective: Duration::from_secs_f64(6.5),
+                },
+                ..Default::default()
+            },
+        ),
+    ];
+    for (label, o) in configs {
+        for &f in failure_secs {
+            rows.push(run_chain_failure(&o, Duration::from_secs_f64(f), label.clone()));
+        }
+    }
+    rows
+}
+
+/// One row of Tables IV / V.
+#[derive(Debug, Clone)]
+pub struct OverheadRow {
+    /// The swept parameter value in milliseconds (0 = Union baseline).
+    pub param_ms: u64,
+    /// Minimum per-tuple latency.
+    pub min: Duration,
+    /// Maximum per-tuple latency.
+    pub max: Duration,
+    /// Mean per-tuple latency.
+    pub avg: Duration,
+    /// Standard deviation of per-tuple latency.
+    pub std: Duration,
+    /// Number of tuples measured.
+    pub count: u64,
+}
+
+fn run_overhead(o: &OverheadOptions, param_ms: u64) -> OverheadRow {
+    let mut sys = overhead_system(o);
+    // §7: five-minute runs, ~25,000 tuples.
+    sys.run_until(Time::from_secs(300));
+    sys.metrics.with(crate::setups::OVERHEAD_OUT, |m| OverheadRow {
+        param_ms,
+        min: m.lat_min.unwrap_or(Duration::ZERO),
+        max: m.procnew,
+        avg: m.lat_avg(),
+        std: m.lat_std(),
+        count: m.lat_count(),
+    })
+}
+
+/// Table IV: serialization latency versus SUnion bucket size, with a fixed
+/// 10 ms boundary interval. `bucket_ms = 0` runs the plain-Union baseline.
+pub fn run_table4(bucket_ms: &[u64]) -> Vec<OverheadRow> {
+    bucket_ms
+        .iter()
+        .map(|&b| {
+            let o = OverheadOptions {
+                bucket: (b > 0).then(|| Duration::from_millis(b)),
+                boundary_interval: Duration::from_millis(10),
+                ..Default::default()
+            };
+            run_overhead(&o, b)
+        })
+        .collect()
+}
+
+/// Table V: serialization latency versus boundary interval, with a fixed
+/// 10 ms bucket size. `boundary_ms = 0` runs the plain-Union baseline.
+pub fn run_table5(boundary_ms: &[u64]) -> Vec<OverheadRow> {
+    boundary_ms
+        .iter()
+        .map(|&b| {
+            let o = OverheadOptions {
+                bucket: (b > 0).then_some(Duration::from_millis(10)),
+                boundary_interval: Duration::from_millis(b.max(1)),
+                ..Default::default()
+            };
+            run_overhead(&o, b)
+        })
+        .collect()
+}
+
+/// Result of the §5.1 switchover experiment.
+#[derive(Debug, Clone)]
+pub struct SwitchoverResult {
+    /// Largest gap between new-data arrivals at the client (contains the
+    /// detection + switch + replay window).
+    pub max_gap: Duration,
+    /// Stable tuples delivered (stream must continue).
+    pub n_stable: u64,
+    /// Protocol violations (must be 0).
+    pub dup_stable: u64,
+}
+
+/// §5.1: crash the replica the client is reading from and measure the data
+/// gap until the other replica takes over (the paper: ≤ keep-alive period +
+/// ~40 ms switch ≈ 140 ms).
+pub fn run_switchover() -> SwitchoverResult {
+    let o = SingleNodeOptions::default();
+    let mut sys = single_node_system(&o);
+    sys.crash_node(0, 0, FAILURE_START, None);
+    sys.run_until(Time::from_secs(30));
+    sys.metrics.with(SINGLE_NODE_OUT, |m| SwitchoverResult {
+        max_gap: m.max_gap,
+        n_stable: m.n_stable,
+        dup_stable: m.dup_stable,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig11_overlapping_failures_end_consistent() {
+        let r = run_fig11(false);
+        assert!(r.n_tentative > 0);
+        assert!(r.n_undo >= 1);
+        assert!(r.n_rec_done >= 1);
+        assert_eq!(r.dup_stable, 0);
+        assert!(!r.trace.is_empty());
+    }
+
+    #[test]
+    fn fig11_failure_during_recovery_reconciles_twice() {
+        let r = run_fig11(true);
+        assert!(r.n_rec_done >= 2, "two correction waves: {}", r.n_rec_done);
+        assert_eq!(r.dup_stable, 0);
+    }
+
+    #[test]
+    fn table3_meets_bound_for_short_and_long_failures() {
+        let rows = run_table3(&[2.0, 10.0]);
+        for row in &rows {
+            assert!(
+                row.procnew < Duration::from_secs_f64(3.2),
+                "{}s failure: procnew {}",
+                row.failure_secs,
+                row.procnew
+            );
+            assert_eq!(row.dup_stable, 0);
+        }
+    }
+
+    #[test]
+    fn switchover_gap_is_bounded() {
+        let r = run_switchover();
+        assert_eq!(r.dup_stable, 0);
+        assert!(r.max_gap < Duration::from_millis(1000), "gap {}", r.max_gap);
+    }
+
+    #[test]
+    fn overhead_grows_with_bucket_size() {
+        let rows = run_table4(&[0, 10, 100]);
+        assert!(rows[0].avg < rows[1].avg);
+        assert!(rows[1].avg < rows[2].avg);
+    }
+}

@@ -1,0 +1,23 @@
+//! # borealis-workloads
+//!
+//! Workload generators, deployment setups, and experiment runners
+//! reproducing every table and figure of the paper's evaluation (§5–§7).
+//! The `borealis-bench` crate wraps these runners in `cargo bench` targets;
+//! the examples and integration tests reuse the same setups.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+pub mod setups;
+
+pub use experiments::{
+    run_chain, run_delay_assignment, run_fig11, run_fig13, run_switchover, run_table3,
+    run_table4, run_table5, AvailabilityRow, ChainRow, Fig11Result, OverheadRow,
+    SwitchoverResult,
+};
+pub use report::{render_availability, render_chain, render_fig11, render_overhead, TextTable};
+pub use setups::{
+    chain_system, overhead_system, single_node_system, ChainOptions, OverheadOptions,
+    PolicyVariant, SingleNodeOptions, DISTRIBUTED_VARIANTS, SINGLE_NODE_OUT, VARIANTS,
+};

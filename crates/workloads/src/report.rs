@@ -1,0 +1,235 @@
+//! Plain-text rendering of experiment results in the paper's row/series
+//! format, used by the `cargo bench` harnesses and the examples.
+
+use crate::experiments::{AvailabilityRow, ChainRow, Fig11Result, OverheadRow};
+use borealis_types::TupleKind;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A simple fixed-width text table.
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> TextTable {
+        TextTable {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(line, "{:>width$}  ", c, width = widths[i]);
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total.saturating_sub(2)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders Table III / Fig. 13 rows grouped by variant: one line per
+/// variant, one column per failure duration.
+pub fn render_availability(title: &str, rows: &[AvailabilityRow], metric_tentative: bool) -> String {
+    let mut durations: Vec<f64> = rows.iter().map(|r| r.failure_secs).collect();
+    durations.sort_by(f64::total_cmp);
+    durations.dedup();
+    let mut headers: Vec<String> = vec!["variant".to_string()];
+    headers.extend(durations.iter().map(|d| format!("{d}s")));
+    let mut t = TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut variants: Vec<&'static str> = rows.iter().map(|r| r.variant).collect();
+    variants.dedup();
+    let mut seen = Vec::new();
+    for v in variants {
+        if seen.contains(&v) {
+            continue;
+        }
+        seen.push(v);
+        let mut cells = vec![v.to_string()];
+        for &d in &durations {
+            let cell = rows
+                .iter()
+                .find(|r| r.variant == v && r.failure_secs == d)
+                .map(|r| {
+                    if metric_tentative {
+                        format!("{}", r.ntentative)
+                    } else {
+                        format!("{:.2}", r.procnew.as_secs_f64())
+                    }
+                })
+                .unwrap_or_default();
+            cells.push(cell);
+        }
+        t.row(cells);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Renders chain rows: grouped by label, one line per (label, duration),
+/// one column per depth.
+pub fn render_chain(title: &str, rows: &[ChainRow], metric_tentative: bool) -> String {
+    let mut depths: Vec<usize> = rows.iter().map(|r| r.depth).collect();
+    depths.sort_unstable();
+    depths.dedup();
+    let mut headers: Vec<String> = vec!["configuration".into(), "failure".into()];
+    headers.extend(depths.iter().map(|d| format!("depth {d}")));
+    let mut t = TextTable::new(&headers.iter().map(String::as_str).collect::<Vec<_>>());
+    let mut groups: BTreeMap<(String, u64), Vec<&ChainRow>> = BTreeMap::new();
+    for r in rows {
+        groups
+            .entry((r.label.clone(), (r.failure_secs * 1000.0) as u64))
+            .or_default()
+            .push(r);
+    }
+    for ((label, f_ms), group) in groups {
+        let mut cells = vec![label, format!("{}s", f_ms as f64 / 1000.0)];
+        for &d in &depths {
+            let cell = group
+                .iter()
+                .find(|r| r.depth == d)
+                .map(|r| {
+                    if metric_tentative {
+                        format!("{}", r.ntentative)
+                    } else {
+                        format!("{:.2}", r.procnew.as_secs_f64())
+                    }
+                })
+                .unwrap_or_default();
+            cells.push(cell);
+        }
+        t.row(cells);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Renders Tables IV/V: latency stats per parameter value, in milliseconds.
+pub fn render_overhead(title: &str, param_name: &str, rows: &[OverheadRow]) -> String {
+    let mut t = TextTable::new(&[param_name, "min(ms)", "max(ms)", "avg(ms)", "stddev(ms)", "tuples"]);
+    for r in rows {
+        t.row(vec![
+            if r.param_ms == 0 { "0 (union)".into() } else { format!("{}", r.param_ms) },
+            format!("{:.1}", r.min.as_micros() as f64 / 1000.0),
+            format!("{:.1}", r.max.as_micros() as f64 / 1000.0),
+            format!("{:.1}", r.avg.as_micros() as f64 / 1000.0),
+            format!("{:.1}", r.std.as_micros() as f64 / 1000.0),
+            format!("{}", r.count),
+        ]);
+    }
+    format!("{title}\n{}", t.render())
+}
+
+/// Renders a Fig. 11-style output trace: a downsampled (time, seq#, kind)
+/// series plus the event markers (UNDO, REC_DONE), mirroring the paper's
+/// scatter plots.
+pub fn render_fig11(title: &str, r: &Fig11Result, sample_every: usize) -> String {
+    let mut out = format!("{title}\n  time(ms)  kind  seq\n");
+    for (i, e) in r.trace.iter().enumerate() {
+        let marker = match e.kind {
+            TupleKind::Insertion => "S",
+            TupleKind::Tentative => "T",
+            TupleKind::Undo => "U",
+            TupleKind::RecDone => "R",
+            TupleKind::Boundary => continue,
+        };
+        // Always show protocol markers; downsample data tuples.
+        if matches!(e.kind, TupleKind::Insertion | TupleKind::Tentative)
+            && i % sample_every.max(1) != 0
+        {
+            continue;
+        }
+        let _ = writeln!(
+            out,
+            "  {:>8}  {:>4}  {}",
+            e.arrival.as_millis(),
+            marker,
+            if e.kind == TupleKind::Undo {
+                format!("undo->{}", e.undo_target.unwrap_or_default().0)
+            } else {
+                format!("{}", e.id.0)
+            }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  summary: stable={} tentative={} undo={} rec_done={} dup={} max_gap={}",
+        r.n_stable, r.n_tentative, r.n_undo, r.n_rec_done, r.dup_stable, r.max_gap
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::Duration;
+
+    #[test]
+    fn text_table_alignment() {
+        let mut t = TextTable::new(&["a", "bbbb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "x".into()]);
+        let s = t.render();
+        assert!(s.contains("  a  bbbb"));
+        assert!(s.lines().count() == 4);
+    }
+
+    #[test]
+    fn availability_rendering_groups_variants() {
+        let rows = vec![
+            AvailabilityRow {
+                variant: "Process & Process",
+                failure_secs: 2.0,
+                procnew: Duration::from_millis(2800),
+                ntentative: 10,
+                dup_stable: 0,
+            },
+            AvailabilityRow {
+                variant: "Process & Process",
+                failure_secs: 4.0,
+                procnew: Duration::from_millis(2810),
+                ntentative: 20,
+                dup_stable: 0,
+            },
+        ];
+        let s = render_availability("t", &rows, false);
+        assert!(s.contains("2s"));
+        assert!(s.contains("4s"));
+        assert!(s.contains("2.80"));
+        let s2 = render_availability("t", &rows, true);
+        assert!(s2.contains("20"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        let mut t = TextTable::new(&["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

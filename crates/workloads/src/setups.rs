@@ -1,0 +1,413 @@
+//! Deployment setups matching the paper's experimental configurations
+//! (Figs. 10, 12, 14, 22).
+
+use borealis_diagram::{
+    plan, DelayAssignment, Deployment, DiagramBuilder, DpcConfig, FragmentInput, FragmentOutput,
+    FragmentPlan, LogicalOp, PhysOp, PhysicalPlan, StreamOrigin,
+};
+use borealis_dpc::{
+    ClientTuning, MetricsHub, NodeTuning, RunningSystem, SourceConfig, SystemBuilder, ValueGen,
+};
+use borealis_ops::{DelayMode, OperatorSpec, SJoinSpec, SUnionConfig};
+use borealis_types::{Duration, Expr, FragmentId, StreamId};
+
+/// The six §6.1 policy variants (UP_FAILURE mode & STABILIZATION mode).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PolicyVariant {
+    /// Display name matching the paper ("Delay & Process" etc.).
+    pub name: &'static str,
+    /// Mode during UP_FAILURE.
+    pub failure: DelayMode,
+    /// Mode during STABILIZATION.
+    pub stabilization: DelayMode,
+}
+
+/// All six §6.1 variants, in the paper's legend order.
+pub const VARIANTS: [PolicyVariant; 6] = [
+    PolicyVariant { name: "Process & Process", failure: DelayMode::Process, stabilization: DelayMode::Process },
+    PolicyVariant { name: "Delay & Process", failure: DelayMode::Delay, stabilization: DelayMode::Process },
+    PolicyVariant { name: "Process & Delay", failure: DelayMode::Process, stabilization: DelayMode::Delay },
+    PolicyVariant { name: "Delay & Delay", failure: DelayMode::Delay, stabilization: DelayMode::Delay },
+    PolicyVariant { name: "Process & Suspend", failure: DelayMode::Process, stabilization: DelayMode::Suspend },
+    PolicyVariant { name: "Delay & Suspend", failure: DelayMode::Delay, stabilization: DelayMode::Suspend },
+];
+
+/// The two variants §6.2 compares in distributed settings.
+pub const DISTRIBUTED_VARIANTS: [PolicyVariant; 2] = [
+    PolicyVariant { name: "Delay & Delay", failure: DelayMode::Delay, stabilization: DelayMode::Delay },
+    PolicyVariant { name: "Process & Process", failure: DelayMode::Process, stabilization: DelayMode::Process },
+];
+
+/// Options for the single-node setups (Figs. 10 and 12).
+#[derive(Debug, Clone)]
+pub struct SingleNodeOptions {
+    /// Replicas of the processing node (1 for Fig. 11, 2 for Table III and
+    /// Fig. 13).
+    pub replication: usize,
+    /// Aggregate input rate across the three streams (tuples/second).
+    pub total_rate: f64,
+    /// The application's incremental latency budget `X` (the per-SUnion
+    /// detection delay is `0.9 X`, as in the paper's implementation).
+    pub delay: Duration,
+    /// Availability/consistency policy.
+    pub variant: PolicyVariant,
+    /// Include the SJoin stage (Table III / Fig. 12 setup).
+    pub with_join: bool,
+    /// Per-tuple CPU cost of the nodes.
+    pub per_tuple_cost: Duration,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Record the full client arrival trace.
+    pub trace: bool,
+}
+
+impl Default for SingleNodeOptions {
+    fn default() -> Self {
+        SingleNodeOptions {
+            replication: 2,
+            total_rate: 900.0,
+            delay: Duration::from_secs(3),
+            variant: VARIANTS[0],
+            with_join: false,
+            per_tuple_cost: Duration::from_micros(40),
+            seed: 42,
+            trace: false,
+        }
+    }
+}
+
+/// The three source streams of the single-node setups.
+pub fn single_node_sources() -> [StreamId; 3] {
+    [StreamId(0), StreamId(1), StreamId(2)]
+}
+
+/// Output stream of the single-node setups.
+pub const SINGLE_NODE_OUT: StreamId = StreamId(3);
+
+/// Builds the Fig. 12 fragment by hand: one SUnion over the three input
+/// streams, optionally an SJoin with a 100-tuple state, and an SOutput.
+fn single_node_plan(o: &SingleNodeOptions) -> PhysicalPlan {
+    let detect = Duration::from_micros((o.delay.as_micros() as f64 * 0.9) as u64);
+    let sunion = SUnionConfig {
+        n_inputs: 3,
+        bucket: Duration::from_millis(100),
+        detect_delay: detect,
+        delay_budget: detect,
+        tentative_wait: Duration::from_millis(300),
+        failure_mode: o.variant.failure,
+        stabilization_mode: o.variant.stabilization,
+        is_input: true,
+    };
+    let mut ops = vec![PhysOp {
+        spec: OperatorSpec::SUnion(sunion),
+        fanout: Vec::new(),
+        external_output: None,
+    }];
+    let mut last = 0usize;
+    if o.with_join {
+        // Streams tagged origin 0 join against streams 1 and 2 on the key
+        // attribute, within a 100 ms window, keeping at most 100 tuples per
+        // side (the paper's "SJoin with a 100-tuple state size").
+        ops.push(PhysOp {
+            spec: OperatorSpec::SJoin(SJoinSpec {
+                window: Duration::from_millis(100),
+                left_key: Expr::field(0),
+                right_key: Expr::field(0),
+                max_state: Some(100),
+                left_split: 1,
+            }),
+            fanout: Vec::new(),
+            external_output: None,
+        });
+        ops[last].fanout.push((1, 0));
+        last = 1;
+    }
+    let so = ops.len();
+    ops.push(PhysOp {
+        spec: OperatorSpec::SOutput,
+        fanout: Vec::new(),
+        external_output: Some(SINGLE_NODE_OUT),
+    });
+    ops[last].fanout.push((so, 0));
+    let inputs = (0..3)
+        .map(|i| FragmentInput {
+            stream: StreamId(i),
+            target: 0,
+            port: i as usize,
+            origin: StreamOrigin::Source,
+        })
+        .collect();
+    PhysicalPlan {
+        fragments: vec![FragmentPlan {
+            id: FragmentId(0),
+            ops,
+            inputs,
+            outputs: vec![FragmentOutput { stream: SINGLE_NODE_OUT, op: so }],
+        }],
+        max_sunion_depth: 1,
+        per_sunion_delay: detect,
+    }
+}
+
+/// Builds the single-node system (Figs. 10/12): three sources feeding a
+/// (possibly replicated) node, client watching the output.
+pub fn single_node_system(o: &SingleNodeOptions) -> RunningSystem {
+    let p = single_node_plan(o);
+    let rate = o.total_rate / 3.0;
+    let metrics = MetricsHub::new();
+    if o.trace {
+        metrics.enable_trace(SINGLE_NODE_OUT);
+    }
+    let mut builder = SystemBuilder::new(o.seed, Duration::from_millis(1))
+        .plan(p)
+        .replication(o.replication)
+        .client_streams(vec![SINGLE_NODE_OUT])
+        .metrics(metrics)
+        .node_tuning(NodeTuning { per_tuple_cost: o.per_tuple_cost, ..NodeTuning::default() })
+        .client_tuning(ClientTuning::default());
+    for s in single_node_sources() {
+        builder = builder.source(SourceConfig {
+            stream: s,
+            rate,
+            boundary_interval: Duration::from_millis(100),
+            batch_period: Duration::from_millis(10),
+            values: if o.with_join { ValueGen::Keyed { keys: 25 } } else { ValueGen::Seq },
+        });
+    }
+    builder.build()
+}
+
+/// Options for the chain setups (Fig. 14).
+#[derive(Debug, Clone)]
+pub struct ChainOptions {
+    /// Number of processing nodes in sequence (1–4 in the paper).
+    pub depth: usize,
+    /// Aggregate input rate (500 tuples/s in §6.2).
+    pub total_rate: f64,
+    /// Per-SUnion delay `D` under uniform assignment (2 s in §6.2), or the
+    /// full-X effective value under [`DelayAssignment::Full`].
+    pub per_node_delay: Duration,
+    /// Delay assignment strategy (§6.3).
+    pub assignment: DelayAssignment,
+    /// Availability/consistency policy.
+    pub variant: PolicyVariant,
+    /// Per-tuple CPU cost of the nodes.
+    pub per_tuple_cost: Duration,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for ChainOptions {
+    fn default() -> Self {
+        ChainOptions {
+            depth: 4,
+            total_rate: 500.0,
+            per_node_delay: Duration::from_secs(2),
+            assignment: DelayAssignment::Uniform,
+            variant: DISTRIBUTED_VARIANTS[1],
+            per_tuple_cost: Duration::from_micros(40),
+            seed: 42,
+        }
+    }
+}
+
+/// Builds the Fig. 14 chain: three sources → Union (node 1) → identity Maps
+/// (nodes 2..depth) → client. Every node pair is replicated.
+///
+/// Returns the system and the client-visible output stream.
+pub fn chain_system(o: &ChainOptions) -> (RunningSystem, StreamId) {
+    assert!(o.depth >= 1);
+    let mut b = DiagramBuilder::new();
+    let s1 = b.source("s1");
+    let s2 = b.source("s2");
+    let s3 = b.source("s3");
+    let mut last = b.add("stage1", LogicalOp::Union, &[s1, s2, s3]);
+    let mut assignment = vec![FragmentId(0)];
+    for stage in 1..o.depth {
+        last = b.add(
+            &format!("stage{}", stage + 1),
+            LogicalOp::Map { outputs: vec![Expr::field(0)] },
+            &[last],
+        );
+        assignment.push(FragmentId(stage as u32));
+    }
+    b.output(last);
+    let d = b.build().expect("chain diagram is valid");
+    let dep = Deployment::explicit(assignment);
+    // Under Uniform, `total_delay` is per-node-delay × depth so each SUnion
+    // receives `0.9 × per_node_delay` (the paper's 0.9 D safety margin).
+    let cfg = DpcConfig {
+        bucket: Duration::from_millis(100),
+        total_delay: Duration::from_micros(o.per_node_delay.as_micros() * o.depth as u64),
+        safety: 0.9,
+        assignment: o.assignment,
+        failure_mode: o.variant.failure,
+        stabilization_mode: o.variant.stabilization,
+        tentative_wait: Duration::from_millis(300),
+    };
+    let p = plan(&d, &dep, &cfg).expect("chain plan is valid");
+    let metrics = MetricsHub::new();
+    let mut builder = SystemBuilder::new(o.seed, Duration::from_millis(1))
+        .plan(p)
+        .replication(2)
+        .client_streams(vec![last])
+        .metrics(metrics)
+        .node_tuning(NodeTuning { per_tuple_cost: o.per_tuple_cost, ..NodeTuning::default() });
+    for s in [s1, s2, s3] {
+        builder = builder.source(SourceConfig {
+            stream: s,
+            rate: o.total_rate / 3.0,
+            boundary_interval: Duration::from_millis(100),
+            batch_period: Duration::from_millis(10),
+            values: ValueGen::Seq,
+        });
+    }
+    (builder.build(), last)
+}
+
+/// Options for the serialization-overhead setup (Fig. 22, Tables IV & V).
+#[derive(Debug, Clone)]
+pub struct OverheadOptions {
+    /// SUnion bucket size; `None` runs the plain-Union baseline with no
+    /// boundary tuples at all (the tables' 0 column).
+    pub bucket: Option<Duration>,
+    /// Source boundary interval (ignored for the baseline).
+    pub boundary_interval: Duration,
+    /// Input rate (1 tuple per 10 ms in §7).
+    pub rate: f64,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for OverheadOptions {
+    fn default() -> Self {
+        OverheadOptions {
+            bucket: Some(Duration::from_millis(10)),
+            boundary_interval: Duration::from_millis(10),
+            rate: 100.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Output stream of the overhead setup.
+pub const OVERHEAD_OUT: StreamId = StreamId(1);
+
+/// Builds the Fig. 22 setup: one source → (SUnion + SOutput | plain pass-
+/// through) → client.
+pub fn overhead_system(o: &OverheadOptions) -> RunningSystem {
+    let input = StreamId(0);
+    let ops = match o.bucket {
+        Some(bucket) => {
+            let sunion = SUnionConfig {
+                n_inputs: 1,
+                bucket,
+                detect_delay: Duration::from_secs(3600), // never fail here
+                delay_budget: Duration::from_secs(3600),
+                tentative_wait: Duration::from_millis(300),
+                failure_mode: DelayMode::Process,
+                stabilization_mode: DelayMode::Process,
+                is_input: true,
+            };
+            vec![
+                PhysOp {
+                    spec: OperatorSpec::SUnion(sunion),
+                    fanout: vec![(1, 0)],
+                    external_output: None,
+                },
+                PhysOp {
+                    spec: OperatorSpec::SOutput,
+                    fanout: Vec::new(),
+                    external_output: Some(OVERHEAD_OUT),
+                },
+            ]
+        }
+        None => vec![PhysOp {
+            // Baseline without fault tolerance: a pass-through Map with no
+            // serialization (Fig. 22(b)).
+            spec: OperatorSpec::Map { outputs: vec![Expr::field(0)] },
+            fanout: Vec::new(),
+            external_output: Some(OVERHEAD_OUT),
+        }],
+    };
+    let out_op = ops.len() - 1;
+    let p = PhysicalPlan {
+        fragments: vec![FragmentPlan {
+            id: FragmentId(0),
+            ops,
+            inputs: vec![FragmentInput {
+                stream: input,
+                target: 0,
+                port: 0,
+                origin: StreamOrigin::Source,
+            }],
+            outputs: vec![FragmentOutput { stream: OVERHEAD_OUT, op: out_op }],
+        }],
+        max_sunion_depth: 1,
+        per_sunion_delay: Duration::from_secs(3600),
+    };
+    SystemBuilder::new(o.seed, Duration::from_millis(1))
+        .source(SourceConfig {
+            stream: input,
+            rate: o.rate,
+            boundary_interval: if o.bucket.is_some() {
+                o.boundary_interval
+            } else {
+                Duration::ZERO
+            },
+            batch_period: Duration::from_millis(10),
+            values: ValueGen::Seq,
+        })
+        .plan(p)
+        .replication(1)
+        .client_streams(vec![OVERHEAD_OUT])
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::Time;
+
+    #[test]
+    fn single_node_system_runs_clean() {
+        let mut sys = single_node_system(&SingleNodeOptions::default());
+        sys.run_until(Time::from_secs(5));
+        sys.metrics.with(SINGLE_NODE_OUT, |m| {
+            assert!(m.n_stable > 1000);
+            assert_eq!(m.n_tentative, 0);
+        });
+    }
+
+    #[test]
+    fn join_variant_produces_matches() {
+        let o = SingleNodeOptions { with_join: true, ..Default::default() };
+        let mut sys = single_node_system(&o);
+        sys.run_until(Time::from_secs(5));
+        sys.metrics.with(SINGLE_NODE_OUT, |m| {
+            assert!(m.n_stable > 0, "join must produce matches");
+            assert_eq!(m.n_tentative, 0);
+        });
+    }
+
+    #[test]
+    fn chain_depth_three_runs_clean() {
+        let (mut sys, out) = chain_system(&ChainOptions { depth: 3, ..Default::default() });
+        sys.run_until(Time::from_secs(6));
+        sys.metrics.with(out, |m| {
+            assert!(m.n_stable > 1500, "stable = {}", m.n_stable);
+            assert_eq!(m.n_tentative, 0);
+            assert_eq!(m.dup_stable, 0);
+        });
+    }
+
+    #[test]
+    fn overhead_baseline_has_tiny_latency() {
+        let mut sys = overhead_system(&OverheadOptions { bucket: None, ..Default::default() });
+        sys.run_until(Time::from_secs(5));
+        sys.metrics.with(OVERHEAD_OUT, |m| {
+            assert!(m.n_stable > 400);
+            assert!(m.lat_avg() < borealis_types::Duration::from_millis(20));
+        });
+    }
+}

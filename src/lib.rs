@@ -1,0 +1,101 @@
+//! # Borealis DPC — fault-tolerant distributed stream processing
+//!
+//! A from-scratch Rust reproduction of *Fault-Tolerance in the Borealis
+//! Distributed Stream Processing System* (Balazinska, Balakrishnan, Madden,
+//! Stonebraker; SIGMOD 2005 / ACM TODS): the **DPC** (Delay, Process, and
+//! Correct) protocol, the Borealis-style stream engine it runs on, and a
+//! deterministic distributed-systems simulator that reproduces every
+//! experiment in the paper's evaluation.
+//!
+//! ## The thirty-second tour
+//!
+//! ```
+//! use borealis::prelude::*;
+//!
+//! // 1. Describe a query diagram: three monitor streams merged into one.
+//! let mut b = DiagramBuilder::new();
+//! let (m1, m2, m3) = (b.source("m1"), b.source("m2"), b.source("m3"));
+//! let merged = b.add("merged", LogicalOp::Union, &[m1, m2, m3]);
+//! b.output(merged);
+//! let diagram = b.build().unwrap();
+//!
+//! // 2. Plan it for DPC with a 2-second incremental latency budget.
+//! let cfg = DpcConfig { total_delay: Duration::from_secs(2), ..DpcConfig::default() };
+//! let plan = plan(&diagram, &Deployment::single(&diagram), &cfg).unwrap();
+//!
+//! // 3. Deploy: replicated node pair, three sources, one client.
+//! let mut sys = SystemBuilder::new(7, Duration::from_millis(1))
+//!     .source(SourceConfig::seq(m1, 100.0))
+//!     .source(SourceConfig::seq(m2, 100.0))
+//!     .source(SourceConfig::seq(m3, 100.0))
+//!     .plan(plan)
+//!     .replication(2)
+//!     .client_streams(vec![merged])
+//!     .build();
+//!
+//! // 4. Script a failure: monitor 3 unreachable from t=5s to t=8s.
+//! sys.disconnect_source(m3, 0, Time::from_secs(5), Time::from_secs(8));
+//! sys.run_until(Time::from_secs(20));
+//!
+//! // 5. The client saw low-latency tentative results during the failure
+//! //    and received stable corrections afterwards.
+//! sys.metrics.with(merged, |m| {
+//!     assert!(m.n_tentative > 0);
+//!     assert!(m.n_rec_done >= 1);
+//!     assert_eq!(m.dup_stable, 0);
+//! });
+//! ```
+//!
+//! ## Crate map
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | `borealis-types` | Tuple model (stable/tentative/boundary/undo/rec-done), time, expressions |
+//! | `borealis-ops` | Operators: Filter, Map, Union, Aggregate, SJoin, SUnion, SOutput |
+//! | `borealis-diagram` | Query diagrams, validation, DPC planning, delay assignment |
+//! | `borealis-engine` | Per-node fragment executor with checkpoint/redo reconciliation |
+//! | `borealis-sim` | Deterministic discrete-event simulator + network fault injection |
+//! | `borealis-dpc` | The DPC protocol: nodes, sources, clients, replica management |
+//! | `borealis-workloads` | Paper-experiment setups and runners |
+//! | `borealis-bench` | One `cargo bench` target per paper table/figure |
+
+pub use borealis_diagram as diagram;
+pub use borealis_dpc as dpc;
+pub use borealis_engine as engine;
+pub use borealis_ops as ops;
+pub use borealis_sim as sim;
+pub use borealis_types as types;
+pub use borealis_workloads as workloads;
+
+/// Everything needed to build and run a fault-tolerant stream deployment.
+pub mod prelude {
+    pub use borealis_diagram::{
+        plan, DelayAssignment, Deployment, Diagram, DiagramBuilder, DpcConfig, JoinSpec,
+        LogicalOp, PhysicalPlan,
+    };
+    pub use borealis_dpc::{
+        BufferPolicy, ClientTuning, MetricsHub, NodeState, NodeTuning, RunningSystem,
+        SourceConfig, SystemBuilder, ValueGen,
+    };
+    pub use borealis_ops::{AggFn, AggregateSpec, DelayMode, SJoinSpec, SUnionConfig};
+    pub use borealis_types::{
+        Duration, Expr, FragmentId, NodeId, StreamId, Time, Tuple, TupleId, TupleKind, Value,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_builder_api() {
+        use crate::prelude::*;
+        let mut b = DiagramBuilder::new();
+        let s = b.source("s");
+        let f = b.add(
+            "f",
+            LogicalOp::Filter { predicate: Expr::Const(Value::Bool(true)) },
+            &[s],
+        );
+        b.output(f);
+        assert!(b.build().is_ok());
+    }
+}

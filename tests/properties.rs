@@ -1,0 +1,205 @@
+//! Property-based tests: DPC's guarantees must hold for *arbitrary* failure
+//! schedules, not just the scripted scenarios of the paper's evaluation.
+
+use borealis::prelude::*;
+use borealis_dpc::TraceEntry;
+use proptest::prelude::*;
+
+/// A randomly generated failure episode.
+#[derive(Debug, Clone)]
+struct Episode {
+    stream: u32,
+    start_ms: u64,
+    duration_ms: u64,
+    boundary_only: bool,
+}
+
+fn episode_strategy() -> impl Strategy<Value = Episode> {
+    (0u32..3, 5_000u64..15_000, 500u64..8_000, any::<bool>()).prop_map(
+        |(stream, start_ms, duration_ms, boundary_only)| Episode {
+            stream,
+            start_ms,
+            duration_ms,
+            boundary_only,
+        },
+    )
+}
+
+fn build_system(seed: u64, trace: bool) -> (RunningSystem, StreamId) {
+    let mut b = DiagramBuilder::new();
+    let s1 = b.source("s1");
+    let s2 = b.source("s2");
+    let s3 = b.source("s3");
+    let u = b.add("merged", LogicalOp::Union, &[s1, s2, s3]);
+    b.output(u);
+    let d = b.build().unwrap();
+    let cfg = DpcConfig {
+        total_delay: Duration::from_secs(2),
+        ..DpcConfig::default()
+    };
+    let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
+    let hub = MetricsHub::new();
+    if trace {
+        hub.enable_trace(u);
+    }
+    let mut builder = SystemBuilder::new(seed, Duration::from_millis(1))
+        .plan(p)
+        .replication(2)
+        .client_streams(vec![u])
+        .metrics(hub);
+    for s in [s1, s2, s3] {
+        builder = builder.source(SourceConfig::seq(s, 60.0));
+    }
+    (builder.build(), u)
+}
+
+/// Extracts the stable stream the client retains after undo application.
+fn retained_stable(trace: &[TraceEntry]) -> Vec<(u64, u64)> {
+    let mut result: Vec<(u64, u64, bool)> = Vec::new();
+    for e in trace {
+        match e.kind {
+            TupleKind::Insertion => result.push((e.id.0, e.stime.as_micros(), true)),
+            TupleKind::Tentative => result.push((e.id.0, e.stime.as_micros(), false)),
+            TupleKind::Undo => {
+                let target = e.undo_target.unwrap_or_default().0;
+                let keep = result
+                    .iter()
+                    .rposition(|&(id, _, stable)| stable && id <= target)
+                    .map(|i| i + 1)
+                    .unwrap_or(0);
+                result.truncate(keep);
+            }
+            _ => {}
+        }
+    }
+    result
+        .into_iter()
+        .filter(|&(_, _, stable)| stable)
+        .map(|(id, st, _)| (id, st))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 12,
+        .. ProptestConfig::default()
+    })]
+
+    /// For any schedule of 1-3 failure episodes:
+    /// (a) no duplicate stable tuples ever reach the client,
+    /// (b) the retained stable stream is a prefix of the failure-free run's
+    ///     stream (Definition 1: same tuples, same order), and
+    /// (c) stable ids are strictly increasing after undo application.
+    #[test]
+    fn dpc_invariants_hold_under_random_failures(
+        episodes in prop::collection::vec(episode_strategy(), 1..=3),
+        seed in 0u64..1000,
+    ) {
+        let horizon = Time::from_secs(45);
+        let (mut clean, out) = build_system(seed, true);
+        clean.run_until(horizon);
+        let reference = clean.metrics.with(out, |m| retained_stable(m.trace.as_ref().unwrap()));
+
+        let (mut sys, out2) = build_system(seed, true);
+        for ep in &episodes {
+            let start = Time(ep.start_ms * 1000);
+            let end = start + Duration::from_millis(ep.duration_ms);
+            if ep.boundary_only {
+                sys.mute_boundaries(StreamId(ep.stream), start, end);
+            } else {
+                sys.disconnect_source(StreamId(ep.stream), 0, start, end);
+            }
+        }
+        sys.run_until(horizon);
+
+        sys.metrics.with(out2, |m| {
+            // (a) No duplicates.
+            prop_assert_eq!(m.dup_stable, 0);
+            let retained = retained_stable(m.trace.as_ref().unwrap());
+            // (c) Strictly increasing stable ids.
+            prop_assert!(retained.windows(2).all(|w| w[0].0 < w[1].0));
+            // (b) Prefix equivalence with the failure-free run.
+            let n = retained.len().min(reference.len());
+            prop_assert!(n > 0, "no stable output at all");
+            prop_assert_eq!(&retained[..n], &reference[..n]);
+            Ok(())
+        })?;
+    }
+
+    /// Availability: for failures comfortably inside the run, the client
+    /// keeps receiving new data — the maximum gap stays within the
+    /// detection delay plus protocol slack, for any single episode.
+    #[test]
+    fn availability_holds_for_any_single_failure(
+        ep in episode_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let (mut sys, out) = build_system(seed, false);
+        let start = Time(ep.start_ms * 1000);
+        let end = start + Duration::from_millis(ep.duration_ms);
+        if ep.boundary_only {
+            sys.mute_boundaries(StreamId(ep.stream), start, end);
+        } else {
+            sys.disconnect_source(StreamId(ep.stream), 0, start, end);
+        }
+        sys.run_until(Time::from_secs(45));
+        sys.metrics.with(out, |m| {
+            prop_assert!(
+                m.max_gap < Duration::from_millis(2900),
+                "gap {} exceeds bound for {:?}", m.max_gap, ep
+            );
+            Ok(())
+        })?;
+    }
+}
+
+/// Deterministic serialization: feeding the same tuples in arbitrary
+/// per-stream interleavings produces identical SUnion output order — the
+/// §4.2 replica-consistency guarantee at the operator level.
+#[test]
+fn sunion_total_order_is_interleaving_invariant() {
+    use borealis::ops::{Emitter, Operator, SUnion};
+    use proptest::strategy::ValueTree;
+    use proptest::test_runner::TestRunner;
+
+    let mut runner = TestRunner::default();
+    for _ in 0..50 {
+        // Random per-stream tuples with random stimes inside one bucket
+        // span, delivered in two different interleavings.
+        let tuples_strategy = prop::collection::vec((0usize..3, 0u64..400), 1..40);
+        let tree = tuples_strategy.new_tree(&mut runner).unwrap();
+        let items = tree.current();
+
+        let run = |order: &[(usize, u64)]| {
+            let mut cfg = SUnionConfig::new(3);
+            cfg.bucket = Duration::from_millis(100);
+            cfg.is_input = true;
+            let mut s = SUnion::new(cfg);
+            let mut out = Emitter::new();
+            let mut ids = [1u64; 3];
+            for &(port, stime_ms) in order {
+                let t = Tuple::insertion(
+                    TupleId(ids[port]),
+                    Time::from_millis(stime_ms),
+                    vec![Value::Int(stime_ms as i64)],
+                );
+                ids[port] += 1;
+                s.process(port, &t, Time::from_millis(1), &mut out);
+            }
+            for port in 0..3 {
+                let b = Tuple::boundary(TupleId::NONE, Time::from_millis(500));
+                s.process(port, &b, Time::from_millis(2), &mut out);
+            }
+            out.tuples
+                .iter()
+                .filter(|t| t.is_data())
+                .map(|t| (t.stime.as_micros(), t.origin, t.values.clone()))
+                .collect::<Vec<_>>()
+        };
+
+        // Original order vs per-port-stable shuffled order (port-major).
+        let mut shuffled = items.clone();
+        shuffled.sort_by_key(|&(port, _)| port); // stable: per-port order kept
+        assert_eq!(run(&items), run(&shuffled), "interleaving changed the order");
+    }
+}

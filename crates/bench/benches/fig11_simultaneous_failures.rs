@@ -7,10 +7,22 @@ use borealis_workloads::{render_fig11, run_fig11};
 
 fn main() {
     let a = run_fig11(false);
-    println!("{}", render_fig11("Fig. 11(a): overlapping failures", &a, 400));
-    assert_eq!(a.dup_stable, 0, "protocol violation: duplicate stable tuples");
+    println!(
+        "{}",
+        render_fig11("Fig. 11(a): overlapping failures", &a, 400)
+    );
+    assert_eq!(
+        a.dup_stable, 0,
+        "protocol violation: duplicate stable tuples"
+    );
     let b = run_fig11(true);
-    println!("{}", render_fig11("Fig. 11(b): failure during recovery", &b, 400));
-    assert_eq!(b.dup_stable, 0, "protocol violation: duplicate stable tuples");
+    println!(
+        "{}",
+        render_fig11("Fig. 11(b): failure during recovery", &b, 400)
+    );
+    assert_eq!(
+        b.dup_stable, 0,
+        "protocol violation: duplicate stable tuples"
+    );
     assert!(b.n_rec_done >= 2, "expected two correction waves");
 }

@@ -11,17 +11,23 @@ use borealis_workloads::{render_availability, run_fig13, VARIANTS};
 fn main() {
     let durations = [2.0, 4.0, 6.0, 8.0, 10.0, 14.0, 30.0];
     let rows = run_fig13(&VARIANTS, &durations);
-    println!("{}", render_availability(
-        "Fig. 13(a)/(c): Procnew (seconds) per variant",
-        &rows,
-        false,
-    ));
-    println!("{}", render_availability(
-        "Fig. 13(b)/(d): Ntentative per variant",
-        &rows,
-        true,
-    ));
+    println!(
+        "{}",
+        render_availability(
+            "Fig. 13(a)/(c): Procnew (seconds) per variant",
+            &rows,
+            false,
+        )
+    );
+    println!(
+        "{}",
+        render_availability("Fig. 13(b)/(d): Ntentative per variant", &rows, true,)
+    );
     for r in &rows {
-        assert_eq!(r.dup_stable, 0, "duplicate stable tuples in {} at {}s", r.variant, r.failure_secs);
+        assert_eq!(
+            r.dup_stable, 0,
+            "duplicate stable tuples in {} at {}s",
+            r.variant, r.failure_secs
+        );
     }
 }

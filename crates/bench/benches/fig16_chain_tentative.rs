@@ -7,12 +7,19 @@ use borealis_workloads::{render_chain, run_chain};
 
 fn main() {
     let rows = run_chain(&[1, 2, 3, 4], &[5.0, 10.0, 15.0, 30.0]);
-    println!("{}", render_chain(
-        "Fig. 16: Ntentative vs chain depth (short failures)",
-        &rows,
-        true,
-    ));
+    println!(
+        "{}",
+        render_chain(
+            "Fig. 16: Ntentative vs chain depth (short failures)",
+            &rows,
+            true,
+        )
+    );
     for r in &rows {
-        assert_eq!(r.dup_stable, 0, "duplicate stable tuples at depth {}", r.depth);
+        assert_eq!(
+            r.dup_stable, 0,
+            "duplicate stable tuples at depth {}",
+            r.depth
+        );
     }
 }

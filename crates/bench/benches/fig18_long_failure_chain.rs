@@ -6,12 +6,19 @@ use borealis_workloads::{render_chain, run_chain};
 
 fn main() {
     let rows = run_chain(&[1, 2, 3, 4], &[60.0]);
-    println!("{}", render_chain(
-        "Fig. 18: Ntentative vs chain depth, 60 s failure",
-        &rows,
-        true,
-    ));
+    println!(
+        "{}",
+        render_chain(
+            "Fig. 18: Ntentative vs chain depth, 60 s failure",
+            &rows,
+            true,
+        )
+    );
     for r in &rows {
-        assert_eq!(r.dup_stable, 0, "duplicate stable tuples at depth {}", r.depth);
+        assert_eq!(
+            r.dup_stable, 0,
+            "duplicate stable tuples at depth {}",
+            r.depth
+        );
     }
 }

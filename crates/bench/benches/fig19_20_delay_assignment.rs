@@ -8,19 +8,24 @@ use borealis_workloads::{render_chain, run_delay_assignment};
 
 fn main() {
     let rows = run_delay_assignment(&[5.0, 10.0, 30.0, 60.0]);
-    println!("{}", render_chain(
-        "Fig. 19: Procnew (seconds), chain of 4, X = 8 s",
-        &rows,
-        false,
-    ));
-    println!("{}", render_chain(
-        "Fig. 20: Ntentative, chain of 4, X = 8 s",
-        &rows,
-        true,
-    ));
+    println!(
+        "{}",
+        render_chain(
+            "Fig. 19: Procnew (seconds), chain of 4, X = 8 s",
+            &rows,
+            false,
+        )
+    );
+    println!(
+        "{}",
+        render_chain("Fig. 20: Ntentative, chain of 4, X = 8 s", &rows, true,)
+    );
     let masked = rows
         .iter()
         .find(|r| r.label.contains("6.5") && r.failure_secs == 5.0)
         .expect("full-assignment 5s row");
-    assert_eq!(masked.ntentative, 0, "full assignment must mask the 5 s failure");
+    assert_eq!(
+        masked.ntentative, 0,
+        "full assignment must mask the 5 s failure"
+    );
 }

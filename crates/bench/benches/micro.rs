@@ -3,18 +3,25 @@
 //! checkpoint/restore cost, and end-to-end simulated-cluster throughput.
 
 use borealis_diagram::{plan, Deployment, DiagramBuilder, DpcConfig, LogicalOp};
+use borealis_dpc::{BufferPolicy, OutputBuffer};
 use borealis_engine::Fragment;
 use borealis_ops::{
     AggFn, Aggregate, AggregateSpec, Emitter, Filter, Operator, SUnion, SUnionConfig,
 };
-use borealis_types::{Duration, Expr, Time, Tuple, TupleId, Value};
+use borealis_types::{Duration, Expr, Time, Tuple, TupleBatch, TupleId, Value};
 use borealis_workloads::{single_node_system, SingleNodeOptions};
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use std::hint::black_box;
 
 fn tuples(n: u64) -> Vec<Tuple> {
     (0..n)
-        .map(|i| Tuple::insertion(TupleId(i + 1), Time::from_millis(i), vec![Value::Int(i as i64)]))
+        .map(|i| {
+            Tuple::insertion(
+                TupleId(i + 1),
+                Time::from_millis(i),
+                vec![Value::Int(i as i64)],
+            )
+        })
         .collect()
 }
 
@@ -122,6 +129,70 @@ fn bench_checkpoint(c: &mut Criterion) {
     });
 }
 
+/// The batched data plane's headline number: retaining one emitted window
+/// and fanning it out to R subscribers (replicas of downstream neighbors +
+/// clients) plus serving one fresh replay cursor.
+///
+/// * `per_tuple_clone_rR` — the pre-batch data plane: an owned `Vec<Tuple>`
+///   log, one deep clone per destination (what `Vec<Tuple>`-payload
+///   messages cost).
+/// * `shared_batch_rR` — the `TupleBatch` plane through the real
+///   [`OutputBuffer`]: append by view, every destination gets O(1) shared
+///   views.
+///
+/// Per-destination cost is flat for the batched plane, so the gap widens
+/// with replication degree — the property DPC's availability bound needs.
+fn bench_fanout(c: &mut Criterion) {
+    const N: u64 = 1024;
+    let owned: Vec<Tuple> = tuples(N);
+    let mut g = c.benchmark_group("fanout_batch");
+    g.throughput(Throughput::Elements(N));
+    for replication in [1usize, 2, 4] {
+        g.bench_function(format!("per_tuple_clone_r{replication}"), |b| {
+            b.iter(|| {
+                // Retain (clone into the log)...
+                let log: Vec<Tuple> = owned.clone();
+                // ...then deep-copy the suffix once per subscriber, plus
+                // one replay served from the log.
+                let mut bytes = 0usize;
+                for _ in 0..replication {
+                    let msg: Vec<Tuple> = log.clone();
+                    bytes += msg.len();
+                }
+                let replay: Vec<Tuple> = log[..].to_vec();
+                bytes += replay.len();
+                black_box(bytes)
+            });
+        });
+        g.bench_function(format!("shared_batch_r{replication}"), |b| {
+            b.iter_batched(
+                || TupleBatch::from_vec(tuples(N)),
+                |emitted| {
+                    // Retain by view in the real output buffer...
+                    let mut buf = OutputBuffer::new(BufferPolicy::Unbounded);
+                    buf.append_batch(emitted);
+                    // ...then share views with every subscriber and one
+                    // replay cursor.
+                    let mut bytes = 0usize;
+                    let views = buf.batches_from(0);
+                    for _ in 0..replication {
+                        for v in &views {
+                            let msg: TupleBatch = v.clone();
+                            bytes += msg.len();
+                        }
+                    }
+                    for v in buf.batches_from(0) {
+                        bytes += v.len();
+                    }
+                    black_box(bytes)
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
 fn bench_end_to_end(c: &mut Criterion) {
     // Full simulated cluster: 3 sources, replicated node pair, client;
     // one virtual second of processing at 900 tuples/s.
@@ -140,5 +211,12 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_filter, bench_sunion, bench_checkpoint, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_filter,
+    bench_sunion,
+    bench_checkpoint,
+    bench_fanout,
+    bench_end_to_end
+);
 criterion_main!(benches);

@@ -11,5 +11,9 @@ fn main() {
     println!("  stable tuples delivered    : {}", r.n_stable);
     println!("  duplicate stable tuples    : {}", r.dup_stable);
     assert_eq!(r.dup_stable, 0);
-    assert!(r.max_gap.as_millis() < 1000, "switchover too slow: {}", r.max_gap);
+    assert!(
+        r.max_gap.as_millis() < 1000,
+        "switchover too slow: {}",
+        r.max_gap
+    );
 }

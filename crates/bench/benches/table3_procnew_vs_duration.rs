@@ -6,12 +6,19 @@ use borealis_workloads::{render_availability, run_table3};
 
 fn main() {
     let rows = run_table3(&[2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0, 30.0, 45.0, 60.0]);
-    println!("{}", render_availability(
-        "Table III: Procnew (seconds) vs failure duration — paper: 2.2 then ~2.8 flat",
-        &rows,
-        false,
-    ));
+    println!(
+        "{}",
+        render_availability(
+            "Table III: Procnew (seconds) vs failure duration — paper: 2.2 then ~2.8 flat",
+            &rows,
+            false,
+        )
+    );
     for r in &rows {
-        assert_eq!(r.dup_stable, 0, "duplicate stable tuples at {}s", r.failure_secs);
+        assert_eq!(
+            r.dup_stable, 0,
+            "duplicate stable tuples at {}s",
+            r.failure_secs
+        );
     }
 }

@@ -6,10 +6,16 @@ use borealis_workloads::{render_overhead, run_table4};
 
 fn main() {
     let rows = run_table4(&[0, 10, 50, 100, 150, 200, 300, 500]);
-    println!("{}", render_overhead(
-        "Table IV: per-tuple latency vs bucket size (boundary interval 10 ms)",
-        "bucket(ms)",
-        &rows,
-    ));
-    assert!(rows.windows(2).all(|w| w[0].avg <= w[1].avg), "latency must grow with bucket size");
+    println!(
+        "{}",
+        render_overhead(
+            "Table IV: per-tuple latency vs bucket size (boundary interval 10 ms)",
+            "bucket(ms)",
+            &rows,
+        )
+    );
+    assert!(
+        rows.windows(2).all(|w| w[0].avg <= w[1].avg),
+        "latency must grow with bucket size"
+    );
 }

@@ -6,10 +6,16 @@ use borealis_workloads::{render_overhead, run_table5};
 
 fn main() {
     let rows = run_table5(&[0, 10, 50, 100, 150, 200, 300, 500]);
-    println!("{}", render_overhead(
-        "Table V: per-tuple latency vs boundary interval (bucket size 10 ms)",
-        "boundary(ms)",
-        &rows,
-    ));
-    assert!(rows.windows(2).all(|w| w[0].avg <= w[1].avg), "latency must grow with boundary interval");
+    println!(
+        "{}",
+        render_overhead(
+            "Table V: per-tuple latency vs boundary interval (bucket size 10 ms)",
+            "boundary(ms)",
+            &rows,
+        )
+    );
+    assert!(
+        rows.windows(2).all(|w| w[0].avg <= w[1].avg),
+        "latency must grow with boundary interval"
+    );
 }

@@ -9,15 +9,42 @@
 
 /// Paper reference for each bench target, for `-h` style discovery.
 pub const TARGETS: &[(&str, &str)] = &[
-    ("fig11_simultaneous_failures", "Fig. 11(a)/(b): eventual consistency traces"),
-    ("table3_procnew_vs_duration", "Table III: Procnew vs failure duration"),
-    ("fig13_policy_variants", "Fig. 13: six availability/consistency policies"),
+    (
+        "fig11_simultaneous_failures",
+        "Fig. 11(a)/(b): eventual consistency traces",
+    ),
+    (
+        "table3_procnew_vs_duration",
+        "Table III: Procnew vs failure duration",
+    ),
+    (
+        "fig13_policy_variants",
+        "Fig. 13: six availability/consistency policies",
+    ),
     ("fig15_chain_latency", "Fig. 15: Procnew vs chain depth"),
-    ("fig16_chain_tentative", "Fig. 16: Ntentative vs chain depth (short failures)"),
-    ("fig18_long_failure_chain", "Fig. 18: Ntentative vs chain depth (60 s failure)"),
-    ("fig19_20_delay_assignment", "Figs. 19/20: uniform vs full delay assignment"),
-    ("table4_bucket_size_overhead", "Table IV: serialization latency vs bucket size"),
-    ("table5_boundary_interval_overhead", "Table V: latency vs boundary interval"),
+    (
+        "fig16_chain_tentative",
+        "Fig. 16: Ntentative vs chain depth (short failures)",
+    ),
+    (
+        "fig18_long_failure_chain",
+        "Fig. 18: Ntentative vs chain depth (60 s failure)",
+    ),
+    (
+        "fig19_20_delay_assignment",
+        "Figs. 19/20: uniform vs full delay assignment",
+    ),
+    (
+        "table4_bucket_size_overhead",
+        "Table IV: serialization latency vs bucket size",
+    ),
+    (
+        "table5_boundary_interval_overhead",
+        "Table V: latency vs boundary interval",
+    ),
     ("switchover_latency", "§5.1: upstream switchover gap"),
-    ("micro", "Criterion microbenchmarks of operators/engine/simulator"),
+    (
+        "micro",
+        "Criterion microbenchmarks of operators/engine/simulator",
+    ),
 ];

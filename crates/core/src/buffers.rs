@@ -7,14 +7,26 @@
 //! data, boundaries, tentative data, undo and rec-done markers, in emission
 //! order); new subscriptions are served by replaying a suffix of the log.
 //!
+//! The log retains the engine's emitted [`TupleBatch`]es as shared
+//! segments: the node appends a batch by view (no copy), and replay hands
+//! out O(1) sub-views of the same allocations ([`OutputBuffer::batches_from`]),
+//! so one emission backs the buffer *and* every subscriber's in-flight
+//! messages simultaneously. Rolled-back (dead) entries are tracked by
+//! segment-local flags — never by mutating the shared tuples.
+//!
 //! Truncation: cumulative acknowledgments from downstream consumers move
 //! the safe horizon forward; everything at or before the acked stable tuple
-//! is dropped. With bounded buffers ([`BufferPolicy::DropOldest`]) the
-//! buffer additionally evicts its oldest entries under memory pressure —
-//! the paper's convergent-capable mode, where only "a predefined window of
-//! most recent results will be corrected after the failure heals".
+//! is dropped by *splitting ranges* — whole segments are released, a
+//! partially-acked segment is narrowed to its live sub-range. Views already
+//! handed to slower subscribers keep their shared backing alive until they
+//! drop, so acking mid-batch can never free or corrupt tuples another
+//! replay cursor still references. With bounded buffers
+//! ([`BufferPolicy::DropOldest`]) the buffer additionally evicts its oldest
+//! entries under memory pressure — the paper's convergent-capable mode,
+//! where only "a predefined window of most recent results will be corrected
+//! after the failure heals".
 
-use borealis_types::{Tuple, TupleId, TupleKind};
+use borealis_types::{Tuple, TupleBatch, TupleId, TupleKind};
 use std::collections::VecDeque;
 
 /// What to do when an output buffer grows past its bound.
@@ -28,22 +40,79 @@ pub enum BufferPolicy {
     DropOldest(usize),
 }
 
+/// One retained emission batch plus segment-local liveness flags.
 #[derive(Debug)]
-struct LogEntry {
-    tuple: Tuple,
-    /// Tentative entries rolled back by a later UNDO: current subscribers
-    /// already received them (and the UNDO), and new subscribers must not —
-    /// replaying dead history would only re-inflate their tentative input.
-    dead: bool,
+struct Segment {
+    batch: TupleBatch,
+    /// Aligned with `batch`; empty means every entry is live. Allocated
+    /// lazily — only reconciliations (UNDO appends) ever populate it.
+    dead: Vec<bool>,
+}
+
+impl Segment {
+    fn len(&self) -> usize {
+        self.batch.len()
+    }
+
+    fn is_dead(&self, i: usize) -> bool {
+        !self.dead.is_empty() && self.dead[i]
+    }
+
+    fn mark_dead(&mut self, i: usize) {
+        if self.dead.is_empty() {
+            self.dead = vec![false; self.batch.len()];
+        }
+        self.dead[i] = true;
+    }
+
+    /// Narrows the segment to `[k, len)` — range arithmetic on the view;
+    /// the shared backing is untouched.
+    fn drop_front(&mut self, k: usize) {
+        self.batch = self.batch.slice(k..self.batch.len());
+        if !self.dead.is_empty() {
+            self.dead.drain(..k);
+        }
+    }
+
+    /// Appends the live (non-dead) runs of `[start, len)` as O(1) shared
+    /// views.
+    fn push_live_runs(&self, start: usize, out: &mut Vec<TupleBatch>) {
+        if start >= self.len() {
+            return;
+        }
+        if self.dead.is_empty() {
+            out.push(self.batch.slice(start..self.len()));
+            return;
+        }
+        let mut run_start = start;
+        for i in start..self.len() {
+            if self.dead[i] {
+                if i > run_start {
+                    out.push(self.batch.slice(run_start..i));
+                }
+                run_start = i + 1;
+            }
+        }
+        if self.len() > run_start {
+            out.push(self.batch.slice(run_start..self.len()));
+        }
+    }
 }
 
 /// The emission log of one output stream.
 #[derive(Debug)]
 pub struct OutputBuffer {
-    /// Logical index of `log[0]` (grows as the prefix is truncated).
+    /// Logical index of the first retained entry (grows as the prefix is
+    /// truncated).
     base: usize,
-    log: VecDeque<LogEntry>,
+    segs: VecDeque<Segment>,
+    /// Retained entries (sum of segment lengths).
+    retained: usize,
     last_stable_id: TupleId,
+    /// Highest stable id ever dropped from the front (ack truncation or
+    /// bounded eviction): a subscriber is "missed" only when it resumes
+    /// behind this horizon.
+    dropped_stable_id: TupleId,
     policy: BufferPolicy,
     truncation_misses: u64,
 }
@@ -53,52 +122,122 @@ impl OutputBuffer {
     pub fn new(policy: BufferPolicy) -> OutputBuffer {
         OutputBuffer {
             base: 0,
-            log: VecDeque::new(),
+            segs: VecDeque::new(),
+            retained: 0,
             last_stable_id: TupleId::NONE,
+            dropped_stable_id: TupleId::NONE,
             policy,
             truncation_misses: 0,
         }
     }
 
-    /// Appends one emitted tuple. Appending an UNDO marks the tentative
-    /// suffix it rolls back as dead (excluded from future replays).
+    /// Appends one emitted tuple (wrapper over [`OutputBuffer::append_batch`]
+    /// for tests and single-tuple emissions).
     pub fn append(&mut self, t: Tuple) {
-        if t.is_stable_data() {
-            self.last_stable_id = self.last_stable_id.max(t.id);
+        self.append_batch(TupleBatch::single(t));
+    }
+
+    /// Appends an emitted batch by shared view — the zero-copy retention
+    /// path. Appending a batch containing an UNDO marks the tentative
+    /// suffix it rolls back as dead (excluded from future replays): current
+    /// subscribers already received those tuples (and the UNDO), and new
+    /// subscribers must not — replaying dead history would only re-inflate
+    /// their tentative input.
+    pub fn append_batch(&mut self, batch: TupleBatch) {
+        if batch.is_empty() {
+            return;
         }
-        if t.kind == TupleKind::Undo {
-            let target = t.undo_target().unwrap_or(TupleId::NONE);
-            for e in self.log.iter_mut().rev() {
-                if e.tuple.is_stable_data() && e.tuple.id <= target {
-                    break;
-                }
-                if e.tuple.is_tentative() {
-                    e.dead = true;
-                }
+        let seg_start = self.end();
+        let mut undos: Vec<(usize, TupleId)> = Vec::new();
+        for (i, t) in batch.as_slice().iter().enumerate() {
+            if t.is_stable_data() {
+                self.last_stable_id = self.last_stable_id.max(t.id);
+            } else if t.kind == TupleKind::Undo {
+                undos.push((i, t.undo_target().unwrap_or(TupleId::NONE)));
             }
         }
-        self.log.push_back(LogEntry { tuple: t, dead: false });
+        self.retained += batch.len();
+        self.segs.push_back(Segment {
+            batch,
+            dead: Vec::new(),
+        });
+        for (i, target) in undos {
+            self.mark_dead_before(seg_start + i, target);
+        }
         if let BufferPolicy::DropOldest(max) = self.policy {
-            while self.log.len() > max {
-                self.log.pop_front();
-                self.base += 1;
+            if self.retained > max {
+                self.drop_front_entries(self.retained - max);
+            }
+        }
+    }
+
+    /// Walks backward from logical position `upto` (exclusive), marking
+    /// tentative entries dead until the first stable entry with
+    /// `id <= target`.
+    fn mark_dead_before(&mut self, upto: usize, target: TupleId) {
+        let mut seg_end = self.end();
+        for si in (0..self.segs.len()).rev() {
+            let seg_len = self.segs[si].len();
+            let seg_start = seg_end - seg_len;
+            let hi = upto.min(seg_end);
+            if hi > seg_start {
+                for li in (0..hi - seg_start).rev() {
+                    let (kind, id) = {
+                        let t = &self.segs[si].batch[li];
+                        (t.kind, t.id)
+                    };
+                    if kind == TupleKind::Insertion && id <= target {
+                        return;
+                    }
+                    if kind == TupleKind::Tentative {
+                        self.segs[si].mark_dead(li);
+                    }
+                }
+            }
+            seg_end = seg_start;
+        }
+    }
+
+    /// Drops the `k` oldest retained entries by releasing whole segments
+    /// and narrowing the first survivor (range split, no copying).
+    fn drop_front_entries(&mut self, mut k: usize) {
+        while k > 0 {
+            let Some(front) = self.segs.front_mut() else {
+                return;
+            };
+            let dropped = front.len().min(k);
+            for t in &front.batch.as_slice()[..dropped] {
+                if t.is_stable_data() {
+                    self.dropped_stable_id = self.dropped_stable_id.max(t.id);
+                }
+            }
+            if front.len() <= k {
+                k -= front.len();
+                self.base += front.len();
+                self.retained -= front.len();
+                self.segs.pop_front();
+            } else {
+                front.drop_front(k);
+                self.base += k;
+                self.retained -= k;
+                k = 0;
             }
         }
     }
 
     /// Logical end position (total entries ever appended).
     pub fn end(&self) -> usize {
-        self.base + self.log.len()
+        self.base + self.retained
     }
 
     /// Entries currently buffered.
     pub fn len(&self) -> usize {
-        self.log.len()
+        self.retained
     }
 
     /// True if no entries are buffered.
     pub fn is_empty(&self) -> bool {
-        self.log.is_empty()
+        self.retained == 0
     }
 
     /// Id of the most recent stable data tuple appended.
@@ -116,7 +255,31 @@ impl OutputBuffer {
     /// undone tentative history is skipped).
     pub fn entries_from(&self, pos: usize) -> impl Iterator<Item = &Tuple> {
         let skip = pos.saturating_sub(self.base);
-        self.log.iter().skip(skip).filter(|e| !e.dead).map(|e| &e.tuple)
+        self.segs
+            .iter()
+            .flat_map(|s| (0..s.len()).map(move |i| (s, i)))
+            .skip(skip)
+            .filter(|(s, i)| !s.is_dead(*i))
+            .map(|(s, i)| &s.batch[i])
+    }
+
+    /// Live entries from logical position `pos` as O(1) shared batch views
+    /// — the zero-copy replay path. Every returned batch shares its backing
+    /// allocation with the buffer (and with every other replay cursor),
+    /// so serving N subscribers costs N reference-count bumps, not N deep
+    /// copies.
+    pub fn batches_from(&self, pos: usize) -> Vec<TupleBatch> {
+        let mut skip = pos.saturating_sub(self.base);
+        let mut out = Vec::new();
+        for seg in &self.segs {
+            if skip >= seg.len() {
+                skip -= seg.len();
+                continue;
+            }
+            seg.push_live_runs(skip, &mut out);
+            skip = 0;
+        }
+        out
     }
 
     /// The logical position just after the stable data tuple `id` — where a
@@ -125,7 +288,7 @@ impl OutputBuffer {
     /// starts at the earliest retained entry (and the miss is counted).
     pub fn position_after_stable(&mut self, id: TupleId) -> usize {
         if id == TupleId::NONE {
-            if self.base > 0 {
+            if self.dropped_stable_id > TupleId::NONE {
                 self.truncation_misses += 1;
             }
             return self.base;
@@ -134,24 +297,27 @@ impl OutputBuffer {
         // before it (including interleaved boundaries and undone
         // tentatives) was already covered by the subscriber's prefix.
         let mut pos_after = None;
-        for (i, e) in self.log.iter().enumerate() {
-            let t = &e.tuple;
-            if t.is_stable_data() {
-                if t.id <= id {
-                    pos_after = Some(self.base + i + 1);
-                } else {
-                    break;
+        let mut idx = self.base;
+        'scan: for seg in &self.segs {
+            for t in seg.batch.as_slice() {
+                if t.is_stable_data() {
+                    if t.id <= id {
+                        pos_after = Some(idx + 1);
+                    } else {
+                        break 'scan;
+                    }
                 }
+                idx += 1;
             }
         }
         match pos_after {
             Some(p) => p,
             None => {
                 // Either the prefix was truncated away (subscriber misses
-                // data) or the buffer holds no stable tuple <= id yet
-                // (subscriber is ahead of the truncation horizon: replay
-                // from the start of what we hold).
-                if self.base > 0 && self.last_stable_id > id {
+                // data dropped beyond its prefix) or the subscriber is
+                // exactly at / ahead of the truncation horizon: replay
+                // from the start of what we hold.
+                if self.dropped_stable_id > id {
                     self.truncation_misses += 1;
                 }
                 self.base
@@ -159,24 +325,30 @@ impl OutputBuffer {
         }
     }
 
-    /// Drops every entry up to and including the stable tuple `through`
-    /// (cumulative-ack truncation, §8.1).
+    /// Drops every entry up to and including the last stable tuple with
+    /// `id <= through` (cumulative-ack truncation, §8.1). Segments are
+    /// released whole or narrowed by range split; batch views already
+    /// handed out for replay keep their shared backing alive.
     pub fn truncate_through(&mut self, through: TupleId) {
-        while let Some(front) = self.log.front() {
-            let stop = match front.tuple.kind {
-                TupleKind::Insertion => front.tuple.id > through,
-                // Non-stable entries before the acked point are history
-                // that no future subscriber needs.
-                _ => !self
-                    .log
-                    .iter()
-                    .any(|e| e.tuple.is_stable_data() && e.tuple.id <= through),
-            };
-            if stop {
-                break;
+        let mut last: Option<usize> = None;
+        let mut idx = 0;
+        // Stable ids increase monotonically along the log, so the scan can
+        // stop at the first stable entry beyond the ack instead of walking
+        // everything retained.
+        'scan: for seg in &self.segs {
+            for t in seg.batch.as_slice() {
+                if t.is_stable_data() {
+                    if t.id <= through {
+                        last = Some(idx);
+                    } else {
+                        break 'scan;
+                    }
+                }
+                idx += 1;
             }
-            self.log.pop_front();
-            self.base += 1;
+        }
+        if let Some(p) = last {
+            self.drop_front_entries(p + 1);
         }
     }
 }
@@ -187,7 +359,11 @@ mod tests {
     use borealis_types::{Time, Value};
 
     fn stable(id: u64) -> Tuple {
-        Tuple::insertion(TupleId(id), Time::from_millis(id), vec![Value::Int(id as i64)])
+        Tuple::insertion(
+            TupleId(id),
+            Time::from_millis(id),
+            vec![Value::Int(id as i64)],
+        )
     }
 
     fn tentative(id: u64) -> Tuple {
@@ -230,6 +406,27 @@ mod tests {
         // The rolled-back tentative tuple is dead history: a new subscriber
         // gets the undo (harmless) and the corrections only.
         assert_eq!(rest, vec![TupleKind::Undo, TupleKind::Insertion]);
+    }
+
+    #[test]
+    fn undo_inside_one_appended_batch_kills_earlier_tentatives() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        b.append_batch(TupleBatch::from_vec(vec![
+            stable(1),
+            tentative(2),
+            tentative(3),
+            Tuple::undo(TupleId::NONE, TupleId(1)),
+            stable(2),
+        ]));
+        let pos = b.position_after_stable(TupleId(1));
+        let rest: Vec<TupleKind> = b.entries_from(pos).map(|t| t.kind).collect();
+        assert_eq!(rest, vec![TupleKind::Undo, TupleKind::Insertion]);
+        let batches = b.batches_from(pos);
+        let kinds: Vec<TupleKind> = batches
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.kind))
+            .collect();
+        assert_eq!(kinds, vec![TupleKind::Undo, TupleKind::Insertion]);
     }
 
     #[test]
@@ -293,7 +490,167 @@ mod tests {
         // resuming after stable 1 still needs that watermark.
         assert_eq!(
             rest,
-            vec![TupleKind::Boundary, TupleKind::Insertion, TupleKind::Boundary]
+            vec![
+                TupleKind::Boundary,
+                TupleKind::Insertion,
+                TupleKind::Boundary
+            ]
         );
+    }
+
+    // ------------------------------------------------------------------
+    // Shared-ownership semantics: retention, replay, and ack truncation
+    // must never copy or invalidate tuples another cursor references.
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn retention_and_replay_share_the_emitted_allocation() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        let emitted = TupleBatch::from_vec((1..=4).map(stable).collect());
+        b.append_batch(emitted.clone());
+
+        // Two subscribers at different positions: both replays are views of
+        // the emitted batch — zero tuple copies for either.
+        let fast_pos = b.position_after_stable(TupleId(3));
+        let slow_pos = b.position_after_stable(TupleId::NONE);
+        let fast = b.batches_from(fast_pos);
+        let slow = b.batches_from(slow_pos);
+        assert_eq!(fast.len(), 1);
+        assert_eq!(slow.len(), 1);
+        assert!(fast[0].shares_backing(&emitted));
+        assert!(slow[0].shares_backing(&emitted));
+        assert_eq!(fast[0].iter().map(|t| t.id.0).collect::<Vec<_>>(), vec![4]);
+        assert_eq!(slow[0].len(), 4);
+    }
+
+    #[test]
+    fn ack_mid_batch_splits_ranges_without_touching_shared_views() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        let emitted = TupleBatch::from_vec((1..=6).map(stable).collect());
+        b.append_batch(emitted.clone());
+
+        // A slow subscriber's replay cursor took its views first.
+        let slow_pos = b.position_after_stable(TupleId::NONE);
+        let slow_view = b.batches_from(slow_pos);
+        assert_eq!(slow_view[0].len(), 6);
+
+        // Ack lands mid-batch: the buffer narrows its segment by range
+        // split rather than draining tuples.
+        b.truncate_through(TupleId(4));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.end(), 6);
+
+        // The slow subscriber's already-taken views are intact: same
+        // tuples, same values, still backed by the original allocation.
+        assert_eq!(
+            slow_view[0].iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5, 6],
+            "ack truncation must not mutate shared replay views"
+        );
+        assert!(slow_view[0].shares_backing(&emitted));
+        assert_eq!(slow_view[0][0].values, vec![Value::Int(1)]);
+
+        // And the buffer's own retained suffix still shares that backing
+        // (narrowed view, not a copy).
+        let rest = b.batches_from(b.end() - b.len());
+        assert_eq!(rest.len(), 1);
+        assert!(rest[0].shares_backing(&emitted));
+        assert_eq!(
+            rest[0].iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![5, 6]
+        );
+    }
+
+    #[test]
+    fn ack_from_one_subscriber_leaves_other_cursor_replayable() {
+        // Two replicas subscribe; replica A acks through 5, but replica B
+        // is still at 2. Truncation follows the *minimum* ack (computed by
+        // the node), so position_after_stable for B must stay serviceable —
+        // and if an over-eager ack did truncate past B, the miss is counted
+        // rather than handing B corrupted data.
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        b.append_batch(TupleBatch::from_vec((1..=6).map(stable).collect()));
+
+        // Min-ack truncation (B's position): nothing before 2 is needed.
+        b.truncate_through(TupleId(2));
+        let pos_b = b.position_after_stable(TupleId(2));
+        let replay_b: Vec<u64> = b
+            .batches_from(pos_b)
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.id.0))
+            .collect();
+        assert_eq!(replay_b, vec![3, 4, 5, 6]);
+        assert_eq!(b.truncation_misses(), 0);
+
+        // Once every subscriber acked through 5, truncation narrows
+        // further; B resumes exactly at its ack with no miss.
+        b.truncate_through(TupleId(5));
+        let pos_b = b.position_after_stable(TupleId(5));
+        let replay_b: Vec<u64> = b
+            .batches_from(pos_b)
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.id.0))
+            .collect();
+        assert_eq!(
+            replay_b,
+            vec![6],
+            "entries at/before the min ack were split off"
+        );
+        assert_eq!(b.truncation_misses(), 0);
+
+        // A subscriber genuinely behind the horizon (ack 4 < dropped 5) is
+        // detected as a miss instead of being handed corrupted data.
+        let pos_late = b.position_after_stable(TupleId(4));
+        assert_eq!(pos_late, b.end() - b.len(), "resume at earliest retained");
+        assert_eq!(b.truncation_misses(), 1);
+    }
+
+    #[test]
+    fn dead_marking_never_mutates_shared_tuples() {
+        let mut b = OutputBuffer::new(BufferPolicy::Unbounded);
+        let emitted = TupleBatch::from_vec(vec![stable(1), tentative(2), tentative(3)]);
+        b.append_batch(emitted.clone());
+        // A subscriber took the tentative suffix before the rollback.
+        let view_pos = b.position_after_stable(TupleId(1));
+        let view = b.batches_from(view_pos);
+        b.append(Tuple::undo(TupleId::NONE, TupleId(1)));
+
+        // The buffer's replay now skips the dead tentatives...
+        let after_pos = b.position_after_stable(TupleId(1));
+        let after: Vec<TupleKind> = b
+            .batches_from(after_pos)
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.kind))
+            .collect();
+        assert_eq!(after, vec![TupleKind::Undo]);
+
+        // ...but the earlier view still sees the original, unmutated tuples
+        // (its consumer will roll them back via the UNDO it receives).
+        let kinds: Vec<TupleKind> = view.iter().flat_map(|c| c.iter().map(|t| t.kind)).collect();
+        assert_eq!(kinds, vec![TupleKind::Tentative, TupleKind::Tentative]);
+        assert!(view[0].shares_backing(&emitted));
+    }
+
+    #[test]
+    fn bounded_eviction_splits_segments_by_range() {
+        let mut b = OutputBuffer::new(BufferPolicy::DropOldest(4));
+        let first = TupleBatch::from_vec((1..=6).map(stable).collect());
+        b.append_batch(first.clone());
+        assert_eq!(b.len(), 4, "evicted down to the bound");
+        let kept = b.batches_from(b.end() - b.len());
+        assert!(kept[0].shares_backing(&first), "narrowed, not copied");
+        assert_eq!(
+            kept[0].iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+
+        b.append_batch(TupleBatch::from_vec((7..=8).map(stable).collect()));
+        assert_eq!(b.len(), 4);
+        let all: Vec<u64> = b
+            .batches_from(b.end() - b.len())
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.id.0))
+            .collect();
+        assert_eq!(all, vec![5, 6, 7, 8]);
     }
 }

@@ -59,21 +59,31 @@ pub struct ClientProxy {
 impl ClientProxy {
     /// Creates a proxy consuming `streams`, recording into `metrics`.
     pub fn new(streams: Vec<ClientStream>, tuning: ClientTuning, metrics: MetricsHub) -> Self {
-        ClientProxy { streams, tuning, metrics, ums: Vec::new() }
+        ClientProxy {
+            streams,
+            tuning,
+            metrics,
+            ums: Vec::new(),
+        }
     }
 
-    fn apply_actions(
-        &self,
-        ctx: &mut Ctx<NetMsg>,
-        stream: StreamId,
-        actions: Vec<UpstreamAction>,
-    ) {
+    fn apply_actions(&self, ctx: &mut Ctx<NetMsg>, stream: StreamId, actions: Vec<UpstreamAction>) {
         for a in actions {
             match a {
-                UpstreamAction::Subscribe { to, last_stable, saw_tentative, fresh_only } => {
+                UpstreamAction::Subscribe {
+                    to,
+                    last_stable,
+                    saw_tentative,
+                    fresh_only,
+                } => {
                     ctx.send(
                         to,
-                        NetMsg::Subscribe { stream, last_stable, saw_tentative, fresh_only },
+                        NetMsg::Subscribe {
+                            stream,
+                            last_stable,
+                            saw_tentative,
+                            fresh_only,
+                        },
                     );
                 }
                 UpstreamAction::Unsubscribe { from } => {
@@ -109,7 +119,7 @@ impl Actor<NetMsg> for ClientProxy {
                     return;
                 }
                 let mut actions = Vec::new();
-                for t in &tuples {
+                for t in tuples.as_slice() {
                     if self.ums[i].is_duplicate(t) {
                         continue; // retransmission after a link heal
                     }
@@ -118,7 +128,10 @@ impl Actor<NetMsg> for ClientProxy {
                 }
                 self.apply_actions(ctx, stream, actions);
             }
-            NetMsg::HeartbeatResp { node_state, stream_states } => {
+            NetMsg::HeartbeatResp {
+                node_state,
+                stream_states,
+            } => {
                 let now = ctx.now();
                 let stale = self.tuning.stale_timeout;
                 for i in 0..self.ums.len() {
@@ -151,7 +164,13 @@ impl Actor<NetMsg> for ClientProxy {
                 for um in &self.ums {
                     let through = um.last_stable();
                     for &cand in um.candidates() {
-                        ctx.send(cand, NetMsg::Ack { stream: um.stream(), through });
+                        ctx.send(
+                            cand,
+                            NetMsg::Ack {
+                                stream: um.stream(),
+                                through,
+                            },
+                        );
                     }
                 }
                 ctx.set_timer(now + self.tuning.ack_period, TIMER_ACK);

@@ -91,7 +91,11 @@ mod tests {
             assert_eq!(m.n_tentative, 0);
             assert_eq!(m.dup_stable, 0);
             // Serialization delay only: well under one second.
-            assert!(m.procnew < Duration::from_millis(600), "procnew={}", m.procnew);
+            assert!(
+                m.procnew < Duration::from_millis(600),
+                "procnew={}",
+                m.procnew
+            );
         });
     }
 

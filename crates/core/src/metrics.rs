@@ -215,7 +215,11 @@ mod tests {
     use borealis_types::{StreamId, Value};
 
     fn stable(id: u64, stime_ms: u64) -> Tuple {
-        Tuple::insertion(TupleId(id), Time::from_millis(stime_ms), vec![Value::Int(0)])
+        Tuple::insertion(
+            TupleId(id),
+            Time::from_millis(stime_ms),
+            vec![Value::Int(0)],
+        )
     }
 
     fn tentative(id: u64, stime_ms: u64) -> Tuple {
@@ -227,7 +231,7 @@ mod tests {
         let mut m = StreamMetrics::default();
         m.record(Time::from_millis(150), &stable(1, 100)); // 50 ms
         m.record(Time::from_millis(400), &stable(2, 200)); // 200 ms
-        // A correction of old data arrives very late; it must not count.
+                                                           // A correction of old data arrives very late; it must not count.
         m.record(Time::from_millis(5000), &stable(3, 150));
         assert_eq!(m.procnew, Duration::from_millis(200));
         assert_eq!(m.n_new_stable, 2);
@@ -241,7 +245,10 @@ mod tests {
         m.record(Time::from_millis(210), &tentative(3, 205));
         assert_eq!(m.n_tentative, 2);
         // Undo rolls the stable frontier back to 1; corrections reuse 2, 3.
-        m.record(Time::from_millis(300), &Tuple::undo(TupleId::NONE, TupleId(1)));
+        m.record(
+            Time::from_millis(300),
+            &Tuple::undo(TupleId::NONE, TupleId(1)),
+        );
         m.record(Time::from_millis(310), &stable(2, 190));
         m.record(Time::from_millis(311), &stable(3, 205));
         assert_eq!(m.n_undo, 1);
@@ -285,7 +292,11 @@ mod tests {
         let s = StreamId(0);
         hub.enable_trace(s);
         hub.record(s, Time::from_millis(10), &stable(1, 5));
-        hub.record(s, Time::from_millis(20), &Tuple::undo(TupleId::NONE, TupleId(1)));
+        hub.record(
+            s,
+            Time::from_millis(20),
+            &Tuple::undo(TupleId::NONE, TupleId(1)),
+        );
         hub.with(s, |m| {
             let trace = m.trace.as_ref().unwrap();
             assert_eq!(trace.len(), 2);

@@ -6,7 +6,7 @@
 //! (§4.2.3), acknowledgments for output-buffer truncation (§8.1), and the
 //! inter-replica stabilization stagger protocol (§4.4.3, Fig. 9).
 
-use borealis_types::{StreamId, Tuple, TupleId};
+use borealis_types::{StreamId, TupleBatch, TupleId};
 
 /// Consistency state of a node or of one of its output streams (Fig. 5,
 /// plus the `Failed` state a monitor assigns to unreachable peers).
@@ -26,11 +26,15 @@ pub enum NodeState {
 #[derive(Debug, Clone)]
 pub enum NetMsg {
     /// Tuples on a stream, in order.
+    ///
+    /// The payload is a shared batch view: fanning the same tuples out to
+    /// every replica of every downstream neighbor clones reference counts,
+    /// not tuples, so per-hop cost is independent of replication degree.
     Data {
         /// The stream they belong to.
         stream: StreamId,
         /// The tuples (data, boundaries, undo, rec-done).
-        tuples: Vec<Tuple>,
+        tuples: TupleBatch,
     },
     /// Subscribe to a stream, stating exactly what was already received so
     /// the upstream peer can replay missing tuples or correct tentative
@@ -113,12 +117,28 @@ mod tests {
     #[test]
     fn kind_names_cover_all_variants() {
         let msgs = [
-            NetMsg::Data { stream: StreamId(0), tuples: vec![] },
-            NetMsg::Subscribe { stream: StreamId(0), last_stable: TupleId::NONE, saw_tentative: false, fresh_only: false },
-            NetMsg::Unsubscribe { stream: StreamId(0) },
-            NetMsg::Ack { stream: StreamId(0), through: TupleId(3) },
+            NetMsg::Data {
+                stream: StreamId(0),
+                tuples: TupleBatch::empty(),
+            },
+            NetMsg::Subscribe {
+                stream: StreamId(0),
+                last_stable: TupleId::NONE,
+                saw_tentative: false,
+                fresh_only: false,
+            },
+            NetMsg::Unsubscribe {
+                stream: StreamId(0),
+            },
+            NetMsg::Ack {
+                stream: StreamId(0),
+                through: TupleId(3),
+            },
             NetMsg::HeartbeatReq,
-            NetMsg::HeartbeatResp { node_state: NodeState::Stable, stream_states: vec![] },
+            NetMsg::HeartbeatResp {
+                node_state: NodeState::Stable,
+                stream_states: vec![],
+            },
             NetMsg::ReconcileRequest,
             NetMsg::ReconcileGrant,
             NetMsg::ReconcileReject,

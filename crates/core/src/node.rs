@@ -24,7 +24,7 @@ use crate::upstream::{UpstreamAction, UpstreamManager};
 use borealis_diagram::FragmentPlan;
 use borealis_engine::{Batch, Fragment};
 use borealis_sim::{Actor, Ctx, FaultEvent};
-use borealis_types::{Duration, NodeId, StreamId, Time, Tuple, TupleId};
+use borealis_types::{Duration, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -161,13 +161,28 @@ impl ProcessingNode {
         &self.fragment
     }
 
-    fn apply_actions(&mut self, ctx: &mut Ctx<NetMsg>, stream: StreamId, actions: Vec<UpstreamAction>) {
+    fn apply_actions(
+        &mut self,
+        ctx: &mut Ctx<NetMsg>,
+        stream: StreamId,
+        actions: Vec<UpstreamAction>,
+    ) {
         for a in actions {
             match a {
-                UpstreamAction::Subscribe { to, last_stable, saw_tentative, fresh_only } => {
+                UpstreamAction::Subscribe {
+                    to,
+                    last_stable,
+                    saw_tentative,
+                    fresh_only,
+                } => {
                     ctx.send(
                         to,
-                        NetMsg::Subscribe { stream, last_stable, saw_tentative, fresh_only },
+                        NetMsg::Subscribe {
+                            stream,
+                            last_stable,
+                            saw_tentative,
+                            fresh_only,
+                        },
                     );
                 }
                 UpstreamAction::Unsubscribe { from } => {
@@ -177,17 +192,21 @@ impl ProcessingNode {
         }
     }
 
-    /// Charges CPU time for a batch and dispatches its outputs across the
-    /// busy window.
+    /// Charges CPU time for a batch and retains its output batches by
+    /// shared view, then dispatches across the busy window.
     fn handle_batch(&mut self, ctx: &mut Ctx<NetMsg>, batch: Batch, event_time: Time) {
         let start = self.busy_until.max(event_time);
         let cost = Duration::from_micros(
-            self.cfg.tuning.per_tuple_cost.as_micros().saturating_mul(batch.work),
+            self.cfg
+                .tuning
+                .per_tuple_cost
+                .as_micros()
+                .saturating_mul(batch.work),
         );
         self.busy_until = start + cost;
-        for (stream, tuple) in batch.tuples {
+        for (stream, tuples) in batch.outputs {
             if let Some(buf) = self.out.get_mut(&stream) {
-                buf.append(tuple);
+                buf.append_batch(tuples);
             }
         }
         self.flush_subscribers(ctx, start, self.busy_until);
@@ -196,6 +215,11 @@ impl ProcessingNode {
     /// Sends every subscriber its pending emission-log suffix, spreading
     /// departures across `[w_start, w_end]` (outputs stream out as the CPU
     /// produces them, rather than in one burst at the end).
+    ///
+    /// The suffix is taken as shared batch views and re-chunked by range
+    /// split, so N subscribers behind the same position cost N
+    /// reference-count bumps per batch — fan-out is independent of
+    /// replication degree.
     fn flush_subscribers(&mut self, ctx: &mut Ctx<NetMsg>, w_start: Time, w_end: Time) {
         let chunk = self.cfg.tuning.dispatch_chunk.max(1);
         for (&stream, subs) in &mut self.subscribers {
@@ -207,19 +231,24 @@ impl ProcessingNode {
                 if *pos >= end {
                     continue;
                 }
-                let pending: Vec<Tuple> = buf.entries_from(*pos).cloned().collect();
+                let pieces: Vec<_> = buf
+                    .batches_from(*pos)
+                    .iter()
+                    .flat_map(|b| b.chunks_shared(chunk))
+                    .collect();
                 *pos = end;
-                let n_chunks = pending.len().div_ceil(chunk);
+                let n_chunks = pieces.len();
                 let window = w_end.since(w_start);
-                for (j, piece) in pending.chunks(chunk).enumerate() {
+                for (j, piece) in pieces.into_iter().enumerate() {
                     let frac = (j + 1) as u64;
                     let depart = w_start
-                        + Duration::from_micros(
-                            window.as_micros() * frac / n_chunks.max(1) as u64,
-                        );
+                        + Duration::from_micros(window.as_micros() * frac / n_chunks.max(1) as u64);
                     ctx.send_after(
                         sub,
-                        NetMsg::Data { stream, tuples: piece.to_vec() },
+                        NetMsg::Data {
+                            stream,
+                            tuples: piece,
+                        },
                         depart,
                     );
                 }
@@ -275,7 +304,10 @@ impl ProcessingNode {
         let target = reachable[ctx.rng().gen_range(0..reachable.len())];
         self.pending_request = Some(target);
         ctx.send(target, NetMsg::ReconcileRequest);
-        ctx.set_timer(ctx.now() + self.cfg.tuning.retry_wait.saturating_mul(5), TIMER_RETRY);
+        ctx.set_timer(
+            ctx.now() + self.cfg.tuning.retry_wait.saturating_mul(5),
+            TIMER_RETRY,
+        );
     }
 
     fn do_reconcile(&mut self, ctx: &mut Ctx<NetMsg>) {
@@ -335,20 +367,44 @@ impl Actor<NetMsg> for ProcessingNode {
                     return; // stale sender (already unsubscribed)
                 }
                 let mut actions = Vec::new();
-                let mut fresh: Vec<Tuple> = Vec::with_capacity(tuples.len());
-                for t in tuples {
-                    if self.ums[i].is_duplicate(&t) {
-                        continue; // retransmission after a link heal
+                // Duplicate detection (retransmissions after a link heal)
+                // interleaves with prefix bookkeeping, as tuple-at-a-time
+                // processing would.
+                let mut dup_idx: Vec<usize> = Vec::new();
+                for (k, t) in tuples.as_slice().iter().enumerate() {
+                    if self.ums[i].is_duplicate(t) {
+                        dup_idx.push(k);
+                        continue;
                     }
-                    actions.extend(self.ums[i].observe_tuple(from, &t));
-                    fresh.push(t);
+                    actions.extend(self.ums[i].observe_tuple(from, t));
                 }
-                let batch = self.fragment.push_many(stream, &fresh, now);
+                let batch = if dup_idx.is_empty() {
+                    // Common case: the received batch enters the fragment
+                    // as a shared view, no tuple copies.
+                    self.fragment.push_batch(stream, &tuples, now)
+                } else {
+                    let mut fresh: Vec<Tuple> = Vec::with_capacity(tuples.len() - dup_idx.len());
+                    let mut d = 0;
+                    for (k, t) in tuples.as_slice().iter().enumerate() {
+                        if d < dup_idx.len() && dup_idx[d] == k {
+                            d += 1;
+                            continue;
+                        }
+                        fresh.push(t.clone());
+                    }
+                    self.fragment
+                        .push_batch(stream, &TupleBatch::from_vec(fresh), now)
+                };
                 self.handle_batch(ctx, batch, now);
                 self.apply_actions(ctx, stream, actions);
                 self.post_event(ctx);
             }
-            NetMsg::Subscribe { stream, last_stable, saw_tentative, fresh_only } => {
+            NetMsg::Subscribe {
+                stream,
+                last_stable,
+                saw_tentative,
+                fresh_only,
+            } => {
                 if self.recovering {
                     return;
                 }
@@ -365,11 +421,14 @@ impl Actor<NetMsg> for ProcessingNode {
                         from,
                         NetMsg::Data {
                             stream,
-                            tuples: vec![Tuple::undo(TupleId::NONE, last_stable)],
+                            tuples: TupleBatch::single(Tuple::undo(TupleId::NONE, last_stable)),
                         },
                     );
                 }
-                self.subscribers.entry(stream).or_default().insert(from, pos);
+                self.subscribers
+                    .entry(stream)
+                    .or_default()
+                    .insert(from, pos);
                 let start = self.busy_until.max(ctx.now());
                 self.flush_subscribers(ctx, start, start);
             }
@@ -406,7 +465,10 @@ impl Actor<NetMsg> for ProcessingNode {
                 };
                 ctx.send(from, resp);
             }
-            NetMsg::HeartbeatResp { node_state, stream_states } => {
+            NetMsg::HeartbeatResp {
+                node_state,
+                stream_states,
+            } => {
                 let now = ctx.now();
                 let stale = self.cfg.tuning.stale_timeout;
                 for i in 0..self.ums.len() {
@@ -424,7 +486,10 @@ impl Actor<NetMsg> for ProcessingNode {
                     ctx.send(from, NetMsg::ReconcileReject);
                 } else {
                     self.granted_to.push((from, ctx.now()));
-                    ctx.set_timer(ctx.now() + self.cfg.tuning.grant_timeout, TIMER_GRANT_TIMEOUT);
+                    ctx.set_timer(
+                        ctx.now() + self.cfg.tuning.grant_timeout,
+                        TIMER_GRANT_TIMEOUT,
+                    );
                     ctx.send(from, NetMsg::ReconcileGrant);
                 }
             }
@@ -479,7 +544,13 @@ impl Actor<NetMsg> for ProcessingNode {
                 for um in &self.ums {
                     let through = um.last_stable();
                     for &cand in um.candidates() {
-                        ctx.send(cand, NetMsg::Ack { stream: um.stream(), through });
+                        ctx.send(
+                            cand,
+                            NetMsg::Ack {
+                                stream: um.stream(),
+                                through,
+                            },
+                        );
                     }
                 }
                 ctx.set_timer(now + self.cfg.tuning.ack_period, TIMER_ACK);
@@ -542,7 +613,9 @@ impl Actor<NetMsg> for ProcessingNode {
                 // (consumers deduplicate the overlap).
                 let peer = if *a == ctx.id() { *b } else { *a };
                 for (&stream, subs) in &mut self.subscribers {
-                    let Some(pos) = subs.get_mut(&peer) else { continue };
+                    let Some(pos) = subs.get_mut(&peer) else {
+                        continue;
+                    };
                     let acked = self
                         .acks
                         .get(&stream)

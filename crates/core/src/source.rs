@@ -16,7 +16,9 @@
 
 use crate::msg::{NetMsg, NodeState};
 use borealis_sim::{Actor, Ctx, FaultEvent};
-use borealis_types::{Duration, NodeId, StreamId, Time, Tuple, TupleId, Value};
+use borealis_types::{
+    BatchLog, Duration, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId, Value,
+};
 use std::collections::HashMap;
 
 /// Deterministic tuple-payload generators.
@@ -92,7 +94,9 @@ const TIMER_BOUNDARY: u64 = 2;
 /// The data-source actor.
 pub struct DataSource {
     cfg: SourceConfig,
-    log: Vec<Tuple>,
+    /// The persistent input log, stored as shared batches: replaying a
+    /// backlog to N subscribers shares one allocation N ways.
+    log: BatchLog,
     next_id: u64,
     /// Fractional tuple carry between generation ticks.
     carry: f64,
@@ -115,7 +119,7 @@ impl DataSource {
     pub fn new(cfg: SourceConfig) -> DataSource {
         DataSource {
             cfg,
-            log: Vec::new(),
+            log: BatchLog::new(),
             next_id: 1,
             carry: 0.0,
             generated_through: Time::ZERO,
@@ -136,9 +140,13 @@ impl DataSource {
             if *pos >= self.log.len() || !ctx.reachable(sub) {
                 continue;
             }
-            let tuples: Vec<Tuple> = self.log[*pos..].to_vec();
+            // Shared views of the log suffix: every subscriber behind the
+            // same position receives reference-counted clones of the same
+            // sealed batches.
+            for tuples in self.log.batches_from(*pos) {
+                ctx.send(sub, NetMsg::Data { stream, tuples });
+            }
             *pos = self.log.len();
-            ctx.send(sub, NetMsg::Data { stream, tuples });
         }
     }
 
@@ -161,7 +169,11 @@ impl DataSource {
         for i in 0..n {
             // Spread stimes across the elapsed interval for a smooth stream.
             let stime = Time(self.generated_through.as_micros() + (i + 1) * step);
-            let t = Tuple::insertion(TupleId(self.next_id), stime, self.cfg.values.gen(self.next_id));
+            let t = Tuple::insertion(
+                TupleId(self.next_id),
+                stime,
+                self.cfg.values.gen(self.next_id),
+            );
             self.next_id += 1;
             self.log.push(t);
         }
@@ -179,7 +191,12 @@ impl Actor<NetMsg> for DataSource {
 
     fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
         match msg {
-            NetMsg::Subscribe { stream, last_stable, saw_tentative, fresh_only } => {
+            NetMsg::Subscribe {
+                stream,
+                last_stable,
+                saw_tentative,
+                fresh_only,
+            } => {
                 if stream != self.cfg.stream {
                     return;
                 }
@@ -187,11 +204,7 @@ impl Actor<NetMsg> for DataSource {
                 let pos = if fresh_only {
                     self.log.len()
                 } else {
-                    self.log
-                        .iter()
-                        .rposition(|t| t.is_stable_data() && t.id <= last_stable)
-                        .map(|i| i + 1)
-                        .unwrap_or(0)
+                    self.log.position_after_stable(last_stable)
                 };
                 self.subscribers.insert(from, pos);
                 if saw_tentative {
@@ -201,16 +214,14 @@ impl Actor<NetMsg> for DataSource {
                         from,
                         NetMsg::Data {
                             stream,
-                            tuples: vec![Tuple::undo(TupleId::NONE, last_stable)],
+                            tuples: TupleBatch::single(Tuple::undo(TupleId::NONE, last_stable)),
                         },
                     );
                 }
                 self.flush(ctx);
             }
-            NetMsg::Unsubscribe { stream } => {
-                if stream == self.cfg.stream {
-                    self.subscribers.remove(&from);
-                }
+            NetMsg::Unsubscribe { stream } if stream == self.cfg.stream => {
+                self.subscribers.remove(&from);
             }
             NetMsg::HeartbeatReq => {
                 ctx.send(
@@ -221,13 +232,11 @@ impl Actor<NetMsg> for DataSource {
                     },
                 );
             }
-            NetMsg::Ack { stream, through } => {
+            NetMsg::Ack { stream, through } if stream == self.cfg.stream => {
                 // The persistent log is never truncated (§2.2), but acks
                 // mark the safe rewind point after link failures.
-                if stream == self.cfg.stream {
-                    let e = self.acked.entry(from).or_insert(TupleId::NONE);
-                    *e = (*e).max(through);
-                }
+                let e = self.acked.entry(from).or_insert(TupleId::NONE);
+                *e = (*e).max(through);
             }
             _ => {}
         }
@@ -268,12 +277,7 @@ impl Actor<NetMsg> for DataSource {
                 for peer in [*a, *b] {
                     if let Some(pos) = self.subscribers.get_mut(&peer) {
                         let acked = self.acked.get(&peer).copied().unwrap_or(TupleId::NONE);
-                        let rewind = self
-                            .log
-                            .iter()
-                            .rposition(|t| t.is_stable_data() && t.id <= acked)
-                            .map(|i| i + 1)
-                            .unwrap_or(0);
+                        let rewind = self.log.position_after_stable(acked);
                         *pos = (*pos).min(rewind);
                     }
                 }

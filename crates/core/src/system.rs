@@ -104,9 +104,8 @@ impl SystemBuilder {
 
         // Deterministic id layout.
         let source_id = |i: usize| NodeId(i as u32);
-        let node_id = |frag: usize, rep: usize| {
-            NodeId((n_sources + frag * self.replication + rep) as u32)
-        };
+        let node_id =
+            |frag: usize, rep: usize| NodeId((n_sources + frag * self.replication + rep) as u32);
         let client_id = NodeId((n_sources + n_fragments * self.replication) as u32);
 
         // Stream producers.
@@ -159,12 +158,21 @@ impl SystemBuilder {
                     // from its sources detects the silence via missed
                     // keep-alives (Fig. 5) even with no data in flight.
                     let _ = matches!(input.origin, StreamOrigin::Fragment(_));
-                    upstreams.push(UpstreamSpec { stream: input.stream, candidates, monitor: true });
+                    upstreams.push(UpstreamSpec {
+                        stream: input.stream,
+                        candidates,
+                        monitor: true,
+                    });
                 }
                 let downstream_counts = fp
                     .outputs
                     .iter()
-                    .map(|o| (o.stream, consumer_counts.get(&o.stream).copied().unwrap_or(0)))
+                    .map(|o| {
+                        (
+                            o.stream,
+                            consumer_counts.get(&o.stream).copied().unwrap_or(0),
+                        )
+                    })
                     .collect();
                 let cfg = NodeConfig {
                     plan: fp.clone(),
@@ -246,8 +254,10 @@ impl RunningSystem {
     pub fn disconnect_source(&mut self, stream: StreamId, frag: usize, from: Time, to: Time) {
         let src = self.source_of(stream);
         for &node in self.fragment_replicas[frag].clone().iter() {
-            self.sim.schedule_fault(from, FaultEvent::LinkDown { a: src, b: node });
-            self.sim.schedule_fault(to, FaultEvent::LinkUp { a: src, b: node });
+            self.sim
+                .schedule_fault(from, FaultEvent::LinkDown { a: src, b: node });
+            self.sim
+                .schedule_fault(to, FaultEvent::LinkUp { a: src, b: node });
         }
     }
 
@@ -258,11 +268,17 @@ impl RunningSystem {
         let src = self.source_of(stream);
         self.sim.schedule_fault(
             from,
-            FaultEvent::Custom { target: src, tag: DataSource::MUTE_BOUNDARIES },
+            FaultEvent::Custom {
+                target: src,
+                tag: DataSource::MUTE_BOUNDARIES,
+            },
         );
         self.sim.schedule_fault(
             to,
-            FaultEvent::Custom { target: src, tag: DataSource::UNMUTE_BOUNDARIES },
+            FaultEvent::Custom {
+                target: src,
+                tag: DataSource::UNMUTE_BOUNDARIES,
+            },
         );
     }
 

@@ -82,7 +82,10 @@ impl UpstreamManager {
         let curr = candidates[0];
         let peers = candidates
             .iter()
-            .map(|_| PeerInfo { state: NodeState::Stable, last_heard: now })
+            .map(|_| PeerInfo {
+                state: NodeState::Stable,
+                last_heard: now,
+            })
             .collect();
         UpstreamManager {
             trace: std::env::var("BOREALIS_TRACE_SWITCH").is_ok(),
@@ -176,7 +179,10 @@ impl UpstreamManager {
             .find(|(s, _)| *s == self.stream)
             .map(|(_, st)| *st)
             .unwrap_or(node_state);
-        self.peers[i] = PeerInfo { state, last_heard: now };
+        self.peers[i] = PeerInfo {
+            state,
+            last_heard: now,
+        };
     }
 
     /// Updates received-prefix bookkeeping and handles the REC_DONE
@@ -247,8 +253,15 @@ impl UpstreamManager {
         let curr_state = self.state_of(self.curr);
         let mut actions = Vec::new();
         if self.trace {
-            let states: Vec<String> = self.candidates.iter().map(|&c| format!("{}={:?}", c, self.state_of(c))).collect();
-            eprintln!("[um {} @{}] curr={} states={:?} subs={:?}", self.stream, now, self.curr, states, self.subscribed);
+            let states: Vec<String> = self
+                .candidates
+                .iter()
+                .map(|&c| format!("{}={:?}", c, self.state_of(c)))
+                .collect();
+            eprintln!(
+                "[um {} @{}] curr={} states={:?} subs={:?}",
+                self.stream, now, self.curr, states, self.subscribed
+            );
         }
 
         match curr_state {
@@ -350,12 +363,7 @@ mod tests {
     use super::*;
 
     fn um() -> UpstreamManager {
-        UpstreamManager::new(
-            StreamId(0),
-            vec![NodeId(10), NodeId(11)],
-            true,
-            Time::ZERO,
-        )
+        UpstreamManager::new(StreamId(0), vec![NodeId(10), NodeId(11)], true, Time::ZERO)
     }
 
     fn hb(u: &mut UpstreamManager, from: NodeId, state: NodeState, ms: u64) {
@@ -460,7 +468,10 @@ mod tests {
         u.evaluate(Time::from_millis(150), STALE);
         let rd = Tuple::rec_done(TupleId::NONE, Time::from_millis(200));
         let actions = u.observe_tuple(NodeId(10), &rd);
-        assert_eq!(actions, vec![UpstreamAction::Unsubscribe { from: NodeId(11) }]);
+        assert_eq!(
+            actions,
+            vec![UpstreamAction::Unsubscribe { from: NodeId(11) }]
+        );
         assert_eq!(u.current(), NodeId(10));
         assert!(!u.accepts_from(NodeId(11)));
     }

@@ -116,8 +116,14 @@ impl fmt::Display for DiagramError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DiagramError::DuplicateStream(n) => write!(f, "stream {n:?} declared twice"),
-            DiagramError::UnknownStream(s) => write!(f, "stream {s} is consumed but never produced"),
-            DiagramError::ArityMismatch { op, expected, actual } => {
+            DiagramError::UnknownStream(s) => {
+                write!(f, "stream {s} is consumed but never produced")
+            }
+            DiagramError::ArityMismatch {
+                op,
+                expected,
+                actual,
+            } => {
                 write!(f, "operator {op} expects {expected} inputs, got {actual}")
             }
             DiagramError::UnionTooNarrow(op) => write!(f, "union {op} needs >= 2 inputs"),
@@ -125,7 +131,10 @@ impl fmt::Display for DiagramError {
             DiagramError::UnknownOutput(s) => write!(f, "declared output {s} is never produced"),
             DiagramError::Unassigned(op) => write!(f, "operator {op} not assigned to a fragment"),
             DiagramError::BackwardsEdge { from, to } => {
-                write!(f, "fragment {to} feeds earlier fragment {from} (cycle between fragments)")
+                write!(
+                    f,
+                    "fragment {to} feeds earlier fragment {from} (cycle between fragments)"
+                )
             }
         }
     }
@@ -182,7 +191,10 @@ impl Diagram {
 
     /// The operators consuming `stream`.
     pub fn consumers(&self, stream: StreamId) -> Vec<&OpNode> {
-        self.ops.iter().filter(|o| o.inputs.contains(&stream)).collect()
+        self.ops
+            .iter()
+            .filter(|o| o.inputs.contains(&stream))
+            .collect()
     }
 }
 
@@ -216,7 +228,8 @@ impl DiagramBuilder {
     /// Declares a source stream (produced outside the diagram).
     pub fn source(&mut self, name: &str) -> StreamId {
         if self.stream_index.contains_key(name) {
-            self.errors.push(DiagramError::DuplicateStream(name.to_string()));
+            self.errors
+                .push(DiagramError::DuplicateStream(name.to_string()));
         }
         let s = self.intern(name);
         self.source_streams.push(s);
@@ -226,18 +239,28 @@ impl DiagramBuilder {
     /// Adds an operator producing stream `output_name` from `inputs`.
     pub fn add(&mut self, output_name: &str, op: LogicalOp, inputs: &[StreamId]) -> StreamId {
         if self.stream_index.contains_key(output_name) {
-            self.errors.push(DiagramError::DuplicateStream(output_name.to_string()));
+            self.errors
+                .push(DiagramError::DuplicateStream(output_name.to_string()));
         }
         let output = self.intern(output_name);
         let id = OpId(self.ops.len() as u32);
         match op.expected_inputs() {
             Some(n) if n != inputs.len() => {
-                self.errors.push(DiagramError::ArityMismatch { op: id, expected: n, actual: inputs.len() });
+                self.errors.push(DiagramError::ArityMismatch {
+                    op: id,
+                    expected: n,
+                    actual: inputs.len(),
+                });
             }
             None if inputs.len() < 2 => self.errors.push(DiagramError::UnionTooNarrow(id)),
             _ => {}
         }
-        self.ops.push(OpNode { id, op, inputs: inputs.to_vec(), output });
+        self.ops.push(OpNode {
+            id,
+            op,
+            inputs: inputs.to_vec(),
+            output,
+        });
         output
     }
 
@@ -324,7 +347,9 @@ mod tests {
     use borealis_types::Expr;
 
     fn filter() -> LogicalOp {
-        LogicalOp::Filter { predicate: Expr::Const(borealis_types::Value::Bool(true)) }
+        LogicalOp::Filter {
+            predicate: Expr::Const(borealis_types::Value::Bool(true)),
+        }
     }
 
     #[test]
@@ -371,12 +396,16 @@ mod tests {
         let mut b = DiagramBuilder::new();
         let a = b.source("a");
         let c = b.source("b");
-        b.add("j", LogicalOp::Join(JoinSpec {
-            window: Duration::from_millis(10),
-            left_key: Expr::field(0),
-            right_key: Expr::field(0),
-            max_state: None,
-        }), &[a]);
+        b.add(
+            "j",
+            LogicalOp::Join(JoinSpec {
+                window: Duration::from_millis(10),
+                left_key: Expr::field(0),
+                right_key: Expr::field(0),
+                max_state: None,
+            }),
+            &[a],
+        );
         let _ = c;
         assert!(matches!(b.build(), Err(DiagramError::ArityMismatch { .. })));
     }

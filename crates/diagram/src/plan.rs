@@ -168,12 +168,11 @@ impl Deployment {
 
     /// Explicit assignment.
     pub fn explicit(assignment: Vec<FragmentId>) -> Deployment {
-        let n = assignment
-            .iter()
-            .map(|f| f.index() + 1)
-            .max()
-            .unwrap_or(0);
-        Deployment { assignment, n_fragments: n }
+        let n = assignment.iter().map(|f| f.index() + 1).max().unwrap_or(0);
+        Deployment {
+            assignment,
+            n_fragments: n,
+        }
     }
 
     fn of(&self, op: OpId) -> FragmentId {
@@ -260,7 +259,7 @@ pub fn plan(
         let node = &diagram.ops()[opid.index()];
         let f = deployment.of(node.id);
         let fp = &mut fragments[f.index()];
-        let external = |s: StreamId| produced_in.get(&s).map(|&p| p) != Some(f);
+        let external = |s: StreamId| produced_in.get(&s).copied() != Some(f);
 
         // Ensures `s` is available inside the fragment, returning the local
         // producing op index. Creates an entry SUnion for external streams.
@@ -296,9 +295,7 @@ pub fn plan(
         // of its inputs: every input is external, feeds only this op, and no
         // entry SUnion exists for it yet.
         let absorb_ok = node.inputs.iter().all(|&s| {
-            external(s)
-                && consumers_in_frag(s, f) == 1
-                && !entry_sunion[f.index()].contains_key(&s)
+            external(s) && consumers_in_frag(s, f) == 1 && !entry_sunion[f.index()].contains_key(&s)
         });
 
         let out_idx = match &node.op {
@@ -386,15 +383,21 @@ pub fn plan(
                 let input = node.inputs[0];
                 let feeder = ensure_local!(input);
                 let spec = match single {
-                    LogicalOp::Filter { predicate } => {
-                        OperatorSpec::Filter { predicate: predicate.clone() }
-                    }
-                    LogicalOp::Map { outputs } => OperatorSpec::Map { outputs: outputs.clone() },
+                    LogicalOp::Filter { predicate } => OperatorSpec::Filter {
+                        predicate: predicate.clone(),
+                    },
+                    LogicalOp::Map { outputs } => OperatorSpec::Map {
+                        outputs: outputs.clone(),
+                    },
                     LogicalOp::Aggregate(a) => OperatorSpec::Aggregate(a.clone()),
                     LogicalOp::Union | LogicalOp::Join(_) => unreachable!("handled above"),
                 };
                 let idx = fp.ops.len();
-                fp.ops.push(PhysOp { spec, fanout: Vec::new(), external_output: None });
+                fp.ops.push(PhysOp {
+                    spec,
+                    fanout: Vec::new(),
+                    external_output: None,
+                });
                 fp.ops[feeder].fanout.push((idx, 0));
                 idx
             }
@@ -410,7 +413,10 @@ pub fn plan(
                 external_output: Some(node.output),
             });
             fp.ops[out_idx].fanout.push((so_idx, 0));
-            fp.outputs.push(FragmentOutput { stream: node.output, op: so_idx });
+            fp.outputs.push(FragmentOutput {
+                stream: node.output,
+                op: so_idx,
+            });
         }
     }
 
@@ -444,7 +450,11 @@ pub fn plan(
         }
     }
 
-    Ok(PhysicalPlan { fragments, max_sunion_depth: max_depth, per_sunion_delay: per_delay })
+    Ok(PhysicalPlan {
+        fragments,
+        max_sunion_depth: max_depth,
+        per_sunion_delay: per_delay,
+    })
 }
 
 /// Longest source→output path measured in SUnion hops, across fragments.
@@ -452,18 +462,10 @@ fn max_sunion_depth(fragments: &[FragmentPlan]) -> usize {
     // Global node = (fragment index, op index). Longest-path DP over the
     // global DAG; depth counts SUnion nodes.
     let mut memo: HashMap<(usize, usize), usize> = HashMap::new();
-    // producers of each crossing stream
-    let mut stream_producer: HashMap<StreamId, (usize, usize)> = HashMap::new();
-    for (fi, fp) in fragments.iter().enumerate() {
-        for o in &fp.outputs {
-            stream_producer.insert(o.stream, (fi, o.op));
-        }
-    }
 
     fn depth(
         node: (usize, usize),
         fragments: &[FragmentPlan],
-        stream_producer: &HashMap<StreamId, (usize, usize)>,
         memo: &mut HashMap<(usize, usize), usize>,
     ) -> usize {
         if let Some(&d) = memo.get(&node) {
@@ -474,19 +476,14 @@ fn max_sunion_depth(fragments: &[FragmentPlan]) -> usize {
         let own = usize::from(op.spec.is_sunion());
         let mut best = 0;
         for &(c, _) in &op.fanout {
-            best = best.max(depth((fi, c), fragments, stream_producer, memo));
+            best = best.max(depth((fi, c), fragments, memo));
         }
         if let Some(stream) = op.external_output {
             // Find fragments consuming this stream.
             for (cfi, cfp) in fragments.iter().enumerate() {
                 for inp in &cfp.inputs {
                     if inp.stream == stream {
-                        best = best.max(depth(
-                            (cfi, inp.target),
-                            fragments,
-                            stream_producer,
-                            memo,
-                        ));
+                        best = best.max(depth((cfi, inp.target), fragments, memo));
                     }
                 }
             }
@@ -500,12 +497,7 @@ fn max_sunion_depth(fragments: &[FragmentPlan]) -> usize {
     for (fi, fp) in fragments.iter().enumerate() {
         for inp in &fp.inputs {
             if inp.origin == StreamOrigin::Source {
-                max = max.max(depth(
-                    (fi, inp.target),
-                    fragments,
-                    &stream_producer,
-                    &mut memo,
-                ));
+                max = max.max(depth((fi, inp.target), fragments, &mut memo));
             }
         }
     }
@@ -519,7 +511,9 @@ mod tests {
     use borealis_types::Expr;
 
     fn filter() -> LogicalOp {
-        LogicalOp::Filter { predicate: Expr::Const(borealis_types::Value::Bool(true)) }
+        LogicalOp::Filter {
+            predicate: Expr::Const(borealis_types::Value::Bool(true)),
+        }
     }
 
     /// Union over three sources in one fragment: the SUnion absorbs the
@@ -537,7 +531,9 @@ mod tests {
         assert_eq!(p.fragments.len(), 1);
         let fp = &p.fragments[0];
         assert_eq!(fp.ops.len(), 2, "SUnion + SOutput");
-        assert!(matches!(&fp.ops[0].spec, OperatorSpec::SUnion(c) if c.n_inputs == 3 && c.is_input));
+        assert!(
+            matches!(&fp.ops[0].spec, OperatorSpec::SUnion(c) if c.n_inputs == 3 && c.is_input)
+        );
         assert!(fp.ops[1].spec.is_soutput());
         assert_eq!(fp.inputs.len(), 3);
         assert_eq!(fp.outputs.len(), 1);
@@ -598,7 +594,9 @@ mod tests {
         let dep = Deployment::explicit(vec![FragmentId(0), FragmentId(1)]);
         let cfg = DpcConfig {
             total_delay: Duration::from_secs(8),
-            assignment: DelayAssignment::Full { effective: Duration::from_secs_f64(6.5) },
+            assignment: DelayAssignment::Full {
+                effective: Duration::from_secs_f64(6.5),
+            },
             ..DpcConfig::default()
         };
         let p = plan(&d, &dep, &cfg).unwrap();
@@ -617,16 +615,24 @@ mod tests {
         let mut b = DiagramBuilder::new();
         let l = b.source("l");
         let r = b.source("r");
-        let j = b.add("j", LogicalOp::Join(JoinSpec {
-            window: Duration::from_millis(50),
-            left_key: Expr::field(0),
-            right_key: Expr::field(0),
-            max_state: Some(100),
-        }), &[l, r]);
+        let j = b.add(
+            "j",
+            LogicalOp::Join(JoinSpec {
+                window: Duration::from_millis(50),
+                left_key: Expr::field(0),
+                right_key: Expr::field(0),
+                max_state: Some(100),
+            }),
+            &[l, r],
+        );
         b.output(j);
         let d = b.build().unwrap();
         let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
-        let kinds: Vec<&str> = p.fragments[0].ops.iter().map(|o| o.spec.kind_name()).collect();
+        let kinds: Vec<&str> = p.fragments[0]
+            .ops
+            .iter()
+            .map(|o| o.spec.kind_name())
+            .collect();
         assert_eq!(kinds, vec!["sunion", "sjoin", "soutput"]);
     }
 

@@ -18,20 +18,29 @@
 //!   the checkpoint (except SOutput, which keeps its duplicate-suppression
 //!   memory), replay the input SUnions' logs in original arrival order, and
 //!   emit REC_DONE markers that propagate to the outputs.
+//!
+//! Execution is **batch-wise**: external input arrives as shared
+//! [`TupleBatch`] views, operators run their
+//! [`Operator::process_batch`](borealis_ops::Operator::process_batch) path,
+//! and intra-fragment routing and the produced [`Batch::outputs`] move
+//! reference-counted views — a pass-through operator chain forwards one
+//! allocation end to end. Only the failure path (divergence relabelling)
+//! copies tuples.
 
 use borealis_diagram::FragmentPlan;
 use borealis_ops::sunion::Phase;
-use borealis_ops::{Emitter, OpSnapshot, Operator};
-use borealis_types::{ControlSignal, StreamId, Time, Tuple, TupleKind};
+use borealis_ops::{BatchEmitter, Emitter, OpSnapshot, Operator};
+use borealis_types::{ControlSignal, StreamId, Time, Tuple, TupleBatch, TupleKind};
 use std::collections::VecDeque;
 
 /// Everything a fragment produced while handling one call: output-stream
-/// tuples, control signals for the Consistency Manager, and the number of
+/// batches, control signals for the Consistency Manager, and the number of
 /// data tuples processed (the node's CPU-cost accounting).
 #[derive(Debug, Default)]
 pub struct Batch {
-    /// Tuples leaving the node, per output stream, in emission order.
-    pub tuples: Vec<(StreamId, Tuple)>,
+    /// Batches leaving the node, per output stream, in emission order.
+    /// Cloning an entry is O(1): the views share the operator's allocation.
+    pub outputs: Vec<(StreamId, TupleBatch)>,
     /// Control signals raised by SUnion/SOutput operators.
     pub signals: Vec<ControlSignal>,
     /// Data tuples processed by operators during this call.
@@ -39,10 +48,21 @@ pub struct Batch {
 }
 
 impl Batch {
-    fn merge(&mut self, mut other: Batch) {
-        self.tuples.append(&mut other.tuples);
+    /// Appends another result batch (outputs, signals, work accounting).
+    pub fn merge(&mut self, mut other: Batch) {
+        self.outputs.append(&mut other.outputs);
         self.signals.append(&mut other.signals);
         self.work += other.work;
+    }
+
+    /// Flattens the emitted batches into owned `(stream, tuple)` pairs —
+    /// a copying convenience for tests and diagnostics; the runtime data
+    /// path consumes [`Batch::outputs`] directly.
+    pub fn tuples(&self) -> Vec<(StreamId, Tuple)> {
+        self.outputs
+            .iter()
+            .flat_map(|(s, b)| b.as_slice().iter().map(move |t| (*s, t.clone())))
+            .collect()
     }
 }
 
@@ -55,8 +75,8 @@ pub struct Fragment {
     input_bindings: Vec<(StreamId, usize, usize)>,
     /// Indexes of input SUnions (replay-log holders).
     input_sunions: Vec<usize>,
-    /// Per-op input queues.
-    queues: Vec<VecDeque<(usize, Tuple)>>,
+    /// Per-op input queues of shared batch views.
+    queues: Vec<VecDeque<(usize, TupleBatch)>>,
     /// Per-op divergence flags.
     op_tainted: Vec<bool>,
     /// Fragment-level: checkpoint taken, tentative processing under way.
@@ -143,34 +163,59 @@ impl Fragment {
             .sum()
     }
 
-    /// Delivers one external tuple to the fragment.
+    /// Delivers one external tuple to the fragment (convenience wrapper
+    /// over the batch path).
     pub fn push(&mut self, stream: StreamId, tuple: &Tuple, now: Time) -> Batch {
+        self.push_batch(stream, &TupleBatch::single(tuple.clone()), now)
+    }
+
+    /// Delivers a slice of external tuples (all on one stream), sealing
+    /// them into one shared batch first.
+    pub fn push_many(&mut self, stream: StreamId, tuples: &[Tuple], now: Time) -> Batch {
+        self.push_batch(stream, &TupleBatch::from_vec(tuples.to_vec()), now)
+    }
+
+    /// Delivers a shared batch of external tuples (all on one stream) —
+    /// the zero-copy data-plane entry point: the batch is enqueued by
+    /// view, never copied.
+    ///
+    /// Checkpoint-before-tentative (§4.4.1): if the batch carries the first
+    /// tentative tuple to reach a consistent fragment, the stable prefix is
+    /// processed first, the whole-fragment checkpoint is taken, and only
+    /// then does the tentative suffix enter — identical semantics to
+    /// tuple-at-a-time delivery.
+    pub fn push_batch(&mut self, stream: StreamId, tuples: &TupleBatch, now: Time) -> Batch {
         let mut batch = Batch::default();
-        // Checkpoint-before-tentative (§4.4.1): capture pre-failure state
-        // before the first tentative tuple mutates any operator.
-        if tuple.is_tentative() && !self.tainted {
-            self.take_checkpoint();
+        if !self.tainted {
+            if let Some(k) = tuples.first_tentative() {
+                if k > 0 {
+                    let prefix = tuples.slice(0..k);
+                    self.enqueue_external(stream, &prefix);
+                    self.drain(now, &mut batch);
+                }
+                self.take_checkpoint();
+                let suffix = tuples.slice(k..tuples.len());
+                self.enqueue_external(stream, &suffix);
+                self.drain(now, &mut batch);
+                return batch;
+            }
         }
-        let bindings: Vec<(usize, usize)> = self
-            .input_bindings
-            .iter()
-            .filter(|(s, _, _)| *s == stream)
-            .map(|(_, op, port)| (*op, *port))
-            .collect();
-        for (op, port) in bindings {
-            self.queues[op].push_back((port, tuple.clone()));
-        }
+        self.enqueue_external(stream, tuples);
         self.drain(now, &mut batch);
         batch
     }
 
-    /// Delivers a batch of external tuples (all on one stream).
-    pub fn push_many(&mut self, stream: StreamId, tuples: &[Tuple], now: Time) -> Batch {
-        let mut batch = Batch::default();
-        for t in tuples {
-            batch.merge(self.push(stream, t, now));
+    /// Queues one external batch view on every bound operator port.
+    fn enqueue_external(&mut self, stream: StreamId, tuples: &TupleBatch) {
+        if tuples.is_empty() {
+            return;
         }
-        batch
+        for bi in 0..self.input_bindings.len() {
+            let (s, op, port) = self.input_bindings[bi];
+            if s == stream {
+                self.queues[op].push_back((port, tuples.clone()));
+            }
+        }
     }
 
     /// Advances virtual time: fires SUnion deadlines, taking the failure
@@ -184,7 +229,11 @@ impl Fragment {
         for i in 0..self.ops.len() {
             let mut em = Emitter::new();
             self.ops[i].tick(now, permitted, &mut em);
-            self.route(i, em, &mut batch);
+            if !em.is_empty() {
+                let mut bem = BatchEmitter::new();
+                bem.absorb(&mut em);
+                self.route(i, bem, &mut batch);
+            }
         }
         self.drain(now, &mut batch);
         batch
@@ -207,7 +256,11 @@ impl Fragment {
                 .as_sunion_mut()
                 .expect("input_sunions holds SUnions")
                 .take_replay_log();
-            log.extend(entries.into_iter().map(|(t, port, tuple)| (t, i, port, tuple)));
+            log.extend(
+                entries
+                    .into_iter()
+                    .map(|(t, port, tuple)| (t, i, port, tuple)),
+            );
         }
         // Original arrival order across all inputs (stable by op index).
         log.sort_by_key(|(t, i, port, _)| (*t, *i, *port));
@@ -233,7 +286,7 @@ impl Fragment {
             if tuple.is_tentative() && !self.tainted {
                 self.take_checkpoint();
             }
-            self.queues[op].push_back((port, tuple));
+            self.queues[op].push_back((port, TupleBatch::single(tuple)));
             self.drain(arrival, &mut batch);
         }
 
@@ -253,7 +306,11 @@ impl Fragment {
                 .as_sunion_mut()
                 .expect("input_sunions holds SUnions")
                 .emit_rec_done(now, &mut em);
-            self.route(i, em, &mut batch);
+            if !em.is_empty() {
+                let mut bem = BatchEmitter::new();
+                bem.absorb(&mut em);
+                self.route(i, bem, &mut batch);
+            }
         }
         self.drain(now, &mut batch);
         batch
@@ -273,28 +330,55 @@ impl Fragment {
         }
     }
 
-    /// Routes one operator's emissions: relabels outputs of diverged
+    /// Routes one operator's emitted batches: relabels outputs of diverged
     /// operators, feeds intra-fragment consumers, and collects output-stream
-    /// tuples and control signals.
-    fn route(&mut self, from: usize, mut em: Emitter, batch: &mut Batch) {
-        let (tuples, signals) = em.take();
+    /// batches and control signals. On the healthy path every destination
+    /// receives a shared view (reference-count bump); only a diverged
+    /// operator's stable emissions are copied (to relabel them tentative).
+    fn route(&mut self, from: usize, mut em: BatchEmitter, batch: &mut Batch) {
+        let (chunks, signals) = em.take();
         batch.signals.extend(signals);
-        for mut t in tuples {
-            if t.kind == TupleKind::Insertion
-                && self.op_tainted[from]
-                && self.ops[from].as_soutput_mut().is_none()
+        let exempt = self.ops[from].as_soutput().is_some();
+        for chunk in chunks {
+            let chunk = if self.op_tainted[from]
+                && !exempt
+                && chunk
+                    .as_slice()
+                    .iter()
+                    .any(|t| t.kind == TupleKind::Insertion)
             {
                 // Divergence relabel: a diverged operator cannot vouch for
                 // stability (SOutput is exempt — it is the stabilizer).
-                t.kind = TupleKind::Tentative;
-            }
+                TupleBatch::from_vec(
+                    chunk
+                        .as_slice()
+                        .iter()
+                        .map(|t| {
+                            if t.kind == TupleKind::Insertion {
+                                t.as_tentative()
+                            } else {
+                                t.clone()
+                            }
+                        })
+                        .collect(),
+                )
+            } else {
+                chunk
+            };
             if let Some(stream) = self.external_output[from] {
-                batch.tuples.push((stream, t.clone()));
+                batch.outputs.push((stream, chunk.clone()));
             }
             for &(op, port) in &self.fanout[from] {
-                self.queues[op].push_back((port, t.clone()));
+                self.queues[op].push_back((port, chunk.clone()));
             }
         }
+    }
+
+    /// Runs one operator over one queued batch view.
+    fn exec(&mut self, i: usize, port: usize, chunk: &TupleBatch, now: Time, batch: &mut Batch) {
+        let mut em = BatchEmitter::new();
+        self.ops[i].process_batch(port, chunk, now, &mut em);
+        self.route(i, em, batch);
     }
 
     /// Drains all queues in topological order until quiescent.
@@ -302,18 +386,33 @@ impl Fragment {
         loop {
             let mut progressed = false;
             for i in 0..self.ops.len() {
-                while let Some((port, t)) = self.queues[i].pop_front() {
+                while let Some((port, chunk)) = self.queues[i].pop_front() {
                     progressed = true;
-                    if t.is_data() {
-                        self.total_work += 1;
-                        batch.work += 1;
+                    let work = chunk.data_count();
+                    self.total_work += work;
+                    batch.work += work;
+                    // Divergence split: tuples ahead of the batch's first
+                    // tentative one are processed (and routed) with the
+                    // operator still clean, exactly as tuple-at-a-time
+                    // execution would.
+                    let mut rest = chunk;
+                    loop {
+                        if !self.op_tainted[i] {
+                            if let Some(k) = rest.first_tentative() {
+                                if k > 0 {
+                                    let prefix = rest.slice(0..k);
+                                    self.exec(i, port, &prefix, now, batch);
+                                }
+                                self.op_tainted[i] = true;
+                                rest = rest.slice(k..rest.len());
+                                continue;
+                            }
+                        }
+                        if !rest.is_empty() {
+                            self.exec(i, port, &rest, now, batch);
+                        }
+                        break;
                     }
-                    if t.is_tentative() {
-                        self.op_tainted[i] = true;
-                    }
-                    let mut em = Emitter::new();
-                    self.ops[i].process(port, &t, now, &mut em);
-                    self.route(i, em, batch);
                 }
             }
             if !progressed {

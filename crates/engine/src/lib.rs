@@ -42,7 +42,11 @@ mod tests {
     }
 
     fn data(id: u64, ms: u64) -> Tuple {
-        Tuple::insertion(TupleId(id), Time::from_millis(ms), vec![Value::Int(id as i64)])
+        Tuple::insertion(
+            TupleId(id),
+            Time::from_millis(ms),
+            vec![Value::Int(id as i64)],
+        )
     }
 
     fn boundary(ms: u64) -> Tuple {
@@ -50,26 +54,15 @@ mod tests {
     }
 
     /// Pushes a healthy round of data + boundaries on all streams.
-    fn healthy_round(
-        f: &mut Fragment,
-        streams: &[StreamId],
-        ms: u64,
-        next_id: &mut u64,
-    ) -> Batch {
+    fn healthy_round(f: &mut Fragment, streams: &[StreamId], ms: u64, next_id: &mut u64) -> Batch {
         let mut total = Batch::default();
         let now = Time::from_millis(ms);
         for (k, &s) in streams.iter().enumerate() {
-            let mut b = f.push(s, &data(*next_id, ms + k as u64), now);
-            total.tuples.append(&mut b.tuples);
-            total.signals.append(&mut b.signals);
-            total.work += b.work;
+            total.merge(f.push(s, &data(*next_id, ms + k as u64), now));
             *next_id += 1;
         }
         for &s in streams {
-            let mut b = f.push(s, &boundary(ms + 140), now);
-            total.tuples.append(&mut b.tuples);
-            total.signals.append(&mut b.signals);
-            total.work += b.work;
+            total.merge(f.push(s, &boundary(ms + 140), now));
         }
         total
     }
@@ -81,7 +74,7 @@ mod tests {
         let mut all = Vec::new();
         for round in 0..5 {
             let b = healthy_round(&mut f, &streams, round * 100 + 10, &mut id);
-            all.extend(b.tuples);
+            all.extend(b.tuples());
         }
         let data_tuples: Vec<_> = all
             .iter()
@@ -90,9 +83,14 @@ mod tests {
         // Rounds 0..4 pushed 15 tuples; each round's trailing boundary
         // (ms + 140) closes that round's bucket, so all 15 are emitted.
         assert_eq!(data_tuples.len(), 15);
-        assert!(data_tuples.iter().all(|(_, t)| t.kind == TupleKind::Insertion));
+        assert!(data_tuples
+            .iter()
+            .all(|(_, t)| t.kind == TupleKind::Insertion));
         // stimes must be non-decreasing (serialized order).
-        let stimes: Vec<u64> = data_tuples.iter().map(|(_, t)| t.stime.as_micros()).collect();
+        let stimes: Vec<u64> = data_tuples
+            .iter()
+            .map(|(_, t)| t.stime.as_micros())
+            .collect();
         assert!(stimes.windows(2).all(|w| w[0] <= w[1]), "{stimes:?}");
         assert!(!f.is_tainted());
     }
@@ -114,8 +112,8 @@ mod tests {
         let b = f.tick(Time::from_millis(2500));
         assert!(f.is_tainted());
         assert!(b.signals.contains(&ControlSignal::UpFailure));
-        let tentative: Vec<_> = b
-            .tuples
+        let emitted = b.tuples();
+        let tentative: Vec<_> = emitted
             .iter()
             .filter(|(s, t)| *s == out_stream && t.is_tentative())
             .collect();
@@ -135,7 +133,7 @@ mod tests {
             f.push(s, &boundary(300), Time::from_millis(200));
         }
         let b = f.tick(Time::from_millis(2300));
-        let n_tentative = b.tuples.iter().filter(|(_, t)| t.is_tentative()).count();
+        let n_tentative = b.tuples().iter().filter(|(_, t)| t.is_tentative()).count();
         assert_eq!(n_tentative, 2);
 
         // Heal: stream 3 replays its backlog with boundaries; streams 1, 2
@@ -148,19 +146,23 @@ mod tests {
         assert!(f.can_reconcile(), "all inputs corrected");
 
         let mut b = f.reconcile(Time::from_millis(2500));
-        let done = f.finish_reconciliation(Time::from_millis(2600));
-        b.tuples.extend(done.tuples);
-        b.signals.extend(done.signals);
-        let out: Vec<&Tuple> = b
-            .tuples
+        b.merge(f.finish_reconciliation(Time::from_millis(2600)));
+        let emitted = b.tuples();
+        let out: Vec<&Tuple> = emitted
             .iter()
             .filter(|(s, _)| *s == out_stream)
             .map(|(_, t)| t)
             .collect();
         // Expect: UNDO (rolling back the 2 tentative), stable corrections
         // (the 2 + the missing 1), REC_DONE.
-        let undo_pos = out.iter().position(|t| t.kind == TupleKind::Undo).expect("undo");
-        let rec_pos = out.iter().position(|t| t.kind == TupleKind::RecDone).expect("rec_done");
+        let undo_pos = out
+            .iter()
+            .position(|t| t.kind == TupleKind::Undo)
+            .expect("undo");
+        let rec_pos = out
+            .iter()
+            .position(|t| t.kind == TupleKind::RecDone)
+            .expect("rec_done");
         assert!(undo_pos < rec_pos);
         let stable: Vec<_> = out.iter().filter(|t| t.is_stable_data()).collect();
         assert_eq!(stable.len(), 3, "corrections: {out:?}");
@@ -169,7 +171,7 @@ mod tests {
 
         // No duplicates: stable ids strictly increase across the undo.
         let mut last = TupleId::NONE;
-        for (s, t) in healthy_round(&mut f, &streams, 500, &mut id).tuples {
+        for (s, t) in healthy_round(&mut f, &streams, 500, &mut id).tuples() {
             if s == out_stream && t.is_stable_data() {
                 assert!(t.id > last);
                 last = t.id;
@@ -207,9 +209,9 @@ mod tests {
         assert!(f.can_reconcile());
 
         let mut b = f.reconcile(Time::from_millis(2500));
-        b.tuples.extend(f.finish_reconciliation(Time::from_millis(2600)).tuples);
-        let out: Vec<&Tuple> = b
-            .tuples
+        b.merge(f.finish_reconciliation(Time::from_millis(2600)));
+        let emitted = b.tuples();
+        let out: Vec<&Tuple> = emitted
             .iter()
             .filter(|(s, _)| *s == out_stream)
             .map(|(_, t)| t)
@@ -227,7 +229,7 @@ mod tests {
         }
         let b = f.tick(Time::from_millis(4700));
         assert!(f.is_tainted());
-        assert!(b.tuples.iter().any(|(_, t)| t.is_tentative()));
+        assert!(b.tuples().iter().any(|(_, t)| t.is_tentative()));
     }
 
     #[test]
@@ -239,10 +241,7 @@ mod tests {
         let fz = b.add(
             "odd",
             LogicalOp::Filter {
-                predicate: Expr::eq(
-                    Expr::modulo(Expr::field(0), Expr::int(2)),
-                    Expr::int(1),
-                ),
+                predicate: Expr::eq(Expr::modulo(Expr::field(0), Expr::int(2)), Expr::int(1)),
             },
             &[s],
         );
@@ -258,9 +257,9 @@ mod tests {
                 Time::from_millis(i * 10),
                 vec![Value::Int(i as i64)],
             );
-            out.extend(f.push(s, &t, Time::from_millis(i * 10)).tuples);
+            out.extend(f.push(s, &t, Time::from_millis(i * 10)).tuples());
         }
-        out.extend(f.push(s, &boundary(100), Time::from_millis(100)).tuples);
+        out.extend(f.push(s, &boundary(100), Time::from_millis(100)).tuples());
         let kept: Vec<i64> = out
             .iter()
             .filter(|(_, t)| t.is_data())

@@ -48,23 +48,38 @@ pub struct AggFn {
 impl AggFn {
     /// `COUNT(*)`.
     pub fn count() -> AggFn {
-        AggFn { kind: AggFnKind::Count, input: Expr::int(0) }
+        AggFn {
+            kind: AggFnKind::Count,
+            input: Expr::int(0),
+        }
     }
     /// `SUM(input)`.
     pub fn sum(input: Expr) -> AggFn {
-        AggFn { kind: AggFnKind::Sum, input }
+        AggFn {
+            kind: AggFnKind::Sum,
+            input,
+        }
     }
     /// `AVG(input)`.
     pub fn avg(input: Expr) -> AggFn {
-        AggFn { kind: AggFnKind::Avg, input }
+        AggFn {
+            kind: AggFnKind::Avg,
+            input,
+        }
     }
     /// `MIN(input)`.
     pub fn min(input: Expr) -> AggFn {
-        AggFn { kind: AggFnKind::Min, input }
+        AggFn {
+            kind: AggFnKind::Min,
+            input,
+        }
     }
     /// `MAX(input)`.
     pub fn max(input: Expr) -> AggFn {
-        AggFn { kind: AggFnKind::Max, input }
+        AggFn {
+            kind: AggFnKind::Max,
+            input,
+        }
     }
 }
 
@@ -138,9 +153,11 @@ impl Accum {
             Accum::Count(c) => Value::Int(*c as i64),
             Accum::SumInt(s) => Value::Int(*s),
             Accum::SumFloat(s) => Value::Float(*s),
-            Accum::Avg { sum, count } => {
-                Value::Float(if *count == 0 { 0.0 } else { sum / *count as f64 })
-            }
+            Accum::Avg { sum, count } => Value::Float(if *count == 0 {
+                0.0
+            } else {
+                sum / *count as f64
+            }),
             Accum::Min(m) | Accum::Max(m) => m.clone().unwrap_or(Value::Int(0)),
         }
     }
@@ -183,7 +200,11 @@ impl Aggregate {
         assert!(!spec.aggs.is_empty(), "aggregate needs at least one column");
         Aggregate {
             spec,
-            state: AggState { windows: BTreeMap::new(), stable_wm: None, next_id: 1 },
+            state: AggState {
+                windows: BTreeMap::new(),
+                stable_wm: None,
+                next_id: 1,
+            },
         }
     }
 
@@ -255,7 +276,11 @@ impl Aggregate {
             .cloned()
             .collect();
         for key in closed {
-            let win = self.state.windows.remove(&key).expect("window key just listed");
+            let win = self
+                .state
+                .windows
+                .remove(&key)
+                .expect("window key just listed");
             let (start, group) = key;
             let mut values = group;
             values.extend(win.accums.iter().map(Accum::finish));
@@ -387,10 +412,13 @@ mod tests {
             .map(|t| t.values.clone())
             .collect();
         // Deterministic group order: key 1 before key 2.
-        assert_eq!(groups, vec![
-            vec![Value::Int(1), Value::Int(1)],
-            vec![Value::Int(2), Value::Int(2)],
-        ]);
+        assert_eq!(
+            groups,
+            vec![
+                vec![Value::Int(1), Value::Int(1)],
+                vec![Value::Int(2), Value::Int(2)],
+            ]
+        );
     }
 
     #[test]
@@ -435,7 +463,10 @@ mod tests {
         }
         a.process(0, &boundary(100), Time::ZERO, &mut out);
         let agg = &out.tuples[0];
-        assert_eq!(agg.values, vec![Value::Float(6.0), Value::Int(4), Value::Int(8)]);
+        assert_eq!(
+            agg.values,
+            vec![Value::Float(6.0), Value::Int(4), Value::Int(8)]
+        );
     }
 
     #[test]

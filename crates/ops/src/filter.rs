@@ -1,7 +1,7 @@
 //! Filter: tests each input tuple against a predicate (§2.1).
 
-use crate::{Emitter, OpSnapshot, Operator};
-use borealis_types::{Expr, Time, Tuple, TupleKind};
+use crate::{BatchEmitter, Emitter, OpSnapshot, Operator};
+use borealis_types::{Expr, Time, Tuple, TupleBatch, TupleKind};
 
 /// A stateless predicate filter.
 ///
@@ -38,6 +38,38 @@ impl Operator for Filter {
             TupleKind::Boundary | TupleKind::Undo | TupleKind::RecDone => {
                 out.push(tuple.clone());
             }
+        }
+    }
+
+    /// Zero-copy batch path: contiguous runs of passing tuples are
+    /// forwarded as shared sub-views of the input batch — when every tuple
+    /// passes (the common stable-stream case) the whole batch moves on
+    /// with a single reference-count bump.
+    fn process_batch(
+        &mut self,
+        _port: usize,
+        batch: &TupleBatch,
+        _now: Time,
+        out: &mut BatchEmitter,
+    ) {
+        let tuples = batch.as_slice();
+        let mut run_start = 0;
+        for (i, t) in tuples.iter().enumerate() {
+            let keep = match t.kind {
+                TupleKind::Insertion | TupleKind::Tentative => {
+                    self.predicate.eval_bool(t).unwrap_or(false)
+                }
+                TupleKind::Boundary | TupleKind::Undo | TupleKind::RecDone => true,
+            };
+            if !keep {
+                if i > run_start {
+                    out.push_batch(batch.slice(run_start..i));
+                }
+                run_start = i + 1;
+            }
+        }
+        if tuples.len() > run_start {
+            out.push_batch(batch.slice(run_start..tuples.len()));
         }
     }
 
@@ -81,9 +113,24 @@ mod tests {
     fn metadata_always_passes() {
         let mut f = Filter::new(Expr::Const(Value::Bool(false)));
         let mut out = Emitter::new();
-        f.process(0, &Tuple::boundary(TupleId::NONE, Time::from_secs(1)), Time::ZERO, &mut out);
-        f.process(0, &Tuple::undo(TupleId::NONE, TupleId(4)), Time::ZERO, &mut out);
-        f.process(0, &Tuple::rec_done(TupleId::NONE, Time::ZERO), Time::ZERO, &mut out);
+        f.process(
+            0,
+            &Tuple::boundary(TupleId::NONE, Time::from_secs(1)),
+            Time::ZERO,
+            &mut out,
+        );
+        f.process(
+            0,
+            &Tuple::undo(TupleId::NONE, TupleId(4)),
+            Time::ZERO,
+            &mut out,
+        );
+        f.process(
+            0,
+            &Tuple::rec_done(TupleId::NONE, Time::ZERO),
+            Time::ZERO,
+            &mut out,
+        );
         assert_eq!(out.tuples.len(), 3);
     }
 
@@ -93,5 +140,48 @@ mod tests {
         let mut out = Emitter::new();
         f.process(0, &data(1, 1), Time::ZERO, &mut out);
         assert!(out.tuples.is_empty());
+    }
+
+    #[test]
+    fn batch_path_forwards_all_pass_batch_by_reference() {
+        let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(0)));
+        let batch = TupleBatch::from_vec((1..=4).map(|i| data(i, i as i64)).collect());
+        let mut out = BatchEmitter::new();
+        f.process_batch(0, &batch, Time::ZERO, &mut out);
+        let (chunks, _) = out.take();
+        assert_eq!(chunks.len(), 1);
+        assert!(
+            chunks[0].shares_backing(&batch),
+            "all-pass forwards a shared view"
+        );
+        assert_eq!(chunks[0], batch);
+    }
+
+    #[test]
+    fn batch_path_splits_runs_and_matches_per_tuple_path() {
+        let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(10)));
+        let tuples: Vec<Tuple> = vec![
+            data(1, 20),
+            data(2, 5), // dropped
+            data(3, 30),
+            Tuple::boundary(TupleId::NONE, Time::from_secs(1)),
+            data(4, 2), // dropped
+        ];
+        let batch = TupleBatch::from_vec(tuples.clone());
+        let mut out = BatchEmitter::new();
+        f.process_batch(0, &batch, Time::ZERO, &mut out);
+        let (chunks, _) = out.take();
+        let got: Vec<Tuple> = chunks.iter().flat_map(|c| c.to_vec()).collect();
+
+        let mut reference = Emitter::new();
+        let mut f2 = Filter::new(Expr::gt(Expr::field(0), Expr::int(10)));
+        for t in &tuples {
+            f2.process(0, t, Time::ZERO, &mut reference);
+        }
+        assert_eq!(got, reference.tuples);
+        assert!(
+            chunks.iter().all(|c| c.shares_backing(&batch)),
+            "runs are views"
+        );
     }
 }

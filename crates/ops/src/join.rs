@@ -70,11 +70,25 @@ impl SJoin {
     /// Drops buffered tuples that can no longer match anything at or after
     /// `frontier` (input is stime-ordered downstream of SUnion).
     fn evict_before(&mut self, frontier: Time) {
-        let horizon = Time(frontier.as_micros().saturating_sub(self.spec.window.as_micros()));
-        while self.state.left.front().is_some_and(|(_, t)| t.stime < horizon) {
+        let horizon = Time(
+            frontier
+                .as_micros()
+                .saturating_sub(self.spec.window.as_micros()),
+        );
+        while self
+            .state
+            .left
+            .front()
+            .is_some_and(|(_, t)| t.stime < horizon)
+        {
             self.state.left.pop_front();
         }
-        while self.state.right.front().is_some_and(|(_, t)| t.stime < horizon) {
+        while self
+            .state
+            .right
+            .front()
+            .is_some_and(|(_, t)| t.stime < horizon)
+        {
             self.state.right.pop_front();
         }
     }
@@ -82,14 +96,22 @@ impl SJoin {
     fn handle_data(&mut self, tuple: &Tuple, out: &mut Emitter) {
         self.evict_before(tuple.stime);
         let is_left = tuple.origin < self.spec.left_split;
-        let key_expr = if is_left { &self.spec.left_key } else { &self.spec.right_key };
+        let key_expr = if is_left {
+            &self.spec.left_key
+        } else {
+            &self.spec.right_key
+        };
         let key = match key_expr.eval(tuple) {
             Ok(k) => k,
             Err(_) => return, // deterministic drop on evaluation error
         };
         let window = self.spec.window;
         // Match against the opposite side, in its arrival order.
-        let opposite = if is_left { &self.state.right } else { &self.state.left };
+        let opposite = if is_left {
+            &self.state.right
+        } else {
+            &self.state.left
+        };
         let mut matches: Vec<Tuple> = Vec::new();
         for (other_key, other) in opposite {
             if *other_key != key {
@@ -103,7 +125,11 @@ impl SJoin {
             if gap > window {
                 continue;
             }
-            let (l, r) = if is_left { (tuple, other) } else { (other, tuple) };
+            let (l, r) = if is_left {
+                (tuple, other)
+            } else {
+                (other, tuple)
+            };
             let mut values = Vec::with_capacity(l.values.len() + r.values.len());
             values.extend_from_slice(&l.values);
             values.extend_from_slice(&r.values);
@@ -121,7 +147,11 @@ impl SJoin {
             out.push(m);
         }
         // Store this tuple for future matches.
-        let side = if is_left { &mut self.state.left } else { &mut self.state.right };
+        let side = if is_left {
+            &mut self.state.left
+        } else {
+            &mut self.state.right
+        };
         side.push_back((key, tuple.clone()));
         if let Some(max) = self.spec.max_state {
             while side.len() > max {
@@ -188,10 +218,15 @@ mod tests {
         j.process(0, &side(1, 1, 120, 7, 22), Time::ZERO, &mut out);
         assert_eq!(out.tuples.len(), 1);
         let m = &out.tuples[0];
-        assert_eq!(m.values, vec![
-            Value::Int(7), Value::Int(11), // left
-            Value::Int(7), Value::Int(22), // right
-        ]);
+        assert_eq!(
+            m.values,
+            vec![
+                Value::Int(7),
+                Value::Int(11), // left
+                Value::Int(7),
+                Value::Int(22), // right
+            ]
+        );
         assert_eq!(m.stime, Time::from_millis(120));
         assert_eq!(m.kind, TupleKind::Insertion);
     }
@@ -234,10 +269,13 @@ mod tests {
 
     #[test]
     fn max_state_caps_each_side() {
-        let mut j = SJoin::new(SJoinSpec { max_state: Some(2), ..spec(10_000) });
+        let mut j = SJoin::new(SJoinSpec {
+            max_state: Some(2),
+            ..spec(10_000)
+        });
         let mut out = Emitter::new();
         for i in 0..5 {
-            j.process(0, &side(0, i, 100 + i as u64, i as i64, 0), Time::ZERO, &mut out);
+            j.process(0, &side(0, i, 100 + i, i as i64, 0), Time::ZERO, &mut out);
         }
         assert_eq!(j.state_size(), 2);
     }
@@ -247,7 +285,12 @@ mod tests {
         let mut j = SJoin::new(spec(50));
         let mut out = Emitter::new();
         j.process(0, &side(0, 1, 0, 1, 0), Time::ZERO, &mut out);
-        j.process(0, &Tuple::boundary(TupleId::NONE, Time::from_millis(200)), Time::ZERO, &mut out);
+        j.process(
+            0,
+            &Tuple::boundary(TupleId::NONE, Time::from_millis(200)),
+            Time::ZERO,
+            &mut out,
+        );
         assert_eq!(out.tuples.len(), 1);
         assert_eq!(out.tuples[0].kind, TupleKind::Boundary);
         assert_eq!(j.state_size(), 0);

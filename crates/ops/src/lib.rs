@@ -35,7 +35,7 @@ pub use spec::OperatorSpec;
 pub use sunion::{DelayMode, SUnion, SUnionConfig};
 pub use union::Union;
 
-use borealis_types::{ControlSignal, Time, Tuple};
+use borealis_types::{ControlSignal, Time, Tuple, TupleBatch};
 
 /// Collects the tuples and control signals an operator emits while
 /// processing one input tuple or one timer tick.
@@ -74,7 +74,86 @@ impl Emitter {
 
     /// Moves the contents out, leaving the emitter empty.
     pub fn take(&mut self) -> (Vec<Tuple>, Vec<ControlSignal>) {
-        (std::mem::take(&mut self.tuples), std::mem::take(&mut self.signals))
+        (
+            std::mem::take(&mut self.tuples),
+            std::mem::take(&mut self.signals),
+        )
+    }
+}
+
+/// Collects whole shared batches: the zero-copy sibling of [`Emitter`]
+/// used by the fragment executor's batch execution path.
+///
+/// Operators that forward tuples unchanged push O(1) views of their input
+/// ([`BatchEmitter::push_batch`]); operators that transform or renumber
+/// push owned tuples ([`BatchEmitter::push`]), which are sealed into one
+/// shared batch per contiguous run. Either way the downstream engine, node
+/// buffers, and network fan-out all share the resulting allocation.
+#[derive(Debug, Default)]
+pub struct BatchEmitter {
+    chunks: Vec<TupleBatch>,
+    pending: Vec<Tuple>,
+    signals: Vec<ControlSignal>,
+}
+
+impl BatchEmitter {
+    /// Creates an empty batch emitter.
+    pub fn new() -> BatchEmitter {
+        BatchEmitter::default()
+    }
+
+    /// Emits one owned tuple (buffered; sealed into a shared batch when a
+    /// batch boundary is reached).
+    pub fn push(&mut self, t: Tuple) {
+        self.pending.push(t);
+    }
+
+    /// Emits a shared batch view without copying its tuples.
+    pub fn push_batch(&mut self, batch: TupleBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.seal();
+        self.chunks.push(batch);
+    }
+
+    /// Emits a control signal to the Consistency Manager.
+    pub fn signal(&mut self, s: ControlSignal) {
+        self.signals.push(s);
+    }
+
+    /// Absorbs a per-tuple [`Emitter`]'s output (compatibility bridge for
+    /// operators using the default per-tuple path).
+    pub fn absorb(&mut self, em: &mut Emitter) {
+        let (tuples, signals) = em.take();
+        if self.pending.is_empty() {
+            self.pending = tuples;
+        } else {
+            self.pending.extend(tuples);
+        }
+        self.signals.extend(signals);
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty() && self.pending.is_empty() && self.signals.is_empty()
+    }
+
+    fn seal(&mut self) {
+        if !self.pending.is_empty() {
+            self.chunks
+                .push(TupleBatch::from_vec(std::mem::take(&mut self.pending)));
+        }
+    }
+
+    /// Moves the contents out as ordered shared batches plus signals,
+    /// leaving the emitter empty.
+    pub fn take(&mut self) -> (Vec<TupleBatch>, Vec<ControlSignal>) {
+        self.seal();
+        (
+            std::mem::take(&mut self.chunks),
+            std::mem::take(&mut self.signals),
+        )
     }
 }
 
@@ -95,6 +174,26 @@ pub trait Operator: Send {
 
     /// Processes one input tuple arriving on `port` at virtual time `now`.
     fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut Emitter);
+
+    /// Processes a whole shared batch arriving on `port`.
+    ///
+    /// The default forwards tuple-by-tuple through [`Operator::process`].
+    /// Pass-through operators override this to emit O(1) views of the
+    /// input batch instead of cloning tuples (the zero-copy fan-out path);
+    /// stateful operators usually keep the default.
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &TupleBatch,
+        now: Time,
+        out: &mut BatchEmitter,
+    ) {
+        let mut em = Emitter::new();
+        for t in batch.as_slice() {
+            self.process(port, t, now, &mut em);
+        }
+        out.absorb(&mut em);
+    }
 
     /// Reacts to the passage of time. `tentative_permitted` is set by the
     /// fragment once the pre-failure checkpoint has been taken (§4.4.1):
@@ -155,6 +254,58 @@ pub trait Operator: Send {
 mod tests {
     use super::*;
     use borealis_types::TupleId;
+
+    #[test]
+    fn batch_emitter_preserves_order_across_owned_and_shared_pushes() {
+        let mut e = BatchEmitter::new();
+        let t1 = Tuple::insertion(TupleId(1), Time::ZERO, vec![]);
+        let t2 = Tuple::insertion(TupleId(2), Time::ZERO, vec![]);
+        let shared = TupleBatch::from_vec(vec![
+            Tuple::insertion(TupleId(3), Time::ZERO, vec![]),
+            Tuple::insertion(TupleId(4), Time::ZERO, vec![]),
+        ]);
+        e.push(t1);
+        e.push(t2);
+        e.push_batch(shared.clone());
+        e.push(Tuple::insertion(TupleId(5), Time::ZERO, vec![]));
+        let (chunks, _) = e.take();
+        assert_eq!(chunks.len(), 3, "owned run, shared batch, owned run");
+        assert!(chunks[1].shares_backing(&shared));
+        let ids: Vec<u64> = chunks
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.id.0))
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn default_process_batch_routes_through_process() {
+        struct Echo;
+        impl Operator for Echo {
+            fn name(&self) -> &'static str {
+                "echo"
+            }
+            fn process(&mut self, _port: usize, t: &Tuple, _now: Time, out: &mut Emitter) {
+                out.push(t.clone());
+                out.signal(ControlSignal::UpFailure);
+            }
+            fn checkpoint(&self) -> OpSnapshot {
+                OpSnapshot::new(())
+            }
+            fn restore(&mut self, _snap: &OpSnapshot) {}
+        }
+        let batch = TupleBatch::from_vec(vec![
+            Tuple::insertion(TupleId(1), Time::ZERO, vec![]),
+            Tuple::insertion(TupleId(2), Time::ZERO, vec![]),
+        ]);
+        let mut out = BatchEmitter::new();
+        Echo.process_batch(0, &batch, Time::ZERO, &mut out);
+        let (chunks, signals) = out.take();
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0], batch);
+        assert_eq!(signals.len(), 2);
+    }
 
     #[test]
     fn emitter_take_resets() {

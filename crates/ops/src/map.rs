@@ -1,7 +1,7 @@
 //! Map: transforms each input tuple into a single output tuple (§2.1).
 
-use crate::{Emitter, OpSnapshot, Operator};
-use borealis_types::{Expr, Time, Tuple, TupleKind};
+use crate::{BatchEmitter, Emitter, OpSnapshot, Operator};
+use borealis_types::{Expr, Time, Tuple, TupleBatch, TupleKind};
 
 /// A stateless projection/transformation.
 ///
@@ -43,6 +43,39 @@ impl Operator for Map {
                 out.push(tuple.clone());
             }
         }
+    }
+
+    /// Batch path: the transformation must materialize fresh tuples, but
+    /// it builds the output batch exactly once (right capacity, one sealed
+    /// chunk) — every downstream consumer then shares that allocation.
+    fn process_batch(
+        &mut self,
+        _port: usize,
+        batch: &TupleBatch,
+        _now: Time,
+        out: &mut BatchEmitter,
+    ) {
+        let mut result: Vec<Tuple> = Vec::with_capacity(batch.len());
+        'tuples: for tuple in batch.as_slice() {
+            match tuple.kind {
+                TupleKind::Insertion | TupleKind::Tentative => {
+                    let mut values = Vec::with_capacity(self.outputs.len());
+                    for e in &self.outputs {
+                        match e.eval(tuple) {
+                            Ok(v) => values.push(v),
+                            Err(_) => continue 'tuples,
+                        }
+                    }
+                    let mut t = tuple.clone();
+                    t.values = values;
+                    result.push(t);
+                }
+                TupleKind::Boundary | TupleKind::Undo | TupleKind::RecDone => {
+                    result.push(tuple.clone());
+                }
+            }
+        }
+        out.push_batch(TupleBatch::from_vec(result));
     }
 
     fn checkpoint(&self) -> OpSnapshot {
@@ -92,5 +125,34 @@ mod tests {
         let mut out = Emitter::new();
         m.process(0, &b, Time::ZERO, &mut out);
         assert_eq!(out.tuples[0], b);
+    }
+
+    #[test]
+    fn batch_path_matches_per_tuple_path() {
+        let exprs = || vec![Expr::add(Expr::field(0), Expr::int(1))];
+        let tuples = vec![
+            Tuple::insertion(TupleId(1), Time::ZERO, vec![Value::Int(10)]),
+            Tuple::boundary(TupleId::NONE, Time::from_secs(1)),
+            Tuple::tentative(TupleId(2), Time::from_secs(1), vec![Value::Int(20)]),
+            // Evaluation error (missing field): dropped on both paths.
+            Tuple::insertion(TupleId(3), Time::from_secs(2), vec![]),
+        ];
+        let mut batch_out = BatchEmitter::new();
+        Map::new(exprs()).process_batch(
+            0,
+            &TupleBatch::from_vec(tuples.clone()),
+            Time::ZERO,
+            &mut batch_out,
+        );
+        let (chunks, _) = batch_out.take();
+        let got: Vec<Tuple> = chunks.iter().flat_map(|c| c.to_vec()).collect();
+
+        let mut reference = Emitter::new();
+        let mut m = Map::new(exprs());
+        for t in &tuples {
+            m.process(0, t, Time::ZERO, &mut reference);
+        }
+        assert_eq!(got, reference.tuples);
+        assert_eq!(chunks.len(), 1, "one sealed output batch");
     }
 }

@@ -69,14 +69,20 @@ mod tests {
 
     #[test]
     fn snapshot_round_trip() {
-        let st = DemoState { counter: 9, items: vec![1, 2, 3] };
+        let st = DemoState {
+            counter: 9,
+            items: vec![1, 2, 3],
+        };
         let snap = OpSnapshot::new(st.clone());
         assert_eq!(snap.get::<DemoState>(), &st);
     }
 
     #[test]
     fn snapshot_clone_is_deep() {
-        let snap = OpSnapshot::new(DemoState { counter: 1, items: vec![5] });
+        let snap = OpSnapshot::new(DemoState {
+            counter: 1,
+            items: vec![5],
+        });
         let copy = snap.clone();
         assert_eq!(copy.get::<DemoState>().items, vec![5]);
     }

@@ -95,8 +95,12 @@ mod tests {
     #[test]
     fn instantiation_matches_spec() {
         let specs = [
-            OperatorSpec::Filter { predicate: Expr::Const(borealis_types::Value::Bool(true)) },
-            OperatorSpec::Map { outputs: vec![Expr::field(0)] },
+            OperatorSpec::Filter {
+                predicate: Expr::Const(borealis_types::Value::Bool(true)),
+            },
+            OperatorSpec::Map {
+                outputs: vec![Expr::field(0)],
+            },
             OperatorSpec::Union { n_inputs: 3 },
             OperatorSpec::SUnion(SUnionConfig::new(2)),
             OperatorSpec::SOutput,

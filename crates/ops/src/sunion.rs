@@ -343,11 +343,7 @@ impl SUnion {
 
     fn insert_data(&mut self, port: usize, tuple: &Tuple, now: Time) {
         let idx = self.bucket_index(tuple.stime);
-        if self
-            .state
-            .emitted_through
-            .is_some_and(|et| idx <= et)
-        {
+        if self.state.emitted_through.is_some_and(|et| idx <= et) {
             // Late tuple for an already-emitted bucket. Under stable
             // operation the boundary contract makes this impossible; during
             // failures it happens (e.g. right after an upstream switch) and
@@ -392,14 +388,15 @@ impl SUnion {
         {
             return;
         }
-        loop {
-            let Some((&idx, _)) = self.state.buckets.iter().next() else {
-                break;
-            };
+        while let Some((&idx, _)) = self.state.buckets.iter().next() {
             if idx > covered_through {
                 break;
             }
-            let bucket = self.state.buckets.remove(&idx).expect("bucket key just read");
+            let bucket = self
+                .state
+                .buckets
+                .remove(&idx)
+                .expect("bucket key just read");
             self.emit_bucket(bucket, false, out);
         }
         self.state.emitted_through = Some(
@@ -418,9 +415,7 @@ impl SUnion {
 
     /// Emits one bucket's tuples in the canonical deterministic order.
     fn emit_bucket(&mut self, mut bucket: Bucket, force_tentative: bool, out: &mut Emitter) {
-        bucket
-            .tuples
-            .sort_by(|a, b| (a.stime, a.origin, a.id).cmp(&(b.stime, b.origin, b.id)));
+        bucket.tuples.sort_by_key(|t| (t.stime, t.origin, t.id));
         for mut t in bucket.tuples {
             t.id = TupleId(self.state.next_id);
             self.state.next_id += 1;
@@ -453,11 +448,14 @@ impl SUnion {
             if self.state.buckets[&idx].deadline > now {
                 continue;
             }
-            let bucket = self.state.buckets.remove(&idx).expect("bucket key just read");
+            let bucket = self
+                .state
+                .buckets
+                .remove(&idx)
+                .expect("bucket key just read");
             self.emit_bucket(bucket, true, out);
-            self.state.emitted_through = Some(
-                self.state.emitted_through.map_or(idx, |et| et.max(idx)),
-            );
+            self.state.emitted_through =
+                Some(self.state.emitted_through.map_or(idx, |et| et.max(idx)));
         }
     }
 
@@ -536,7 +534,10 @@ impl Operator for SUnion {
                     self.state.rec_done_seen[port] = true;
                     if self.state.rec_done_seen.iter().all(|&b| b) {
                         self.state.rec_done_seen.iter_mut().for_each(|b| *b = false);
-                        self.state.awaiting_correction.iter_mut().for_each(|b| *b = false);
+                        self.state
+                            .awaiting_correction
+                            .iter_mut()
+                            .for_each(|b| *b = false);
                         out.push(tuple.clone());
                     }
                 }
@@ -598,7 +599,11 @@ mod tests {
     }
 
     fn data(id: u64, ms: u64) -> Tuple {
-        Tuple::insertion(TupleId(id), Time::from_millis(ms), vec![Value::Int(id as i64)])
+        Tuple::insertion(
+            TupleId(id),
+            Time::from_millis(ms),
+            vec![Value::Int(id as i64)],
+        )
     }
 
     fn boundary(ms: u64) -> Tuple {
@@ -769,9 +774,19 @@ mod tests {
         s.process(0, &boundary(100), Time::from_millis(30), &mut out);
         assert_eq!(s.phase(), Phase::Failure);
         // UNDO + corrections + REC_DONE heal it.
-        s.process(0, &Tuple::undo(TupleId::NONE, TupleId::NONE), Time::from_millis(40), &mut out);
+        s.process(
+            0,
+            &Tuple::undo(TupleId::NONE, TupleId::NONE),
+            Time::from_millis(40),
+            &mut out,
+        );
         s.process(0, &data(1, 10), Time::from_millis(40), &mut out);
-        s.process(0, &Tuple::rec_done(TupleId::NONE, Time::from_millis(40)), Time::from_millis(40), &mut out);
+        s.process(
+            0,
+            &Tuple::rec_done(TupleId::NONE, Time::from_millis(40)),
+            Time::from_millis(40),
+            &mut out,
+        );
         assert_eq!(s.phase(), Phase::Healed);
     }
 
@@ -785,7 +800,12 @@ mod tests {
         s.process(0, &data(9, 15), Time::from_millis(21), &mut out);
         assert_eq!(s.replay_log_len(), 2);
         assert_eq!(s.buffered_tuples(), 2);
-        s.process(0, &Tuple::undo(TupleId::NONE, TupleId::NONE), Time::from_millis(30), &mut out);
+        s.process(
+            0,
+            &Tuple::undo(TupleId::NONE, TupleId::NONE),
+            Time::from_millis(30),
+            &mut out,
+        );
         assert_eq!(s.replay_log_len(), 1, "stable entry kept");
         assert_eq!(s.buffered_tuples(), 1);
     }

@@ -71,10 +71,8 @@ impl Operator for Union {
                 out.push(t);
             }
             TupleKind::Boundary => {
-                self.state.watermarks[port] = Some(
-                    self.state.watermarks[port]
-                        .map_or(tuple.stime, |w| w.max(tuple.stime)),
-                );
+                self.state.watermarks[port] =
+                    Some(self.state.watermarks[port].map_or(tuple.stime, |w| w.max(tuple.stime)));
                 if let Some(min) = self.min_watermark() {
                     if self.state.emitted_wm.is_none_or(|w| min > w) {
                         self.state.emitted_wm = Some(min);
@@ -124,13 +122,31 @@ mod tests {
     fn boundary_is_min_across_ports() {
         let mut u = Union::new(2);
         let mut out = Emitter::new();
-        u.process(0, &Tuple::boundary(TupleId::NONE, Time::from_millis(10)), Time::ZERO, &mut out);
-        assert!(out.tuples.is_empty(), "no boundary until all ports heard from");
-        u.process(1, &Tuple::boundary(TupleId::NONE, Time::from_millis(4)), Time::ZERO, &mut out);
+        u.process(
+            0,
+            &Tuple::boundary(TupleId::NONE, Time::from_millis(10)),
+            Time::ZERO,
+            &mut out,
+        );
+        assert!(
+            out.tuples.is_empty(),
+            "no boundary until all ports heard from"
+        );
+        u.process(
+            1,
+            &Tuple::boundary(TupleId::NONE, Time::from_millis(4)),
+            Time::ZERO,
+            &mut out,
+        );
         assert_eq!(out.tuples.len(), 1);
         assert_eq!(out.tuples[0].stime, Time::from_millis(4));
         // A higher boundary on port 1 raises the min.
-        u.process(1, &Tuple::boundary(TupleId::NONE, Time::from_millis(20)), Time::ZERO, &mut out);
+        u.process(
+            1,
+            &Tuple::boundary(TupleId::NONE, Time::from_millis(20)),
+            Time::ZERO,
+            &mut out,
+        );
         assert_eq!(out.tuples.last().unwrap().stime, Time::from_millis(10));
     }
 
@@ -138,8 +154,18 @@ mod tests {
     fn non_increasing_min_emits_nothing() {
         let mut u = Union::new(1);
         let mut out = Emitter::new();
-        u.process(0, &Tuple::boundary(TupleId::NONE, Time::from_millis(5)), Time::ZERO, &mut out);
-        u.process(0, &Tuple::boundary(TupleId::NONE, Time::from_millis(5)), Time::ZERO, &mut out);
+        u.process(
+            0,
+            &Tuple::boundary(TupleId::NONE, Time::from_millis(5)),
+            Time::ZERO,
+            &mut out,
+        );
+        u.process(
+            0,
+            &Tuple::boundary(TupleId::NONE, Time::from_millis(5)),
+            Time::ZERO,
+            &mut out,
+        );
         assert_eq!(out.tuples.len(), 1);
     }
 

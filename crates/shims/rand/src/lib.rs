@@ -1,0 +1,179 @@
+//! Offline shim for the `rand` crate.
+//!
+//! The build environment has no registry access, so this in-tree crate
+//! provides exactly the `rand` 0.8 API surface the workspace uses: a
+//! seedable deterministic generator ([`rngs::StdRng`]), the [`SeedableRng`]
+//! constructor, and [`Rng::gen_range`] over primitive ranges.
+//!
+//! The generator is SplitMix64 (Steele, Lea, Flood: "Fast splittable
+//! pseudorandom number generators", OOPSLA 2014) — not the real `StdRng`
+//! stream, but the simulator only requires *determinism per seed*, which
+//! this provides: two generators created from the same seed produce
+//! identical sequences.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Seeded construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling helpers over a raw `u64` stream, mirroring `rand::Rng`.
+pub trait Rng {
+    /// The next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self, range)
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn gen_f64(&mut self) -> f64
+    where
+        Self: Sized,
+    {
+        // 53 significant bits, the standard bit-twiddling construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a `Range` by [`Rng::gen_range`].
+pub trait SampleRange: Copy + PartialOrd {
+    /// Uniform sample from `range` using `rng`.
+    fn sample<R: Rng>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+/// Unbiased `[0, n)` sample via rejection (Lemire-style threshold).
+fn below<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "cannot sample from an empty range");
+    let threshold = n.wrapping_neg() % n;
+    loop {
+        let v = rng.next_u64();
+        if v >= threshold {
+            return v % n;
+        }
+    }
+}
+
+impl SampleRange for usize {
+    fn sample<R: Rng>(rng: &mut R, range: Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty range");
+        range.start + below(rng, (range.end - range.start) as u64) as usize
+    }
+}
+
+impl SampleRange for u64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<u64>) -> u64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + below(rng, range.end - range.start)
+    }
+}
+
+impl SampleRange for u32 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<u32>) -> u32 {
+        assert!(range.start < range.end, "empty range");
+        range.start + below(rng, (range.end - range.start) as u64) as u32
+    }
+}
+
+impl SampleRange for i64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<i64>) -> i64 {
+        assert!(range.start < range.end, "empty range");
+        let span = range.end.wrapping_sub(range.start) as u64;
+        range.start.wrapping_add(below(rng, span) as i64)
+    }
+}
+
+impl SampleRange for f64 {
+    fn sample<R: Rng>(rng: &mut R, range: Range<f64>) -> f64 {
+        assert!(range.start < range.end, "empty range");
+        range.start + rng.gen_f64() * (range.end - range.start)
+    }
+}
+
+/// Concrete generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64). Named `StdRng` to match
+    /// the real crate's import paths.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut r = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let v = r.gen_range(3..17usize);
+            assert!((3..17).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = r.gen_range(-5..5i64);
+            assert!((-5..5).contains(&v));
+        }
+        for _ in 0..1000 {
+            let v = r.gen_range(0.0..2.5f64);
+            assert!((0.0..2.5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domain() {
+        let mut r = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -38,12 +38,37 @@ enum Action<M> {
     Timer { at: Time, kind: u64 },
 }
 
+/// Message-loss accounting for the whole simulation.
+///
+/// Faults silently eat messages in two places — at send time (the sender's
+/// link or endpoint is already down) and at delivery time (the link broke
+/// while the message was in flight). Both are counted here so tests can
+/// assert exact lost-message counts instead of inferring them from absent
+/// side effects.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Messages dropped because the destination was unreachable when the
+    /// actor sent them.
+    pub send_unreachable_drops: u64,
+    /// Messages dropped in flight: sent while reachable, undeliverable at
+    /// arrival time (broken TCP connection semantics).
+    pub delivery_drops: u64,
+}
+
+impl SimStats {
+    /// Total messages lost to faults.
+    pub fn total_drops(&self) -> u64 {
+        self.send_unreachable_drops + self.delivery_drops
+    }
+}
+
 /// The handler-side view of the simulation.
 pub struct Ctx<'a, M> {
     now: Time,
     self_id: NodeId,
     net: &'a Network,
     rng: &'a mut StdRng,
+    stats: &'a mut SimStats,
     actions: Vec<Action<M>>,
 }
 
@@ -86,15 +111,21 @@ impl<'a, M> Ctx<'a, M> {
 
     fn send_at_raw(&mut self, to: NodeId, msg: M, at: Time) {
         // Send-time reachability check; delivery is checked again when the
-        // event fires.
+        // event fires. Unreachable destinations drop the message — counted,
+        // never silent, so tests can assert on lost-message totals.
         if self.net.reachable(self.self_id, to) {
             self.actions.push(Action::Send { to, msg, at });
+        } else {
+            self.stats.send_unreachable_drops += 1;
         }
     }
 
     /// Schedules `on_timer(kind)` at virtual time `at` (clamped to now).
     pub fn set_timer(&mut self, at: Time, kind: u64) {
-        self.actions.push(Action::Timer { at: at.max(self.now), kind });
+        self.actions.push(Action::Timer {
+            at: at.max(self.now),
+            kind,
+        });
     }
 }
 
@@ -139,6 +170,7 @@ pub struct Sim<M> {
     seq: u64,
     rng: StdRng,
     events_dispatched: u64,
+    stats: SimStats,
 }
 
 impl<M> Sim<M> {
@@ -153,6 +185,7 @@ impl<M> Sim<M> {
             seq: 0,
             rng: StdRng::seed_from_u64(seed),
             events_dispatched: 0,
+            stats: SimStats::default(),
         }
     }
 
@@ -197,6 +230,11 @@ impl<M> Sim<M> {
         self.events_dispatched
     }
 
+    /// Message-loss statistics (send-time and delivery-time drops).
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
     fn push_event(&mut self, at: Time, kind: EventKind<M>) {
         let seq = self.seq;
         self.seq += 1;
@@ -227,6 +265,7 @@ impl<M> Sim<M> {
                 // Delivery-time reachability: a link that broke mid-flight
                 // loses the message (broken TCP connection).
                 if !self.net.reachable(from, to) {
+                    self.stats.delivery_drops += 1;
                     return;
                 }
                 self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
@@ -276,6 +315,7 @@ impl<M> Sim<M> {
             self_id: id,
             net: &self.net,
             rng: &mut self.rng,
+            stats: &mut self.stats,
             actions: Vec::new(),
         };
         f(actor.as_mut(), &mut ctx);
@@ -310,7 +350,9 @@ mod tests {
 
     impl Actor<String> for Echo {
         fn on_message(&mut self, ctx: &mut Ctx<String>, from: NodeId, msg: String) {
-            self.log.borrow_mut().push((ctx.now().as_millis(), ctx.id(), msg.clone()));
+            self.log
+                .borrow_mut()
+                .push((ctx.now().as_millis(), ctx.id(), msg.clone()));
             if self.replies > 0 {
                 self.replies -= 1;
                 ctx.send(from, format!("re:{msg}"));
@@ -331,10 +373,14 @@ mod tests {
             ctx.set_timer(Time::from_millis(50), 7);
         }
         fn on_message(&mut self, ctx: &mut Ctx<String>, _from: NodeId, msg: String) {
-            self.log.borrow_mut().push((ctx.now().as_millis(), ctx.id(), msg));
+            self.log
+                .borrow_mut()
+                .push((ctx.now().as_millis(), ctx.id(), msg));
         }
         fn on_timer(&mut self, ctx: &mut Ctx<String>, kind: u64) {
-            self.log.borrow_mut().push((ctx.now().as_millis(), ctx.id(), format!("timer{kind}")));
+            self.log
+                .borrow_mut()
+                .push((ctx.now().as_millis(), ctx.id(), format!("timer{kind}")));
         }
     }
 
@@ -346,8 +392,14 @@ mod tests {
     fn messages_arrive_after_latency_in_order() {
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = new_sim();
-        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 1 }));
-        let _starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 1,
+        }));
+        let _starter = sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
         sim.run_until(Time::from_secs(1));
         let entries = log.borrow();
         // hello arrives at 1 ms, reply at 2 ms, timer at 50 ms.
@@ -360,9 +412,21 @@ mod tests {
     fn link_failure_drops_messages() {
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = new_sim();
-        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
-        let starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
-        sim.schedule_fault(Time::ZERO, FaultEvent::LinkDown { a: echo, b: starter });
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 0,
+        }));
+        let starter = sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
+        sim.schedule_fault(
+            Time::ZERO,
+            FaultEvent::LinkDown {
+                a: echo,
+                b: starter,
+            },
+        );
         sim.run_until(Time::from_secs(1));
         let entries = log.borrow();
         // Only the timer fires; the hello was dropped.
@@ -371,11 +435,92 @@ mod tests {
     }
 
     #[test]
+    fn send_time_unreachable_drops_are_counted() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        // Fault scheduled before the actors start: the link is already
+        // down when Starter's on_start sends, so the drop happens at send
+        // time.
+        sim.schedule_fault(
+            Time::ZERO,
+            FaultEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+        );
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 0,
+        }));
+        let starter = sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(
+            sim.stats().send_unreachable_drops,
+            1,
+            "the hello was dropped at send"
+        );
+        assert_eq!(sim.stats().delivery_drops, 0);
+        assert_eq!(sim.stats().total_drops(), 1);
+        let _ = (echo, starter);
+    }
+
+    #[test]
+    fn in_flight_delivery_drops_are_counted_separately() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 0,
+        }));
+        let starter = sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
+        // The link breaks after the send (t=0, same instant but later event
+        // order) and before delivery (t=1 ms): an in-flight loss.
+        sim.schedule_fault(
+            Time::ZERO,
+            FaultEvent::LinkDown {
+                a: echo,
+                b: starter,
+            },
+        );
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.stats().send_unreachable_drops, 0);
+        assert_eq!(sim.stats().delivery_drops, 1);
+    }
+
+    #[test]
+    fn healthy_runs_report_zero_drops() {
+        let log: Log = Rc::new(RefCell::new(Vec::new()));
+        let mut sim = new_sim();
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 1,
+        }));
+        sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
+        sim.run_until(Time::from_secs(1));
+        assert_eq!(sim.stats(), SimStats::default());
+    }
+
+    #[test]
     fn crashed_node_receives_nothing_and_fires_no_timers() {
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = new_sim();
-        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
-        let starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 0,
+        }));
+        let starter = sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
         sim.schedule_fault(Time::ZERO, FaultEvent::NodeDown(starter));
         sim.run_until(Time::from_secs(1));
         assert!(log.borrow().is_empty(), "{:?}", log.borrow());
@@ -387,8 +532,14 @@ mod tests {
         let run = || {
             let log: Log = Rc::new(RefCell::new(Vec::new()));
             let mut sim = new_sim();
-            let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 3 }));
-            sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+            let echo = sim.add_actor(Box::new(Echo {
+                log: log.clone(),
+                replies: 3,
+            }));
+            sim.add_actor(Box::new(Starter {
+                to: echo,
+                log: log.clone(),
+            }));
             sim.run_until(Time::from_secs(2));
             let v = log.borrow().clone();
             v
@@ -400,8 +551,14 @@ mod tests {
     fn run_until_respects_horizon() {
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = new_sim();
-        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
-        sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 0,
+        }));
+        sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
         sim.run_until(Time::from_millis(10));
         assert_eq!(log.borrow().len(), 1, "timer at 50 ms not yet fired");
         assert_eq!(sim.now(), Time::from_millis(10));
@@ -413,11 +570,29 @@ mod tests {
     fn healed_link_delivers_again() {
         let log: Log = Rc::new(RefCell::new(Vec::new()));
         let mut sim = new_sim();
-        let echo = sim.add_actor(Box::new(Echo { log: log.clone(), replies: 0 }));
-        let starter = sim.add_actor(Box::new(Starter { to: echo, log: log.clone() }));
+        let echo = sim.add_actor(Box::new(Echo {
+            log: log.clone(),
+            replies: 0,
+        }));
+        let starter = sim.add_actor(Box::new(Starter {
+            to: echo,
+            log: log.clone(),
+        }));
         // Down at 0, up at 20 ms; the start message (sent at 0) is lost.
-        sim.schedule_fault(Time::ZERO, FaultEvent::LinkDown { a: echo, b: starter });
-        sim.schedule_fault(Time::from_millis(20), FaultEvent::LinkUp { a: echo, b: starter });
+        sim.schedule_fault(
+            Time::ZERO,
+            FaultEvent::LinkDown {
+                a: echo,
+                b: starter,
+            },
+        );
+        sim.schedule_fault(
+            Time::from_millis(20),
+            FaultEvent::LinkUp {
+                a: echo,
+                b: starter,
+            },
+        );
         sim.run_until(Time::from_secs(1));
         assert_eq!(log.borrow().len(), 1, "only the timer");
     }

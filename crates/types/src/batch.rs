@@ -1,0 +1,430 @@
+//! Shared-ownership tuple batches: the zero-copy data plane.
+//!
+//! DPC's protocol machinery multiplies every emitted tuple: it is buffered
+//! for replay (§8.1), fanned out to every replica of every downstream
+//! neighbor, and re-sent on subscription. With owned `Vec<Tuple>` payloads
+//! each of those hops deep-clones heap-allocated tuples, so per-tuple cost
+//! grows with replication degree — exactly where the paper's availability
+//! bound needs headroom. A [`TupleBatch`] is an immutable, `Arc`-backed
+//! slice view: `clone` is a reference-count bump, [`TupleBatch::slice`] is
+//! O(1) range arithmetic, and one batch built by an operator can back the
+//! emission log, every subscriber's in-flight message, and every replay
+//! simultaneously.
+//!
+//! [`BatchLog`] is the append-only companion: an ordered sequence of sealed
+//! batches plus a mutable tail, with logical (all-time) positions, used by
+//! data sources (the paper's persistent input log) and anything else that
+//! replays suffixes to late subscribers without copying.
+
+use crate::time::Time;
+use crate::tuple::{Tuple, TupleId};
+use std::fmt;
+use std::ops::{Deref, Range};
+use std::sync::Arc;
+
+/// An immutable, cheaply clonable batch of tuples.
+///
+/// Internally an `Arc<[Tuple]>` plus a sub-range: clones and slices share
+/// the backing allocation. The backing memory is freed only when the last
+/// view over it drops — so truncating a log that handed out views never
+/// invalidates them.
+#[derive(Clone)]
+pub struct TupleBatch {
+    data: Arc<[Tuple]>,
+    start: usize,
+    end: usize,
+}
+
+impl TupleBatch {
+    /// An empty batch (no allocation shared with anything).
+    pub fn empty() -> TupleBatch {
+        TupleBatch {
+            data: Arc::from(Vec::new()),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Seals a vector into a batch (single allocation move, no per-tuple
+    /// clone).
+    pub fn from_vec(tuples: Vec<Tuple>) -> TupleBatch {
+        let end = tuples.len();
+        TupleBatch {
+            data: Arc::from(tuples),
+            start: 0,
+            end,
+        }
+    }
+
+    /// A batch holding one tuple.
+    pub fn single(t: Tuple) -> TupleBatch {
+        TupleBatch::from_vec(vec![t])
+    }
+
+    /// The viewed tuples.
+    pub fn as_slice(&self) -> &[Tuple] {
+        &self.data[self.start..self.end]
+    }
+
+    /// Number of tuples in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// True if the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// An O(1) sub-view sharing the same backing allocation.
+    ///
+    /// # Panics
+    /// Panics if the range exceeds this view's bounds.
+    pub fn slice(&self, range: Range<usize>) -> TupleBatch {
+        assert!(
+            range.start <= range.end && range.end <= self.len(),
+            "slice out of bounds"
+        );
+        TupleBatch {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// Splits into consecutive sub-views of at most `max` tuples each
+    /// (message-size chunking for dispatch). O(1) per chunk.
+    pub fn chunks_shared(&self, max: usize) -> impl Iterator<Item = TupleBatch> + '_ {
+        let max = max.max(1);
+        (0..self.len())
+            .step_by(max)
+            .map(move |i| self.slice(i..(i + max).min(self.len())))
+    }
+
+    /// True if the two views share one backing allocation (diagnostics and
+    /// sharing assertions in tests/benches).
+    pub fn shares_backing(&self, other: &TupleBatch) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// Index of the first tentative tuple, if any (checkpoint-before-
+    /// tentative split point, §4.4.1).
+    pub fn first_tentative(&self) -> Option<usize> {
+        self.as_slice().iter().position(Tuple::is_tentative)
+    }
+
+    /// Number of data-carrying tuples (stable + tentative) in the view —
+    /// the CPU cost model's work unit.
+    pub fn data_count(&self) -> u64 {
+        self.as_slice().iter().filter(|t| t.is_data()).count() as u64
+    }
+
+    /// Copies the viewed tuples into an owned vector (interop; the hot path
+    /// never needs this).
+    pub fn to_vec(&self) -> Vec<Tuple> {
+        self.as_slice().to_vec()
+    }
+}
+
+impl Deref for TupleBatch {
+    type Target = [Tuple];
+
+    fn deref(&self) -> &[Tuple] {
+        self.as_slice()
+    }
+}
+
+impl Default for TupleBatch {
+    fn default() -> TupleBatch {
+        TupleBatch::empty()
+    }
+}
+
+impl From<Vec<Tuple>> for TupleBatch {
+    fn from(v: Vec<Tuple>) -> TupleBatch {
+        TupleBatch::from_vec(v)
+    }
+}
+
+impl FromIterator<Tuple> for TupleBatch {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> TupleBatch {
+        TupleBatch::from_vec(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a TupleBatch {
+    type Item = &'a Tuple;
+    type IntoIter = std::slice::Iter<'a, Tuple>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl PartialEq for TupleBatch {
+    fn eq(&self, other: &TupleBatch) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for TupleBatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// An append-only log of tuples stored as shared batches, addressed by
+/// logical (all-time) position.
+///
+/// Appends go to a mutable tail; reads for replay seal the tail and hand
+/// out O(1) views. The log itself never drops entries (sources keep their
+/// input "logged persistently", §2.2) — consumers track positions.
+#[derive(Debug, Default)]
+pub struct BatchLog {
+    sealed: Vec<TupleBatch>,
+    /// Logical start position of each sealed segment (parallel to
+    /// `sealed`, strictly increasing) — lets suffix lookups binary-search
+    /// instead of rescanning the whole log.
+    starts: Vec<usize>,
+    sealed_len: usize,
+    tail: Vec<Tuple>,
+}
+
+impl BatchLog {
+    /// An empty log.
+    pub fn new() -> BatchLog {
+        BatchLog::default()
+    }
+
+    /// Total tuples ever appended.
+    pub fn len(&self) -> usize {
+        self.sealed_len + self.tail.len()
+    }
+
+    /// True if nothing was ever appended.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends one tuple to the mutable tail.
+    pub fn push(&mut self, t: Tuple) {
+        self.tail.push(t);
+    }
+
+    /// Appends an already-sealed batch, sharing its backing storage.
+    pub fn push_batch(&mut self, batch: TupleBatch) {
+        if batch.is_empty() {
+            return;
+        }
+        self.seal();
+        self.starts.push(self.sealed_len);
+        self.sealed_len += batch.len();
+        self.sealed.push(batch);
+    }
+
+    /// Seals the mutable tail into a shared batch (no-op when empty).
+    pub fn seal(&mut self) {
+        if !self.tail.is_empty() {
+            let batch = TupleBatch::from_vec(std::mem::take(&mut self.tail));
+            self.starts.push(self.sealed_len);
+            self.sealed_len += batch.len();
+            self.sealed.push(batch);
+        }
+    }
+
+    /// Shared views over everything from logical position `pos` on, in
+    /// order. Binary-searches the segment offsets, so the cost is
+    /// O(log segments + suffix segments), independent of log length; seals
+    /// the tail first.
+    pub fn batches_from(&mut self, pos: usize) -> Vec<TupleBatch> {
+        self.seal();
+        if pos >= self.sealed_len {
+            return Vec::new();
+        }
+        // Last segment whose start is <= pos.
+        let si = self.starts.partition_point(|&s| s <= pos) - 1;
+        let mut out = Vec::with_capacity(self.sealed.len() - si);
+        let local = pos - self.starts[si];
+        let first = &self.sealed[si];
+        out.push(if local == 0 {
+            first.clone()
+        } else {
+            first.slice(local..first.len())
+        });
+        out.extend(self.sealed[si + 1..].iter().cloned());
+        out
+    }
+
+    /// Iterates every tuple in the log, oldest first.
+    pub fn iter(&self) -> impl DoubleEndedIterator<Item = &Tuple> {
+        self.sealed
+            .iter()
+            .flat_map(|b| b.as_slice().iter())
+            .chain(self.tail.iter())
+    }
+
+    /// Logical position just after the last stable tuple with `id <=
+    /// through` — the resume/rewind point for a subscriber holding that
+    /// stable prefix (0 when no such tuple exists).
+    ///
+    /// Scans backward and stops at the first qualifying tuple (stable ids
+    /// are monotone), so the cost is proportional to the suffix beyond
+    /// the subscriber's prefix, not the whole log.
+    pub fn position_after_stable(&self, through: TupleId) -> usize {
+        for (i, t) in self.tail.iter().enumerate().rev() {
+            if t.is_stable_data() && t.id <= through {
+                return self.sealed_len + i + 1;
+            }
+        }
+        for si in (0..self.sealed.len()).rev() {
+            let seg = &self.sealed[si];
+            for (li, t) in seg.as_slice().iter().enumerate().rev() {
+                if t.is_stable_data() && t.id <= through {
+                    return self.starts[si] + li + 1;
+                }
+            }
+        }
+        0
+    }
+
+    /// The stime of the last appended tuple, if any (diagnostics).
+    pub fn last_stime(&self) -> Option<Time> {
+        self.iter().next_back().map(|t| t.stime)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+    use crate::tuple::TupleId;
+    use crate::value::Value;
+
+    fn stable(id: u64) -> Tuple {
+        Tuple::insertion(
+            TupleId(id),
+            Time::from_millis(id),
+            vec![Value::Int(id as i64)],
+        )
+    }
+
+    #[test]
+    fn clone_and_slice_share_backing() {
+        let b = TupleBatch::from_vec((1..=8).map(stable).collect());
+        let c = b.clone();
+        let s = b.slice(2..6);
+        assert!(b.shares_backing(&c));
+        assert!(b.shares_backing(&s));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[0].id, TupleId(3));
+        assert_eq!(s.slice(1..3)[0].id, TupleId(4));
+    }
+
+    #[test]
+    fn chunks_cover_everything_in_order() {
+        let b = TupleBatch::from_vec((1..=7).map(stable).collect());
+        let chunks: Vec<TupleBatch> = b.chunks_shared(3).collect();
+        assert_eq!(
+            chunks.iter().map(TupleBatch::len).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
+        let ids: Vec<u64> = chunks
+            .iter()
+            .flat_map(|c| c.iter().map(|t| t.id.0))
+            .collect();
+        assert_eq!(ids, (1..=7).collect::<Vec<_>>());
+        assert!(chunks.iter().all(|c| c.shares_backing(&b)));
+    }
+
+    #[test]
+    fn scans_find_tentative_and_count_data() {
+        let mut v: Vec<Tuple> = (1..=3).map(stable).collect();
+        v.push(Tuple::boundary(TupleId::NONE, Time::from_secs(1)));
+        v.push(Tuple::tentative(TupleId(4), Time::from_secs(1), vec![]));
+        let b = TupleBatch::from_vec(v);
+        assert_eq!(b.first_tentative(), Some(4));
+        assert_eq!(b.data_count(), 4);
+        assert_eq!(b.slice(0..3).first_tentative(), None);
+    }
+
+    #[test]
+    fn equality_ignores_backing_identity() {
+        let a = TupleBatch::from_vec(vec![stable(1), stable(2)]);
+        let b = TupleBatch::from_vec(vec![stable(1), stable(2)]);
+        assert_eq!(a, b);
+        assert!(!a.shares_backing(&b));
+        assert_ne!(a, a.slice(0..1));
+    }
+
+    #[test]
+    fn batch_views_outlive_log_truncation_semantics() {
+        // A view taken before the source of the data is dropped stays
+        // valid: ownership is shared, not borrowed.
+        let view;
+        {
+            let b = TupleBatch::from_vec((1..=4).map(stable).collect());
+            view = b.slice(1..3);
+        }
+        assert_eq!(view.len(), 2);
+        assert_eq!(view[1].id, TupleId(3));
+    }
+
+    #[test]
+    fn log_positions_and_replay_views() {
+        let mut log = BatchLog::new();
+        for i in 1..=3 {
+            log.push(stable(i));
+        }
+        log.push_batch(TupleBatch::from_vec(vec![stable(4), stable(5)]));
+        log.push(stable(6));
+        assert_eq!(log.len(), 6);
+
+        let all = log.batches_from(0);
+        let ids: Vec<u64> = all.iter().flat_map(|b| b.iter().map(|t| t.id.0)).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5, 6]);
+
+        // Mid-segment position slices, later segments pass through whole.
+        let suffix = log.batches_from(1);
+        let ids: Vec<u64> = suffix
+            .iter()
+            .flat_map(|b| b.iter().map(|t| t.id.0))
+            .collect();
+        assert_eq!(ids, vec![2, 3, 4, 5, 6]);
+
+        assert_eq!(log.position_after_stable(TupleId(4)), 4);
+        assert_eq!(log.position_after_stable(TupleId::NONE), 0);
+        assert_eq!(log.batches_from(6), Vec::<TupleBatch>::new());
+
+        // The backward scan sees the unsealed tail too, and boundaries
+        // interleaved with data do not confuse the resume position.
+        log.push(Tuple::boundary(TupleId::NONE, Time::from_secs(1)));
+        log.push(stable(7));
+        assert_eq!(log.position_after_stable(TupleId(7)), 8, "tail tuple found");
+        assert_eq!(
+            log.position_after_stable(TupleId(6)),
+            6,
+            "sealed tuple found"
+        );
+        assert_eq!(
+            log.position_after_stable(TupleId(100)),
+            8,
+            "clamps to last stable"
+        );
+    }
+
+    #[test]
+    fn log_replay_shares_storage_with_the_log() {
+        let mut log = BatchLog::new();
+        for i in 1..=4 {
+            log.push(stable(i));
+        }
+        let a = log.batches_from(0);
+        let b = log.batches_from(2);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert!(
+            a[0].shares_backing(&b[0]),
+            "two replay cursors share one allocation"
+        );
+    }
+}

@@ -118,15 +118,15 @@ impl Expr {
     pub fn or(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Or, lhs, rhs)
     }
-    #[allow(missing_docs)]
+    #[allow(missing_docs, clippy::should_implement_trait)]
     pub fn add(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Add, lhs, rhs)
     }
-    #[allow(missing_docs)]
+    #[allow(missing_docs, clippy::should_implement_trait)]
     pub fn sub(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Sub, lhs, rhs)
     }
-    #[allow(missing_docs)]
+    #[allow(missing_docs, clippy::should_implement_trait)]
     pub fn mul(lhs: Expr, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Mul, lhs, rhs)
     }

@@ -2,7 +2,8 @@
 //!
 //! Foundational types for the Borealis/DPC reproduction: virtual time, tuple
 //! values, the DPC tuple model (stable / tentative / boundary / undo /
-//! rec-done tuples, §4.1 of the paper), shared identifiers, and a small
+//! rec-done tuples, §4.1 of the paper), the shared-ownership
+//! [`TupleBatch`] data plane, shared identifiers, and a small
 //! deterministic expression language used by operator specifications.
 //!
 //! Everything in this crate is deliberately free of protocol logic so that
@@ -12,12 +13,14 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod expr;
 pub mod ids;
 pub mod time;
 pub mod tuple;
 pub mod value;
 
+pub use batch::{BatchLog, TupleBatch};
 pub use expr::{BinOp, EvalError, Expr};
 pub use ids::{FragmentId, NodeId, OpId, StreamId};
 pub use time::{Duration, Time};

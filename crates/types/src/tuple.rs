@@ -85,18 +85,36 @@ pub struct Tuple {
 impl Tuple {
     /// A stable insertion.
     pub fn insertion(id: TupleId, stime: Time, values: Vec<Value>) -> Tuple {
-        Tuple { kind: TupleKind::Insertion, id, stime, origin: 0, values }
+        Tuple {
+            kind: TupleKind::Insertion,
+            id,
+            stime,
+            origin: 0,
+            values,
+        }
     }
 
     /// A tentative insertion.
     pub fn tentative(id: TupleId, stime: Time, values: Vec<Value>) -> Tuple {
-        Tuple { kind: TupleKind::Tentative, id, stime, origin: 0, values }
+        Tuple {
+            kind: TupleKind::Tentative,
+            id,
+            stime,
+            origin: 0,
+            values,
+        }
     }
 
     /// A boundary tuple promising that no later tuple on the stream carries
     /// `stime < stime`.
     pub fn boundary(id: TupleId, stime: Time) -> Tuple {
-        Tuple { kind: TupleKind::Boundary, id, stime, origin: 0, values: Vec::new() }
+        Tuple {
+            kind: TupleKind::Boundary,
+            id,
+            stime,
+            origin: 0,
+            values: Vec::new(),
+        }
     }
 
     /// An undo tuple: everything after `last_kept` (exclusive) is rolled
@@ -113,7 +131,13 @@ impl Tuple {
 
     /// A reconciliation-done marker.
     pub fn rec_done(id: TupleId, stime: Time) -> Tuple {
-        Tuple { kind: TupleKind::RecDone, id, stime, origin: 0, values: Vec::new() }
+        Tuple {
+            kind: TupleKind::RecDone,
+            id,
+            stime,
+            origin: 0,
+            values: Vec::new(),
+        }
     }
 
     /// For [`TupleKind::Undo`] tuples, the id of the last tuple *not* undone.

@@ -203,10 +203,7 @@ mod tests {
     #[test]
     fn hash_matches_equality() {
         assert_eq!(hash_of(&Value::Int(7)), hash_of(&Value::Int(7)));
-        assert_eq!(
-            hash_of(&Value::Float(2.5)),
-            hash_of(&Value::Float(2.5))
-        );
+        assert_eq!(hash_of(&Value::Float(2.5)), hash_of(&Value::Float(2.5)));
         assert_ne!(hash_of(&Value::Int(0)), hash_of(&Value::Bool(false)));
     }
 

@@ -1,6 +1,6 @@
-use borealis_workloads::*;
-use borealis_types::{Duration, StreamId, Time, TupleKind};
 use borealis_dpc::MetricsHub;
+use borealis_types::{Duration, StreamId, Time, TupleKind};
+use borealis_workloads::*;
 
 fn main() {
     let o = SingleNodeOptions {
@@ -27,9 +27,11 @@ fn main() {
                 worst.push((lat, e.arrival.as_millis(), e.kind));
             }
         }
-        worst.sort_by(|a,b| b.0.cmp(&a.0));
+        worst.sort_by_key(|w| std::cmp::Reverse(w.0));
         println!("top 12 new-tuple latencies (lat_ms, arrival_ms, kind):");
-        for w in worst.iter().take(12) { println!("  {:?}", w); }
+        for w in worst.iter().take(12) {
+            println!("  {:?}", w);
+        }
         // markers
         for e in trace {
             if matches!(e.kind, TupleKind::Undo | TupleKind::RecDone) {

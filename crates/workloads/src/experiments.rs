@@ -178,7 +178,11 @@ pub fn run_chain(depths: &[usize], failure_secs: &[f64]) -> Vec<ChainRow> {
     for &variant in &DISTRIBUTED_VARIANTS {
         for &depth in depths {
             for &f in failure_secs {
-                let o = ChainOptions { depth, variant, ..Default::default() };
+                let o = ChainOptions {
+                    depth,
+                    variant,
+                    ..Default::default()
+                };
                 rows.push(run_chain_failure(
                     &o,
                     Duration::from_secs_f64(f),
@@ -199,11 +203,17 @@ pub fn run_delay_assignment(failure_secs: &[f64]) -> Vec<ChainRow> {
     let configs: [(String, ChainOptions); 3] = [
         (
             "Delay & Delay, D=2s".to_string(),
-            ChainOptions { variant: DISTRIBUTED_VARIANTS[0], ..Default::default() },
+            ChainOptions {
+                variant: DISTRIBUTED_VARIANTS[0],
+                ..Default::default()
+            },
         ),
         (
             "Process & Process, D=2s".to_string(),
-            ChainOptions { variant: DISTRIBUTED_VARIANTS[1], ..Default::default() },
+            ChainOptions {
+                variant: DISTRIBUTED_VARIANTS[1],
+                ..Default::default()
+            },
         ),
         (
             "Process & Process, D=6.5s".to_string(),
@@ -218,7 +228,11 @@ pub fn run_delay_assignment(failure_secs: &[f64]) -> Vec<ChainRow> {
     ];
     for (label, o) in configs {
         for &f in failure_secs {
-            rows.push(run_chain_failure(&o, Duration::from_secs_f64(f), label.clone()));
+            rows.push(run_chain_failure(
+                &o,
+                Duration::from_secs_f64(f),
+                label.clone(),
+            ));
         }
     }
     rows
@@ -245,14 +259,15 @@ fn run_overhead(o: &OverheadOptions, param_ms: u64) -> OverheadRow {
     let mut sys = overhead_system(o);
     // §7: five-minute runs, ~25,000 tuples.
     sys.run_until(Time::from_secs(300));
-    sys.metrics.with(crate::setups::OVERHEAD_OUT, |m| OverheadRow {
-        param_ms,
-        min: m.lat_min.unwrap_or(Duration::ZERO),
-        max: m.procnew,
-        avg: m.lat_avg(),
-        std: m.lat_std(),
-        count: m.lat_count(),
-    })
+    sys.metrics
+        .with(crate::setups::OVERHEAD_OUT, |m| OverheadRow {
+            param_ms,
+            min: m.lat_min.unwrap_or(Duration::ZERO),
+            max: m.procnew,
+            avg: m.lat_avg(),
+            std: m.lat_std(),
+            count: m.lat_count(),
+        })
 }
 
 /// Table IV: serialization latency versus SUnion bucket size, with a fixed

@@ -12,9 +12,8 @@ pub mod report;
 pub mod setups;
 
 pub use experiments::{
-    run_chain, run_delay_assignment, run_fig11, run_fig13, run_switchover, run_table3,
-    run_table4, run_table5, AvailabilityRow, ChainRow, Fig11Result, OverheadRow,
-    SwitchoverResult,
+    run_chain, run_delay_assignment, run_fig11, run_fig13, run_switchover, run_table3, run_table4,
+    run_table5, AvailabilityRow, ChainRow, Fig11Result, OverheadRow, SwitchoverResult,
 };
 pub use report::{render_availability, render_chain, render_fig11, render_overhead, TextTable};
 pub use setups::{

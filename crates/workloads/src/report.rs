@@ -58,7 +58,11 @@ impl TextTable {
 
 /// Renders Table III / Fig. 13 rows grouped by variant: one line per
 /// variant, one column per failure duration.
-pub fn render_availability(title: &str, rows: &[AvailabilityRow], metric_tentative: bool) -> String {
+pub fn render_availability(
+    title: &str,
+    rows: &[AvailabilityRow],
+    metric_tentative: bool,
+) -> String {
     let mut durations: Vec<f64> = rows.iter().map(|r| r.failure_secs).collect();
     durations.sort_by(f64::total_cmp);
     durations.dedup();
@@ -132,10 +136,21 @@ pub fn render_chain(title: &str, rows: &[ChainRow], metric_tentative: bool) -> S
 
 /// Renders Tables IV/V: latency stats per parameter value, in milliseconds.
 pub fn render_overhead(title: &str, param_name: &str, rows: &[OverheadRow]) -> String {
-    let mut t = TextTable::new(&[param_name, "min(ms)", "max(ms)", "avg(ms)", "stddev(ms)", "tuples"]);
+    let mut t = TextTable::new(&[
+        param_name,
+        "min(ms)",
+        "max(ms)",
+        "avg(ms)",
+        "stddev(ms)",
+        "tuples",
+    ]);
     for r in rows {
         t.row(vec![
-            if r.param_ms == 0 { "0 (union)".into() } else { format!("{}", r.param_ms) },
+            if r.param_ms == 0 {
+                "0 (union)".into()
+            } else {
+                format!("{}", r.param_ms)
+            },
             format!("{:.1}", r.min.as_micros() as f64 / 1000.0),
             format!("{:.1}", r.max.as_micros() as f64 / 1000.0),
             format!("{:.1}", r.avg.as_micros() as f64 / 1000.0),

@@ -24,18 +24,50 @@ pub struct PolicyVariant {
 
 /// All six §6.1 variants, in the paper's legend order.
 pub const VARIANTS: [PolicyVariant; 6] = [
-    PolicyVariant { name: "Process & Process", failure: DelayMode::Process, stabilization: DelayMode::Process },
-    PolicyVariant { name: "Delay & Process", failure: DelayMode::Delay, stabilization: DelayMode::Process },
-    PolicyVariant { name: "Process & Delay", failure: DelayMode::Process, stabilization: DelayMode::Delay },
-    PolicyVariant { name: "Delay & Delay", failure: DelayMode::Delay, stabilization: DelayMode::Delay },
-    PolicyVariant { name: "Process & Suspend", failure: DelayMode::Process, stabilization: DelayMode::Suspend },
-    PolicyVariant { name: "Delay & Suspend", failure: DelayMode::Delay, stabilization: DelayMode::Suspend },
+    PolicyVariant {
+        name: "Process & Process",
+        failure: DelayMode::Process,
+        stabilization: DelayMode::Process,
+    },
+    PolicyVariant {
+        name: "Delay & Process",
+        failure: DelayMode::Delay,
+        stabilization: DelayMode::Process,
+    },
+    PolicyVariant {
+        name: "Process & Delay",
+        failure: DelayMode::Process,
+        stabilization: DelayMode::Delay,
+    },
+    PolicyVariant {
+        name: "Delay & Delay",
+        failure: DelayMode::Delay,
+        stabilization: DelayMode::Delay,
+    },
+    PolicyVariant {
+        name: "Process & Suspend",
+        failure: DelayMode::Process,
+        stabilization: DelayMode::Suspend,
+    },
+    PolicyVariant {
+        name: "Delay & Suspend",
+        failure: DelayMode::Delay,
+        stabilization: DelayMode::Suspend,
+    },
 ];
 
 /// The two variants §6.2 compares in distributed settings.
 pub const DISTRIBUTED_VARIANTS: [PolicyVariant; 2] = [
-    PolicyVariant { name: "Delay & Delay", failure: DelayMode::Delay, stabilization: DelayMode::Delay },
-    PolicyVariant { name: "Process & Process", failure: DelayMode::Process, stabilization: DelayMode::Process },
+    PolicyVariant {
+        name: "Delay & Delay",
+        failure: DelayMode::Delay,
+        stabilization: DelayMode::Delay,
+    },
+    PolicyVariant {
+        name: "Process & Process",
+        failure: DelayMode::Process,
+        stabilization: DelayMode::Process,
+    },
 ];
 
 /// Options for the single-node setups (Figs. 10 and 12).
@@ -142,7 +174,10 @@ fn single_node_plan(o: &SingleNodeOptions) -> PhysicalPlan {
             id: FragmentId(0),
             ops,
             inputs,
-            outputs: vec![FragmentOutput { stream: SINGLE_NODE_OUT, op: so }],
+            outputs: vec![FragmentOutput {
+                stream: SINGLE_NODE_OUT,
+                op: so,
+            }],
         }],
         max_sunion_depth: 1,
         per_sunion_delay: detect,
@@ -163,7 +198,10 @@ pub fn single_node_system(o: &SingleNodeOptions) -> RunningSystem {
         .replication(o.replication)
         .client_streams(vec![SINGLE_NODE_OUT])
         .metrics(metrics)
-        .node_tuning(NodeTuning { per_tuple_cost: o.per_tuple_cost, ..NodeTuning::default() })
+        .node_tuning(NodeTuning {
+            per_tuple_cost: o.per_tuple_cost,
+            ..NodeTuning::default()
+        })
         .client_tuning(ClientTuning::default());
     for s in single_node_sources() {
         builder = builder.source(SourceConfig {
@@ -171,7 +209,11 @@ pub fn single_node_system(o: &SingleNodeOptions) -> RunningSystem {
             rate,
             boundary_interval: Duration::from_millis(100),
             batch_period: Duration::from_millis(10),
-            values: if o.with_join { ValueGen::Keyed { keys: 25 } } else { ValueGen::Seq },
+            values: if o.with_join {
+                ValueGen::Keyed { keys: 25 }
+            } else {
+                ValueGen::Seq
+            },
         });
     }
     builder.build()
@@ -226,7 +268,9 @@ pub fn chain_system(o: &ChainOptions) -> (RunningSystem, StreamId) {
     for stage in 1..o.depth {
         last = b.add(
             &format!("stage{}", stage + 1),
-            LogicalOp::Map { outputs: vec![Expr::field(0)] },
+            LogicalOp::Map {
+                outputs: vec![Expr::field(0)],
+            },
             &[last],
         );
         assignment.push(FragmentId(stage as u32));
@@ -252,7 +296,10 @@ pub fn chain_system(o: &ChainOptions) -> (RunningSystem, StreamId) {
         .replication(2)
         .client_streams(vec![last])
         .metrics(metrics)
-        .node_tuning(NodeTuning { per_tuple_cost: o.per_tuple_cost, ..NodeTuning::default() });
+        .node_tuning(NodeTuning {
+            per_tuple_cost: o.per_tuple_cost,
+            ..NodeTuning::default()
+        });
     for s in [s1, s2, s3] {
         builder = builder.source(SourceConfig {
             stream: s,
@@ -325,7 +372,9 @@ pub fn overhead_system(o: &OverheadOptions) -> RunningSystem {
         None => vec![PhysOp {
             // Baseline without fault tolerance: a pass-through Map with no
             // serialization (Fig. 22(b)).
-            spec: OperatorSpec::Map { outputs: vec![Expr::field(0)] },
+            spec: OperatorSpec::Map {
+                outputs: vec![Expr::field(0)],
+            },
             fanout: Vec::new(),
             external_output: Some(OVERHEAD_OUT),
         }],
@@ -341,7 +390,10 @@ pub fn overhead_system(o: &OverheadOptions) -> RunningSystem {
                 port: 0,
                 origin: StreamOrigin::Source,
             }],
-            outputs: vec![FragmentOutput { stream: OVERHEAD_OUT, op: out_op }],
+            outputs: vec![FragmentOutput {
+                stream: OVERHEAD_OUT,
+                op: out_op,
+            }],
         }],
         max_sunion_depth: 1,
         per_sunion_delay: Duration::from_secs(3600),
@@ -381,7 +433,10 @@ mod tests {
 
     #[test]
     fn join_variant_produces_matches() {
-        let o = SingleNodeOptions { with_join: true, ..Default::default() };
+        let o = SingleNodeOptions {
+            with_join: true,
+            ..Default::default()
+        };
         let mut sys = single_node_system(&o);
         sys.run_until(Time::from_secs(5));
         sys.metrics.with(SINGLE_NODE_OUT, |m| {
@@ -392,7 +447,10 @@ mod tests {
 
     #[test]
     fn chain_depth_three_runs_clean() {
-        let (mut sys, out) = chain_system(&ChainOptions { depth: 3, ..Default::default() });
+        let (mut sys, out) = chain_system(&ChainOptions {
+            depth: 3,
+            ..Default::default()
+        });
         sys.run_until(Time::from_secs(6));
         sys.metrics.with(out, |m| {
             assert!(m.n_stable > 1500, "stable = {}", m.n_stable);
@@ -403,7 +461,10 @@ mod tests {
 
     #[test]
     fn overhead_baseline_has_tiny_latency() {
-        let mut sys = overhead_system(&OverheadOptions { bucket: None, ..Default::default() });
+        let mut sys = overhead_system(&OverheadOptions {
+            bucket: None,
+            ..Default::default()
+        });
         sys.run_until(Time::from_secs(5));
         sys.metrics.with(OVERHEAD_OUT, |m| {
             assert!(m.n_stable > 400);

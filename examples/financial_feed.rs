@@ -70,9 +70,15 @@ fn main() {
     sys.metrics.with(bursts, |m| {
         println!("financial-feed run (gateway 2 down 12s-18s):");
         println!("  stable burst signals    : {}", m.n_stable);
-        println!("  tentative burst signals : {} (half the feed was missing)", m.n_tentative);
+        println!(
+            "  tentative burst signals : {} (half the feed was missing)",
+            m.n_tentative
+        );
         println!("  corrections (undo/rec)  : {}/{}", m.n_undo, m.n_rec_done);
-        println!("  max signal latency      : {} (budget 1.5 s + processing)", m.procnew);
+        println!(
+            "  max signal latency      : {} (budget 1.5 s + processing)",
+            m.procnew
+        );
         println!("  duplicate stable        : {}", m.dup_stable);
         assert!(m.n_tentative > 0, "tentative analytics during the outage");
         assert!(m.n_rec_done >= 1, "compliance gets the exact history");

@@ -101,7 +101,10 @@ fn main() {
             m.n_tentative > 0,
             "partial results must keep flowing during the partition"
         );
-        assert!(m.n_rec_done >= 1, "the administrator eventually sees the full list");
+        assert!(
+            m.n_rec_done >= 1,
+            "the administrator eventually sees the full list"
+        );
         assert_eq!(m.dup_stable, 0);
     });
     println!("\ntentative alerts flowed during the partition; the complete");

@@ -55,10 +55,19 @@ fn main() {
     sys.metrics.with(merged, |m| {
         println!("\nclient-side results for {merged}:");
         println!("  stable tuples     : {}", m.n_stable);
-        println!("  tentative tuples  : {} (produced while monitor 3 was gone)", m.n_tentative);
+        println!(
+            "  tentative tuples  : {} (produced while monitor 3 was gone)",
+            m.n_tentative
+        );
         println!("  undo markers      : {}", m.n_undo);
-        println!("  rec-done markers  : {} (stabilizations completed)", m.n_rec_done);
-        println!("  max proc latency  : {} (availability, bound 2 s + processing)", m.procnew);
+        println!(
+            "  rec-done markers  : {} (stabilizations completed)",
+            m.n_rec_done
+        );
+        println!(
+            "  max proc latency  : {} (availability, bound 2 s + processing)",
+            m.procnew
+        );
         println!("  max data gap      : {}", m.max_gap);
         println!("  duplicate stables : {} (must be 0)", m.dup_stable);
 

@@ -75,7 +75,10 @@ fn main() {
         rate: 150.0,
         boundary_interval: Duration::from_millis(100),
         batch_period: Duration::from_millis(10),
-        values: ValueGen::Reading { keys: 8, amplitude: 1.0 },
+        values: ValueGen::Reading {
+            keys: 8,
+            amplitude: 1.0,
+        },
     };
     let mut sys = SystemBuilder::new(23, Duration::from_millis(1))
         .source(sensor(temperature))
@@ -89,10 +92,10 @@ fn main() {
     sys.disconnect_source(pressure, 0, Time::from_secs(10), Time::from_secs(20));
     sys.run_until(Time::from_secs(40));
 
-    let (join_stable, join_tentative) =
-        sys.metrics.with(alerts, |m| (m.n_stable, m.n_tentative));
-    let (live_stable, live_tentative, live_recdone) =
-        sys.metrics.with(liveness, |m| (m.n_stable, m.n_tentative, m.n_rec_done));
+    let (join_stable, join_tentative) = sys.metrics.with(alerts, |m| (m.n_stable, m.n_tentative));
+    let (live_stable, live_tentative, live_recdone) = sys
+        .metrics
+        .with(liveness, |m| (m.n_stable, m.n_tentative, m.n_rec_done));
 
     println!("sensor-pipeline run (pressure feed down 10s-20s):");
     println!("  joined-anomaly path : {join_stable} stable, {join_tentative} tentative");

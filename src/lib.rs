@@ -50,14 +50,27 @@
 //!
 //! | Crate | Role |
 //! |---|---|
-//! | `borealis-types` | Tuple model (stable/tentative/boundary/undo/rec-done), time, expressions |
-//! | `borealis-ops` | Operators: Filter, Map, Union, Aggregate, SJoin, SUnion, SOutput |
+//! | `borealis-types` | Tuple model (stable/tentative/boundary/undo/rec-done), time, expressions, and the shared-ownership [`TupleBatch`](borealis_types::TupleBatch) data plane |
+//! | `borealis-ops` | Operators: Filter, Map, Union, Aggregate, SJoin, SUnion, SOutput — per-tuple and batch execution paths |
 //! | `borealis-diagram` | Query diagrams, validation, DPC planning, delay assignment |
-//! | `borealis-engine` | Per-node fragment executor with checkpoint/redo reconciliation |
-//! | `borealis-sim` | Deterministic discrete-event simulator + network fault injection |
+//! | `borealis-engine` | Per-node fragment executor (batch-wise) with checkpoint/redo reconciliation |
+//! | `borealis-sim` | Deterministic discrete-event simulator + network fault injection + message-loss stats |
 //! | `borealis-dpc` | The DPC protocol: nodes, sources, clients, replica management |
 //! | `borealis-workloads` | Paper-experiment setups and runners |
 //! | `borealis-bench` | One `cargo bench` target per paper table/figure |
+//!
+//! ## The batch data plane
+//!
+//! Every layer that moves tuples — operator emissions, the fragment
+//! executor, `NetMsg::Data` payloads, output-buffer retention/replay,
+//! source logs — carries an `Arc`-backed, immutable
+//! [`TupleBatch`](borealis_types::TupleBatch): cloning is a reference-count
+//! bump, slicing is O(1) range arithmetic. One emitted batch backs the
+//! emission log, every replica's and client's in-flight messages, and every
+//! replay cursor simultaneously, so fan-out cost is independent of
+//! replication degree. Ack-driven truncation (§8.1) narrows retained
+//! segments by range split — views already handed to slower subscribers
+//! stay valid.
 
 pub use borealis_diagram as diagram;
 pub use borealis_dpc as dpc;
@@ -70,16 +83,17 @@ pub use borealis_workloads as workloads;
 /// Everything needed to build and run a fault-tolerant stream deployment.
 pub mod prelude {
     pub use borealis_diagram::{
-        plan, DelayAssignment, Deployment, Diagram, DiagramBuilder, DpcConfig, JoinSpec,
-        LogicalOp, PhysicalPlan,
+        plan, DelayAssignment, Deployment, Diagram, DiagramBuilder, DpcConfig, JoinSpec, LogicalOp,
+        PhysicalPlan,
     };
     pub use borealis_dpc::{
-        BufferPolicy, ClientTuning, MetricsHub, NodeState, NodeTuning, RunningSystem,
-        SourceConfig, SystemBuilder, ValueGen,
+        BufferPolicy, ClientTuning, MetricsHub, NodeState, NodeTuning, RunningSystem, SourceConfig,
+        SystemBuilder, ValueGen,
     };
     pub use borealis_ops::{AggFn, AggregateSpec, DelayMode, SJoinSpec, SUnionConfig};
     pub use borealis_types::{
-        Duration, Expr, FragmentId, NodeId, StreamId, Time, Tuple, TupleId, TupleKind, Value,
+        Duration, Expr, FragmentId, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind,
+        Value,
     };
 }
 
@@ -92,7 +106,9 @@ mod tests {
         let s = b.source("s");
         let f = b.add(
             "f",
-            LogicalOp::Filter { predicate: Expr::Const(Value::Bool(true)) },
+            LogicalOp::Filter {
+                predicate: Expr::Const(Value::Bool(true)),
+            },
             &[s],
         );
         b.output(f);

@@ -78,7 +78,9 @@ fn delaying_reduces_tentative_count_with_depth() {
 fn full_delay_assignment_masks_short_failures() {
     let (mut sys, out) = chain_system(&ChainOptions {
         depth: 4,
-        assignment: DelayAssignment::Full { effective: Duration::from_secs_f64(6.5) },
+        assignment: DelayAssignment::Full {
+            effective: Duration::from_secs_f64(6.5),
+        },
         variant: DISTRIBUTED_VARIANTS[1],
         ..Default::default()
     });
@@ -101,18 +103,25 @@ fn unaffected_streams_stay_stable() {
     let s2 = b.source("s2");
     let f1 = b.add(
         "branch1",
-        LogicalOp::Filter { predicate: Expr::Const(Value::Bool(true)) },
+        LogicalOp::Filter {
+            predicate: Expr::Const(Value::Bool(true)),
+        },
         &[s1],
     );
     let f2 = b.add(
         "branch2",
-        LogicalOp::Filter { predicate: Expr::Const(Value::Bool(true)) },
+        LogicalOp::Filter {
+            predicate: Expr::Const(Value::Bool(true)),
+        },
         &[s2],
     );
     b.output(f1);
     b.output(f2);
     let d = b.build().unwrap();
-    let cfg = DpcConfig { total_delay: Duration::from_secs(2), ..DpcConfig::default() };
+    let cfg = DpcConfig {
+        total_delay: Duration::from_secs(2),
+        ..DpcConfig::default()
+    };
     let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
     let mut sys = SystemBuilder::new(3, Duration::from_millis(1))
         .source(SourceConfig::seq(s1, 100.0))

@@ -32,25 +32,22 @@ fn pipeline_fragment() -> (Fragment, StreamId, StreamId, StreamId) {
     );
     b.output(counted);
     let d = b.build().unwrap();
-    let cfg = DpcConfig { total_delay: Duration::from_secs(1), ..DpcConfig::default() };
+    let cfg = DpcConfig {
+        total_delay: Duration::from_secs(1),
+        ..DpcConfig::default()
+    };
     let p = plan_fn(&d, &Deployment::single(&d), &cfg).unwrap();
     (Fragment::from_plan(&p.fragments[0]), s1, s2, counted)
 }
 
-fn feed(
-    f: &mut Fragment,
-    stream: StreamId,
-    id: u64,
-    ms: u64,
-    v: i64,
-) -> Vec<(StreamId, Tuple)> {
+fn feed(f: &mut Fragment, stream: StreamId, id: u64, ms: u64, v: i64) -> Vec<(StreamId, Tuple)> {
     let t = Tuple::insertion(TupleId(id), Time::from_millis(ms), vec![Value::Int(v)]);
-    f.push(stream, &t, Time::from_millis(ms)).tuples
+    f.push(stream, &t, Time::from_millis(ms)).tuples()
 }
 
 fn boundary(f: &mut Fragment, stream: StreamId, ms: u64) -> Vec<(StreamId, Tuple)> {
     let b = Tuple::boundary(TupleId::NONE, Time::from_millis(ms));
-    f.push(stream, &b, Time::from_millis(ms)).tuples
+    f.push(stream, &b, Time::from_millis(ms)).tuples()
 }
 
 /// Two identical replicas fed the same tuples with different interleavings
@@ -100,9 +97,8 @@ fn window_corrections_count_missing_data() {
     // s2 goes silent; s1 keeps flowing through stimes 200-400.
     feed(&mut f, s1, 2, 250, 5);
     boundary(&mut f, s1, 400);
-    let released = f.tick(Time::from_millis(1500)); // detection + tentative
+    let released = f.tick(Time::from_millis(1500)).tuples(); // detection + tentative
     let tentative: Vec<&Tuple> = released
-        .tuples
         .iter()
         .filter(|(s, t)| *s == out && t.is_tentative())
         .map(|(_, t)| t)
@@ -120,8 +116,8 @@ fn window_corrections_count_missing_data() {
     boundary(&mut f, s1, 500);
     boundary(&mut f, s2, 500);
     assert!(f.can_reconcile());
-    let mut all = f.reconcile(Time::from_millis(1600)).tuples;
-    all.extend(f.finish_reconciliation(Time::from_millis(1700)).tuples);
+    let mut all = f.reconcile(Time::from_millis(1600)).tuples();
+    all.extend(f.finish_reconciliation(Time::from_millis(1700)).tuples());
     let corrected: Vec<&Tuple> = all
         .iter()
         .filter(|(s, t)| *s == out && t.is_stable_data())
@@ -150,10 +146,10 @@ fn operators_apply_identically_to_tentative_data() {
     feed(&mut f, s1, 3, 350, 9); // kept, second window
     feed(&mut f, s1, 4, 450, 11); // kept, third window (closes the second)
     boundary(&mut f, s1, 400);
-    let mut released = f.tick(Time::from_secs(3)).tuples;
+    let mut released = f.tick(Time::from_secs(3)).tuples();
     // A second tick releases the buckets the first release created inside
     // the fragment (mid-diagram SUnion, 300 ms Process-mode wait).
-    released.extend(f.tick(Time::from_secs(4)).tuples);
+    released.extend(f.tick(Time::from_secs(4)).tuples());
     let windows: Vec<&Tuple> = released
         .iter()
         .filter(|(s, t)| *s == out && t.is_data())
@@ -178,20 +174,26 @@ fn repeated_reconciliations_stay_deterministic() {
         feed(&mut f, s1, cycle * 10 + 1, base, 1);
         boundary(&mut f, s1, base + 150);
         f.tick(Time::from_millis(base + 1200)); // tentative release
-        // heal
+                                                // heal
         feed(&mut f, s2, cycle * 10 + 1, base + 20, 4);
         boundary(&mut f, s1, base + 900);
         boundary(&mut f, s2, base + 900);
         assert!(f.can_reconcile(), "cycle {cycle}");
-        let mut tuples = f.reconcile(Time::from_millis(base + 1300)).tuples;
-        tuples.extend(f.finish_reconciliation(Time::from_millis(base + 1400)).tuples);
+        let mut tuples = f.reconcile(Time::from_millis(base + 1300)).tuples();
+        tuples.extend(
+            f.finish_reconciliation(Time::from_millis(base + 1400))
+                .tuples(),
+        );
         for (s, t) in tuples {
             if s == out && t.is_stable_data() {
                 stable_ids.push(t.id);
             }
         }
     }
-    assert!(stable_ids.len() >= 3, "three corrected windows: {stable_ids:?}");
+    assert!(
+        stable_ids.len() >= 3,
+        "three corrected windows: {stable_ids:?}"
+    );
     assert!(
         stable_ids.windows(2).all(|w| w[0] < w[1]),
         "stable ids strictly increase across reconciliation cycles: {stable_ids:?}"

@@ -11,7 +11,10 @@ fn merge3(seed: u64, replication: usize) -> (RunningSystem, StreamId) {
     let u = b.add("merged", LogicalOp::Union, &[s1, s2, s3]);
     b.output(u);
     let d = b.build().unwrap();
-    let cfg = DpcConfig { total_delay: Duration::from_secs(2), ..DpcConfig::default() };
+    let cfg = DpcConfig {
+        total_delay: Duration::from_secs(2),
+        ..DpcConfig::default()
+    };
     let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
     let mut builder = SystemBuilder::new(seed, Duration::from_millis(1))
         .plan(p)
@@ -89,8 +92,14 @@ fn partitioned_replica_client_switches_fast() {
     let victim = sys.fragment_replicas[0][0];
     for stream in [StreamId(0), StreamId(1), StreamId(2)] {
         let src = sys.source_of(stream);
-        sys.sim.schedule_fault(Time::from_secs(8), FaultEvent::LinkDown { a: src, b: victim });
-        sys.sim.schedule_fault(Time::from_secs(14), FaultEvent::LinkUp { a: src, b: victim });
+        sys.sim.schedule_fault(
+            Time::from_secs(8),
+            FaultEvent::LinkDown { a: src, b: victim },
+        );
+        sys.sim.schedule_fault(
+            Time::from_secs(14),
+            FaultEvent::LinkUp { a: src, b: victim },
+        );
     }
     sys.run_until(Time::from_secs(40));
     sys.metrics.with(out, |m| {
@@ -133,7 +142,10 @@ fn bounded_buffers_keep_live_stream_consistent() {
     let u = b.add("merged", LogicalOp::Union, &[s1, s2]);
     b.output(u);
     let d = b.build().unwrap();
-    let cfg = DpcConfig { total_delay: Duration::from_secs(2), ..DpcConfig::default() };
+    let cfg = DpcConfig {
+        total_delay: Duration::from_secs(2),
+        ..DpcConfig::default()
+    };
     let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
     let mut sys = SystemBuilder::new(59, Duration::from_millis(1))
         .source(SourceConfig::seq(s1, 100.0))
@@ -167,6 +179,10 @@ fn flapping_link_does_not_wedge() {
     sys.run_until(Time::from_secs(50));
     sys.metrics.with(out, |m| {
         assert_eq!(m.dup_stable, 0);
-        assert!(m.n_stable > 12000, "stream survives flapping: {}", m.n_stable);
+        assert!(
+            m.n_stable > 12000,
+            "stream survives flapping: {}",
+            m.n_stable
+        );
     });
 }

@@ -1,9 +1,15 @@
-//! Property-based tests: DPC's guarantees must hold for *arbitrary* failure
+//! Property-style tests: DPC's guarantees must hold for *arbitrary* failure
 //! schedules, not just the scripted scenarios of the paper's evaluation.
+//!
+//! The registry-free build has no `proptest`, so cases are generated with
+//! the workspace's deterministic seeded RNG: every run explores the same
+//! randomized schedules, and a failing case is reproducible from its case
+//! index alone.
 
 use borealis::prelude::*;
 use borealis_dpc::TraceEntry;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A randomly generated failure episode.
 #[derive(Debug, Clone)]
@@ -14,15 +20,13 @@ struct Episode {
     boundary_only: bool,
 }
 
-fn episode_strategy() -> impl Strategy<Value = Episode> {
-    (0u32..3, 5_000u64..15_000, 500u64..8_000, any::<bool>()).prop_map(
-        |(stream, start_ms, duration_ms, boundary_only)| Episode {
-            stream,
-            start_ms,
-            duration_ms,
-            boundary_only,
-        },
-    )
+fn random_episode(rng: &mut StdRng) -> Episode {
+    Episode {
+        stream: rng.gen_range(0u32..3),
+        start_ms: rng.gen_range(5_000u64..15_000),
+        duration_ms: rng.gen_range(500u64..8_000),
+        boundary_only: rng.gen_range(0u32..2) == 1,
+    }
 }
 
 fn build_system(seed: u64, trace: bool) -> (RunningSystem, StreamId) {
@@ -79,26 +83,25 @@ fn retained_stable(trace: &[TraceEntry]) -> Vec<(u64, u64)> {
         .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 12,
-        .. ProptestConfig::default()
-    })]
+/// For any schedule of 1-3 failure episodes:
+/// (a) no duplicate stable tuples ever reach the client,
+/// (b) the retained stable stream is a prefix of the failure-free run's
+///     stream (Definition 1: same tuples, same order), and
+/// (c) stable ids are strictly increasing after undo application.
+#[test]
+fn dpc_invariants_hold_under_random_failures() {
+    let mut rng = StdRng::seed_from_u64(0xD1C);
+    for case in 0..12 {
+        let n_episodes = rng.gen_range(1usize..4);
+        let episodes: Vec<Episode> = (0..n_episodes).map(|_| random_episode(&mut rng)).collect();
+        let seed = rng.gen_range(0u64..1000);
 
-    /// For any schedule of 1-3 failure episodes:
-    /// (a) no duplicate stable tuples ever reach the client,
-    /// (b) the retained stable stream is a prefix of the failure-free run's
-    ///     stream (Definition 1: same tuples, same order), and
-    /// (c) stable ids are strictly increasing after undo application.
-    #[test]
-    fn dpc_invariants_hold_under_random_failures(
-        episodes in prop::collection::vec(episode_strategy(), 1..=3),
-        seed in 0u64..1000,
-    ) {
         let horizon = Time::from_secs(45);
         let (mut clean, out) = build_system(seed, true);
         clean.run_until(horizon);
-        let reference = clean.metrics.with(out, |m| retained_stable(m.trace.as_ref().unwrap()));
+        let reference = clean
+            .metrics
+            .with(out, |m| retained_stable(m.trace.as_ref().unwrap()));
 
         let (mut sys, out2) = build_system(seed, true);
         for ep in &episodes {
@@ -114,26 +117,30 @@ proptest! {
 
         sys.metrics.with(out2, |m| {
             // (a) No duplicates.
-            prop_assert_eq!(m.dup_stable, 0);
+            assert_eq!(m.dup_stable, 0, "case {case} {episodes:?}");
             let retained = retained_stable(m.trace.as_ref().unwrap());
             // (c) Strictly increasing stable ids.
-            prop_assert!(retained.windows(2).all(|w| w[0].0 < w[1].0));
+            assert!(
+                retained.windows(2).all(|w| w[0].0 < w[1].0),
+                "case {case}: stable ids not increasing"
+            );
             // (b) Prefix equivalence with the failure-free run.
             let n = retained.len().min(reference.len());
-            prop_assert!(n > 0, "no stable output at all");
-            prop_assert_eq!(&retained[..n], &reference[..n]);
-            Ok(())
-        })?;
+            assert!(n > 0, "case {case}: no stable output at all");
+            assert_eq!(&retained[..n], &reference[..n], "case {case} {episodes:?}");
+        });
     }
+}
 
-    /// Availability: for failures comfortably inside the run, the client
-    /// keeps receiving new data — the maximum gap stays within the
-    /// detection delay plus protocol slack, for any single episode.
-    #[test]
-    fn availability_holds_for_any_single_failure(
-        ep in episode_strategy(),
-        seed in 0u64..1000,
-    ) {
+/// Availability: for failures comfortably inside the run, the client keeps
+/// receiving new data — the maximum gap stays within the detection delay
+/// plus protocol slack, for any single episode.
+#[test]
+fn availability_holds_for_any_single_failure() {
+    let mut rng = StdRng::seed_from_u64(0xA11);
+    for case in 0..12 {
+        let ep = random_episode(&mut rng);
+        let seed = rng.gen_range(0u64..1000);
         let (mut sys, out) = build_system(seed, false);
         let start = Time(ep.start_ms * 1000);
         let end = start + Duration::from_millis(ep.duration_ms);
@@ -144,12 +151,13 @@ proptest! {
         }
         sys.run_until(Time::from_secs(45));
         sys.metrics.with(out, |m| {
-            prop_assert!(
+            assert!(
                 m.max_gap < Duration::from_millis(2900),
-                "gap {} exceeds bound for {:?}", m.max_gap, ep
+                "case {case}: gap {} exceeds bound for {:?}",
+                m.max_gap,
+                ep
             );
-            Ok(())
-        })?;
+        });
     }
 }
 
@@ -159,16 +167,15 @@ proptest! {
 #[test]
 fn sunion_total_order_is_interleaving_invariant() {
     use borealis::ops::{Emitter, Operator, SUnion};
-    use proptest::strategy::ValueTree;
-    use proptest::test_runner::TestRunner;
 
-    let mut runner = TestRunner::default();
+    let mut rng = StdRng::seed_from_u64(0x50_u64);
     for _ in 0..50 {
         // Random per-stream tuples with random stimes inside one bucket
         // span, delivered in two different interleavings.
-        let tuples_strategy = prop::collection::vec((0usize..3, 0u64..400), 1..40);
-        let tree = tuples_strategy.new_tree(&mut runner).unwrap();
-        let items = tree.current();
+        let n = rng.gen_range(1usize..40);
+        let items: Vec<(usize, u64)> = (0..n)
+            .map(|_| (rng.gen_range(0usize..3), rng.gen_range(0u64..400)))
+            .collect();
 
         let run = |order: &[(usize, u64)]| {
             let mut cfg = SUnionConfig::new(3);
@@ -200,6 +207,10 @@ fn sunion_total_order_is_interleaving_invariant() {
         // Original order vs per-port-stable shuffled order (port-major).
         let mut shuffled = items.clone();
         shuffled.sort_by_key(|&(port, _)| port); // stable: per-port order kept
-        assert_eq!(run(&items), run(&shuffled), "interleaving changed the order");
+        assert_eq!(
+            run(&items),
+            run(&shuffled),
+            "interleaving changed the order"
+        );
     }
 }

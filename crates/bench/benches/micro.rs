@@ -6,7 +6,7 @@ use borealis_diagram::{plan, Deployment, DiagramBuilder, DpcConfig, LogicalOp};
 use borealis_dpc::{BufferPolicy, OutputBuffer};
 use borealis_engine::Fragment;
 use borealis_ops::{
-    AggFn, Aggregate, AggregateSpec, Emitter, Filter, Operator, SUnion, SUnionConfig,
+    AggFn, Aggregate, AggregateSpec, BatchEmitter, Filter, Operator, SUnion, SUnionConfig,
 };
 use borealis_types::{Duration, Expr, Time, Tuple, TupleBatch, TupleId, Value};
 use borealis_workloads::{single_node_system, SingleNodeOptions};
@@ -31,12 +31,12 @@ fn bench_filter(c: &mut Criterion) {
     g.throughput(Throughput::Elements(input.len() as u64));
     g.bench_function("filter_1k", |b| {
         let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(100)));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         b.iter(|| {
             for t in &input {
                 f.process(0, t, Time::ZERO, &mut out);
             }
-            out.tuples.clear();
+            let _ = out.take();
         });
     });
     g.bench_function("aggregate_1k", |b| {
@@ -46,7 +46,7 @@ fn bench_filter(c: &mut Criterion) {
             group_by: vec![],
             aggs: vec![AggFn::count(), AggFn::sum(Expr::field(0))],
         });
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         b.iter(|| {
             for t in &input {
                 a.process(0, t, Time::ZERO, &mut out);
@@ -57,7 +57,7 @@ fn bench_filter(c: &mut Criterion) {
                 Time::ZERO,
                 &mut out,
             );
-            out.tuples.clear();
+            let _ = out.take();
         });
     });
     g.finish();
@@ -77,7 +77,7 @@ fn bench_sunion(c: &mut Criterion) {
                     SUnion::new(cfg)
                 },
                 |mut s| {
-                    let mut out = Emitter::new();
+                    let mut out = BatchEmitter::new();
                     for t in &input {
                         s.process(0, t, t.stime, &mut out);
                     }
@@ -87,7 +87,7 @@ fn bench_sunion(c: &mut Criterion) {
                         Time::from_secs(10),
                         &mut out,
                     );
-                    black_box(out.tuples.len())
+                    black_box(out.take().0.len())
                 },
                 BatchSize::SmallInput,
             );

@@ -11,6 +11,7 @@
 
 use crate::metrics::MetricsHub;
 use crate::msg::NetMsg;
+use crate::runtime::{DpcActor, RuntimeCtx};
 use crate::upstream::{UpstreamAction, UpstreamManager};
 use borealis_sim::{Actor, Ctx};
 use borealis_types::{Duration, NodeId, StreamId};
@@ -67,7 +68,12 @@ impl ClientProxy {
         }
     }
 
-    fn apply_actions(&self, ctx: &mut Ctx<NetMsg>, stream: StreamId, actions: Vec<UpstreamAction>) {
+    fn apply_actions<C: RuntimeCtx + ?Sized>(
+        &self,
+        ctx: &mut C,
+        stream: StreamId,
+        actions: Vec<UpstreamAction>,
+    ) {
         for a in actions {
             match a {
                 UpstreamAction::Subscribe {
@@ -94,8 +100,11 @@ impl ClientProxy {
     }
 }
 
-impl Actor<NetMsg> for ClientProxy {
-    fn on_start(&mut self, ctx: &mut Ctx<NetMsg>) {
+/// The protocol body, written once against [`RuntimeCtx`]; the adapters
+/// below expose it to both runtimes.
+impl ClientProxy {
+    /// Startup: subscribe to every watched stream, arm the timers.
+    pub fn start<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         let now = ctx.now();
         for cs in self.streams.clone() {
             let monitor = cs.candidates.len() > 1;
@@ -108,7 +117,8 @@ impl Actor<NetMsg> for ClientProxy {
         ctx.set_timer(now + self.tuning.ack_period, TIMER_ACK);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
+    /// Handles one protocol message.
+    pub fn message<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, from: NodeId, msg: NetMsg) {
         match msg {
             NetMsg::Data { stream, tuples } => {
                 let now = ctx.now();
@@ -145,7 +155,8 @@ impl Actor<NetMsg> for ClientProxy {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
+    /// Handles one timer callback.
+    pub fn timer<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, kind: u64) {
         let now = ctx.now();
         match kind {
             TIMER_HEARTBEAT => {
@@ -177,5 +188,31 @@ impl Actor<NetMsg> for ClientProxy {
             }
             _ => {}
         }
+    }
+}
+
+/// Simulator adapter: static dispatch into the shared protocol body.
+impl Actor<NetMsg> for ClientProxy {
+    fn on_start(&mut self, ctx: &mut Ctx<NetMsg>) {
+        self.start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
+        self.message(ctx, from, msg)
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
+        self.timer(ctx, kind)
+    }
+}
+
+/// Thread-engine adapter: dynamic dispatch into the shared protocol body.
+impl DpcActor for ClientProxy {
+    fn on_start(&mut self, ctx: &mut dyn RuntimeCtx) {
+        self.start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut dyn RuntimeCtx, from: NodeId, msg: NetMsg) {
+        self.message(ctx, from, msg)
+    }
+    fn on_timer(&mut self, ctx: &mut dyn RuntimeCtx, kind: u64) {
+        self.timer(ctx, kind)
     }
 }

@@ -36,6 +36,7 @@ pub mod client;
 pub mod metrics;
 pub mod msg;
 pub mod node;
+pub mod runtime;
 pub mod source;
 pub mod system;
 pub mod upstream;
@@ -45,8 +46,9 @@ pub use client::{ClientProxy, ClientStream, ClientTuning};
 pub use metrics::{MetricsHub, StreamMetrics, TraceEntry};
 pub use msg::{NetMsg, NodeState};
 pub use node::{NodeConfig, NodeTuning, ProcessingNode, UpstreamSpec};
+pub use runtime::{DpcActor, RuntimeCtx};
 pub use source::{DataSource, SourceConfig, ValueGen};
-pub use system::{RunningSystem, SystemBuilder};
+pub use system::{ActorSpec, FaultSpec, RunningSystem, SystemBuilder, SystemLayout};
 pub use upstream::{UpstreamAction, UpstreamManager};
 
 #[cfg(test)]

@@ -12,9 +12,8 @@
 //! corrections.
 
 use borealis_types::{Duration, Time, Tuple, TupleId, TupleKind};
-use std::cell::RefCell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One recorded arrival (kept only when tracing is enabled).
 #[derive(Debug, Clone)]
@@ -154,9 +153,14 @@ impl StreamMetrics {
 
 /// Shared, per-stream metrics handle: the client proxy writes, the
 /// experiment harness reads after the run.
+///
+/// Thread-safe (`Arc<Mutex<…>>`) so the same hub works under the
+/// single-threaded simulator and the multi-threaded real-time engine; the
+/// lock is uncontended in the simulator and touched only by the client
+/// proxy's thread plus the harness in the thread engine.
 #[derive(Debug, Default, Clone)]
 pub struct MetricsHub {
-    inner: Rc<RefCell<HashMap<u32, StreamMetrics>>>,
+    inner: Arc<Mutex<HashMap<u32, StreamMetrics>>>,
 }
 
 impl MetricsHub {
@@ -167,13 +171,13 @@ impl MetricsHub {
 
     /// Enables full arrival tracing for `stream`.
     pub fn enable_trace(&self, stream: borealis_types::StreamId) {
-        let mut map = self.inner.borrow_mut();
+        let mut map = self.inner.lock().expect("metrics lock");
         map.entry(stream.0).or_default().trace = Some(Vec::new());
     }
 
     /// Records one tuple arrival on `stream`.
     pub fn record(&self, stream: borealis_types::StreamId, now: Time, t: &Tuple) {
-        let mut map = self.inner.borrow_mut();
+        let mut map = self.inner.lock().expect("metrics lock");
         map.entry(stream.0).or_default().record(now, t);
     }
 
@@ -183,20 +187,26 @@ impl MetricsHub {
         stream: borealis_types::StreamId,
         f: impl FnOnce(&StreamMetrics) -> R,
     ) -> R {
-        let mut map = self.inner.borrow_mut();
+        let mut map = self.inner.lock().expect("metrics lock");
         f(map.entry(stream.0).or_default())
     }
 
     /// Sum of `Ntentative` across all streams (Definition 2's diagram-level
     /// inconsistency).
     pub fn total_tentative(&self) -> u64 {
-        self.inner.borrow().values().map(|m| m.n_tentative).sum()
+        self.inner
+            .lock()
+            .expect("metrics lock")
+            .values()
+            .map(|m| m.n_tentative)
+            .sum()
     }
 
     /// Max `Procnew` across all streams.
     pub fn max_procnew(&self) -> Duration {
         self.inner
-            .borrow()
+            .lock()
+            .expect("metrics lock")
             .values()
             .map(|m| m.procnew)
             .max()
@@ -205,7 +215,12 @@ impl MetricsHub {
 
     /// Total protocol violations (must be zero in a correct run).
     pub fn total_dup_stable(&self) -> u64 {
-        self.inner.borrow().values().map(|m| m.dup_stable).sum()
+        self.inner
+            .lock()
+            .expect("metrics lock")
+            .values()
+            .map(|m| m.dup_stable)
+            .sum()
     }
 }
 

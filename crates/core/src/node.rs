@@ -20,12 +20,12 @@
 
 use crate::buffers::{BufferPolicy, OutputBuffer};
 use crate::msg::{NetMsg, NodeState};
+use crate::runtime::{DpcActor, RuntimeCtx};
 use crate::upstream::{UpstreamAction, UpstreamManager};
 use borealis_diagram::FragmentPlan;
 use borealis_engine::{Batch, Fragment};
 use borealis_sim::{Actor, Ctx, FaultEvent};
 use borealis_types::{Duration, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId};
-use rand::Rng;
 use std::collections::HashMap;
 
 /// Upstream binding of one input stream.
@@ -161,9 +161,9 @@ impl ProcessingNode {
         &self.fragment
     }
 
-    fn apply_actions(
+    fn apply_actions<C: RuntimeCtx + ?Sized>(
         &mut self,
-        ctx: &mut Ctx<NetMsg>,
+        ctx: &mut C,
         stream: StreamId,
         actions: Vec<UpstreamAction>,
     ) {
@@ -194,7 +194,12 @@ impl ProcessingNode {
 
     /// Charges CPU time for a batch and retains its output batches by
     /// shared view, then dispatches across the busy window.
-    fn handle_batch(&mut self, ctx: &mut Ctx<NetMsg>, batch: Batch, event_time: Time) {
+    fn handle_batch<C: RuntimeCtx + ?Sized>(
+        &mut self,
+        ctx: &mut C,
+        batch: Batch,
+        event_time: Time,
+    ) {
         let start = self.busy_until.max(event_time);
         let cost = Duration::from_micros(
             self.cfg
@@ -220,7 +225,12 @@ impl ProcessingNode {
     /// split, so N subscribers behind the same position cost N
     /// reference-count bumps per batch — fan-out is independent of
     /// replication degree.
-    fn flush_subscribers(&mut self, ctx: &mut Ctx<NetMsg>, w_start: Time, w_end: Time) {
+    fn flush_subscribers<C: RuntimeCtx + ?Sized>(
+        &mut self,
+        ctx: &mut C,
+        w_start: Time,
+        w_end: Time,
+    ) {
         let chunk = self.cfg.tuning.dispatch_chunk.max(1);
         for (&stream, subs) in &mut self.subscribers {
             let Some(buf) = self.out.get(&stream) else {
@@ -267,7 +277,7 @@ impl ProcessingNode {
         }
     }
 
-    fn post_event(&mut self, ctx: &mut Ctx<NetMsg>) {
+    fn post_event<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         self.refresh_state();
         if let Some(d) = self.fragment.next_deadline() {
             let at = d.max(ctx.now());
@@ -280,7 +290,7 @@ impl ProcessingNode {
     }
 
     /// The stagger protocol's requesting side (Fig. 9).
-    fn check_reconcile(&mut self, ctx: &mut Ctx<NetMsg>) {
+    fn check_reconcile<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         if self.state == NodeState::Stabilization
             || self.pending_request.is_some()
             || !self.granted_to.is_empty()
@@ -301,7 +311,7 @@ impl ProcessingNode {
             self.do_reconcile(ctx);
             return;
         }
-        let target = reachable[ctx.rng().gen_range(0..reachable.len())];
+        let target = reachable[ctx.rand_range(reachable.len() as u64) as usize];
         self.pending_request = Some(target);
         ctx.send(target, NetMsg::ReconcileRequest);
         ctx.set_timer(
@@ -310,7 +320,7 @@ impl ProcessingNode {
         );
     }
 
-    fn do_reconcile(&mut self, ctx: &mut Ctx<NetMsg>) {
+    fn do_reconcile<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         let now = ctx.now();
         self.state = NodeState::Stabilization;
         let batch = self.fragment.reconcile(now);
@@ -341,8 +351,13 @@ impl ProcessingNode {
     }
 }
 
-impl Actor<NetMsg> for ProcessingNode {
-    fn on_start(&mut self, ctx: &mut Ctx<NetMsg>) {
+/// The protocol body, written once against [`RuntimeCtx`]. The
+/// `borealis_sim::Actor` and [`DpcActor`] impls below forward here, so the
+/// identical logic runs under the simulator (static dispatch) and the
+/// thread engine (dynamic dispatch).
+impl ProcessingNode {
+    /// Startup: subscribe to upstreams, arm the periodic timers.
+    pub fn start<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         let now = ctx.now();
         let specs = self.cfg.upstreams.clone();
         for spec in specs {
@@ -356,7 +371,8 @@ impl Actor<NetMsg> for ProcessingNode {
         ctx.set_timer(now + self.cfg.tuning.ack_period, TIMER_ACK);
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
+    /// Handles one protocol message.
+    pub fn message<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, from: NodeId, msg: NetMsg) {
         match msg {
             NetMsg::Data { stream, tuples } => {
                 let now = ctx.now();
@@ -518,7 +534,8 @@ impl Actor<NetMsg> for ProcessingNode {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
+    /// Handles one timer callback.
+    pub fn timer<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, kind: u64) {
         let now = ctx.now();
         match kind {
             TIMER_TICK => {
@@ -605,7 +622,8 @@ impl Actor<NetMsg> for ProcessingNode {
         }
     }
 
-    fn on_fault(&mut self, ctx: &mut Ctx<NetMsg>, fault: &FaultEvent) {
+    /// Reacts to a fault notification (link heals, own crash/restart).
+    pub fn fault<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, fault: &FaultEvent) {
         match fault {
             FaultEvent::LinkUp { a, b } => {
                 // In-flight output tuples may have been lost: rewind healed
@@ -648,10 +666,42 @@ impl Actor<NetMsg> for ProcessingNode {
                 self.granted_to.clear();
                 self.authorized_by = None;
                 self.recovering = true;
-                self.on_start(ctx);
+                self.start(ctx);
                 ctx.set_timer(ctx.now() + Duration::from_millis(500), TIMER_RECOVERY_DONE);
             }
             _ => {}
         }
+    }
+}
+
+/// Simulator adapter: static dispatch into the shared protocol body.
+impl Actor<NetMsg> for ProcessingNode {
+    fn on_start(&mut self, ctx: &mut Ctx<NetMsg>) {
+        self.start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
+        self.message(ctx, from, msg)
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
+        self.timer(ctx, kind)
+    }
+    fn on_fault(&mut self, ctx: &mut Ctx<NetMsg>, fault: &FaultEvent) {
+        self.fault(ctx, fault)
+    }
+}
+
+/// Thread-engine adapter: dynamic dispatch into the shared protocol body.
+impl DpcActor for ProcessingNode {
+    fn on_start(&mut self, ctx: &mut dyn RuntimeCtx) {
+        self.start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut dyn RuntimeCtx, from: NodeId, msg: NetMsg) {
+        self.message(ctx, from, msg)
+    }
+    fn on_timer(&mut self, ctx: &mut dyn RuntimeCtx, kind: u64) {
+        self.timer(ctx, kind)
+    }
+    fn on_fault(&mut self, ctx: &mut dyn RuntimeCtx, fault: &FaultEvent) {
+        self.fault(ctx, fault)
     }
 }

@@ -15,6 +15,7 @@
 //! injected at the network layer.
 
 use crate::msg::{NetMsg, NodeState};
+use crate::runtime::{DpcActor, RuntimeCtx};
 use borealis_sim::{Actor, Ctx, FaultEvent};
 use borealis_types::{
     BatchLog, Duration, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId, Value,
@@ -98,10 +99,6 @@ pub struct DataSource {
     /// backlog to N subscribers shares one allocation N ways.
     log: BatchLog,
     next_id: u64,
-    /// Fractional tuple carry between generation ticks.
-    carry: f64,
-    /// End of the interval already covered by generated tuples.
-    generated_through: Time,
     subscribers: HashMap<NodeId, usize>,
     /// Last stable tuple each subscriber acknowledged (rewind point after
     /// a link failure: in-flight tuples may have been lost).
@@ -121,8 +118,6 @@ impl DataSource {
             cfg,
             log: BatchLog::new(),
             next_id: 1,
-            carry: 0.0,
-            generated_through: Time::ZERO,
             subscribers: HashMap::new(),
             acked: HashMap::new(),
             boundaries_muted: false,
@@ -134,7 +129,7 @@ impl DataSource {
         self.log.len()
     }
 
-    fn flush(&mut self, ctx: &mut Ctx<NetMsg>) {
+    fn flush<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         let stream = self.cfg.stream;
         for (&sub, pos) in &mut self.subscribers {
             if *pos >= self.log.len() || !ctx.reachable(sub) {
@@ -150,46 +145,51 @@ impl DataSource {
         }
     }
 
-    /// Generates all tuples for the interval `(generated_through, now]`.
+    /// The deterministic stime of sequence number `id`: `id / rate` after
+    /// the origin, independent of when generation actually runs.
+    fn stime_of(&self, id: u64) -> Time {
+        Time((id as f64 * 1_000_000.0 / self.cfg.rate) as u64)
+    }
+
+    /// Generates every tuple whose stime has been reached by `now`.
     ///
     /// Generation is time-based (not tick-based) so it can run from both
     /// the generation timer and the boundary timer: a boundary with stime
     /// `now` may only be emitted after every tuple with stime <= `now` is
     /// in the log — the §4.2.1 punctuation contract.
+    ///
+    /// Stimes (and payloads) are pure functions of the sequence number, so
+    /// the logged stream is identical run to run and **runtime to
+    /// runtime**: the discrete-event simulator and the wall-clock thread
+    /// engine feed byte-identical input into the diagram, which is what
+    /// makes cross-runtime output equivalence testable. Timer jitter only
+    /// affects *when* a tuple is released, never its content.
     fn generate(&mut self, now: Time) {
-        let elapsed = now.since(self.generated_through);
-        if elapsed == Duration::ZERO {
-            return;
-        }
-        let secs = elapsed.as_micros() as f64 / 1_000_000.0;
-        let exact = self.cfg.rate * secs + self.carry;
-        let n = exact.floor() as u64;
-        self.carry = exact - n as f64;
-        let step = elapsed.as_micros() / (n.max(1) + 1);
-        for i in 0..n {
-            // Spread stimes across the elapsed interval for a smooth stream.
-            let stime = Time(self.generated_through.as_micros() + (i + 1) * step);
+        while self.stime_of(self.next_id) <= now {
             let t = Tuple::insertion(
                 TupleId(self.next_id),
-                stime,
+                self.stime_of(self.next_id),
                 self.cfg.values.gen(self.next_id),
             );
             self.next_id += 1;
             self.log.push(t);
         }
-        self.generated_through = now;
     }
 }
 
-impl Actor<NetMsg> for DataSource {
-    fn on_start(&mut self, ctx: &mut Ctx<NetMsg>) {
+/// The protocol body, written once against [`RuntimeCtx`]; the adapters
+/// below expose it to both runtimes.
+impl DataSource {
+    /// Startup: arm the generation and boundary timers.
+    pub fn start<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         ctx.set_timer(ctx.now() + self.cfg.batch_period, TIMER_GEN);
         if self.cfg.boundary_interval > Duration::ZERO {
             ctx.set_timer(ctx.now() + self.cfg.boundary_interval, TIMER_BOUNDARY);
         }
     }
 
-    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
+    /// Handles one protocol message.
+    pub fn message<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, from: NodeId, msg: NetMsg) {
         match msg {
             NetMsg::Subscribe {
                 stream,
@@ -242,7 +242,8 @@ impl Actor<NetMsg> for DataSource {
         }
     }
 
-    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
+    /// Handles one timer callback.
+    pub fn timer<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, kind: u64) {
         match kind {
             TIMER_GEN => {
                 self.generate(ctx.now());
@@ -262,7 +263,8 @@ impl Actor<NetMsg> for DataSource {
         }
     }
 
-    fn on_fault(&mut self, ctx: &mut Ctx<NetMsg>, fault: &FaultEvent) {
+    /// Reacts to a fault notification (boundary muting, link heals).
+    pub fn fault<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, fault: &FaultEvent) {
         match fault {
             FaultEvent::Custom { tag, .. } if *tag == Self::MUTE_BOUNDARIES => {
                 self.boundaries_muted = true;
@@ -285,5 +287,37 @@ impl Actor<NetMsg> for DataSource {
             }
             _ => {}
         }
+    }
+}
+
+/// Simulator adapter: static dispatch into the shared protocol body.
+impl Actor<NetMsg> for DataSource {
+    fn on_start(&mut self, ctx: &mut Ctx<NetMsg>) {
+        self.start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut Ctx<NetMsg>, from: NodeId, msg: NetMsg) {
+        self.message(ctx, from, msg)
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
+        self.timer(ctx, kind)
+    }
+    fn on_fault(&mut self, ctx: &mut Ctx<NetMsg>, fault: &FaultEvent) {
+        self.fault(ctx, fault)
+    }
+}
+
+/// Thread-engine adapter: dynamic dispatch into the shared protocol body.
+impl DpcActor for DataSource {
+    fn on_start(&mut self, ctx: &mut dyn RuntimeCtx) {
+        self.start(ctx)
+    }
+    fn on_message(&mut self, ctx: &mut dyn RuntimeCtx, from: NodeId, msg: NetMsg) {
+        self.message(ctx, from, msg)
+    }
+    fn on_timer(&mut self, ctx: &mut dyn RuntimeCtx, kind: u64) {
+        self.timer(ctx, kind)
+    }
+    fn on_fault(&mut self, ctx: &mut dyn RuntimeCtx, fault: &FaultEvent) {
+        self.fault(ctx, fault)
     }
 }

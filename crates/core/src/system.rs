@@ -1,24 +1,81 @@
-//! Deployment builder: wires sources, replicated fragment nodes, and a
-//! client proxy into one simulated system (the Fig. 2 replicated query
-//! diagram).
+//! Deployment description and launchers: wires sources, replicated fragment
+//! nodes, and a client proxy into one runnable system (the Fig. 2
+//! replicated query diagram).
 //!
-//! The builder assigns actor ids deterministically (sources, then each
-//! fragment's replicas in order, then the client), computes who produces
-//! each stream, derives every node's upstream candidate sets and expected
-//! downstream consumer counts (for §8.1 truncation), and exposes fault
-//! scripting helpers for the experiments.
+//! The pipeline is split into a **runtime-independent** half and
+//! **per-runtime launchers**:
+//!
+//! 1. [`SystemBuilder`] accumulates the description: sources, plan,
+//!    replication, tuning, watched streams, and a fault script expressed
+//!    against the *topology* (stream ids, fragment indexes, replica
+//!    indexes — never raw actor ids).
+//! 2. [`SystemBuilder::layout`] resolves it into a [`SystemLayout`]: a
+//!    deterministic actor-id assignment (sources, then each fragment's
+//!    replicas in order, then the client), per-actor configurations with
+//!    upstream candidate sets and downstream consumer counts (for §8.1
+//!    truncation), and the fault script lowered to concrete
+//!    [`FaultEvent`]s.
+//! 3. A launcher turns the layout into a running system:
+//!    [`SystemLayout::deploy_sim`] (or the [`SystemBuilder::build`]
+//!    shorthand) under the deterministic simulator, and
+//!    `borealis_runtime::deploy_threads` under the real-time thread
+//!    engine. Both deploy the *same* actor objects — the protocol code
+//!    never knows which runtime drives it.
 
 use crate::client::{ClientProxy, ClientStream, ClientTuning};
 use crate::metrics::MetricsHub;
 use crate::msg::NetMsg;
 use crate::node::{NodeConfig, NodeTuning, ProcessingNode, UpstreamSpec};
+use crate::runtime::DpcActor;
 use crate::source::{DataSource, SourceConfig};
 use borealis_diagram::{PhysicalPlan, StreamOrigin};
-use borealis_sim::{FaultEvent, Network, Sim};
+use borealis_sim::{Actor, FaultEvent, Network, Sim};
 use borealis_types::{Duration, NodeId, StreamId, Time};
 use std::collections::HashMap;
 
-/// Builds a complete simulated deployment.
+/// A scripted fault expressed against the runtime-independent topology:
+/// streams, fragment indexes, and replica indexes instead of raw actor
+/// ids, so the same script runs under any runtime.
+#[derive(Debug, Clone)]
+pub enum FaultSpec {
+    /// Disconnect `stream`'s source from every replica of fragment `frag`
+    /// between `from` and `to` (§5/§6.1: "temporarily disconnecting one of
+    /// the input streams without stopping the data source").
+    DisconnectSource {
+        /// The source's stream.
+        stream: StreamId,
+        /// Fragment whose replicas lose the source.
+        frag: usize,
+        /// Disconnection instant.
+        from: Time,
+        /// Heal instant.
+        to: Time,
+    },
+    /// Mute only the boundary tuples of `stream`'s source between `from`
+    /// and `to` (the §6.2 chain-experiment failure: data keeps flowing).
+    MuteBoundaries {
+        /// The source's stream.
+        stream: StreamId,
+        /// Mute instant.
+        from: Time,
+        /// Unmute instant.
+        to: Time,
+    },
+    /// Crash replica `replica` of fragment `frag` at `from`; restart at
+    /// `to` if given (§2.2 crash failures: volatile state is lost).
+    CrashReplica {
+        /// Fragment index.
+        frag: usize,
+        /// Replica index within the fragment.
+        replica: usize,
+        /// Crash instant.
+        from: Time,
+        /// Optional restart instant.
+        to: Option<Time>,
+    },
+}
+
+/// Builds a complete deployment description.
 pub struct SystemBuilder {
     seed: u64,
     latency: Duration,
@@ -29,10 +86,13 @@ pub struct SystemBuilder {
     client_tuning: ClientTuning,
     client_streams: Vec<StreamId>,
     metrics: MetricsHub,
+    faults: Vec<FaultSpec>,
 }
 
 impl SystemBuilder {
-    /// Starts a builder with the given determinism seed and link latency.
+    /// Starts a builder with the given determinism seed and link latency
+    /// (the latency applies to the simulator; the thread engine runs at
+    /// native channel latency).
     pub fn new(seed: u64, latency: Duration) -> SystemBuilder {
         SystemBuilder {
             seed,
@@ -44,6 +104,7 @@ impl SystemBuilder {
             client_tuning: ClientTuning::default(),
             client_streams: Vec::new(),
             metrics: MetricsHub::new(),
+            faults: Vec::new(),
         }
     }
 
@@ -92,21 +153,67 @@ impl SystemBuilder {
         self
     }
 
-    /// Instantiates the system.
+    /// Adds one scripted fault (topology-level; see [`FaultSpec`]).
+    pub fn fault(mut self, f: FaultSpec) -> Self {
+        self.faults.push(f);
+        self
+    }
+
+    /// Scripts a source disconnection (see
+    /// [`FaultSpec::DisconnectSource`]).
+    pub fn script_disconnect_source(
+        self,
+        stream: StreamId,
+        frag: usize,
+        from: Time,
+        to: Time,
+    ) -> Self {
+        self.fault(FaultSpec::DisconnectSource {
+            stream,
+            frag,
+            from,
+            to,
+        })
+    }
+
+    /// Scripts a boundary mute (see [`FaultSpec::MuteBoundaries`]).
+    pub fn script_mute_boundaries(self, stream: StreamId, from: Time, to: Time) -> Self {
+        self.fault(FaultSpec::MuteBoundaries { stream, from, to })
+    }
+
+    /// Scripts a replica crash (see [`FaultSpec::CrashReplica`]).
+    pub fn script_crash_replica(
+        self,
+        frag: usize,
+        replica: usize,
+        from: Time,
+        to: Option<Time>,
+    ) -> Self {
+        self.fault(FaultSpec::CrashReplica {
+            frag,
+            replica,
+            from,
+            to,
+        })
+    }
+
+    /// Resolves the description into a runtime-independent [`SystemLayout`].
     ///
     /// # Panics
-    /// Panics if no plan was provided or a consumed stream has no producer —
-    /// both deployment bugs.
-    pub fn build(self) -> RunningSystem {
+    /// Panics if no plan was provided, a consumed stream has no producer,
+    /// or a scripted fault references a missing source/fragment/replica —
+    /// all deployment bugs.
+    pub fn layout(self) -> SystemLayout {
         let plan = self.plan.expect("SystemBuilder requires a plan");
         let n_sources = self.sources.len();
         let n_fragments = plan.fragments.len();
+        let replication = self.replication;
 
         // Deterministic id layout.
         let source_id = |i: usize| NodeId(i as u32);
         let node_id =
-            |frag: usize, rep: usize| NodeId((n_sources + frag * self.replication + rep) as u32);
-        let client_id = NodeId((n_sources + n_fragments * self.replication) as u32);
+            |frag: usize, rep: usize| NodeId((n_sources + frag * replication + rep) as u32);
+        let client_id = NodeId((n_sources + n_fragments * replication) as u32);
 
         // Stream producers.
         let mut producers: HashMap<StreamId, Vec<NodeId>> = HashMap::new();
@@ -115,7 +222,7 @@ impl SystemBuilder {
         }
         for (fi, fp) in plan.fragments.iter().enumerate() {
             for out in &fp.outputs {
-                let reps = (0..self.replication).map(|r| node_id(fi, r)).collect();
+                let reps = (0..replication).map(|r| node_id(fi, r)).collect();
                 producers.insert(out.stream, reps);
             }
         }
@@ -124,23 +231,23 @@ impl SystemBuilder {
         let mut consumer_counts: HashMap<StreamId, usize> = HashMap::new();
         for fp in &plan.fragments {
             for input in &fp.inputs {
-                *consumer_counts.entry(input.stream).or_default() += self.replication;
+                *consumer_counts.entry(input.stream).or_default() += replication;
             }
         }
         for s in &self.client_streams {
             *consumer_counts.entry(*s).or_default() += 1;
         }
 
-        let mut sim: Sim<NetMsg> = Sim::new(self.seed, Network::new(self.latency));
+        let mut actors: Vec<ActorSpec> = Vec::new();
         let mut source_ids = Vec::new();
-        for cfg in &self.sources {
-            let id = sim.add_actor(Box::new(DataSource::new(cfg.clone())));
-            source_ids.push((cfg.stream, id));
+        for (i, cfg) in self.sources.iter().enumerate() {
+            actors.push(ActorSpec::Source(cfg.clone()));
+            source_ids.push((cfg.stream, source_id(i)));
         }
 
         let mut fragment_replicas: Vec<Vec<NodeId>> = Vec::new();
         for (fi, fp) in plan.fragments.iter().enumerate() {
-            let ids: Vec<NodeId> = (0..self.replication).map(|r| node_id(fi, r)).collect();
+            let ids: Vec<NodeId> = (0..replication).map(|r| node_id(fi, r)).collect();
             for &my_id in &ids {
                 let replicas = ids.iter().copied().filter(|&r| r != my_id).collect();
                 // One upstream spec per distinct input stream.
@@ -174,15 +281,14 @@ impl SystemBuilder {
                         )
                     })
                     .collect();
-                let cfg = NodeConfig {
+                debug_assert_eq!(actors.len(), my_id.index(), "id layout mismatch");
+                actors.push(ActorSpec::Node(NodeConfig {
                     plan: fp.clone(),
                     replicas,
                     upstreams,
                     downstream_counts,
                     tuning: self.node_tuning.clone(),
-                };
-                let actual = sim.add_actor(Box::new(ProcessingNode::new(cfg)));
-                assert_eq!(actual, my_id, "id layout mismatch");
+                }));
             }
             fragment_replicas.push(ids);
         }
@@ -201,26 +307,188 @@ impl SystemBuilder {
                         .clone(),
                 })
                 .collect();
-            let id = sim.add_actor(Box::new(ClientProxy::new(
+            debug_assert_eq!(actors.len(), client_id.index(), "id layout mismatch");
+            actors.push(ActorSpec::Client {
                 streams,
-                self.client_tuning.clone(),
-                self.metrics.clone(),
-            )));
-            assert_eq!(id, client_id, "id layout mismatch");
-            Some(id)
+                tuning: self.client_tuning.clone(),
+            });
+            Some(client_id)
         };
 
-        RunningSystem {
-            sim,
+        let mut layout = SystemLayout {
+            seed: self.seed,
+            latency: self.latency,
             metrics: self.metrics,
+            actors,
             source_ids,
             fragment_replicas,
             client,
+            script: Vec::new(),
+        };
+        for f in &self.faults {
+            layout.lower_fault(f);
+        }
+        layout.script.sort_by_key(|(at, _)| *at);
+        layout
+    }
+
+    /// Resolves and deploys under the deterministic simulator (shorthand
+    /// for `self.layout().deploy_sim()`; kept as the primary entry point of
+    /// simulator-based tests and experiments).
+    pub fn build(self) -> RunningSystem {
+        self.layout().deploy_sim()
+    }
+}
+
+/// Configuration of one actor in the deterministic id layout — everything a
+/// runtime needs to instantiate it.
+pub enum ActorSpec {
+    /// A data source.
+    Source(SourceConfig),
+    /// A processing-node replica.
+    Node(NodeConfig),
+    /// The client proxy.
+    Client {
+        /// Watched output streams with their producing replicas.
+        streams: Vec<ClientStream>,
+        /// Client tuning knobs.
+        tuning: ClientTuning,
+    },
+}
+
+impl ActorSpec {
+    /// Instantiates the actor behind the runtime-agnostic [`DpcActor`]
+    /// interface (used by the thread engine).
+    pub fn into_dpc_actor(self, metrics: &MetricsHub) -> Box<dyn DpcActor> {
+        match self {
+            ActorSpec::Source(cfg) => Box::new(DataSource::new(cfg)),
+            ActorSpec::Node(cfg) => Box::new(ProcessingNode::new(cfg)),
+            ActorSpec::Client { streams, tuning } => {
+                Box::new(ClientProxy::new(streams, tuning, metrics.clone()))
+            }
+        }
+    }
+
+    /// Instantiates the actor behind the simulator's `Actor` interface.
+    pub fn into_sim_actor(self, metrics: &MetricsHub) -> Box<dyn Actor<NetMsg>> {
+        match self {
+            ActorSpec::Source(cfg) => Box::new(DataSource::new(cfg)),
+            ActorSpec::Node(cfg) => Box::new(ProcessingNode::new(cfg)),
+            ActorSpec::Client { streams, tuning } => {
+                Box::new(ClientProxy::new(streams, tuning, metrics.clone()))
+            }
         }
     }
 }
 
-/// A built deployment, ready to run and script faults against.
+/// A resolved, runtime-independent deployment: actor configurations in
+/// deterministic id order, topology lookup tables, and the fault script
+/// lowered to concrete events. Feed it to [`SystemLayout::deploy_sim`] or
+/// to `borealis_runtime::deploy_threads`.
+pub struct SystemLayout {
+    /// Determinism seed (simulator RNG; ignored by the thread engine except
+    /// for per-actor RNG seeding).
+    pub seed: u64,
+    /// Link latency (simulated; the thread engine runs at native latency).
+    pub latency: Duration,
+    /// Metrics hub shared with the client proxy.
+    pub metrics: MetricsHub,
+    /// Actor configurations; index `i` is actor `NodeId(i)`.
+    pub actors: Vec<ActorSpec>,
+    /// Source actor ids, per stream.
+    pub source_ids: Vec<(StreamId, NodeId)>,
+    /// Node ids per fragment (outer index = fragment index).
+    pub fragment_replicas: Vec<Vec<NodeId>>,
+    /// The client proxy, if any.
+    pub client: Option<NodeId>,
+    /// Scripted faults, lowered to concrete events, sorted by time.
+    pub script: Vec<(Time, FaultEvent)>,
+}
+
+impl SystemLayout {
+    /// The actor id of the source producing `stream`.
+    ///
+    /// # Panics
+    /// Panics if no source produces `stream` (an experiment-script bug).
+    pub fn source_of(&self, stream: StreamId) -> NodeId {
+        self.source_ids
+            .iter()
+            .find(|(s, _)| *s == stream)
+            .map(|(_, id)| *id)
+            .unwrap_or_else(|| panic!("no source for {stream}"))
+    }
+
+    /// Lowers one topology-level fault into concrete events.
+    fn lower_fault(&mut self, f: &FaultSpec) {
+        match *f {
+            FaultSpec::DisconnectSource {
+                stream,
+                frag,
+                from,
+                to,
+            } => {
+                let src = self.source_of(stream);
+                for &node in &self.fragment_replicas[frag] {
+                    self.script
+                        .push((from, FaultEvent::LinkDown { a: src, b: node }));
+                    self.script
+                        .push((to, FaultEvent::LinkUp { a: src, b: node }));
+                }
+            }
+            FaultSpec::MuteBoundaries { stream, from, to } => {
+                let src = self.source_of(stream);
+                self.script.push((
+                    from,
+                    FaultEvent::Custom {
+                        target: src,
+                        tag: DataSource::MUTE_BOUNDARIES,
+                    },
+                ));
+                self.script.push((
+                    to,
+                    FaultEvent::Custom {
+                        target: src,
+                        tag: DataSource::UNMUTE_BOUNDARIES,
+                    },
+                ));
+            }
+            FaultSpec::CrashReplica {
+                frag,
+                replica,
+                from,
+                to,
+            } => {
+                let node = self.fragment_replicas[frag][replica];
+                self.script.push((from, FaultEvent::NodeDown(node)));
+                if let Some(to) = to {
+                    self.script.push((to, FaultEvent::NodeUp(node)));
+                }
+            }
+        }
+    }
+
+    /// Launches the layout under the deterministic simulator.
+    pub fn deploy_sim(self) -> RunningSystem {
+        let mut sim: Sim<NetMsg> = Sim::new(self.seed, Network::new(self.latency));
+        for (i, spec) in self.actors.into_iter().enumerate() {
+            let id = sim.add_actor(spec.into_sim_actor(&self.metrics));
+            assert_eq!(id, NodeId(i as u32), "id layout mismatch");
+        }
+        for (at, fault) in self.script {
+            sim.schedule_fault(at, fault);
+        }
+        RunningSystem {
+            sim,
+            metrics: self.metrics,
+            source_ids: self.source_ids,
+            fragment_replicas: self.fragment_replicas,
+            client: self.client,
+        }
+    }
+}
+
+/// A deployment running under the simulator, ready to run and script
+/// (further) faults against.
 pub struct RunningSystem {
     /// The simulation.
     pub sim: Sim<NetMsg>,
@@ -294,5 +562,101 @@ impl RunningSystem {
     /// Runs the simulation to `until`.
     pub fn run_until(&mut self, until: Time) {
         self.sim.run_until(until);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_diagram::{plan, Deployment, DiagramBuilder, DpcConfig, LogicalOp};
+
+    fn tiny_layout(faults: Vec<FaultSpec>) -> SystemLayout {
+        let mut b = DiagramBuilder::new();
+        let s1 = b.source("s1");
+        let s2 = b.source("s2");
+        let u = b.add("u", LogicalOp::Union, &[s1, s2]);
+        b.output(u);
+        let d = b.build().unwrap();
+        let cfg = DpcConfig {
+            total_delay: Duration::from_secs(2),
+            ..DpcConfig::default()
+        };
+        let p = plan(&d, &Deployment::single(&d), &cfg).unwrap();
+        let mut builder = SystemBuilder::new(1, Duration::from_millis(1))
+            .source(SourceConfig::seq(s1, 100.0))
+            .source(SourceConfig::seq(s2, 100.0))
+            .plan(p)
+            .replication(2)
+            .client_streams(vec![u]);
+        for f in faults {
+            builder = builder.fault(f);
+        }
+        builder.layout()
+    }
+
+    #[test]
+    fn layout_assigns_sources_nodes_client_in_order() {
+        let l = tiny_layout(Vec::new());
+        assert_eq!(l.actors.len(), 5, "2 sources + 2 replicas + 1 client");
+        assert!(matches!(l.actors[0], ActorSpec::Source(_)));
+        assert!(matches!(l.actors[1], ActorSpec::Source(_)));
+        assert!(matches!(l.actors[2], ActorSpec::Node(_)));
+        assert!(matches!(l.actors[3], ActorSpec::Node(_)));
+        assert!(matches!(l.actors[4], ActorSpec::Client { .. }));
+        assert_eq!(l.fragment_replicas, vec![vec![NodeId(2), NodeId(3)]]);
+        assert_eq!(l.client, Some(NodeId(4)));
+        assert_eq!(l.source_of(StreamId(1)), NodeId(1));
+    }
+
+    #[test]
+    fn topology_faults_lower_to_concrete_events_on_both_replicas() {
+        let l = tiny_layout(vec![
+            FaultSpec::DisconnectSource {
+                stream: StreamId(0),
+                frag: 0,
+                from: Time::from_secs(1),
+                to: Time::from_secs(2),
+            },
+            FaultSpec::CrashReplica {
+                frag: 0,
+                replica: 1,
+                from: Time::from_secs(3),
+                to: None,
+            },
+        ]);
+        // 2 link-downs + 2 link-ups + 1 node-down, sorted by time.
+        assert_eq!(l.script.len(), 5);
+        assert!(l.script.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert!(l
+            .script
+            .iter()
+            .any(|(at, f)| *at == Time::from_secs(3) && *f == FaultEvent::NodeDown(NodeId(3))));
+        let downs = l
+            .script
+            .iter()
+            .filter(|(_, f)| matches!(f, FaultEvent::LinkDown { .. }))
+            .count();
+        assert_eq!(downs, 2, "one link-down per replica");
+    }
+
+    #[test]
+    fn scripted_layout_deploys_and_runs_under_sim() {
+        let l = tiny_layout(vec![FaultSpec::DisconnectSource {
+            stream: StreamId(0),
+            frag: 0,
+            from: Time::from_secs(3),
+            to: Time::from_secs(5),
+        }]);
+        let out = StreamId(2);
+        let mut sys = l.deploy_sim();
+        sys.run_until(Time::from_secs(12));
+        sys.metrics.with(out, |m| {
+            assert!(m.n_stable > 0);
+            assert!(
+                m.n_rec_done >= 1,
+                "scripted disconnect must trigger a stabilization"
+            );
+            assert_eq!(m.dup_stable, 0);
+        });
     }
 }

@@ -29,7 +29,7 @@
 
 use borealis_diagram::FragmentPlan;
 use borealis_ops::sunion::Phase;
-use borealis_ops::{BatchEmitter, Emitter, OpSnapshot, Operator};
+use borealis_ops::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{ControlSignal, StreamId, Time, Tuple, TupleBatch, TupleKind};
 use std::collections::VecDeque;
 
@@ -227,12 +227,10 @@ impl Fragment {
         }
         let permitted = self.tainted;
         for i in 0..self.ops.len() {
-            let mut em = Emitter::new();
+            let mut em = BatchEmitter::new();
             self.ops[i].tick(now, permitted, &mut em);
             if !em.is_empty() {
-                let mut bem = BatchEmitter::new();
-                bem.absorb(&mut em);
-                self.route(i, bem, &mut batch);
+                self.route(i, em, &mut batch);
             }
         }
         self.drain(now, &mut batch);
@@ -301,15 +299,13 @@ impl Fragment {
     pub fn finish_reconciliation(&mut self, now: Time) -> Batch {
         let mut batch = Batch::default();
         for &i in &self.input_sunions.clone() {
-            let mut em = Emitter::new();
+            let mut em = BatchEmitter::new();
             self.ops[i]
                 .as_sunion_mut()
                 .expect("input_sunions holds SUnions")
                 .emit_rec_done(now, &mut em);
             if !em.is_empty() {
-                let mut bem = BatchEmitter::new();
-                bem.absorb(&mut em);
-                self.route(i, bem, &mut batch);
+                self.route(i, em, &mut batch);
             }
         }
         self.drain(now, &mut batch);

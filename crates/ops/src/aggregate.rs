@@ -17,7 +17,7 @@
 //!   sound because SUnion emits tuples in stime order; the results are
 //!   labelled tentative and corrected during reconciliation.
 
-use crate::{Emitter, OpSnapshot, Operator};
+use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Duration, Expr, Time, Tuple, TupleId, TupleKind, Value};
 use std::collections::BTreeMap;
 
@@ -263,7 +263,7 @@ impl Aggregate {
 
     /// Closes every window ending at or before `frontier`. `stable` selects
     /// the output label for windows without tentative content.
-    fn close_through(&mut self, frontier: Time, stable: bool, out: &mut Emitter) {
+    fn close_through(&mut self, frontier: Time, stable: bool, out: &mut BatchEmitter) {
         let size = self.spec.window.as_micros();
         let cutoff = frontier.as_micros();
         // BTreeMap iterates keys in (window_start, group) order: the
@@ -302,7 +302,7 @@ impl Operator for Aggregate {
         "aggregate"
     }
 
-    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut Emitter) {
+    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut BatchEmitter) {
         match tuple.kind {
             TupleKind::Insertion => self.add_tuple(tuple),
             TupleKind::Tentative => {
@@ -356,18 +356,18 @@ mod tests {
     #[test]
     fn tumbling_window_closes_on_boundary() {
         let mut a = Aggregate::new(spec_tumbling(100));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         a.process(0, &data(1, 10, 5), Time::ZERO, &mut out);
         a.process(0, &data(2, 60, 7), Time::ZERO, &mut out);
-        assert!(out.tuples.is_empty(), "window still open");
+        assert!(out.tuples().is_empty(), "window still open");
         a.process(0, &boundary(100), Time::ZERO, &mut out);
         // One aggregate tuple + the forwarded boundary.
-        assert_eq!(out.tuples.len(), 2);
-        let agg = &out.tuples[0];
+        assert_eq!(out.tuples().len(), 2);
+        let agg = &out.tuples()[0];
         assert_eq!(agg.kind, TupleKind::Insertion);
         assert_eq!(agg.stime, Time::from_millis(100));
         assert_eq!(agg.values, vec![Value::Int(2), Value::Int(12)]);
-        assert_eq!(out.tuples[1].kind, TupleKind::Boundary);
+        assert_eq!(out.tuples()[1].kind, TupleKind::Boundary);
     }
 
     #[test]
@@ -378,13 +378,13 @@ mod tests {
             group_by: vec![],
             aggs: vec![AggFn::count()],
         });
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         // stime 60 is covered by windows [0,100) and [50,150).
         a.process(0, &data(1, 60, 0), Time::ZERO, &mut out);
         assert_eq!(a.open_windows(), 2);
         a.process(0, &boundary(150), Time::ZERO, &mut out);
         let counts: Vec<_> = out
-            .tuples
+            .tuples()
             .iter()
             .filter(|t| t.is_data())
             .map(|t| (t.stime.as_millis(), t.values[0].clone()))
@@ -400,13 +400,13 @@ mod tests {
             group_by: vec![Expr::field(0)],
             aggs: vec![AggFn::count()],
         });
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         a.process(0, &data(1, 10, 2), Time::ZERO, &mut out);
         a.process(0, &data(2, 20, 1), Time::ZERO, &mut out);
         a.process(0, &data(3, 30, 2), Time::ZERO, &mut out);
         a.process(0, &boundary(100), Time::ZERO, &mut out);
         let groups: Vec<_> = out
-            .tuples
+            .tuples()
             .iter()
             .filter(|t| t.is_data())
             .map(|t| t.values.clone())
@@ -424,24 +424,25 @@ mod tests {
     #[test]
     fn tentative_input_closes_windows_tentatively() {
         let mut a = Aggregate::new(spec_tumbling(100));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         a.process(0, &data(1, 10, 5), Time::ZERO, &mut out);
         // A tentative tuple past the window end closes [0,100) tentatively.
         let t = Tuple::tentative(TupleId(2), Time::from_millis(130), vec![Value::Int(1)]);
         a.process(0, &t, Time::ZERO, &mut out);
-        assert_eq!(out.tuples.len(), 1);
-        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
-        assert_eq!(out.tuples[0].values, vec![Value::Int(1), Value::Int(5)]);
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Tentative);
+        assert_eq!(out.tuples()[0].values, vec![Value::Int(1), Value::Int(5)]);
     }
 
     #[test]
     fn window_with_tentative_content_is_tentative_even_on_stable_close() {
         let mut a = Aggregate::new(spec_tumbling(100));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let t = Tuple::tentative(TupleId(1), Time::from_millis(10), vec![Value::Int(5)]);
         a.process(0, &t, Time::ZERO, &mut out);
         a.process(0, &boundary(100), Time::ZERO, &mut out);
-        let agg = out.tuples.iter().find(|t| t.is_data()).unwrap();
+        let tuples = out.tuples();
+        let agg = tuples.iter().find(|t| t.is_data()).unwrap();
         assert_eq!(agg.kind, TupleKind::Tentative);
     }
 
@@ -457,12 +458,12 @@ mod tests {
                 AggFn::max(Expr::field(0)),
             ],
         });
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         for (i, v) in [4, 8, 6].iter().enumerate() {
             a.process(0, &data(i as u64, 10 + i as u64, *v), Time::ZERO, &mut out);
         }
         a.process(0, &boundary(100), Time::ZERO, &mut out);
-        let agg = &out.tuples[0];
+        let agg = &out.tuples()[0];
         assert_eq!(
             agg.values,
             vec![Value::Float(6.0), Value::Int(4), Value::Int(8)]
@@ -472,35 +473,39 @@ mod tests {
     #[test]
     fn checkpoint_restore_replays_identically() {
         let mut a = Aggregate::new(spec_tumbling(100));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         a.process(0, &data(1, 10, 5), Time::ZERO, &mut out);
         let snap = a.checkpoint();
         a.process(0, &data(2, 20, 7), Time::ZERO, &mut out);
         a.process(0, &boundary(100), Time::ZERO, &mut out);
-        let first_run: Vec<Tuple> = out.take().0;
+        let first_run: Vec<Tuple> = out.take_tuples().0;
 
         a.restore(&snap);
-        let mut out2 = Emitter::new();
+        let mut out2 = BatchEmitter::new();
         a.process(0, &data(2, 20, 7), Time::ZERO, &mut out2);
         a.process(0, &boundary(100), Time::ZERO, &mut out2);
-        assert_eq!(first_run, out2.tuples, "replay after restore is identical");
+        assert_eq!(
+            first_run,
+            out2.tuples(),
+            "replay after restore is identical"
+        );
     }
 
     #[test]
     fn empty_windows_produce_no_output() {
         let mut a = Aggregate::new(spec_tumbling(100));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         a.process(0, &boundary(500), Time::ZERO, &mut out);
-        assert_eq!(out.tuples.len(), 1); // just the boundary
-        assert_eq!(out.tuples[0].kind, TupleKind::Boundary);
+        assert_eq!(out.tuples().len(), 1); // just the boundary
+        assert_eq!(out.tuples()[0].kind, TupleKind::Boundary);
     }
 
     #[test]
     fn stale_boundary_is_ignored() {
         let mut a = Aggregate::new(spec_tumbling(100));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         a.process(0, &boundary(200), Time::ZERO, &mut out);
         a.process(0, &boundary(100), Time::ZERO, &mut out);
-        assert_eq!(out.tuples.len(), 1, "non-advancing boundary dropped");
+        assert_eq!(out.tuples().len(), 1, "non-advancing boundary dropped");
     }
 }

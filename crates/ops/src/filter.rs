@@ -1,6 +1,6 @@
 //! Filter: tests each input tuple against a predicate (§2.1).
 
-use crate::{BatchEmitter, Emitter, OpSnapshot, Operator};
+use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Expr, Time, Tuple, TupleBatch, TupleKind};
 
 /// A stateless predicate filter.
@@ -27,7 +27,7 @@ impl Operator for Filter {
         "filter"
     }
 
-    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut Emitter) {
+    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut BatchEmitter) {
         match tuple.kind {
             TupleKind::Insertion | TupleKind::Tentative => {
                 if self.predicate.eval_bool(tuple).unwrap_or(false) {
@@ -93,26 +93,26 @@ mod tests {
     #[test]
     fn passes_matching_drops_rest() {
         let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(10)));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         f.process(0, &data(1, 5), Time::ZERO, &mut out);
         f.process(0, &data(2, 15), Time::ZERO, &mut out);
-        assert_eq!(out.tuples.len(), 1);
-        assert_eq!(out.tuples[0].id, TupleId(2));
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].id, TupleId(2));
     }
 
     #[test]
     fn preserves_tentative_kind() {
         let mut f = Filter::new(Expr::gt(Expr::field(0), Expr::int(0)));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let t = Tuple::tentative(TupleId(3), Time::ZERO, vec![Value::Int(1)]);
         f.process(0, &t, Time::ZERO, &mut out);
-        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Tentative);
     }
 
     #[test]
     fn metadata_always_passes() {
         let mut f = Filter::new(Expr::Const(Value::Bool(false)));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         f.process(
             0,
             &Tuple::boundary(TupleId::NONE, Time::from_secs(1)),
@@ -131,15 +131,15 @@ mod tests {
             Time::ZERO,
             &mut out,
         );
-        assert_eq!(out.tuples.len(), 3);
+        assert_eq!(out.tuples().len(), 3);
     }
 
     #[test]
     fn predicate_errors_drop_the_tuple() {
         let mut f = Filter::new(Expr::gt(Expr::field(7), Expr::int(0)));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         f.process(0, &data(1, 1), Time::ZERO, &mut out);
-        assert!(out.tuples.is_empty());
+        assert!(out.tuples().is_empty());
     }
 
     #[test]
@@ -173,12 +173,12 @@ mod tests {
         let (chunks, _) = out.take();
         let got: Vec<Tuple> = chunks.iter().flat_map(|c| c.to_vec()).collect();
 
-        let mut reference = Emitter::new();
+        let mut reference = BatchEmitter::new();
         let mut f2 = Filter::new(Expr::gt(Expr::field(0), Expr::int(10)));
         for t in &tuples {
             f2.process(0, t, Time::ZERO, &mut reference);
         }
-        assert_eq!(got, reference.tuples);
+        assert_eq!(got, reference.tuples());
         assert!(
             chunks.iter().all(|c| c.shares_backing(&batch)),
             "runs are views"

@@ -11,7 +11,7 @@
 //! stream; the `origin` tag on each tuple identifies the logical side
 //! (0 = left, 1 = right).
 
-use crate::{Emitter, OpSnapshot, Operator};
+use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Duration, Expr, Time, Tuple, TupleId, TupleKind, Value};
 use std::collections::VecDeque;
 
@@ -93,7 +93,7 @@ impl SJoin {
         }
     }
 
-    fn handle_data(&mut self, tuple: &Tuple, out: &mut Emitter) {
+    fn handle_data(&mut self, tuple: &Tuple, out: &mut BatchEmitter) {
         self.evict_before(tuple.stime);
         let is_left = tuple.origin < self.spec.left_split;
         let key_expr = if is_left {
@@ -166,7 +166,7 @@ impl Operator for SJoin {
         "sjoin"
     }
 
-    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut Emitter) {
+    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut BatchEmitter) {
         match tuple.kind {
             TupleKind::Insertion | TupleKind::Tentative => self.handle_data(tuple, out),
             TupleKind::Boundary => {
@@ -213,11 +213,11 @@ mod tests {
     #[test]
     fn joins_matching_keys_within_window() {
         let mut j = SJoin::new(spec(50));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         j.process(0, &side(0, 1, 100, 7, 11), Time::ZERO, &mut out);
         j.process(0, &side(1, 1, 120, 7, 22), Time::ZERO, &mut out);
-        assert_eq!(out.tuples.len(), 1);
-        let m = &out.tuples[0];
+        assert_eq!(out.tuples().len(), 1);
+        let m = &out.tuples()[0];
         assert_eq!(
             m.values,
             vec![
@@ -234,36 +234,36 @@ mod tests {
     #[test]
     fn no_match_outside_window_or_key() {
         let mut j = SJoin::new(spec(50));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         j.process(0, &side(0, 1, 100, 7, 0), Time::ZERO, &mut out);
         // Wrong key.
         j.process(0, &side(1, 2, 110, 8, 0), Time::ZERO, &mut out);
         // Right key but too far in time.
         j.process(0, &side(1, 3, 200, 7, 0), Time::ZERO, &mut out);
-        assert!(out.tuples.is_empty());
+        assert!(out.tuples().is_empty());
     }
 
     #[test]
     fn tentative_inputs_make_tentative_outputs() {
         let mut j = SJoin::new(spec(50));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         j.process(0, &side(0, 1, 100, 1, 0), Time::ZERO, &mut out);
         let mut t = side(1, 2, 110, 1, 0).as_tentative();
         t.origin = 1;
         j.process(0, &t, Time::ZERO, &mut out);
-        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Tentative);
     }
 
     #[test]
     fn eviction_keeps_state_bounded_by_window() {
         let mut j = SJoin::new(spec(50));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         j.process(0, &side(0, 1, 0, 1, 0), Time::ZERO, &mut out);
         j.process(0, &side(0, 2, 10, 1, 0), Time::ZERO, &mut out);
         assert_eq!(j.state_size(), 2);
         // A tuple far in the future evicts both (they can't match anymore).
         j.process(0, &side(1, 3, 500, 1, 0), Time::ZERO, &mut out);
-        assert!(out.tuples.is_empty());
+        assert!(out.tuples().is_empty());
         assert_eq!(j.state_size(), 1);
     }
 
@@ -273,7 +273,7 @@ mod tests {
             max_state: Some(2),
             ..spec(10_000)
         });
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         for i in 0..5 {
             j.process(0, &side(0, i, 100 + i, i as i64, 0), Time::ZERO, &mut out);
         }
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn boundary_forwards_and_evicts() {
         let mut j = SJoin::new(spec(50));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         j.process(0, &side(0, 1, 0, 1, 0), Time::ZERO, &mut out);
         j.process(
             0,
@@ -291,22 +291,22 @@ mod tests {
             Time::ZERO,
             &mut out,
         );
-        assert_eq!(out.tuples.len(), 1);
-        assert_eq!(out.tuples[0].kind, TupleKind::Boundary);
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Boundary);
         assert_eq!(j.state_size(), 0);
     }
 
     #[test]
     fn checkpoint_restore_replays_identically() {
         let mut j = SJoin::new(spec(50));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         j.process(0, &side(0, 1, 100, 1, 5), Time::ZERO, &mut out);
         let snap = j.checkpoint();
         j.process(0, &side(1, 2, 110, 1, 6), Time::ZERO, &mut out);
-        let first = out.take().0;
+        let first = out.take_tuples().0;
         j.restore(&snap);
-        let mut out2 = Emitter::new();
+        let mut out2 = BatchEmitter::new();
         j.process(0, &side(1, 2, 110, 1, 6), Time::ZERO, &mut out2);
-        assert_eq!(first, out2.tuples);
+        assert_eq!(first, out2.tuples());
     }
 }

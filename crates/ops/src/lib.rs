@@ -37,58 +37,23 @@ pub use union::Union;
 
 use borealis_types::{ControlSignal, Time, Tuple, TupleBatch};
 
-/// Collects the tuples and control signals an operator emits while
-/// processing one input tuple or one timer tick.
+/// The single emission path: collects the tuples and control signals an
+/// operator emits, as ordered shared batches.
 ///
 /// Operators have a single output stream in this engine (as in Aurora);
 /// the fragment routes emitted tuples to all consumers of that stream.
-#[derive(Debug, Default)]
-pub struct Emitter {
-    /// Tuples emitted on the operator's output stream, in order.
-    pub tuples: Vec<Tuple>,
-    /// Control signals destined for the node's Consistency Manager
-    /// (Table I, control streams).
-    pub signals: Vec<ControlSignal>,
-}
-
-impl Emitter {
-    /// Creates an empty emitter.
-    pub fn new() -> Emitter {
-        Emitter::default()
-    }
-
-    /// Emits a tuple on the output stream.
-    pub fn push(&mut self, t: Tuple) {
-        self.tuples.push(t);
-    }
-
-    /// Emits a control signal to the Consistency Manager.
-    pub fn signal(&mut self, s: ControlSignal) {
-        self.signals.push(s);
-    }
-
-    /// True if nothing has been emitted.
-    pub fn is_empty(&self) -> bool {
-        self.tuples.is_empty() && self.signals.is_empty()
-    }
-
-    /// Moves the contents out, leaving the emitter empty.
-    pub fn take(&mut self) -> (Vec<Tuple>, Vec<ControlSignal>) {
-        (
-            std::mem::take(&mut self.tuples),
-            std::mem::take(&mut self.signals),
-        )
-    }
-}
-
-/// Collects whole shared batches: the zero-copy sibling of [`Emitter`]
-/// used by the fragment executor's batch execution path.
 ///
-/// Operators that forward tuples unchanged push O(1) views of their input
-/// ([`BatchEmitter::push_batch`]); operators that transform or renumber
-/// push owned tuples ([`BatchEmitter::push`]), which are sealed into one
-/// shared batch per contiguous run. Either way the downstream engine, node
-/// buffers, and network fan-out all share the resulting allocation.
+/// Two producer styles share this collector:
+///
+/// * **per-tuple pushes** ([`BatchEmitter::push`]) — the compat shim for
+///   operator internals that emit tuple by tuple (aggregations, window
+///   closes, markers); contiguous runs are sealed into one shared batch;
+/// * **shared-batch pushes** ([`BatchEmitter::push_batch`]) — pass-through
+///   operators emit O(1) views of their input batch instead of cloning
+///   tuples (the zero-copy fan-out path).
+///
+/// Either way the downstream engine, node buffers, and network fan-out all
+/// share the resulting allocations.
 #[derive(Debug, Default)]
 pub struct BatchEmitter {
     chunks: Vec<TupleBatch>,
@@ -97,7 +62,7 @@ pub struct BatchEmitter {
 }
 
 impl BatchEmitter {
-    /// Creates an empty batch emitter.
+    /// Creates an empty emitter.
     pub fn new() -> BatchEmitter {
         BatchEmitter::default()
     }
@@ -122,18 +87,6 @@ impl BatchEmitter {
         self.signals.push(s);
     }
 
-    /// Absorbs a per-tuple [`Emitter`]'s output (compatibility bridge for
-    /// operators using the default per-tuple path).
-    pub fn absorb(&mut self, em: &mut Emitter) {
-        let (tuples, signals) = em.take();
-        if self.pending.is_empty() {
-            self.pending = tuples;
-        } else {
-            self.pending.extend(tuples);
-        }
-        self.signals.extend(signals);
-    }
-
     /// True if nothing has been emitted.
     pub fn is_empty(&self) -> bool {
         self.chunks.is_empty() && self.pending.is_empty() && self.signals.is_empty()
@@ -147,13 +100,41 @@ impl BatchEmitter {
     }
 
     /// Moves the contents out as ordered shared batches plus signals,
-    /// leaving the emitter empty.
+    /// leaving the emitter empty — the data plane's consumption path.
     pub fn take(&mut self) -> (Vec<TupleBatch>, Vec<ControlSignal>) {
         self.seal();
         (
             std::mem::take(&mut self.chunks),
             std::mem::take(&mut self.signals),
         )
+    }
+
+    /// Moves the contents out flattened to owned tuples — a copying
+    /// convenience for tests and per-tuple consumers.
+    pub fn take_tuples(&mut self) -> (Vec<Tuple>, Vec<ControlSignal>) {
+        let (chunks, signals) = self.take();
+        let tuples = chunks
+            .iter()
+            .flat_map(|c| c.as_slice().iter().cloned())
+            .collect();
+        (tuples, signals)
+    }
+
+    /// Flattened copy of the tuples emitted so far (non-consuming; tests
+    /// and diagnostics).
+    pub fn tuples(&self) -> Vec<Tuple> {
+        let mut v: Vec<Tuple> = self
+            .chunks
+            .iter()
+            .flat_map(|c| c.as_slice().iter().cloned())
+            .collect();
+        v.extend(self.pending.iter().cloned());
+        v
+    }
+
+    /// Control signals emitted so far (non-consuming).
+    pub fn signals(&self) -> &[ControlSignal] {
+        &self.signals
     }
 }
 
@@ -173,14 +154,15 @@ pub trait Operator: Send {
     }
 
     /// Processes one input tuple arriving on `port` at virtual time `now`.
-    fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut Emitter);
+    fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut BatchEmitter);
 
     /// Processes a whole shared batch arriving on `port`.
     ///
-    /// The default forwards tuple-by-tuple through [`Operator::process`].
-    /// Pass-through operators override this to emit O(1) views of the
-    /// input batch instead of cloning tuples (the zero-copy fan-out path);
-    /// stateful operators usually keep the default.
+    /// The default forwards tuple-by-tuple through [`Operator::process`]
+    /// into the same emitter. Pass-through operators override this to emit
+    /// O(1) views of the input batch instead of cloning tuples (the
+    /// zero-copy fan-out path); stateful operators usually keep the
+    /// default.
     fn process_batch(
         &mut self,
         port: usize,
@@ -188,18 +170,16 @@ pub trait Operator: Send {
         now: Time,
         out: &mut BatchEmitter,
     ) {
-        let mut em = Emitter::new();
         for t in batch.as_slice() {
-            self.process(port, t, now, &mut em);
+            self.process(port, t, now, out);
         }
-        out.absorb(&mut em);
     }
 
     /// Reacts to the passage of time. `tentative_permitted` is set by the
     /// fragment once the pre-failure checkpoint has been taken (§4.4.1):
     /// SUnion must not release tentative data before the fragment state has
     /// been captured.
-    fn tick(&mut self, _now: Time, _tentative_permitted: bool, _out: &mut Emitter) {}
+    fn tick(&mut self, _now: Time, _tentative_permitted: bool, _out: &mut BatchEmitter) {}
 
     /// The next instant at which this operator needs a [`Operator::tick`],
     /// if any.
@@ -286,7 +266,7 @@ mod tests {
             fn name(&self) -> &'static str {
                 "echo"
             }
-            fn process(&mut self, _port: usize, t: &Tuple, _now: Time, out: &mut Emitter) {
+            fn process(&mut self, _port: usize, t: &Tuple, _now: Time, out: &mut BatchEmitter) {
                 out.push(t.clone());
                 out.signal(ControlSignal::UpFailure);
             }
@@ -308,14 +288,22 @@ mod tests {
     }
 
     #[test]
-    fn emitter_take_resets() {
-        let mut e = Emitter::new();
+    fn take_tuples_flattens_and_resets() {
+        let mut e = BatchEmitter::new();
         assert!(e.is_empty());
         e.push(Tuple::boundary(TupleId::NONE, Time::ZERO));
+        e.push_batch(TupleBatch::single(Tuple::insertion(
+            TupleId(9),
+            Time::ZERO,
+            vec![],
+        )));
         e.signal(ControlSignal::UpFailure);
         assert!(!e.is_empty());
-        let (tuples, signals) = e.take();
-        assert_eq!(tuples.len(), 1);
+        assert_eq!(e.tuples().len(), 2, "non-consuming view sees both");
+        assert_eq!(e.signals(), vec![ControlSignal::UpFailure]);
+        let (tuples, signals) = e.take_tuples();
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(tuples[1].id, TupleId(9));
         assert_eq!(signals, vec![ControlSignal::UpFailure]);
         assert!(e.is_empty());
     }

@@ -1,6 +1,6 @@
 //! Map: transforms each input tuple into a single output tuple (§2.1).
 
-use crate::{BatchEmitter, Emitter, OpSnapshot, Operator};
+use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Expr, Time, Tuple, TupleBatch, TupleKind};
 
 /// A stateless projection/transformation.
@@ -24,7 +24,7 @@ impl Operator for Map {
         "map"
     }
 
-    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut Emitter) {
+    fn process(&mut self, _port: usize, tuple: &Tuple, _now: Time, out: &mut BatchEmitter) {
         match tuple.kind {
             TupleKind::Insertion | TupleKind::Tentative => {
                 let mut values = Vec::with_capacity(self.outputs.len());
@@ -101,9 +101,9 @@ mod tests {
             Time::from_millis(3),
             vec![Value::Int(1), Value::str("k")],
         );
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         m.process(0, &t, Time::ZERO, &mut out);
-        let r = &out.tuples[0];
+        let r = &out.tuples()[0];
         assert_eq!(r.values, vec![Value::Int(101), Value::str("k")]);
         assert_eq!(r.id, TupleId(7));
         assert_eq!(r.stime, Time::from_millis(3));
@@ -113,18 +113,18 @@ mod tests {
     fn tentative_stays_tentative() {
         let mut m = Map::new(vec![Expr::field(0)]);
         let t = Tuple::tentative(TupleId(1), Time::ZERO, vec![Value::Int(2)]);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         m.process(0, &t, Time::ZERO, &mut out);
-        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Tentative);
     }
 
     #[test]
     fn boundary_passes_untouched() {
         let mut m = Map::new(vec![Expr::field(0)]);
         let b = Tuple::boundary(TupleId::NONE, Time::from_secs(2));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         m.process(0, &b, Time::ZERO, &mut out);
-        assert_eq!(out.tuples[0], b);
+        assert_eq!(out.tuples()[0], b);
     }
 
     #[test]
@@ -147,12 +147,12 @@ mod tests {
         let (chunks, _) = batch_out.take();
         let got: Vec<Tuple> = chunks.iter().flat_map(|c| c.to_vec()).collect();
 
-        let mut reference = Emitter::new();
+        let mut reference = BatchEmitter::new();
         let mut m = Map::new(exprs());
         for t in &tuples {
             m.process(0, t, Time::ZERO, &mut reference);
         }
-        assert_eq!(got, reference.tuples);
+        assert_eq!(got, reference.tuples());
         assert_eq!(chunks.len(), 1, "one sealed output batch");
     }
 }

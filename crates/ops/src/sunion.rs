@@ -30,7 +30,7 @@
 //! neighbors, replacing undone tentative input with its stable corrections
 //! (§4.4.2).
 
-use crate::{Emitter, OpSnapshot, Operator};
+use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{ControlSignal, Duration, Time, Tuple, TupleId, TupleKind};
 use std::collections::BTreeMap;
 
@@ -242,7 +242,7 @@ impl SUnion {
 
     /// Emits the REC_DONE marker at the end of a reconciliation replay
     /// (§4.4.2) — called by the fragment on input SUnions.
-    pub fn emit_rec_done(&mut self, now: Time, out: &mut Emitter) {
+    pub fn emit_rec_done(&mut self, now: Time, out: &mut BatchEmitter) {
         out.push(Tuple::rec_done(TupleId::NONE, now));
     }
 
@@ -305,7 +305,7 @@ impl SUnion {
 
     /// Re-evaluates the phase from current facts; signals REC_REQUEST on the
     /// Failure → Healed edge (Table I, control streams).
-    fn recheck_phase(&mut self, out: &mut Emitter) {
+    fn recheck_phase(&mut self, out: &mut BatchEmitter) {
         match self.state.phase {
             Phase::Stable => {}
             Phase::Failure => {
@@ -322,7 +322,7 @@ impl SUnion {
         }
     }
 
-    fn enter_failure(&mut self, out: &mut Emitter) {
+    fn enter_failure(&mut self, out: &mut BatchEmitter) {
         if self.state.phase == Phase::Stable {
             self.state.phase = Phase::Failure;
             // The initial suspend is over: the buffered backlog follows the
@@ -370,7 +370,7 @@ impl SUnion {
     /// index order; then announces the new frontier downstream. Only valid
     /// in the Stable phase — after a failure all output must stay tentative
     /// until reconciliation (stable output is a prefix property).
-    fn emit_stable_ready(&mut self, out: &mut Emitter) {
+    fn emit_stable_ready(&mut self, out: &mut BatchEmitter) {
         debug_assert_eq!(self.state.phase, Phase::Stable);
         let Some(frontier) = self.min_watermark() else {
             return;
@@ -414,7 +414,7 @@ impl SUnion {
     }
 
     /// Emits one bucket's tuples in the canonical deterministic order.
-    fn emit_bucket(&mut self, mut bucket: Bucket, force_tentative: bool, out: &mut Emitter) {
+    fn emit_bucket(&mut self, mut bucket: Bucket, force_tentative: bool, out: &mut BatchEmitter) {
         bucket.tuples.sort_by_key(|t| (t.stime, t.origin, t.id));
         for mut t in bucket.tuples {
             t.id = TupleId(self.state.next_id);
@@ -430,7 +430,7 @@ impl SUnion {
     /// whose frozen deadlines have not passed stay buffered — if a
     /// reconciliation replaces them first, they are emitted stably instead
     /// (the Delay-mode savings).
-    fn emit_overdue(&mut self, now: Time, out: &mut Emitter) {
+    fn emit_overdue(&mut self, now: Time, out: &mut BatchEmitter) {
         loop {
             let expired: Option<u64> = self
                 .state
@@ -483,7 +483,7 @@ impl Operator for SUnion {
         self.cfg.n_inputs
     }
 
-    fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut Emitter) {
+    fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut BatchEmitter) {
         assert!(port < self.cfg.n_inputs, "port out of range");
         // Data and boundaries are recorded for replay; UNDO and REC_DONE are
         // not — they *edit* the log (replacing undone input with its
@@ -545,7 +545,7 @@ impl Operator for SUnion {
         }
     }
 
-    fn tick(&mut self, now: Time, tentative_permitted: bool, out: &mut Emitter) {
+    fn tick(&mut self, now: Time, tentative_permitted: bool, out: &mut BatchEmitter) {
         if self.state.phase == Phase::Stable {
             self.emit_stable_ready(out);
         }
@@ -616,7 +616,7 @@ mod tests {
     fn serialization_is_order_insensitive() {
         let run = |swap: bool| {
             let mut s = SUnion::new(cfg(2));
-            let mut out = Emitter::new();
+            let mut out = BatchEmitter::new();
             let now = Time::from_millis(1);
             let a = data(1, 30);
             let b = data(1, 10);
@@ -629,7 +629,7 @@ mod tests {
             }
             s.process(0, &boundary(100), now, &mut out);
             s.process(1, &boundary(100), now, &mut out);
-            out.tuples
+            out.tuples()
                 .iter()
                 .filter(|t| t.is_data())
                 .map(|t| (t.stime.as_millis(), t.origin))
@@ -642,27 +642,27 @@ mod tests {
     #[test]
     fn stable_emission_waits_for_all_ports() {
         let mut s = SUnion::new(cfg(2));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let now = Time::from_millis(1);
         s.process(0, &data(1, 50), now, &mut out);
         s.process(0, &boundary(200), now, &mut out);
-        assert!(out.tuples.is_empty(), "port 1 has no boundary yet");
+        assert!(out.tuples().is_empty(), "port 1 has no boundary yet");
         s.process(1, &boundary(200), now, &mut out);
-        let kinds: Vec<TupleKind> = out.tuples.iter().map(|t| t.kind).collect();
+        let kinds: Vec<TupleKind> = out.tuples().iter().map(|t| t.kind).collect();
         assert_eq!(kinds, vec![TupleKind::Insertion, TupleKind::Boundary]);
-        assert_eq!(out.tuples[1].stime, Time::from_millis(200));
+        assert_eq!(out.tuples()[1].stime, Time::from_millis(200));
     }
 
     #[test]
     fn out_of_order_within_bucket_is_sorted() {
         let mut s = SUnion::new(cfg(1));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let now = Time::from_millis(1);
         s.process(0, &data(1, 80), now, &mut out);
         s.process(0, &data(2, 20), now, &mut out);
         s.process(0, &boundary(100), now, &mut out);
         let stimes: Vec<u64> = out
-            .tuples
+            .tuples()
             .iter()
             .filter(|t| t.is_data())
             .map(|t| t.stime.as_millis())
@@ -673,7 +673,7 @@ mod tests {
     #[test]
     fn detection_fires_after_detect_delay_and_signals_up_failure() {
         let mut s = SUnion::new(cfg(2));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let arrival = Time::from_millis(100);
         s.process(0, &data(1, 50), arrival, &mut out);
         // Port 1 never delivers a boundary: the bucket cannot stabilize.
@@ -681,27 +681,27 @@ mod tests {
         assert!(s.wants_tentative(Time::from_millis(2100)));
         s.tick(Time::from_millis(2100), true, &mut out);
         assert_eq!(s.phase(), Phase::Failure);
-        assert_eq!(out.signals, vec![ControlSignal::UpFailure]);
-        let emitted: Vec<TupleKind> = out.tuples.iter().map(|t| t.kind).collect();
+        assert_eq!(out.signals(), vec![ControlSignal::UpFailure]);
+        let emitted: Vec<TupleKind> = out.tuples().iter().map(|t| t.kind).collect();
         assert_eq!(emitted, vec![TupleKind::Tentative]);
     }
 
     #[test]
     fn tentative_release_respects_permission() {
         let mut s = SUnion::new(cfg(2));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
         // Overdue but the fragment has not checkpointed yet.
         s.tick(Time::from_secs(10), false, &mut out);
-        assert!(out.tuples.is_empty());
+        assert!(out.tuples().is_empty());
         s.tick(Time::from_secs(10), true, &mut out);
-        assert_eq!(out.tuples.len(), 1);
+        assert_eq!(out.tuples().len(), 1);
     }
 
     #[test]
     fn process_mode_emits_subsequent_buckets_after_short_wait() {
         let mut s = SUnion::new(cfg(2));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
         s.tick(Time::from_millis(2100), true, &mut out); // detection
         out.take();
@@ -711,8 +711,8 @@ mod tests {
         assert!(!s.wants_tentative(Time::from_millis(2499)));
         assert!(s.wants_tentative(Time::from_millis(2500)));
         s.tick(Time::from_millis(2500), true, &mut out);
-        assert_eq!(out.tuples.len(), 1);
-        assert_eq!(out.tuples[0].kind, TupleKind::Tentative);
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Tentative);
     }
 
     #[test]
@@ -720,15 +720,15 @@ mod tests {
         let mut c = cfg(2);
         c.failure_mode = DelayMode::Delay;
         let mut s = SUnion::new(c);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
         s.tick(Time::from_millis(2100), true, &mut out); // detection
         out.take();
         s.process(0, &data(2, 2150), Time::from_millis(2200), &mut out);
         s.tick(Time::from_millis(2500), true, &mut out);
-        assert!(out.tuples.is_empty(), "delay mode holds the full budget");
+        assert!(out.tuples().is_empty(), "delay mode holds the full budget");
         s.tick(Time::from_millis(4200), true, &mut out);
-        assert_eq!(out.tuples.len(), 1);
+        assert_eq!(out.tuples().len(), 1);
     }
 
     #[test]
@@ -736,20 +736,20 @@ mod tests {
         let mut c = cfg(2);
         c.failure_mode = DelayMode::Suspend;
         let mut s = SUnion::new(c);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
         s.tick(Time::from_millis(2100), true, &mut out); // detection releases 1st
         out.take();
         s.process(0, &data(2, 2150), Time::from_millis(2200), &mut out);
         s.tick(Time::from_secs(100), true, &mut out);
-        assert!(out.tuples.is_empty());
+        assert!(out.tuples().is_empty());
         assert_eq!(s.next_deadline(), None);
     }
 
     #[test]
     fn heal_signals_rec_request() {
         let mut s = SUnion::new(cfg(2));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
         s.tick(Time::from_millis(2100), true, &mut out); // detection
         out.take();
@@ -758,18 +758,18 @@ mod tests {
         s.process(0, &boundary(100), Time::from_millis(2200), &mut out);
         s.process(1, &boundary(100), Time::from_millis(2200), &mut out);
         assert_eq!(s.phase(), Phase::Healed);
-        assert!(out.signals.contains(&ControlSignal::RecRequest));
+        assert!(out.signals().contains(&ControlSignal::RecRequest));
         assert!(s.corrected_now());
     }
 
     #[test]
     fn tentative_input_triggers_failure_and_requires_rec_done() {
         let mut s = SUnion::new(cfg(1));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let t = Tuple::tentative(TupleId(1), Time::from_millis(10), vec![]);
         s.process(0, &t, Time::from_millis(20), &mut out);
         assert_eq!(s.phase(), Phase::Failure);
-        assert_eq!(out.signals, vec![ControlSignal::UpFailure]);
+        assert_eq!(out.signals(), vec![ControlSignal::UpFailure]);
         // Boundary alone does not heal: the tentative input is uncorrected.
         s.process(0, &boundary(100), Time::from_millis(30), &mut out);
         assert_eq!(s.phase(), Phase::Failure);
@@ -794,7 +794,7 @@ mod tests {
     fn undo_drops_tentative_from_log_and_buckets() {
         let mut s = SUnion::new(cfg(1));
         s.set_recording(true);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let t = Tuple::tentative(TupleId(5), Time::from_millis(10), vec![]);
         s.process(0, &t, Time::from_millis(20), &mut out);
         s.process(0, &data(9, 15), Time::from_millis(21), &mut out);
@@ -815,19 +815,19 @@ mod tests {
         let mut c = cfg(2);
         c.is_input = false;
         let mut s = SUnion::new(c);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let rd = Tuple::rec_done(TupleId::NONE, Time::ZERO);
         s.process(0, &rd, Time::ZERO, &mut out);
-        assert!(out.tuples.is_empty(), "waits for all ports");
+        assert!(out.tuples().is_empty(), "waits for all ports");
         s.process(1, &rd, Time::ZERO, &mut out);
-        assert_eq!(out.tuples.len(), 1);
-        assert_eq!(out.tuples[0].kind, TupleKind::RecDone);
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].kind, TupleKind::RecDone);
     }
 
     #[test]
     fn checkpoint_restore_resets_serialization_but_keeps_replay_log() {
         let mut s = SUnion::new(cfg(1));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         let snap = s.checkpoint();
         s.set_recording(true);
         s.process(0, &data(1, 50), Time::from_millis(60), &mut out);
@@ -842,11 +842,11 @@ mod tests {
     #[test]
     fn replay_regenerates_identical_stable_output() {
         let run = |mut s: SUnion| {
-            let mut out = Emitter::new();
+            let mut out = BatchEmitter::new();
             s.process(0, &data(1, 10), Time::from_millis(20), &mut out);
             s.process(0, &data(2, 60), Time::from_millis(70), &mut out);
             s.process(0, &boundary(100), Time::from_millis(110), &mut out);
-            out.tuples
+            out.tuples()
         };
         let first = run(SUnion::new(cfg(1)));
         // Restore-from-checkpoint then replay produces identical ids/kinds.
@@ -860,14 +860,14 @@ mod tests {
     #[test]
     fn late_tuple_for_emitted_bucket_is_dropped() {
         let mut s = SUnion::new(cfg(1));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         s.process(0, &data(1, 50), Time::from_millis(60), &mut out);
         s.process(0, &boundary(100), Time::from_millis(110), &mut out);
-        let n = out.tuples.len();
+        let n = out.tuples().len();
         // stime 30 belongs to the already-emitted bucket 0.
         s.process(0, &data(2, 30), Time::from_millis(120), &mut out);
         s.process(0, &boundary(200), Time::from_millis(210), &mut out);
-        let data_after: Vec<u64> = out.tuples[n..]
+        let data_after: Vec<u64> = out.tuples()[n..]
             .iter()
             .filter(|t| t.is_data())
             .map(|t| t.stime.as_millis())
@@ -878,10 +878,10 @@ mod tests {
     #[test]
     fn empty_buckets_advance_frontier_with_boundaries_only() {
         let mut s = SUnion::new(cfg(1));
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         s.process(0, &boundary(500), Time::from_millis(510), &mut out);
-        assert_eq!(out.tuples.len(), 1);
-        assert_eq!(out.tuples[0].kind, TupleKind::Boundary);
-        assert_eq!(out.tuples[0].stime, Time::from_millis(500));
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Boundary);
+        assert_eq!(out.tuples()[0].stime, Time::from_millis(500));
     }
 }

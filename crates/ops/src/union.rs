@@ -6,7 +6,7 @@
 //! it cannot keep replicas consistent — and merges boundaries by emitting
 //! the minimum watermark across its inputs.
 
-use crate::{Emitter, OpSnapshot, Operator};
+use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Time, Tuple, TupleId, TupleKind};
 
 /// Non-serializing merge of `n` input streams.
@@ -61,7 +61,7 @@ impl Operator for Union {
         self.n_inputs
     }
 
-    fn process(&mut self, port: usize, tuple: &Tuple, _now: Time, out: &mut Emitter) {
+    fn process(&mut self, port: usize, tuple: &Tuple, _now: Time, out: &mut BatchEmitter) {
         match tuple.kind {
             TupleKind::Insertion | TupleKind::Tentative => {
                 let mut t = tuple.clone();
@@ -108,20 +108,20 @@ mod tests {
     #[test]
     fn forwards_in_arrival_order_with_fresh_ids() {
         let mut u = Union::new(2);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         u.process(1, &data(10, 5), Time::ZERO, &mut out);
         u.process(0, &data(10, 3), Time::ZERO, &mut out);
-        assert_eq!(out.tuples.len(), 2);
-        assert_eq!(out.tuples[0].id, TupleId(1));
-        assert_eq!(out.tuples[0].origin, 1);
-        assert_eq!(out.tuples[1].id, TupleId(2));
-        assert_eq!(out.tuples[1].origin, 0);
+        assert_eq!(out.tuples().len(), 2);
+        assert_eq!(out.tuples()[0].id, TupleId(1));
+        assert_eq!(out.tuples()[0].origin, 1);
+        assert_eq!(out.tuples()[1].id, TupleId(2));
+        assert_eq!(out.tuples()[1].origin, 0);
     }
 
     #[test]
     fn boundary_is_min_across_ports() {
         let mut u = Union::new(2);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         u.process(
             0,
             &Tuple::boundary(TupleId::NONE, Time::from_millis(10)),
@@ -129,7 +129,7 @@ mod tests {
             &mut out,
         );
         assert!(
-            out.tuples.is_empty(),
+            out.tuples().is_empty(),
             "no boundary until all ports heard from"
         );
         u.process(
@@ -138,8 +138,8 @@ mod tests {
             Time::ZERO,
             &mut out,
         );
-        assert_eq!(out.tuples.len(), 1);
-        assert_eq!(out.tuples[0].stime, Time::from_millis(4));
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].stime, Time::from_millis(4));
         // A higher boundary on port 1 raises the min.
         u.process(
             1,
@@ -147,13 +147,13 @@ mod tests {
             Time::ZERO,
             &mut out,
         );
-        assert_eq!(out.tuples.last().unwrap().stime, Time::from_millis(10));
+        assert_eq!(out.tuples().last().unwrap().stime, Time::from_millis(10));
     }
 
     #[test]
     fn non_increasing_min_emits_nothing() {
         let mut u = Union::new(1);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         u.process(
             0,
             &Tuple::boundary(TupleId::NONE, Time::from_millis(5)),
@@ -166,19 +166,19 @@ mod tests {
             Time::ZERO,
             &mut out,
         );
-        assert_eq!(out.tuples.len(), 1);
+        assert_eq!(out.tuples().len(), 1);
     }
 
     #[test]
     fn checkpoint_restores_id_counter() {
         let mut u = Union::new(1);
-        let mut out = Emitter::new();
+        let mut out = BatchEmitter::new();
         u.process(0, &data(1, 1), Time::ZERO, &mut out);
         let snap = u.checkpoint();
         u.process(0, &data(2, 2), Time::ZERO, &mut out);
         u.restore(&snap);
         u.process(0, &data(2, 2), Time::ZERO, &mut out);
         // Replay after restore regenerates the same output id.
-        assert_eq!(out.tuples[1].id, out.tuples[2].id);
+        assert_eq!(out.tuples()[1].id, out.tuples()[2].id);
     }
 }

@@ -1,0 +1,577 @@
+//! The thread engine: one OS thread per actor, `std::sync::mpsc` channels
+//! for messaging, a per-actor timer wheel against the monotonic clock, and
+//! a fault-controller thread replaying scripted failures against the
+//! shared link table.
+//!
+//! Event semantics mirror the simulator's kernel so the same protocol code
+//! behaves identically under both runtimes:
+//!
+//! * sends check reachability at **send time** (counted drops) and again
+//!   at **delivery time** (in-flight losses on a link that broke);
+//! * timers due while an actor is crashed are consumed and suppressed;
+//! * fault notifications reach an actor unless it is down (except its own
+//!   `NodeDown`, which it observes so crash semantics stay scripted).
+//!
+//! Messages carry [`NetMsg`] values whose `Data` payloads are `Arc`-backed
+//! [`TupleBatch`](borealis_types::TupleBatch) views: moving a batch across
+//! a channel transfers a reference count, never copies tuples, so the
+//! wall-clock data plane inherits the zero-copy fan-out of the simulator
+//! path.
+
+use crate::clock::MonotonicClock;
+use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
+use crate::wheel::{Due, TimerWheel};
+use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
+use borealis_sim::FaultEvent;
+use borealis_types::{NodeId, Time};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One delivery into an actor thread's mailbox.
+enum Envelope {
+    /// A protocol message from another actor.
+    Msg { from: NodeId, msg: NetMsg },
+    /// A fault notification from the controller.
+    Fault(FaultEvent),
+    /// Orderly shutdown: process everything queued before this, then exit.
+    Stop,
+}
+
+/// Longest uninterrupted mailbox wait. Purely a liveness backstop (a wake
+/// with nothing due is a no-op); timer deadlines shorten it.
+const MAX_PARK: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// The single send-time delivery rule, shared by immediate sends and
+/// delayed departures: reachability gates the handoff (counted drop
+/// otherwise), and a send to an exited mailbox (shutdown in progress) is
+/// dropped silently, like a connection reset during teardown.
+fn deliver(
+    senders: &[Sender<Envelope>],
+    links: &LinkTable,
+    stats: &RuntimeStats,
+    from: NodeId,
+    to: NodeId,
+    msg: NetMsg,
+) {
+    if links.reachable(from, to) {
+        if let Some(tx) = senders.get(to.index()) {
+            let _ = tx.send(Envelope::Msg { from, msg });
+        }
+    } else {
+        stats.count_send_drop();
+    }
+}
+
+/// The [`RuntimeCtx`] handed to protocol handlers on an actor thread.
+struct ThreadCtx<'a> {
+    id: NodeId,
+    now: Time,
+    senders: &'a [Sender<Envelope>],
+    links: &'a LinkTable,
+    stats: &'a RuntimeStats,
+    wheel: &'a mut TimerWheel,
+    rng: &'a mut StdRng,
+}
+
+impl RuntimeCtx for ThreadCtx<'_> {
+    fn now(&self) -> Time {
+        self.now
+    }
+
+    fn id(&self) -> NodeId {
+        self.id
+    }
+
+    fn send(&mut self, to: NodeId, msg: NetMsg) {
+        deliver(self.senders, self.links, self.stats, self.id, to, msg);
+    }
+
+    fn send_after(&mut self, to: NodeId, msg: NetMsg, depart: Time) {
+        // Send-time reachability is checked NOW, as the simulator does for
+        // its deferred sends; an unreachable destination at call time is a
+        // counted send drop. Faults striking between here and the departure
+        // are in-flight losses, caught by the departure/delivery checks.
+        if !self.links.reachable(self.id, to) {
+            self.stats.count_send_drop();
+        } else if depart <= self.now {
+            self.send(to, msg);
+        } else {
+            self.wheel.push_send(depart, to, msg);
+        }
+    }
+
+    fn set_timer(&mut self, at: Time, kind: u64) {
+        self.wheel.push_timer(at.max(self.now), kind);
+    }
+
+    fn reachable(&self, to: NodeId) -> bool {
+        self.links.reachable(self.id, to)
+    }
+
+    fn rand_range(&mut self, n: u64) -> u64 {
+        self.rng.gen_range(0..n)
+    }
+}
+
+/// Everything an actor thread owns.
+struct ActorThread {
+    id: NodeId,
+    actor: Box<dyn DpcActor>,
+    rx: Receiver<Envelope>,
+    senders: Vec<Sender<Envelope>>,
+    links: Arc<LinkTable>,
+    stats: Arc<RuntimeStats>,
+    clock: MonotonicClock,
+    rng: StdRng,
+    wheel: TimerWheel,
+}
+
+impl ActorThread {
+    /// Runs one handler with a fresh context at the current instant.
+    fn dispatch(&mut self, f: impl FnOnce(&mut dyn DpcActor, &mut dyn RuntimeCtx)) {
+        let mut ctx = ThreadCtx {
+            id: self.id,
+            now: self.clock.now(),
+            senders: &self.senders,
+            links: &self.links,
+            stats: &self.stats,
+            wheel: &mut self.wheel,
+            rng: &mut self.rng,
+        };
+        f(self.actor.as_mut(), &mut ctx);
+    }
+
+    /// Fires every wheel entry due at `now`.
+    fn fire_due(&mut self) {
+        while let Some((_, due)) = self.wheel.pop_due(self.clock.now()) {
+            match due {
+                Due::Timer(kind) => {
+                    // Crashed nodes fire no timers (the entry is consumed,
+                    // as in the simulator).
+                    if self.links.node_up(self.id) {
+                        self.dispatch(|a, ctx| a.on_timer(ctx, kind));
+                    } else {
+                        self.stats.count_timer_suppressed();
+                    }
+                }
+                Due::Send { to, msg } => {
+                    // The send-time check already passed when this entry was
+                    // scheduled; a link that broke since loses the message
+                    // in flight (delivery drop, as in the simulator).
+                    if self.links.reachable(self.id, to) {
+                        if let Some(tx) = self.senders.get(to.index()) {
+                            let _ = tx.send(Envelope::Msg { from: self.id, msg });
+                        }
+                    } else {
+                        self.stats.count_delivery_drop();
+                    }
+                }
+            }
+        }
+    }
+
+    /// The thread main loop.
+    fn run(mut self) {
+        self.dispatch(|a, ctx| a.on_start(ctx));
+        loop {
+            self.fire_due();
+            let park = match self.wheel.next_due() {
+                Some(at) => self.clock.until(at).min(MAX_PARK),
+                None => MAX_PARK,
+            };
+            match self.rx.recv_timeout(park) {
+                Ok(Envelope::Msg { from, msg }) => {
+                    // Delivery-time reachability: a link (or endpoint) that
+                    // went down while the message was in flight loses it.
+                    if self.links.reachable(from, self.id) {
+                        self.stats.count_delivered();
+                        self.dispatch(|a, ctx| a.on_message(ctx, from, msg));
+                    } else {
+                        self.stats.count_delivery_drop();
+                    }
+                }
+                Ok(Envelope::Fault(fault)) => {
+                    self.dispatch(|a, ctx| a.on_fault(ctx, &fault));
+                }
+                Ok(Envelope::Stop) => break,
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+    }
+}
+
+/// The fault controller: replays the script against the link table and
+/// notifies affected actors, with the simulator's gating (a crashed node
+/// hears nothing except its own `NodeDown`).
+fn fault_controller(
+    script: Vec<(Time, FaultEvent)>,
+    clock: MonotonicClock,
+    links: Arc<LinkTable>,
+    senders: Vec<Sender<Envelope>>,
+    stop: Receiver<()>,
+) {
+    for (at, fault) in script {
+        loop {
+            let wait = clock.until(at);
+            if wait.is_zero() {
+                break;
+            }
+            match stop.recv_timeout(wait) {
+                Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
+                Err(RecvTimeoutError::Timeout) => {}
+            }
+        }
+        links.apply(&fault);
+        for id in fault.notifies() {
+            if !links.node_up(id) && !matches!(fault, FaultEvent::NodeDown(_)) {
+                continue;
+            }
+            if let Some(tx) = senders.get(id.index()) {
+                let _ = tx.send(Envelope::Fault(fault.clone()));
+            }
+        }
+    }
+}
+
+/// A running thread engine: one OS thread per actor plus the fault
+/// controller. Dropping it (or calling [`ThreadRuntime::shutdown`]) stops
+/// every thread in order.
+pub struct ThreadRuntime {
+    senders: Vec<Sender<Envelope>>,
+    handles: Vec<JoinHandle<()>>,
+    fault_handle: Option<JoinHandle<()>>,
+    fault_stop: Option<Sender<()>>,
+    clock: MonotonicClock,
+    links: Arc<LinkTable>,
+    stats: Arc<RuntimeStats>,
+}
+
+impl ThreadRuntime {
+    /// Spawns one thread per actor (`actors[i]` becomes `NodeId(i)`), plus
+    /// a controller thread replaying `script` (already sorted by time).
+    ///
+    /// Every actor's `on_start` runs on its own thread as soon as it
+    /// spawns; the clock starts just before the first spawn.
+    pub fn spawn(
+        actors: Vec<Box<dyn DpcActor>>,
+        script: Vec<(Time, FaultEvent)>,
+        seed: u64,
+    ) -> ThreadRuntime {
+        let clock = MonotonicClock::start();
+        let links = Arc::new(LinkTable::new());
+        let stats = Arc::new(RuntimeStats::default());
+        // Faults scripted at t=0 shape the initial connectivity: apply them
+        // before any actor thread starts, as the simulator does for faults
+        // scheduled ahead of the Start events. (The controller re-applies
+        // them idempotently and delivers the notifications.)
+        for (at, fault) in script.iter().filter(|(at, _)| *at == Time::ZERO) {
+            let _ = at;
+            links.apply(fault);
+        }
+        let n = actors.len();
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = channel();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let mut handles = Vec::with_capacity(n);
+        for (i, (actor, rx)) in actors.into_iter().zip(receivers).enumerate() {
+            let at = ActorThread {
+                id: NodeId(i as u32),
+                actor,
+                rx,
+                senders: senders.clone(),
+                links: Arc::clone(&links),
+                stats: Arc::clone(&stats),
+                clock,
+                // Decorrelate per-actor streams from one shared seed.
+                rng: StdRng::seed_from_u64(
+                    seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        .wrapping_add(i as u64),
+                ),
+                wheel: TimerWheel::new(),
+            };
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("dpc-actor-{i}"))
+                    .spawn(move || at.run())
+                    .expect("spawn actor thread"),
+            );
+        }
+        let (fault_stop, stop_rx) = channel();
+        let fault_handle = {
+            let links = Arc::clone(&links);
+            let senders = senders.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("dpc-faults".into())
+                    .spawn(move || fault_controller(script, clock, links, senders, stop_rx))
+                    .expect("spawn fault controller"),
+            )
+        };
+        ThreadRuntime {
+            senders,
+            handles,
+            fault_handle,
+            fault_stop: Some(fault_stop),
+            clock,
+            links,
+            stats,
+        }
+    }
+
+    /// Time since the runtime started (the actors' clock).
+    pub fn now(&self) -> Time {
+        self.clock.now()
+    }
+
+    /// The shared link table (for ad-hoc fault injection in tests; scripted
+    /// runs should use the layout's fault script).
+    pub fn links(&self) -> &LinkTable {
+        &self.links
+    }
+
+    /// Message-loss statistics so far.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Lets the system run for `wall` — the actors make progress on their
+    /// own threads; this just blocks the caller.
+    pub fn run_for(&self, wall: std::time::Duration) {
+        std::thread::sleep(wall);
+    }
+
+    /// Stops every thread: the controller first (no further faults), then
+    /// each actor after it drains its mailbox. Returns final statistics.
+    ///
+    /// # Panics
+    /// Panics if any actor thread panicked during the run — a protocol bug
+    /// must fail the run, not silently degrade it to a partial deployment.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        let crashed = self.stop_threads();
+        assert!(
+            crashed.is_empty(),
+            "actor thread(s) panicked during the run: {crashed:?}"
+        );
+        self.stats.snapshot()
+    }
+
+    /// Stops and joins everything; returns the names of threads that
+    /// panicked.
+    fn stop_threads(&mut self) -> Vec<String> {
+        if let Some(stop) = self.fault_stop.take() {
+            let _ = stop.send(());
+        }
+        if let Some(h) = self.fault_handle.take() {
+            let _ = h.join();
+        }
+        for tx in &self.senders {
+            let _ = tx.send(Envelope::Stop);
+        }
+        let mut crashed = Vec::new();
+        for h in self.handles.drain(..) {
+            let name = h.thread().name().unwrap_or("dpc-actor-?").to_string();
+            if h.join().is_err() {
+                crashed.push(name);
+            }
+        }
+        crashed
+    }
+}
+
+impl Drop for ThreadRuntime {
+    fn drop(&mut self) {
+        let crashed = self.stop_threads();
+        // Surface swallowed actor panics even when the runtime is dropped
+        // without an explicit shutdown — unless we are already unwinding
+        // (a double panic would abort and mask the original failure).
+        if !crashed.is_empty() && !std::thread::panicking() {
+            panic!("actor thread(s) panicked during the run: {crashed:?}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::{Duration, StreamId};
+    use std::sync::Mutex;
+
+    /// Records everything it receives; replies to heartbeats.
+    struct Recorder {
+        log: Arc<Mutex<Vec<(NodeId, &'static str)>>>,
+        peer: Option<NodeId>,
+    }
+
+    impl DpcActor for Recorder {
+        fn on_start(&mut self, ctx: &mut dyn RuntimeCtx) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, NetMsg::HeartbeatReq);
+                ctx.set_timer(ctx.now() + Duration::from_millis(20), 7);
+                // Delayed send: departs 40 ms in.
+                ctx.send_after(
+                    peer,
+                    NetMsg::Unsubscribe {
+                        stream: StreamId(0),
+                    },
+                    ctx.now() + Duration::from_millis(40),
+                );
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut dyn RuntimeCtx, from: NodeId, msg: NetMsg) {
+            self.log.lock().unwrap().push((from, msg.kind_name()));
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, kind: u64) {
+            assert_eq!(kind, 7);
+            self.log.lock().unwrap().push((NodeId(u32::MAX), "timer"));
+        }
+        fn on_fault(&mut self, _ctx: &mut dyn RuntimeCtx, fault: &FaultEvent) {
+            let tag = match fault {
+                FaultEvent::LinkDown { .. } => "link-down",
+                FaultEvent::LinkUp { .. } => "link-up",
+                FaultEvent::NodeDown(_) => "node-down",
+                FaultEvent::NodeUp(_) => "node-up",
+                FaultEvent::Custom { .. } => "custom",
+            };
+            self.log.lock().unwrap().push((NodeId(u32::MAX), tag));
+        }
+    }
+
+    fn wait_until(pred: impl Fn() -> bool, ms: u64) -> bool {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(ms);
+        while std::time::Instant::now() < deadline {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        pred()
+    }
+
+    #[test]
+    fn messages_timers_and_delayed_sends_flow() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let a = Box::new(Recorder {
+            log: Arc::clone(&log),
+            peer: Some(NodeId(1)),
+        });
+        let b = Box::new(Recorder {
+            log: Arc::clone(&log),
+            peer: None,
+        });
+        let rt = ThreadRuntime::spawn(vec![a, b], Vec::new(), 1);
+        assert!(
+            wait_until(
+                || {
+                    let l = log.lock().unwrap();
+                    l.contains(&(NodeId(0), "hb-req"))
+                        && l.contains(&(NodeId(u32::MAX), "timer"))
+                        && l.contains(&(NodeId(0), "unsubscribe"))
+                },
+                2000
+            ),
+            "log: {:?}",
+            log.lock().unwrap()
+        );
+        let stats = rt.shutdown();
+        assert_eq!(stats.total_drops(), 0);
+        assert!(stats.messages_delivered >= 2);
+    }
+
+    #[test]
+    fn scripted_link_failure_drops_and_notifies() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        // Link is down from the start; heals at 80 ms.
+        let script = vec![
+            (
+                Time::ZERO,
+                FaultEvent::LinkDown {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+            ),
+            (
+                Time::from_millis(80),
+                FaultEvent::LinkUp {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+            ),
+        ];
+        let a = Box::new(Recorder {
+            log: Arc::clone(&log),
+            peer: Some(NodeId(1)),
+        });
+        let b = Box::new(Recorder {
+            log: Arc::clone(&log),
+            peer: None,
+        });
+        let rt = ThreadRuntime::spawn(vec![a, b], script, 1);
+        assert!(
+            wait_until(
+                || {
+                    let l = log.lock().unwrap();
+                    l.iter().filter(|e| e.1 == "link-up").count() >= 2
+                },
+                2000
+            ),
+            "both endpoints must hear the heal: {:?}",
+            log.lock().unwrap()
+        );
+        // The delayed unsubscribe departs at 40 ms (link down): dropped at
+        // send or delivery depending on the race with on_start's send.
+        let stats = rt.shutdown();
+        assert!(
+            stats.total_drops() >= 1,
+            "sends while the link was down must be counted: {stats:?}"
+        );
+        let l = log.lock().unwrap();
+        assert!(
+            !l.contains(&(NodeId(0), "hb-req")),
+            "initial heartbeat was sent while down: {l:?}"
+        );
+    }
+
+    #[test]
+    fn crashed_node_fires_no_timers_and_hears_node_down() {
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let script = vec![(Time::ZERO, FaultEvent::NodeDown(NodeId(0)))];
+        let a = Box::new(Recorder {
+            log: Arc::clone(&log),
+            peer: Some(NodeId(1)),
+        });
+        let b = Box::new(Recorder {
+            log: Arc::clone(&log),
+            peer: None,
+        });
+        let rt = ThreadRuntime::spawn(vec![a, b], script, 1);
+        assert!(
+            wait_until(
+                || log
+                    .lock()
+                    .unwrap()
+                    .contains(&(NodeId(u32::MAX), "node-down")),
+                2000
+            ),
+            "the crashing node observes its own NodeDown"
+        );
+        rt.run_for(std::time::Duration::from_millis(100));
+        let stats = rt.shutdown();
+        let l = log.lock().unwrap();
+        assert!(
+            !l.contains(&(NodeId(u32::MAX), "timer")),
+            "crashed node must not fire timers: {l:?}"
+        );
+        assert!(
+            stats.timers_suppressed >= 1 || stats.total_drops() >= 1,
+            "the suppressed timer or dropped sends must be accounted: {stats:?}"
+        );
+    }
+}

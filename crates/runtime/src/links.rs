@@ -1,0 +1,191 @@
+//! The shared link table: connectivity state + fault application for the
+//! thread engine, with message-loss accounting.
+//!
+//! Reuses `borealis_sim::Network` for the semantics (bidirectional link
+//! failures, node crashes blocking all links, partitions) so both runtimes
+//! share one fault model, and wraps it for cross-thread access. Senders
+//! check reachability at send time; receivers check again at delivery time
+//! — the same two drop points the simulator counts.
+
+use borealis_sim::{FaultEvent, Network};
+use borealis_types::{Duration, NodeId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
+
+/// Message-loss accounting for a whole thread-engine run (the wall-clock
+/// sibling of `borealis_sim::SimStats`).
+#[derive(Debug, Default)]
+pub struct RuntimeStats {
+    send_unreachable_drops: AtomicU64,
+    delivery_drops: AtomicU64,
+    timers_suppressed: AtomicU64,
+    messages_delivered: AtomicU64,
+}
+
+/// A point-in-time copy of [`RuntimeStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsSnapshot {
+    /// Messages dropped because the destination was unreachable at send
+    /// time.
+    pub send_unreachable_drops: u64,
+    /// Messages dropped at delivery time (link broke while in flight, or
+    /// the receiving endpoint was down).
+    pub delivery_drops: u64,
+    /// Timer callbacks suppressed because the actor was crashed when they
+    /// came due.
+    pub timers_suppressed: u64,
+    /// Messages successfully delivered to handlers.
+    pub messages_delivered: u64,
+}
+
+impl StatsSnapshot {
+    /// Total messages lost to faults.
+    pub fn total_drops(&self) -> u64 {
+        self.send_unreachable_drops + self.delivery_drops
+    }
+}
+
+impl RuntimeStats {
+    pub(crate) fn count_send_drop(&self) {
+        self.send_unreachable_drops.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_delivery_drop(&self) {
+        self.delivery_drops.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_timer_suppressed(&self) {
+        self.timers_suppressed.fetch_add(1, Ordering::Relaxed);
+    }
+    pub(crate) fn count_delivered(&self) {
+        self.messages_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Reads a consistent-enough copy (relaxed; exact totals only after the
+    /// runtime has shut down).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            send_unreachable_drops: self.send_unreachable_drops.load(Ordering::Relaxed),
+            delivery_drops: self.delivery_drops.load(Ordering::Relaxed),
+            timers_suppressed: self.timers_suppressed.load(Ordering::Relaxed),
+            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Cross-thread connectivity state. The fault controller writes (applying
+/// scripted [`FaultEvent`]s); every actor thread reads on each send and
+/// delivery.
+#[derive(Debug)]
+pub struct LinkTable {
+    // RwLock: every actor thread reads on each send/delivery; only the
+    // fault controller writes, a handful of times per run.
+    net: RwLock<Network>,
+}
+
+impl LinkTable {
+    /// A fully connected table.
+    pub fn new() -> LinkTable {
+        LinkTable {
+            // Latency is a simulator concept; the thread engine runs at
+            // native channel latency, so the value here is never read.
+            net: RwLock::new(Network::new(Duration::ZERO)),
+        }
+    }
+
+    /// True if a message from `a` can currently reach `b`.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.net.read().expect("link table lock").reachable(a, b)
+    }
+
+    /// True if the node itself is up.
+    pub fn node_up(&self, n: NodeId) -> bool {
+        self.net.read().expect("link table lock").node_up(n)
+    }
+
+    /// Applies a fault (or heal) to the connectivity state.
+    pub fn apply(&self, fault: &FaultEvent) {
+        let mut net = self.net.write().expect("link table lock");
+        match fault {
+            FaultEvent::LinkDown { a, b } => net.link_down(*a, *b),
+            FaultEvent::LinkUp { a, b } => net.link_up(*a, *b),
+            FaultEvent::NodeDown(n) => net.node_down(*n),
+            FaultEvent::NodeUp(n) => net.node_up_again(*n),
+            FaultEvent::Custom { .. } => {}
+        }
+    }
+
+    /// Partitions the system: every link between `group_a` and `group_b`
+    /// goes down (scripting convenience mirroring
+    /// `borealis_sim::Network::partition`).
+    pub fn partition(&self, group_a: &[NodeId], group_b: &[NodeId]) {
+        self.net
+            .write()
+            .expect("link table lock")
+            .partition(group_a, group_b);
+    }
+
+    /// Heals a partition created with [`LinkTable::partition`].
+    pub fn heal_partition(&self, group_a: &[NodeId], group_b: &[NodeId]) {
+        self.net
+            .write()
+            .expect("link table lock")
+            .heal_partition(group_a, group_b);
+    }
+}
+
+impl Default for LinkTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_flow_through_to_connectivity() {
+        let t = LinkTable::new();
+        assert!(t.reachable(NodeId(0), NodeId(1)));
+        t.apply(&FaultEvent::LinkDown {
+            a: NodeId(0),
+            b: NodeId(1),
+        });
+        assert!(!t.reachable(NodeId(1), NodeId(0)), "bidirectional");
+        t.apply(&FaultEvent::LinkUp {
+            a: NodeId(1),
+            b: NodeId(0),
+        });
+        assert!(t.reachable(NodeId(0), NodeId(1)));
+        t.apply(&FaultEvent::NodeDown(NodeId(2)));
+        assert!(!t.reachable(NodeId(0), NodeId(2)));
+        assert!(!t.node_up(NodeId(2)));
+        t.apply(&FaultEvent::NodeUp(NodeId(2)));
+        assert!(t.node_up(NodeId(2)));
+    }
+
+    #[test]
+    fn partitions_cut_cross_links_only() {
+        let t = LinkTable::new();
+        let a = [NodeId(0), NodeId(1)];
+        let b = [NodeId(2), NodeId(3)];
+        t.partition(&a, &b);
+        assert!(!t.reachable(NodeId(0), NodeId(3)));
+        assert!(t.reachable(NodeId(0), NodeId(1)));
+        t.heal_partition(&a, &b);
+        assert!(t.reachable(NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn stats_snapshot_counts() {
+        let s = RuntimeStats::default();
+        s.count_send_drop();
+        s.count_delivery_drop();
+        s.count_delivery_drop();
+        s.count_delivered();
+        let snap = s.snapshot();
+        assert_eq!(snap.send_unreachable_drops, 1);
+        assert_eq!(snap.delivery_drops, 2);
+        assert_eq!(snap.total_drops(), 3);
+        assert_eq!(snap.messages_delivered, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! The per-actor timer wheel: deadline-ordered deferred work against the
+//! monotonic clock.
+//!
+//! Each actor thread owns one wheel holding its pending [`RuntimeCtx`]
+//! timers *and* its delayed sends (`send_after`, the CPU cost model's
+//! "outputs leave when the work completes"). The actor loop pops due
+//! entries before each receive and sleeps at most until the next deadline,
+//! so timer precision is bounded by OS scheduling, not by a polling
+//! period.
+//!
+//! [`RuntimeCtx`]: borealis_dpc::RuntimeCtx
+
+use borealis_dpc::NetMsg;
+use borealis_types::{NodeId, Time};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// What to do when an entry comes due.
+#[derive(Debug)]
+pub enum Due {
+    /// Fire `on_timer(kind)` on the owning actor.
+    Timer(u64),
+    /// Release a delayed send (departure instant reached).
+    Send {
+        /// Destination actor.
+        to: NodeId,
+        /// The message.
+        msg: NetMsg,
+    },
+}
+
+struct Entry {
+    at: Time,
+    seq: u64,
+    due: Due,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; reverse for earliest-first, insertion
+        // order (seq) breaking ties — same total order as the simulator's
+        // event queue.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// Deadline-ordered pending work for one actor.
+#[derive(Default)]
+pub struct TimerWheel {
+    heap: BinaryHeap<Entry>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel::default()
+    }
+
+    /// Schedules `on_timer(kind)` at `at`.
+    pub fn push_timer(&mut self, at: Time, kind: u64) {
+        self.push(at, Due::Timer(kind));
+    }
+
+    /// Schedules a delayed send departing at `at`.
+    pub fn push_send(&mut self, at: Time, to: NodeId, msg: NetMsg) {
+        self.push(at, Due::Send { to, msg });
+    }
+
+    fn push(&mut self, at: Time, due: Due) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry { at, seq, due });
+    }
+
+    /// Deadline of the next entry, if any.
+    pub fn next_due(&self) -> Option<Time> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pops the earliest entry if it is due at `now`.
+    pub fn pop_due(&mut self, now: Time) -> Option<(Time, Due)> {
+        if self.heap.peek().is_some_and(|e| e.at <= now) {
+            let e = self.heap.pop().expect("peeked entry exists");
+            Some((e.at, e.due))
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_deadline_then_insertion_order() {
+        let mut w = TimerWheel::new();
+        w.push_timer(Time::from_millis(20), 2);
+        w.push_timer(Time::from_millis(10), 1);
+        w.push_timer(Time::from_millis(10), 3);
+        assert_eq!(w.next_due(), Some(Time::from_millis(10)));
+        assert!(w.pop_due(Time::from_millis(5)).is_none(), "nothing due yet");
+        let kinds: Vec<u64> = std::iter::from_fn(|| w.pop_due(Time::from_millis(30)))
+            .map(|(_, d)| match d {
+                Due::Timer(k) => k,
+                Due::Send { .. } => unreachable!(),
+            })
+            .collect();
+        assert_eq!(kinds, vec![1, 3, 2], "deadline order, ties by insertion");
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn sends_and_timers_interleave() {
+        let mut w = TimerWheel::new();
+        w.push_send(Time::from_millis(5), NodeId(1), NetMsg::HeartbeatReq);
+        w.push_timer(Time::from_millis(3), 9);
+        assert_eq!(w.len(), 2);
+        let (at, first) = w.pop_due(Time::from_millis(10)).unwrap();
+        assert_eq!(at, Time::from_millis(3));
+        assert!(matches!(first, Due::Timer(9)));
+        let (_, second) = w.pop_due(Time::from_millis(10)).unwrap();
+        assert!(matches!(second, Due::Send { to: NodeId(1), .. }));
+    }
+}

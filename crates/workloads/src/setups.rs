@@ -253,11 +253,14 @@ impl Default for ChainOptions {
     }
 }
 
-/// Builds the Fig. 14 chain: three sources → Union (node 1) → identity Maps
-/// (nodes 2..depth) → client. Every node pair is replicated.
+/// Builds the Fig. 14 chain deployment description: three sources → Union
+/// (node 1) → identity Maps (nodes 2..depth) → client. Every node pair is
+/// replicated.
 ///
-/// Returns the system and the client-visible output stream.
-pub fn chain_system(o: &ChainOptions) -> (RunningSystem, StreamId) {
+/// Returns the configured builder (script faults / pick a runtime on it)
+/// and the client-visible output stream; [`chain_system`] is the
+/// simulator-deployed shorthand.
+pub fn chain_builder(o: &ChainOptions) -> (SystemBuilder, StreamId) {
     assert!(o.depth >= 1);
     let mut b = DiagramBuilder::new();
     let s1 = b.source("s1");
@@ -309,7 +312,13 @@ pub fn chain_system(o: &ChainOptions) -> (RunningSystem, StreamId) {
             values: ValueGen::Seq,
         });
     }
-    (builder.build(), last)
+    (builder, last)
+}
+
+/// Builds the Fig. 14 chain and deploys it under the simulator.
+pub fn chain_system(o: &ChainOptions) -> (RunningSystem, StreamId) {
+    let (builder, out) = chain_builder(o);
+    (builder.build(), out)
 }
 
 /// Options for the serialization-overhead setup (Fig. 22, Tables IV & V).

@@ -76,6 +76,7 @@ pub use borealis_diagram as diagram;
 pub use borealis_dpc as dpc;
 pub use borealis_engine as engine;
 pub use borealis_ops as ops;
+pub use borealis_runtime as runtime;
 pub use borealis_sim as sim;
 pub use borealis_types as types;
 pub use borealis_workloads as workloads;
@@ -87,10 +88,11 @@ pub mod prelude {
         PhysicalPlan,
     };
     pub use borealis_dpc::{
-        BufferPolicy, ClientTuning, MetricsHub, NodeState, NodeTuning, RunningSystem, SourceConfig,
-        SystemBuilder, ValueGen,
+        BufferPolicy, ClientTuning, FaultSpec, MetricsHub, NodeState, NodeTuning, RunningSystem,
+        SourceConfig, SystemBuilder, SystemLayout, ValueGen,
     };
     pub use borealis_ops::{AggFn, AggregateSpec, DelayMode, SJoinSpec, SUnionConfig};
+    pub use borealis_runtime::{deploy_threads, RunningThreads, ThreadRuntime};
     pub use borealis_types::{
         Duration, Expr, FragmentId, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind,
         Value,

@@ -1,0 +1,158 @@
+//! Cross-runtime equivalence: the same deployment description produces the
+//! same *stable* output stream under the deterministic simulator and under
+//! the real-time thread engine.
+//!
+//! This is the paper's eventual-consistency guarantee turned into a
+//! portability test. Source stimes and payloads are pure functions of the
+//! sequence number, SUnion serializes buckets deterministically by
+//! `(stime, origin, id)`, and reconciliation replays corrections into the
+//! identical stable prefix — so even though the thread engine's arrival
+//! timing jitters (and may force tentative data the simulator never
+//! produces), the corrected stable stream must be identical tuple for
+//! tuple, in order, on both runtimes.
+
+use borealis::prelude::*;
+use borealis_workloads::{chain_builder, ChainOptions, DISTRIBUTED_VARIANTS};
+
+/// Reconstructs the stable output stream from a client arrival trace:
+/// stable insertions append, UNDOs roll the suffix back to their target.
+/// The result is the stream a durable consumer would have retained.
+fn stable_stream(trace: &[borealis::dpc::TraceEntry]) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = Vec::new();
+    for e in trace {
+        match e.kind {
+            TupleKind::Insertion => v.push((e.id.0, e.stime.as_micros())),
+            TupleKind::Undo => {
+                let target = e.undo_target.map(|t| t.0).unwrap_or(0);
+                while v.last().is_some_and(|&(id, _)| id > target) {
+                    v.pop();
+                }
+            }
+            _ => {}
+        }
+    }
+    v
+}
+
+/// Chain options tuned so a wall-clock run finishes in a few seconds.
+fn fast_chain() -> ChainOptions {
+    ChainOptions {
+        depth: 2,
+        total_rate: 300.0,
+        per_node_delay: Duration::from_millis(500),
+        variant: DISTRIBUTED_VARIANTS[1], // Process & Process
+        per_tuple_cost: Duration::from_micros(10),
+        seed: 21,
+        ..Default::default()
+    }
+}
+
+/// The chain workload with replication 2 and one scripted replica crash:
+/// run under the simulator and under the thread runtime, the delivered
+/// stable streams must be identical (same tuples, same order) over their
+/// common prefix — the shorter run is a prefix of the longer one.
+#[test]
+fn chain_stable_stream_identical_across_runtimes() {
+    let o = fast_chain();
+    let crash_frag = o.depth - 1; // the fragment the client watches
+    let horizon = Time::from_secs(6);
+
+    // --- Simulator run ---------------------------------------------------
+    let (builder, out) = chain_builder(&o);
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let mut sim_sys = builder
+        .metrics(metrics)
+        .script_crash_replica(crash_frag, 0, Time::from_millis(1500), None)
+        .build();
+    sim_sys.run_until(horizon);
+    let (sim_stable, sim_dups) = sim_sys.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+
+    // --- Thread-runtime run ----------------------------------------------
+    // The identical description — same topology, same scripted crash of the
+    // client's initial upstream replica — deployed on OS threads.
+    let (builder, out2) = chain_builder(&o);
+    assert_eq!(out, out2, "same diagram, same output stream");
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let layout = builder
+        .metrics(metrics)
+        .script_crash_replica(crash_frag, 0, Time::from_millis(1500), None)
+        .layout();
+    let threads = deploy_threads(layout);
+    threads.run_for(std::time::Duration::from_millis(4500));
+    let (thr_stable, thr_dups) = threads.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+    let drops = threads.shutdown();
+
+    // --- Equivalence ------------------------------------------------------
+    assert_eq!(sim_dups, 0, "simulator run violated stable-id monotonicity");
+    assert_eq!(thr_dups, 0, "thread run violated stable-id monotonicity");
+    assert!(
+        drops.send_unreachable_drops + drops.delivery_drops > 0,
+        "the scripted crash must actually sever traffic: {drops:?}"
+    );
+    // Thresholds leave >4x headroom below the ~1350 tuples a nominal run
+    // delivers, so a starved CI runner slows the stream without failing it.
+    let common = sim_stable.len().min(thr_stable.len());
+    assert!(
+        common >= 300,
+        "both runs must deliver a substantial stable stream: sim={} threads={}",
+        sim_stable.len(),
+        thr_stable.len()
+    );
+    assert_eq!(
+        sim_stable[..common],
+        thr_stable[..common],
+        "stable streams diverge within the common prefix"
+    );
+}
+
+/// Healthy-path equivalence at higher rate and no faults: sanity-checks
+/// that wall-clock jitter alone (no failure handling involved) cannot
+/// reorder or drop stable output.
+#[test]
+fn healthy_chain_stable_stream_identical_across_runtimes() {
+    let o = ChainOptions {
+        seed: 9,
+        ..fast_chain()
+    };
+
+    let (builder, out) = chain_builder(&o);
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let mut sim_sys = builder.metrics(metrics).build();
+    sim_sys.run_until(Time::from_secs(4));
+    let sim_stable = sim_sys
+        .metrics
+        .with(out, |m| stable_stream(m.trace.as_ref().unwrap()));
+
+    let (builder, _) = chain_builder(&o);
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let threads = deploy_threads(builder.metrics(metrics).layout());
+    threads.run_for(std::time::Duration::from_millis(3000));
+    let thr_stable = threads
+        .metrics
+        .with(out, |m| stable_stream(m.trace.as_ref().unwrap()));
+    let drops = threads.shutdown();
+
+    assert_eq!(drops.total_drops(), 0, "healthy run loses nothing");
+    let common = sim_stable.len().min(thr_stable.len());
+    assert!(
+        common >= 250,
+        "sim={} threads={}",
+        sim_stable.len(),
+        thr_stable.len()
+    );
+    assert_eq!(sim_stable[..common], thr_stable[..common]);
+}

@@ -166,7 +166,7 @@ fn availability_holds_for_any_single_failure() {
 /// §4.2 replica-consistency guarantee at the operator level.
 #[test]
 fn sunion_total_order_is_interleaving_invariant() {
-    use borealis::ops::{Emitter, Operator, SUnion};
+    use borealis::ops::{BatchEmitter, Operator, SUnion};
 
     let mut rng = StdRng::seed_from_u64(0x50_u64);
     for _ in 0..50 {
@@ -182,7 +182,7 @@ fn sunion_total_order_is_interleaving_invariant() {
             cfg.bucket = Duration::from_millis(100);
             cfg.is_input = true;
             let mut s = SUnion::new(cfg);
-            let mut out = Emitter::new();
+            let mut out = BatchEmitter::new();
             let mut ids = [1u64; 3];
             for &(port, stime_ms) in order {
                 let t = Tuple::insertion(
@@ -197,7 +197,7 @@ fn sunion_total_order_is_interleaving_invariant() {
                 let b = Tuple::boundary(TupleId::NONE, Time::from_millis(500));
                 s.process(port, &b, Time::from_millis(2), &mut out);
             }
-            out.tuples
+            out.tuples()
                 .iter()
                 .filter(|t| t.is_data())
                 .map(|t| (t.stime.as_micros(), t.origin, t.values.clone()))

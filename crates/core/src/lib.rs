@@ -54,33 +54,32 @@ pub use upstream::{UpstreamAction, UpstreamManager};
 #[cfg(test)]
 mod tests {
     use super::*;
-    use borealis_diagram::{plan, Deployment, DiagramBuilder, DpcConfig, LogicalOp};
+    use borealis_diagram::{plan_deployment, DeploymentSpec, DpcConfig, QueryBuilder};
     use borealis_types::{Duration, StreamId, Time};
 
     /// Three sources → Union → output, replicated; client watching.
     fn merge3_system(replication: usize, detect_secs: f64) -> (RunningSystem, StreamId) {
-        let mut b = DiagramBuilder::new();
-        let s1 = b.source("s1");
-        let s2 = b.source("s2");
-        let s3 = b.source("s3");
-        let u = b.add("merged", LogicalOp::Union, &[s1, s2, s3]);
-        b.output(u);
-        let d = b.build().unwrap();
+        let mut q = QueryBuilder::new();
+        let s1 = q.source("s1");
+        let s2 = q.source("s2");
+        let s3 = q.source("s3");
+        let u = q.union("merged", &[s1, s2, s3]);
+        q.output(u);
+        let d = q.build().unwrap();
         let cfg = DpcConfig {
             total_delay: Duration::from_secs_f64(detect_secs),
             safety: 0.9,
             ..DpcConfig::default()
         };
-        let p = plan(&d, &Deployment::single(&d), &cfg).unwrap();
+        let p = plan_deployment(&d, &DeploymentSpec::single(replication), &cfg).unwrap();
         let sys = SystemBuilder::new(7, Duration::from_millis(1))
-            .source(SourceConfig::seq(s1, 100.0))
-            .source(SourceConfig::seq(s2, 100.0))
-            .source(SourceConfig::seq(s3, 100.0))
+            .source(SourceConfig::seq(s1.id(), 100.0))
+            .source(SourceConfig::seq(s2.id(), 100.0))
+            .source(SourceConfig::seq(s3.id(), 100.0))
             .plan(p)
-            .replication(replication)
-            .client_streams(vec![u])
+            .client_streams(vec![u.id()])
             .build();
-        (sys, u)
+        (sys, u.id())
     }
 
     #[test]

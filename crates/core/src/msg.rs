@@ -6,7 +6,8 @@
 //! (§4.2.3), acknowledgments for output-buffer truncation (§8.1), and the
 //! inter-replica stabilization stagger protocol (§4.4.3, Fig. 9).
 
-use borealis_types::{StreamId, TupleBatch, TupleId};
+use borealis_sim::ShardMsg;
+use borealis_types::{PartitionSpec, StreamId, TupleBatch, TupleId};
 
 /// Consistency state of a node or of one of its output streams (Fig. 5,
 /// plus the `Failed` state a monitor assigns to unreachable peers).
@@ -90,6 +91,27 @@ pub enum NetMsg {
     /// The requester finished stabilizing; the partner's promise is
     /// released.
     ReconcileDone,
+}
+
+/// The partitioned send path: a key-sharded receiver gets only its shard
+/// of every `Data` payload (control tuples — boundaries, undo, rec-done —
+/// always pass; see [`PartitionSpec`]). A batch with nothing left for the
+/// shard suppresses the delivery. All other protocol messages
+/// (subscriptions, acks, heartbeats, stagger control) pass unchanged.
+impl ShardMsg for NetMsg {
+    fn partition(self, spec: &PartitionSpec) -> Option<NetMsg> {
+        match self {
+            NetMsg::Data { stream, tuples } => {
+                let tuples = spec.filter_batch(&tuples);
+                if tuples.is_empty() {
+                    None
+                } else {
+                    Some(NetMsg::Data { stream, tuples })
+                }
+            }
+            other => Some(other),
+        }
+    }
 }
 
 impl NetMsg {

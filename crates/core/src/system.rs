@@ -30,7 +30,7 @@ use crate::runtime::DpcActor;
 use crate::source::{DataSource, SourceConfig};
 use borealis_diagram::{PhysicalPlan, StreamOrigin};
 use borealis_sim::{Actor, FaultEvent, Network, Sim};
-use borealis_types::{Duration, NodeId, StreamId, Time};
+use borealis_types::{Duration, NodeId, PartitionSpec, StreamId, Time};
 use std::collections::HashMap;
 
 /// A scripted fault expressed against the runtime-independent topology:
@@ -61,12 +61,15 @@ pub enum FaultSpec {
         /// Unmute instant.
         to: Time,
     },
-    /// Crash replica `replica` of fragment `frag` at `from`; restart at
-    /// `to` if given (§2.2 crash failures: volatile state is lost).
+    /// Crash replica `replica` of shard `shard` of logical fragment `frag`
+    /// at `from`; restart at `to` if given (§2.2 crash failures: volatile
+    /// state is lost). Unsharded fragments have a single shard 0.
     CrashReplica {
-        /// Fragment index.
+        /// Logical fragment index (deployment-spec order).
         frag: usize,
-        /// Replica index within the fragment.
+        /// Shard index within the fragment (0 for unsharded fragments).
+        shard: usize,
+        /// Replica index within the shard.
         replica: usize,
         /// Crash instant.
         from: Time,
@@ -75,13 +78,15 @@ pub enum FaultSpec {
     },
 }
 
-/// Builds a complete deployment description.
+/// Builds a complete deployment description from a planned
+/// [`PhysicalPlan`] (which carries the fragment cut, per-fragment
+/// replication, and sharding — see `borealis_diagram::plan_deployment`),
+/// the data sources, the watched client streams, and a [`FaultSpec`] list.
 pub struct SystemBuilder {
     seed: u64,
     latency: Duration,
     sources: Vec<SourceConfig>,
     plan: Option<PhysicalPlan>,
-    replication: usize,
     node_tuning: NodeTuning,
     client_tuning: ClientTuning,
     client_streams: Vec<StreamId>,
@@ -99,7 +104,6 @@ impl SystemBuilder {
             latency,
             sources: Vec::new(),
             plan: None,
-            replication: 2,
             node_tuning: NodeTuning::default(),
             client_tuning: ClientTuning::default(),
             client_streams: Vec::new(),
@@ -114,22 +118,15 @@ impl SystemBuilder {
         self
     }
 
-    /// Sets the physical plan to deploy.
+    /// Sets the physical plan to deploy. The plan's groups determine each
+    /// fragment's replication degree, shard fan-out, and CPU-cost override.
     pub fn plan(mut self, plan: PhysicalPlan) -> Self {
         self.plan = Some(plan);
         self
     }
 
-    /// Number of replicas per fragment (the paper requires at least two for
-    /// availability during stabilization; one is allowed for Fig. 11-style
-    /// single-node studies).
-    pub fn replication(mut self, n: usize) -> Self {
-        assert!(n >= 1, "at least one replica per fragment");
-        self.replication = n;
-        self
-    }
-
-    /// Node tuning knobs.
+    /// Node tuning knobs (deployment-wide defaults; a fragment's
+    /// `work_cost` override takes precedence for its replicas).
     pub fn node_tuning(mut self, t: NodeTuning) -> Self {
         self.node_tuning = t;
         self
@@ -159,42 +156,10 @@ impl SystemBuilder {
         self
     }
 
-    /// Scripts a source disconnection (see
-    /// [`FaultSpec::DisconnectSource`]).
-    pub fn script_disconnect_source(
-        self,
-        stream: StreamId,
-        frag: usize,
-        from: Time,
-        to: Time,
-    ) -> Self {
-        self.fault(FaultSpec::DisconnectSource {
-            stream,
-            frag,
-            from,
-            to,
-        })
-    }
-
-    /// Scripts a boundary mute (see [`FaultSpec::MuteBoundaries`]).
-    pub fn script_mute_boundaries(self, stream: StreamId, from: Time, to: Time) -> Self {
-        self.fault(FaultSpec::MuteBoundaries { stream, from, to })
-    }
-
-    /// Scripts a replica crash (see [`FaultSpec::CrashReplica`]).
-    pub fn script_crash_replica(
-        self,
-        frag: usize,
-        replica: usize,
-        from: Time,
-        to: Option<Time>,
-    ) -> Self {
-        self.fault(FaultSpec::CrashReplica {
-            frag,
-            replica,
-            from,
-            to,
-        })
+    /// Adds a list of scripted faults.
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultSpec>) -> Self {
+        self.faults.extend(faults);
+        self
     }
 
     /// Resolves the description into a runtime-independent [`SystemLayout`].
@@ -207,13 +172,31 @@ impl SystemBuilder {
         let plan = self.plan.expect("SystemBuilder requires a plan");
         let n_sources = self.sources.len();
         let n_fragments = plan.fragments.len();
-        let replication = self.replication;
 
-        // Deterministic id layout.
+        // Per-physical-fragment settings from the plan's groups.
+        let mut replication = vec![2usize; n_fragments];
+        let mut cost_override: Vec<Option<Duration>> = vec![None; n_fragments];
+        let mut groups: Vec<Vec<usize>> = Vec::with_capacity(plan.groups.len());
+        for g in &plan.groups {
+            for &fi in &g.fragments {
+                replication[fi] = g.replication;
+                cost_override[fi] = g.per_tuple_cost;
+            }
+            groups.push(g.fragments.clone());
+        }
+
+        // Deterministic id layout: sources, then each physical fragment's
+        // replicas in order (cumulative — replication varies per fragment),
+        // then the client.
         let source_id = |i: usize| NodeId(i as u32);
-        let node_id =
-            |frag: usize, rep: usize| NodeId((n_sources + frag * replication + rep) as u32);
-        let client_id = NodeId((n_sources + n_fragments * replication) as u32);
+        let mut frag_base = Vec::with_capacity(n_fragments);
+        let mut next = n_sources;
+        for &r in &replication {
+            frag_base.push(next);
+            next += r;
+        }
+        let node_id = |frag: usize, rep: usize| NodeId((frag_base[frag] + rep) as u32);
+        let client_id = NodeId(next as u32);
 
         // Stream producers.
         let mut producers: HashMap<StreamId, Vec<NodeId>> = HashMap::new();
@@ -222,16 +205,16 @@ impl SystemBuilder {
         }
         for (fi, fp) in plan.fragments.iter().enumerate() {
             for out in &fp.outputs {
-                let reps = (0..replication).map(|r| node_id(fi, r)).collect();
+                let reps = (0..replication[fi]).map(|r| node_id(fi, r)).collect();
                 producers.insert(out.stream, reps);
             }
         }
 
         // Downstream consumer counts per crossing stream.
         let mut consumer_counts: HashMap<StreamId, usize> = HashMap::new();
-        for fp in &plan.fragments {
+        for (fi, fp) in plan.fragments.iter().enumerate() {
             for input in &fp.inputs {
-                *consumer_counts.entry(input.stream).or_default() += replication;
+                *consumer_counts.entry(input.stream).or_default() += replication[fi];
             }
         }
         for s in &self.client_streams {
@@ -246,8 +229,28 @@ impl SystemBuilder {
         }
 
         let mut fragment_replicas: Vec<Vec<NodeId>> = Vec::new();
+        let mut partitions: Vec<(NodeId, PartitionSpec)> = Vec::new();
         for (fi, fp) in plan.fragments.iter().enumerate() {
-            let ids: Vec<NodeId> = (0..replication).map(|r| node_id(fi, r)).collect();
+            let ids: Vec<NodeId> = (0..replication[fi]).map(|r| node_id(fi, r)).collect();
+            // A shard's replicas only accept their key partition of any
+            // data stream: the layout turns the plan's shard assignment
+            // into per-receiver filters both runtimes install.
+            if let Some(sa) = &fp.shard {
+                for &id in &ids {
+                    partitions.push((
+                        id,
+                        PartitionSpec {
+                            key: sa.key.clone(),
+                            shards: sa.count,
+                            index: sa.index,
+                        },
+                    ));
+                }
+            }
+            let mut tuning = self.node_tuning.clone();
+            if let Some(cost) = cost_override[fi] {
+                tuning.per_tuple_cost = cost;
+            }
             for &my_id in &ids {
                 let replicas = ids.iter().copied().filter(|&r| r != my_id).collect();
                 // One upstream spec per distinct input stream.
@@ -282,13 +285,13 @@ impl SystemBuilder {
                     })
                     .collect();
                 debug_assert_eq!(actors.len(), my_id.index(), "id layout mismatch");
-                actors.push(ActorSpec::Node(NodeConfig {
+                actors.push(ActorSpec::Node(Box::new(NodeConfig {
                     plan: fp.clone(),
                     replicas,
                     upstreams,
                     downstream_counts,
-                    tuning: self.node_tuning.clone(),
-                }));
+                    tuning: tuning.clone(),
+                })));
             }
             fragment_replicas.push(ids);
         }
@@ -322,6 +325,8 @@ impl SystemBuilder {
             actors,
             source_ids,
             fragment_replicas,
+            groups,
+            partitions,
             client,
             script: Vec::new(),
         };
@@ -345,8 +350,9 @@ impl SystemBuilder {
 pub enum ActorSpec {
     /// A data source.
     Source(SourceConfig),
-    /// A processing-node replica.
-    Node(NodeConfig),
+    /// A processing-node replica (boxed: a node's fragment plan dwarfs the
+    /// other variants).
+    Node(Box<NodeConfig>),
     /// The client proxy.
     Client {
         /// Watched output streams with their producing replicas.
@@ -362,7 +368,7 @@ impl ActorSpec {
     pub fn into_dpc_actor(self, metrics: &MetricsHub) -> Box<dyn DpcActor> {
         match self {
             ActorSpec::Source(cfg) => Box::new(DataSource::new(cfg)),
-            ActorSpec::Node(cfg) => Box::new(ProcessingNode::new(cfg)),
+            ActorSpec::Node(cfg) => Box::new(ProcessingNode::new(*cfg)),
             ActorSpec::Client { streams, tuning } => {
                 Box::new(ClientProxy::new(streams, tuning, metrics.clone()))
             }
@@ -373,7 +379,7 @@ impl ActorSpec {
     pub fn into_sim_actor(self, metrics: &MetricsHub) -> Box<dyn Actor<NetMsg>> {
         match self {
             ActorSpec::Source(cfg) => Box::new(DataSource::new(cfg)),
-            ActorSpec::Node(cfg) => Box::new(ProcessingNode::new(cfg)),
+            ActorSpec::Node(cfg) => Box::new(ProcessingNode::new(*cfg)),
             ActorSpec::Client { streams, tuning } => {
                 Box::new(ClientProxy::new(streams, tuning, metrics.clone()))
             }
@@ -397,8 +403,15 @@ pub struct SystemLayout {
     pub actors: Vec<ActorSpec>,
     /// Source actor ids, per stream.
     pub source_ids: Vec<(StreamId, NodeId)>,
-    /// Node ids per fragment (outer index = fragment index).
+    /// Node ids per physical fragment (outer index = physical fragment
+    /// index; a sharded group contributes one entry per shard).
     pub fragment_replicas: Vec<Vec<NodeId>>,
+    /// Physical fragment indexes per logical fragment, in shard order
+    /// (identity for unsharded plans).
+    pub groups: Vec<Vec<usize>>,
+    /// Key-partition filters per shard-replica node, installed into the
+    /// runtime's link routing at deploy time.
+    pub partitions: Vec<(NodeId, PartitionSpec)>,
     /// The client proxy, if any.
     pub client: Option<NodeId>,
     /// Scripted faults, lowered to concrete events, sorted by time.
@@ -406,6 +419,13 @@ pub struct SystemLayout {
 }
 
 impl SystemLayout {
+    /// Replica node ids of shard `shard` of logical fragment `frag`.
+    ///
+    /// # Panics
+    /// Panics if the indexes are out of range (an experiment-script bug).
+    pub fn shard_replicas(&self, frag: usize, shard: usize) -> &[NodeId] {
+        &self.fragment_replicas[self.groups[frag][shard]]
+    }
     /// The actor id of the source producing `stream`.
     ///
     /// # Panics
@@ -428,11 +448,13 @@ impl SystemLayout {
                 to,
             } => {
                 let src = self.source_of(stream);
-                for &node in &self.fragment_replicas[frag] {
-                    self.script
-                        .push((from, FaultEvent::LinkDown { a: src, b: node }));
-                    self.script
-                        .push((to, FaultEvent::LinkUp { a: src, b: node }));
+                for &fi in &self.groups[frag] {
+                    for &node in &self.fragment_replicas[fi] {
+                        self.script
+                            .push((from, FaultEvent::LinkDown { a: src, b: node }));
+                        self.script
+                            .push((to, FaultEvent::LinkUp { a: src, b: node }));
+                    }
                 }
             }
             FaultSpec::MuteBoundaries { stream, from, to } => {
@@ -454,11 +476,12 @@ impl SystemLayout {
             }
             FaultSpec::CrashReplica {
                 frag,
+                shard,
                 replica,
                 from,
                 to,
             } => {
-                let node = self.fragment_replicas[frag][replica];
+                let node = self.shard_replicas(frag, shard)[replica];
                 self.script.push((from, FaultEvent::NodeDown(node)));
                 if let Some(to) = to {
                     self.script.push((to, FaultEvent::NodeUp(node)));
@@ -469,7 +492,11 @@ impl SystemLayout {
 
     /// Launches the layout under the deterministic simulator.
     pub fn deploy_sim(self) -> RunningSystem {
-        let mut sim: Sim<NetMsg> = Sim::new(self.seed, Network::new(self.latency));
+        let mut net = Network::new(self.latency);
+        for (node, spec) in self.partitions {
+            net.set_partition(node, spec);
+        }
+        let mut sim: Sim<NetMsg> = Sim::new(self.seed, net);
         for (i, spec) in self.actors.into_iter().enumerate() {
             let id = sim.add_actor(spec.into_sim_actor(&self.metrics));
             assert_eq!(id, NodeId(i as u32), "id layout mismatch");
@@ -482,6 +509,7 @@ impl SystemLayout {
             metrics: self.metrics,
             source_ids: self.source_ids,
             fragment_replicas: self.fragment_replicas,
+            groups: self.groups,
             client: self.client,
         }
     }
@@ -496,8 +524,11 @@ pub struct RunningSystem {
     pub metrics: MetricsHub,
     /// Source actor ids, per stream.
     pub source_ids: Vec<(StreamId, NodeId)>,
-    /// Node ids per fragment (outer index = fragment index).
+    /// Node ids per physical fragment (outer index = physical fragment
+    /// index; a sharded group contributes one entry per shard).
     pub fragment_replicas: Vec<Vec<NodeId>>,
+    /// Physical fragment indexes per logical fragment, in shard order.
+    pub groups: Vec<Vec<usize>>,
     /// The client proxy, if any.
     pub client: Option<NodeId>,
 }
@@ -515,17 +546,19 @@ impl RunningSystem {
             .unwrap_or_else(|| panic!("no source for {stream}"))
     }
 
-    /// Disconnects `stream`'s source from every replica of fragment `frag`
-    /// between `from` and `to` — the §5/§6.1 failure: "temporarily
-    /// disconnecting one of the input streams without stopping the data
-    /// source".
+    /// Disconnects `stream`'s source from every replica of every shard of
+    /// logical fragment `frag` between `from` and `to` — the §5/§6.1
+    /// failure: "temporarily disconnecting one of the input streams
+    /// without stopping the data source".
     pub fn disconnect_source(&mut self, stream: StreamId, frag: usize, from: Time, to: Time) {
         let src = self.source_of(stream);
-        for &node in self.fragment_replicas[frag].clone().iter() {
-            self.sim
-                .schedule_fault(from, FaultEvent::LinkDown { a: src, b: node });
-            self.sim
-                .schedule_fault(to, FaultEvent::LinkUp { a: src, b: node });
+        for fi in self.groups[frag].clone() {
+            for &node in self.fragment_replicas[fi].clone().iter() {
+                self.sim
+                    .schedule_fault(from, FaultEvent::LinkDown { a: src, b: node });
+                self.sim
+                    .schedule_fault(to, FaultEvent::LinkUp { a: src, b: node });
+            }
         }
     }
 
@@ -550,9 +583,23 @@ impl RunningSystem {
         );
     }
 
-    /// Crashes one replica of a fragment between `from` and `to`.
+    /// Crashes one replica of (shard 0 of) logical fragment `frag` between
+    /// `from` and `to`; use [`RunningSystem::crash_shard_node`] to target a
+    /// specific shard.
     pub fn crash_node(&mut self, frag: usize, replica: usize, from: Time, to: Option<Time>) {
-        let node = self.fragment_replicas[frag][replica];
+        self.crash_shard_node(frag, 0, replica, from, to);
+    }
+
+    /// Crashes one replica of shard `shard` of logical fragment `frag`.
+    pub fn crash_shard_node(
+        &mut self,
+        frag: usize,
+        shard: usize,
+        replica: usize,
+        from: Time,
+        to: Option<Time>,
+    ) {
+        let node = self.fragment_replicas[self.groups[frag][shard]][replica];
         self.sim.schedule_fault(from, FaultEvent::NodeDown(node));
         if let Some(to) = to {
             self.sim.schedule_fault(to, FaultEvent::NodeUp(node));
@@ -568,30 +615,30 @@ impl RunningSystem {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use borealis_diagram::{plan, Deployment, DiagramBuilder, DpcConfig, LogicalOp};
+    use borealis_diagram::{
+        plan_deployment, DeploymentSpec, DpcConfig, FragmentSpec, QueryBuilder,
+    };
+    use borealis_types::Expr;
 
     fn tiny_layout(faults: Vec<FaultSpec>) -> SystemLayout {
-        let mut b = DiagramBuilder::new();
-        let s1 = b.source("s1");
-        let s2 = b.source("s2");
-        let u = b.add("u", LogicalOp::Union, &[s1, s2]);
-        b.output(u);
-        let d = b.build().unwrap();
+        let mut q = QueryBuilder::new();
+        let s1 = q.source("s1");
+        let s2 = q.source("s2");
+        let u = q.union("u", &[s1, s2]);
+        q.output(u);
+        let d = q.build().unwrap();
         let cfg = DpcConfig {
             total_delay: Duration::from_secs(2),
             ..DpcConfig::default()
         };
-        let p = plan(&d, &Deployment::single(&d), &cfg).unwrap();
-        let mut builder = SystemBuilder::new(1, Duration::from_millis(1))
-            .source(SourceConfig::seq(s1, 100.0))
-            .source(SourceConfig::seq(s2, 100.0))
+        let p = plan_deployment(&d, &DeploymentSpec::single(2), &cfg).unwrap();
+        SystemBuilder::new(1, Duration::from_millis(1))
+            .source(SourceConfig::seq(s1.id(), 100.0))
+            .source(SourceConfig::seq(s2.id(), 100.0))
             .plan(p)
-            .replication(2)
-            .client_streams(vec![u]);
-        for f in faults {
-            builder = builder.fault(f);
-        }
-        builder.layout()
+            .client_streams(vec![u.id()])
+            .faults(faults)
+            .layout()
     }
 
     #[test]
@@ -619,6 +666,7 @@ mod tests {
             },
             FaultSpec::CrashReplica {
                 frag: 0,
+                shard: 0,
                 replica: 1,
                 from: Time::from_secs(3),
                 to: None,
@@ -637,6 +685,111 @@ mod tests {
             .filter(|(_, f)| matches!(f, FaultEvent::LinkDown { .. }))
             .count();
         assert_eq!(downs, 2, "one link-down per replica");
+    }
+
+    fn sharded_layout(k: u32, work_replication: usize) -> SystemLayout {
+        let mut q = QueryBuilder::new();
+        let s1 = q.source("s1");
+        let s2 = q.source("s2");
+        let u = q.union("ingest", &[s1, s2]);
+        let w = q.map("work", u, vec![Expr::field(0)]);
+        let out = q.map("deliver", w, vec![Expr::field(0)]);
+        q.output(out);
+        let d = q.build().unwrap();
+        let spec = DeploymentSpec::new()
+            .fragment(FragmentSpec::named("ingest").op("ingest"))
+            .fragment(
+                FragmentSpec::named("work")
+                    .op("work")
+                    .replication(work_replication)
+                    .shards(k, Expr::field(0))
+                    .work_cost(Duration::from_micros(80)),
+            )
+            .fragment(FragmentSpec::named("deliver").op("deliver"));
+        let cfg = DpcConfig {
+            total_delay: Duration::from_secs(3),
+            ..DpcConfig::default()
+        };
+        let p = plan_deployment(&d, &spec, &cfg).unwrap();
+        SystemBuilder::new(5, Duration::from_millis(1))
+            .source(SourceConfig::seq(s1.id(), 150.0))
+            .source(SourceConfig::seq(s2.id(), 150.0))
+            .plan(p)
+            .client_streams(vec![out.id()])
+            .layout()
+    }
+
+    /// Sharded layouts: cumulative id assignment across heterogeneous
+    /// replication, one partition filter per shard replica, and
+    /// logical→physical fragment groups.
+    #[test]
+    fn sharded_layout_assigns_ids_partitions_and_groups() {
+        let l = sharded_layout(2, 2);
+        // 2 sources + ingest 2 + work 2 shards × 2 + deliver 2 + client.
+        assert_eq!(l.actors.len(), 2 + 2 + 4 + 2 + 1);
+        assert_eq!(l.groups, vec![vec![0], vec![1, 2], vec![3]]);
+        assert_eq!(l.fragment_replicas.len(), 4);
+        assert_eq!(l.shard_replicas(1, 1), &[NodeId(6), NodeId(7)]);
+        assert_eq!(l.client, Some(NodeId(10)));
+        // One filter per work replica, with matching shard indexes.
+        assert_eq!(l.partitions.len(), 4);
+        for (node, spec) in &l.partitions {
+            assert_eq!(spec.shards, 2);
+            let shard = if node.index() < 6 { 0 } else { 1 };
+            assert_eq!(spec.index, shard);
+        }
+        // Work-stage cost override sticks to work replicas only.
+        let cost_of = |id: usize| match &l.actors[id] {
+            ActorSpec::Node(cfg) => cfg.tuning.per_tuple_cost,
+            _ => panic!("not a node"),
+        };
+        assert_eq!(cost_of(4), Duration::from_micros(80));
+        assert_ne!(cost_of(2), Duration::from_micros(80));
+    }
+
+    /// A scripted shard-replica crash lowers to the right physical node,
+    /// and a source disconnect hits every shard's replicas.
+    #[test]
+    fn shard_faults_lower_to_physical_nodes() {
+        let mut l = sharded_layout(2, 2);
+        l.lower_fault(&FaultSpec::CrashReplica {
+            frag: 1,
+            shard: 1,
+            replica: 0,
+            from: Time::from_secs(1),
+            to: None,
+        });
+        assert!(l
+            .script
+            .iter()
+            .any(|(_, f)| *f == FaultEvent::NodeDown(NodeId(6))));
+        l.lower_fault(&FaultSpec::DisconnectSource {
+            stream: StreamId(0),
+            frag: 1,
+            from: Time::from_secs(2),
+            to: Time::from_secs(3),
+        });
+        let downs = l
+            .script
+            .iter()
+            .filter(|(_, f)| matches!(f, FaultEvent::LinkDown { .. }))
+            .count();
+        assert_eq!(downs, 4, "all four work replicas lose the source");
+    }
+
+    /// End to end under the simulator: a sharded middle stage produces the
+    /// same deduplicated stable stream a client expects, and the downstream
+    /// SUnion merges the shard substreams.
+    #[test]
+    fn sharded_system_runs_clean_under_sim() {
+        let out = StreamId(4);
+        let mut sys = sharded_layout(2, 2).deploy_sim();
+        sys.run_until(Time::from_secs(10));
+        sys.metrics.with(out, |m| {
+            assert!(m.n_stable > 1500, "stable = {}", m.n_stable);
+            assert_eq!(m.n_tentative, 0);
+            assert_eq!(m.dup_stable, 0);
+        });
     }
 
     #[test]

@@ -40,8 +40,15 @@ pub enum LogicalOp {
     Union,
     /// Windowed aggregate.
     Aggregate(AggregateSpec),
-    /// Windowed equi-join (becomes SUnion + SJoin).
+    /// Windowed equi-join: the first input is the left side, every further
+    /// input the right (becomes SUnion + SJoin; the paper's Fig. 12
+    /// three-stream join is `Join` over three inputs).
     Join(JoinSpec),
+    /// Identity tap: renames a stream so it can cross a fragment boundary
+    /// or reach clients through DPC's SUnion/SOutput machinery without any
+    /// computation (the §7 serialization-overhead probe). The planner
+    /// lowers it to *no* physical operator.
+    Passthrough,
 }
 
 impl LogicalOp {
@@ -53,13 +60,13 @@ impl LogicalOp {
             LogicalOp::Union => "union",
             LogicalOp::Aggregate(_) => "aggregate",
             LogicalOp::Join(_) => "join",
+            LogicalOp::Passthrough => "passthrough",
         }
     }
 
     fn expected_inputs(&self) -> Option<usize> {
         match self {
-            LogicalOp::Union => None, // any number >= 2
-            LogicalOp::Join(_) => Some(2),
+            LogicalOp::Union | LogicalOp::Join(_) => None, // any number >= 2
             _ => Some(1),
         }
     }
@@ -102,6 +109,14 @@ pub enum DiagramError {
     UnknownOutput(StreamId),
     /// An operator was assigned to no fragment during deployment.
     Unassigned(OpId),
+    /// A deployment assignment whose length does not match the diagram's
+    /// operator count (longer vectors used to be silently truncated).
+    AssignmentMismatch {
+        /// The diagram's operator count.
+        expected: usize,
+        /// The assignment's length.
+        actual: usize,
+    },
     /// Operators in the same fragment must form a connected sub-diagram
     /// deployable on one node; this edge crosses fragments backwards.
     BackwardsEdge {
@@ -110,6 +125,25 @@ pub enum DiagramError {
         /// Consuming fragment.
         to: FragmentId,
     },
+    /// A deployment spec referenced an operator name the diagram does not
+    /// define.
+    UnknownOp(String),
+    /// A deployment spec assigned the same operator to two fragments.
+    DuplicateAssignment(String),
+    /// A deployment spec declared a fragment with no operators.
+    EmptyFragment(String),
+    /// A stream handle from one `QueryBuilder` was used with another.
+    ForeignHandle,
+    /// A sharded fragment produces a client-visible output stream; shards
+    /// must be merged by a downstream fragment's SUnion before delivery.
+    ShardedOutput(StreamId),
+    /// Key-partitioned sharding needs the DPC machinery (entry SUnions to
+    /// merge substreams); it cannot be combined with
+    /// [`Protection::Baseline`](crate::plan::Protection).
+    ShardsRequireDpc(String),
+    /// A [`LogicalOp::Passthrough`] has no physical operator to carry its
+    /// output in baseline (no-SOutput) mode.
+    UnprotectedPassthrough(StreamId),
 }
 
 impl fmt::Display for DiagramError {
@@ -130,11 +164,40 @@ impl fmt::Display for DiagramError {
             DiagramError::Cyclic => write!(f, "query diagram contains a cycle"),
             DiagramError::UnknownOutput(s) => write!(f, "declared output {s} is never produced"),
             DiagramError::Unassigned(op) => write!(f, "operator {op} not assigned to a fragment"),
+            DiagramError::AssignmentMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "deployment assigns {actual} operators but the diagram has {expected}"
+                )
+            }
             DiagramError::BackwardsEdge { from, to } => {
                 write!(
                     f,
                     "fragment {to} feeds earlier fragment {from} (cycle between fragments)"
                 )
+            }
+            DiagramError::UnknownOp(n) => write!(f, "deployment references unknown operator {n:?}"),
+            DiagramError::DuplicateAssignment(n) => {
+                write!(f, "operator {n:?} assigned to two fragments")
+            }
+            DiagramError::EmptyFragment(n) => write!(f, "fragment {n:?} contains no operators"),
+            DiagramError::ForeignHandle => {
+                write!(f, "stream handle belongs to a different QueryBuilder")
+            }
+            DiagramError::ShardedOutput(s) => {
+                write!(
+                    f,
+                    "sharded fragment produces client-visible stream {s}; merge it in a downstream fragment first"
+                )
+            }
+            DiagramError::ShardsRequireDpc(n) => {
+                write!(
+                    f,
+                    "fragment {n:?} is sharded but planned without DPC protection"
+                )
+            }
+            DiagramError::UnprotectedPassthrough(s) => {
+                write!(f, "passthrough stream {s} requires DPC protection")
             }
         }
     }
@@ -196,6 +259,22 @@ impl Diagram {
             .filter(|o| o.inputs.contains(&stream))
             .collect()
     }
+
+    /// The stream with the given name, if declared.
+    pub fn stream_named(&self, name: &str) -> Option<StreamId> {
+        self.stream_names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| StreamId(i as u32))
+    }
+
+    /// The operator whose output stream has the given name (operators are
+    /// addressed by the stream they produce — the deployment-spec naming
+    /// convention).
+    pub fn op_named(&self, name: &str) -> Option<&OpNode> {
+        let s = self.stream_named(name)?;
+        self.producer(s)
+    }
 }
 
 /// Incrementally builds a [`Diagram`].
@@ -252,7 +331,14 @@ impl DiagramBuilder {
                     actual: inputs.len(),
                 });
             }
-            None if inputs.len() < 2 => self.errors.push(DiagramError::UnionTooNarrow(id)),
+            None if inputs.len() < 2 => self.errors.push(match op {
+                LogicalOp::Join(_) => DiagramError::ArityMismatch {
+                    op: id,
+                    expected: 2,
+                    actual: inputs.len(),
+                },
+                _ => DiagramError::UnionTooNarrow(id),
+            }),
             _ => {}
         }
         self.ops.push(OpNode {

@@ -12,9 +12,25 @@
 //!   budget `X` according to the chosen [`DelayAssignment`] (§6.3).
 
 use crate::graph::{Diagram, DiagramError, LogicalOp};
+use crate::spec::{DeploymentSpec, FragmentSpec};
 use borealis_ops::{DelayMode, OperatorSpec, SJoinSpec, SUnionConfig};
-use borealis_types::{Duration, FragmentId, OpId, StreamId};
+use borealis_types::{Duration, Expr, FragmentId, OpId, StreamId};
 use std::collections::HashMap;
+
+/// Whether the planner wraps the diagram in DPC's fault-tolerance
+/// machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Protection {
+    /// Full DPC: entry SUnions on every external input, SOutputs on every
+    /// crossing stream (§3). The default.
+    #[default]
+    Dpc,
+    /// The paper's non-fault-tolerant baseline (§7, Fig. 22(b)): external
+    /// inputs bind directly to their consuming operators, `Union` stays a
+    /// plain union, and crossing streams leave from the producing operator
+    /// with no SOutput. No serialization, no failure handling.
+    Baseline,
+}
 
 /// How the total incremental latency `X` is divided among SUnions (§6.3).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -53,6 +69,9 @@ pub struct DpcConfig {
     /// Minimum wait before releasing a tentative bucket in Process mode
     /// (300 ms in the paper, footnote 5).
     pub tentative_wait: Duration,
+    /// DPC machinery on ([`Protection::Dpc`]) or the non-fault-tolerant
+    /// baseline ([`Protection::Baseline`]).
+    pub protection: Protection,
 }
 
 impl Default for DpcConfig {
@@ -65,6 +84,7 @@ impl Default for DpcConfig {
             failure_mode: DelayMode::Process,
             stabilization_mode: DelayMode::Process,
             tentative_wait: Duration::from_millis(300),
+            protection: Protection::Dpc,
         }
     }
 }
@@ -111,6 +131,17 @@ pub struct FragmentOutput {
     pub op: usize,
 }
 
+/// One physical instance's slice of a key-partitioned fragment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardAssignment {
+    /// Key expression partitioning the fragment's input streams.
+    pub key: Expr,
+    /// Total number of shards (K).
+    pub count: u32,
+    /// This instance's shard index in `[0, K)`.
+    pub index: u32,
+}
+
 /// The physical diagram of one fragment.
 #[derive(Debug, Clone)]
 pub struct FragmentPlan {
@@ -122,6 +153,10 @@ pub struct FragmentPlan {
     pub inputs: Vec<FragmentInput>,
     /// Output bindings.
     pub outputs: Vec<FragmentOutput>,
+    /// Set when this fragment is one shard of a key-partitioned group: the
+    /// deployment layer installs the matching partition filter on every
+    /// replica, so only this shard's slice of each input stream arrives.
+    pub shard: Option<ShardAssignment>,
 }
 
 impl FragmentPlan {
@@ -136,16 +171,59 @@ impl FragmentPlan {
     }
 }
 
+/// Deployment settings of one *logical* fragment in a physical plan: its
+/// replication degree, shard fan-out, and the physical fragment indexes
+/// belonging to it (one per shard).
+#[derive(Debug, Clone)]
+pub struct PlanGroup {
+    /// Fragment name (from the deployment spec; synthesized for raw
+    /// [`Deployment`]s).
+    pub name: String,
+    /// Replicas per physical fragment (the paper requires two for
+    /// availability during stabilization; one is allowed for single-node
+    /// studies).
+    pub replication: usize,
+    /// Shard fan-out (1 = unsharded).
+    pub shards: u32,
+    /// Physical fragment indexes of this group, in shard order.
+    pub fragments: Vec<usize>,
+    /// Optional per-fragment CPU cost override (heterogeneous stages).
+    pub per_tuple_cost: Option<Duration>,
+}
+
 /// The full physical plan.
 #[derive(Debug, Clone)]
 pub struct PhysicalPlan {
-    /// One plan per fragment, indexed by [`FragmentId::index`].
+    /// One plan per physical fragment, indexed by [`FragmentId::index`].
     pub fragments: Vec<FragmentPlan>,
+    /// Per-logical-fragment deployment settings (replication, sharding).
+    pub groups: Vec<PlanGroup>,
     /// Maximum number of SUnions on any source→output path (drives the
     /// Uniform delay assignment).
     pub max_sunion_depth: usize,
     /// The per-SUnion detection delay that was assigned.
     pub per_sunion_delay: Duration,
+}
+
+impl PhysicalPlan {
+    /// Sets every group's replication degree (convenience for plans built
+    /// from a raw [`Deployment`], which carries no replication settings).
+    pub fn with_replication(mut self, n: usize) -> PhysicalPlan {
+        assert!(n >= 1, "at least one replica per fragment");
+        for g in &mut self.groups {
+            g.replication = n;
+        }
+        self
+    }
+
+    /// The physical fragment index of shard `shard` of logical fragment
+    /// `group` (identity for unsharded plans).
+    ///
+    /// # Panics
+    /// Panics if the group or shard index is out of range.
+    pub fn fragment_of(&self, group: usize, shard: usize) -> usize {
+        self.groups[group].fragments[shard]
+    }
 }
 
 /// Assignment of logical operators to fragments.
@@ -186,17 +264,25 @@ pub fn plan(
     deployment: &Deployment,
     cfg: &DpcConfig,
 ) -> Result<PhysicalPlan, DiagramError> {
-    if deployment.assignment.len() != diagram.ops().len() {
-        if let Some(op) = diagram.ops().get(deployment.assignment.len()) {
-            return Err(DiagramError::Unassigned(op.id));
-        }
+    if deployment.assignment.len() > diagram.ops().len() {
+        // A longer vector used to be silently truncated — every extra entry
+        // is a deployment bug (an operator the author thinks exists).
+        return Err(DiagramError::AssignmentMismatch {
+            expected: diagram.ops().len(),
+            actual: deployment.assignment.len(),
+        });
     }
+    if let Some(op) = diagram.ops().get(deployment.assignment.len()) {
+        return Err(DiagramError::Unassigned(op.id));
+    }
+    let dpc = cfg.protection == Protection::Dpc;
     let mut fragments: Vec<FragmentPlan> = (0..deployment.n_fragments)
         .map(|i| FragmentPlan {
             id: FragmentId(i as u32),
             ops: Vec::new(),
             inputs: Vec::new(),
             outputs: Vec::new(),
+            shard: None,
         })
         .collect();
 
@@ -260,9 +346,15 @@ pub fn plan(
         let f = deployment.of(node.id);
         let fp = &mut fragments[f.index()];
         let external = |s: StreamId| produced_in.get(&s).copied() != Some(f);
+        let origin_of = |s: StreamId| {
+            produced_in
+                .get(&s)
+                .map_or(StreamOrigin::Source, |&p| StreamOrigin::Fragment(p))
+        };
 
         // Ensures `s` is available inside the fragment, returning the local
-        // producing op index. Creates an entry SUnion for external streams.
+        // producing op index. Creates an entry SUnion for external streams
+        // (DPC mode only; baseline callers bind externals directly).
         macro_rules! ensure_local {
             ($s:expr) => {{
                 let s: StreamId = $s;
@@ -281,9 +373,7 @@ pub fn plan(
                         stream: s,
                         target: idx,
                         port: 0,
-                        origin: produced_in
-                            .get(&s)
-                            .map_or(StreamOrigin::Source, |&p| StreamOrigin::Fragment(p)),
+                        origin: origin_of(s),
                     });
                     entry_sunion[f.index()].insert(s, idx);
                     idx
@@ -291,15 +381,50 @@ pub fn plan(
             }};
         }
 
+        // Two-phase input binding, keeping ops in topological order: the
+        // feeder (local producer or DPC entry SUnion) is materialized
+        // *before* the consuming op is pushed; baseline external streams
+        // bind directly to the consumer once its index is known.
+        enum Bind {
+            Feeder(usize),
+            External(StreamId),
+        }
+        macro_rules! prebind {
+            ($s:expr) => {{
+                let s: StreamId = $s;
+                if !external(s) || dpc {
+                    Bind::Feeder(ensure_local!(s))
+                } else {
+                    Bind::External(s)
+                }
+            }};
+        }
+        macro_rules! apply_bind {
+            ($bind:expr, $idx:expr, $port:expr) => {{
+                match $bind {
+                    Bind::Feeder(feeder) => fp.ops[feeder].fanout.push(($idx, $port)),
+                    Bind::External(s) => fp.inputs.push(FragmentInput {
+                        stream: s,
+                        target: $idx,
+                        port: $port,
+                        origin: origin_of(s),
+                    }),
+                }
+            }};
+        }
+
         // True when a multi-input op can act as the fragment entry for all
         // of its inputs: every input is external, feeds only this op, and no
-        // entry SUnion exists for it yet.
-        let absorb_ok = node.inputs.iter().all(|&s| {
-            external(s) && consumers_in_frag(s, f) == 1 && !entry_sunion[f.index()].contains_key(&s)
-        });
+        // entry SUnion exists for it yet (DPC mode only).
+        let absorb_ok = dpc
+            && node.inputs.iter().all(|&s| {
+                external(s)
+                    && consumers_in_frag(s, f) == 1
+                    && !entry_sunion[f.index()].contains_key(&s)
+            });
 
         let out_idx = match &node.op {
-            LogicalOp::Union => {
+            LogicalOp::Union if dpc => {
                 let idx = fp.ops.len();
                 if absorb_ok {
                     fp.ops.push(PhysOp {
@@ -312,9 +437,7 @@ pub fn plan(
                             stream: s,
                             target: idx,
                             port,
-                            origin: produced_in
-                                .get(&s)
-                                .map_or(StreamOrigin::Source, |&p| StreamOrigin::Fragment(p)),
+                            origin: origin_of(s),
                         });
                     }
                     idx
@@ -333,12 +456,31 @@ pub fn plan(
                     idx
                 }
             }
+            LogicalOp::Union => {
+                // Baseline: a plain, non-serializing union.
+                let binds: Vec<Bind> = node.inputs.iter().map(|&s| prebind!(s)).collect();
+                let idx = fp.ops.len();
+                fp.ops.push(PhysOp {
+                    spec: OperatorSpec::Union {
+                        n_inputs: node.inputs.len(),
+                    },
+                    fanout: Vec::new(),
+                    external_output: None,
+                });
+                for (port, bind) in binds.into_iter().enumerate() {
+                    apply_bind!(bind, idx, port);
+                }
+                idx
+            }
             LogicalOp::Join(js) => {
-                // SUnion(2) serializing both inputs, then the SJoin.
-                let su_idx = fp.ops.len();
-                if absorb_ok {
+                // An SUnion serializing all inputs (the first is the left
+                // side), then the SJoin. Joins keep their serializer even in
+                // baseline mode — deterministic matching requires it.
+                let n = node.inputs.len();
+                let su_idx = if absorb_ok {
+                    let su_idx = fp.ops.len();
                     fp.ops.push(PhysOp {
-                        spec: OperatorSpec::SUnion(base_sunion(2, true)),
+                        spec: OperatorSpec::SUnion(base_sunion(n, true)),
                         fanout: Vec::new(),
                         external_output: None,
                     });
@@ -347,23 +489,23 @@ pub fn plan(
                             stream: s,
                             target: su_idx,
                             port,
-                            origin: produced_in
-                                .get(&s)
-                                .map_or(StreamOrigin::Source, |&p| StreamOrigin::Fragment(p)),
+                            origin: origin_of(s),
                         });
                     }
+                    su_idx
                 } else {
-                    let feeders: Vec<usize> =
-                        node.inputs.iter().map(|&s| ensure_local!(s)).collect();
+                    let binds: Vec<Bind> = node.inputs.iter().map(|&s| prebind!(s)).collect();
+                    let su_idx = fp.ops.len();
                     fp.ops.push(PhysOp {
-                        spec: OperatorSpec::SUnion(base_sunion(2, false)),
+                        spec: OperatorSpec::SUnion(base_sunion(n, false)),
                         fanout: Vec::new(),
                         external_output: None,
                     });
-                    for (port, &src) in feeders.iter().enumerate() {
-                        fp.ops[src].fanout.push((su_idx, port));
+                    for (port, bind) in binds.into_iter().enumerate() {
+                        apply_bind!(bind, su_idx, port);
                     }
-                }
+                    su_idx
+                };
                 let j_idx = fp.ops.len();
                 fp.ops.push(PhysOp {
                     spec: OperatorSpec::SJoin(SJoinSpec {
@@ -379,9 +521,17 @@ pub fn plan(
                 fp.ops[su_idx].fanout.push((j_idx, 0));
                 j_idx
             }
+            LogicalOp::Passthrough => {
+                // Identity: no physical operator. The input's local producer
+                // (an entry SUnion for external streams) stands in for it —
+                // a DPC tap is exactly [entry SUnion, SOutput].
+                if !dpc {
+                    return Err(DiagramError::UnprotectedPassthrough(node.output));
+                }
+                ensure_local!(node.inputs[0])
+            }
             single => {
                 let input = node.inputs[0];
-                let feeder = ensure_local!(input);
                 let spec = match single {
                     LogicalOp::Filter { predicate } => OperatorSpec::Filter {
                         predicate: predicate.clone(),
@@ -390,33 +540,45 @@ pub fn plan(
                         outputs: outputs.clone(),
                     },
                     LogicalOp::Aggregate(a) => OperatorSpec::Aggregate(a.clone()),
-                    LogicalOp::Union | LogicalOp::Join(_) => unreachable!("handled above"),
+                    LogicalOp::Union | LogicalOp::Join(_) | LogicalOp::Passthrough => {
+                        unreachable!("handled above")
+                    }
                 };
+                let bind = prebind!(input);
                 let idx = fp.ops.len();
                 fp.ops.push(PhysOp {
                     spec,
                     fanout: Vec::new(),
                     external_output: None,
                 });
-                fp.ops[feeder].fanout.push((idx, 0));
+                apply_bind!(bind, idx, 0);
                 idx
             }
         };
         local_producer[f.index()].insert(node.output, out_idx);
 
-        // Append an SOutput if this stream crosses the fragment boundary.
+        // A stream crossing the fragment boundary leaves through an SOutput
+        // (DPC) or directly from its producing op (baseline).
         if crosses.contains(&node.output) {
-            let so_idx = fp.ops.len();
-            fp.ops.push(PhysOp {
-                spec: OperatorSpec::SOutput,
-                fanout: Vec::new(),
-                external_output: Some(node.output),
-            });
-            fp.ops[out_idx].fanout.push((so_idx, 0));
-            fp.outputs.push(FragmentOutput {
-                stream: node.output,
-                op: so_idx,
-            });
+            if dpc {
+                let so_idx = fp.ops.len();
+                fp.ops.push(PhysOp {
+                    spec: OperatorSpec::SOutput,
+                    fanout: Vec::new(),
+                    external_output: Some(node.output),
+                });
+                fp.ops[out_idx].fanout.push((so_idx, 0));
+                fp.outputs.push(FragmentOutput {
+                    stream: node.output,
+                    op: so_idx,
+                });
+            } else {
+                fp.ops[out_idx].external_output = Some(node.output);
+                fp.outputs.push(FragmentOutput {
+                    stream: node.output,
+                    op: out_idx,
+                });
+            }
         }
     }
 
@@ -450,11 +612,237 @@ pub fn plan(
         }
     }
 
+    // Raw deployments carry no replication/shard settings: one unsharded
+    // group per fragment at the paper's default replication of two
+    // (override with [`PhysicalPlan::with_replication`], or plan through
+    // a [`crate::spec::DeploymentSpec`]).
+    let groups = (0..fragments.len())
+        .map(|i| PlanGroup {
+            name: format!("frag{i}"),
+            replication: 2,
+            shards: 1,
+            fragments: vec![i],
+            per_tuple_cost: None,
+        })
+        .collect();
+
     Ok(PhysicalPlan {
         fragments,
+        groups,
         max_sunion_depth: max_depth,
         per_sunion_delay: per_delay,
     })
+}
+
+/// Plans a diagram against a declarative [`DeploymentSpec`]: resolves the
+/// fragment cut by operator name, runs the DPC physical planner, then
+/// applies the **sharding pass** — every fragment with `shards = K > 1` is
+/// cloned into K key-partitioned physical instances:
+///
+/// * each shard's output streams are renamed to per-shard substreams, so
+///   the K instances are complementary producers rather than replicas;
+/// * every downstream consumer's entry SUnion is widened to merge the K
+///   serialized substreams back into one deterministic stream (§4.2's
+///   bucket ordering makes the merge identical on every replica and every
+///   runtime);
+/// * the shard's [`ShardAssignment`] tells the deployment layer to install
+///   a [`PartitionSpec`](borealis_types::PartitionSpec) filter on each
+///   replica, so senders fan data out by `hash(key) % K` on the wire.
+///
+/// Sharding composes with DPC replication unchanged: each shard is its own
+/// fragment with its own replica set, stagger protocol, and upstream
+/// monitoring.
+pub fn plan_deployment(
+    diagram: &Diagram,
+    spec: &DeploymentSpec,
+    cfg: &DpcConfig,
+) -> Result<PhysicalPlan, DiagramError> {
+    let (deployment, metas) = spec.resolve(diagram)?;
+    for m in &metas {
+        if m.shards > 1 && cfg.protection != Protection::Dpc {
+            return Err(DiagramError::ShardsRequireDpc(m.name.clone()));
+        }
+    }
+    let base = plan(diagram, &deployment, cfg)?;
+    shard_pass(diagram, base, &metas)
+}
+
+/// Expands a logical-fragment plan set into physical fragments, cloning
+/// sharded fragments and rewiring streams (see [`plan_deployment`]).
+fn shard_pass(
+    diagram: &Diagram,
+    base: PhysicalPlan,
+    metas: &[FragmentSpec],
+) -> Result<PhysicalPlan, DiagramError> {
+    debug_assert_eq!(base.fragments.len(), metas.len());
+
+    // Physical index ranges, one per logical fragment (one entry per shard).
+    let mut phys_of: Vec<Vec<usize>> = Vec::with_capacity(metas.len());
+    let mut n_phys = 0usize;
+    for m in metas {
+        let k = m.shards.max(1) as usize;
+        phys_of.push((n_phys..n_phys + k).collect());
+        n_phys += k;
+    }
+
+    // Substream allocation: each output stream of a sharded fragment
+    // becomes K fresh streams, one per shard.
+    let mut next_stream = diagram.n_streams() as u32;
+    let mut subs: HashMap<StreamId, Vec<StreamId>> = HashMap::new();
+    let mut sub_producer: HashMap<StreamId, usize> = HashMap::new();
+    for (f, m) in metas.iter().enumerate() {
+        if m.shards <= 1 {
+            continue;
+        }
+        for out in &base.fragments[f].outputs {
+            if diagram.output_streams().contains(&out.stream) {
+                return Err(DiagramError::ShardedOutput(out.stream));
+            }
+            let ids: Vec<StreamId> = (0..m.shards)
+                .map(|k| {
+                    let s = StreamId(next_stream);
+                    next_stream += 1;
+                    sub_producer.insert(s, phys_of[f][k as usize]);
+                    s
+                })
+                .collect();
+            subs.insert(out.stream, ids);
+        }
+    }
+
+    let mut phys: Vec<FragmentPlan> = Vec::with_capacity(n_phys);
+    for (f, m) in metas.iter().enumerate() {
+        let shards = m.shards.max(1);
+        for k in 0..shards {
+            let mut fp = base.fragments[f].clone();
+            fp.id = FragmentId(phys.len() as u32);
+            if shards > 1 {
+                fp.shard = Some(ShardAssignment {
+                    key: m
+                        .shard_key
+                        .clone()
+                        .expect("FragmentSpec::shards always sets a key"),
+                    count: shards,
+                    index: k,
+                });
+                for oi in 0..fp.outputs.len() {
+                    let sub = subs[&fp.outputs[oi].stream][k as usize];
+                    fp.ops[fp.outputs[oi].op].external_output = Some(sub);
+                    fp.outputs[oi].stream = sub;
+                }
+            }
+            expand_inputs(&mut fp, &subs, &sub_producer, &phys_of);
+            phys.push(fp);
+        }
+    }
+
+    let groups = metas
+        .iter()
+        .enumerate()
+        .map(|(f, m)| PlanGroup {
+            name: m.name.clone(),
+            replication: m.replication,
+            shards: m.shards.max(1),
+            fragments: phys_of[f].clone(),
+            per_tuple_cost: m.per_tuple_cost,
+        })
+        .collect();
+
+    Ok(PhysicalPlan {
+        fragments: phys,
+        groups,
+        max_sunion_depth: base.max_sunion_depth,
+        per_sunion_delay: base.per_sunion_delay,
+    })
+}
+
+/// Rewrites one physical fragment's external inputs for sharded upstreams:
+/// an input on a sharded stream becomes K inputs, one per substream, and
+/// the receiving SUnion widens accordingly (an SJoin behind it keeps its
+/// left/right split aligned with the widened port set). Origins are
+/// remapped from logical to physical fragment ids.
+///
+/// Only targets that actually consume a sharded stream are renumbered.
+/// Those are always DPC entry SUnions, whose ports are contiguous and all
+/// externally fed; every other target keeps its original ports — in
+/// baseline plans an op may mix locally-fed ports with external bindings,
+/// and renumbering its externals from zero would collide with the local
+/// feeders.
+fn expand_inputs(
+    fp: &mut FragmentPlan,
+    subs: &HashMap<StreamId, Vec<StreamId>>,
+    sub_producer: &HashMap<StreamId, usize>,
+    phys_of: &[Vec<usize>],
+) {
+    let remap_origin = |origin: StreamOrigin| match origin {
+        StreamOrigin::Fragment(lf) => {
+            StreamOrigin::Fragment(FragmentId(phys_of[lf.index()][0] as u32))
+        }
+        o => o,
+    };
+    let sharded_targets: Vec<usize> = fp
+        .inputs
+        .iter()
+        .filter(|i| subs.contains_key(&i.stream))
+        .map(|i| i.target)
+        .collect();
+
+    let mut old = std::mem::take(&mut fp.inputs);
+    old.sort_by_key(|i| (i.target, i.port));
+    let mut new_inputs: Vec<FragmentInput> = Vec::with_capacity(old.len());
+    // Per-renumbered-target state: (next port, per-original-port expansion
+    // counts — used to re-aim SJoin split points).
+    let mut per_target: HashMap<usize, (usize, Vec<usize>)> = HashMap::new();
+    for inp in old {
+        if !sharded_targets.contains(&inp.target) {
+            new_inputs.push(FragmentInput {
+                origin: remap_origin(inp.origin),
+                ..inp
+            });
+            continue;
+        }
+        let (next_port, expansion) = per_target.entry(inp.target).or_insert((0, Vec::new()));
+        if let Some(sub_ids) = subs.get(&inp.stream) {
+            expansion.push(sub_ids.len());
+            for sub in sub_ids {
+                new_inputs.push(FragmentInput {
+                    stream: *sub,
+                    target: inp.target,
+                    port: *next_port,
+                    origin: StreamOrigin::Fragment(FragmentId(sub_producer[sub] as u32)),
+                });
+                *next_port += 1;
+            }
+        } else {
+            expansion.push(1);
+            new_inputs.push(FragmentInput {
+                stream: inp.stream,
+                target: inp.target,
+                port: *next_port,
+                origin: remap_origin(inp.origin),
+            });
+            *next_port += 1;
+        }
+    }
+    fp.inputs = new_inputs;
+
+    // Widen the receiving SUnions and re-aim any SJoin split points.
+    for (&target, (n_ports, expansion)) in &per_target {
+        let consumers = fp.ops[target].fanout.clone();
+        if let OperatorSpec::SUnion(su) = &mut fp.ops[target].spec {
+            su.n_inputs = *n_ports;
+        }
+        for (c, _) in consumers {
+            if let OperatorSpec::SJoin(js) = &mut fp.ops[c].spec {
+                // The planner always splits after the first logical input;
+                // with that input expanded to `expansion[0]` substreams the
+                // split moves accordingly.
+                let old_split = js.left_split as usize;
+                let new_split: usize = expansion.iter().take(old_split).sum();
+                js.left_split = new_split as u16;
+            }
+        }
+    }
 }
 
 /// Longest source→output path measured in SUnion hops, across fragments.
@@ -652,6 +1040,347 @@ mod tests {
         let n_sunions = fp.sunion_indexes().len();
         assert_eq!(n_sunions, 1, "one shared entry SUnion");
         assert_eq!(fp.ops[fp.sunion_indexes()[0]].fanout.len(), 2);
+    }
+
+    /// Satellite fix: an assignment longer than the diagram's operator list
+    /// is a hard error, not silent truncation.
+    #[test]
+    fn overlong_assignment_rejected() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("s");
+        let f = b.add("f", filter(), &[s]);
+        b.output(f);
+        let d = b.build().unwrap();
+        let dep = Deployment::explicit(vec![FragmentId(0), FragmentId(1)]);
+        assert!(matches!(
+            plan(&d, &dep, &DpcConfig::default()),
+            Err(DiagramError::AssignmentMismatch {
+                expected: 1,
+                actual: 2
+            })
+        ));
+        // A short assignment still reports the first unassigned operator.
+        let d2 = {
+            let mut b = DiagramBuilder::new();
+            let s = b.source("s");
+            let f0 = b.add("f0", filter(), &[s]);
+            let f1 = b.add("f1", filter(), &[f0]);
+            b.output(f1);
+            b.build().unwrap()
+        };
+        assert!(matches!(
+            plan(
+                &d2,
+                &Deployment::explicit(vec![FragmentId(0)]),
+                &DpcConfig::default()
+            ),
+            Err(DiagramError::Unassigned(OpId(1)))
+        ));
+    }
+
+    /// A passthrough lowers to entry SUnion + SOutput and nothing else —
+    /// the §7 serialization-overhead probe.
+    #[test]
+    fn passthrough_is_sunion_plus_soutput() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("in");
+        let t = b.add("tapped", LogicalOp::Passthrough, &[s]);
+        b.output(t);
+        let d = b.build().unwrap();
+        let p = plan(&d, &Deployment::single(&d), &DpcConfig::default()).unwrap();
+        let fp = &p.fragments[0];
+        let kinds: Vec<&str> = fp.ops.iter().map(|o| o.spec.kind_name()).collect();
+        assert_eq!(kinds, vec!["sunion", "soutput"]);
+        assert_eq!(fp.outputs.len(), 1);
+        assert_eq!(fp.outputs[0].stream, t, "output carries the tap's name");
+        assert_eq!(fp.inputs[0].stream, s, "input is the tapped source");
+    }
+
+    /// Baseline protection: no entry SUnions, no SOutputs; the output
+    /// leaves from the producing operator directly.
+    #[test]
+    fn baseline_strips_dpc_machinery() {
+        let mut b = DiagramBuilder::new();
+        let s1 = b.source("s1");
+        let s2 = b.source("s2");
+        let u = b.add("u", LogicalOp::Union, &[s1, s2]);
+        let f = b.add("f", filter(), &[u]);
+        b.output(f);
+        let d = b.build().unwrap();
+        let cfg = DpcConfig {
+            protection: Protection::Baseline,
+            ..DpcConfig::default()
+        };
+        let p = plan(&d, &Deployment::single(&d), &cfg).unwrap();
+        let fp = &p.fragments[0];
+        let kinds: Vec<&str> = fp.ops.iter().map(|o| o.spec.kind_name()).collect();
+        assert_eq!(kinds, vec!["union", "filter"]);
+        assert_eq!(fp.inputs.len(), 2, "sources bind directly to the union");
+        assert_eq!(fp.ops[1].external_output, Some(f));
+        // Passthrough has no op to carry its output in baseline mode.
+        let mut b = DiagramBuilder::new();
+        let s = b.source("in");
+        let t = b.add("t", LogicalOp::Passthrough, &[s]);
+        b.output(t);
+        let d = b.build().unwrap();
+        assert!(matches!(
+            plan(&d, &Deployment::single(&d), &cfg),
+            Err(DiagramError::UnprotectedPassthrough(_))
+        ));
+    }
+
+    /// Baseline plans survive the (no-op) sharding pass untouched: an op
+    /// mixing a locally-fed port with a direct external binding keeps its
+    /// original port numbering (regression: expand_inputs used to renumber
+    /// every target's external ports from zero, colliding with the local
+    /// feeder).
+    #[test]
+    fn baseline_mixed_ports_survive_shard_pass() {
+        let mut b = DiagramBuilder::new();
+        let s1 = b.source("s1");
+        let s2 = b.source("s2");
+        let up = b.add(
+            "up",
+            LogicalOp::Map {
+                outputs: vec![Expr::field(0)],
+            },
+            &[s1],
+        );
+        let loc = b.add(
+            "loc",
+            LogicalOp::Map {
+                outputs: vec![Expr::field(0)],
+            },
+            &[s2],
+        );
+        // Union port 0 fed locally by `loc`, port 1 externally by `up`.
+        let u = b.add("u", LogicalOp::Union, &[loc, up]);
+        b.output(u);
+        let d = b.build().unwrap();
+        let spec = DeploymentSpec::new()
+            .fragment(crate::spec::FragmentSpec::named("a").op("up"))
+            .fragment(crate::spec::FragmentSpec::named("b").ops(["loc", "u"]));
+        let cfg = DpcConfig {
+            protection: Protection::Baseline,
+            ..DpcConfig::default()
+        };
+        let p = plan_deployment(&d, &spec, &cfg).unwrap();
+        let fb = &p.fragments[1];
+        let union_idx = fb
+            .ops
+            .iter()
+            .position(|o| matches!(o.spec, OperatorSpec::Union { .. }))
+            .expect("plain union present");
+        let loc_idx = fb
+            .ops
+            .iter()
+            .position(|o| o.fanout.contains(&(union_idx, 0)))
+            .expect("local feeder wired to port 0");
+        assert_ne!(loc_idx, union_idx);
+        let ext: Vec<(usize, usize)> = fb
+            .inputs
+            .iter()
+            .filter(|i| i.target == union_idx)
+            .map(|i| (i.port, i.stream.index()))
+            .collect();
+        assert_eq!(ext.len(), 1);
+        assert_eq!(ext[0].0, 1, "external binding keeps port 1");
+        assert_eq!(
+            fb.inputs
+                .iter()
+                .find(|i| i.target == union_idx)
+                .unwrap()
+                .origin,
+            StreamOrigin::Fragment(FragmentId(0))
+        );
+    }
+
+    fn sharded_chain_spec(k: u32) -> (Diagram, DeploymentSpec) {
+        let mut b = DiagramBuilder::new();
+        let s1 = b.source("s1");
+        let s2 = b.source("s2");
+        let u = b.add("ingest", LogicalOp::Union, &[s1, s2]);
+        let w = b.add(
+            "work",
+            LogicalOp::Map {
+                outputs: vec![Expr::field(0)],
+            },
+            &[u],
+        );
+        let out = b.add(
+            "deliver",
+            LogicalOp::Map {
+                outputs: vec![Expr::field(0)],
+            },
+            &[w],
+        );
+        b.output(out);
+        let d = b.build().unwrap();
+        let spec = DeploymentSpec::new()
+            .fragment(crate::spec::FragmentSpec::named("ingest").op("ingest"))
+            .fragment(
+                crate::spec::FragmentSpec::named("work")
+                    .op("work")
+                    .shards(k, Expr::field(0)),
+            )
+            .fragment(crate::spec::FragmentSpec::named("deliver").op("deliver"));
+        (d, spec)
+    }
+
+    /// The sharding pass clones the sharded fragment K ways, renames its
+    /// outputs into per-shard substreams, and widens the downstream entry
+    /// SUnion to merge them.
+    #[test]
+    fn shard_pass_clones_and_rewires() {
+        let (d, spec) = sharded_chain_spec(3);
+        let p = plan_deployment(&d, &spec, &DpcConfig::default()).unwrap();
+        assert_eq!(p.fragments.len(), 5, "1 ingest + 3 work shards + 1 deliver");
+        assert_eq!(p.groups.len(), 3);
+        assert_eq!(p.groups[1].fragments, vec![1, 2, 3]);
+        assert_eq!(p.fragment_of(1, 2), 3);
+
+        // Each work shard: same ops, unique output stream, shard filter.
+        let mut out_streams = Vec::new();
+        for (k, &fi) in p.groups[1].fragments.iter().enumerate() {
+            let fp = &p.fragments[fi];
+            let sa = fp.shard.as_ref().expect("work shards carry assignments");
+            assert_eq!((sa.count, sa.index), (3, k as u32));
+            assert_eq!(fp.outputs.len(), 1);
+            out_streams.push(fp.outputs[0].stream);
+            assert!(
+                out_streams[k].index() >= d.n_streams(),
+                "substreams are fresh ids"
+            );
+            // The shard consumes the *original* ingest output; partitioning
+            // happens on the wire, not by renaming inputs.
+            assert_eq!(fp.inputs.len(), 1);
+            assert_eq!(fp.inputs[0].origin, StreamOrigin::Fragment(FragmentId(0)));
+        }
+        out_streams.sort();
+        out_streams.dedup();
+        assert_eq!(out_streams.len(), 3, "one substream per shard");
+
+        // The deliver fragment's entry SUnion merges the three substreams.
+        let deliver = &p.fragments[4];
+        assert!(deliver.shard.is_none());
+        assert_eq!(deliver.inputs.len(), 3);
+        let target = deliver.inputs[0].target;
+        assert!(deliver.inputs.iter().all(|i| i.target == target));
+        let ports: Vec<usize> = deliver.inputs.iter().map(|i| i.port).collect();
+        assert_eq!(ports, vec![0, 1, 2]);
+        assert!(
+            matches!(&deliver.ops[target].spec, OperatorSpec::SUnion(c) if c.n_inputs == 3 && c.is_input)
+        );
+        // Origins point at the individual shard fragments.
+        let origins: Vec<StreamOrigin> = deliver.inputs.iter().map(|i| i.origin).collect();
+        assert_eq!(
+            origins,
+            vec![
+                StreamOrigin::Fragment(FragmentId(1)),
+                StreamOrigin::Fragment(FragmentId(2)),
+                StreamOrigin::Fragment(FragmentId(3)),
+            ]
+        );
+    }
+
+    /// shards = 1 is a plain deployment: no renaming, no filters.
+    #[test]
+    fn single_shard_is_identity() {
+        let (d, spec) = sharded_chain_spec(1);
+        let p = plan_deployment(&d, &spec, &DpcConfig::default()).unwrap();
+        assert_eq!(p.fragments.len(), 3);
+        assert!(p.fragments.iter().all(|f| f.shard.is_none()));
+        assert_eq!(p.groups[1].shards, 1);
+    }
+
+    /// A sharded fragment may not feed clients directly — its substreams
+    /// must merge in a downstream fragment first.
+    #[test]
+    fn sharded_client_output_rejected() {
+        let mut b = DiagramBuilder::new();
+        let s = b.source("s");
+        let w = b.add(
+            "work",
+            LogicalOp::Map {
+                outputs: vec![Expr::field(0)],
+            },
+            &[s],
+        );
+        b.output(w);
+        let d = b.build().unwrap();
+        let spec = DeploymentSpec::new().fragment(
+            crate::spec::FragmentSpec::named("work")
+                .op("work")
+                .shards(2, Expr::field(0)),
+        );
+        assert!(matches!(
+            plan_deployment(&d, &spec, &DpcConfig::default()),
+            Err(DiagramError::ShardedOutput(_))
+        ));
+    }
+
+    /// Sharding requires the DPC machinery.
+    #[test]
+    fn sharding_rejected_without_dpc() {
+        let (d, spec) = sharded_chain_spec(2);
+        let cfg = DpcConfig {
+            protection: Protection::Baseline,
+            ..DpcConfig::default()
+        };
+        assert!(matches!(
+            plan_deployment(&d, &spec, &cfg),
+            Err(DiagramError::ShardsRequireDpc(n)) if n == "work"
+        ));
+    }
+
+    /// A join whose left input comes from a sharded upstream keeps its
+    /// left/right split aligned with the widened SUnion port set.
+    #[test]
+    fn join_split_follows_shard_expansion() {
+        let mut b = DiagramBuilder::new();
+        let l = b.source("l");
+        let r = b.source("r");
+        let lw = b.add(
+            "lwork",
+            LogicalOp::Map {
+                outputs: vec![Expr::field(0)],
+            },
+            &[l],
+        );
+        let j = b.add(
+            "j",
+            LogicalOp::Join(JoinSpec {
+                window: Duration::from_millis(50),
+                left_key: Expr::field(0),
+                right_key: Expr::field(0),
+                max_state: None,
+            }),
+            &[lw, r],
+        );
+        b.output(j);
+        let d = b.build().unwrap();
+        let spec = DeploymentSpec::new()
+            .fragment(
+                crate::spec::FragmentSpec::named("lwork")
+                    .op("lwork")
+                    .shards(2, Expr::field(0)),
+            )
+            .fragment(crate::spec::FragmentSpec::named("join").op("j"));
+        let p = plan_deployment(&d, &spec, &DpcConfig::default()).unwrap();
+        let join_frag = &p.fragments[2];
+        // SUnion over [lwork#0, lwork#1, r] followed by SJoin split at 2.
+        assert_eq!(join_frag.inputs.len(), 3);
+        let su = join_frag.inputs[0].target;
+        assert!(matches!(&join_frag.ops[su].spec, OperatorSpec::SUnion(c) if c.n_inputs == 3));
+        let sj = join_frag
+            .ops
+            .iter()
+            .find_map(|o| match &o.spec {
+                OperatorSpec::SJoin(js) => Some(js),
+                _ => None,
+            })
+            .expect("sjoin present");
+        assert_eq!(sj.left_split, 2, "both left substreams are left-side");
     }
 
     /// Union with one internal and one external input: external port gets an

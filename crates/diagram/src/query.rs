@@ -1,0 +1,242 @@
+//! The fluent query-construction API: typed stream handles and per-kind
+//! combinators over the raw [`DiagramBuilder`](crate::graph::DiagramBuilder).
+//!
+//! A [`QueryBuilder`] produces the same validated
+//! [`Diagram`](crate::graph::Diagram) the planner consumes, but callers
+//! never touch raw `StreamId`s: every combinator takes and returns a
+//! [`StreamHandle`] bound to its builder, so wiring mistakes (a handle from
+//! another query, a join with one input) are caught at `build()` with a
+//! typed [`DiagramError`](crate::graph::DiagramError).
+
+use crate::graph::{Diagram, DiagramBuilder, DiagramError, JoinSpec, LogicalOp};
+use borealis_ops::AggregateSpec;
+use borealis_types::{Expr, StreamId};
+use std::sync::atomic::{AtomicU32, Ordering};
+
+static NEXT_TAG: AtomicU32 = AtomicU32::new(1);
+
+/// A named, typed handle to a stream under construction. Obtained from
+/// [`QueryBuilder`] combinators; only valid with the builder that created
+/// it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamHandle {
+    id: StreamId,
+    tag: u32,
+}
+
+impl StreamHandle {
+    /// The underlying stream id (stable across `build()`; used to address
+    /// sources, client subscriptions, and metrics).
+    pub fn id(self) -> StreamId {
+        self.id
+    }
+}
+
+impl From<StreamHandle> for StreamId {
+    fn from(h: StreamHandle) -> StreamId {
+        h.id
+    }
+}
+
+/// Fluent construction of a validated query diagram.
+///
+/// ```
+/// use borealis_diagram::{plan_deployment, DeploymentSpec, DpcConfig, FragmentSpec, QueryBuilder};
+/// use borealis_types::{BinOp, Expr};
+///
+/// // Merge two feeds, keep the readings over 50, shard the scoring stage
+/// // four ways by sensor id, and merge the shards for delivery.
+/// let mut q = QueryBuilder::new();
+/// let a = q.source("feed-a");
+/// let b = q.source("feed-b");
+/// let merged = q.union("merged", &[a, b]);
+/// let hot = q.filter("hot", merged, Expr::bin(BinOp::Gt, Expr::field(0), Expr::int(50)));
+/// let scored = q.map("scored", hot, vec![Expr::field(0)]);
+/// let out = q.relay("final", scored);
+/// q.output(out);
+/// let diagram = q.build().expect("valid diagram");
+///
+/// let spec = DeploymentSpec::new()
+///     .fragment(FragmentSpec::named("ingest").ops(["merged", "hot"]))
+///     .fragment(FragmentSpec::named("score").op("scored").shards(4, Expr::field(0)))
+///     .fragment(FragmentSpec::named("deliver").op("final"));
+/// let plan = plan_deployment(&diagram, &spec, &DpcConfig::default()).expect("plannable");
+/// // 1 ingest + 4 score shards + 1 deliver = 6 physical fragments.
+/// assert_eq!(plan.fragments.len(), 6);
+/// ```
+#[derive(Debug, Default)]
+pub struct QueryBuilder {
+    b: DiagramBuilder,
+    tag: u32,
+    foreign: bool,
+}
+
+impl QueryBuilder {
+    /// Starts an empty query.
+    pub fn new() -> QueryBuilder {
+        QueryBuilder {
+            b: DiagramBuilder::new(),
+            tag: NEXT_TAG.fetch_add(1, Ordering::Relaxed),
+            foreign: false,
+        }
+    }
+
+    fn wrap(&mut self, id: StreamId) -> StreamHandle {
+        StreamHandle { id, tag: self.tag }
+    }
+
+    fn unwrap_handle(&mut self, h: StreamHandle) -> StreamId {
+        if h.tag != self.tag {
+            self.foreign = true;
+        }
+        h.id
+    }
+
+    /// Declares a source stream (produced outside the diagram).
+    pub fn source(&mut self, name: &str) -> StreamHandle {
+        let id = self.b.source(name);
+        self.wrap(id)
+    }
+
+    /// Predicate filter: keeps tuples satisfying `predicate`.
+    pub fn filter(&mut self, name: &str, input: StreamHandle, predicate: Expr) -> StreamHandle {
+        let input = self.unwrap_handle(input);
+        let id = self.b.add(name, LogicalOp::Filter { predicate }, &[input]);
+        self.wrap(id)
+    }
+
+    /// Per-tuple projection: one expression per output attribute.
+    pub fn map(&mut self, name: &str, input: StreamHandle, outputs: Vec<Expr>) -> StreamHandle {
+        let input = self.unwrap_handle(input);
+        let id = self.b.add(name, LogicalOp::Map { outputs }, &[input]);
+        self.wrap(id)
+    }
+
+    /// Windowed, grouped aggregate.
+    pub fn aggregate(
+        &mut self,
+        name: &str,
+        input: StreamHandle,
+        spec: AggregateSpec,
+    ) -> StreamHandle {
+        let input = self.unwrap_handle(input);
+        let id = self.b.add(name, LogicalOp::Aggregate(spec), &[input]);
+        self.wrap(id)
+    }
+
+    /// Merge of two or more streams (lowered to a serializing SUnion).
+    pub fn union(&mut self, name: &str, inputs: &[StreamHandle]) -> StreamHandle {
+        let inputs: Vec<StreamId> = inputs.iter().map(|&h| self.unwrap_handle(h)).collect();
+        let id = self.b.add(name, LogicalOp::Union, &inputs);
+        self.wrap(id)
+    }
+
+    /// Windowed equi-join of `left` against `right` (lowered to an SUnion
+    /// serializing both inputs followed by an SJoin, §3).
+    pub fn join(
+        &mut self,
+        name: &str,
+        left: StreamHandle,
+        right: StreamHandle,
+        spec: JoinSpec,
+    ) -> StreamHandle {
+        self.join_many(name, left, &[right], spec)
+    }
+
+    /// Windowed equi-join of `left` against the union of `rights` — the
+    /// paper's Fig. 12 shape (one stream joined against two others through
+    /// a single three-input SUnion).
+    pub fn join_many(
+        &mut self,
+        name: &str,
+        left: StreamHandle,
+        rights: &[StreamHandle],
+        spec: JoinSpec,
+    ) -> StreamHandle {
+        let mut inputs = vec![self.unwrap_handle(left)];
+        inputs.extend(rights.iter().map(|&h| self.unwrap_handle(h)));
+        let id = self.b.add(name, LogicalOp::Join(spec), &inputs);
+        self.wrap(id)
+    }
+
+    /// Identity tap: renames `input` so it can cross a fragment boundary or
+    /// reach clients through DPC's machinery without any computation
+    /// (lowered to no physical operator — the stream leaves through the
+    /// fragment's entry SUnion and an SOutput).
+    pub fn relay(&mut self, name: &str, input: StreamHandle) -> StreamHandle {
+        let input = self.unwrap_handle(input);
+        let id = self.b.add(name, LogicalOp::Passthrough, &[input]);
+        self.wrap(id)
+    }
+
+    /// Marks a stream as a client-visible output.
+    pub fn output(&mut self, stream: StreamHandle) {
+        let id = self.unwrap_handle(stream);
+        self.b.output(id);
+    }
+
+    /// Validates and freezes the diagram.
+    pub fn build(self) -> Result<Diagram, DiagramError> {
+        if self.foreign {
+            return Err(DiagramError::ForeignHandle);
+        }
+        self.b.build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::Value;
+
+    #[test]
+    fn builds_the_same_diagram_as_the_raw_builder() {
+        let mut q = QueryBuilder::new();
+        let a = q.source("a");
+        let b = q.source("b");
+        let u = q.union("u", &[a, b]);
+        let f = q.filter("f", u, Expr::Const(Value::Bool(true)));
+        q.output(f);
+        let d = q.build().unwrap();
+        assert_eq!(d.ops().len(), 2);
+        assert_eq!(d.output_streams(), &[f.id()]);
+        assert_eq!(d.stream_name(a.id()), "a");
+        assert_eq!(d.op_named("u").unwrap().op.kind_name(), "union");
+    }
+
+    #[test]
+    fn foreign_handles_are_rejected() {
+        let mut q1 = QueryBuilder::new();
+        let s1 = q1.source("s");
+        let mut q2 = QueryBuilder::new();
+        let _s2 = q2.source("s");
+        let f = q2.filter("f", s1, Expr::Const(Value::Bool(true)));
+        q2.output(f);
+        assert!(matches!(q2.build(), Err(DiagramError::ForeignHandle)));
+        drop(q1);
+    }
+
+    #[test]
+    fn relay_and_join_many_lower_to_logical_ops() {
+        let mut q = QueryBuilder::new();
+        let l = q.source("l");
+        let r1 = q.source("r1");
+        let r2 = q.source("r2");
+        let j = q.join_many(
+            "j",
+            l,
+            &[r1, r2],
+            JoinSpec {
+                window: borealis_types::Duration::from_millis(50),
+                left_key: Expr::field(0),
+                right_key: Expr::field(0),
+                max_state: None,
+            },
+        );
+        let t = q.relay("tapped", j);
+        q.output(t);
+        let d = q.build().unwrap();
+        assert_eq!(d.op_named("j").unwrap().inputs.len(), 3);
+        assert_eq!(d.op_named("tapped").unwrap().op.kind_name(), "passthrough");
+    }
+}

@@ -22,8 +22,8 @@ use crate::clock::MonotonicClock;
 use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
 use crate::wheel::{Due, TimerWheel};
 use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
-use borealis_sim::FaultEvent;
-use borealis_types::{NodeId, Time};
+use borealis_sim::{FaultEvent, ShardMsg};
+use borealis_types::{NodeId, PartitionSpec, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -57,6 +57,15 @@ fn deliver(
     msg: NetMsg,
 ) {
     if links.reachable(from, to) {
+        // Partitioned send path: a key-sharded receiver gets only its shard
+        // of the message (routing, not loss).
+        let msg = match links.partition_of(to) {
+            Some(spec) => match msg.partition(spec.as_ref()) {
+                Some(m) => m,
+                None => return,
+            },
+            None => msg,
+        };
         if let Some(tx) = senders.get(to.index()) {
             let _ = tx.send(Envelope::Msg { from, msg });
         }
@@ -162,9 +171,7 @@ impl ActorThread {
                     // scheduled; a link that broke since loses the message
                     // in flight (delivery drop, as in the simulator).
                     if self.links.reachable(self.id, to) {
-                        if let Some(tx) = self.senders.get(to.index()) {
-                            let _ = tx.send(Envelope::Msg { from: self.id, msg });
-                        }
+                        deliver(&self.senders, &self.links, &self.stats, self.id, to, msg);
                     } else {
                         self.stats.count_delivery_drop();
                     }
@@ -253,6 +260,8 @@ pub struct ThreadRuntime {
 impl ThreadRuntime {
     /// Spawns one thread per actor (`actors[i]` becomes `NodeId(i)`), plus
     /// a controller thread replaying `script` (already sorted by time).
+    /// `partitions` declares key-sharded receivers: every data batch sent
+    /// to such a node is filtered to its shard on the wire.
     ///
     /// Every actor's `on_start` runs on its own thread as soon as it
     /// spawns; the clock starts just before the first spawn.
@@ -260,9 +269,10 @@ impl ThreadRuntime {
         actors: Vec<Box<dyn DpcActor>>,
         script: Vec<(Time, FaultEvent)>,
         seed: u64,
+        partitions: Vec<(NodeId, PartitionSpec)>,
     ) -> ThreadRuntime {
         let clock = MonotonicClock::start();
-        let links = Arc::new(LinkTable::new());
+        let links = Arc::new(LinkTable::with_partitions(partitions));
         let stats = Arc::new(RuntimeStats::default());
         // Faults scripted at t=0 shape the initial connectivity: apply them
         // before any actor thread starts, as the simulator does for faults
@@ -466,7 +476,7 @@ mod tests {
             log: Arc::clone(&log),
             peer: None,
         });
-        let rt = ThreadRuntime::spawn(vec![a, b], Vec::new(), 1);
+        let rt = ThreadRuntime::spawn(vec![a, b], Vec::new(), 1, Vec::new());
         assert!(
             wait_until(
                 || {
@@ -513,7 +523,7 @@ mod tests {
             log: Arc::clone(&log),
             peer: None,
         });
-        let rt = ThreadRuntime::spawn(vec![a, b], script, 1);
+        let rt = ThreadRuntime::spawn(vec![a, b], script, 1, Vec::new());
         assert!(
             wait_until(
                 || {
@@ -551,7 +561,7 @@ mod tests {
             log: Arc::clone(&log),
             peer: None,
         });
-        let rt = ThreadRuntime::spawn(vec![a, b], script, 1);
+        let rt = ThreadRuntime::spawn(vec![a, b], script, 1, Vec::new());
         assert!(
             wait_until(
                 || log

@@ -50,8 +50,11 @@ pub struct RunningThreads {
     pub metrics: MetricsHub,
     /// Source actor ids, per stream.
     pub source_ids: Vec<(StreamId, NodeId)>,
-    /// Node ids per fragment (outer index = fragment index).
+    /// Node ids per physical fragment (outer index = physical fragment
+    /// index; a sharded group contributes one entry per shard).
     pub fragment_replicas: Vec<Vec<NodeId>>,
+    /// Physical fragment indexes per logical fragment, in shard order.
+    pub groups: Vec<Vec<usize>>,
     /// The client proxy, if any.
     pub client: Option<NodeId>,
 }
@@ -81,12 +84,13 @@ pub fn deploy_threads(layout: SystemLayout) -> RunningThreads {
         .into_iter()
         .map(|spec| spec.into_dpc_actor(&metrics))
         .collect();
-    let runtime = ThreadRuntime::spawn(actors, layout.script, layout.seed);
+    let runtime = ThreadRuntime::spawn(actors, layout.script, layout.seed, layout.partitions);
     RunningThreads {
         runtime,
         metrics,
         source_ids: layout.source_ids,
         fragment_replicas: layout.fragment_replicas,
+        groups: layout.groups,
         client: layout.client,
     }
 }
@@ -94,8 +98,8 @@ pub fn deploy_threads(layout: SystemLayout) -> RunningThreads {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use borealis_diagram::{plan, Deployment, DiagramBuilder, DpcConfig, LogicalOp};
-    use borealis_dpc::{SourceConfig, SystemBuilder};
+    use borealis_diagram::{plan_deployment, DeploymentSpec, DpcConfig, QueryBuilder};
+    use borealis_dpc::{FaultSpec, SourceConfig, SystemBuilder};
     use borealis_types::{Duration, Time};
 
     /// End-to-end smoke test: a replicated union pipeline serves real
@@ -104,24 +108,29 @@ mod tests {
     /// completed stabilization — DPC running in wall-clock time.
     #[test]
     fn thread_runtime_serves_and_recovers() {
-        let mut b = DiagramBuilder::new();
-        let s1 = b.source("s1");
-        let s2 = b.source("s2");
-        let u = b.add("u", LogicalOp::Union, &[s1, s2]);
-        b.output(u);
-        let d = b.build().unwrap();
+        let mut q = QueryBuilder::new();
+        let s1 = q.source("s1");
+        let s2 = q.source("s2");
+        let u = q.union("u", &[s1, s2]);
+        q.output(u);
+        let d = q.build().unwrap();
         let cfg = DpcConfig {
             total_delay: Duration::from_millis(400),
             ..DpcConfig::default()
         };
-        let p = plan(&d, &Deployment::single(&d), &cfg).unwrap();
+        let p = plan_deployment(&d, &DeploymentSpec::single(2), &cfg).unwrap();
+        let (s2, u) = (s2.id(), u.id());
         let layout = SystemBuilder::new(11, Duration::from_millis(1))
-            .source(SourceConfig::seq(s1, 200.0))
+            .source(SourceConfig::seq(s1.id(), 200.0))
             .source(SourceConfig::seq(s2, 200.0))
             .plan(p)
-            .replication(2)
             .client_streams(vec![u])
-            .script_disconnect_source(s2, 0, Time::from_millis(700), Time::from_millis(1400))
+            .fault(FaultSpec::DisconnectSource {
+                stream: s2,
+                frag: 0,
+                from: Time::from_millis(700),
+                to: Time::from_millis(1400),
+            })
             .layout();
         let sys = deploy_threads(layout);
         sys.run_for(std::time::Duration::from_millis(3200));

@@ -8,9 +8,9 @@
 //! — the same two drop points the simulator counts.
 
 use borealis_sim::{FaultEvent, Network};
-use borealis_types::{Duration, NodeId};
+use borealis_types::{Duration, NodeId, PartitionSpec};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::RwLock;
+use std::sync::{Arc, RwLock};
 
 /// Message-loss accounting for a whole thread-engine run (the wall-clock
 /// sibling of `borealis_sim::SimStats`).
@@ -79,15 +79,30 @@ pub struct LinkTable {
     // RwLock: every actor thread reads on each send/delivery; only the
     // fault controller writes, a handful of times per run.
     net: RwLock<Network>,
+    // Key-partition filters per shard-replica receiver. Immutable after
+    // construction, so the hot send path reads them lock-free (and the
+    // common no-partition case is a single hash miss).
+    partitions: std::collections::HashMap<NodeId, Arc<PartitionSpec>>,
 }
 
 impl LinkTable {
-    /// A fully connected table.
+    /// A fully connected table with no partitioned receivers.
     pub fn new() -> LinkTable {
+        LinkTable::with_partitions(Vec::new())
+    }
+
+    /// A fully connected table whose listed nodes are key-partitioned
+    /// receivers: every data batch sent to them is filtered to their shard
+    /// on the wire.
+    pub fn with_partitions(partitions: Vec<(NodeId, PartitionSpec)>) -> LinkTable {
         LinkTable {
             // Latency is a simulator concept; the thread engine runs at
             // native channel latency, so the value here is never read.
             net: RwLock::new(Network::new(Duration::ZERO)),
+            partitions: partitions
+                .into_iter()
+                .map(|(n, s)| (n, Arc::new(s)))
+                .collect(),
         }
     }
 
@@ -99,6 +114,12 @@ impl LinkTable {
     /// True if the node itself is up.
     pub fn node_up(&self, n: NodeId) -> bool {
         self.net.read().expect("link table lock").node_up(n)
+    }
+
+    /// The partition filter governing deliveries to `node`, if any
+    /// (lock-free; the map is immutable after construction).
+    pub fn partition_of(&self, node: NodeId) -> Option<&Arc<PartitionSpec>> {
+        self.partitions.get(&node)
     }
 
     /// Applies a fault (or heal) to the connectivity state.

@@ -10,11 +10,27 @@
 
 use crate::fault::FaultEvent;
 use crate::net::Network;
-use borealis_types::{NodeId, Time};
+use borealis_types::{NodeId, PartitionSpec, Time};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// Messages routable over key-partitioned links. A runtime consults the
+/// receiving node's [`PartitionSpec`] (if any) on every send and keeps only
+/// the message content belonging to that shard; returning `None` suppresses
+/// the delivery entirely (nothing of the message belongs to the shard).
+///
+/// The default implementation passes every message through unchanged, so
+/// protocol-free message types opt in with an empty `impl`.
+pub trait ShardMsg: Sized {
+    /// This shard's view of the message, or `None` if nothing remains.
+    fn partition(self, _spec: &PartitionSpec) -> Option<Self> {
+        Some(self)
+    }
+}
+
+impl ShardMsg for String {}
 
 /// A simulated participant: processing node, data source, or client proxy.
 pub trait Actor<M> {
@@ -173,7 +189,7 @@ pub struct Sim<M> {
     stats: SimStats,
 }
 
-impl<M> Sim<M> {
+impl<M: ShardMsg> Sim<M> {
     /// Creates a simulation with the given RNG seed and network.
     pub fn new(seed: u64, net: Network) -> Sim<M> {
         Sim {
@@ -323,6 +339,16 @@ impl<M> Sim<M> {
         for action in actions {
             match action {
                 Action::Send { to, msg, at } => {
+                    // Partitioned send path: a key-sharded receiver gets only
+                    // its shard of the message (routing, not loss — nothing
+                    // is counted as dropped).
+                    let msg = match self.net.partition_of(to) {
+                        Some(spec) => match msg.partition(spec.as_ref()) {
+                            Some(m) => m,
+                            None => continue,
+                        },
+                        None => msg,
+                    };
                     self.push_event(at, EventKind::Message { from: id, to, msg })
                 }
                 Action::Timer { at, kind } => {

@@ -16,5 +16,5 @@ pub mod kernel;
 pub mod net;
 
 pub use fault::FaultEvent;
-pub use kernel::{Actor, Ctx, Sim, SimStats};
+pub use kernel::{Actor, Ctx, ShardMsg, Sim, SimStats};
 pub use net::Network;

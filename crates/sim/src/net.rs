@@ -7,8 +7,9 @@
 //! link or endpoint is down are lost, like segments of a broken TCP
 //! connection.
 
-use borealis_types::{Duration, NodeId};
+use borealis_types::{Duration, NodeId, PartitionSpec};
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Connectivity and latency state of the simulated network.
 #[derive(Debug, Clone)]
@@ -17,6 +18,10 @@ pub struct Network {
     latency_overrides: HashMap<(NodeId, NodeId), Duration>,
     down_links: HashSet<(NodeId, NodeId)>,
     down_nodes: HashSet<NodeId>,
+    /// Key-partition filters, per receiving node: a shard replica only
+    /// accepts its partition of any data stream (the partitioned send path
+    /// of key-sharded fragments).
+    partitions: HashMap<NodeId, Arc<PartitionSpec>>,
 }
 
 fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
@@ -35,7 +40,20 @@ impl Network {
             latency_overrides: HashMap::new(),
             down_links: HashSet::new(),
             down_nodes: HashSet::new(),
+            partitions: HashMap::new(),
         }
+    }
+
+    /// Declares `node` a key-partitioned receiver: every data batch sent to
+    /// it is filtered to `spec`'s shard on the wire. Installed by the
+    /// deployment layout for the replicas of sharded fragments.
+    pub fn set_partition(&mut self, node: NodeId, spec: PartitionSpec) {
+        self.partitions.insert(node, Arc::new(spec));
+    }
+
+    /// The partition filter governing deliveries to `node`, if any.
+    pub fn partition_of(&self, node: NodeId) -> Option<&Arc<PartitionSpec>> {
+        self.partitions.get(&node)
     }
 
     /// Sets a specific latency for the pair `(a, b)` (both directions).

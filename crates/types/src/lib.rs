@@ -16,6 +16,7 @@
 pub mod batch;
 pub mod expr;
 pub mod ids;
+pub mod shard;
 pub mod time;
 pub mod tuple;
 pub mod value;
@@ -23,6 +24,7 @@ pub mod value;
 pub use batch::{BatchLog, TupleBatch};
 pub use expr::{BinOp, EvalError, Expr};
 pub use ids::{FragmentId, NodeId, OpId, StreamId};
+pub use shard::PartitionSpec;
 pub use time::{Duration, Time};
 pub use tuple::{ControlSignal, Tuple, TupleId, TupleKind};
 pub use value::Value;

@@ -1,0 +1,175 @@
+//! Key-partitioned sharding of streams.
+//!
+//! A fragment deployed with `shards = K` is cloned into K physical
+//! instances; every data tuple flowing into the fragment is routed to
+//! exactly one instance by `hash(key) % K`, where `key` is a deterministic
+//! [`Expr`] over the tuple's attributes. A [`PartitionSpec`] describes one
+//! instance's slice of that routing: senders (data sources and upstream
+//! fragments) apply it on the wire, so a shard replica receives only its
+//! partition of each data stream.
+//!
+//! Non-data tuples — boundaries (§4.2.1 punctuation), UNDO and REC_DONE
+//! markers — are control flow for *every* shard and always pass through;
+//! only stable/tentative insertions are partitioned. The hash is a fixed
+//! FNV-1a over the key value's canonical byte form, so the same tuple
+//! routes to the same shard on every replica, every runtime, and every
+//! replay — a requirement for DPC's replica determinism (§2.1).
+
+use crate::batch::TupleBatch;
+use crate::expr::Expr;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// One shard's slice of a key-partitioned stream: tuples whose
+/// `hash(key) % shards == index` (plus all control tuples).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionSpec {
+    /// Key expression evaluated on each data tuple.
+    pub key: Expr,
+    /// Total number of shards (K).
+    pub shards: u32,
+    /// This shard's index in `[0, shards)`.
+    pub index: u32,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1_0000_01b3;
+
+fn fnv(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A stable, platform-independent hash of a [`Value`] for shard routing.
+/// (Independent of `std`'s `Hash`, whose output may change across
+/// releases; shard routing must be reproducible.)
+pub fn route_hash(v: &Value) -> u64 {
+    match v {
+        Value::Int(i) => fnv(fnv(FNV_OFFSET, &[0]), &i.to_le_bytes()),
+        Value::Float(f) => fnv(fnv(FNV_OFFSET, &[1]), &f.to_bits().to_le_bytes()),
+        Value::Bool(b) => fnv(FNV_OFFSET, &[2, *b as u8]),
+        Value::Str(s) => fnv(fnv(FNV_OFFSET, &[3]), s.as_bytes()),
+    }
+}
+
+impl PartitionSpec {
+    /// The shard a data tuple routes to. Tuples whose key expression fails
+    /// to evaluate (missing field, type error) deterministically route to
+    /// shard 0 — a planner-level key mismatch must not fork replicas.
+    pub fn shard_of(&self, t: &Tuple) -> u32 {
+        let h = self.key.eval(t).map(|v| route_hash(&v)).unwrap_or(0);
+        (h % self.shards.max(1) as u64) as u32
+    }
+
+    /// True if this shard keeps `t`: every control tuple, plus the data
+    /// tuples of its partition.
+    pub fn keeps(&self, t: &Tuple) -> bool {
+        !t.is_data() || self.shard_of(t) == self.index
+    }
+
+    /// This shard's view of a batch. When every tuple is kept the original
+    /// view is returned unchanged (zero-copy); otherwise the kept tuples
+    /// are collected into a fresh batch.
+    pub fn filter_batch(&self, batch: &TupleBatch) -> TupleBatch {
+        if batch.iter().all(|t| self.keeps(t)) {
+            return batch.clone();
+        }
+        batch.iter().filter(|t| self.keeps(t)).cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Time;
+    use crate::tuple::TupleId;
+
+    fn keyed(id: u64, key: i64) -> Tuple {
+        Tuple::insertion(TupleId(id), Time::from_millis(id), vec![Value::Int(key)])
+    }
+
+    fn spec(shards: u32, index: u32) -> PartitionSpec {
+        PartitionSpec {
+            key: Expr::field(0),
+            shards,
+            index,
+        }
+    }
+
+    #[test]
+    fn partition_is_total_and_disjoint() {
+        let tuples: Vec<Tuple> = (0..100).map(|i| keyed(i, i as i64)).collect();
+        for t in &tuples {
+            let owners: Vec<u32> = (0..4).filter(|&k| spec(4, k).keeps(t)).collect();
+            assert_eq!(owners.len(), 1, "each data tuple has exactly one owner");
+            assert_eq!(owners[0], spec(4, 0).shard_of(t));
+        }
+    }
+
+    #[test]
+    fn hash_spreads_sequential_keys() {
+        let mut counts = [0usize; 4];
+        for i in 0..1000 {
+            counts[spec(4, 0).shard_of(&keyed(i, i as i64)) as usize] += 1;
+        }
+        for (k, &c) in counts.iter().enumerate() {
+            assert!(c > 150, "shard {k} starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn control_tuples_reach_every_shard() {
+        let boundary = Tuple::boundary(TupleId::NONE, Time::from_secs(1));
+        let undo = Tuple::undo(TupleId::NONE, TupleId(5));
+        for k in 0..3 {
+            assert!(spec(3, k).keeps(&boundary));
+            assert!(spec(3, k).keeps(&undo));
+        }
+    }
+
+    #[test]
+    fn filter_batch_zero_copy_when_everything_kept() {
+        let b = TupleBatch::from_vec(vec![
+            Tuple::boundary(TupleId::NONE, Time::from_secs(1)),
+            Tuple::boundary(TupleId::NONE, Time::from_secs(2)),
+        ]);
+        let f = spec(2, 1).filter_batch(&b);
+        assert!(f.shares_backing(&b), "all-control batch passes by view");
+
+        let data = TupleBatch::from_vec((0..10).map(|i| keyed(i, i as i64)).collect());
+        let f0 = spec(2, 0).filter_batch(&data);
+        let f1 = spec(2, 1).filter_batch(&data);
+        assert_eq!(f0.len() + f1.len(), data.len(), "disjoint cover");
+        assert!(!f0.is_empty() && !f1.is_empty());
+    }
+
+    #[test]
+    fn bad_key_routes_to_shard_zero() {
+        let t = Tuple::insertion(TupleId(1), Time::ZERO, vec![]);
+        let s = PartitionSpec {
+            key: Expr::field(7),
+            shards: 4,
+            index: 0,
+        };
+        assert_eq!(s.shard_of(&t), 0);
+        assert!(s.keeps(&t));
+        assert!(!PartitionSpec { index: 2, ..s }.keeps(&t));
+    }
+
+    #[test]
+    fn route_hash_distinguishes_types_and_values() {
+        assert_ne!(
+            route_hash(&Value::Int(1)),
+            route_hash(&Value::Int(2)),
+            "values differ"
+        );
+        assert_ne!(
+            route_hash(&Value::Int(1)),
+            route_hash(&Value::Bool(true)),
+            "types are domain-separated"
+        );
+        assert_eq!(route_hash(&Value::str("a")), route_hash(&Value::str("a")));
+    }
+}

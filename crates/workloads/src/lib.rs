@@ -17,7 +17,7 @@ pub use experiments::{
 };
 pub use report::{render_availability, render_chain, render_fig11, render_overhead, TextTable};
 pub use setups::{
-    chain_builder, chain_system, overhead_system, single_node_system, ChainOptions,
-    OverheadOptions, PolicyVariant, SingleNodeOptions, DISTRIBUTED_VARIANTS, SINGLE_NODE_OUT,
-    VARIANTS,
+    chain_builder, chain_system, overhead_system, sharded_chain_builder, sharded_chain_system,
+    single_node_system, ChainOptions, OverheadOptions, PolicyVariant, ShardedChainOptions,
+    SingleNodeOptions, DISTRIBUTED_VARIANTS, SINGLE_NODE_OUT, VARIANTS,
 };

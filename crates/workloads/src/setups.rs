@@ -1,15 +1,17 @@
 //! Deployment setups matching the paper's experimental configurations
-//! (Figs. 10, 12, 14, 22).
+//! (Figs. 10, 12, 14, 22), expressed on the `QueryBuilder` /
+//! `DeploymentSpec` surface, plus the key-partitioned sharded chain used
+//! by the scaling benchmarks.
 
 use borealis_diagram::{
-    plan, DelayAssignment, Deployment, DiagramBuilder, DpcConfig, FragmentInput, FragmentOutput,
-    FragmentPlan, LogicalOp, PhysOp, PhysicalPlan, StreamOrigin,
+    plan_deployment, DelayAssignment, DeploymentSpec, DpcConfig, FragmentSpec, JoinSpec,
+    Protection, QueryBuilder,
 };
 use borealis_dpc::{
     ClientTuning, MetricsHub, NodeTuning, RunningSystem, SourceConfig, SystemBuilder, ValueGen,
 };
-use borealis_ops::{DelayMode, OperatorSpec, SJoinSpec, SUnionConfig};
-use borealis_types::{Duration, Expr, FragmentId, StreamId};
+use borealis_ops::DelayMode;
+use borealis_types::{Duration, Expr, StreamId};
 
 /// The six §6.1 policy variants (UP_FAILURE mode & STABILIZATION mode).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,78 +118,47 @@ pub fn single_node_sources() -> [StreamId; 3] {
 /// Output stream of the single-node setups.
 pub const SINGLE_NODE_OUT: StreamId = StreamId(3);
 
-/// Builds the Fig. 12 fragment by hand: one SUnion over the three input
-/// streams, optionally an SJoin with a 100-tuple state, and an SOutput.
-fn single_node_plan(o: &SingleNodeOptions) -> PhysicalPlan {
-    let detect = Duration::from_micros((o.delay.as_micros() as f64 * 0.9) as u64);
-    let sunion = SUnionConfig {
-        n_inputs: 3,
-        bucket: Duration::from_millis(100),
-        detect_delay: detect,
-        delay_budget: detect,
-        tentative_wait: Duration::from_millis(300),
-        failure_mode: o.variant.failure,
-        stabilization_mode: o.variant.stabilization,
-        is_input: true,
-    };
-    let mut ops = vec![PhysOp {
-        spec: OperatorSpec::SUnion(sunion),
-        fanout: Vec::new(),
-        external_output: None,
-    }];
-    let mut last = 0usize;
-    if o.with_join {
-        // Streams tagged origin 0 join against streams 1 and 2 on the key
-        // attribute, within a 100 ms window, keeping at most 100 tuples per
-        // side (the paper's "SJoin with a 100-tuple state size").
-        ops.push(PhysOp {
-            spec: OperatorSpec::SJoin(SJoinSpec {
+/// Builds the single-node system (Figs. 10/12): three sources feeding a
+/// (possibly replicated) node, client watching the output. The Fig. 12
+/// variant joins stream 1 against streams 2 and 3 through a single
+/// three-input SUnion (an SJoin with a 100-tuple state).
+pub fn single_node_system(o: &SingleNodeOptions) -> RunningSystem {
+    let mut q = QueryBuilder::new();
+    let s1 = q.source("s1");
+    let s2 = q.source("s2");
+    let s3 = q.source("s3");
+    let out = if o.with_join {
+        q.join_many(
+            "joined",
+            s1,
+            &[s2, s3],
+            JoinSpec {
                 window: Duration::from_millis(100),
                 left_key: Expr::field(0),
                 right_key: Expr::field(0),
                 max_state: Some(100),
-                left_split: 1,
-            }),
-            fanout: Vec::new(),
-            external_output: None,
-        });
-        ops[last].fanout.push((1, 0));
-        last = 1;
-    }
-    let so = ops.len();
-    ops.push(PhysOp {
-        spec: OperatorSpec::SOutput,
-        fanout: Vec::new(),
-        external_output: Some(SINGLE_NODE_OUT),
-    });
-    ops[last].fanout.push((so, 0));
-    let inputs = (0..3)
-        .map(|i| FragmentInput {
-            stream: StreamId(i),
-            target: 0,
-            port: i as usize,
-            origin: StreamOrigin::Source,
-        })
-        .collect();
-    PhysicalPlan {
-        fragments: vec![FragmentPlan {
-            id: FragmentId(0),
-            ops,
-            inputs,
-            outputs: vec![FragmentOutput {
-                stream: SINGLE_NODE_OUT,
-                op: so,
-            }],
-        }],
-        max_sunion_depth: 1,
-        per_sunion_delay: detect,
-    }
-}
+            },
+        )
+    } else {
+        q.union("merged", &[s1, s2, s3])
+    };
+    q.output(out);
+    let d = q.build().expect("single-node diagram is valid");
+    debug_assert_eq!(out.id(), SINGLE_NODE_OUT);
 
-/// Builds the single-node system (Figs. 10/12): three sources feeding a
-/// (possibly replicated) node, client watching the output.
-pub fn single_node_system(o: &SingleNodeOptions) -> RunningSystem {
-    let p = single_node_plan(o);
+    let cfg = DpcConfig {
+        bucket: Duration::from_millis(100),
+        total_delay: o.delay,
+        safety: 0.9,
+        assignment: DelayAssignment::Uniform,
+        failure_mode: o.variant.failure,
+        stabilization_mode: o.variant.stabilization,
+        tentative_wait: Duration::from_millis(300),
+        protection: Protection::Dpc,
+    };
+    let p = plan_deployment(&d, &DeploymentSpec::single(o.replication), &cfg)
+        .expect("single-node plan is valid");
+
     let rate = o.total_rate / 3.0;
     let metrics = MetricsHub::new();
     if o.trace {
@@ -195,7 +166,6 @@ pub fn single_node_system(o: &SingleNodeOptions) -> RunningSystem {
     }
     let mut builder = SystemBuilder::new(o.seed, Duration::from_millis(1))
         .plan(p)
-        .replication(o.replication)
         .client_streams(vec![SINGLE_NODE_OUT])
         .metrics(metrics)
         .node_tuning(NodeTuning {
@@ -262,25 +232,19 @@ impl Default for ChainOptions {
 /// simulator-deployed shorthand.
 pub fn chain_builder(o: &ChainOptions) -> (SystemBuilder, StreamId) {
     assert!(o.depth >= 1);
-    let mut b = DiagramBuilder::new();
-    let s1 = b.source("s1");
-    let s2 = b.source("s2");
-    let s3 = b.source("s3");
-    let mut last = b.add("stage1", LogicalOp::Union, &[s1, s2, s3]);
-    let mut assignment = vec![FragmentId(0)];
+    let mut q = QueryBuilder::new();
+    let s1 = q.source("s1");
+    let s2 = q.source("s2");
+    let s3 = q.source("s3");
+    let mut last = q.union("stage1", &[s1, s2, s3]);
+    let mut spec = DeploymentSpec::new().fragment(FragmentSpec::named("stage1").op("stage1"));
     for stage in 1..o.depth {
-        last = b.add(
-            &format!("stage{}", stage + 1),
-            LogicalOp::Map {
-                outputs: vec![Expr::field(0)],
-            },
-            &[last],
-        );
-        assignment.push(FragmentId(stage as u32));
+        let name = format!("stage{}", stage + 1);
+        last = q.map(&name, last, vec![Expr::field(0)]);
+        spec = spec.fragment(FragmentSpec::named(&name).op(&name));
     }
-    b.output(last);
-    let d = b.build().expect("chain diagram is valid");
-    let dep = Deployment::explicit(assignment);
+    q.output(last);
+    let d = q.build().expect("chain diagram is valid");
     // Under Uniform, `total_delay` is per-node-delay × depth so each SUnion
     // receives `0.9 × per_node_delay` (the paper's 0.9 D safety margin).
     let cfg = DpcConfig {
@@ -291,13 +255,13 @@ pub fn chain_builder(o: &ChainOptions) -> (SystemBuilder, StreamId) {
         failure_mode: o.variant.failure,
         stabilization_mode: o.variant.stabilization,
         tentative_wait: Duration::from_millis(300),
+        protection: Protection::Dpc,
     };
-    let p = plan(&d, &dep, &cfg).expect("chain plan is valid");
+    let p = plan_deployment(&d, &spec, &cfg).expect("chain plan is valid");
     let metrics = MetricsHub::new();
     let mut builder = SystemBuilder::new(o.seed, Duration::from_millis(1))
         .plan(p)
-        .replication(2)
-        .client_streams(vec![last])
+        .client_streams(vec![last.id()])
         .metrics(metrics)
         .node_tuning(NodeTuning {
             per_tuple_cost: o.per_tuple_cost,
@@ -305,14 +269,14 @@ pub fn chain_builder(o: &ChainOptions) -> (SystemBuilder, StreamId) {
         });
     for s in [s1, s2, s3] {
         builder = builder.source(SourceConfig {
-            stream: s,
+            stream: s.id(),
             rate: o.total_rate / 3.0,
             boundary_interval: Duration::from_millis(100),
             batch_period: Duration::from_millis(10),
             values: ValueGen::Seq,
         });
     }
-    (builder, last)
+    (builder, last.id())
 }
 
 /// Builds the Fig. 14 chain and deploys it under the simulator.
@@ -321,11 +285,120 @@ pub fn chain_system(o: &ChainOptions) -> (RunningSystem, StreamId) {
     (builder.build(), out)
 }
 
+/// Options for the key-partitioned sharded chain: three sources → ingest
+/// Union → an expensive "work" stage fanned out over `shards`
+/// key-partitioned instances → a cheap "deliver" merge stage → client.
+#[derive(Debug, Clone)]
+pub struct ShardedChainOptions {
+    /// Shard fan-out of the work stage (1 = the unsharded baseline).
+    pub shards: u32,
+    /// Replicas per fragment (per shard for the work stage).
+    pub replication: usize,
+    /// Aggregate input rate (tuples/second).
+    pub total_rate: f64,
+    /// Per-SUnion delay under uniform assignment (the chain has three
+    /// SUnion hops: ingest, work, deliver).
+    pub per_node_delay: Duration,
+    /// Availability/consistency policy.
+    pub variant: PolicyVariant,
+    /// Per-tuple CPU cost of the ingest/deliver stages.
+    pub light_cost: Duration,
+    /// Per-tuple CPU cost of the work stage (the sharding payoff: K shards
+    /// split this bill K ways).
+    pub work_cost: Duration,
+    /// Determinism seed.
+    pub seed: u64,
+}
+
+impl Default for ShardedChainOptions {
+    fn default() -> Self {
+        ShardedChainOptions {
+            shards: 2,
+            replication: 2,
+            total_rate: 600.0,
+            per_node_delay: Duration::from_millis(500),
+            variant: DISTRIBUTED_VARIANTS[1],
+            light_cost: Duration::from_micros(2),
+            work_cost: Duration::from_micros(40),
+            seed: 42,
+        }
+    }
+}
+
+/// Builds the sharded chain deployment description; the returned stream is
+/// the client-visible merged output.
+pub fn sharded_chain_builder(o: &ShardedChainOptions) -> (SystemBuilder, StreamId) {
+    assert!(o.shards >= 1);
+    let mut q = QueryBuilder::new();
+    let s1 = q.source("s1");
+    let s2 = q.source("s2");
+    let s3 = q.source("s3");
+    let ingest = q.union("ingest", &[s1, s2, s3]);
+    let work = q.map("work", ingest, vec![Expr::field(0)]);
+    let deliver = q.map("deliver", work, vec![Expr::field(0)]);
+    q.output(deliver);
+    let d = q.build().expect("sharded chain diagram is valid");
+
+    let spec = DeploymentSpec::new()
+        .fragment(
+            FragmentSpec::named("ingest")
+                .op("ingest")
+                .replication(o.replication),
+        )
+        .fragment(
+            FragmentSpec::named("work")
+                .op("work")
+                .replication(o.replication)
+                .shards(o.shards, Expr::field(0))
+                .work_cost(o.work_cost),
+        )
+        .fragment(
+            FragmentSpec::named("deliver")
+                .op("deliver")
+                .replication(o.replication),
+        );
+    let cfg = DpcConfig {
+        bucket: Duration::from_millis(100),
+        total_delay: Duration::from_micros(o.per_node_delay.as_micros() * 3),
+        safety: 0.9,
+        assignment: DelayAssignment::Uniform,
+        failure_mode: o.variant.failure,
+        stabilization_mode: o.variant.stabilization,
+        tentative_wait: Duration::from_millis(300),
+        protection: Protection::Dpc,
+    };
+    let p = plan_deployment(&d, &spec, &cfg).expect("sharded chain plan is valid");
+    let mut builder = SystemBuilder::new(o.seed, Duration::from_millis(1))
+        .plan(p)
+        .client_streams(vec![deliver.id()])
+        .metrics(MetricsHub::new())
+        .node_tuning(NodeTuning {
+            per_tuple_cost: o.light_cost,
+            ..NodeTuning::default()
+        });
+    for s in [s1, s2, s3] {
+        builder = builder.source(SourceConfig {
+            stream: s.id(),
+            rate: o.total_rate / 3.0,
+            boundary_interval: Duration::from_millis(100),
+            batch_period: Duration::from_millis(10),
+            values: ValueGen::Seq,
+        });
+    }
+    (builder, deliver.id())
+}
+
+/// Builds the sharded chain and deploys it under the simulator.
+pub fn sharded_chain_system(o: &ShardedChainOptions) -> (RunningSystem, StreamId) {
+    let (builder, out) = sharded_chain_builder(o);
+    (builder.build(), out)
+}
+
 /// Options for the serialization-overhead setup (Fig. 22, Tables IV & V).
 #[derive(Debug, Clone)]
 pub struct OverheadOptions {
-    /// SUnion bucket size; `None` runs the plain-Union baseline with no
-    /// boundary tuples at all (the tables' 0 column).
+    /// SUnion bucket size; `None` runs the plain (no SUnion, no SOutput)
+    /// baseline with no boundary tuples at all (the tables' 0 column).
     pub bucket: Option<Duration>,
     /// Source boundary interval (ignored for the baseline).
     pub boundary_interval: Duration,
@@ -349,67 +422,40 @@ impl Default for OverheadOptions {
 /// Output stream of the overhead setup.
 pub const OVERHEAD_OUT: StreamId = StreamId(1);
 
-/// Builds the Fig. 22 setup: one source → (SUnion + SOutput | plain pass-
-/// through) → client.
+/// Builds the Fig. 22 setup: one source → (SUnion + SOutput tap | plain
+/// pass-through Map without fault tolerance) → client.
 pub fn overhead_system(o: &OverheadOptions) -> RunningSystem {
-    let input = StreamId(0);
-    let ops = match o.bucket {
-        Some(bucket) => {
-            let sunion = SUnionConfig {
-                n_inputs: 1,
-                bucket,
-                detect_delay: Duration::from_secs(3600), // never fail here
-                delay_budget: Duration::from_secs(3600),
-                tentative_wait: Duration::from_millis(300),
-                failure_mode: DelayMode::Process,
-                stabilization_mode: DelayMode::Process,
-                is_input: true,
-            };
-            vec![
-                PhysOp {
-                    spec: OperatorSpec::SUnion(sunion),
-                    fanout: vec![(1, 0)],
-                    external_output: None,
-                },
-                PhysOp {
-                    spec: OperatorSpec::SOutput,
-                    fanout: Vec::new(),
-                    external_output: Some(OVERHEAD_OUT),
-                },
-            ]
-        }
-        None => vec![PhysOp {
-            // Baseline without fault tolerance: a pass-through Map with no
-            // serialization (Fig. 22(b)).
-            spec: OperatorSpec::Map {
-                outputs: vec![Expr::field(0)],
-            },
-            fanout: Vec::new(),
-            external_output: Some(OVERHEAD_OUT),
-        }],
+    let mut q = QueryBuilder::new();
+    let input = q.source("overhead-in");
+    let out = match o.bucket {
+        // DPC tap: the relay lowers to exactly [entry SUnion, SOutput].
+        Some(_) => q.relay("overhead-out", input),
+        // Baseline without fault tolerance: a pass-through Map with no
+        // serialization (Fig. 22(b)).
+        None => q.map("overhead-out", input, vec![Expr::field(0)]),
     };
-    let out_op = ops.len() - 1;
-    let p = PhysicalPlan {
-        fragments: vec![FragmentPlan {
-            id: FragmentId(0),
-            ops,
-            inputs: vec![FragmentInput {
-                stream: input,
-                target: 0,
-                port: 0,
-                origin: StreamOrigin::Source,
-            }],
-            outputs: vec![FragmentOutput {
-                stream: OVERHEAD_OUT,
-                op: out_op,
-            }],
-        }],
-        max_sunion_depth: 1,
-        per_sunion_delay: Duration::from_secs(3600),
+    q.output(out);
+    let d = q.build().expect("overhead diagram is valid");
+    debug_assert_eq!(out.id(), OVERHEAD_OUT);
+
+    let cfg = DpcConfig {
+        bucket: o.bucket.unwrap_or(Duration::from_millis(10)),
+        total_delay: Duration::from_secs(3600), // never fail here
+        safety: 1.0,
+        assignment: DelayAssignment::Uniform,
+        failure_mode: DelayMode::Process,
+        stabilization_mode: DelayMode::Process,
+        tentative_wait: Duration::from_millis(300),
+        protection: if o.bucket.is_some() {
+            Protection::Dpc
+        } else {
+            Protection::Baseline
+        },
     };
+    let p = plan_deployment(&d, &DeploymentSpec::single(1), &cfg).expect("overhead plan is valid");
     SystemBuilder::new(o.seed, Duration::from_millis(1))
         .source(SourceConfig {
-            stream: input,
+            stream: input.id(),
             rate: o.rate,
             boundary_interval: if o.bucket.is_some() {
                 o.boundary_interval
@@ -420,7 +466,6 @@ pub fn overhead_system(o: &OverheadOptions) -> RunningSystem {
             values: ValueGen::Seq,
         })
         .plan(p)
-        .replication(1)
         .client_streams(vec![OVERHEAD_OUT])
         .build()
 }
@@ -465,6 +510,35 @@ mod tests {
             assert!(m.n_stable > 1500, "stable = {}", m.n_stable);
             assert_eq!(m.n_tentative, 0);
             assert_eq!(m.dup_stable, 0);
+        });
+    }
+
+    #[test]
+    fn sharded_chain_runs_clean_and_spreads_work() {
+        let (mut sys, out) = sharded_chain_system(&ShardedChainOptions {
+            shards: 3,
+            ..Default::default()
+        });
+        // 3 sources + ingest 2 + work 3×2 + deliver 2 + client.
+        assert_eq!(sys.fragment_replicas.len(), 5);
+        assert_eq!(sys.groups, vec![vec![0], vec![1, 2, 3], vec![4]]);
+        sys.run_until(Time::from_secs(6));
+        sys.metrics.with(out, |m| {
+            assert!(m.n_stable > 1500, "stable = {}", m.n_stable);
+            assert_eq!(m.n_tentative, 0);
+            assert_eq!(m.dup_stable, 0);
+        });
+    }
+
+    #[test]
+    fn sharded_chain_recovers_from_shard_replica_crash() {
+        let (builder, out) = sharded_chain_builder(&ShardedChainOptions::default());
+        let mut sys = builder.build();
+        sys.crash_shard_node(1, 1, 0, Time::from_secs(2), None);
+        sys.run_until(Time::from_secs(8));
+        sys.metrics.with(out, |m| {
+            assert!(m.n_stable > 2000, "stable = {}", m.n_stable);
+            assert_eq!(m.dup_stable, 0, "failover must not duplicate");
         });
     }
 

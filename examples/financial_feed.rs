@@ -14,42 +14,41 @@
 use borealis::prelude::*;
 
 fn main() {
-    let mut b = DiagramBuilder::new();
+    let mut q = QueryBuilder::new();
     // Trade record: [instrument, size].
-    let gw1 = b.source("gateway-1");
-    let gw2 = b.source("gateway-2");
-    let trades = b.add("trades", LogicalOp::Union, &[gw1, gw2]);
-    let analytics = b.add(
+    let gw1 = q.source("gateway-1");
+    let gw2 = q.source("gateway-2");
+    let trades = q.union("trades", &[gw1, gw2]);
+    let analytics = q.aggregate(
         "per-instrument",
-        LogicalOp::Aggregate(AggregateSpec {
+        trades,
+        AggregateSpec {
             // 2-second windows sliding every 500 ms.
             window: Duration::from_secs(2),
             slide: Duration::from_millis(500),
             group_by: vec![Expr::field(0)],
             aggs: vec![AggFn::count(), AggFn::avg(Expr::field(1))],
-        }),
-        &[trades],
-    );
-    let bursts = b.add(
-        "bursts",
-        LogicalOp::Filter {
-            // analytics tuple: [instrument, count, avg_size]
-            predicate: Expr::gt(Expr::field(1), Expr::int(30)),
         },
-        &[analytics],
     );
-    b.output(bursts);
-    let diagram = b.build().expect("valid diagram");
+    let bursts = q.filter(
+        "bursts",
+        analytics,
+        // analytics tuple: [instrument, count, avg_size]
+        Expr::gt(Expr::field(1), Expr::int(30)),
+    );
+    q.output(bursts);
+    let diagram = q.build().expect("valid diagram");
+    let bursts = bursts.id();
 
     // Traders tolerate only 1.5 s of extra latency.
     let cfg = DpcConfig {
         total_delay: Duration::from_secs_f64(1.5),
         ..DpcConfig::default()
     };
-    let plan = plan(&diagram, &Deployment::single(&diagram), &cfg).expect("plannable");
+    let plan = plan_deployment(&diagram, &DeploymentSpec::single(2), &cfg).expect("plannable");
 
-    let feed = |stream| SourceConfig {
-        stream,
+    let feed = |stream: StreamHandle| SourceConfig {
+        stream: stream.id(),
         rate: 400.0,
         boundary_interval: Duration::from_millis(50),
         batch_period: Duration::from_millis(10),
@@ -59,12 +58,15 @@ fn main() {
         .source(feed(gw1))
         .source(feed(gw2))
         .plan(plan)
-        .replication(2)
         .client_streams(vec![bursts])
+        .fault(FaultSpec::DisconnectSource {
+            // Gateway 2 drops off the network for six seconds mid-session.
+            stream: gw2.id(),
+            frag: 0,
+            from: Time::from_secs(12),
+            to: Time::from_secs(18),
+        })
         .build();
-
-    // Gateway 2 drops off the network for six seconds mid-session.
-    sys.disconnect_source(gw2, 0, Time::from_secs(12), Time::from_secs(18));
     sys.run_until(Time::from_secs(35));
 
     sys.metrics.with(bursts, |m| {

@@ -16,57 +16,52 @@ use borealis::prelude::*;
 fn main() {
     // --- The monitoring dataflow ------------------------------------------
     // Flow record: [src_prefix, bytes]. Suspicious = bytes above threshold.
-    let mut b = DiagramBuilder::new();
-    let mon_a = b.source("monitor-A");
-    let mon_b = b.source("monitor-B");
-    let mon_c = b.source("monitor-C");
-    let suspicious = |name: &str, b: &mut DiagramBuilder, input: StreamId| {
-        b.add(
-            name,
-            LogicalOp::Filter {
-                // bytes (field 1) over threshold
-                predicate: Expr::gt(Expr::field(1), Expr::int(800)),
-            },
-            &[input],
-        )
-    };
-    let sa = suspicious("suspicious-A", &mut b, mon_a);
-    let sb = suspicious("suspicious-B", &mut b, mon_b);
-    let sc = suspicious("suspicious-C", &mut b, mon_c);
-    let all = b.add("suspicious-all", LogicalOp::Union, &[sa, sb, sc]);
-    let alerts = b.add(
+    let mut q = QueryBuilder::new();
+    let mon_a = q.source("monitor-A");
+    let mon_b = q.source("monitor-B");
+    let mon_c = q.source("monitor-C");
+    // bytes (field 1) over threshold
+    let suspicious = Expr::gt(Expr::field(1), Expr::int(800));
+    let sa = q.filter("suspicious-A", mon_a, suspicious.clone());
+    let sb = q.filter("suspicious-B", mon_b, suspicious.clone());
+    let sc = q.filter("suspicious-C", mon_c, suspicious);
+    let all = q.union("suspicious-all", &[sa, sb, sc]);
+    let alerts = q.aggregate(
         "alert-counts",
-        LogicalOp::Aggregate(AggregateSpec {
+        all,
+        AggregateSpec {
             window: Duration::from_secs(1),
             slide: Duration::from_secs(1),
             group_by: vec![Expr::field(0)],
             aggs: vec![AggFn::count(), AggFn::max(Expr::field(1))],
-        }),
-        &[all],
+        },
     );
-    b.output(alerts);
-    let diagram = b.build().expect("valid diagram");
+    q.output(alerts);
+    let diagram = q.build().expect("valid diagram");
+    let alerts = alerts.id();
 
-    // Two fragments: filtering+merge near the monitors, aggregation on a
-    // second node — a small distributed deployment (Fig. 1).
-    let deployment = Deployment::explicit(vec![
-        FragmentId(0), // suspicious-A
-        FragmentId(0), // suspicious-B
-        FragmentId(0), // suspicious-C
-        FragmentId(0), // union
-        FragmentId(1), // aggregate
-    ]);
+    // Two fragments, cut by operator name: filtering+merge near the
+    // monitors, aggregation on a second node pair — a small distributed
+    // deployment (Fig. 1).
+    let spec = DeploymentSpec::new()
+        .fragment(FragmentSpec::named("edge").ops([
+            "suspicious-A",
+            "suspicious-B",
+            "suspicious-C",
+            "suspicious-all",
+        ]))
+        .fragment(FragmentSpec::named("analytics").op("alert-counts"));
     let cfg = DpcConfig {
         // The operations team tolerates 4 seconds of extra alert latency.
         total_delay: Duration::from_secs(4),
         ..DpcConfig::default()
     };
-    let plan = plan(&diagram, &deployment, &cfg).expect("plannable");
+    let plan = plan_deployment(&diagram, &spec, &cfg).expect("plannable");
 
     // --- Deployment --------------------------------------------------------
     // Monitors generate keyed flow records; ~1/5 of them are suspicious.
-    let source = |stream| SourceConfig {
-        stream,
+    let source = |stream: StreamHandle| SourceConfig {
+        stream: stream.id(),
         rate: 200.0,
         boundary_interval: Duration::from_millis(100),
         batch_period: Duration::from_millis(10),
@@ -81,13 +76,17 @@ fn main() {
         .source(source(mon_b))
         .source(source(mon_c))
         .plan(plan)
-        .replication(2)
         .client_streams(vec![alerts])
         .metrics(metrics)
+        .fault(FaultSpec::DisconnectSource {
+            // Partition: monitor C unreachable from the edge fragment for
+            // 8 seconds.
+            stream: mon_c.id(),
+            frag: 0,
+            from: Time::from_secs(10),
+            to: Time::from_secs(18),
+        })
         .build();
-
-    // --- Partition: monitor C unreachable for 8 seconds --------------------
-    sys.disconnect_source(mon_c, 0, Time::from_secs(10), Time::from_secs(18));
     sys.run_until(Time::from_secs(40));
 
     sys.metrics.with(alerts, |m| {

@@ -8,22 +8,24 @@ use borealis::prelude::*;
 fn main() {
     // --- 1. The query diagram -------------------------------------------
     // Three monitor streams, merged into one output stream.
-    let mut b = DiagramBuilder::new();
-    let m1 = b.source("monitor-1");
-    let m2 = b.source("monitor-2");
-    let m3 = b.source("monitor-3");
-    let merged = b.add("merged", LogicalOp::Union, &[m1, m2, m3]);
-    b.output(merged);
-    let diagram = b.build().expect("valid diagram");
+    let mut q = QueryBuilder::new();
+    let m1 = q.source("monitor-1");
+    let m2 = q.source("monitor-2");
+    let m3 = q.source("monitor-3");
+    let merged = q.union("merged", &[m1, m2, m3]);
+    q.output(merged);
+    let diagram = q.build().expect("valid diagram");
+    let merged = merged.id();
 
     // --- 2. DPC planning --------------------------------------------------
     // The application tolerates at most 2 seconds of extra latency; DPC
-    // inserts SUnion/SOutput operators and assigns the delay budget.
+    // inserts SUnion/SOutput operators and assigns the delay budget. The
+    // DeploymentSpec puts everything in one fragment with two replicas.
     let cfg = DpcConfig {
         total_delay: Duration::from_secs(2),
         ..DpcConfig::default()
     };
-    let plan = plan(&diagram, &Deployment::single(&diagram), &cfg).expect("plannable");
+    let plan = plan_deployment(&diagram, &DeploymentSpec::single(2), &cfg).expect("plannable");
     println!(
         "planned {} fragment(s), {} SUnion level(s), {} per-SUnion delay",
         plan.fragments.len(),
@@ -33,22 +35,24 @@ fn main() {
 
     // --- 3. Deployment ----------------------------------------------------
     // Each fragment runs on a replicated node pair; a client proxy watches
-    // the output stream and records metrics.
+    // the output stream and records metrics. The failure script rides
+    // along: monitor 3 unreachable from t=5s, healing at t=10s.
     let metrics = MetricsHub::new();
     metrics.enable_trace(merged);
     let mut sys = SystemBuilder::new(7, Duration::from_millis(1))
-        .source(SourceConfig::seq(m1, 100.0))
-        .source(SourceConfig::seq(m2, 100.0))
-        .source(SourceConfig::seq(m3, 100.0))
+        .source(SourceConfig::seq(m1.id(), 100.0))
+        .source(SourceConfig::seq(m2.id(), 100.0))
+        .source(SourceConfig::seq(m3.id(), 100.0))
         .plan(plan)
-        .replication(2)
         .client_streams(vec![merged])
         .metrics(metrics)
+        .fault(FaultSpec::DisconnectSource {
+            stream: m3.id(),
+            frag: 0,
+            from: Time::from_secs(5),
+            to: Time::from_secs(10),
+        })
         .build();
-
-    // --- 4. A failure script ----------------------------------------------
-    // Monitor 3 becomes unreachable from t=5s; the link heals at t=10s.
-    sys.disconnect_source(m3, 0, Time::from_secs(5), Time::from_secs(10));
     sys.run_until(Time::from_secs(25));
 
     // --- 5. What the client saw -------------------------------------------

@@ -1,107 +1,109 @@
-//! Real-time quickstart: the same DPC deployment the simulator examples
-//! use, served by the multi-threaded wall-clock runtime — one OS thread
-//! per source, node replica, and client, real `mpsc` traffic, and a
-//! scripted mid-run failure.
+//! Real-time sharded benchmark: the key-partitioned chain (three sources →
+//! ingest Union → an expensive "work" stage × K shards → deliver merge →
+//! client) served by the multi-threaded wall-clock runtime — one OS thread
+//! per source, shard replica, and client.
 //!
 //! Run with: `cargo run --release --example realtime_pipeline`
 //!
-//! Prints a wall-clock throughput figure (stable tuples delivered to the
-//! client per second) — the number recorded in `BENCH_PR2.json`.
+//! The work stage costs 40 µs of modeled CPU per tuple, so a single
+//! instance saturates well below the offered load; sharding it K ways by
+//! `hash(key) % K` splits the bill across K replicated instances, each on
+//! its own cores. The sweep measures stable client-side throughput at
+//! K = 1, 2, 4 under the same offered load — the numbers recorded in
+//! `BENCH_PR3.json`.
+//!
+//! Knobs: `REALTIME_RATE` (tuples/s per source, default 4000),
+//! `REALTIME_WALL_SECS` (seconds per run, default 4).
 
 use borealis::prelude::*;
+use borealis_workloads::{sharded_chain_builder, ShardedChainOptions};
+
+struct RunResult {
+    shards: u32,
+    throughput: f64,
+    n_stable: u64,
+    dup: u64,
+    drops: u64,
+}
+
+fn run_once(shards: u32, per_source_rate: f64, wall_secs: f64) -> RunResult {
+    let o = ShardedChainOptions {
+        shards,
+        replication: 2,
+        total_rate: per_source_rate * 3.0,
+        per_node_delay: Duration::from_millis(500),
+        light_cost: Duration::from_micros(2),
+        work_cost: Duration::from_micros(40),
+        seed: 7,
+        ..Default::default()
+    };
+    let (builder, out) = sharded_chain_builder(&o);
+    let sys = deploy_threads(builder.layout());
+    let started = std::time::Instant::now();
+    sys.run_for(std::time::Duration::from_secs_f64(wall_secs));
+    let elapsed = started.elapsed().as_secs_f64();
+    let (n_stable, dup) = sys.metrics.with(out, |m| (m.n_stable, m.dup_stable));
+    let drops = sys.shutdown();
+    RunResult {
+        shards,
+        throughput: n_stable as f64 / elapsed,
+        n_stable,
+        dup,
+        drops: drops.total_drops(),
+    }
+}
 
 fn main() {
-    // --- 1. The query diagram: three feeds merged into one. ---------------
-    let mut b = DiagramBuilder::new();
-    let m1 = b.source("feed-1");
-    let m2 = b.source("feed-2");
-    let m3 = b.source("feed-3");
-    let merged = b.add("merged", LogicalOp::Union, &[m1, m2, m3]);
-    b.output(merged);
-    let diagram = b.build().expect("valid diagram");
-
-    // --- 2. DPC planning: 600 ms incremental-latency budget. --------------
-    let cfg = DpcConfig {
-        total_delay: Duration::from_millis(600),
-        ..DpcConfig::default()
-    };
-    let plan = plan(&diagram, &Deployment::single(&diagram), &cfg).expect("plannable");
-
-    // --- 3. One description, deployed on OS threads. ----------------------
-    // `SystemBuilder` resolves a runtime-independent layout; `deploy_threads`
-    // launches it in wall-clock time (`.build()` would run the identical
-    // layout under the deterministic simulator instead).
-    // 6k tuples/s aggregate by default; override with REALTIME_RATE
-    // (tuples/s per source) to probe saturation.
     let per_source_rate: f64 = std::env::var("REALTIME_RATE")
         .ok()
         .and_then(|v| v.parse().ok())
-        .unwrap_or(2_000.0);
-    let metrics = MetricsHub::new();
-    let mut builder = SystemBuilder::new(7, Duration::from_millis(1))
-        .plan(plan)
-        .replication(2)
-        .client_streams(vec![merged])
-        .metrics(metrics)
-        .node_tuning(NodeTuning {
-            per_tuple_cost: Duration::from_micros(5),
-            ..NodeTuning::default()
-        })
-        // Feed 3 drops out from t=1.2s to t=2.2s — scripted against the
-        // topology, so the same script drives either runtime. The window
-        // ends early enough that reconciliation has ~2.8s of headroom even
-        // on a heavily loaded machine (this run gates CI).
-        .script_disconnect_source(m3, 0, Time::from_millis(1200), Time::from_millis(2200));
-    for s in [m1, m2, m3] {
-        builder = builder.source(SourceConfig::seq(s, per_source_rate));
+        .unwrap_or(4_000.0);
+    let wall_secs: f64 = std::env::var("REALTIME_WALL_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4.0);
+    let offered = per_source_rate * 3.0;
+
+    println!(
+        "sharded realtime chain: {offered:.0} tuples/s offered, 40 µs/tuple work stage, \
+         {wall_secs:.0}s per run\n"
+    );
+    println!("  K | actors | stable tuples | stable tuples/s | dup | drops");
+    println!("  --+--------+---------------+-----------------+-----+------");
+    let mut results = Vec::new();
+    for shards in [1u32, 2, 4] {
+        let r = run_once(shards, per_source_rate, wall_secs);
+        // 3 sources + 2 ingest + 2K work + 2 deliver + 1 client.
+        let actors = 3 + 2 + 2 * shards + 2 + 1;
+        println!(
+            "  {} | {:>6} | {:>13} | {:>15.0} | {:>3} | {:>5}",
+            r.shards, actors, r.n_stable, r.throughput, r.dup, r.drops
+        );
+        results.push(r);
     }
-    let sys = deploy_threads(builder.layout());
+
+    let t1 = results[0].throughput;
+    let t4 = results[2].throughput;
     println!(
-        "thread runtime up: {} actors (3 sources, 2 replicas, 1 client)",
-        sys.fragment_replicas.iter().map(|r| r.len()).sum::<usize>() + 4
+        "\nscaling: K=4 sustains {:.2}x the stable throughput of K=1 at the same offered load",
+        t4 / t1
     );
 
-    // --- 4. Serve real traffic for five wall-clock seconds. ---------------
-    let wall = std::time::Duration::from_secs(5);
-    let started = std::time::Instant::now();
-    sys.run_for(wall);
-    let elapsed = started.elapsed().as_secs_f64();
-
-    // --- 5. What the client saw. ------------------------------------------
-    let (n_stable, n_tentative, n_undo, n_rec_done, dup, procnew, lat_avg) =
-        sys.metrics.with(merged, |m| {
-            (
-                m.n_stable,
-                m.n_tentative,
-                m.n_undo,
-                m.n_rec_done,
-                m.dup_stable,
-                m.procnew,
-                m.lat_avg(),
-            )
-        });
-    let drops = sys.shutdown();
-    let throughput = n_stable as f64 / elapsed;
-
-    println!("\nclient-side results for {merged} after {elapsed:.2}s wall time:");
-    println!("  stable tuples     : {n_stable}");
-    println!("  tentative tuples  : {n_tentative} (produced while feed 3 was gone)");
-    println!("  undo markers      : {n_undo}");
-    println!("  rec-done markers  : {n_rec_done} (stabilizations completed)");
-    println!("  max proc latency  : {procnew}");
-    println!("  avg proc latency  : {lat_avg}");
-    println!("  duplicate stables : {dup} (must be 0)");
-    println!(
-        "  dropped messages  : {} at send, {} in flight (the failure window)",
-        drops.send_unreachable_drops, drops.delivery_drops
-    );
-    println!("\nwall-clock throughput: {throughput:.0} stable tuples/s");
-
-    assert_eq!(dup, 0, "no duplicate stable tuples");
-    assert!(n_stable > 1_000, "live traffic must flow");
+    for r in &results {
+        assert_eq!(r.dup, 0, "K={}: no duplicate stable tuples", r.shards);
+        assert_eq!(r.drops, 0, "K={}: healthy runs lose nothing", r.shards);
+        assert!(
+            r.n_stable > 1_000,
+            "K={}: live traffic must flow ({} stable)",
+            r.shards,
+            r.n_stable
+        );
+    }
     assert!(
-        n_rec_done >= 1,
-        "the scripted failure must stabilize before shutdown"
+        t4 > t1 * 1.10,
+        "sharding the saturated stage must raise stable throughput: K=1 {t1:.0}/s vs K=4 {t4:.0}/s"
     );
-    println!("\nDPC served wall-clock traffic through a failure and corrected it afterwards.");
+    println!(
+        "key-partitioned sharding lifted the saturated stage past its single-instance ceiling."
+    );
 }

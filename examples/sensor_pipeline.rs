@@ -16,62 +16,62 @@
 use borealis::prelude::*;
 
 fn main() {
-    let mut b = DiagramBuilder::new();
+    let mut q = QueryBuilder::new();
     // Sensor records: [segment_id, reading].
-    let temperature = b.source("temperature");
-    let pressure = b.source("pressure");
+    let temperature = q.source("temperature");
+    let pressure = q.source("pressure");
 
     // Path 1 (blocking): join temperature and pressure per segment within
     // 200 ms, then alert when both readings are in the anomalous band.
-    let joined = b.add(
+    let joined = q.join(
         "temp-pressure",
-        LogicalOp::Join(JoinSpec {
+        temperature,
+        pressure,
+        JoinSpec {
             window: Duration::from_millis(200),
             left_key: Expr::field(0),
             right_key: Expr::field(0),
             max_state: Some(500),
-        }),
-        &[temperature, pressure],
-    );
-    let alerts = b.add(
-        "anomalies",
-        LogicalOp::Filter {
-            // joined tuple: [seg, temp_reading, seg, pressure_reading]
-            predicate: Expr::and(
-                Expr::gt(Expr::field(1), Expr::float(0.75)),
-                Expr::gt(Expr::field(3), Expr::float(0.75)),
-            ),
         },
-        &[joined],
     );
-    b.output(alerts);
+    let alerts = q.filter(
+        "anomalies",
+        joined,
+        // joined tuple: [seg, temp_reading, seg, pressure_reading]
+        Expr::and(
+            Expr::gt(Expr::field(1), Expr::float(0.75)),
+            Expr::gt(Expr::field(3), Expr::float(0.75)),
+        ),
+    );
+    q.output(alerts);
 
     // Path 2 (non-blocking): union of both feeds aggregated into per-window
     // liveness counts — keeps producing (tentatively) when one feed dies.
-    let both = b.add("all-readings", LogicalOp::Union, &[temperature, pressure]);
-    let liveness = b.add(
+    let both = q.union("all-readings", &[temperature, pressure]);
+    let liveness = q.aggregate(
         "liveness",
-        LogicalOp::Aggregate(AggregateSpec {
+        both,
+        AggregateSpec {
             window: Duration::from_secs(1),
             slide: Duration::from_secs(1),
             group_by: vec![],
             aggs: vec![AggFn::count()],
-        }),
-        &[both],
+        },
     );
-    b.output(liveness);
+    q.output(liveness);
 
-    let diagram = b.build().expect("valid diagram");
+    let diagram = q.build().expect("valid diagram");
+    let (alerts, liveness) = (alerts.id(), liveness.id());
     let cfg = DpcConfig {
         // Technicians "may be able to wait tens of seconds for more
         // accurate results": a generous 5-second budget.
         total_delay: Duration::from_secs(5),
         ..DpcConfig::default()
     };
-    let plan = plan(&diagram, &Deployment::single(&diagram), &cfg).expect("plannable");
+    let plan = plan_deployment(&diagram, &DeploymentSpec::single(2), &cfg).expect("plannable");
 
-    let sensor = |stream| SourceConfig {
-        stream,
+    let sensor = |stream: StreamHandle| SourceConfig {
+        stream: stream.id(),
         rate: 150.0,
         boundary_interval: Duration::from_millis(100),
         batch_period: Duration::from_millis(10),
@@ -84,12 +84,15 @@ fn main() {
         .source(sensor(temperature))
         .source(sensor(pressure))
         .plan(plan)
-        .replication(2)
         .client_streams(vec![alerts, liveness])
+        .fault(FaultSpec::DisconnectSource {
+            // The pressure feed disconnects for 10 seconds.
+            stream: pressure.id(),
+            frag: 0,
+            from: Time::from_secs(10),
+            to: Time::from_secs(20),
+        })
         .build();
-
-    // The pressure feed disconnects for 10 seconds.
-    sys.disconnect_source(pressure, 0, Time::from_secs(10), Time::from_secs(20));
     sys.run_until(Time::from_secs(40));
 
     let (join_stable, join_tentative) = sys.metrics.with(alerts, |m| (m.n_stable, m.n_tentative));

@@ -13,38 +13,49 @@
 //! use borealis::prelude::*;
 //!
 //! // 1. Describe a query diagram: three monitor streams merged into one.
-//! let mut b = DiagramBuilder::new();
-//! let (m1, m2, m3) = (b.source("m1"), b.source("m2"), b.source("m3"));
-//! let merged = b.add("merged", LogicalOp::Union, &[m1, m2, m3]);
-//! b.output(merged);
-//! let diagram = b.build().unwrap();
+//! let mut q = QueryBuilder::new();
+//! let (m1, m2, m3) = (q.source("m1"), q.source("m2"), q.source("m3"));
+//! let merged = q.union("merged", &[m1, m2, m3]);
+//! q.output(merged);
+//! let diagram = q.build().unwrap();
 //!
-//! // 2. Plan it for DPC with a 2-second incremental latency budget.
+//! // 2. Plan it for DPC: one replicated fragment, 2-second latency budget.
 //! let cfg = DpcConfig { total_delay: Duration::from_secs(2), ..DpcConfig::default() };
-//! let plan = plan(&diagram, &Deployment::single(&diagram), &cfg).unwrap();
+//! let plan = plan_deployment(&diagram, &DeploymentSpec::single(2), &cfg).unwrap();
 //!
-//! // 3. Deploy: replicated node pair, three sources, one client.
+//! // 3. Deploy: replicated node pair, three sources, one client, and a
+//! //    scripted failure — monitor 3 unreachable from t=5s to t=8s.
 //! let mut sys = SystemBuilder::new(7, Duration::from_millis(1))
-//!     .source(SourceConfig::seq(m1, 100.0))
-//!     .source(SourceConfig::seq(m2, 100.0))
-//!     .source(SourceConfig::seq(m3, 100.0))
+//!     .source(SourceConfig::seq(m1.id(), 100.0))
+//!     .source(SourceConfig::seq(m2.id(), 100.0))
+//!     .source(SourceConfig::seq(m3.id(), 100.0))
 //!     .plan(plan)
-//!     .replication(2)
-//!     .client_streams(vec![merged])
+//!     .client_streams(vec![merged.id()])
+//!     .fault(FaultSpec::DisconnectSource {
+//!         stream: m3.id(),
+//!         frag: 0,
+//!         from: Time::from_secs(5),
+//!         to: Time::from_secs(8),
+//!     })
 //!     .build();
-//!
-//! // 4. Script a failure: monitor 3 unreachable from t=5s to t=8s.
-//! sys.disconnect_source(m3, 0, Time::from_secs(5), Time::from_secs(8));
 //! sys.run_until(Time::from_secs(20));
 //!
-//! // 5. The client saw low-latency tentative results during the failure
+//! // 4. The client saw low-latency tentative results during the failure
 //! //    and received stable corrections afterwards.
-//! sys.metrics.with(merged, |m| {
+//! sys.metrics.with(merged.id(), |m| {
 //!     assert!(m.n_tentative > 0);
 //!     assert!(m.n_rec_done >= 1);
 //!     assert_eq!(m.dup_stable, 0);
 //! });
 //! ```
+//!
+//! A fragment under heavy load scales out declaratively: give its
+//! `FragmentSpec` a shard count and key
+//! (`FragmentSpec::named("work").op("work").shards(4, Expr::field(0))`) and
+//! the planner clones it into four key-partitioned instances — sources and
+//! upstream fragments fan batches out by `hash(key) % 4` on the wire, the
+//! downstream entry SUnion merges the substreams deterministically, and
+//! replication, scripted faults, and recovery compose unchanged.
 //!
 //! ## Crate map
 //!
@@ -84,8 +95,9 @@ pub use borealis_workloads as workloads;
 /// Everything needed to build and run a fault-tolerant stream deployment.
 pub mod prelude {
     pub use borealis_diagram::{
-        plan, DelayAssignment, Deployment, Diagram, DiagramBuilder, DpcConfig, JoinSpec, LogicalOp,
-        PhysicalPlan,
+        plan, plan_deployment, DelayAssignment, Deployment, DeploymentSpec, Diagram,
+        DiagramBuilder, DpcConfig, FragmentSpec, JoinSpec, LogicalOp, PhysicalPlan, Protection,
+        QueryBuilder, StreamHandle,
     };
     pub use borealis_dpc::{
         BufferPolicy, ClientTuning, FaultSpec, MetricsHub, NodeState, NodeTuning, RunningSystem,
@@ -94,8 +106,8 @@ pub mod prelude {
     pub use borealis_ops::{AggFn, AggregateSpec, DelayMode, SJoinSpec, SUnionConfig};
     pub use borealis_runtime::{deploy_threads, RunningThreads, ThreadRuntime};
     pub use borealis_types::{
-        Duration, Expr, FragmentId, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind,
-        Value,
+        Duration, Expr, FragmentId, NodeId, PartitionSpec, StreamId, Time, Tuple, TupleBatch,
+        TupleId, TupleKind, Value,
     };
 }
 

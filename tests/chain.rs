@@ -98,36 +98,24 @@ fn full_delay_assignment_masks_short_failures() {
 /// never see tentative data.
 #[test]
 fn unaffected_streams_stay_stable() {
-    let mut b = DiagramBuilder::new();
-    let s1 = b.source("s1");
-    let s2 = b.source("s2");
-    let f1 = b.add(
-        "branch1",
-        LogicalOp::Filter {
-            predicate: Expr::Const(Value::Bool(true)),
-        },
-        &[s1],
-    );
-    let f2 = b.add(
-        "branch2",
-        LogicalOp::Filter {
-            predicate: Expr::Const(Value::Bool(true)),
-        },
-        &[s2],
-    );
-    b.output(f1);
-    b.output(f2);
-    let d = b.build().unwrap();
+    let mut q = QueryBuilder::new();
+    let s1 = q.source("s1");
+    let s2 = q.source("s2");
+    let f1 = q.filter("branch1", s1, Expr::Const(Value::Bool(true)));
+    let f2 = q.filter("branch2", s2, Expr::Const(Value::Bool(true)));
+    q.output(f1);
+    q.output(f2);
+    let d = q.build().unwrap();
     let cfg = DpcConfig {
         total_delay: Duration::from_secs(2),
         ..DpcConfig::default()
     };
-    let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
+    let p = plan_deployment(&d, &DeploymentSpec::single(2), &cfg).unwrap();
+    let (s2, f1, f2) = (s2.id(), f1.id(), f2.id());
     let mut sys = SystemBuilder::new(3, Duration::from_millis(1))
-        .source(SourceConfig::seq(s1, 100.0))
+        .source(SourceConfig::seq(s1.id(), 100.0))
         .source(SourceConfig::seq(s2, 100.0))
         .plan(p)
-        .replication(2)
         .client_streams(vec![f1, f2])
         .build();
     sys.disconnect_source(s2, 0, Time::from_secs(8), Time::from_secs(14));

@@ -12,7 +12,9 @@
 //! tuple, in order, on both runtimes.
 
 use borealis::prelude::*;
-use borealis_workloads::{chain_builder, ChainOptions, DISTRIBUTED_VARIANTS};
+use borealis_workloads::{
+    chain_builder, sharded_chain_builder, ChainOptions, ShardedChainOptions, DISTRIBUTED_VARIANTS,
+};
 
 /// Reconstructs the stable output stream from a client arrival trace:
 /// stable insertions append, UNDOs roll the suffix back to their target.
@@ -63,7 +65,13 @@ fn chain_stable_stream_identical_across_runtimes() {
     metrics.enable_trace(out);
     let mut sim_sys = builder
         .metrics(metrics)
-        .script_crash_replica(crash_frag, 0, Time::from_millis(1500), None)
+        .fault(FaultSpec::CrashReplica {
+            frag: crash_frag,
+            shard: 0,
+            replica: 0,
+            from: Time::from_millis(1500),
+            to: None,
+        })
         .build();
     sim_sys.run_until(horizon);
     let (sim_stable, sim_dups) = sim_sys.metrics.with(out, |m| {
@@ -82,7 +90,13 @@ fn chain_stable_stream_identical_across_runtimes() {
     metrics.enable_trace(out);
     let layout = builder
         .metrics(metrics)
-        .script_crash_replica(crash_frag, 0, Time::from_millis(1500), None)
+        .fault(FaultSpec::CrashReplica {
+            frag: crash_frag,
+            shard: 0,
+            replica: 0,
+            from: Time::from_millis(1500),
+            to: None,
+        })
         .layout();
     let threads = deploy_threads(layout);
     threads.run_for(std::time::Duration::from_millis(4500));
@@ -114,6 +128,86 @@ fn chain_stable_stream_identical_across_runtimes() {
         sim_stable[..common],
         thr_stable[..common],
         "stable streams diverge within the common prefix"
+    );
+}
+
+/// Shard-merge determinism: the key-partitioned chain (ingest → work × K
+/// shards → deliver) produces an identical stable output stream under the
+/// simulator and the thread runtime, with one *shard replica* crashed
+/// mid-run. The downstream SUnion's bucket-serialized merge of the shard
+/// substreams — plus DPC's per-shard replica failover — must be
+/// deterministic across runtimes.
+#[test]
+fn sharded_chain_stable_stream_identical_across_runtimes() {
+    let o = ShardedChainOptions {
+        shards: 2,
+        total_rate: 300.0,
+        per_node_delay: Duration::from_millis(500),
+        work_cost: Duration::from_micros(10),
+        light_cost: Duration::from_micros(5),
+        seed: 33,
+        ..Default::default()
+    };
+    // Crash replica 0 of shard 1 of the "work" stage (logical fragment 1)
+    // at t=1.5s, permanently: the shard's surviving replica must carry its
+    // partition while everything else flows undisturbed.
+    let crash = FaultSpec::CrashReplica {
+        frag: 1,
+        shard: 1,
+        replica: 0,
+        from: Time::from_millis(1500),
+        to: None,
+    };
+    let horizon = Time::from_secs(6);
+
+    let (builder, out) = sharded_chain_builder(&o);
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let mut sim_sys = builder.metrics(metrics).fault(crash.clone()).build();
+    sim_sys.run_until(horizon);
+    let (sim_stable, sim_dups) = sim_sys.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+
+    let (builder, out2) = sharded_chain_builder(&o);
+    assert_eq!(out, out2, "same diagram, same output stream");
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let layout = builder.metrics(metrics).fault(crash).layout();
+    assert!(
+        !layout.partitions.is_empty(),
+        "shard replicas carry partition filters"
+    );
+    let threads = deploy_threads(layout);
+    threads.run_for(std::time::Duration::from_millis(4500));
+    let (thr_stable, thr_dups) = threads.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+    let drops = threads.shutdown();
+
+    assert_eq!(sim_dups, 0, "simulator run violated stable-id monotonicity");
+    assert_eq!(thr_dups, 0, "thread run violated stable-id monotonicity");
+    assert!(
+        drops.send_unreachable_drops + drops.delivery_drops > 0,
+        "the scripted shard crash must actually sever traffic: {drops:?}"
+    );
+    let common = sim_stable.len().min(thr_stable.len());
+    assert!(
+        common >= 300,
+        "both runs must deliver a substantial stable stream: sim={} threads={}",
+        sim_stable.len(),
+        thr_stable.len()
+    );
+    assert_eq!(
+        sim_stable[..common],
+        thr_stable[..common],
+        "sharded stable streams diverge within the common prefix"
     );
 }
 

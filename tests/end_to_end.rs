@@ -11,31 +11,30 @@ fn merge3(
     delay_secs: f64,
     trace: bool,
 ) -> (RunningSystem, StreamId) {
-    let mut b = DiagramBuilder::new();
-    let s1 = b.source("s1");
-    let s2 = b.source("s2");
-    let s3 = b.source("s3");
-    let u = b.add("merged", LogicalOp::Union, &[s1, s2, s3]);
-    b.output(u);
-    let d = b.build().unwrap();
+    let mut q = QueryBuilder::new();
+    let s1 = q.source("s1");
+    let s2 = q.source("s2");
+    let s3 = q.source("s3");
+    let u = q.union("merged", &[s1, s2, s3]);
+    q.output(u);
+    let d = q.build().unwrap();
     let cfg = DpcConfig {
         total_delay: Duration::from_secs_f64(delay_secs),
         ..DpcConfig::default()
     };
-    let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
+    let p = plan_deployment(&d, &DeploymentSpec::single(replication), &cfg).unwrap();
     let hub = MetricsHub::new();
     if trace {
-        hub.enable_trace(u);
+        hub.enable_trace(u.id());
     }
     let mut builder = SystemBuilder::new(seed, Duration::from_millis(1))
         .plan(p)
-        .replication(replication)
-        .client_streams(vec![u])
+        .client_streams(vec![u.id()])
         .metrics(hub);
     for s in [s1, s2, s3] {
-        builder = builder.source(SourceConfig::seq(s, 100.0));
+        builder = builder.source(SourceConfig::seq(s.id(), 100.0));
     }
-    (builder.build(), u)
+    (builder.build(), u.id())
 }
 
 /// Applies the DPC stream semantics to a client trace: UNDO rolls back the

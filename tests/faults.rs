@@ -4,26 +4,25 @@
 use borealis::prelude::*;
 
 fn merge3(seed: u64, replication: usize) -> (RunningSystem, StreamId) {
-    let mut b = DiagramBuilder::new();
-    let s1 = b.source("s1");
-    let s2 = b.source("s2");
-    let s3 = b.source("s3");
-    let u = b.add("merged", LogicalOp::Union, &[s1, s2, s3]);
-    b.output(u);
-    let d = b.build().unwrap();
+    let mut q = QueryBuilder::new();
+    let s1 = q.source("s1");
+    let s2 = q.source("s2");
+    let s3 = q.source("s3");
+    let u = q.union("merged", &[s1, s2, s3]);
+    q.output(u);
+    let d = q.build().unwrap();
     let cfg = DpcConfig {
         total_delay: Duration::from_secs(2),
         ..DpcConfig::default()
     };
-    let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
+    let p = plan_deployment(&d, &DeploymentSpec::single(replication), &cfg).unwrap();
     let mut builder = SystemBuilder::new(seed, Duration::from_millis(1))
         .plan(p)
-        .replication(replication)
-        .client_streams(vec![u]);
+        .client_streams(vec![u.id()]);
     for s in [s1, s2, s3] {
-        builder = builder.source(SourceConfig::seq(s, 100.0));
+        builder = builder.source(SourceConfig::seq(s.id(), 100.0));
     }
-    (builder.build(), u)
+    (builder.build(), u.id())
 }
 
 /// Back-to-back failures with a short gap: the second failure begins while
@@ -136,22 +135,22 @@ fn total_blackout_recovers_completely() {
 /// the live stream stays consistent.
 #[test]
 fn bounded_buffers_keep_live_stream_consistent() {
-    let mut b = DiagramBuilder::new();
-    let s1 = b.source("s1");
-    let s2 = b.source("s2");
-    let u = b.add("merged", LogicalOp::Union, &[s1, s2]);
-    b.output(u);
-    let d = b.build().unwrap();
+    let mut q = QueryBuilder::new();
+    let s1 = q.source("s1");
+    let s2 = q.source("s2");
+    let u = q.union("merged", &[s1, s2]);
+    q.output(u);
+    let d = q.build().unwrap();
     let cfg = DpcConfig {
         total_delay: Duration::from_secs(2),
         ..DpcConfig::default()
     };
-    let p = borealis::diagram::plan(&d, &Deployment::single(&d), &cfg).unwrap();
+    let p = plan_deployment(&d, &DeploymentSpec::single(2), &cfg).unwrap();
+    let (s2, u) = (s2.id(), u.id());
     let mut sys = SystemBuilder::new(59, Duration::from_millis(1))
-        .source(SourceConfig::seq(s1, 100.0))
+        .source(SourceConfig::seq(s1.id(), 100.0))
         .source(SourceConfig::seq(s2, 100.0))
         .plan(p)
-        .replication(2)
         .client_streams(vec![u])
         .node_tuning(NodeTuning {
             buffer_policy: BufferPolicy::DropOldest(2_000),

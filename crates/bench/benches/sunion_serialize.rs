@@ -1,0 +1,134 @@
+//! The serialization hot path, measured head to head (PR 4 acceptance
+//! numbers, recorded in `BENCH_PR4.json`):
+//!
+//! * `sunion_serialize/*` — the same tuple stream pushed through one SUnion
+//!   tuple-at-a-time (the seed data path: one owned tuple per call, cloned
+//!   into its bucket) versus batch-natively (`process_batch`: maximal
+//!   same-bucket runs buffered as O(1) shared views). Swept at delivery
+//!   batch sizes 32 and 256.
+//! * `sunion_checkpoint/*` — `Fragment::take_checkpoint` on a fragment
+//!   whose entry SUnion buffers ≥10k tuples. With copy-on-write snapshots
+//!   this is O(#operators) reference-count bumps; the `deep_clone` baseline
+//!   re-enacts what the seed's `OpSnapshot::new(state.clone())` paid at the
+//!   same buffer depth (materializing every buffered tuple).
+
+use borealis_diagram::{plan_deployment, DeploymentSpec, DpcConfig, QueryBuilder};
+use borealis_engine::Fragment;
+use borealis_ops::{BatchEmitter, Operator, SUnion, SUnionConfig};
+use borealis_types::{Duration, Time, Tuple, TupleBatch, TupleId, Value};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use std::hint::black_box;
+
+const N: u64 = 4096;
+
+/// An in-order tuple stream spanning ~41 buckets at the default 100 ms
+/// bucket size (stime advances 1 ms per tuple) — the common no-failure case
+/// the sorted-bucket fast path targets.
+fn tuples(n: u64) -> Vec<Tuple> {
+    (0..n)
+        .map(|i| {
+            Tuple::insertion(
+                TupleId(i + 1),
+                Time::from_millis(i),
+                vec![Value::Int(i as i64)],
+            )
+        })
+        .collect()
+}
+
+fn input_sunion() -> SUnion {
+    let mut cfg = SUnionConfig::new(1);
+    cfg.bucket = Duration::from_millis(100);
+    cfg.is_input = true;
+    SUnion::new(cfg)
+}
+
+fn flush(s: &mut SUnion, out: &mut BatchEmitter) -> usize {
+    s.process(
+        0,
+        &Tuple::boundary(TupleId::NONE, Time::from_secs(100)),
+        Time::from_secs(100),
+        out,
+    );
+    out.take().0.len()
+}
+
+fn bench_serialize(c: &mut Criterion) {
+    let owned = tuples(N);
+    let mut g = c.benchmark_group("sunion_serialize");
+    g.throughput(Throughput::Elements(N));
+    for batch in [32usize, 256] {
+        let chunks: Vec<TupleBatch> = TupleBatch::from_vec(owned.clone())
+            .chunks_shared(batch)
+            .collect();
+        g.bench_function(format!("per_tuple_b{batch}"), |b| {
+            b.iter_batched(
+                input_sunion,
+                |mut s| {
+                    let mut out = BatchEmitter::new();
+                    for chunk in &chunks {
+                        for t in chunk.as_slice() {
+                            s.process(0, t, t.stime, &mut out);
+                        }
+                    }
+                    black_box(flush(&mut s, &mut out))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        g.bench_function(format!("batch_native_b{batch}"), |b| {
+            b.iter_batched(
+                input_sunion,
+                |mut s| {
+                    let mut out = BatchEmitter::new();
+                    for chunk in &chunks {
+                        s.process_batch(0, chunk, chunk[0].stime, &mut out);
+                    }
+                    black_box(flush(&mut s, &mut out))
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+/// A single-fragment relay (entry SUnion + SOutput) with `n` tuples parked
+/// in the SUnion's buckets: no boundary ever arrives, so everything stays
+/// buffered — the worst case a failure-instant checkpoint can face.
+fn loaded_fragment(n: u64) -> Fragment {
+    let mut q = QueryBuilder::new();
+    let input = q.source("in");
+    let out = q.relay("out", input);
+    q.output(out);
+    let d = q.build().expect("relay diagram is valid");
+    let p = plan_deployment(&d, &DeploymentSpec::single(1), &DpcConfig::default())
+        .expect("relay plan is valid");
+    let mut fragment = Fragment::from_plan(&p.fragments[0]);
+    let batch = TupleBatch::from_vec(tuples(n));
+    fragment.push_batch(input.id(), &batch, Time::from_millis(1));
+    fragment
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    const BUFFERED: u64 = 10_000;
+    let mut g = c.benchmark_group("sunion_checkpoint");
+    let mut fragment = loaded_fragment(BUFFERED);
+    g.bench_function("cow_10k_buffered", |b| {
+        b.iter(|| {
+            fragment.take_checkpoint();
+            black_box(&fragment);
+        });
+    });
+    // What the seed paid for the same checkpoint: a deep clone of every
+    // buffered tuple (the dominant term of `state.clone()` on a loaded
+    // SUnion).
+    let state = tuples(BUFFERED);
+    g.bench_function("deep_clone_10k_baseline", |b| {
+        b.iter(|| black_box(state.clone()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_serialize, bench_checkpoint);
+criterion_main!(benches);

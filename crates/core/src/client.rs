@@ -9,12 +9,12 @@
 //! [`MetricsHub`] so experiments can read `Procnew` and `Ntentative`
 //! afterwards.
 
-use crate::metrics::MetricsHub;
+use crate::metrics::{MetricsHub, StreamRecorder};
 use crate::msg::NetMsg;
 use crate::runtime::{DpcActor, RuntimeCtx};
 use crate::upstream::{UpstreamAction, UpstreamManager};
 use borealis_sim::{Actor, Ctx};
-use borealis_types::{Duration, NodeId, StreamId};
+use borealis_types::{Duration, NodeId, StreamId, Tuple};
 
 /// Tuning knobs for a client proxy.
 #[derive(Debug, Clone)]
@@ -55,6 +55,10 @@ pub struct ClientProxy {
     tuning: ClientTuning,
     metrics: MetricsHub,
     ums: Vec<UpstreamManager>,
+    /// Per-watched-stream metric shards, parallel to `ums` — resolved once
+    /// at startup so the delivery hot path locks only its own stream's
+    /// recorder (once per batch), never the hub registry.
+    recorders: Vec<StreamRecorder>,
 }
 
 impl ClientProxy {
@@ -65,6 +69,7 @@ impl ClientProxy {
             tuning,
             metrics,
             ums: Vec::new(),
+            recorders: Vec::new(),
         }
     }
 
@@ -111,6 +116,7 @@ impl ClientProxy {
             let mut um = UpstreamManager::new(cs.stream, cs.candidates, monitor, now);
             let actions = um.initial_subscribe();
             self.ums.push(um);
+            self.recorders.push(self.metrics.recorder(cs.stream));
             self.apply_actions(ctx, cs.stream, actions);
         }
         ctx.set_timer(now + self.tuning.heartbeat_period, TIMER_HEARTBEAT);
@@ -129,12 +135,19 @@ impl ClientProxy {
                     return;
                 }
                 let mut actions = Vec::new();
+                let mut accepted: Vec<&Tuple> = Vec::with_capacity(tuples.len());
                 for t in tuples.as_slice() {
                     if self.ums[i].is_duplicate(t) {
                         continue; // retransmission after a link heal
                     }
                     actions.extend(self.ums[i].observe_tuple(from, t));
-                    self.metrics.record(stream, now, t);
+                    accepted.push(t);
+                }
+                // One lock acquisition per delivered batch, on this
+                // stream's own shard (none when everything was a
+                // duplicate, e.g. a post-heal retransmission storm).
+                if !accepted.is_empty() {
+                    self.recorders[i].record_all(now, accepted);
                 }
                 self.apply_actions(ctx, stream, actions);
             }

@@ -43,7 +43,7 @@ pub mod upstream;
 
 pub use buffers::{BufferPolicy, OutputBuffer};
 pub use client::{ClientProxy, ClientStream, ClientTuning};
-pub use metrics::{MetricsHub, StreamMetrics, TraceEntry};
+pub use metrics::{MetricsHub, StreamMetrics, StreamRecorder, TraceEntry};
 pub use msg::{NetMsg, NodeState};
 pub use node::{NodeConfig, NodeTuning, ProcessingNode, UpstreamSpec};
 pub use runtime::{DpcActor, RuntimeCtx};

@@ -151,16 +151,52 @@ impl StreamMetrics {
     }
 }
 
-/// Shared, per-stream metrics handle: the client proxy writes, the
-/// experiment harness reads after the run.
+/// A contention-free per-stream recording handle (one shard of a
+/// [`MetricsHub`]).
 ///
-/// Thread-safe (`Arc<Mutex<…>>`) so the same hub works under the
-/// single-threaded simulator and the multi-threaded real-time engine; the
-/// lock is uncontended in the simulator and touched only by the client
-/// proxy's thread plus the harness in the thread engine.
+/// The client proxy resolves one recorder per watched stream at
+/// subscription time and then records through it directly: the only lock
+/// taken on the delivery hot path is this stream's own mutex — different
+/// streams (and therefore different client actors in the thread runtime)
+/// never serialize on a shared lock, and [`StreamRecorder::record_all`]
+/// amortizes even that lock to once per delivered batch.
+#[derive(Debug, Clone, Default)]
+pub struct StreamRecorder {
+    inner: Arc<Mutex<StreamMetrics>>,
+}
+
+impl StreamRecorder {
+    /// Records one tuple arrival.
+    pub fn record(&self, now: Time, t: &Tuple) {
+        self.inner
+            .lock()
+            .expect("stream metrics lock")
+            .record(now, t);
+    }
+
+    /// Records a batch of arrivals under a single lock acquisition — the
+    /// per-message delivery path.
+    pub fn record_all<'a>(&self, now: Time, tuples: impl IntoIterator<Item = &'a Tuple>) {
+        let mut m = self.inner.lock().expect("stream metrics lock");
+        for t in tuples {
+            m.record(now, t);
+        }
+    }
+}
+
+/// Shared, per-stream metrics hub: the client proxies write, the experiment
+/// harness reads after (or during) the run.
+///
+/// The hub is **sharded per stream**: a registry mutex guards only the
+/// `stream → shard` map (touched at subscription time and by aggregate
+/// readers), while every shard is its own `Arc<Mutex<StreamMetrics>>`
+/// handed out as a [`StreamRecorder`]. Actors on the thread runtime
+/// therefore never contend on one global mutex per tuple — the seed design
+/// locked a single `Mutex<HashMap>` once per delivered tuple on every
+/// client's hot path.
 #[derive(Debug, Default, Clone)]
 pub struct MetricsHub {
-    inner: Arc<Mutex<HashMap<u32, StreamMetrics>>>,
+    streams: Arc<Mutex<HashMap<u32, Arc<Mutex<StreamMetrics>>>>>,
 }
 
 impl MetricsHub {
@@ -169,16 +205,30 @@ impl MetricsHub {
         MetricsHub::default()
     }
 
-    /// Enables full arrival tracing for `stream`.
-    pub fn enable_trace(&self, stream: borealis_types::StreamId) {
-        let mut map = self.inner.lock().expect("metrics lock");
-        map.entry(stream.0).or_default().trace = Some(Vec::new());
+    fn shard(&self, stream: borealis_types::StreamId) -> Arc<Mutex<StreamMetrics>> {
+        let mut map = self.streams.lock().expect("metrics registry lock");
+        Arc::clone(map.entry(stream.0).or_default())
     }
 
-    /// Records one tuple arrival on `stream`.
+    /// The per-stream recording handle — resolve once, then record without
+    /// touching the registry again.
+    pub fn recorder(&self, stream: borealis_types::StreamId) -> StreamRecorder {
+        StreamRecorder {
+            inner: self.shard(stream),
+        }
+    }
+
+    /// Enables full arrival tracing for `stream`.
+    pub fn enable_trace(&self, stream: borealis_types::StreamId) {
+        let shard = self.shard(stream);
+        let mut m = shard.lock().expect("stream metrics lock");
+        m.trace = Some(Vec::new());
+    }
+
+    /// Records one tuple arrival on `stream` (convenience wrapper; hot
+    /// paths hold a [`StreamRecorder`] instead).
     pub fn record(&self, stream: borealis_types::StreamId, now: Time, t: &Tuple) {
-        let mut map = self.inner.lock().expect("metrics lock");
-        map.entry(stream.0).or_default().record(now, t);
+        self.recorder(stream).record(now, t);
     }
 
     /// Runs `f` with the metrics of `stream` (no-op default if absent).
@@ -187,40 +237,41 @@ impl MetricsHub {
         stream: borealis_types::StreamId,
         f: impl FnOnce(&StreamMetrics) -> R,
     ) -> R {
-        let mut map = self.inner.lock().expect("metrics lock");
-        f(map.entry(stream.0).or_default())
+        let shard = self.shard(stream);
+        let m = shard.lock().expect("stream metrics lock");
+        f(&m)
+    }
+
+    /// Snapshot-style fold over every stream's metrics. The registry lock
+    /// is released before the shards are visited, so recorders are never
+    /// blocked behind an aggregate reader.
+    fn fold<A>(&self, init: A, mut f: impl FnMut(A, &StreamMetrics) -> A) -> A {
+        let shards: Vec<Arc<Mutex<StreamMetrics>>> = {
+            let map = self.streams.lock().expect("metrics registry lock");
+            map.values().map(Arc::clone).collect()
+        };
+        let mut acc = init;
+        for shard in shards {
+            let m = shard.lock().expect("stream metrics lock");
+            acc = f(acc, &m);
+        }
+        acc
     }
 
     /// Sum of `Ntentative` across all streams (Definition 2's diagram-level
     /// inconsistency).
     pub fn total_tentative(&self) -> u64 {
-        self.inner
-            .lock()
-            .expect("metrics lock")
-            .values()
-            .map(|m| m.n_tentative)
-            .sum()
+        self.fold(0, |acc, m| acc + m.n_tentative)
     }
 
     /// Max `Procnew` across all streams.
     pub fn max_procnew(&self) -> Duration {
-        self.inner
-            .lock()
-            .expect("metrics lock")
-            .values()
-            .map(|m| m.procnew)
-            .max()
-            .unwrap_or(Duration::ZERO)
+        self.fold(Duration::ZERO, |acc, m| acc.max(m.procnew))
     }
 
     /// Total protocol violations (must be zero in a correct run).
     pub fn total_dup_stable(&self) -> u64 {
-        self.inner
-            .lock()
-            .expect("metrics lock")
-            .values()
-            .map(|m| m.dup_stable)
-            .sum()
+        self.fold(0, |acc, m| acc + m.dup_stable)
     }
 }
 
@@ -299,6 +350,25 @@ mod tests {
         assert_eq!(hub.total_tentative(), 2);
         assert_eq!(hub.max_procnew(), Duration::from_millis(50));
         assert_eq!(hub.total_dup_stable(), 0);
+    }
+
+    #[test]
+    fn recorders_are_per_stream_shards() {
+        let hub = MetricsHub::new();
+        let r0 = hub.recorder(StreamId(0));
+        let r1 = hub.recorder(StreamId(1));
+        // Same stream resolves to the same shard; different streams to
+        // different shards (no shared lock between them).
+        assert!(Arc::ptr_eq(&r0.inner, &hub.recorder(StreamId(0)).inner));
+        assert!(!Arc::ptr_eq(&r0.inner, &r1.inner));
+        // Batch recording lands in the hub's view of the stream.
+        let batch = [stable(1, 10), tentative(2, 20)];
+        r0.record_all(Time::from_millis(30), batch.iter());
+        hub.with(StreamId(0), |m| {
+            assert_eq!(m.n_stable, 1);
+            assert_eq!(m.n_tentative, 1);
+        });
+        assert_eq!(hub.total_tentative(), 1);
     }
 
     #[test]

@@ -247,9 +247,11 @@ impl Fragment {
             .checkpoint
             .take()
             .expect("reconcile requires a failure checkpoint");
-        // 1. Take the replay logs (this also stops recording).
-        let mut log: Vec<(Time, usize, usize, Tuple)> = Vec::new();
-        for &i in &self.input_sunions.clone() {
+        // 1. Take the replay logs (this also stops recording). Entries are
+        //    shared batch ranges — replay moves views, never tuple copies.
+        let mut log: Vec<(Time, usize, usize, TupleBatch)> = Vec::new();
+        for k in 0..self.input_sunions.len() {
+            let i = self.input_sunions[k];
             let entries = self.ops[i]
                 .as_sunion_mut()
                 .expect("input_sunions holds SUnions")
@@ -257,10 +259,11 @@ impl Fragment {
             log.extend(
                 entries
                     .into_iter()
-                    .map(|(t, port, tuple)| (t, i, port, tuple)),
+                    .map(|(t, port, chunk)| (t, i, port, chunk)),
             );
         }
-        // Original arrival order across all inputs (stable by op index).
+        // Original arrival order across all inputs (stable by op index;
+        // tuples within one recorded range already share arrival metadata).
         log.sort_by_key(|(t, i, port, _)| (*t, *i, *port));
 
         // 2. Restore operators; SOutput keeps its memory and enters
@@ -278,14 +281,27 @@ impl Fragment {
 
         // 3. Replay in arrival order. A tentative entry (an uncorrected
         //    newer failure) re-triggers the checkpoint machinery exactly as
-        //    live input would.
+        //    live input would: the stable prefix of its range replays under
+        //    the clean state, then the fragment checkpoints, then the rest
+        //    follows — identical semantics to tuple-at-a-time replay.
         let mut batch = Batch::default();
-        for (arrival, op, port, tuple) in log {
-            if tuple.is_tentative() && !self.tainted {
-                self.take_checkpoint();
+        for (arrival, op, port, chunk) in log {
+            let mut rest = chunk;
+            if !self.tainted {
+                if let Some(k) = rest.first_tentative() {
+                    if k > 0 {
+                        let prefix = rest.slice(0..k);
+                        self.queues[op].push_back((port, prefix));
+                        self.drain(arrival, &mut batch);
+                    }
+                    self.take_checkpoint();
+                    rest = rest.slice(k..rest.len());
+                }
             }
-            self.queues[op].push_back((port, TupleBatch::single(tuple)));
-            self.drain(arrival, &mut batch);
+            if !rest.is_empty() {
+                self.queues[op].push_back((port, rest));
+                self.drain(arrival, &mut batch);
+            }
         }
 
         batch
@@ -298,7 +314,8 @@ impl Fragment {
     /// queue drains — the paper's "catches up with current execution".
     pub fn finish_reconciliation(&mut self, now: Time) -> Batch {
         let mut batch = Batch::default();
-        for &i in &self.input_sunions.clone() {
+        for k in 0..self.input_sunions.len() {
+            let i = self.input_sunions[k];
             let mut em = BatchEmitter::new();
             self.ops[i]
                 .as_sunion_mut()
@@ -314,11 +331,17 @@ impl Fragment {
 
     /// Immediate checkpoint (exposed for crash-recovery tooling and tests;
     /// the fragment takes its own checkpoints during normal operation).
+    ///
+    /// With copy-on-write snapshots this is O(#operators) reference-count
+    /// bumps regardless of how much state the operators hold — cheap enough
+    /// to run at the failure-detection instant (§4.4.1). Operators pay the
+    /// divergence copy lazily on their next mutation instead.
     pub fn take_checkpoint(&mut self) {
         let snaps: Vec<OpSnapshot> = self.ops.iter().map(|o| o.checkpoint()).collect();
         self.checkpoint = Some(snaps);
         self.tainted = true;
-        for &i in &self.input_sunions.clone() {
+        for k in 0..self.input_sunions.len() {
+            let i = self.input_sunions[k];
             self.ops[i]
                 .as_sunion_mut()
                 .expect("input_sunions holds SUnions")

@@ -20,6 +20,7 @@
 use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Duration, Expr, Time, Tuple, TupleId, TupleKind, Value};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// The aggregate functions supported.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,7 +186,9 @@ struct AggState {
 /// The windowed, grouped aggregate operator.
 pub struct Aggregate {
     spec: AggregateSpec,
-    state: AggState,
+    /// Copy-on-write state: checkpoints share this `Arc` (see
+    /// [`crate::snapshot`] for the contract).
+    state: Arc<AggState>,
 }
 
 impl Aggregate {
@@ -200,11 +203,11 @@ impl Aggregate {
         assert!(!spec.aggs.is_empty(), "aggregate needs at least one column");
         Aggregate {
             spec,
-            state: AggState {
+            state: Arc::new(AggState {
                 windows: BTreeMap::new(),
                 stable_wm: None,
                 next_id: 1,
-            },
+            }),
         }
     }
 
@@ -245,8 +248,8 @@ impl Aggregate {
             .collect();
         let tentative = tuple.is_tentative();
         for w in self.window_starts(tuple.stime) {
-            let entry = self
-                .state
+            let st = Arc::make_mut(&mut self.state);
+            let entry = st
                 .windows
                 .entry((w, key.clone()))
                 .or_insert_with(|| WindowState {
@@ -276,17 +279,14 @@ impl Aggregate {
             .cloned()
             .collect();
         for key in closed {
-            let win = self
-                .state
-                .windows
-                .remove(&key)
-                .expect("window key just listed");
+            let st = Arc::make_mut(&mut self.state);
+            let win = st.windows.remove(&key).expect("window key just listed");
             let (start, group) = key;
             let mut values = group;
             values.extend(win.accums.iter().map(Accum::finish));
             let end = Time(start + size);
-            let id = TupleId(self.state.next_id);
-            self.state.next_id += 1;
+            let id = TupleId(st.next_id);
+            st.next_id += 1;
             let t = if stable && !win.saw_tentative {
                 Tuple::insertion(id, end, values)
             } else {
@@ -314,7 +314,7 @@ impl Operator for Aggregate {
             TupleKind::Boundary => {
                 let advanced = self.state.stable_wm.is_none_or(|w| tuple.stime > w);
                 if advanced {
-                    self.state.stable_wm = Some(tuple.stime);
+                    Arc::make_mut(&mut self.state).stable_wm = Some(tuple.stime);
                     self.close_through(tuple.stime, true, out);
                     out.push(Tuple::boundary(TupleId::NONE, tuple.stime));
                 }
@@ -324,11 +324,11 @@ impl Operator for Aggregate {
     }
 
     fn checkpoint(&self) -> OpSnapshot {
-        OpSnapshot::new(self.state.clone())
+        OpSnapshot::share(&self.state)
     }
 
     fn restore(&mut self, snap: &OpSnapshot) {
-        self.state = snap.get::<AggState>().clone();
+        self.state = snap.shared::<AggState>();
     }
 }
 

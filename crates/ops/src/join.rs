@@ -14,6 +14,7 @@
 use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Duration, Expr, Time, Tuple, TupleId, TupleKind, Value};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Static configuration of an [`SJoin`].
 #[derive(Debug, Clone)]
@@ -45,7 +46,9 @@ struct SJoinState {
 /// The serialized, windowed equi-join.
 pub struct SJoin {
     spec: SJoinSpec,
-    state: SJoinState,
+    /// Copy-on-write state: checkpoints share this `Arc` (see
+    /// [`crate::snapshot`] for the contract).
+    state: Arc<SJoinState>,
 }
 
 impl SJoin {
@@ -53,11 +56,11 @@ impl SJoin {
     pub fn new(spec: SJoinSpec) -> SJoin {
         SJoin {
             spec,
-            state: SJoinState {
+            state: Arc::new(SJoinState {
                 left: VecDeque::new(),
                 right: VecDeque::new(),
                 next_id: 1,
-            },
+            }),
         }
     }
 
@@ -75,21 +78,19 @@ impl SJoin {
                 .as_micros()
                 .saturating_sub(self.spec.window.as_micros()),
         );
-        while self
-            .state
-            .left
-            .front()
-            .is_some_and(|(_, t)| t.stime < horizon)
-        {
-            self.state.left.pop_front();
+        let needs_evict =
+            |side: &VecDeque<(Value, Tuple)>| side.front().is_some_and(|(_, t)| t.stime < horizon);
+        // Probe before make_mut: a no-op eviction must not force the
+        // copy-on-write divergence of a checkpointed state.
+        if !needs_evict(&self.state.left) && !needs_evict(&self.state.right) {
+            return;
         }
-        while self
-            .state
-            .right
-            .front()
-            .is_some_and(|(_, t)| t.stime < horizon)
-        {
-            self.state.right.pop_front();
+        let st = Arc::make_mut(&mut self.state);
+        while st.left.front().is_some_and(|(_, t)| t.stime < horizon) {
+            st.left.pop_front();
+        }
+        while st.right.front().is_some_and(|(_, t)| t.stime < horizon) {
+            st.right.pop_front();
         }
     }
 
@@ -106,13 +107,11 @@ impl SJoin {
             Err(_) => return, // deterministic drop on evaluation error
         };
         let window = self.spec.window;
+        let st = Arc::make_mut(&mut self.state);
         // Match against the opposite side, in its arrival order.
-        let opposite = if is_left {
-            &self.state.right
-        } else {
-            &self.state.left
-        };
+        let opposite = if is_left { &st.right } else { &st.left };
         let mut matches: Vec<Tuple> = Vec::new();
+        let mut next_id = st.next_id;
         for (other_key, other) in opposite {
             if *other_key != key {
                 continue;
@@ -135,23 +134,20 @@ impl SJoin {
             values.extend_from_slice(&r.values);
             let stime = l.stime.max(r.stime);
             let tentative = l.is_tentative() || r.is_tentative();
-            let id = TupleId(self.state.next_id);
-            self.state.next_id += 1;
+            let id = TupleId(next_id);
+            next_id += 1;
             matches.push(if tentative {
                 Tuple::tentative(id, stime, values)
             } else {
                 Tuple::insertion(id, stime, values)
             });
         }
+        st.next_id = next_id;
         for m in matches {
             out.push(m);
         }
         // Store this tuple for future matches.
-        let side = if is_left {
-            &mut self.state.left
-        } else {
-            &mut self.state.right
-        };
+        let side = if is_left { &mut st.left } else { &mut st.right };
         side.push_back((key, tuple.clone()));
         if let Some(max) = self.spec.max_state {
             while side.len() > max {
@@ -178,11 +174,11 @@ impl Operator for SJoin {
     }
 
     fn checkpoint(&self) -> OpSnapshot {
-        OpSnapshot::new(self.state.clone())
+        OpSnapshot::share(&self.state)
     }
 
     fn restore(&mut self, snap: &OpSnapshot) {
-        self.state = snap.get::<SJoinState>().clone();
+        self.state = snap.shared::<SJoinState>();
     }
 }
 

@@ -195,9 +195,24 @@ pub trait Operator: Send {
     }
 
     /// Captures the operator's state for checkpoint/redo reconciliation.
+    ///
+    /// # Implementor contract (copy-on-write)
+    ///
+    /// Checkpoints run at the failure-detection instant, before the first
+    /// tentative tuple may be released (§4.4.1), so this method must be
+    /// cheap: keep mutable state behind an `Arc` and return
+    /// [`OpSnapshot::share`] — an O(1) reference-count bump — mutating
+    /// through [`std::sync::Arc::make_mut`] so the first post-checkpoint
+    /// mutation pays the (lazy) divergence copy instead. Whatever strategy
+    /// is used, a snapshot must never observe mutations made after it was
+    /// taken, and must stay restorable multiple times (a node can fail
+    /// again during stabilization, Fig. 11(b)). See [`snapshot`] for the
+    /// full contract.
     fn checkpoint(&self) -> OpSnapshot;
 
-    /// Restores the operator's state from a checkpoint.
+    /// Restores the operator's state from a checkpoint. `Arc`-state
+    /// operators adopt the snapshot's allocation ([`OpSnapshot::shared`],
+    /// O(1)) and diverge later by copy-on-write.
     fn restore(&mut self, snap: &OpSnapshot);
 
     /// Whether fragment-wide reconciliation restores this operator. SOutput

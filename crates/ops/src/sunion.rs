@@ -29,10 +29,30 @@
 //! consume UNDO / REC_DONE tuples arriving from stabilizing upstream
 //! neighbors, replacing undone tentative input with its stable corrections
 //! (§4.4.2).
+//!
+//! # Batch-native buffering
+//!
+//! Every tuple in the system crosses an SUnion, so its buffering is the
+//! serialization hot path. Ingestion is **clone-free**: an arriving
+//! [`TupleBatch`] is split into maximal same-bucket runs and each run is
+//! buffered as an O(1) shared *view* of the arrival batch (a bucket
+//! segment); the port tag lives on the segment, not on copied tuples. The
+//! replay log likewise records shared batch ranges, not per-tuple clones.
+//! The only copy happens at emission, where the protocol *requires* new
+//! tuples (the canonical renumbering that makes replicas identical): one
+//! sealed output batch per stabilization, not one clone per tuple per hop.
+//! Buckets track a `sorted` flag so the common in-order case skips the
+//! stabilization sort entirely.
+//!
+//! Checkpoints are copy-on-write: the whole operator state lives behind an
+//! `Arc`, [`crate::Operator::checkpoint`] is a reference-count bump, and the
+//! first post-checkpoint mutation clones containers-of-views (cheap), never
+//! tuples. See [`crate::snapshot`] for the contract.
 
 use crate::{BatchEmitter, OpSnapshot, Operator};
-use borealis_types::{ControlSignal, Duration, Time, Tuple, TupleId, TupleKind};
+use borealis_types::{ControlSignal, Duration, Time, Tuple, TupleBatch, TupleId, TupleKind};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// How an SUnion treats buckets that cannot (yet) be emitted stably.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,9 +126,21 @@ pub enum Phase {
     Healed,
 }
 
+/// One arrival-ordered run of buffered tuples: a shared view of the batch
+/// they arrived in, tagged with the input port it arrived on (the port tag
+/// lives here so ingestion never copies tuples to stamp `origin`).
+#[derive(Debug, Clone)]
+struct BucketSeg {
+    port: u16,
+    batch: TupleBatch,
+}
+
 #[derive(Debug, Clone)]
 struct Bucket {
-    tuples: Vec<Tuple>,
+    /// Buffered tuples, as arrival-ordered shared segments.
+    segs: Vec<BucketSeg>,
+    /// Total buffered tuples (sum of segment lengths).
+    len: usize,
     /// Earliest arrival time of any tuple in the bucket; deadlines are
     /// measured from here ("within D time-units of their arrival", §2.3.1).
     first_arrival: Time,
@@ -120,12 +152,52 @@ struct Bucket {
     /// tentatively anyway (why delaying stops helping for long failures,
     /// Fig. 18).
     deadline: Time,
+    /// True while every appended tuple extended the canonical
+    /// `(stime, port, id)` order — the common no-failure case; emission
+    /// then skips the stabilization sort entirely.
+    sorted: bool,
+    /// Canonical key of the most recently appended tuple — while `sorted`,
+    /// an upper bound on every key in the bucket. Removals (UNDO) may leave
+    /// it above the remaining maximum; that only clears `sorted`
+    /// conservatively on a later append, never wrongly keeps it.
+    last_key: (Time, u16, TupleId),
+}
+
+impl Bucket {
+    fn new(now: Time, deadline: Time) -> Bucket {
+        Bucket {
+            segs: Vec::new(),
+            len: 0,
+            first_arrival: now,
+            deadline,
+            sorted: true,
+            last_key: (Time::ZERO, 0, TupleId::NONE),
+        }
+    }
+
+    /// Appends one same-bucket run by shared view, maintaining the sorted
+    /// flag (comparisons on borrowed tuples; no copies).
+    fn append_run(&mut self, port: u16, run: TupleBatch) {
+        if self.sorted {
+            for t in run.as_slice() {
+                let key = (t.stime, port, t.id);
+                if key < self.last_key {
+                    self.sorted = false;
+                    break;
+                }
+                self.last_key = key;
+            }
+        }
+        self.len += run.len();
+        self.segs.push(BucketSeg { port, batch: run });
+    }
 }
 
 /// One entry of the reconciliation replay log: (arrival time, input port,
-/// tuple). Arrival times are preserved so replayed buckets keep their
-/// original deadlines.
-pub type ReplayEntry = (Time, usize, Tuple);
+/// shared batch range). Arrival times are preserved so replayed buckets
+/// keep their original deadlines; the batch shares its backing allocation
+/// with the arrival message — recording costs a range, not a copy.
+pub type ReplayEntry = (Time, usize, TupleBatch);
 
 #[derive(Clone)]
 struct SUnionState {
@@ -149,7 +221,10 @@ struct SUnionState {
 /// The serializing union. See the module docs for the full protocol role.
 pub struct SUnion {
     cfg: SUnionConfig,
-    state: SUnionState,
+    /// Copy-on-write state: checkpoints share this `Arc`; mutation paths go
+    /// through [`Arc::make_mut`], so the first post-checkpoint mutation
+    /// clones containers of shared views (never tuples).
+    state: Arc<SUnionState>,
     /// Reconciliation replay log (input SUnions only); *not* part of the
     /// checkpointed state — it is the data replayed after a restore.
     replay_log: Vec<ReplayEntry>,
@@ -167,7 +242,7 @@ impl SUnion {
         let n = cfg.n_inputs;
         SUnion {
             cfg,
-            state: SUnionState {
+            state: Arc::new(SUnionState {
                 buckets: BTreeMap::new(),
                 watermarks: vec![None; n],
                 emitted_through: None,
@@ -176,7 +251,7 @@ impl SUnion {
                 awaiting_correction: vec![false; n],
                 rec_done_seen: vec![false; n],
                 next_id: 1,
-            },
+            }),
             replay_log: Vec::new(),
             recording: false,
         }
@@ -200,13 +275,13 @@ impl SUnion {
 
     /// Number of buffered (unemitted) tuples, for buffer accounting.
     pub fn buffered_tuples(&self) -> usize {
-        self.state.buckets.values().map(|b| b.tuples.len()).sum()
+        self.state.buckets.values().map(|b| b.len).sum()
     }
 
-    /// Length of the reconciliation replay log, for buffer accounting
+    /// Tuples held in the reconciliation replay log, for buffer accounting
     /// (§8.1).
     pub fn replay_log_len(&self) -> usize {
-        self.replay_log.len()
+        self.replay_log.iter().map(|(_, _, b)| b.len()).sum()
     }
 
     /// Starts (or stops) recording arrivals into the replay log. The
@@ -223,7 +298,8 @@ impl SUnion {
         self.recording
     }
 
-    /// Takes the replay log for reconciliation, leaving recording off.
+    /// Takes the replay log for reconciliation, leaving recording off. The
+    /// entries are shared batch ranges in arrival order.
     pub fn take_replay_log(&mut self) -> Vec<ReplayEntry> {
         self.recording = false;
         std::mem::take(&mut self.replay_log)
@@ -265,6 +341,16 @@ impl SUnion {
         Some(min)
     }
 
+    /// The delay a given [`DelayMode`] grants an unstable bucket; `None`
+    /// means hold indefinitely.
+    fn mode_delay(&self, mode: DelayMode) -> Option<Duration> {
+        match mode {
+            DelayMode::Suspend => None,
+            DelayMode::Delay => Some(self.cfg.delay_budget),
+            DelayMode::Process => Some(self.cfg.tentative_wait),
+        }
+    }
+
     /// The delay applied to the next unstable bucket in the current phase;
     /// `None` means hold indefinitely.
     fn phase_delay(&self) -> Option<Duration> {
@@ -273,11 +359,7 @@ impl SUnion {
             Phase::Failure => self.cfg.failure_mode,
             Phase::Healed => self.cfg.stabilization_mode,
         };
-        match mode {
-            DelayMode::Suspend => None,
-            DelayMode::Delay => Some(self.cfg.delay_budget),
-            DelayMode::Process => Some(self.cfg.tentative_wait),
-        }
+        self.mode_delay(mode)
     }
 
     /// Earliest tentative-release deadline over all buffered buckets.
@@ -310,13 +392,13 @@ impl SUnion {
             Phase::Stable => {}
             Phase::Failure => {
                 if self.conditions_for_healed() {
-                    self.state.phase = Phase::Healed;
+                    Arc::make_mut(&mut self.state).phase = Phase::Healed;
                     out.signal(ControlSignal::RecRequest);
                 }
             }
             Phase::Healed => {
                 if !self.conditions_for_healed() {
-                    self.state.phase = Phase::Failure;
+                    Arc::make_mut(&mut self.state).phase = Phase::Failure;
                 }
             }
         }
@@ -324,12 +406,13 @@ impl SUnion {
 
     fn enter_failure(&mut self, out: &mut BatchEmitter) {
         if self.state.phase == Phase::Stable {
-            self.state.phase = Phase::Failure;
             // The initial suspend is over: the buffered backlog follows the
             // UP_FAILURE policy from here ("after the initial delay, nodes
             // process subsequent tuples without any delay" for Process).
-            let delay = self.phase_delay();
-            for b in self.state.buckets.values_mut() {
+            let delay = self.mode_delay(self.cfg.failure_mode);
+            let st = Arc::make_mut(&mut self.state);
+            st.phase = Phase::Failure;
+            for b in st.buckets.values_mut() {
                 b.deadline = match delay {
                     Some(d) => b.deadline.min(b.first_arrival + d),
                     None => Time::MAX,
@@ -337,39 +420,111 @@ impl SUnion {
             }
             out.signal(ControlSignal::UpFailure);
         } else if self.state.phase == Phase::Healed {
-            self.state.phase = Phase::Failure;
+            Arc::make_mut(&mut self.state).phase = Phase::Failure;
         }
     }
 
-    fn insert_data(&mut self, port: usize, tuple: &Tuple, now: Time) {
-        let idx = self.bucket_index(tuple.stime);
-        if self.state.emitted_through.is_some_and(|et| idx <= et) {
-            // Late tuple for an already-emitted bucket. Under stable
-            // operation the boundary contract makes this impossible; during
-            // failures it happens (e.g. right after an upstream switch) and
-            // the tuple is dropped tentatively — reconciliation replays it
-            // from the log (paper footnote 6).
-            return;
-        }
-        let mut t = tuple.clone();
-        t.origin = port as u16;
+    /// Buffers one same-bucket run of data tuples by shared view.
+    fn insert_run(&mut self, idx: u64, port: usize, run: TupleBatch, now: Time) {
         let delay = self.phase_delay();
-        let entry = self.state.buckets.entry(idx).or_insert_with(|| Bucket {
-            tuples: Vec::new(),
-            first_arrival: now,
-            deadline: match delay {
-                Some(d) => now + d,
-                None => Time::MAX,
-            },
+        let st = Arc::make_mut(&mut self.state);
+        let entry = st.buckets.entry(idx).or_insert_with(|| {
+            Bucket::new(
+                now,
+                match delay {
+                    Some(d) => now + d,
+                    None => Time::MAX,
+                },
+            )
         });
         entry.first_arrival = entry.first_arrival.min(now);
-        entry.tuples.push(t);
+        entry.append_run(port as u16, run);
+    }
+
+    /// Buffers the data run `[start, end)` of `batch`, splitting it into
+    /// maximal same-bucket sub-runs; each sub-run is an O(1) shared view.
+    /// Late tuples for already-emitted buckets are dropped (under stable
+    /// operation the boundary contract makes this impossible; during
+    /// failures it happens — e.g. right after an upstream switch — and
+    /// reconciliation replays them from the log, paper footnote 6).
+    fn ingest_data_run(
+        &mut self,
+        port: usize,
+        batch: &TupleBatch,
+        start: usize,
+        end: usize,
+        now: Time,
+    ) {
+        let slice = batch.as_slice();
+        let mut i = start;
+        while i < end {
+            let idx = self.bucket_index(slice[i].stime);
+            let mut j = i + 1;
+            while j < end && self.bucket_index(slice[j].stime) == idx {
+                j += 1;
+            }
+            if self.state.emitted_through.is_none_or(|et| idx > et) {
+                self.insert_run(idx, port, batch.slice(i..j), now);
+            }
+            i = j;
+        }
+    }
+
+    /// Handles one non-data tuple (boundary / undo / rec-done) — shared by
+    /// the batch and per-tuple paths.
+    fn process_control(&mut self, port: usize, tuple: &Tuple, out: &mut BatchEmitter) {
+        match tuple.kind {
+            TupleKind::Boundary => {
+                {
+                    let st = Arc::make_mut(&mut self.state);
+                    let wm = &mut st.watermarks[port];
+                    *wm = Some(wm.map_or(tuple.stime, |w| w.max(tuple.stime)));
+                }
+                if self.state.phase == Phase::Stable {
+                    self.emit_stable_ready(out);
+                } else {
+                    self.recheck_phase(out);
+                }
+            }
+            TupleKind::Undo => {
+                if self.cfg.is_input {
+                    self.apply_undo(port);
+                } else {
+                    out.push(tuple.clone());
+                }
+            }
+            TupleKind::RecDone => {
+                if self.cfg.is_input {
+                    // Upstream finished stabilizing this stream: the stream
+                    // is fully corrected from here (§4.4: tentative tuples
+                    // after the REC_DONE belong to a *new* failure).
+                    self.apply_undo(port);
+                    Arc::make_mut(&mut self.state).awaiting_correction[port] = false;
+                    self.recheck_phase(out);
+                } else {
+                    // Mid-diagram merge: forward one REC_DONE once every
+                    // input port has delivered one (§4.4.2).
+                    let st = Arc::make_mut(&mut self.state);
+                    st.rec_done_seen[port] = true;
+                    if st.rec_done_seen.iter().all(|&b| b) {
+                        st.rec_done_seen.iter_mut().for_each(|b| *b = false);
+                        st.awaiting_correction.iter_mut().for_each(|b| *b = false);
+                        out.push(tuple.clone());
+                    }
+                }
+            }
+            TupleKind::Insertion | TupleKind::Tentative => {
+                unreachable!("data kinds are handled by the run path")
+            }
+        }
     }
 
     /// Emits every bucket that the boundary frontier now covers, stably, in
     /// index order; then announces the new frontier downstream. Only valid
     /// in the Stable phase — after a failure all output must stay tentative
-    /// until reconciliation (stable output is a prefix property).
+    /// until reconciliation (stable output is a prefix property). All
+    /// released buckets and the trailing boundary seal into one shared
+    /// output batch.
     fn emit_stable_ready(&mut self, out: &mut BatchEmitter) {
         debug_assert_eq!(self.state.phase, Phase::Stable);
         let Some(frontier) = self.min_watermark() else {
@@ -388,41 +543,70 @@ impl SUnion {
         {
             return;
         }
-        while let Some((&idx, _)) = self.state.buckets.iter().next() {
+        let announce = self.bucket_end(covered_through);
+        let mut outv: Vec<Tuple> = Vec::new();
+        let st = Arc::make_mut(&mut self.state);
+        while let Some((&idx, _)) = st.buckets.iter().next() {
             if idx > covered_through {
                 break;
             }
-            let bucket = self
-                .state
-                .buckets
-                .remove(&idx)
-                .expect("bucket key just read");
-            self.emit_bucket(bucket, false, out);
+            let bucket = st.buckets.remove(&idx).expect("bucket key just read");
+            Self::emit_bucket_into(&mut st.next_id, bucket, false, &mut outv);
         }
-        self.state.emitted_through = Some(
-            self.state
-                .emitted_through
+        st.emitted_through = Some(
+            st.emitted_through
                 .map_or(covered_through, |et| et.max(covered_through)),
         );
         // Announce the covered frontier downstream (§4.2.1: operators
         // produce boundaries with monotonically increasing values).
-        let announce = self.bucket_end(covered_through);
-        if self.state.announced_wm.is_none_or(|w| announce > w) {
-            self.state.announced_wm = Some(announce);
-            out.push(Tuple::boundary(TupleId::NONE, announce));
+        if st.announced_wm.is_none_or(|w| announce > w) {
+            st.announced_wm = Some(announce);
+            outv.push(Tuple::boundary(TupleId::NONE, announce));
         }
+        out.push_batch(TupleBatch::from_vec(outv));
     }
 
-    /// Emits one bucket's tuples in the canonical deterministic order.
-    fn emit_bucket(&mut self, mut bucket: Bucket, force_tentative: bool, out: &mut BatchEmitter) {
-        bucket.tuples.sort_by_key(|t| (t.stime, t.origin, t.id));
-        for mut t in bucket.tuples {
-            t.id = TupleId(self.state.next_id);
-            self.state.next_id += 1;
+    /// Serializes one bucket into `outv` in the canonical deterministic
+    /// order. This is the single copy on the data path: the protocol
+    /// requires fresh tuples here (renumbered ids, the port as `origin`),
+    /// so the bucket's shared views are materialized once into the output
+    /// batch. The common in-order case skips the sort.
+    fn emit_bucket_into(
+        next_id: &mut u64,
+        bucket: Bucket,
+        force_tentative: bool,
+        outv: &mut Vec<Tuple>,
+    ) {
+        let renumber = |t: &Tuple, port: u16, next_id: &mut u64| {
+            let mut t = t.clone();
+            t.origin = port;
+            t.id = TupleId(*next_id);
+            *next_id += 1;
             if force_tentative {
                 t.kind = TupleKind::Tentative;
             }
-            out.push(t);
+            t
+        };
+        outv.reserve(bucket.len);
+        if bucket.sorted {
+            for seg in &bucket.segs {
+                for t in seg.batch.as_slice() {
+                    outv.push(renumber(t, seg.port, next_id));
+                }
+            }
+        } else {
+            let mut order: Vec<(&Tuple, u16)> = Vec::with_capacity(bucket.len);
+            for seg in &bucket.segs {
+                for t in seg.batch.as_slice() {
+                    order.push((t, seg.port));
+                }
+            }
+            // Stable sort: ties keep arrival order, exactly as per-tuple
+            // insertion into one vector would.
+            order.sort_by_key(|&(t, port)| (t.stime, port, t.id));
+            for (t, port) in order {
+                outv.push(renumber(t, port, next_id));
+            }
         }
     }
 
@@ -448,29 +632,104 @@ impl SUnion {
             if self.state.buckets[&idx].deadline > now {
                 continue;
             }
-            let bucket = self
-                .state
-                .buckets
-                .remove(&idx)
-                .expect("bucket key just read");
-            self.emit_bucket(bucket, true, out);
-            self.state.emitted_through =
-                Some(self.state.emitted_through.map_or(idx, |et| et.max(idx)));
+            let st = Arc::make_mut(&mut self.state);
+            let bucket = st.buckets.remove(&idx).expect("bucket key just read");
+            let mut outv: Vec<Tuple> = Vec::new();
+            Self::emit_bucket_into(&mut st.next_id, bucket, true, &mut outv);
+            st.emitted_through = Some(st.emitted_through.map_or(idx, |et| et.max(idx)));
+            out.push_batch(TupleBatch::from_vec(outv));
         }
+    }
+
+    /// The maximal non-tentative sub-runs of a batch. Survivors covering at
+    /// least half the *backing allocation* stay O(1) shared slices; a small
+    /// survivor set is compacted into a fresh allocation instead, so an
+    /// UNDO can never leave a sliver pinning a large arrival batch in
+    /// memory (the §8.1 buffer accounting counts tuples, and resident
+    /// memory must track it).
+    fn stable_runs(batch: &TupleBatch) -> Vec<TupleBatch> {
+        let slice = batch.as_slice();
+        let mut runs: Vec<(usize, usize)> = Vec::new();
+        let mut survivors = 0;
+        let mut i = 0;
+        while i < slice.len() {
+            if slice[i].is_tentative() {
+                i += 1;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < slice.len() && !slice[j].is_tentative() {
+                j += 1;
+            }
+            survivors += j - i;
+            runs.push((i, j));
+            i = j;
+        }
+        if survivors * 2 < batch.backing_len() {
+            if survivors == 0 {
+                return Vec::new();
+            }
+            let mut v = Vec::with_capacity(survivors);
+            for &(i, j) in &runs {
+                v.extend_from_slice(&slice[i..j]);
+            }
+            return vec![TupleBatch::from_vec(v)];
+        }
+        runs.into_iter().map(|(i, j)| batch.slice(i..j)).collect()
     }
 
     /// Handles an UNDO arriving from a stabilizing upstream neighbor: drop
     /// the uncorrected tentative input of that port from the replay log and
     /// from unemitted buckets; stable corrections follow on the stream.
+    /// Edits are range splits on the shared views while survivors dominate
+    /// their backing batch; mostly-undone batches are compacted instead
+    /// (one copy of the survivors), so the undone arrivals are actually
+    /// reclaimed rather than pinned by slivers.
     fn apply_undo(&mut self, port: usize) {
-        self.replay_log
-            .retain(|(_, p, t)| *p != port || !t.is_tentative());
-        for bucket in self.state.buckets.values_mut() {
-            bucket
-                .tuples
-                .retain(|t| t.origin as usize != port || !t.is_tentative());
+        // Every entry of the undone port goes through `stable_runs`, even
+        // pure-stable ones: the compaction decision is per backing
+        // allocation, and because a delivery batch arrives on exactly one
+        // port, one UNDO pass visits every view of that batch this SUnion
+        // holds (bucket segments and log entries alike) — compacting them
+        // together is what releases the backing.
+        let old = std::mem::take(&mut self.replay_log);
+        self.replay_log.reserve(old.len());
+        for (at, p, batch) in old {
+            if p != port {
+                self.replay_log.push((at, p, batch));
+                continue;
+            }
+            self.replay_log
+                .extend(Self::stable_runs(&batch).into_iter().map(|b| (at, p, b)));
         }
-        self.state.buckets.retain(|_, b| !b.tuples.is_empty());
+        let p16 = port as u16;
+        let st = Arc::make_mut(&mut self.state);
+        for bucket in st.buckets.values_mut() {
+            if !bucket.segs.iter().any(|s| s.port == p16) {
+                continue;
+            }
+            let mut segs = Vec::with_capacity(bucket.segs.len());
+            let mut len = 0;
+            for seg in &bucket.segs {
+                if seg.port != p16 {
+                    len += seg.batch.len();
+                    segs.push(seg.clone());
+                    continue;
+                }
+                for run in Self::stable_runs(&seg.batch) {
+                    len += run.len();
+                    segs.push(BucketSeg {
+                        port: seg.port,
+                        batch: run,
+                    });
+                }
+            }
+            // Removal keeps relative order, so a sorted bucket stays
+            // sorted (`last_key` remains an upper bound on what is left).
+            bucket.segs = segs;
+            bucket.len = len;
+        }
+        st.buckets.retain(|_, b| b.len > 0);
     }
 }
 
@@ -484,62 +743,57 @@ impl Operator for SUnion {
     }
 
     fn process(&mut self, port: usize, tuple: &Tuple, now: Time, out: &mut BatchEmitter) {
+        // Compat shim for per-tuple producers: the batch path is canonical.
+        self.process_batch(port, &TupleBatch::single(tuple.clone()), now, out);
+    }
+
+    /// Batch-native ingestion — the serialization hot path. Data runs are
+    /// buffered (and recorded for replay) as O(1) shared views of `batch`;
+    /// control tuples are handled in place. Semantically identical to
+    /// tuple-at-a-time delivery.
+    fn process_batch(
+        &mut self,
+        port: usize,
+        batch: &TupleBatch,
+        now: Time,
+        out: &mut BatchEmitter,
+    ) {
         assert!(port < self.cfg.n_inputs, "port out of range");
-        // Data and boundaries are recorded for replay; UNDO and REC_DONE are
-        // not — they *edit* the log (replacing undone input with its
-        // corrections) rather than belonging to it.
-        if self.recording
-            && self.cfg.is_input
-            && matches!(
-                tuple.kind,
-                TupleKind::Insertion | TupleKind::Tentative | TupleKind::Boundary
-            )
-        {
-            self.replay_log.push((now, port, tuple.clone()));
-        }
-        match tuple.kind {
-            TupleKind::Insertion => self.insert_data(port, tuple, now),
-            TupleKind::Tentative => {
-                self.state.awaiting_correction[port] = true;
-                self.enter_failure(out);
-                self.insert_data(port, tuple, now);
-            }
-            TupleKind::Boundary => {
-                let wm = &mut self.state.watermarks[port];
-                *wm = Some(wm.map_or(tuple.stime, |w| w.max(tuple.stime)));
-                if self.state.phase == Phase::Stable {
-                    self.emit_stable_ready(out);
-                } else {
-                    self.recheck_phase(out);
-                }
-            }
-            TupleKind::Undo => {
-                if self.cfg.is_input {
-                    self.apply_undo(port);
-                } else {
-                    out.push(tuple.clone());
-                }
-            }
-            TupleKind::RecDone => {
-                if self.cfg.is_input {
-                    // Upstream finished stabilizing this stream: the stream
-                    // is fully corrected from here (§4.4: tentative tuples
-                    // after the REC_DONE belong to a *new* failure).
-                    self.apply_undo(port);
-                    self.state.awaiting_correction[port] = false;
-                    self.recheck_phase(out);
-                } else {
-                    // Mid-diagram merge: forward one REC_DONE once every
-                    // input port has delivered one (§4.4.2).
-                    self.state.rec_done_seen[port] = true;
-                    if self.state.rec_done_seen.iter().all(|&b| b) {
-                        self.state.rec_done_seen.iter_mut().for_each(|b| *b = false);
-                        self.state
-                            .awaiting_correction
-                            .iter_mut()
-                            .for_each(|b| *b = false);
-                        out.push(tuple.clone());
+        let record = self.recording && self.cfg.is_input;
+        let slice = batch.as_slice();
+        let mut i = 0;
+        while i < slice.len() {
+            let kind = slice[i].kind;
+            match kind {
+                TupleKind::Insertion | TupleKind::Tentative => {
+                    let mut j = i + 1;
+                    while j < slice.len() && slice[j].kind == kind {
+                        j += 1;
                     }
+                    // Data is recorded for replay as a shared range; UNDO
+                    // and REC_DONE are not — they *edit* the log (replacing
+                    // undone input with its corrections) rather than
+                    // belonging to it.
+                    if record {
+                        self.replay_log.push((now, port, batch.slice(i..j)));
+                    }
+                    if kind == TupleKind::Tentative {
+                        Arc::make_mut(&mut self.state).awaiting_correction[port] = true;
+                        self.enter_failure(out);
+                    }
+                    self.ingest_data_run(port, batch, i, j, now);
+                    i = j;
+                }
+                TupleKind::Boundary => {
+                    if record {
+                        self.replay_log.push((now, port, batch.slice(i..i + 1)));
+                    }
+                    self.process_control(port, &slice[i], out);
+                    i += 1;
+                }
+                TupleKind::Undo | TupleKind::RecDone => {
+                    self.process_control(port, &slice[i], out);
+                    i += 1;
                 }
             }
         }
@@ -564,11 +818,11 @@ impl Operator for SUnion {
     }
 
     fn checkpoint(&self) -> OpSnapshot {
-        OpSnapshot::new(self.state.clone())
+        OpSnapshot::share(&self.state)
     }
 
     fn restore(&mut self, snap: &OpSnapshot) {
-        self.state = snap.get::<SUnionState>().clone();
+        self.state = snap.shared::<SUnionState>();
     }
 
     fn as_sunion_mut(&mut self) -> Option<&mut SUnion> {
@@ -811,6 +1065,83 @@ mod tests {
     }
 
     #[test]
+    fn undo_splits_mixed_batches_by_range() {
+        // One arrival batch carries a stable majority and a tentative
+        // suffix; the UNDO must strip only the tentative tuples, keeping
+        // the surviving stable run as a shared range view (no copies: the
+        // survivors dominate the backing allocation).
+        let mut s = SUnion::new(cfg(1));
+        s.set_recording(true);
+        let mut out = BatchEmitter::new();
+        let arrivals = TupleBatch::from_vec(vec![
+            data(1, 10),
+            data(2, 20),
+            data(3, 30),
+            Tuple::tentative(TupleId(4), Time::from_millis(40), vec![]),
+            Tuple::tentative(TupleId(5), Time::from_millis(50), vec![]),
+        ]);
+        s.process_batch(0, &arrivals, Time::from_millis(60), &mut out);
+        assert_eq!(s.buffered_tuples(), 5);
+        assert_eq!(s.replay_log_len(), 5);
+        s.process(
+            0,
+            &Tuple::undo(TupleId::NONE, TupleId::NONE),
+            Time::from_millis(70),
+            &mut out,
+        );
+        assert_eq!(s.buffered_tuples(), 3);
+        assert_eq!(s.replay_log_len(), 3);
+        // The surviving log entry still shares the arrival backing.
+        let log = s.take_replay_log();
+        assert!(log.iter().all(|(_, _, b)| b.shares_backing(&arrivals)));
+        // And release (tentative, we are in UP_FAILURE) serializes exactly
+        // the survivors.
+        s.tick(Time::from_secs(10), true, &mut out);
+        let stimes: Vec<u64> = out
+            .tuples()
+            .iter()
+            .filter(|t| t.is_data())
+            .map(|t| t.stime.as_millis())
+            .collect();
+        assert_eq!(stimes, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn undo_compacts_sliver_survivors_instead_of_pinning_the_batch() {
+        // 1 stable survivor out of 8: keeping a shared view would pin the
+        // whole 8-tuple arrival allocation; the UNDO must compact instead.
+        let mut s = SUnion::new(cfg(1));
+        s.set_recording(true);
+        let mut out = BatchEmitter::new();
+        let mut v: Vec<Tuple> = (1..8)
+            .map(|i| Tuple::tentative(TupleId(i), Time::from_millis(10 + i), vec![]))
+            .collect();
+        v.insert(3, data(8, 14));
+        let arrivals = TupleBatch::from_vec(v);
+        s.process_batch(0, &arrivals, Time::from_millis(50), &mut out);
+        s.process(
+            0,
+            &Tuple::undo(TupleId::NONE, TupleId::NONE),
+            Time::from_millis(60),
+            &mut out,
+        );
+        assert_eq!(s.buffered_tuples(), 1);
+        assert_eq!(s.replay_log_len(), 1);
+        let log = s.take_replay_log();
+        assert!(
+            log.iter().all(|(_, _, b)| !b.shares_backing(&arrivals)),
+            "a sliver survivor must be compacted, not pin the arrival batch"
+        );
+        let kept = s
+            .state
+            .buckets
+            .values()
+            .flat_map(|b| b.segs.iter())
+            .all(|seg| !seg.batch.shares_backing(&arrivals));
+        assert!(kept, "bucket survivors compacted too");
+    }
+
+    #[test]
     fn mid_diagram_sunion_merges_rec_done() {
         let mut c = cfg(2);
         c.is_input = false;
@@ -855,6 +1186,101 @@ mod tests {
         s.restore(&snap);
         let second = run(s);
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn cow_checkpoint_is_isolated_from_later_mutation() {
+        // The snapshot is a shared capture: processing more data after the
+        // checkpoint must copy-on-write the live state, never the capture —
+        // and the capture stays restorable multiple times (Fig. 11(b)).
+        let mut s = SUnion::new(cfg(1));
+        let mut out = BatchEmitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(60), &mut out);
+        let snap = s.checkpoint();
+        s.process(0, &data(2, 70), Time::from_millis(80), &mut out);
+        s.process(0, &data(3, 150), Time::from_millis(160), &mut out);
+        assert_eq!(s.buffered_tuples(), 3);
+        s.restore(&snap);
+        assert_eq!(s.buffered_tuples(), 1, "capture predates the mutations");
+        s.process(0, &data(2, 70), Time::from_millis(80), &mut out);
+        s.restore(&snap);
+        assert_eq!(s.buffered_tuples(), 1, "capture restorable repeatedly");
+    }
+
+    #[test]
+    fn batch_ingestion_matches_per_tuple_ingestion() {
+        // The batch path buffers shared views; the per-tuple path wraps
+        // singles. Output sequences (data, boundaries, signals) must be
+        // byte-identical.
+        let mixed = vec![
+            data(1, 20),
+            data(2, 80),
+            data(3, 150),
+            boundary(100),
+            data(4, 170),
+            data(5, 60), // late for bucket 0 once emitted: dropped
+            boundary(200),
+        ];
+        let per_tuple = {
+            let mut s = SUnion::new(cfg(1));
+            let mut out = BatchEmitter::new();
+            for t in &mixed {
+                s.process(0, t, Time::from_millis(1), &mut out);
+            }
+            out.take_tuples()
+        };
+        let batched = {
+            let mut s = SUnion::new(cfg(1));
+            let mut out = BatchEmitter::new();
+            s.process_batch(
+                0,
+                &TupleBatch::from_vec(mixed.clone()),
+                Time::from_millis(1),
+                &mut out,
+            );
+            out.take_tuples()
+        };
+        assert_eq!(per_tuple, batched);
+    }
+
+    #[test]
+    fn in_order_buckets_skip_the_stabilization_sort() {
+        // White-box: a bucket fed in canonical order keeps sorted=true; one
+        // fed out of order flips it. Both must emit correctly either way.
+        let mut s = SUnion::new(cfg(1));
+        let mut out = BatchEmitter::new();
+        s.process_batch(
+            0,
+            &TupleBatch::from_vec(vec![data(1, 10), data(2, 20), data(3, 30)]),
+            Time::from_millis(1),
+            &mut out,
+        );
+        assert!(s.state.buckets.values().all(|b| b.sorted));
+        s.process(0, &data(4, 15), Time::from_millis(2), &mut out);
+        assert!(!s.state.buckets.values().all(|b| b.sorted));
+        s.process(0, &boundary(100), Time::from_millis(3), &mut out);
+        let stimes: Vec<u64> = out
+            .tuples()
+            .iter()
+            .filter(|t| t.is_data())
+            .map(|t| t.stime.as_millis())
+            .collect();
+        assert_eq!(stimes, vec![10, 15, 20, 30]);
+    }
+
+    #[test]
+    fn buffered_runs_share_the_arrival_backing() {
+        let mut s = SUnion::new(cfg(1));
+        let mut out = BatchEmitter::new();
+        let arrivals = TupleBatch::from_vec(vec![data(1, 10), data(2, 20), data(3, 120)]);
+        s.process_batch(0, &arrivals, Time::from_millis(1), &mut out);
+        assert_eq!(s.buffered_tuples(), 3);
+        let all_shared = s
+            .state
+            .buckets
+            .values()
+            .all(|b| b.segs.iter().all(|seg| seg.batch.shares_backing(&arrivals)));
+        assert!(all_shared, "ingestion must buffer views, not copies");
     }
 
     #[test]

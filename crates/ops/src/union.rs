@@ -8,11 +8,14 @@
 
 use crate::{BatchEmitter, OpSnapshot, Operator};
 use borealis_types::{Time, Tuple, TupleId, TupleKind};
+use std::sync::Arc;
 
 /// Non-serializing merge of `n` input streams.
 pub struct Union {
     n_inputs: usize,
-    state: UnionState,
+    /// Copy-on-write state: checkpoints share this `Arc` (see
+    /// [`crate::snapshot`] for the contract).
+    state: Arc<UnionState>,
 }
 
 #[derive(Clone)]
@@ -32,11 +35,11 @@ impl Union {
         assert!(n_inputs >= 1, "union needs at least one input");
         Union {
             n_inputs,
-            state: UnionState {
+            state: Arc::new(UnionState {
                 watermarks: vec![None; n_inputs],
                 emitted_wm: None,
                 next_id: 1,
-            },
+            }),
         }
     }
 
@@ -64,18 +67,22 @@ impl Operator for Union {
     fn process(&mut self, port: usize, tuple: &Tuple, _now: Time, out: &mut BatchEmitter) {
         match tuple.kind {
             TupleKind::Insertion | TupleKind::Tentative => {
+                let st = Arc::make_mut(&mut self.state);
                 let mut t = tuple.clone();
-                t.id = TupleId(self.state.next_id);
-                self.state.next_id += 1;
+                t.id = TupleId(st.next_id);
+                st.next_id += 1;
                 t.origin = port as u16;
                 out.push(t);
             }
             TupleKind::Boundary => {
-                self.state.watermarks[port] =
-                    Some(self.state.watermarks[port].map_or(tuple.stime, |w| w.max(tuple.stime)));
+                {
+                    let st = Arc::make_mut(&mut self.state);
+                    st.watermarks[port] =
+                        Some(st.watermarks[port].map_or(tuple.stime, |w| w.max(tuple.stime)));
+                }
                 if let Some(min) = self.min_watermark() {
                     if self.state.emitted_wm.is_none_or(|w| min > w) {
-                        self.state.emitted_wm = Some(min);
+                        Arc::make_mut(&mut self.state).emitted_wm = Some(min);
                         out.push(Tuple::boundary(TupleId::NONE, min));
                     }
                 }
@@ -88,11 +95,11 @@ impl Operator for Union {
     }
 
     fn checkpoint(&self) -> OpSnapshot {
-        OpSnapshot::new(self.state.clone())
+        OpSnapshot::share(&self.state)
     }
 
     fn restore(&mut self, snap: &OpSnapshot) {
-        self.state = snap.get::<UnionState>().clone();
+        self.state = snap.shared::<UnionState>();
     }
 }
 

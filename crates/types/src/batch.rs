@@ -107,6 +107,13 @@ impl TupleBatch {
         Arc::ptr_eq(&self.data, &other.data)
     }
 
+    /// Length of the backing allocation this view pins (≥ [`TupleBatch::len`]).
+    /// Compaction heuristics compare the two to decide when holding a
+    /// narrow view of a large batch should copy out instead.
+    pub fn backing_len(&self) -> usize {
+        self.data.len()
+    }
+
     /// Index of the first tentative tuple, if any (checkpoint-before-
     /// tentative split point, §4.4.1).
     pub fn first_tentative(&self) -> Option<usize> {

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod benchjson;
 pub mod experiments;
 pub mod report;
 pub mod setups;

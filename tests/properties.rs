@@ -160,6 +160,197 @@ fn availability_holds_for_any_single_failure() {
     }
 }
 
+/// Batch-native equivalence: for arbitrary mixed streams (stable,
+/// tentative, boundaries, undo, rec-done) delivered in arbitrary batch
+/// sizes on arbitrary ports, the SUnion's batch ingestion path produces
+/// byte-identical output sequences, signals, and replay logs to
+/// tuple-at-a-time ingestion. This is the safety net under the zero-copy
+/// serialization hot path: batching is an optimization, never a semantic.
+#[test]
+fn sunion_batch_and_per_tuple_paths_are_equivalent() {
+    use borealis::ops::{BatchEmitter, Operator, SUnion};
+
+    let mut rng = StdRng::seed_from_u64(0xBA7C);
+    for case in 0..40 {
+        // A random mixed-kind stream, pre-split into random chunks, each
+        // chunk assigned an input port and an arrival time.
+        let n = rng.gen_range(1usize..120);
+        let mut next_id = 1u64;
+        let tuples: Vec<Tuple> = (0..n)
+            .map(|_| {
+                let roll = rng.gen_range(0u32..100);
+                let stime = Time::from_millis(rng.gen_range(0u64..1_000));
+                if roll < 70 {
+                    let t =
+                        Tuple::insertion(TupleId(next_id), stime, vec![Value::Int(next_id as i64)]);
+                    next_id += 1;
+                    t
+                } else if roll < 85 {
+                    let t =
+                        Tuple::tentative(TupleId(next_id), stime, vec![Value::Int(next_id as i64)]);
+                    next_id += 1;
+                    t
+                } else if roll < 95 {
+                    Tuple::boundary(TupleId::NONE, stime)
+                } else if roll < 98 {
+                    Tuple::undo(TupleId::NONE, TupleId::NONE)
+                } else {
+                    Tuple::rec_done(TupleId::NONE, stime)
+                }
+            })
+            .collect();
+        let mut chunks: Vec<(usize, Time, TupleBatch)> = Vec::new();
+        {
+            let whole = TupleBatch::from_vec(tuples);
+            let mut start = 0;
+            let mut arrival_ms = 1u64;
+            while start < whole.len() {
+                let len = 1 + rng.gen_range(0usize..(whole.len() - start).min(17));
+                chunks.push((
+                    rng.gen_range(0usize..2),
+                    Time::from_millis(arrival_ms),
+                    whole.slice(start..start + len),
+                ));
+                start += len;
+                arrival_ms += rng.gen_range(0u64..5);
+            }
+        }
+
+        let mut cfg = SUnionConfig::new(2);
+        cfg.bucket = Duration::from_millis(100);
+        cfg.is_input = true;
+        let run = |batched: bool| {
+            let mut s = SUnion::new(cfg.clone());
+            s.set_recording(true);
+            let mut out = BatchEmitter::new();
+            for (port, at, chunk) in &chunks {
+                if batched {
+                    s.process_batch(*port, chunk, *at, &mut out);
+                } else {
+                    for t in chunk.as_slice() {
+                        s.process(*port, t, *at, &mut out);
+                    }
+                }
+            }
+            // Flush whatever the availability path would still release.
+            s.tick(Time::from_secs(100), true, &mut out);
+            let log: Vec<(Time, usize, Tuple)> = s
+                .take_replay_log()
+                .into_iter()
+                .flat_map(|(t, p, b)| {
+                    b.as_slice()
+                        .iter()
+                        .cloned()
+                        .map(move |tu| (t, p, tu))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            (out.take_tuples(), log)
+        };
+
+        let per_tuple = run(false);
+        let batched = run(true);
+        assert_eq!(
+            per_tuple.0, batched.0,
+            "case {case}: emitted output/signals diverge between paths"
+        );
+        assert_eq!(
+            per_tuple.1, batched.1,
+            "case {case}: replay logs diverge between paths"
+        );
+    }
+}
+
+/// Copy-on-write snapshot soundness: for random inputs and a random
+/// checkpoint position, mutating an operator after its checkpoint (forcing
+/// the CoW divergence) and then restoring must reproduce exactly the
+/// outputs of a run that never diverged — for both the SUnion buffering
+/// state and the Aggregate window state.
+#[test]
+fn cow_checkpoint_restore_round_trips_under_divergence() {
+    use borealis::ops::{AggFn, Aggregate, AggregateSpec, BatchEmitter, Operator, SUnion};
+
+    let mut rng = StdRng::seed_from_u64(0xC0_57);
+    for case in 0..25 {
+        let mk = |rng: &mut StdRng, id: u64| {
+            Tuple::insertion(
+                TupleId(id),
+                Time::from_millis(rng.gen_range(0u64..2_000)),
+                vec![Value::Int(rng.gen_range(-5i64..5))],
+            )
+        };
+        let prefix: Vec<Tuple> = (0..rng.gen_range(1u64..40))
+            .map(|i| mk(&mut rng, i + 1))
+            .collect();
+        let junk: Vec<Tuple> = (0..rng.gen_range(1u64..40))
+            .map(|i| mk(&mut rng, 100 + i))
+            .collect();
+        let suffix: Vec<Tuple> = (0..rng.gen_range(1u64..40))
+            .map(|i| mk(&mut rng, 200 + i))
+            .collect();
+        let close = Tuple::boundary(TupleId::NONE, Time::from_secs(10));
+
+        let mut ops: Vec<Box<dyn Operator>> = vec![
+            Box::new(SUnion::new({
+                let mut c = SUnionConfig::new(1);
+                c.is_input = true;
+                c
+            })),
+            Box::new(Aggregate::new(AggregateSpec {
+                window: Duration::from_millis(100),
+                slide: Duration::from_millis(100),
+                group_by: vec![],
+                aggs: vec![AggFn::count(), AggFn::sum(Expr::field(0))],
+            })),
+        ];
+        for op in &mut ops {
+            let feed = |op: &mut Box<dyn Operator>, tuples: &[Tuple], out: &mut BatchEmitter| {
+                for t in tuples {
+                    op.process(0, t, Time::from_millis(1), out);
+                }
+            };
+            // Continuous reference run: prefix, then suffix + close.
+            let mut sink = BatchEmitter::new();
+            feed(op, &prefix, &mut sink);
+            let mut reference = BatchEmitter::new();
+            feed(op, &suffix, &mut reference);
+            op.process(0, &close, Time::from_millis(1), &mut reference);
+
+            // Diverged run on a fresh twin: prefix, checkpoint, junk
+            // (mutates the CoW state), restore, then the same suffix.
+            let mut twin: Box<dyn Operator> = match op.name() {
+                "sunion" => Box::new(SUnion::new({
+                    let mut c = SUnionConfig::new(1);
+                    c.is_input = true;
+                    c
+                })),
+                _ => Box::new(Aggregate::new(AggregateSpec {
+                    window: Duration::from_millis(100),
+                    slide: Duration::from_millis(100),
+                    group_by: vec![],
+                    aggs: vec![AggFn::count(), AggFn::sum(Expr::field(0))],
+                })),
+            };
+            let mut sink = BatchEmitter::new();
+            feed(&mut twin, &prefix, &mut sink);
+            let snap = twin.checkpoint();
+            feed(&mut twin, &junk, &mut sink);
+            twin.process(0, &close, Time::from_millis(1), &mut sink);
+            twin.restore(&snap);
+            let mut replayed = BatchEmitter::new();
+            feed(&mut twin, &suffix, &mut replayed);
+            twin.process(0, &close, Time::from_millis(1), &mut replayed);
+
+            assert_eq!(
+                reference.take_tuples(),
+                replayed.take_tuples(),
+                "case {case}: {} diverged after checkpoint/restore",
+                op.name()
+            );
+        }
+    }
+}
+
 /// Deterministic serialization: feeding the same tuples in arbitrary
 /// per-stream interleavings produces identical SUnion output order — the
 /// §4.2 replica-consistency guarantee at the operator level.

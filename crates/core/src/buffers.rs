@@ -29,16 +29,10 @@
 use borealis_types::{Tuple, TupleBatch, TupleId, TupleKind};
 use std::collections::VecDeque;
 
-/// What to do when an output buffer grows past its bound.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BufferPolicy {
-    /// Keep everything (the paper's default assumption, §2.2).
-    Unbounded,
-    /// Keep at most this many entries, evicting the oldest. Downstream
-    /// replicas that fall behind the eviction horizon permanently miss the
-    /// evicted tuples (tracked by [`OutputBuffer::truncation_misses`]).
-    DropOldest(usize),
-}
+// The policy type lives in `borealis-types` so the deployment planner
+// (`borealis-diagram`) can carry per-fragment overrides without depending
+// on this crate; re-exported here at its historical path.
+pub use borealis_types::BufferPolicy;
 
 /// One retained emission batch plus segment-local liveness flags.
 #[derive(Debug)]

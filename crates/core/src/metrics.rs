@@ -197,6 +197,9 @@ impl StreamRecorder {
 #[derive(Debug, Default, Clone)]
 pub struct MetricsHub {
     streams: Arc<Mutex<HashMap<u32, Arc<Mutex<StreamMetrics>>>>>,
+    /// Latest transport flow-control gauges (queue depth, stall time),
+    /// recorded by the deployment after (or during) a run.
+    flow: Arc<Mutex<borealis_types::FlowGauges>>,
 }
 
 impl MetricsHub {
@@ -272,6 +275,18 @@ impl MetricsHub {
     /// Total protocol violations (must be zero in a correct run).
     pub fn total_dup_stable(&self) -> u64 {
         self.fold(0, |acc, m| acc + m.dup_stable)
+    }
+
+    /// Records the transport's flow-control gauges (the deployments call
+    /// this after letting the system run, so experiment harnesses read
+    /// queue-depth and stall-time next to the client metrics).
+    pub fn record_flow(&self, gauges: borealis_types::FlowGauges) {
+        *self.flow.lock().expect("flow gauges lock") = gauges;
+    }
+
+    /// The most recently recorded transport flow-control gauges.
+    pub fn flow_gauges(&self) -> borealis_types::FlowGauges {
+        *self.flow.lock().expect("flow gauges lock")
     }
 }
 

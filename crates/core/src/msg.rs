@@ -98,6 +98,12 @@ pub enum NetMsg {
 /// always pass; see [`PartitionSpec`]). A batch with nothing left for the
 /// shard suppresses the delivery. All other protocol messages
 /// (subscriptions, acks, heartbeats, stagger control) pass unchanged.
+///
+/// `Data` is also the only credit-controlled variant: under a bounded
+/// [`CreditPolicy`](borealis_types::CreditPolicy) every data batch consumes
+/// one link credit, while control traffic always passes — a backpressured
+/// link still heartbeats, so a stalled peer is never mistaken for a dead
+/// one.
 impl ShardMsg for NetMsg {
     fn partition(self, spec: &PartitionSpec) -> Option<NetMsg> {
         match self {
@@ -111,6 +117,10 @@ impl ShardMsg for NetMsg {
             }
             other => Some(other),
         }
+    }
+
+    fn credit_controlled(&self) -> bool {
+        matches!(self, NetMsg::Data { .. })
     }
 }
 

@@ -412,6 +412,11 @@ impl ProcessingNode {
                         .push_batch(stream, &TupleBatch::from_vec(fresh), now)
                 };
                 self.handle_batch(ctx, batch, now);
+                // Credit accounting: this delivery is consumed when the
+                // modeled CPU has processed it — a saturated node returns
+                // credits late, which is what makes its upstream links
+                // stall instead of flooding its mailbox.
+                ctx.data_consumed_at(self.busy_until);
                 self.apply_actions(ctx, stream, actions);
                 self.post_event(ctx);
             }
@@ -552,6 +557,33 @@ impl ProcessingNode {
                     self.apply_actions(ctx, stream, actions);
                     for target in self.ums[i].heartbeat_targets() {
                         ctx.send(target, NetMsg::HeartbeatReq);
+                    }
+                }
+                // A stabilization grant held for a peer that is no longer
+                // reachable (crashed or partitioned away) staggers nothing
+                // — the partner cannot be mid-stabilization relying on us
+                // if it cannot even talk to us. Drop such grants so this
+                // replica stays free to reconcile its own state; the
+                // grant_timeout remains the backstop for in-flight races.
+                let before = self.granted_to.len();
+                self.granted_to.retain(|(n, _)| ctx.reachable(*n));
+                if self.granted_to.len() < before {
+                    self.check_reconcile(ctx);
+                }
+                // Credit-stall surfacing: when the active producer of an
+                // input stream has its sends queued awaiting credit, report
+                // the stall to that stream's input SUnions. A stall that
+                // outlasts the detection delay becomes an explicit
+                // UP_FAILURE — overload turns into delayed buckets under
+                // the DelayMode budget, not silent unbounded buffering.
+                for i in 0..self.ums.len() {
+                    let from = self.ums[i].current();
+                    let stalled = ctx.inbound_stall(from);
+                    if stalled > Duration::ZERO {
+                        let stream = self.ums[i].stream();
+                        let batch = self.fragment.note_input_stall(stream, stalled, now);
+                        self.handle_batch(ctx, batch, now);
+                        self.post_event(ctx);
                     }
                 }
                 self.refresh_state();

@@ -29,7 +29,7 @@
 
 use crate::msg::NetMsg;
 use borealis_sim::{Ctx, FaultEvent};
-use borealis_types::{NodeId, Time};
+use borealis_types::{Duration, NodeId, SendOutcome, Time};
 use rand::Rng;
 
 /// The handler-side view of a runtime: what a protocol actor may do while
@@ -48,12 +48,32 @@ pub trait RuntimeCtx {
     /// This actor's id.
     fn id(&self) -> NodeId;
 
-    /// Sends `msg` to `to`. Lost if the link or either endpoint is down.
-    fn send(&mut self, to: NodeId, msg: NetMsg);
+    /// Sends `msg` to `to` through the runtime's [`Transport`]
+    /// (`crate::transport::Transport`) layer. Lost if the link or either
+    /// endpoint is down ([`SendOutcome::DroppedFault`]); under a bounded
+    /// credit policy a data message may instead be queued at the sender
+    /// awaiting credit ([`SendOutcome::Queued`] — the transport releases it
+    /// in FIFO order once the receiver consumes earlier deliveries).
+    fn send(&mut self, to: NodeId, msg: NetMsg) -> SendOutcome;
 
     /// Sends `msg` so it departs at `depart` (clamped to now) — used by the
     /// CPU cost model: outputs leave the node when the work completes.
-    fn send_after(&mut self, to: NodeId, msg: NetMsg, depart: Time);
+    /// Credit admission happens at the departure instant.
+    fn send_after(&mut self, to: NodeId, msg: NetMsg, depart: Time) -> SendOutcome;
+
+    /// Marks the data message currently being handled as consumed at `at`
+    /// (the receiver's modeled CPU completion): its link credit returns
+    /// then. Handlers that never call this consume instantly.
+    fn data_consumed_at(&mut self, _at: Time) {}
+
+    /// Continuous credit-stall duration of the inbound link `from → self`:
+    /// how long `from`'s sends to this actor have been queued awaiting
+    /// credit ([`Duration::ZERO`] when credit is flowing or flow control is
+    /// off). This is how an overloaded consumer's backpressure is surfaced
+    /// to the protocol layer (and from there to `SUnion`).
+    fn inbound_stall(&self, _from: NodeId) -> Duration {
+        Duration::ZERO
+    }
 
     /// Schedules an `on_timer(kind)` callback at `at` (clamped to now).
     fn set_timer(&mut self, at: Time, kind: u64);
@@ -82,12 +102,20 @@ impl RuntimeCtx for Ctx<'_, NetMsg> {
         Ctx::id(self)
     }
 
-    fn send(&mut self, to: NodeId, msg: NetMsg) {
+    fn send(&mut self, to: NodeId, msg: NetMsg) -> SendOutcome {
         Ctx::send(self, to, msg)
     }
 
-    fn send_after(&mut self, to: NodeId, msg: NetMsg, depart: Time) {
+    fn send_after(&mut self, to: NodeId, msg: NetMsg, depart: Time) -> SendOutcome {
         Ctx::send_after(self, to, msg, depart)
+    }
+
+    fn data_consumed_at(&mut self, at: Time) {
+        Ctx::data_consumed_at(self, at)
+    }
+
+    fn inbound_stall(&self, from: NodeId) -> Duration {
+        Ctx::inbound_stall(self, from)
     }
 
     fn set_timer(&mut self, at: Time, kind: u64) {

@@ -74,6 +74,11 @@ pub struct SourceConfig {
     pub batch_period: Duration,
     /// Payload generator.
     pub values: ValueGen,
+    /// Stop generating data after this many tuples (`None` = unbounded).
+    /// Boundaries keep flowing afterwards, so downstream buckets still
+    /// stabilize — this models a finite load episode (e.g. an overload
+    /// burst that later drains).
+    pub limit: Option<u64>,
 }
 
 impl SourceConfig {
@@ -85,6 +90,7 @@ impl SourceConfig {
             boundary_interval: Duration::from_millis(100),
             batch_period: Duration::from_millis(10),
             values: ValueGen::Seq,
+            limit: None,
         }
     }
 }
@@ -165,7 +171,8 @@ impl DataSource {
     /// makes cross-runtime output equivalence testable. Timer jitter only
     /// affects *when* a tuple is released, never its content.
     fn generate(&mut self, now: Time) {
-        while self.stime_of(self.next_id) <= now {
+        while self.cfg.limit.is_none_or(|l| self.next_id <= l) && self.stime_of(self.next_id) <= now
+        {
             let t = Tuple::insertion(
                 TupleId(self.next_id),
                 self.stime_of(self.next_id),

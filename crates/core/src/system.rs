@@ -30,7 +30,7 @@ use crate::runtime::DpcActor;
 use crate::source::{DataSource, SourceConfig};
 use borealis_diagram::{PhysicalPlan, StreamOrigin};
 use borealis_sim::{Actor, FaultEvent, Network, Sim};
-use borealis_types::{Duration, NodeId, PartitionSpec, StreamId, Time};
+use borealis_types::{CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, StreamId, Time};
 use std::collections::HashMap;
 
 /// A scripted fault expressed against the runtime-independent topology:
@@ -92,6 +92,7 @@ pub struct SystemBuilder {
     client_streams: Vec<StreamId>,
     metrics: MetricsHub,
     faults: Vec<FaultSpec>,
+    flow_policy: CreditPolicy,
 }
 
 impl SystemBuilder {
@@ -109,7 +110,15 @@ impl SystemBuilder {
             client_streams: Vec::new(),
             metrics: MetricsHub::new(),
             faults: Vec::new(),
+            flow_policy: CreditPolicy::default(),
         }
+    }
+
+    /// Sets the transport's credit-based flow-control policy (all links;
+    /// defaults to [`CreditPolicy::Unbounded`], the pre-credit behavior).
+    pub fn credit_policy(mut self, policy: CreditPolicy) -> Self {
+        self.flow_policy = policy;
+        self
     }
 
     /// Adds a data source.
@@ -176,11 +185,14 @@ impl SystemBuilder {
         // Per-physical-fragment settings from the plan's groups.
         let mut replication = vec![2usize; n_fragments];
         let mut cost_override: Vec<Option<Duration>> = vec![None; n_fragments];
+        let mut buffer_override: Vec<Option<crate::buffers::BufferPolicy>> =
+            vec![None; n_fragments];
         let mut groups: Vec<Vec<usize>> = Vec::with_capacity(plan.groups.len());
         for g in &plan.groups {
             for &fi in &g.fragments {
                 replication[fi] = g.replication;
                 cost_override[fi] = g.per_tuple_cost;
+                buffer_override[fi] = g.buffer_policy;
             }
             groups.push(g.fragments.clone());
         }
@@ -250,6 +262,9 @@ impl SystemBuilder {
             let mut tuning = self.node_tuning.clone();
             if let Some(cost) = cost_override[fi] {
                 tuning.per_tuple_cost = cost;
+            }
+            if let Some(policy) = buffer_override[fi] {
+                tuning.buffer_policy = policy;
             }
             for &my_id in &ids {
                 let replicas = ids.iter().copied().filter(|&r| r != my_id).collect();
@@ -329,6 +344,7 @@ impl SystemBuilder {
             partitions,
             client,
             script: Vec::new(),
+            flow_policy: self.flow_policy,
         };
         for f in &self.faults {
             layout.lower_fault(f);
@@ -416,6 +432,9 @@ pub struct SystemLayout {
     pub client: Option<NodeId>,
     /// Scripted faults, lowered to concrete events, sorted by time.
     pub script: Vec<(Time, FaultEvent)>,
+    /// Credit-based flow-control policy of every link (both runtimes
+    /// install it into their transport at deploy time).
+    pub flow_policy: CreditPolicy,
 }
 
 impl SystemLayout {
@@ -497,6 +516,7 @@ impl SystemLayout {
             net.set_partition(node, spec);
         }
         let mut sim: Sim<NetMsg> = Sim::new(self.seed, net);
+        sim.set_flow_policy(self.flow_policy);
         for (i, spec) in self.actors.into_iter().enumerate() {
             let id = sim.add_actor(spec.into_sim_actor(&self.metrics));
             assert_eq!(id, NodeId(i as u32), "id layout mismatch");
@@ -606,9 +626,16 @@ impl RunningSystem {
         }
     }
 
-    /// Runs the simulation to `until`.
+    /// Runs the simulation to `until`, then refreshes the metrics hub's
+    /// transport gauges.
     pub fn run_until(&mut self, until: Time) {
         self.sim.run_until(until);
+        self.metrics.record_flow(self.sim.flow_gauges());
+    }
+
+    /// Queue-depth and stall-time gauges of the transport's credit ledger.
+    pub fn flow_gauges(&self) -> FlowGauges {
+        self.sim.flow_gauges()
     }
 }
 
@@ -790,6 +817,79 @@ mod tests {
             assert_eq!(m.n_tentative, 0);
             assert_eq!(m.dup_stable, 0);
         });
+    }
+
+    /// A per-fragment buffer override from the deployment spec replaces the
+    /// deployment-wide `NodeTuning` default on exactly that fragment's
+    /// replicas.
+    #[test]
+    fn buffer_policy_override_reaches_node_tuning() {
+        use crate::buffers::BufferPolicy;
+        let mut q = QueryBuilder::new();
+        let s1 = q.source("s1");
+        let f = q.map("front", s1, vec![borealis_types::Expr::field(0)]);
+        let b = q.map("back", f, vec![borealis_types::Expr::field(0)]);
+        q.output(b);
+        let d = q.build().unwrap();
+        let spec = DeploymentSpec::new()
+            .fragment(
+                FragmentSpec::named("front")
+                    .op("front")
+                    .buffer(BufferPolicy::DropOldest(256)),
+            )
+            .fragment(FragmentSpec::named("back").op("back"));
+        let p = plan_deployment(&d, &spec, &DpcConfig::default()).unwrap();
+        let l = SystemBuilder::new(1, Duration::from_millis(1))
+            .source(SourceConfig::seq(s1.id(), 50.0))
+            .plan(p)
+            .client_streams(vec![b.id()])
+            .layout();
+        let policy_of = |id: usize| match &l.actors[id] {
+            ActorSpec::Node(cfg) => cfg.tuning.buffer_policy,
+            _ => panic!("not a node"),
+        };
+        // ids: source 0, front replicas 1-2, back replicas 3-4, client 5.
+        assert_eq!(policy_of(1), BufferPolicy::DropOldest(256));
+        assert_eq!(policy_of(2), BufferPolicy::DropOldest(256));
+        assert_eq!(policy_of(3), BufferPolicy::Unbounded, "tuning default");
+    }
+
+    /// The builder's credit policy reaches the simulator's transport, and
+    /// a bounded deployment still runs clean below saturation (credits are
+    /// returned as the modeled CPU consumes, so a healthy run never sees
+    /// the window as a limit).
+    #[test]
+    fn credit_policy_reaches_sim_transport() {
+        let l = tiny_layout(Vec::new());
+        let sys = l.deploy_sim();
+        assert_eq!(sys.sim.flow_policy(), CreditPolicy::Unbounded);
+
+        let mut q = QueryBuilder::new();
+        let s1 = q.source("s1");
+        let u = q.relay("out", s1);
+        q.output(u);
+        let d = q.build().unwrap();
+        let cfg = DpcConfig {
+            total_delay: Duration::from_secs(2),
+            ..DpcConfig::default()
+        };
+        let p = plan_deployment(&d, &DeploymentSpec::single(2), &cfg).unwrap();
+        let mut sys = SystemBuilder::new(9, Duration::from_millis(1))
+            .source(SourceConfig::seq(s1.id(), 200.0))
+            .plan(p)
+            .client_streams(vec![u.id()])
+            .credit_policy(CreditPolicy::Window(32))
+            .build();
+        assert_eq!(sys.sim.flow_policy(), CreditPolicy::Window(32));
+        sys.run_until(Time::from_secs(5));
+        sys.metrics.with(u.id(), |m| {
+            assert!(m.n_stable > 500, "stable = {}", m.n_stable);
+            assert_eq!(m.n_tentative, 0, "no stall below saturation");
+            assert_eq!(m.dup_stable, 0);
+        });
+        let g = sys.flow_gauges();
+        assert!(g.delivered > 0, "data messages were metered: {g:?}");
+        assert_eq!(sys.metrics.flow_gauges(), g, "hub mirrors the gauges");
     }
 
     #[test]

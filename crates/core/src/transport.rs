@@ -1,0 +1,179 @@
+//! The transport layer unifying the two runtimes' link substrates.
+//!
+//! Both execution engines move [`NetMsg`]s over reliable, in-order,
+//! point-to-point links with the same fault model — but through different
+//! mechanics: the deterministic simulator's kernel delivers through its
+//! event queue, the thread engine through `mpsc` mailboxes. [`Transport`]
+//! is the contract the two share, and since this PR it is **bounded with
+//! credit-based flow control**:
+//!
+//! * every *data* message admitted to a directed link consumes one credit
+//!   ([`Transport::try_send`]); with the window exhausted the message
+//!   queues at the sender ([`SendOutcome::Queued`]);
+//! * the receiver's (modeled) CPU consumption returns the credit
+//!   ([`Transport::consumed`]), releasing the oldest queued message in
+//!   FIFO order — links never reorder;
+//! * control traffic (subscriptions, acks, heartbeats, the stagger
+//!   protocol) bypasses credits entirely, so backpressure cannot be
+//!   mistaken for a dead peer;
+//! * queue depth and stall time are continuously gauged
+//!   ([`Transport::flow_gauges`]), and per-link stall durations are
+//!   queryable ([`Transport::stalled_for`]) — that query is what
+//!   [`RuntimeCtx::inbound_stall`](crate::runtime::RuntimeCtx::inbound_stall)
+//!   exposes to protocol code, and what the Consistency Manager forwards
+//!   into `SUnion` so an overloaded consumer manifests as *delayed*
+//!   buckets under the §6 delay budget.
+//!
+//! Implementors:
+//!
+//! * [`borealis_sim::FlowControl<NetMsg>`] — the kernel's delivery
+//!   substrate (this impl, below); the kernel consults it on every
+//!   `Depart`/`Message`/`Replenish` event.
+//! * `borealis_runtime::LinkTable` — the thread engine's shared link
+//!   table, which layers the same ledger behind its lock and drives it
+//!   from the actor threads' send/receive paths.
+//!
+//! The scripted fault controller runs unchanged on top: faults gate
+//! reachability *around* the credit ledger (a send to a dead peer is a
+//! counted drop, never a queued stall), and a node crash purges its links'
+//! queues like in-flight segments of a broken connection.
+
+use crate::msg::NetMsg;
+use borealis_sim::FlowControl;
+use borealis_types::{CreditPolicy, Duration, FlowGauges, NodeId, SendOutcome, Time};
+
+/// The credit-controlled link substrate shared by both runtimes.
+///
+/// Mutating verbs take `&mut self`; implementations backed by shared state
+/// (the thread engine's lock-guarded table) expose interior-mutability
+/// siblings for their hot paths and forward here.
+pub trait Transport {
+    /// The governing credit policy.
+    fn credit_policy(&self) -> CreditPolicy;
+
+    /// Admits `msg` to the directed link `from → to`. Returns the outcome
+    /// plus the message to hand to the link now ([`SendOutcome::Delivered`])
+    /// — `None` means the transport queued it awaiting credit.
+    ///
+    /// Callers gate on reachability *first*: a faulted link is a counted
+    /// drop ([`SendOutcome::DroppedFault`]) and must never reach admission.
+    fn try_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: NetMsg,
+        now: Time,
+    ) -> (SendOutcome, Option<NetMsg>);
+
+    /// One delivery on `from → to` was consumed by the receiver: returns
+    /// the next queued message to release, if any.
+    fn consumed(&mut self, from: NodeId, to: NodeId, now: Time) -> Option<NetMsg>;
+
+    /// Continuous credit-stall duration of `from → to`.
+    fn stalled_for(&self, from: NodeId, to: NodeId, now: Time) -> Duration;
+
+    /// Queue-depth and stall-time gauges.
+    fn flow_gauges(&self) -> FlowGauges;
+}
+
+/// The simulator-side implementation: the kernel's own credit ledger.
+impl Transport for FlowControl<NetMsg> {
+    fn credit_policy(&self) -> CreditPolicy {
+        self.policy()
+    }
+
+    fn try_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: NetMsg,
+        now: Time,
+    ) -> (SendOutcome, Option<NetMsg>) {
+        if !self.tracks(&msg) {
+            return (SendOutcome::Delivered, Some(msg));
+        }
+        match self.admit(from, to, msg, now) {
+            Some(m) => (SendOutcome::Delivered, Some(m)),
+            None => (SendOutcome::Queued, None),
+        }
+    }
+
+    fn consumed(&mut self, from: NodeId, to: NodeId, now: Time) -> Option<NetMsg> {
+        self.replenish(from, to, now)
+    }
+
+    fn stalled_for(&self, from: NodeId, to: NodeId, now: Time) -> Duration {
+        FlowControl::stalled_for(self, from, to, now)
+    }
+
+    fn flow_gauges(&self) -> FlowGauges {
+        self.gauges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::{StreamId, TupleBatch};
+
+    fn data() -> NetMsg {
+        NetMsg::Data {
+            stream: StreamId(0),
+            tuples: TupleBatch::single(borealis_types::Tuple::boundary(
+                borealis_types::TupleId::NONE,
+                Time::ZERO,
+            )),
+        }
+    }
+
+    /// Drives the sim-side implementor through the trait object — the
+    /// same sequence the thread engine's table must satisfy.
+    fn exercise(t: &mut dyn Transport, window: u32) {
+        let (a, b) = (NodeId(0), NodeId(1));
+        assert_eq!(t.credit_policy(), CreditPolicy::Window(window));
+        for i in 0..window {
+            let (out, m) = t.try_send(a, b, data(), Time::from_millis(i as u64));
+            assert_eq!(out, SendOutcome::Delivered);
+            assert!(m.is_some());
+        }
+        let (out, m) = t.try_send(a, b, data(), Time::from_millis(10));
+        assert_eq!(out, SendOutcome::Queued);
+        assert!(m.is_none());
+        assert_eq!(
+            t.stalled_for(a, b, Time::from_millis(25)),
+            Duration::from_millis(15)
+        );
+        assert!(
+            t.consumed(a, b, Time::from_millis(30)).is_some(),
+            "released"
+        );
+        assert_eq!(t.stalled_for(a, b, Time::from_millis(40)), Duration::ZERO);
+        let g = t.flow_gauges();
+        assert_eq!(g.queued, 1);
+        assert_eq!(g.released, 1);
+        assert_eq!(g.inflight_peak, window as u64);
+    }
+
+    #[test]
+    fn sim_flow_control_satisfies_transport() {
+        let mut flow: FlowControl<NetMsg> = FlowControl::new(CreditPolicy::Window(2));
+        exercise(&mut flow, 2);
+    }
+
+    #[test]
+    fn control_traffic_bypasses_credits() {
+        let mut flow: FlowControl<NetMsg> = FlowControl::new(CreditPolicy::Window(1));
+        let (a, b) = (NodeId(0), NodeId(1));
+        let (out, _) = flow.try_send(a, b, data(), Time::ZERO);
+        assert_eq!(out, SendOutcome::Delivered);
+        // Window exhausted for data...
+        let (out, _) = flow.try_send(a, b, data(), Time::ZERO);
+        assert_eq!(out, SendOutcome::Queued);
+        // ...but heartbeats always pass: a stalled link still keep-alives.
+        for _ in 0..5 {
+            let (out, m) = flow.try_send(a, b, NetMsg::HeartbeatReq, Time::ZERO);
+            assert_eq!(out, SendOutcome::Delivered);
+            assert!(m.is_some());
+        }
+    }
+}

@@ -144,6 +144,9 @@ pub enum DiagramError {
     /// A [`LogicalOp::Passthrough`] has no physical operator to carry its
     /// output in baseline (no-SOutput) mode.
     UnprotectedPassthrough(StreamId),
+    /// A fragment declared a bounded output buffer of capacity zero — its
+    /// replicas could never replay anything to a reconnecting consumer.
+    ZeroCapacityBuffer(String),
 }
 
 impl fmt::Display for DiagramError {
@@ -198,6 +201,9 @@ impl fmt::Display for DiagramError {
             }
             DiagramError::UnprotectedPassthrough(s) => {
                 write!(f, "passthrough stream {s} requires DPC protection")
+            }
+            DiagramError::ZeroCapacityBuffer(n) => {
+                write!(f, "fragment {n:?} declares a zero-capacity output buffer")
             }
         }
     }

@@ -14,7 +14,7 @@
 use crate::graph::{Diagram, DiagramError, LogicalOp};
 use crate::spec::{DeploymentSpec, FragmentSpec};
 use borealis_ops::{DelayMode, OperatorSpec, SJoinSpec, SUnionConfig};
-use borealis_types::{Duration, Expr, FragmentId, OpId, StreamId};
+use borealis_types::{BufferPolicy, Duration, Expr, FragmentId, OpId, StreamId};
 use std::collections::HashMap;
 
 /// Whether the planner wraps the diagram in DPC's fault-tolerance
@@ -189,6 +189,9 @@ pub struct PlanGroup {
     pub fragments: Vec<usize>,
     /// Optional per-fragment CPU cost override (heterogeneous stages).
     pub per_tuple_cost: Option<Duration>,
+    /// Optional per-fragment §8.1 output-buffer policy override (the
+    /// deployment-wide `NodeTuning` supplies the default).
+    pub buffer_policy: Option<BufferPolicy>,
 }
 
 /// The full physical plan.
@@ -623,6 +626,7 @@ pub fn plan(
             shards: 1,
             fragments: vec![i],
             per_tuple_cost: None,
+            buffer_policy: None,
         })
         .collect();
 
@@ -661,6 +665,9 @@ pub fn plan_deployment(
     for m in &metas {
         if m.shards > 1 && cfg.protection != Protection::Dpc {
             return Err(DiagramError::ShardsRequireDpc(m.name.clone()));
+        }
+        if m.buffer_policy == Some(BufferPolicy::DropOldest(0)) {
+            return Err(DiagramError::ZeroCapacityBuffer(m.name.clone()));
         }
     }
     let base = plan(diagram, &deployment, cfg)?;
@@ -745,6 +752,7 @@ fn shard_pass(
             shards: m.shards.max(1),
             fragments: phys_of[f].clone(),
             per_tuple_cost: m.per_tuple_cost,
+            buffer_policy: m.buffer_policy,
         })
         .collect();
 
@@ -1316,6 +1324,38 @@ mod tests {
         assert!(matches!(
             plan_deployment(&d, &spec, &DpcConfig::default()),
             Err(DiagramError::ShardedOutput(_))
+        ));
+    }
+
+    /// Per-fragment buffer policies reach the plan's groups (sharded
+    /// fragments included); a zero-capacity bound is a planning error.
+    #[test]
+    fn buffer_policy_flows_to_groups_and_zero_capacity_rejected() {
+        let (d, spec) = sharded_chain_spec(2);
+        let spec = DeploymentSpec::new()
+            .fragment(
+                FragmentSpec::named("ingest")
+                    .op("ingest")
+                    .buffer(BufferPolicy::DropOldest(4_096)),
+            )
+            .fragment(spec.fragments()[1].clone())
+            .fragment(spec.fragments()[2].clone());
+        let p = plan_deployment(&d, &spec, &DpcConfig::default()).unwrap();
+        assert_eq!(
+            p.groups[0].buffer_policy,
+            Some(BufferPolicy::DropOldest(4_096))
+        );
+        assert_eq!(p.groups[1].buffer_policy, None);
+
+        let (d, _) = sharded_chain_spec(1);
+        let bad = DeploymentSpec::new().fragment(
+            FragmentSpec::named("all")
+                .ops(["ingest", "work", "deliver"])
+                .buffer(BufferPolicy::DropOldest(0)),
+        );
+        assert!(matches!(
+            plan_deployment(&d, &bad, &DpcConfig::default()),
+            Err(DiagramError::ZeroCapacityBuffer(n)) if n == "all"
         ));
     }
 

@@ -28,7 +28,7 @@
 
 use crate::graph::{Diagram, DiagramError};
 use crate::plan::Deployment;
-use borealis_types::{Duration, Expr, FragmentId};
+use borealis_types::{BufferPolicy, Duration, Expr, FragmentId};
 
 /// One fragment of a [`DeploymentSpec`]: a named set of operators with its
 /// replication degree and optional shard fan-out.
@@ -40,6 +40,7 @@ pub struct FragmentSpec {
     pub(crate) shards: u32,
     pub(crate) shard_key: Option<Expr>,
     pub(crate) per_tuple_cost: Option<Duration>,
+    pub(crate) buffer_policy: Option<BufferPolicy>,
 }
 
 impl FragmentSpec {
@@ -52,6 +53,7 @@ impl FragmentSpec {
             shards: 1,
             shard_key: None,
             per_tuple_cost: None,
+            buffer_policy: None,
         }
     }
 
@@ -100,6 +102,20 @@ impl FragmentSpec {
     /// default).
     pub fn work_cost(mut self, per_tuple: Duration) -> Self {
         self.per_tuple_cost = Some(per_tuple);
+        self
+    }
+
+    /// Overrides the §8.1 output-buffer policy for this fragment's
+    /// replicas (the deployment-wide `NodeTuning` supplies the default,
+    /// historically always `BufferPolicy::Unbounded`). A bounded buffer
+    /// caps the emission log retained for downstream replay — the paper's
+    /// convergent-capable mode, where only a window of recent results is
+    /// corrected after a failure heals.
+    ///
+    /// Zero-capacity bounds are rejected at planning time
+    /// ([`DiagramError::ZeroCapacityBuffer`]).
+    pub fn buffer(mut self, policy: BufferPolicy) -> Self {
+        self.buffer_policy = Some(policy);
         self
     }
 
@@ -250,6 +266,22 @@ mod tests {
         assert_eq!(dep.n_fragments, 1);
         assert_eq!(metas[0].replication, 2);
         let _ = dep;
+    }
+
+    #[test]
+    fn buffer_policy_rides_the_fragment_spec() {
+        use borealis_types::BufferPolicy;
+        let d = two_stage();
+        let spec = DeploymentSpec::new()
+            .fragment(
+                FragmentSpec::named("a")
+                    .op("hot")
+                    .buffer(BufferPolicy::DropOldest(512)),
+            )
+            .fragment(FragmentSpec::named("b").op("scaled"));
+        let (_, metas) = spec.resolve(&d).unwrap();
+        assert_eq!(metas[0].buffer_policy, Some(BufferPolicy::DropOldest(512)));
+        assert_eq!(metas[1].buffer_policy, None, "default: deployment tuning");
     }
 
     #[test]

@@ -30,7 +30,7 @@
 use borealis_diagram::FragmentPlan;
 use borealis_ops::sunion::Phase;
 use borealis_ops::{BatchEmitter, OpSnapshot, Operator};
-use borealis_types::{ControlSignal, StreamId, Time, Tuple, TupleBatch, TupleKind};
+use borealis_types::{ControlSignal, Duration, StreamId, Time, Tuple, TupleBatch, TupleKind};
 use std::collections::VecDeque;
 
 /// Everything a fragment produced while handling one call: output-stream
@@ -321,6 +321,56 @@ impl Fragment {
                 .as_sunion_mut()
                 .expect("input_sunions holds SUnions")
                 .emit_rec_done(now, &mut em);
+            if !em.is_empty() {
+                self.route(i, em, &mut batch);
+            }
+        }
+        self.drain(now, &mut batch);
+        batch
+    }
+
+    /// Surfaces a transport-level credit stall on one of this fragment's
+    /// input streams (reported by the node's Consistency Manager from
+    /// `RuntimeCtx::inbound_stall`): forwarded to the stream's input
+    /// SUnions, which treat a stall outlasting their detection delay as an
+    /// upstream failure. The failure checkpoint is taken *before* the
+    /// declaration, exactly as for a deadline-triggered tentative release
+    /// (§4.4.1), so the stall era is recorded for replay and later
+    /// reconciled.
+    pub fn note_input_stall(
+        &mut self,
+        stream: StreamId,
+        stalled_for: Duration,
+        now: Time,
+    ) -> Batch {
+        let mut targets: Vec<usize> = self
+            .input_bindings
+            .iter()
+            .filter(|(s, _, _)| *s == stream)
+            .map(|(_, op, _)| *op)
+            .filter(|op| self.input_sunions.contains(op))
+            .collect();
+        targets.sort_unstable();
+        targets.dedup();
+        let mut batch = Batch::default();
+        if targets.is_empty() {
+            return batch;
+        }
+        let would_declare = targets.iter().any(|&i| {
+            let su = self.ops[i]
+                .as_sunion()
+                .expect("input_sunions holds SUnions");
+            su.phase() == Phase::Stable && stalled_for >= su.config().detect_delay
+        });
+        if would_declare && !self.tainted {
+            self.take_checkpoint();
+        }
+        for i in targets {
+            let mut em = BatchEmitter::new();
+            self.ops[i]
+                .as_sunion_mut()
+                .expect("input_sunions holds SUnions")
+                .note_input_stall(stalled_for, &mut em);
             if !em.is_empty() {
                 self.route(i, em, &mut batch);
             }

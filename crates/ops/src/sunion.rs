@@ -322,6 +322,27 @@ impl SUnion {
         out.push(Tuple::rec_done(TupleId::NONE, now));
     }
 
+    /// Surfaces a transport-level credit stall on this SUnion's input: the
+    /// upstream's data sits queued awaiting credit because this node (or a
+    /// consumer behind it) cannot keep up.
+    ///
+    /// A stall that has outlasted the detection delay is handled exactly
+    /// like a missing-boundary failure (§4.3): enter UP_FAILURE, so the
+    /// buckets that do trickle in are released as *delayed* tentative data
+    /// under the configured [`DelayMode`] and the overload is visible
+    /// downstream — bounded delay governed by the delay budget, never
+    /// silent unbounded buffering. When the stall clears and boundaries
+    /// catch up, the standard heal → REC_REQUEST → reconciliation path
+    /// corrects everything, so stable output is unaffected.
+    ///
+    /// Shorter stalls are ignored: transient backpressure at saturation is
+    /// normal queueing, not a failure.
+    pub fn note_input_stall(&mut self, stalled_for: Duration, out: &mut BatchEmitter) {
+        if stalled_for >= self.cfg.detect_delay {
+            self.enter_failure(out);
+        }
+    }
+
     fn bucket_index(&self, stime: Time) -> u64 {
         stime.as_micros() / self.cfg.bucket.as_micros()
     }
@@ -1139,6 +1160,31 @@ mod tests {
             .flat_map(|b| b.segs.iter())
             .all(|seg| !seg.batch.shares_backing(&arrivals));
         assert!(kept, "bucket survivors compacted too");
+    }
+
+    #[test]
+    fn input_stall_outlasting_detection_enters_failure() {
+        let mut s = SUnion::new(cfg(2));
+        let mut out = BatchEmitter::new();
+        s.process(0, &data(1, 50), Time::from_millis(100), &mut out);
+        // A short stall is normal queueing: ignored.
+        s.note_input_stall(Duration::from_millis(500), &mut out);
+        assert_eq!(s.phase(), Phase::Stable);
+        assert!(out.signals().is_empty());
+        // A stall past the detection delay is an upstream failure: the
+        // buffered bucket is re-deadlined under the failure mode and the
+        // UP_FAILURE signal is raised.
+        s.note_input_stall(Duration::from_secs(3), &mut out);
+        assert_eq!(s.phase(), Phase::Failure);
+        assert_eq!(out.signals(), vec![ControlSignal::UpFailure]);
+        // The bucket now releases after the (Process-mode) tentative wait,
+        // not the full detection delay.
+        s.tick(Time::from_millis(401), true, &mut out);
+        assert_eq!(out.tuples().len(), 1);
+        assert_eq!(out.tuples()[0].kind, TupleKind::Tentative);
+        // Repeated stall reports while already failed are no-ops.
+        s.note_input_stall(Duration::from_secs(9), &mut out);
+        assert_eq!(s.phase(), Phase::Failure);
     }
 
     #[test]

@@ -23,7 +23,7 @@ use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
 use crate::wheel::{Due, TimerWheel};
 use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
 use borealis_sim::{FaultEvent, ShardMsg};
-use borealis_types::{NodeId, PartitionSpec, Time};
+use borealis_types::{CreditPolicy, Duration, NodeId, PartitionSpec, SendOutcome, Time};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -46,8 +46,10 @@ const MAX_PARK: std::time::Duration = std::time::Duration::from_millis(100);
 
 /// The single send-time delivery rule, shared by immediate sends and
 /// delayed departures: reachability gates the handoff (counted drop
-/// otherwise), and a send to an exited mailbox (shutdown in progress) is
-/// dropped silently, like a connection reset during teardown.
+/// otherwise), the credit ledger gates data messages (queued at the sender
+/// when the window is exhausted), and a send to an exited mailbox
+/// (shutdown in progress) is dropped silently, like a connection reset
+/// during teardown.
 fn deliver(
     senders: &[Sender<Envelope>],
     links: &LinkTable,
@@ -55,22 +57,35 @@ fn deliver(
     from: NodeId,
     to: NodeId,
     msg: NetMsg,
-) {
+    now: Time,
+) -> SendOutcome {
     if links.reachable(from, to) {
         // Partitioned send path: a key-sharded receiver gets only its shard
         // of the message (routing, not loss).
         let msg = match links.partition_of(to) {
             Some(spec) => match msg.partition(spec.as_ref()) {
                 Some(m) => m,
-                None => return,
+                None => return SendOutcome::Delivered,
             },
             None => msg,
+        };
+        // Credit admission: a data message past the link window queues in
+        // the shared ledger; the receiver's consumption releases it later.
+        let msg = if links.tracks(&msg) {
+            match links.admit(from, to, msg, now) {
+                Some(m) => m,
+                None => return SendOutcome::Queued,
+            }
+        } else {
+            msg
         };
         if let Some(tx) = senders.get(to.index()) {
             let _ = tx.send(Envelope::Msg { from, msg });
         }
+        SendOutcome::Delivered
     } else {
         stats.count_send_drop();
+        SendOutcome::DroppedFault
     }
 }
 
@@ -83,6 +98,9 @@ struct ThreadCtx<'a> {
     stats: &'a RuntimeStats,
     wheel: &'a mut TimerWheel,
     rng: &'a mut StdRng,
+    /// The handler's consumption mark for the delivery being processed
+    /// (credit returns then; see [`RuntimeCtx::data_consumed_at`]).
+    consumed_at: Option<Time>,
 }
 
 impl RuntimeCtx for ThreadCtx<'_> {
@@ -94,22 +112,41 @@ impl RuntimeCtx for ThreadCtx<'_> {
         self.id
     }
 
-    fn send(&mut self, to: NodeId, msg: NetMsg) {
-        deliver(self.senders, self.links, self.stats, self.id, to, msg);
+    fn send(&mut self, to: NodeId, msg: NetMsg) -> SendOutcome {
+        deliver(
+            self.senders,
+            self.links,
+            self.stats,
+            self.id,
+            to,
+            msg,
+            self.now,
+        )
     }
 
-    fn send_after(&mut self, to: NodeId, msg: NetMsg, depart: Time) {
+    fn send_after(&mut self, to: NodeId, msg: NetMsg, depart: Time) -> SendOutcome {
         // Send-time reachability is checked NOW, as the simulator does for
         // its deferred sends; an unreachable destination at call time is a
         // counted send drop. Faults striking between here and the departure
         // are in-flight losses, caught by the departure/delivery checks.
+        // Credit admission happens at the departure instant.
         if !self.links.reachable(self.id, to) {
             self.stats.count_send_drop();
+            SendOutcome::DroppedFault
         } else if depart <= self.now {
-            self.send(to, msg);
+            self.send(to, msg)
         } else {
             self.wheel.push_send(depart, to, msg);
+            SendOutcome::Deferred
         }
+    }
+
+    fn data_consumed_at(&mut self, at: Time) {
+        self.consumed_at = Some(at.max(self.now));
+    }
+
+    fn inbound_stall(&self, from: NodeId) -> Duration {
+        self.links.stalled_for(from, self.id, self.now)
     }
 
     fn set_timer(&mut self, at: Time, kind: u64) {
@@ -140,7 +177,8 @@ struct ActorThread {
 
 impl ActorThread {
     /// Runs one handler with a fresh context at the current instant.
-    fn dispatch(&mut self, f: impl FnOnce(&mut dyn DpcActor, &mut dyn RuntimeCtx)) {
+    /// Returns the handler's consumption mark, if it set one.
+    fn dispatch(&mut self, f: impl FnOnce(&mut dyn DpcActor, &mut dyn RuntimeCtx)) -> Option<Time> {
         let mut ctx = ThreadCtx {
             id: self.id,
             now: self.clock.now(),
@@ -149,8 +187,22 @@ impl ActorThread {
             stats: &self.stats,
             wheel: &mut self.wheel,
             rng: &mut self.rng,
+            consumed_at: None,
         };
         f(self.actor.as_mut(), &mut ctx);
+        ctx.consumed_at
+    }
+
+    /// Returns the credit of one consumed delivery from `from` and hands
+    /// the released queued message (if any) to this actor's own mailbox —
+    /// the same delivery path as a fresh send, so the delivery-time checks
+    /// still apply.
+    fn replenish(&mut self, from: NodeId) {
+        if let Some(msg) = self.links.consumed_release(from, self.id, self.clock.now()) {
+            if let Some(tx) = self.senders.get(self.id.index()) {
+                let _ = tx.send(Envelope::Msg { from, msg });
+            }
+        }
     }
 
     /// Fires every wheel entry due at `now`.
@@ -171,10 +223,23 @@ impl ActorThread {
                     // scheduled; a link that broke since loses the message
                     // in flight (delivery drop, as in the simulator).
                     if self.links.reachable(self.id, to) {
-                        deliver(&self.senders, &self.links, &self.stats, self.id, to, msg);
+                        deliver(
+                            &self.senders,
+                            &self.links,
+                            &self.stats,
+                            self.id,
+                            to,
+                            msg,
+                            self.clock.now(),
+                        );
                     } else {
                         self.stats.count_delivery_drop();
                     }
+                }
+                Due::Replenish { from } => {
+                    // The modeled CPU finished a delivery: its credit
+                    // returns now.
+                    self.replenish(from);
                 }
             }
         }
@@ -191,13 +256,30 @@ impl ActorThread {
             };
             match self.rx.recv_timeout(park) {
                 Ok(Envelope::Msg { from, msg }) => {
+                    let tracked = self.links.tracks(&msg);
                     // Delivery-time reachability: a link (or endpoint) that
                     // went down while the message was in flight loses it.
                     if self.links.reachable(from, self.id) {
                         self.stats.count_delivered();
-                        self.dispatch(|a, ctx| a.on_message(ctx, from, msg));
+                        let mark = self.dispatch(|a, ctx| a.on_message(ctx, from, msg));
+                        if tracked {
+                            // Credit returns at the handler's consumption
+                            // mark (the modeled CPU completion), or right
+                            // away for infinitely fast consumers.
+                            match mark {
+                                Some(at) if at > self.clock.now() => {
+                                    self.wheel.push_replenish(at, from);
+                                }
+                                _ => self.replenish(from),
+                            }
+                        }
                     } else {
                         self.stats.count_delivery_drop();
+                        if tracked {
+                            // A tracked loss still returns its credit — a
+                            // broken link must not shrink the window.
+                            self.replenish(from);
+                        }
                     }
                 }
                 Ok(Envelope::Fault(fault)) => {
@@ -218,6 +300,7 @@ fn fault_controller(
     script: Vec<(Time, FaultEvent)>,
     clock: MonotonicClock,
     links: Arc<LinkTable>,
+    stats: Arc<RuntimeStats>,
     senders: Vec<Sender<Envelope>>,
     stop: Receiver<()>,
 ) {
@@ -232,7 +315,9 @@ fn fault_controller(
                 Err(RecvTimeoutError::Timeout) => {}
             }
         }
-        links.apply(&fault);
+        // A crash purges the node's queued (credit-stalled) sends: those
+        // are in-flight losses, counted like the simulator does.
+        stats.count_delivery_drops(links.apply(&fault, clock.now()));
         for id in fault.notifies() {
             if !links.node_up(id) && !matches!(fault, FaultEvent::NodeDown(_)) {
                 continue;
@@ -261,7 +346,8 @@ impl ThreadRuntime {
     /// Spawns one thread per actor (`actors[i]` becomes `NodeId(i)`), plus
     /// a controller thread replaying `script` (already sorted by time).
     /// `partitions` declares key-sharded receivers: every data batch sent
-    /// to such a node is filtered to its shard on the wire.
+    /// to such a node is filtered to its shard on the wire. `flow_policy`
+    /// governs credit-based flow control on every link.
     ///
     /// Every actor's `on_start` runs on its own thread as soon as it
     /// spawns; the clock starts just before the first spawn.
@@ -270,9 +356,10 @@ impl ThreadRuntime {
         script: Vec<(Time, FaultEvent)>,
         seed: u64,
         partitions: Vec<(NodeId, PartitionSpec)>,
+        flow_policy: CreditPolicy,
     ) -> ThreadRuntime {
         let clock = MonotonicClock::start();
-        let links = Arc::new(LinkTable::with_partitions(partitions));
+        let links = Arc::new(LinkTable::with_config(partitions, flow_policy));
         let stats = Arc::new(RuntimeStats::default());
         // Faults scripted at t=0 shape the initial connectivity: apply them
         // before any actor thread starts, as the simulator does for faults
@@ -280,7 +367,7 @@ impl ThreadRuntime {
         // them idempotently and delivers the notifications.)
         for (at, fault) in script.iter().filter(|(at, _)| *at == Time::ZERO) {
             let _ = at;
-            links.apply(fault);
+            links.apply(fault, Time::ZERO);
         }
         let n = actors.len();
         let mut senders = Vec::with_capacity(n);
@@ -317,11 +404,12 @@ impl ThreadRuntime {
         let (fault_stop, stop_rx) = channel();
         let fault_handle = {
             let links = Arc::clone(&links);
+            let stats = Arc::clone(&stats);
             let senders = senders.clone();
             Some(
                 std::thread::Builder::new()
                     .name("dpc-faults".into())
-                    .spawn(move || fault_controller(script, clock, links, senders, stop_rx))
+                    .spawn(move || fault_controller(script, clock, links, stats, senders, stop_rx))
                     .expect("spawn fault controller"),
             )
         };
@@ -347,9 +435,12 @@ impl ThreadRuntime {
         &self.links
     }
 
-    /// Message-loss statistics so far.
+    /// Message-loss statistics so far, including the transport's
+    /// flow-control gauges.
     pub fn stats(&self) -> StatsSnapshot {
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.flow = self.links.flow_gauges();
+        snap
     }
 
     /// Lets the system run for `wall` — the actors make progress on their
@@ -370,7 +461,9 @@ impl ThreadRuntime {
             crashed.is_empty(),
             "actor thread(s) panicked during the run: {crashed:?}"
         );
-        self.stats.snapshot()
+        let mut snap = self.stats.snapshot();
+        snap.flow = self.links.flow_gauges();
+        snap
     }
 
     /// Stops and joins everything; returns the names of threads that
@@ -476,7 +569,13 @@ mod tests {
             log: Arc::clone(&log),
             peer: None,
         });
-        let rt = ThreadRuntime::spawn(vec![a, b], Vec::new(), 1, Vec::new());
+        let rt = ThreadRuntime::spawn(
+            vec![a, b],
+            Vec::new(),
+            1,
+            Vec::new(),
+            CreditPolicy::Unbounded,
+        );
         assert!(
             wait_until(
                 || {
@@ -523,7 +622,7 @@ mod tests {
             log: Arc::clone(&log),
             peer: None,
         });
-        let rt = ThreadRuntime::spawn(vec![a, b], script, 1, Vec::new());
+        let rt = ThreadRuntime::spawn(vec![a, b], script, 1, Vec::new(), CreditPolicy::Unbounded);
         assert!(
             wait_until(
                 || {
@@ -561,7 +660,7 @@ mod tests {
             log: Arc::clone(&log),
             peer: None,
         });
-        let rt = ThreadRuntime::spawn(vec![a, b], script, 1, Vec::new());
+        let rt = ThreadRuntime::spawn(vec![a, b], script, 1, Vec::new(), CreditPolicy::Unbounded);
         assert!(
             wait_until(
                 || log

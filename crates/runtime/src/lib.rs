@@ -61,13 +61,22 @@ pub struct RunningThreads {
 
 impl RunningThreads {
     /// Lets the system run for `wall` (blocks the caller; the actors run on
-    /// their own threads).
+    /// their own threads), then refreshes the metrics hub's transport
+    /// gauges.
     pub fn run_for(&self, wall: std::time::Duration) {
         self.runtime.run_for(wall);
+        self.metrics.record_flow(self.runtime.links().flow_gauges());
     }
 
-    /// Stops every thread in order and returns message-loss statistics.
+    /// Queue-depth and stall-time gauges of the transport's credit ledger.
+    pub fn flow_gauges(&self) -> borealis_types::FlowGauges {
+        self.runtime.links().flow_gauges()
+    }
+
+    /// Stops every thread in order and returns message-loss statistics
+    /// (including the final transport gauges).
     pub fn shutdown(self) -> StatsSnapshot {
+        self.metrics.record_flow(self.runtime.links().flow_gauges());
         self.runtime.shutdown()
     }
 }
@@ -84,7 +93,13 @@ pub fn deploy_threads(layout: SystemLayout) -> RunningThreads {
         .into_iter()
         .map(|spec| spec.into_dpc_actor(&metrics))
         .collect();
-    let runtime = ThreadRuntime::spawn(actors, layout.script, layout.seed, layout.partitions);
+    let runtime = ThreadRuntime::spawn(
+        actors,
+        layout.script,
+        layout.seed,
+        layout.partitions,
+        layout.flow_policy,
+    );
     RunningThreads {
         runtime,
         metrics,

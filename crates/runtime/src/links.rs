@@ -1,16 +1,23 @@
-//! The shared link table: connectivity state + fault application for the
-//! thread engine, with message-loss accounting.
+//! The shared link table: connectivity state, credit-based flow control,
+//! and fault application for the thread engine, with message-loss
+//! accounting.
 //!
-//! Reuses `borealis_sim::Network` for the semantics (bidirectional link
-//! failures, node crashes blocking all links, partitions) so both runtimes
-//! share one fault model, and wraps it for cross-thread access. Senders
-//! check reachability at send time; receivers check again at delivery time
-//! — the same two drop points the simulator counts.
+//! Reuses `borealis_sim::Network` for the connectivity semantics
+//! (bidirectional link failures, node crashes blocking all links,
+//! partitions) and `borealis_sim::FlowControl` for the credit ledger, so
+//! both runtimes share one fault model *and* one flow-control
+//! implementation — the thread engine merely puts them behind locks for
+//! cross-thread access. Senders check reachability at send time; receivers
+//! check again at delivery time — the same two drop points the simulator
+//! counts.
 
-use borealis_sim::{FaultEvent, Network};
-use borealis_types::{Duration, NodeId, PartitionSpec};
+use borealis_dpc::{NetMsg, Transport};
+use borealis_sim::{FaultEvent, FlowControl, Network, ShardMsg};
+use borealis_types::{
+    CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SendOutcome, Time,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 
 /// Message-loss accounting for a whole thread-engine run (the wall-clock
 /// sibling of `borealis_sim::SimStats`).
@@ -22,7 +29,8 @@ pub struct RuntimeStats {
     messages_delivered: AtomicU64,
 }
 
-/// A point-in-time copy of [`RuntimeStats`].
+/// A point-in-time copy of [`RuntimeStats`] plus the transport's
+/// flow-control gauges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct StatsSnapshot {
     /// Messages dropped because the destination was unreachable at send
@@ -36,6 +44,9 @@ pub struct StatsSnapshot {
     pub timers_suppressed: u64,
     /// Messages successfully delivered to handlers.
     pub messages_delivered: u64,
+    /// Queue-depth and stall-time gauges of the credit ledger (zero under
+    /// [`CreditPolicy::Unbounded`]).
+    pub flow: FlowGauges,
 }
 
 impl StatsSnapshot {
@@ -59,6 +70,10 @@ impl RuntimeStats {
         self.messages_delivered.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn count_delivery_drops(&self, n: u64) {
+        self.delivery_drops.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Reads a consistent-enough copy (relaxed; exact totals only after the
     /// runtime has shut down).
     pub fn snapshot(&self) -> StatsSnapshot {
@@ -67,6 +82,7 @@ impl RuntimeStats {
             delivery_drops: self.delivery_drops.load(Ordering::Relaxed),
             timers_suppressed: self.timers_suppressed.load(Ordering::Relaxed),
             messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
+            flow: FlowGauges::default(),
         }
     }
 }
@@ -83,18 +99,33 @@ pub struct LinkTable {
     // construction, so the hot send path reads them lock-free (and the
     // common no-partition case is a single hash miss).
     partitions: std::collections::HashMap<NodeId, Arc<PartitionSpec>>,
+    // The credit ledger (shared with the simulator by construction). A
+    // plain mutex: touched only for credit-controlled data messages under
+    // a tracking policy; `policy` is kept outside the lock so the
+    // Unbounded fast path never takes it.
+    flow: Mutex<FlowControl<NetMsg>>,
+    policy: CreditPolicy,
 }
 
 impl LinkTable {
-    /// A fully connected table with no partitioned receivers.
+    /// A fully connected table with no partitioned receivers and no flow
+    /// control.
     pub fn new() -> LinkTable {
         LinkTable::with_partitions(Vec::new())
     }
 
     /// A fully connected table whose listed nodes are key-partitioned
-    /// receivers: every data batch sent to them is filtered to their shard
-    /// on the wire.
+    /// receivers, with no flow control.
     pub fn with_partitions(partitions: Vec<(NodeId, PartitionSpec)>) -> LinkTable {
+        LinkTable::with_config(partitions, CreditPolicy::Unbounded)
+    }
+
+    /// A fully connected table with partitioned receivers and the given
+    /// credit-based flow-control policy.
+    pub fn with_config(
+        partitions: Vec<(NodeId, PartitionSpec)>,
+        policy: CreditPolicy,
+    ) -> LinkTable {
         LinkTable {
             // Latency is a simulator concept; the thread engine runs at
             // native channel latency, so the value here is never read.
@@ -103,6 +134,8 @@ impl LinkTable {
                 .into_iter()
                 .map(|(n, s)| (n, Arc::new(s)))
                 .collect(),
+            flow: Mutex::new(FlowControl::new(policy)),
+            policy,
         }
     }
 
@@ -122,16 +155,76 @@ impl LinkTable {
         self.partitions.get(&node)
     }
 
-    /// Applies a fault (or heal) to the connectivity state.
-    pub fn apply(&self, fault: &FaultEvent) {
+    /// The credit policy governing every link (lock-free copy).
+    pub fn credit_policy(&self) -> CreditPolicy {
+        self.policy
+    }
+
+    /// True when `msg` must pass through the credit ledger.
+    pub fn tracks(&self, msg: &NetMsg) -> bool {
+        self.policy.is_tracking() && msg.credit_controlled()
+    }
+
+    /// Admits a credit-controlled message to `from → to`: returns it when
+    /// a credit was available, or queues it at the sender (`None`).
+    pub fn admit(&self, from: NodeId, to: NodeId, msg: NetMsg, now: Time) -> Option<NetMsg> {
+        self.flow
+            .lock()
+            .expect("flow ledger lock")
+            .admit(from, to, msg, now)
+    }
+
+    /// One delivery on `from → to` was consumed: returns the next queued
+    /// message to release, if any.
+    pub fn consumed_release(&self, from: NodeId, to: NodeId, now: Time) -> Option<NetMsg> {
+        self.flow
+            .lock()
+            .expect("flow ledger lock")
+            .replenish(from, to, now)
+    }
+
+    /// Continuous credit-stall duration of `from → to` (lock-free zero
+    /// when flow control is off).
+    pub fn stalled_for(&self, from: NodeId, to: NodeId, now: Time) -> Duration {
+        if !self.policy.is_tracking() {
+            return Duration::ZERO;
+        }
+        self.flow
+            .lock()
+            .expect("flow ledger lock")
+            .stalled_for(from, to, now)
+    }
+
+    /// Queue-depth and stall-time gauges of the credit ledger.
+    pub fn flow_gauges(&self) -> FlowGauges {
+        self.flow.lock().expect("flow ledger lock").gauges()
+    }
+
+    /// Applies a fault (or heal) to the connectivity state at `now` (the
+    /// runtime clock; closes stall-time accounting). Returns the number of
+    /// queued sends purged by a node crash (in-flight losses the caller
+    /// records as delivery drops).
+    pub fn apply(&self, fault: &FaultEvent, now: Time) -> u64 {
         let mut net = self.net.write().expect("link table lock");
         match fault {
             FaultEvent::LinkDown { a, b } => net.link_down(*a, *b),
             FaultEvent::LinkUp { a, b } => net.link_up(*a, *b),
-            FaultEvent::NodeDown(n) => net.node_down(*n),
+            FaultEvent::NodeDown(n) => {
+                net.node_down(*n);
+                if self.policy.is_tracking() {
+                    // Pending credits and queued sends die with the node;
+                    // the links restart with a full window.
+                    return self
+                        .flow
+                        .lock()
+                        .expect("flow ledger lock")
+                        .reset_node(*n, now);
+                }
+            }
             FaultEvent::NodeUp(n) => net.node_up_again(*n),
             FaultEvent::Custom { .. } => {}
         }
+        0
     }
 
     /// Partitions the system: every link between `group_a` and `group_b`
@@ -159,6 +252,45 @@ impl Default for LinkTable {
     }
 }
 
+/// The thread-engine side of the shared [`Transport`] contract — the same
+/// credit verbs the simulator's kernel exposes, behind this table's locks.
+/// The engine's hot paths use the interior-mutability inherent methods;
+/// this impl exists so deployment-level tooling and tests can treat both
+/// runtimes' transports uniformly.
+impl Transport for LinkTable {
+    fn credit_policy(&self) -> CreditPolicy {
+        self.policy
+    }
+
+    fn try_send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        msg: NetMsg,
+        now: Time,
+    ) -> (SendOutcome, Option<NetMsg>) {
+        if !self.tracks(&msg) {
+            return (SendOutcome::Delivered, Some(msg));
+        }
+        match self.admit(from, to, msg, now) {
+            Some(m) => (SendOutcome::Delivered, Some(m)),
+            None => (SendOutcome::Queued, None),
+        }
+    }
+
+    fn consumed(&mut self, from: NodeId, to: NodeId, now: Time) -> Option<NetMsg> {
+        self.consumed_release(from, to, now)
+    }
+
+    fn stalled_for(&self, from: NodeId, to: NodeId, now: Time) -> Duration {
+        LinkTable::stalled_for(self, from, to, now)
+    }
+
+    fn flow_gauges(&self) -> FlowGauges {
+        LinkTable::flow_gauges(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -167,21 +299,71 @@ mod tests {
     fn faults_flow_through_to_connectivity() {
         let t = LinkTable::new();
         assert!(t.reachable(NodeId(0), NodeId(1)));
-        t.apply(&FaultEvent::LinkDown {
-            a: NodeId(0),
-            b: NodeId(1),
-        });
+        t.apply(
+            &FaultEvent::LinkDown {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            Time::ZERO,
+        );
         assert!(!t.reachable(NodeId(1), NodeId(0)), "bidirectional");
-        t.apply(&FaultEvent::LinkUp {
-            a: NodeId(1),
-            b: NodeId(0),
-        });
+        t.apply(
+            &FaultEvent::LinkUp {
+                a: NodeId(1),
+                b: NodeId(0),
+            },
+            Time::ZERO,
+        );
         assert!(t.reachable(NodeId(0), NodeId(1)));
-        t.apply(&FaultEvent::NodeDown(NodeId(2)));
+        t.apply(&FaultEvent::NodeDown(NodeId(2)), Time::ZERO);
         assert!(!t.reachable(NodeId(0), NodeId(2)));
         assert!(!t.node_up(NodeId(2)));
-        t.apply(&FaultEvent::NodeUp(NodeId(2)));
+        t.apply(&FaultEvent::NodeUp(NodeId(2)), Time::ZERO);
         assert!(t.node_up(NodeId(2)));
+    }
+
+    fn data_msg() -> NetMsg {
+        NetMsg::Data {
+            stream: borealis_types::StreamId(0),
+            tuples: borealis_types::TupleBatch::single(borealis_types::Tuple::boundary(
+                borealis_types::TupleId::NONE,
+                Time::ZERO,
+            )),
+        }
+    }
+
+    #[test]
+    fn credit_window_gates_data_and_crash_purges() {
+        let t = LinkTable::with_config(Vec::new(), CreditPolicy::Window(1));
+        let (a, b) = (NodeId(0), NodeId(1));
+        assert!(t.tracks(&data_msg()));
+        assert!(!t.tracks(&NetMsg::HeartbeatReq), "control traffic bypasses");
+        assert!(t.admit(a, b, data_msg(), Time::ZERO).is_some());
+        assert!(t.admit(a, b, data_msg(), Time::ZERO).is_none(), "queued");
+        assert!(
+            t.stalled_for(a, b, Time::from_millis(10)) == Duration::from_millis(10),
+            "stall visible"
+        );
+        // The receiver consumes one delivery: the queued message releases.
+        assert!(t.consumed_release(a, b, Time::from_millis(20)).is_some());
+        assert_eq!(t.flow_gauges().released, 1);
+        // Crash purges queued sends and restores the window.
+        assert!(t.admit(a, b, data_msg(), Time::from_millis(30)).is_none());
+        let purged = t.apply(&FaultEvent::NodeDown(b), Time::from_millis(40));
+        assert_eq!(purged, 1);
+        assert_eq!(t.flow_gauges().queued_now, 0);
+    }
+
+    #[test]
+    fn unbounded_table_never_locks_the_ledger() {
+        let t = LinkTable::new();
+        assert_eq!(t.credit_policy(), CreditPolicy::Unbounded);
+        assert!(!t.tracks(&data_msg()));
+        assert_eq!(
+            t.stalled_for(NodeId(0), NodeId(1), Time::from_millis(5)),
+            Duration::ZERO
+        );
+        assert_eq!(t.flow_gauges(), FlowGauges::default());
     }
 
     #[test]

@@ -27,6 +27,13 @@ pub enum Due {
         /// The message.
         msg: NetMsg,
     },
+    /// The owning actor's modeled CPU finished consuming a delivery from
+    /// `from`: return the link credit (releasing the sender's next queued
+    /// message, if any).
+    Replenish {
+        /// The sender whose link credit returns.
+        from: NodeId,
+    },
 }
 
 struct Entry {
@@ -78,6 +85,12 @@ impl TimerWheel {
         self.push(at, Due::Send { to, msg });
     }
 
+    /// Schedules a credit return for a delivery from `from`, due when the
+    /// owning actor's modeled CPU finishes consuming it.
+    pub fn push_replenish(&mut self, at: Time, from: NodeId) {
+        self.push(at, Due::Replenish { from });
+    }
+
     fn push(&mut self, at: Time, due: Due) {
         let seq = self.seq;
         self.seq += 1;
@@ -125,7 +138,7 @@ mod tests {
         let kinds: Vec<u64> = std::iter::from_fn(|| w.pop_due(Time::from_millis(30)))
             .map(|(_, d)| match d {
                 Due::Timer(k) => k,
-                Due::Send { .. } => unreachable!(),
+                Due::Send { .. } | Due::Replenish { .. } => unreachable!(),
             })
             .collect();
         assert_eq!(kinds, vec![1, 3, 2], "deadline order, ties by insertion");

@@ -9,17 +9,21 @@
 //! experiments without a physical cluster.
 
 use crate::fault::FaultEvent;
+use crate::flow::FlowControl;
 use crate::net::Network;
-use borealis_types::{NodeId, PartitionSpec, Time};
+use borealis_types::{
+    CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SendOutcome, Time,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// Messages routable over key-partitioned links. A runtime consults the
-/// receiving node's [`PartitionSpec`] (if any) on every send and keeps only
-/// the message content belonging to that shard; returning `None` suppresses
-/// the delivery entirely (nothing of the message belongs to the shard).
+/// Messages routable over key-partitioned, credit-controlled links. A
+/// runtime consults the receiving node's [`PartitionSpec`] (if any) on
+/// every send and keeps only the message content belonging to that shard;
+/// returning `None` suppresses the delivery entirely (nothing of the
+/// message belongs to the shard).
 ///
 /// The default implementation passes every message through unchanged, so
 /// protocol-free message types opt in with an empty `impl`.
@@ -27,6 +31,14 @@ pub trait ShardMsg: Sized {
     /// This shard's view of the message, or `None` if nothing remains.
     fn partition(self, _spec: &PartitionSpec) -> Option<Self> {
         Some(self)
+    }
+
+    /// True if this message consumes link credits under a tracking
+    /// [`CreditPolicy`] (data payloads). Control traffic returns `false`
+    /// (the default) so backpressure never blocks heartbeats,
+    /// subscriptions, acks, or the stagger protocol.
+    fn credit_controlled(&self) -> bool {
+        false
     }
 }
 
@@ -50,8 +62,24 @@ pub trait Actor<M> {
 
 /// Deferred actions an actor requests while handling an event.
 enum Action<M> {
-    Send { to: NodeId, msg: M, at: Time },
-    Timer { at: Time, kind: u64 },
+    /// A scheduled arrival; `routed` marks messages already
+    /// partition-filtered on the send path (credit admission), so the
+    /// shard filter runs exactly once per message.
+    Send {
+        to: NodeId,
+        msg: M,
+        at: Time,
+        routed: bool,
+    },
+    Depart {
+        to: NodeId,
+        msg: M,
+        at: Time,
+    },
+    Timer {
+        at: Time,
+        kind: u64,
+    },
 }
 
 /// Message-loss accounting for the whole simulation.
@@ -83,9 +111,11 @@ pub struct Ctx<'a, M> {
     now: Time,
     self_id: NodeId,
     net: &'a Network,
+    flow: &'a mut FlowControl<M>,
     rng: &'a mut StdRng,
     stats: &'a mut SimStats,
     actions: Vec<Action<M>>,
+    consumed_at: Option<Time>,
 }
 
 impl<'a, M> Ctx<'a, M> {
@@ -109,31 +139,18 @@ impl<'a, M> Ctx<'a, M> {
         self.net.reachable(self.self_id, to)
     }
 
-    /// Sends `msg` to `to`, arriving one link latency from now. Lost if the
-    /// link or either endpoint is down at send or delivery time.
-    pub fn send(&mut self, to: NodeId, msg: M) {
-        let at = self.now + self.net.latency(self.self_id, to);
-        self.send_at_raw(to, msg, at);
+    /// Marks the delivery currently being handled as consumed (by the
+    /// receiver's modeled CPU) at `at`: its link credit returns then, not
+    /// at arrival. Without this call credits return as soon as the handler
+    /// finishes — an infinitely fast consumer.
+    pub fn data_consumed_at(&mut self, at: Time) {
+        self.consumed_at = Some(at.max(self.now));
     }
 
-    /// Sends `msg` so that it arrives one link latency after `depart` —
-    /// used by nodes whose CPU model finishes processing at a future
-    /// instant (outputs leave when the work completes).
-    pub fn send_after(&mut self, to: NodeId, msg: M, depart: Time) {
-        let depart = depart.max(self.now);
-        let at = depart + self.net.latency(self.self_id, to);
-        self.send_at_raw(to, msg, at);
-    }
-
-    fn send_at_raw(&mut self, to: NodeId, msg: M, at: Time) {
-        // Send-time reachability check; delivery is checked again when the
-        // event fires. Unreachable destinations drop the message — counted,
-        // never silent, so tests can assert on lost-message totals.
-        if self.net.reachable(self.self_id, to) {
-            self.actions.push(Action::Send { to, msg, at });
-        } else {
-            self.stats.send_unreachable_drops += 1;
-        }
+    /// Continuous credit-stall duration of the inbound link `from → self`
+    /// ([`Duration::ZERO`] when credit is flowing or flow control is off).
+    pub fn inbound_stall(&self, from: NodeId) -> Duration {
+        self.flow.stalled_for(from, self.self_id, self.now)
     }
 
     /// Schedules `on_timer(kind)` at virtual time `at` (clamped to now).
@@ -145,9 +162,120 @@ impl<'a, M> Ctx<'a, M> {
     }
 }
 
+impl<'a, M: ShardMsg> Ctx<'a, M> {
+    /// Sends `msg` to `to`, arriving one link latency from now. Lost if the
+    /// link or either endpoint is down at send or delivery time; a
+    /// credit-controlled message may instead be queued awaiting credit
+    /// (returned outcome).
+    pub fn send(&mut self, to: NodeId, msg: M) -> SendOutcome {
+        let at = self.now + self.net.latency(self.self_id, to);
+        self.send_at_raw(to, msg, at)
+    }
+
+    /// Sends `msg` so that it arrives one link latency after `depart` —
+    /// used by nodes whose CPU model finishes processing at a future
+    /// instant (outputs leave when the work completes). A future departure
+    /// reports [`SendOutcome::Deferred`] (matching the thread engine's
+    /// wheel); under a tracking credit policy the admission decision is
+    /// additionally made at the departure instant.
+    pub fn send_after(&mut self, to: NodeId, msg: M, depart: Time) -> SendOutcome {
+        let depart = depart.max(self.now);
+        if depart > self.now {
+            // Send-time reachability mirrors the immediate path; credits
+            // (for tracked messages) are consumed when the departure comes
+            // due.
+            if !self.net.reachable(self.self_id, to) {
+                self.stats.send_unreachable_drops += 1;
+                return SendOutcome::DroppedFault;
+            }
+            if self.flow.tracks(&msg) {
+                self.actions.push(Action::Depart {
+                    to,
+                    msg,
+                    at: depart,
+                });
+            } else {
+                // Untracked messages need no departure-time admission: the
+                // arrival event carries the full schedule directly.
+                let at = depart + self.net.latency(self.self_id, to);
+                self.actions.push(Action::Send {
+                    to,
+                    msg,
+                    at,
+                    routed: false,
+                });
+            }
+            return SendOutcome::Deferred;
+        }
+        let at = depart + self.net.latency(self.self_id, to);
+        self.send_at_raw(to, msg, at)
+    }
+
+    fn send_at_raw(&mut self, to: NodeId, msg: M, at: Time) -> SendOutcome {
+        // Send-time reachability check; delivery is checked again when the
+        // event fires. Unreachable destinations drop the message — counted,
+        // never silent, so tests can assert on lost-message totals.
+        if !self.net.reachable(self.self_id, to) {
+            self.stats.send_unreachable_drops += 1;
+            return SendOutcome::DroppedFault;
+        }
+        if self.flow.tracks(&msg) {
+            // Partition routing happens before admission so a suppressed
+            // delivery (nothing for the shard) never consumes a credit;
+            // the action is marked routed so it is not filtered twice.
+            let msg = match self.net.partition_of(to) {
+                Some(spec) => match msg.partition(spec.as_ref()) {
+                    Some(m) => m,
+                    None => return SendOutcome::Delivered,
+                },
+                None => msg,
+            };
+            return match self.flow.admit(self.self_id, to, msg, self.now) {
+                Some(m) => {
+                    self.actions.push(Action::Send {
+                        to,
+                        msg: m,
+                        at,
+                        routed: true,
+                    });
+                    SendOutcome::Delivered
+                }
+                None => SendOutcome::Queued,
+            };
+        }
+        self.actions.push(Action::Send {
+            to,
+            msg,
+            at,
+            routed: false,
+        });
+        SendOutcome::Delivered
+    }
+}
+
 enum EventKind<M> {
-    Message { from: NodeId, to: NodeId, msg: M },
-    Timer { actor: NodeId, kind: u64 },
+    Message {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    /// A credit-controlled delayed send reaching its departure instant:
+    /// admission (credit consumption or queueing) happens now.
+    Depart {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    /// A delivery on `from → to` was consumed: return its credit and
+    /// release the next queued message, if any.
+    Replenish {
+        from: NodeId,
+        to: NodeId,
+    },
+    Timer {
+        actor: NodeId,
+        kind: u64,
+    },
     Fault(FaultEvent),
     Start(NodeId),
 }
@@ -181,6 +309,7 @@ pub struct Sim<M> {
     actors: Vec<Box<dyn Actor<M>>>,
     started: Vec<bool>,
     net: Network,
+    flow: FlowControl<M>,
     queue: BinaryHeap<Event<M>>,
     now: Time,
     seq: u64,
@@ -196,6 +325,7 @@ impl<M: ShardMsg> Sim<M> {
             actors: Vec::new(),
             started: Vec::new(),
             net,
+            flow: FlowControl::new(CreditPolicy::Unbounded),
             queue: BinaryHeap::new(),
             now: Time::ZERO,
             seq: 0,
@@ -203,6 +333,28 @@ impl<M: ShardMsg> Sim<M> {
             events_dispatched: 0,
             stats: SimStats::default(),
         }
+    }
+
+    /// Sets the credit-based flow-control policy (call before the run; the
+    /// default [`CreditPolicy::Unbounded`] is the pre-credit behavior with
+    /// zero overhead).
+    pub fn set_flow_policy(&mut self, policy: CreditPolicy) {
+        self.flow.set_policy(policy);
+    }
+
+    /// The credit ledger's governing policy.
+    pub fn flow_policy(&self) -> CreditPolicy {
+        self.flow.policy()
+    }
+
+    /// Queue-depth and stall-time gauges of the credit ledger.
+    pub fn flow_gauges(&self) -> FlowGauges {
+        self.flow.gauges()
+    }
+
+    /// Continuous credit-stall duration of the directed link `from → to`.
+    pub fn flow_stalled_for(&self, from: NodeId, to: NodeId) -> Duration {
+        self.flow.stalled_for(from, to, self.now)
     }
 
     /// Registers an actor; its `on_start` fires at time zero (or at the
@@ -278,13 +430,52 @@ impl<M: ShardMsg> Sim<M> {
     fn dispatch(&mut self, ev: Event<M>) {
         match ev.kind {
             EventKind::Message { from, to, msg } => {
+                let tracked = self.flow.tracks(&msg);
                 // Delivery-time reachability: a link that broke mid-flight
-                // loses the message (broken TCP connection).
+                // loses the message (broken TCP connection). A tracked loss
+                // still returns its credit — a broken link must not shrink
+                // the window forever.
+                if !self.net.reachable(from, to) {
+                    self.stats.delivery_drops += 1;
+                    if tracked {
+                        self.push_event(self.now, EventKind::Replenish { from, to });
+                    }
+                    return;
+                }
+                let consumed = self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                if tracked {
+                    // Credit returns when the receiver's modeled CPU has
+                    // consumed the batch (the handler's data_consumed_at
+                    // mark), or immediately for infinitely fast consumers.
+                    let at = consumed.unwrap_or(self.now).max(self.now);
+                    self.push_event(at, EventKind::Replenish { from, to });
+                }
+            }
+            EventKind::Depart { from, to, msg } => {
+                // A delayed send reaching its departure: the link may have
+                // broken since the send-time check (in-flight loss), and
+                // admission happens now — as the thread engine's wheel does.
                 if !self.net.reachable(from, to) {
                     self.stats.delivery_drops += 1;
                     return;
                 }
-                self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                let msg = match self.net.partition_of(to) {
+                    Some(spec) => match msg.partition(spec.as_ref()) {
+                        Some(m) => m,
+                        None => return,
+                    },
+                    None => msg,
+                };
+                if let Some(m) = self.flow.admit(from, to, msg, self.now) {
+                    let at = self.now + self.net.latency(from, to);
+                    self.push_event(at, EventKind::Message { from, to, msg: m });
+                }
+            }
+            EventKind::Replenish { from, to } => {
+                if let Some(m) = self.flow.replenish(from, to, self.now) {
+                    let at = self.now + self.net.latency(from, to);
+                    self.push_event(at, EventKind::Message { from, to, msg: m });
+                }
             }
             EventKind::Timer { actor, kind } => {
                 if !self.net.node_up(actor) {
@@ -296,7 +487,13 @@ impl<M: ShardMsg> Sim<M> {
                 match &fault {
                     FaultEvent::LinkDown { a, b } => self.net.link_down(*a, *b),
                     FaultEvent::LinkUp { a, b } => self.net.link_up(*a, *b),
-                    FaultEvent::NodeDown(n) => self.net.node_down(*n),
+                    FaultEvent::NodeDown(n) => {
+                        self.net.node_down(*n);
+                        // Pending credits and queued sends die with the
+                        // node: purged messages are in-flight losses, and
+                        // the link restarts with a full window.
+                        self.stats.delivery_drops += self.flow.reset_node(*n, self.now);
+                    }
                     FaultEvent::NodeUp(n) => self.net.node_up_again(*n),
                     FaultEvent::Custom { .. } => {}
                 }
@@ -318,44 +515,55 @@ impl<M: ShardMsg> Sim<M> {
     }
 
     /// Runs one actor handler with a fresh [`Ctx`], then applies the actions
-    /// it queued.
-    fn with_actor<F>(&mut self, id: NodeId, f: F)
+    /// it queued. Returns the handler's consumption mark, if it set one.
+    fn with_actor<F>(&mut self, id: NodeId, f: F) -> Option<Time>
     where
         F: FnOnce(&mut dyn Actor<M>, &mut Ctx<M>),
     {
-        let Some(actor) = self.actors.get_mut(id.index()) else {
-            return;
-        };
+        let actor = self.actors.get_mut(id.index())?;
         let mut ctx = Ctx {
             now: self.now,
             self_id: id,
             net: &self.net,
+            flow: &mut self.flow,
             rng: &mut self.rng,
             stats: &mut self.stats,
             actions: Vec::new(),
+            consumed_at: None,
         };
         f(actor.as_mut(), &mut ctx);
+        let consumed = ctx.consumed_at;
         let actions = ctx.actions;
         for action in actions {
             match action {
-                Action::Send { to, msg, at } => {
+                Action::Send {
+                    to,
+                    msg,
+                    at,
+                    routed,
+                } => {
                     // Partitioned send path: a key-sharded receiver gets only
                     // its shard of the message (routing, not loss — nothing
-                    // is counted as dropped).
+                    // is counted as dropped). Credit-admitted messages were
+                    // already filtered.
                     let msg = match self.net.partition_of(to) {
-                        Some(spec) => match msg.partition(spec.as_ref()) {
+                        Some(spec) if !routed => match msg.partition(spec.as_ref()) {
                             Some(m) => m,
                             None => continue,
                         },
-                        None => msg,
+                        _ => msg,
                     };
                     self.push_event(at, EventKind::Message { from: id, to, msg })
+                }
+                Action::Depart { to, msg, at } => {
+                    self.push_event(at, EventKind::Depart { from: id, to, msg })
                 }
                 Action::Timer { at, kind } => {
                     self.push_event(at, EventKind::Timer { actor: id, kind })
                 }
             }
         }
+        consumed
     }
 }
 
@@ -590,6 +798,127 @@ mod tests {
         assert_eq!(sim.now(), Time::from_millis(10));
         sim.run_until(Time::from_millis(100));
         assert_eq!(log.borrow().len(), 2);
+    }
+
+    /// A data-plane message for flow-control tests.
+    #[derive(Debug, Clone, PartialEq)]
+    struct Payload(u32);
+    impl ShardMsg for Payload {
+        fn credit_controlled(&self) -> bool {
+            true
+        }
+    }
+
+    /// Sends `n` payloads in one burst at start.
+    struct Flood {
+        to: NodeId,
+        n: u32,
+    }
+    impl Actor<Payload> for Flood {
+        fn on_start(&mut self, ctx: &mut Ctx<Payload>) {
+            for i in 0..self.n {
+                ctx.send(self.to, Payload(i));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<Payload>, _from: NodeId, _msg: Payload) {}
+        fn on_timer(&mut self, _ctx: &mut Ctx<Payload>, _kind: u64) {}
+    }
+
+    /// Consumes each payload `per_msg` of modeled CPU after the previous.
+    struct SlowSink {
+        seen: Rc<RefCell<Vec<u32>>>,
+        per_msg: Duration,
+        busy: Time,
+    }
+    impl Actor<Payload> for SlowSink {
+        fn on_message(&mut self, ctx: &mut Ctx<Payload>, _from: NodeId, msg: Payload) {
+            self.seen.borrow_mut().push(msg.0);
+            self.busy = self.busy.max(ctx.now()) + self.per_msg;
+            ctx.data_consumed_at(self.busy);
+        }
+        fn on_timer(&mut self, _ctx: &mut Ctx<Payload>, _kind: u64) {}
+    }
+
+    fn flood_sim(policy: CreditPolicy, n: u32) -> (Sim<Payload>, Rc<RefCell<Vec<u32>>>) {
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        let mut sim: Sim<Payload> = Sim::new(3, Network::new(Duration::from_millis(1)));
+        sim.set_flow_policy(policy);
+        let sink = sim.add_actor(Box::new(SlowSink {
+            seen: seen.clone(),
+            per_msg: Duration::from_millis(10),
+            busy: Time::ZERO,
+        }));
+        sim.add_actor(Box::new(Flood { to: sink, n }));
+        (sim, seen)
+    }
+
+    #[test]
+    fn bounded_window_caps_inflight_and_preserves_order() {
+        let (mut sim, seen) = flood_sim(CreditPolicy::Window(3), 20);
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(
+            *seen.borrow(),
+            (0..20).collect::<Vec<_>>(),
+            "backpressure may delay, never reorder or drop"
+        );
+        let g = sim.flow_gauges();
+        assert_eq!(g.inflight_peak, 3, "in-flight bounded by the window");
+        assert_eq!(g.queued, 17, "the burst past the window queued");
+        assert_eq!(g.released, 17);
+        assert_eq!(g.queued_now, 0);
+        assert_eq!(g.inflight_now, 0, "all credits returned at quiescence");
+        assert!(g.stall_time > Duration::ZERO);
+        assert_eq!(sim.stats().total_drops(), 0);
+    }
+
+    #[test]
+    fn metered_baseline_shows_unbounded_inflight() {
+        let (mut sim, seen) = flood_sim(CreditPolicy::Metered, 20);
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(seen.borrow().len(), 20);
+        let g = sim.flow_gauges();
+        assert_eq!(g.inflight_peak, 20, "the whole burst floods the receiver");
+        assert_eq!(g.queued, 0, "metered never stalls");
+    }
+
+    #[test]
+    fn unbounded_policy_keeps_the_ledger_silent() {
+        let (mut sim, seen) = flood_sim(CreditPolicy::Unbounded, 20);
+        sim.run_until(Time::from_secs(5));
+        assert_eq!(seen.borrow().len(), 20);
+        assert_eq!(sim.flow_gauges(), borealis_types::FlowGauges::default());
+    }
+
+    #[test]
+    fn crash_purges_queued_sends_as_delivery_drops() {
+        let (mut sim, seen) = flood_sim(CreditPolicy::Window(2), 10);
+        // Crash the sink while most of the burst is still queued: the
+        // queued messages are purged (counted) and never delivered.
+        sim.schedule_fault(Time::from_millis(15), FaultEvent::NodeDown(NodeId(0)));
+        sim.run_until(Time::from_secs(5));
+        assert!(seen.borrow().len() < 10, "crash cut the stream");
+        assert!(
+            sim.stats().delivery_drops > 0,
+            "purged queue counted: {:?}",
+            sim.stats()
+        );
+        assert_eq!(sim.flow_gauges().queued_now, 0);
+    }
+
+    #[test]
+    fn stalled_for_visible_while_link_saturated() {
+        let (mut sim, _seen) = flood_sim(CreditPolicy::Window(1), 50);
+        sim.run_until(Time::from_millis(100));
+        assert!(
+            sim.flow_stalled_for(NodeId(1), NodeId(0)) > Duration::ZERO,
+            "mid-burst the sender is stalled"
+        );
+        sim.run_until(Time::from_secs(10));
+        assert_eq!(
+            sim.flow_stalled_for(NodeId(1), NodeId(0)),
+            Duration::ZERO,
+            "drained"
+        );
     }
 
     #[test]

@@ -12,9 +12,11 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod flow;
 pub mod kernel;
 pub mod net;
 
 pub use fault::FaultEvent;
+pub use flow::FlowControl;
 pub use kernel::{Actor, Ctx, ShardMsg, Sim, SimStats};
 pub use net::Network;

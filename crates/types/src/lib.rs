@@ -15,6 +15,7 @@
 
 pub mod batch;
 pub mod expr;
+pub mod flow;
 pub mod ids;
 pub mod shard;
 pub mod time;
@@ -23,6 +24,7 @@ pub mod value;
 
 pub use batch::{BatchLog, TupleBatch};
 pub use expr::{BinOp, EvalError, Expr};
+pub use flow::{BufferPolicy, CreditPolicy, FlowGauges, SendOutcome};
 pub use ids::{FragmentId, NodeId, OpId, StreamId};
 pub use shard::PartitionSpec;
 pub use time::{Duration, Time};

@@ -184,6 +184,7 @@ pub fn single_node_system(o: &SingleNodeOptions) -> RunningSystem {
             } else {
                 ValueGen::Seq
             },
+            limit: None,
         });
     }
     builder.build()
@@ -274,6 +275,7 @@ pub fn chain_builder(o: &ChainOptions) -> (SystemBuilder, StreamId) {
             boundary_interval: Duration::from_millis(100),
             batch_period: Duration::from_millis(10),
             values: ValueGen::Seq,
+            limit: None,
         });
     }
     (builder, last.id())
@@ -306,6 +308,10 @@ pub struct ShardedChainOptions {
     /// Per-tuple CPU cost of the work stage (the sharding payoff: K shards
     /// split this bill K ways).
     pub work_cost: Duration,
+    /// Stop each source after this many tuples (`None` = unbounded) — a
+    /// finite load episode: the overload scenarios burst past saturation,
+    /// then drain and stabilize.
+    pub source_limit: Option<u64>,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -320,6 +326,7 @@ impl Default for ShardedChainOptions {
             variant: DISTRIBUTED_VARIANTS[1],
             light_cost: Duration::from_micros(2),
             work_cost: Duration::from_micros(40),
+            source_limit: None,
             seed: 42,
         }
     }
@@ -383,6 +390,7 @@ pub fn sharded_chain_builder(o: &ShardedChainOptions) -> (SystemBuilder, StreamI
             boundary_interval: Duration::from_millis(100),
             batch_period: Duration::from_millis(10),
             values: ValueGen::Seq,
+            limit: o.source_limit,
         });
     }
     (builder, deliver.id())
@@ -464,6 +472,7 @@ pub fn overhead_system(o: &OverheadOptions) -> RunningSystem {
             },
             batch_period: Duration::from_millis(10),
             values: ValueGen::Seq,
+            limit: None,
         })
         .plan(p)
         .client_streams(vec![OVERHEAD_OUT])

@@ -53,6 +53,7 @@ fn main() {
         boundary_interval: Duration::from_millis(50),
         batch_period: Duration::from_millis(10),
         values: ValueGen::Keyed { keys: 12 },
+        limit: None,
     };
     let mut sys = SystemBuilder::new(37, Duration::from_millis(1))
         .source(feed(gw1))

@@ -66,6 +66,7 @@ fn main() {
         boundary_interval: Duration::from_millis(100),
         batch_period: Duration::from_millis(10),
         values: ValueGen::Keyed { keys: 16 },
+        limit: None,
     };
     // Map the sequence payload onto a bytes-like distribution: field 1 is
     // `seq`, so `seq % 1000 > 800` fires for ~20% of flows.

@@ -3,16 +3,22 @@
 //! client) served by the multi-threaded wall-clock runtime — one OS thread
 //! per source, shard replica, and client.
 //!
-//! Run with: `cargo run --release --example realtime_pipeline`
+//! Run with: `cargo run --release --example realtime_pipeline [clean|overload]`
 //!
-//! The work stage costs 40 µs of modeled CPU per tuple, so a single
-//! instance saturates well below the offered load; sharding it K ways by
-//! `hash(key) % K` splits the bill across K replicated instances, each on
-//! its own cores. The sweep measures stable client-side throughput at
-//! K = 1, 2, 4 under the same offered load, then repeats the K = 4 run
-//! with a scripted mid-run crash of one shard replica — the checkpoint /
-//! tentative-release / reconciliation path under full load. The numbers
-//! are recorded in `BENCH_PR4.json`.
+//! **clean** — the K = 1/2/4 shard sweep at fixed offered load, plus the
+//! K = 4 run with a scripted mid-run crash of one shard replica (the
+//! checkpoint / tentative-release / reconciliation path under full load).
+//!
+//! **overload** — the credit-based flow-control study (`BENCH_PR5.json`):
+//! offered load pushed past the single-instance work stage's saturation
+//! point, at two credit-window sizes plus the metered-unbounded baseline.
+//! With a bounded window the receiver-side in-flight depth stays pinned at
+//! the window and the overload surfaces as *delayed* (tentative, later
+//! corrected) buckets within the §6 delay budget; the unbounded baseline
+//! shows the buffering growing without bound instead. A bounded-window run
+//! at the reference configuration guards the clean-path throughput.
+//!
+//! With no argument both sections run.
 //!
 //! Knobs: `REALTIME_RATE` (tuples/s per source, default 4000),
 //! `REALTIME_WALL_SECS` (seconds per run, default 4).
@@ -27,6 +33,9 @@ struct RunResult {
     n_tentative: u64,
     dup: u64,
     drops: u64,
+    max_gap: Duration,
+    procnew: Duration,
+    flow: FlowGauges,
 }
 
 fn options(shards: u32, per_source_rate: f64) -> ShardedChainOptions {
@@ -42,8 +51,15 @@ fn options(shards: u32, per_source_rate: f64) -> ShardedChainOptions {
     }
 }
 
-fn run_once(shards: u32, per_source_rate: f64, wall_secs: f64, crash: bool) -> RunResult {
+fn run_once(
+    shards: u32,
+    per_source_rate: f64,
+    wall_secs: f64,
+    crash: bool,
+    policy: CreditPolicy,
+) -> RunResult {
     let (mut builder, out) = sharded_chain_builder(&options(shards, per_source_rate));
+    builder = builder.credit_policy(policy);
     if crash {
         // Kill replica 0 of work-stage shard 1 at t=1.5s, permanently:
         // DPC must checkpoint, fail over to the surviving replica, and
@@ -60,9 +76,16 @@ fn run_once(shards: u32, per_source_rate: f64, wall_secs: f64, crash: bool) -> R
     let started = std::time::Instant::now();
     sys.run_for(std::time::Duration::from_secs_f64(wall_secs));
     let elapsed = started.elapsed().as_secs_f64();
-    let (n_stable, n_tentative, dup) = sys
-        .metrics
-        .with(out, |m| (m.n_stable, m.n_tentative, m.dup_stable));
+    let (n_stable, n_tentative, dup, max_gap, procnew) = sys.metrics.with(out, |m| {
+        (
+            m.n_stable,
+            m.n_tentative,
+            m.dup_stable,
+            m.max_gap,
+            m.procnew,
+        )
+    });
+    let flow = sys.flow_gauges();
     let drops = sys.shutdown();
     RunResult {
         shards,
@@ -71,20 +94,16 @@ fn run_once(shards: u32, per_source_rate: f64, wall_secs: f64, crash: bool) -> R
         n_tentative,
         dup,
         drops: drops.total_drops(),
+        max_gap,
+        procnew,
+        flow,
     }
 }
 
-fn main() {
-    let per_source_rate: f64 = std::env::var("REALTIME_RATE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4_000.0);
-    let wall_secs: f64 = std::env::var("REALTIME_WALL_SECS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(4.0);
+/// The K = 1/2/4 sharding sweep plus the mid-run crash run (BENCH_PR4's
+/// reference measurements, unchanged).
+fn clean_section(per_source_rate: f64, wall_secs: f64) {
     let offered = per_source_rate * 3.0;
-
     println!(
         "sharded realtime chain: {offered:.0} tuples/s offered, 40 µs/tuple work stage, \
          {wall_secs:.0}s per run\n"
@@ -93,7 +112,13 @@ fn main() {
     println!("  --+--------+---------------+-----------------+-----+------");
     let mut results = Vec::new();
     for shards in [1u32, 2, 4] {
-        let r = run_once(shards, per_source_rate, wall_secs, false);
+        let r = run_once(
+            shards,
+            per_source_rate,
+            wall_secs,
+            false,
+            CreditPolicy::Unbounded,
+        );
         // 3 sources + 2 ingest + 2K work + 2 deliver + 1 client.
         let actors = 3 + 2 + 2 * shards + 2 + 1;
         println!(
@@ -129,10 +154,10 @@ fn main() {
     );
 
     // --- K=4 with a mid-run shard-replica crash -------------------------
-    // Exercises the failure hot path this PR optimizes: the O(#ops)
-    // copy-on-write checkpoint at the detection instant, batch-range replay
-    // logs during the outage, and view-based reconciliation replay.
-    let c = run_once(4, per_source_rate, wall_secs, true);
+    // Exercises the failure hot path: the O(#ops) copy-on-write checkpoint
+    // at the detection instant, batch-range replay logs during the outage,
+    // and view-based reconciliation replay.
+    let c = run_once(4, per_source_rate, wall_secs, true, CreditPolicy::Unbounded);
     println!(
         "\ncrash run (K=4, shard replica killed at t=1.5s): \
          {:.0} stable tuples/s, {} stable, {} tentative, {} dup, {} drops",
@@ -149,4 +174,158 @@ fn main() {
         c.n_stable
     );
     println!("failover kept the stable stream flowing, duplicate-free.");
+}
+
+/// The flow-control overload sweep: offered load past the K=1 work stage's
+/// saturation point, at two credit-window sizes and the metered-unbounded
+/// baseline, plus a bounded-window guard run at the reference config.
+fn overload_section(per_source_rate: f64, wall_secs: f64) {
+    // 24k offered into a work stage whose effective capacity (ingest +
+    // emission both charge the modeled CPU) is ~12.5k tuples/s.
+    let per_source_overload = 8_000.0;
+    let offered = per_source_overload * 3.0;
+    println!(
+        "\noverload sweep: K=1, {offered:.0} tuples/s offered past saturation, \
+         delay budget 500 ms/SUnion (1.5 s total), {wall_secs:.0}s per run\n"
+    );
+    println!(
+        "  policy      | stable/s | tentative | inflight_peak | queued_peak | stall_time | max_gap | procnew"
+    );
+    println!(
+        "  ------------+----------+-----------+---------------+-------------+------------+---------+--------"
+    );
+
+    let mut bounded = Vec::new();
+    for window in [8u32, 32] {
+        let r = run_once(
+            1,
+            per_source_overload,
+            wall_secs,
+            false,
+            CreditPolicy::Window(window),
+        );
+        println!(
+            "  window {window:>4} | {:>8.0} | {:>9} | {:>13} | {:>11} | {:>10} | {:>7} | {}",
+            r.throughput,
+            r.n_tentative,
+            r.flow.inflight_peak,
+            r.flow.queued_peak,
+            r.flow.stall_time,
+            r.max_gap,
+            r.procnew
+        );
+        assert_eq!(r.dup, 0, "window {window}: no duplicate stable tuples");
+        assert!(
+            r.flow.inflight_peak <= window as u64,
+            "window {window}: in-flight depth must be bounded by the credit window \
+             (got {})",
+            r.flow.inflight_peak
+        );
+        assert!(
+            r.flow.stalls > 0 && r.flow.queued > 0,
+            "window {window}: overload must actually stall the links: {:?}",
+            r.flow
+        );
+        // The narrow window surfaces the overload within the run; the wide
+        // one absorbs most of the burst first (that is the knob's trade:
+        // window size = how much burst is smoothed before the §6 machinery
+        // engages).
+        if window == 8 {
+            assert!(
+                r.n_tentative > 0,
+                "window {window}: the overload must surface as delayed tentative buckets"
+            );
+        }
+        bounded.push(r);
+    }
+
+    let m = run_once(
+        1,
+        per_source_overload,
+        wall_secs,
+        false,
+        CreditPolicy::Metered,
+    );
+    println!(
+        "  metered     | {:>8.0} | {:>9} | {:>13} | {:>11} | {:>10} | {:>7} | {}",
+        m.throughput,
+        m.n_tentative,
+        m.flow.inflight_peak,
+        m.flow.queued_peak,
+        m.flow.stall_time,
+        m.max_gap,
+        m.procnew
+    );
+    let widest = 32u64;
+    assert!(
+        m.flow.inflight_peak > 2 * widest,
+        "the unbounded baseline must show monotonically growing buffering \
+         (in-flight peak {} vs window {widest})",
+        m.flow.inflight_peak
+    );
+    println!(
+        "\nbounded windows pinned receiver-side buffering at the window; the unbounded \
+         baseline grew to {}x the widest window.",
+        m.flow.inflight_peak / widest
+    );
+
+    // --- Reference-config guard: credits must not tax the clean path ----
+    let reference = run_once(
+        4,
+        per_source_rate,
+        wall_secs,
+        false,
+        CreditPolicy::Unbounded,
+    );
+    let guarded = run_once(
+        4,
+        per_source_rate,
+        wall_secs,
+        false,
+        CreditPolicy::Window(64),
+    );
+    println!(
+        "\nreference config (K=4, {:.0}/s offered): unbounded {:.0} stable/s vs \
+         window-64 {:.0} stable/s; procnew {} vs {}",
+        per_source_rate * 3.0,
+        reference.throughput,
+        guarded.throughput,
+        reference.procnew,
+        guarded.procnew
+    );
+    assert!(
+        guarded.throughput > reference.throughput * 0.85,
+        "bounded credits must not regress clean-path throughput >15%: \
+         {:.0} vs {:.0}",
+        guarded.throughput,
+        reference.throughput
+    );
+    let added = guarded.procnew.saturating_sub(reference.procnew);
+    assert!(
+        added <= Duration::from_millis(1500),
+        "added delay at the reference config must stay inside the total \
+         delay budget: +{added}"
+    );
+    println!("credit flow control held the reference path: <15% throughput delta, added delay {added} ≤ budget.");
+}
+
+fn main() {
+    let mode = std::env::args().nth(1).unwrap_or_default();
+    let per_source_rate: f64 = std::env::var("REALTIME_RATE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4_000.0);
+    let wall_secs: f64 = std::env::var("REALTIME_WALL_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4.0);
+
+    match mode.as_str() {
+        "clean" => clean_section(per_source_rate, wall_secs),
+        "overload" => overload_section(per_source_rate, wall_secs),
+        _ => {
+            clean_section(per_source_rate, wall_secs);
+            overload_section(per_source_rate, wall_secs);
+        }
+    }
 }

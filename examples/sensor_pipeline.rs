@@ -79,6 +79,7 @@ fn main() {
             keys: 8,
             amplitude: 1.0,
         },
+        limit: None,
     };
     let mut sys = SystemBuilder::new(23, Duration::from_millis(1))
         .source(sensor(temperature))

@@ -101,13 +101,13 @@ pub mod prelude {
     };
     pub use borealis_dpc::{
         BufferPolicy, ClientTuning, FaultSpec, MetricsHub, NodeState, NodeTuning, RunningSystem,
-        SourceConfig, SystemBuilder, SystemLayout, ValueGen,
+        SourceConfig, SystemBuilder, SystemLayout, Transport, ValueGen,
     };
     pub use borealis_ops::{AggFn, AggregateSpec, DelayMode, SJoinSpec, SUnionConfig};
     pub use borealis_runtime::{deploy_threads, RunningThreads, ThreadRuntime};
     pub use borealis_types::{
-        Duration, Expr, FragmentId, NodeId, PartitionSpec, StreamId, Time, Tuple, TupleBatch,
-        TupleId, TupleKind, Value,
+        CreditPolicy, Duration, Expr, FlowGauges, FragmentId, NodeId, PartitionSpec, SendOutcome,
+        StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind, Value,
     };
 }
 

@@ -199,3 +199,75 @@ fn repeated_reconciliations_stay_deterministic() {
         "stable ids strictly increase across reconciliation cycles: {stable_ids:?}"
     );
 }
+
+/// Credit-stall surfacing at the fragment level: a stall on one input
+/// stream outlasting its SUnion's detection delay takes the failure
+/// checkpoint first (checkpoint-before-tentative, §4.4.1), flips the input
+/// SUnion into UP_FAILURE, and starts the replay log — so when the stall
+/// clears, standard reconciliation replays the stall era and emits it
+/// stably, identically to a clean run.
+#[test]
+fn input_stall_checkpoints_declares_and_reconciles() {
+    // Reference: a clean run of the same data.
+    let clean = {
+        let (mut f, s1, s2, _) = pipeline_fragment();
+        let mut emitted = Vec::new();
+        emitted.extend(feed(&mut f, s1, 1, 50, 3));
+        emitted.extend(feed(&mut f, s2, 1, 120, 4));
+        emitted.extend(boundary(&mut f, s1, 400));
+        emitted.extend(boundary(&mut f, s2, 400));
+        emitted
+    };
+
+    let (mut f, s1, s2, _) = pipeline_fragment();
+    let mut emitted = Vec::new();
+    emitted.extend(feed(&mut f, s1, 1, 50, 3));
+    assert!(!f.is_tainted());
+
+    // A short stall is ignored: no checkpoint, no failure.
+    let b = f.note_input_stall(s1, Duration::from_millis(100), Time::from_millis(200));
+    assert!(b.signals.is_empty());
+    assert!(!f.is_tainted());
+
+    // A long stall on s1: checkpoint, UP_FAILURE, recording on.
+    let b = f.note_input_stall(s1, Duration::from_secs(5), Time::from_millis(300));
+    assert!(b
+        .signals
+        .contains(&borealis::types::ControlSignal::UpFailure));
+    assert!(f.is_tainted(), "checkpoint taken before the declaration");
+
+    // The stall era's data arrives late and is recorded for replay; the
+    // stalled input SUnion is in UP_FAILURE and its buffered bucket
+    // releases tentatively under the failure-mode budget (into the
+    // fragment-internal serializer, which buckets it in turn).
+    emitted.extend(feed(&mut f, s2, 1, 120, 4));
+    f.tick(Time::from_secs(2));
+    use borealis::ops::sunion::Phase;
+    assert!(
+        f.input_phases().contains(&Phase::Failure),
+        "the stalled input must be in UP_FAILURE: {:?}",
+        f.input_phases()
+    );
+
+    // Stall clears: boundaries cover everything, the fragment reconciles,
+    // and the replay reproduces the clean run's stable output.
+    emitted.extend(boundary(&mut f, s1, 400));
+    emitted.extend(boundary(&mut f, s2, 400));
+    assert!(f.can_reconcile(), "corrected inputs enable reconciliation");
+    let mut stable: Vec<(StreamId, Tuple)> = f.reconcile(Time::from_secs(3)).tuples();
+    stable.extend(f.finish_reconciliation(Time::from_secs(3)).tuples());
+    let stable_data: Vec<&Tuple> = stable
+        .iter()
+        .map(|(_, t)| t)
+        .filter(|t| t.kind == TupleKind::Insertion)
+        .collect();
+    let clean_data: Vec<&Tuple> = clean
+        .iter()
+        .map(|(_, t)| t)
+        .filter(|t| t.kind == TupleKind::Insertion)
+        .collect();
+    assert_eq!(
+        stable_data, clean_data,
+        "stall era reconciles to the clean run"
+    );
+}

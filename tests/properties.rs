@@ -404,3 +404,165 @@ fn sunion_total_order_is_interleaving_invariant() {
         );
     }
 }
+
+/// Credit-based backpressure is delay, never semantics: for arbitrary
+/// per-port batch scripts delivered through credit-gated links with random
+/// windows ≥ 1 (random consumption interleavings across ports, FIFO per
+/// port — exactly what the transport guarantees), the batch-native SUnion
+/// emits byte-identical stable output to the ungated run. Backpressure may
+/// delay buckets; it must never reorder or drop stable data.
+#[test]
+fn credit_gated_sunion_output_identical_to_unbounded() {
+    use borealis::ops::Operator;
+    use borealis::sim::FlowControl;
+    use std::collections::VecDeque;
+
+    let mut rng = StdRng::seed_from_u64(0xF10);
+    for case in 0..20 {
+        let n_ports = rng.gen_range(1usize..4);
+        // Per-port scripts of batches respecting the §4.2.1 punctuation
+        // contract: a boundary follows all of its port's data with smaller
+        // or equal stimes; later data is strictly newer.
+        let mut scripts: Vec<Vec<TupleBatch>> = Vec::new();
+        for port in 0..n_ports {
+            let mut batches = Vec::new();
+            let mut frontier_ms = 0u64;
+            let mut next_id = 1u64;
+            let n_batches = rng.gen_range(4u32..12);
+            for _ in 0..n_batches {
+                if rng.gen_range(0u32..4) == 0 {
+                    // Boundary batch: covers everything emitted so far.
+                    frontier_ms += rng.gen_range(50..400);
+                    batches.push(TupleBatch::single(Tuple::boundary(
+                        TupleId::NONE,
+                        Time::from_millis(frontier_ms),
+                    )));
+                } else {
+                    let n = rng.gen_range(1usize..6);
+                    let mut v = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        let stime = frontier_ms + 1 + rng.gen_range(0..300);
+                        v.push(Tuple::insertion(
+                            TupleId(next_id),
+                            Time::from_millis(stime),
+                            vec![Value::Int((port as i64) << 32 | next_id as i64)],
+                        ));
+                        next_id += 1;
+                    }
+                    batches.push(TupleBatch::from_vec(v));
+                }
+            }
+            // Closing boundary so every bucket stabilizes.
+            batches.push(TupleBatch::single(Tuple::boundary(
+                TupleId::NONE,
+                Time::from_millis(10_000),
+            )));
+            scripts.push(batches);
+        }
+
+        let mk_sunion = || {
+            let mut c = SUnionConfig::new(n_ports);
+            c.detect_delay = Duration::from_secs(3600); // never tentative
+            c.delay_budget = Duration::from_secs(3600);
+            c.is_input = true;
+            borealis::ops::SUnion::new(c)
+        };
+        let data_of = |tuples: Vec<Tuple>| {
+            tuples
+                .into_iter()
+                .filter(|t| t.is_data())
+                .map(|t| (t.kind, t.id, t.stime, t.origin, t.values))
+                .collect::<Vec<_>>()
+        };
+
+        // --- Ungated reference: round-robin delivery in script order -----
+        let reference = {
+            let mut s = mk_sunion();
+            let mut out = borealis::ops::BatchEmitter::new();
+            let mut cursors = vec![0usize; n_ports];
+            let mut step = 0u64;
+            loop {
+                let mut progressed = false;
+                for port in 0..n_ports {
+                    if cursors[port] < scripts[port].len() {
+                        s.process_batch(
+                            port,
+                            &scripts[port][cursors[port]],
+                            Time::from_millis(step),
+                            &mut out,
+                        );
+                        cursors[port] += 1;
+                        step += 1;
+                        progressed = true;
+                    }
+                }
+                if !progressed {
+                    break;
+                }
+            }
+            data_of(out.take_tuples().0)
+        };
+
+        // --- Credit-gated run: random windows, random interleaving -------
+        let gated = {
+            let window = rng.gen_range(1u32..5);
+            let mut flow: FlowControl<(usize, TupleBatch)> =
+                FlowControl::new(CreditPolicy::Window(window));
+            let sink = NodeId(99);
+            let mut s = mk_sunion();
+            let mut out = borealis::ops::BatchEmitter::new();
+            let mut cursors = vec![0usize; n_ports];
+            // Delivered-but-unprocessed, FIFO per port (the transport's
+            // per-link ordering guarantee).
+            let mut mailbox: Vec<VecDeque<TupleBatch>> = vec![VecDeque::new(); n_ports];
+            let mut step = 0u64;
+            loop {
+                let deliverable: Vec<usize> =
+                    (0..n_ports).filter(|&p| !mailbox[p].is_empty()).collect();
+                let sendable: Vec<usize> = (0..n_ports)
+                    .filter(|&p| cursors[p] < scripts[p].len())
+                    .collect();
+                if deliverable.is_empty() && sendable.is_empty() {
+                    break;
+                }
+                let process =
+                    !deliverable.is_empty() && (sendable.is_empty() || rng.gen_range(0u32..2) == 0);
+                if process {
+                    let p = deliverable[rng.gen_range(0..deliverable.len() as u64) as usize];
+                    let batch = mailbox[p].pop_front().expect("deliverable port");
+                    s.process_batch(p, &batch, Time::from_millis(step), &mut out);
+                    step += 1;
+                    // Consumption returns the credit; the link releases the
+                    // next queued batch in FIFO order.
+                    if let Some((port, released)) =
+                        flow.replenish(NodeId(p as u32), sink, Time::from_millis(step))
+                    {
+                        assert_eq!(port, p, "links must not cross");
+                        mailbox[p].push_back(released);
+                    }
+                } else {
+                    let p = sendable[rng.gen_range(0..sendable.len() as u64) as usize];
+                    let batch = scripts[p][cursors[p]].clone();
+                    cursors[p] += 1;
+                    if let Some((port, admitted)) =
+                        flow.admit(NodeId(p as u32), sink, (p, batch), Time::from_millis(step))
+                    {
+                        assert_eq!(port, p);
+                        mailbox[p].push_back(admitted);
+                    }
+                }
+            }
+            assert_eq!(flow.gauges().queued_now, 0, "everything drained");
+            data_of(out.take_tuples().0)
+        };
+
+        assert_eq!(
+            reference, gated,
+            "case {case}: credit gating changed the stable output"
+        );
+        assert!(
+            reference.iter().all(|(k, ..)| *k == TupleKind::Insertion),
+            "case {case}: nothing tentative in a stall-free stable run"
+        );
+    }
+}

@@ -200,6 +200,9 @@ pub struct MetricsHub {
     /// Latest transport flow-control gauges (queue depth, stall time),
     /// recorded by the deployment after (or during) a run.
     flow: Arc<Mutex<borealis_types::FlowGauges>>,
+    /// Latest worker-pool scheduler gauges (steals, queue depths,
+    /// activation run-time histogram), recorded by the thread runtime.
+    sched: Arc<Mutex<borealis_types::SchedGauges>>,
 }
 
 impl MetricsHub {
@@ -287,6 +290,19 @@ impl MetricsHub {
     /// The most recently recorded transport flow-control gauges.
     pub fn flow_gauges(&self) -> borealis_types::FlowGauges {
         *self.flow.lock().expect("flow gauges lock")
+    }
+
+    /// Records the thread runtime's worker-pool scheduler gauges (the
+    /// deployments call this next to [`MetricsHub::record_flow`], so
+    /// harnesses read steal counts and queue depths with the client
+    /// metrics).
+    pub fn record_sched(&self, gauges: borealis_types::SchedGauges) {
+        *self.sched.lock().expect("sched gauges lock") = gauges;
+    }
+
+    /// The most recently recorded scheduler gauges.
+    pub fn sched_gauges(&self) -> borealis_types::SchedGauges {
+        *self.sched.lock().expect("sched gauges lock")
     }
 }
 

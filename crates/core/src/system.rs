@@ -93,6 +93,7 @@ pub struct SystemBuilder {
     metrics: MetricsHub,
     faults: Vec<FaultSpec>,
     flow_policy: CreditPolicy,
+    workers: Option<usize>,
 }
 
 impl SystemBuilder {
@@ -111,6 +112,7 @@ impl SystemBuilder {
             metrics: MetricsHub::new(),
             faults: Vec::new(),
             flow_policy: CreditPolicy::default(),
+            workers: None,
         }
     }
 
@@ -118,6 +120,15 @@ impl SystemBuilder {
     /// defaults to [`CreditPolicy::Unbounded`], the pre-credit behavior).
     pub fn credit_policy(mut self, policy: CreditPolicy) -> Self {
         self.flow_policy = policy;
+        self
+    }
+
+    /// Sets the thread runtime's worker-pool size (the number of OS
+    /// threads every actor multiplexes onto). Ignored by the simulator.
+    /// Unset, the runtime picks a machine-derived default (overridable via
+    /// the `BOREALIS_WORKERS` environment variable).
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n.max(1));
         self
     }
 
@@ -345,6 +356,7 @@ impl SystemBuilder {
             client,
             script: Vec::new(),
             flow_policy: self.flow_policy,
+            workers: self.workers,
         };
         for f in &self.faults {
             layout.lower_fault(f);
@@ -435,6 +447,9 @@ pub struct SystemLayout {
     /// Credit-based flow-control policy of every link (both runtimes
     /// install it into their transport at deploy time).
     pub flow_policy: CreditPolicy,
+    /// Worker-pool size for the thread runtime (`None`: runtime default).
+    /// The simulator ignores it — scheduling there is virtual-time driven.
+    pub workers: Option<usize>,
 }
 
 impl SystemLayout {

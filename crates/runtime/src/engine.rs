@@ -1,57 +1,64 @@
-//! The thread engine: one OS thread per actor, `std::sync::mpsc` channels
-//! for messaging, a per-actor timer wheel against the monotonic clock, and
-//! a fault-controller thread replaying scripted failures against the
-//! shared link table.
+//! The thread engine: every actor is a schedulable task multiplexed onto a
+//! **fixed pool of worker threads** (per-worker run queues with work
+//! stealing plus a global injector — see [`crate::scheduler`]), a
+//! per-worker timer wheel against the monotonic clock, and a
+//! fault-controller thread replaying scripted failures against the shared
+//! link table.
 //!
 //! Event semantics mirror the simulator's kernel so the same protocol code
 //! behaves identically under both runtimes:
 //!
 //! * sends check reachability at **send time** (counted drops) and again
 //!   at **delivery time** (in-flight losses on a link that broke);
-//! * timers due while an actor is crashed are consumed and suppressed;
+//! * timers due while an actor is crashed are consumed and suppressed —
+//!   checked both when the wheel entry fires and again when the
+//!   re-enqueued timer envelope is processed, so a crash landing between
+//!   the two instants still suppresses the callback (a crashed actor's
+//!   queued run delivers nothing: its messages become delivery drops, its
+//!   timers suppressions);
 //! * fault notifications reach an actor unless it is down (except its own
 //!   `NodeDown`, which it observes so crash semantics stay scripted).
 //!
 //! Messages carry [`NetMsg`] values whose `Data` payloads are `Arc`-backed
 //! [`TupleBatch`](borealis_types::TupleBatch) views: moving a batch across
-//! a channel transfers a reference count, never copies tuples, so the
+//! a mailbox transfers a reference count, never copies tuples, so the
 //! wall-clock data plane inherits the zero-copy fan-out of the simulator
 //! path.
+//!
+//! Idle workers park on a condvar bounded by their wheel's earliest
+//! deadline — no polling backstop, no sleep loops: a fully idle pool
+//! burns zero CPU until a push or a deadline wakes it.
 
 use crate::clock::MonotonicClock;
 use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
+use crate::scheduler::{relock, ActorCell, Envelope, Scheduler, Task};
 use crate::wheel::{Due, TimerWheel};
 use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
 use borealis_sim::{FaultEvent, ShardMsg};
-use borealis_types::{CreditPolicy, Duration, NodeId, PartitionSpec, SendOutcome, Time};
+use borealis_types::{
+    CreditPolicy, Duration, NodeId, PartitionSpec, SchedGauges, SendOutcome, Time,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-/// One delivery into an actor thread's mailbox.
-enum Envelope {
-    /// A protocol message from another actor.
-    Msg { from: NodeId, msg: NetMsg },
-    /// A fault notification from the controller.
-    Fault(FaultEvent),
-    /// Orderly shutdown: process everything queued before this, then exit.
-    Stop,
-}
-
-/// Longest uninterrupted mailbox wait. Purely a liveness backstop (a wake
-/// with nothing due is a no-op); timer deadlines shorten it.
-const MAX_PARK: std::time::Duration = std::time::Duration::from_millis(100);
+/// Envelopes one activation may process before yielding the worker (the
+/// task re-queues behind its siblings if work remains) — bounds how long
+/// one busy actor can starve the others sharing its worker.
+const ACTIVATION_BATCH: usize = 32;
 
 /// The single send-time delivery rule, shared by immediate sends and
 /// delayed departures: reachability gates the handoff (counted drop
 /// otherwise), the credit ledger gates data messages (queued at the sender
-/// when the window is exhausted), and a send to an exited mailbox
+/// when the window is exhausted), and a send to a stopped mailbox
 /// (shutdown in progress) is dropped silently, like a connection reset
 /// during teardown.
+#[allow(clippy::too_many_arguments)]
 fn deliver(
-    senders: &[Sender<Envelope>],
+    sched: &Scheduler,
+    from_worker: Option<usize>,
     links: &LinkTable,
     stats: &RuntimeStats,
     from: NodeId,
@@ -79,9 +86,7 @@ fn deliver(
         } else {
             msg
         };
-        if let Some(tx) = senders.get(to.index()) {
-            let _ = tx.send(Envelope::Msg { from, msg });
-        }
+        sched.push(to, Envelope::Msg { from, msg }, from_worker);
         SendOutcome::Delivered
     } else {
         stats.count_send_drop();
@@ -89,13 +94,15 @@ fn deliver(
     }
 }
 
-/// The [`RuntimeCtx`] handed to protocol handlers on an actor thread.
+/// The [`RuntimeCtx`] handed to protocol handlers on a worker thread.
 struct ThreadCtx<'a> {
     id: NodeId,
     now: Time,
-    senders: &'a [Sender<Envelope>],
+    sched: &'a Scheduler,
+    worker: usize,
     links: &'a LinkTable,
     stats: &'a RuntimeStats,
+    /// The *worker's* wheel: deferred work is owner-tagged with `id`.
     wheel: &'a mut TimerWheel,
     rng: &'a mut StdRng,
     /// The handler's consumption mark for the delivery being processed
@@ -114,7 +121,8 @@ impl RuntimeCtx for ThreadCtx<'_> {
 
     fn send(&mut self, to: NodeId, msg: NetMsg) -> SendOutcome {
         deliver(
-            self.senders,
+            self.sched,
+            Some(self.worker),
             self.links,
             self.stats,
             self.id,
@@ -136,7 +144,7 @@ impl RuntimeCtx for ThreadCtx<'_> {
         } else if depart <= self.now {
             self.send(to, msg)
         } else {
-            self.wheel.push_send(depart, to, msg);
+            self.wheel.push_send(depart, self.id, to, msg);
             SendOutcome::Deferred
         }
     }
@@ -150,7 +158,7 @@ impl RuntimeCtx for ThreadCtx<'_> {
     }
 
     fn set_timer(&mut self, at: Time, kind: u64) {
-        self.wheel.push_timer(at.max(self.now), kind);
+        self.wheel.push_timer(at.max(self.now), self.id, kind);
     }
 
     fn reachable(&self, to: NodeId) -> bool {
@@ -162,72 +170,71 @@ impl RuntimeCtx for ThreadCtx<'_> {
     }
 }
 
-/// Everything an actor thread owns.
-struct ActorThread {
-    id: NodeId,
-    actor: Box<dyn DpcActor>,
-    rx: Receiver<Envelope>,
-    senders: Vec<Sender<Envelope>>,
+/// How one activation ended.
+enum Activation {
+    /// Mailbox drained (task went Idle under the mailbox lock).
+    Drained,
+    /// Batch budget hit with work possibly remaining.
+    Budget,
+    /// The task processed its Stop.
+    Stopped,
+}
+
+/// One pool worker: a run-queue consumer with its own timer wheel.
+struct Worker {
+    idx: usize,
+    sched: Arc<Scheduler>,
     links: Arc<LinkTable>,
     stats: Arc<RuntimeStats>,
     clock: MonotonicClock,
-    rng: StdRng,
     wheel: TimerWheel,
 }
 
-impl ActorThread {
-    /// Runs one handler with a fresh context at the current instant.
-    /// Returns the handler's consumption mark, if it set one.
-    fn dispatch(&mut self, f: impl FnOnce(&mut dyn DpcActor, &mut dyn RuntimeCtx)) -> Option<Time> {
-        let mut ctx = ThreadCtx {
-            id: self.id,
-            now: self.clock.now(),
-            senders: &self.senders,
-            links: &self.links,
-            stats: &self.stats,
-            wheel: &mut self.wheel,
-            rng: &mut self.rng,
-            consumed_at: None,
-        };
-        f(self.actor.as_mut(), &mut ctx);
-        ctx.consumed_at
-    }
-
-    /// Returns the credit of one consumed delivery from `from` and hands
-    /// the released queued message (if any) to this actor's own mailbox —
-    /// the same delivery path as a fresh send, so the delivery-time checks
-    /// still apply.
-    fn replenish(&mut self, from: NodeId) {
-        if let Some(msg) = self.links.consumed_release(from, self.id, self.clock.now()) {
-            if let Some(tx) = self.senders.get(self.id.index()) {
-                let _ = tx.send(Envelope::Msg { from, msg });
+impl Worker {
+    /// The worker main loop: fire due wheel entries, run one task
+    /// activation, repeat; park (bounded by the wheel's earliest deadline)
+    /// when no task is runnable.
+    fn run(mut self) {
+        loop {
+            self.fire_due();
+            if let Some(task) = self.sched.pop(self.idx) {
+                self.run_task(&task);
+                continue;
             }
+            if self.sched.exiting() {
+                break;
+            }
+            let timeout = self.wheel.next_due().map(|at| self.clock.until(at));
+            self.sched.park(timeout);
         }
     }
 
-    /// Fires every wheel entry due at `now`.
+    /// Fires every wheel entry due now, on behalf of its owning actor.
     fn fire_due(&mut self) {
         while let Some((_, due)) = self.wheel.pop_due(self.clock.now()) {
             match due {
-                Due::Timer(kind) => {
-                    // Crashed nodes fire no timers (the entry is consumed,
-                    // as in the simulator).
-                    if self.links.node_up(self.id) {
-                        self.dispatch(|a, ctx| a.on_timer(ctx, kind));
+                Due::Timer { owner, kind } => {
+                    // Crashed actors fire no timers (the entry is consumed,
+                    // as in the simulator); live ones get the timer
+                    // re-enqueued behind their pending mailbox work.
+                    if self.links.node_up(owner) {
+                        self.sched
+                            .push(owner, Envelope::Timer(kind), Some(self.idx));
                     } else {
                         self.stats.count_timer_suppressed();
                     }
                 }
-                Due::Send { to, msg } => {
+                Due::Send { owner, to, msg } => {
                     // The send-time check already passed when this entry was
                     // scheduled; a link that broke since loses the message
                     // in flight (delivery drop, as in the simulator).
-                    if self.links.reachable(self.id, to) {
+                    if self.links.reachable(owner, to) {
                         deliver(
-                            &self.senders,
+                            &self.sched,
+                            Some(self.idx),
                             &self.links,
                             &self.stats,
-                            self.id,
+                            owner,
                             to,
                             msg,
                             self.clock.now(),
@@ -236,72 +243,153 @@ impl ActorThread {
                         self.stats.count_delivery_drop();
                     }
                 }
-                Due::Replenish { from } => {
-                    // The modeled CPU finished a delivery: its credit
-                    // returns now.
-                    self.replenish(from);
+                Due::Replenish { owner, from } => {
+                    // The owner's modeled CPU finished a delivery: its
+                    // credit returns now.
+                    self.replenish(owner, from);
                 }
             }
         }
     }
 
-    /// The thread main loop.
-    fn run(mut self) {
-        self.dispatch(|a, ctx| a.on_start(ctx));
-        loop {
-            self.fire_due();
-            let park = match self.wheel.next_due() {
-                Some(at) => self.clock.until(at).min(MAX_PARK),
-                None => MAX_PARK,
-            };
-            match self.rx.recv_timeout(park) {
-                Ok(Envelope::Msg { from, msg }) => {
-                    let tracked = self.links.tracks(&msg);
-                    // Delivery-time reachability: a link (or endpoint) that
-                    // went down while the message was in flight loses it.
-                    if self.links.reachable(from, self.id) {
-                        self.stats.count_delivered();
-                        let mark = self.dispatch(|a, ctx| a.on_message(ctx, from, msg));
-                        if tracked {
-                            // Credit returns at the handler's consumption
-                            // mark (the modeled CPU completion), or right
-                            // away for infinitely fast consumers.
-                            match mark {
-                                Some(at) if at > self.clock.now() => {
-                                    self.wheel.push_replenish(at, from);
-                                }
-                                _ => self.replenish(from),
-                            }
-                        }
-                    } else {
-                        self.stats.count_delivery_drop();
-                        if tracked {
-                            // A tracked loss still returns its credit — a
-                            // broken link must not shrink the window.
-                            self.replenish(from);
-                        }
-                    }
+    /// Returns the credit of one consumed delivery from `from` and hands
+    /// the released queued message (if any) to `owner`'s own mailbox — the
+    /// same delivery path as a fresh send, so the delivery-time checks
+    /// still apply.
+    fn replenish(&mut self, owner: NodeId, from: NodeId) {
+        if let Some(msg) = self.links.consumed_release(from, owner, self.clock.now()) {
+            self.sched
+                .push(owner, Envelope::Msg { from, msg }, Some(self.idx));
+        }
+    }
+
+    /// Runs one activation of `task`, containing actor panics: a panicking
+    /// actor is marked stopped (its mailbox drops everything) and reported
+    /// at shutdown, without taking the worker — or the pool — down.
+    fn run_task(&mut self, task: &Arc<Task>) {
+        task.begin();
+        let started = std::time::Instant::now();
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.activate(task)));
+        self.sched.record_run(started.elapsed());
+        match outcome {
+            Ok(Activation::Drained) | Ok(Activation::Stopped) => {}
+            Ok(Activation::Budget) => {
+                if task.yield_back() {
+                    self.sched.enqueue(Arc::clone(task), Some(self.idx));
                 }
-                Ok(Envelope::Fault(fault)) => {
-                    self.dispatch(|a, ctx| a.on_fault(ctx, &fault));
+            }
+            Err(_) => {
+                if task.mark_stopped() {
+                    self.sched
+                        .note_crashed(format!("dpc-actor-{}", task.id.index()));
+                    self.sched.note_stopped();
                 }
-                Ok(Envelope::Stop) => break,
-                Err(RecvTimeoutError::Timeout) => {}
-                Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+    }
+
+    /// Drains up to [`ACTIVATION_BATCH`] envelopes from `task`'s mailbox.
+    fn activate(&mut self, task: &Arc<Task>) -> Activation {
+        let mut cell = relock(&task.cell);
+        if !cell.started {
+            cell.started = true;
+            self.dispatch(task.id, &mut cell, |a, ctx| a.on_start(ctx));
+        }
+        for _ in 0..ACTIVATION_BATCH {
+            match task.pop_envelope() {
+                None => return Activation::Drained,
+                Some(Envelope::Stop) => {
+                    if task.mark_stopped() {
+                        self.sched.note_stopped();
+                    }
+                    return Activation::Stopped;
+                }
+                Some(Envelope::Msg { from, msg }) => {
+                    self.process_msg(task.id, &mut cell, from, msg);
+                }
+                Some(Envelope::Fault(fault)) => {
+                    self.dispatch(task.id, &mut cell, |a, ctx| a.on_fault(ctx, &fault));
+                }
+                Some(Envelope::Timer(kind)) => {
+                    // Re-check liveness: a crash landing after the wheel
+                    // fired but before this envelope ran still suppresses
+                    // the callback.
+                    if self.links.node_up(task.id) {
+                        self.dispatch(task.id, &mut cell, |a, ctx| a.on_timer(ctx, kind));
+                    } else {
+                        self.stats.count_timer_suppressed();
+                    }
+                }
+            }
+        }
+        Activation::Budget
+    }
+
+    /// One message delivery, with the delivery-time checks and credit
+    /// accounting of the old per-actor loop.
+    fn process_msg(&mut self, id: NodeId, cell: &mut ActorCell, from: NodeId, msg: NetMsg) {
+        let tracked = self.links.tracks(&msg);
+        // Delivery-time reachability: a link (or endpoint) that went down
+        // while the message was in flight loses it.
+        if self.links.reachable(from, id) {
+            self.stats.count_delivered();
+            let mark = self.dispatch(id, cell, |a, ctx| a.on_message(ctx, from, msg));
+            if tracked {
+                // Credit returns at the handler's consumption mark (the
+                // modeled CPU completion), or right away for infinitely
+                // fast consumers.
+                match mark {
+                    Some(at) if at > self.clock.now() => {
+                        self.wheel.push_replenish(at, id, from);
+                    }
+                    _ => self.replenish(id, from),
+                }
+            }
+        } else {
+            self.stats.count_delivery_drop();
+            if tracked {
+                // A tracked loss still returns its credit — a broken link
+                // must not shrink the window.
+                self.replenish(id, from);
+            }
+        }
+    }
+
+    /// Runs one handler with a fresh context at the current instant.
+    /// Returns the handler's consumption mark, if it set one.
+    fn dispatch(
+        &mut self,
+        id: NodeId,
+        cell: &mut ActorCell,
+        f: impl FnOnce(&mut dyn DpcActor, &mut dyn RuntimeCtx),
+    ) -> Option<Time> {
+        let mut ctx = ThreadCtx {
+            id,
+            now: self.clock.now(),
+            sched: &self.sched,
+            worker: self.idx,
+            links: &self.links,
+            stats: &self.stats,
+            wheel: &mut self.wheel,
+            rng: &mut cell.rng,
+            consumed_at: None,
+        };
+        f(cell.actor.as_mut(), &mut ctx);
+        ctx.consumed_at
     }
 }
 
 /// The fault controller: replays the script against the link table and
 /// notifies affected actors, with the simulator's gating (a crashed node
-/// hears nothing except its own `NodeDown`).
+/// hears nothing except its own `NodeDown`). Sleeps on its stop channel
+/// between scripted instants — no polling.
 fn fault_controller(
     script: Vec<(Time, FaultEvent)>,
     clock: MonotonicClock,
     links: Arc<LinkTable>,
     stats: Arc<RuntimeStats>,
-    senders: Vec<Sender<Envelope>>,
+    sched: Arc<Scheduler>,
     stop: Receiver<()>,
 ) {
     for (at, fault) in script {
@@ -322,19 +410,17 @@ fn fault_controller(
             if !links.node_up(id) && !matches!(fault, FaultEvent::NodeDown(_)) {
                 continue;
             }
-            if let Some(tx) = senders.get(id.index()) {
-                let _ = tx.send(Envelope::Fault(fault.clone()));
-            }
+            sched.push(id, Envelope::Fault(fault.clone()), None);
         }
     }
 }
 
-/// A running thread engine: one OS thread per actor plus the fault
-/// controller. Dropping it (or calling [`ThreadRuntime::shutdown`]) stops
-/// every thread in order.
+/// A running thread engine: a fixed worker pool multiplexing every actor,
+/// plus the fault controller. Dropping it (or calling
+/// [`ThreadRuntime::shutdown`]) stops every thread in order.
 pub struct ThreadRuntime {
-    senders: Vec<Sender<Envelope>>,
-    handles: Vec<JoinHandle<()>>,
+    sched: Arc<Scheduler>,
+    workers: Vec<JoinHandle<()>>,
     fault_handle: Option<JoinHandle<()>>,
     fault_stop: Option<Sender<()>>,
     clock: MonotonicClock,
@@ -343,14 +429,28 @@ pub struct ThreadRuntime {
 }
 
 impl ThreadRuntime {
-    /// Spawns one thread per actor (`actors[i]` becomes `NodeId(i)`), plus
-    /// a controller thread replaying `script` (already sorted by time).
-    /// `partitions` declares key-sharded receivers: every data batch sent
-    /// to such a node is filtered to its shard on the wire. `flow_policy`
-    /// governs credit-based flow control on every link.
-    ///
-    /// Every actor's `on_start` runs on its own thread as soon as it
-    /// spawns; the clock starts just before the first spawn.
+    /// The pool size used when none is requested: the `BOREALIS_WORKERS`
+    /// environment variable if set, else the machine's available
+    /// parallelism clamped to `[2, 8]` (at least two so stealing is live
+    /// even on one core; at most eight — the scaling target's pool size).
+    pub fn default_workers() -> usize {
+        if let Some(n) = std::env::var("BOREALIS_WORKERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            if n > 0 {
+                return n;
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .clamp(2, 8)
+    }
+
+    /// Spawns the engine with the default pool size
+    /// ([`ThreadRuntime::default_workers`]); see
+    /// [`ThreadRuntime::spawn_pooled`].
     pub fn spawn(
         actors: Vec<Box<dyn DpcActor>>,
         script: Vec<(Time, FaultEvent)>,
@@ -358,64 +458,93 @@ impl ThreadRuntime {
         partitions: Vec<(NodeId, PartitionSpec)>,
         flow_policy: CreditPolicy,
     ) -> ThreadRuntime {
+        Self::spawn_pooled(
+            actors,
+            script,
+            seed,
+            partitions,
+            flow_policy,
+            Self::default_workers(),
+        )
+    }
+
+    /// Spawns a pool of `workers` threads multiplexing every actor
+    /// (`actors[i]` becomes `NodeId(i)`), plus a controller thread
+    /// replaying `script` (already sorted by time). `partitions` declares
+    /// key-sharded receivers: every data batch sent to such a node is
+    /// filtered to its shard on the wire. `flow_policy` governs
+    /// credit-based flow control on every link.
+    ///
+    /// Every actor starts Queued, so its `on_start` runs as soon as a
+    /// worker picks it up; the clock starts just before the pool spawns.
+    /// The OS-thread budget is exactly `workers + 1` spawned threads
+    /// (pool + fault controller), independent of the topology size.
+    pub fn spawn_pooled(
+        actors: Vec<Box<dyn DpcActor>>,
+        script: Vec<(Time, FaultEvent)>,
+        seed: u64,
+        partitions: Vec<(NodeId, PartitionSpec)>,
+        flow_policy: CreditPolicy,
+        workers: usize,
+    ) -> ThreadRuntime {
+        let workers = workers.max(1);
         let clock = MonotonicClock::start();
         let links = Arc::new(LinkTable::with_config(partitions, flow_policy));
         let stats = Arc::new(RuntimeStats::default());
         // Faults scripted at t=0 shape the initial connectivity: apply them
-        // before any actor thread starts, as the simulator does for faults
+        // before any worker starts, as the simulator does for faults
         // scheduled ahead of the Start events. (The controller re-applies
         // them idempotently and delivers the notifications.)
         for (at, fault) in script.iter().filter(|(at, _)| *at == Time::ZERO) {
             let _ = at;
             links.apply(fault, Time::ZERO);
         }
-        let n = actors.len();
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = channel();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        let mut handles = Vec::with_capacity(n);
-        for (i, (actor, rx)) in actors.into_iter().zip(receivers).enumerate() {
-            let at = ActorThread {
-                id: NodeId(i as u32),
-                actor,
-                rx,
-                senders: senders.clone(),
-                links: Arc::clone(&links),
-                stats: Arc::clone(&stats),
-                clock,
-                // Decorrelate per-actor streams from one shared seed.
-                rng: StdRng::seed_from_u64(
+        let tasks = actors
+            .into_iter()
+            .enumerate()
+            .map(|(i, actor)| {
+                // Decorrelate per-actor streams from one shared seed —
+                // identical to the per-thread engine's seeding, so runs
+                // stay comparable across pool sizes.
+                let rng = StdRng::seed_from_u64(
                     seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
                         .wrapping_add(i as u64),
-                ),
-                wheel: TimerWheel::new(),
-            };
-            handles.push(
+                );
+                (actor, rng)
+            })
+            .collect();
+        let sched = Arc::new(Scheduler::new(tasks, workers));
+        let handles = (0..workers)
+            .map(|idx| {
+                let worker = Worker {
+                    idx,
+                    sched: Arc::clone(&sched),
+                    links: Arc::clone(&links),
+                    stats: Arc::clone(&stats),
+                    clock,
+                    wheel: TimerWheel::new(),
+                };
                 std::thread::Builder::new()
-                    .name(format!("dpc-actor-{i}"))
-                    .spawn(move || at.run())
-                    .expect("spawn actor thread"),
-            );
-        }
+                    .name(format!("dpc-worker-{idx}"))
+                    .spawn(move || worker.run())
+                    .expect("spawn pool worker")
+            })
+            .collect();
         let (fault_stop, stop_rx) = channel();
         let fault_handle = {
             let links = Arc::clone(&links);
             let stats = Arc::clone(&stats);
-            let senders = senders.clone();
+            let sched = Arc::clone(&sched);
             Some(
                 std::thread::Builder::new()
                     .name("dpc-faults".into())
-                    .spawn(move || fault_controller(script, clock, links, stats, senders, stop_rx))
+                    .spawn(move || fault_controller(script, clock, links, stats, sched, stop_rx))
                     .expect("spawn fault controller"),
             )
         };
         ThreadRuntime {
-            senders,
-            handles,
+            sched,
+            workers: handles,
             fault_handle,
             fault_stop: Some(fault_stop),
             clock,
@@ -435,26 +564,46 @@ impl ThreadRuntime {
         &self.links
     }
 
+    /// Number of pool workers.
+    pub fn workers(&self) -> usize {
+        self.sched.workers()
+    }
+
+    /// OS threads this runtime spawned: the pool plus the fault
+    /// controller — `workers() + 1`, independent of how many actors run.
+    pub fn spawned_threads(&self) -> usize {
+        self.sched.workers() + 1
+    }
+
+    /// Point-in-time scheduler gauges (steals, queue depths, activation
+    /// run-time histogram).
+    pub fn sched_gauges(&self) -> SchedGauges {
+        self.sched.gauges()
+    }
+
     /// Message-loss statistics so far, including the transport's
-    /// flow-control gauges.
+    /// flow-control gauges and the pool's scheduler gauges.
     pub fn stats(&self) -> StatsSnapshot {
         let mut snap = self.stats.snapshot();
         snap.flow = self.links.flow_gauges();
+        snap.sched = self.sched.gauges();
         snap
     }
 
-    /// Lets the system run for `wall` — the actors make progress on their
-    /// own threads; this just blocks the caller.
+    /// Lets the system run for `wall` — the actors make progress on the
+    /// worker pool; this just blocks the caller.
     pub fn run_for(&self, wall: std::time::Duration) {
         std::thread::sleep(wall);
     }
 
     /// Stops every thread: the controller first (no further faults), then
-    /// each actor after it drains its mailbox. Returns final statistics.
+    /// each actor after it drains its mailbox (Stop is an ordinary
+    /// envelope, so everything queued before it is processed), then the
+    /// pool. Returns final statistics.
     ///
     /// # Panics
-    /// Panics if any actor thread panicked during the run — a protocol bug
-    /// must fail the run, not silently degrade it to a partial deployment.
+    /// Panics if any actor panicked during the run — a protocol bug must
+    /// fail the run, not silently degrade it to a partial deployment.
     pub fn shutdown(mut self) -> StatsSnapshot {
         let crashed = self.stop_threads();
         assert!(
@@ -463,10 +612,11 @@ impl ThreadRuntime {
         );
         let mut snap = self.stats.snapshot();
         snap.flow = self.links.flow_gauges();
+        snap.sched = self.sched.gauges();
         snap
     }
 
-    /// Stops and joins everything; returns the names of threads that
+    /// Stops and joins everything; returns the names of actors that
     /// panicked.
     fn stop_threads(&mut self) -> Vec<String> {
         if let Some(stop) = self.fault_stop.take() {
@@ -475,17 +625,15 @@ impl ThreadRuntime {
         if let Some(h) = self.fault_handle.take() {
             let _ = h.join();
         }
-        for tx in &self.senders {
-            let _ = tx.send(Envelope::Stop);
+        for task in &self.sched.tasks {
+            self.sched.push(task.id, Envelope::Stop, None);
         }
-        let mut crashed = Vec::new();
-        for h in self.handles.drain(..) {
-            let name = h.thread().name().unwrap_or("dpc-actor-?").to_string();
-            if h.join().is_err() {
-                crashed.push(name);
-            }
+        self.sched.wait_all_stopped();
+        self.sched.begin_exit();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
         }
-        crashed
+        self.sched.crashed()
     }
 }
 
@@ -592,6 +740,11 @@ mod tests {
         let stats = rt.shutdown();
         assert_eq!(stats.total_drops(), 0);
         assert!(stats.messages_delivered >= 2);
+        assert!(
+            stats.sched.activations() >= 2,
+            "activations must be accounted: {:?}",
+            stats.sched
+        );
     }
 
     #[test]
@@ -681,6 +834,90 @@ mod tests {
         assert!(
             stats.timers_suppressed >= 1 || stats.total_drops() >= 1,
             "the suppressed timer or dropped sends must be accounted: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn pool_stays_fixed_size_regardless_of_actor_count() {
+        // 200 actors on 3 workers: the engine spawns exactly workers + 1
+        // OS threads (pool + fault controller), and the batch budget keeps
+        // every mailbox moving.
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let actors: Vec<Box<dyn DpcActor>> = (0..200)
+            .map(|i| {
+                Box::new(Recorder {
+                    log: Arc::clone(&log),
+                    // A ring: each actor heartbeats its successor.
+                    peer: Some(NodeId(((i + 1) % 200) as u32)),
+                }) as Box<dyn DpcActor>
+            })
+            .collect();
+        let rt = ThreadRuntime::spawn_pooled(
+            actors,
+            Vec::new(),
+            3,
+            Vec::new(),
+            CreditPolicy::Unbounded,
+            3,
+        );
+        assert_eq!(rt.workers(), 3);
+        assert_eq!(rt.spawned_threads(), 4, "workers + fault controller");
+        assert!(
+            wait_until(
+                || log
+                    .lock()
+                    .unwrap()
+                    .iter()
+                    .filter(|e| e.1 == "hb-req")
+                    .count()
+                    >= 200,
+                5000
+            ),
+            "every ring member must deliver its heartbeat"
+        );
+        let stats = rt.shutdown();
+        assert_eq!(stats.total_drops(), 0);
+        assert!(stats.messages_delivered >= 200);
+        assert_eq!(stats.sched.workers, 3);
+        assert!(
+            stats.sched.activations() >= 200,
+            "every actor ran at least once: {:?}",
+            stats.sched
+        );
+    }
+
+    #[test]
+    fn actor_panic_is_contained_and_reported_at_shutdown() {
+        struct Bomb;
+        impl DpcActor for Bomb {
+            fn on_start(&mut self, _ctx: &mut dyn RuntimeCtx) {
+                panic!("boom");
+            }
+            fn on_message(&mut self, _ctx: &mut dyn RuntimeCtx, _from: NodeId, _msg: NetMsg) {}
+            fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, _kind: u64) {}
+        }
+        let log = Arc::new(Mutex::new(Vec::new()));
+        let survivor = Box::new(Recorder {
+            log: Arc::clone(&log),
+            peer: None,
+        });
+        let rt = ThreadRuntime::spawn_pooled(
+            vec![Box::new(Bomb), survivor],
+            Vec::new(),
+            1,
+            Vec::new(),
+            CreditPolicy::Unbounded,
+            2,
+        );
+        // The panic takes down only actor 0; the pool keeps running and
+        // shutdown reports the casualty.
+        rt.run_for(std::time::Duration::from_millis(50));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.shutdown()))
+            .expect_err("shutdown must surface the actor panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("dpc-actor-0"),
+            "panic report names the actor: {msg}"
         );
     }
 }

@@ -2,25 +2,31 @@
 //!
 //! The real-time execution engine for the DPC protocol: the same
 //! `ProcessingNode` / `DataSource` / `ClientProxy` actors that run under
-//! the deterministic simulator, driven on OS threads against the monotonic
-//! wall clock.
+//! the deterministic simulator, driven against the monotonic wall clock on
+//! a **fixed pool of worker threads**.
 //!
-//! * one thread per actor, mailboxes on `std::sync::mpsc` channels;
-//!   `NetMsg::Data` payloads are `Arc`-backed `TupleBatch` views, so
+//! * every actor is a schedulable task: per-worker run queues with work
+//!   stealing, a global injector for cross-worker wakeups, and an
+//!   Idle/Queued/Running state machine so a mailbox push schedules an idle
+//!   actor exactly once (see [`crate::scheduler`]) — thousands of actors
+//!   multiplex onto a handful of OS threads;
+//! * `NetMsg::Data` payloads are `Arc`-backed `TupleBatch` views, so
 //!   cross-thread fan-out moves reference counts, not tuples;
-//! * a per-actor [`TimerWheel`] drives protocol timers and the CPU cost
-//!   model's delayed departures with deadline-accurate parking;
+//! * a per-worker [`TimerWheel`] drives protocol timers and the CPU cost
+//!   model's delayed departures; its earliest deadline bounds the worker's
+//!   park, so idle workers burn no CPU;
 //! * a shared [`LinkTable`] (the simulator's fault model behind a lock)
 //!   plus a fault-controller thread replay scripted partitions, crashes,
 //!   and heals in wall-clock time;
 //! * [`deploy_threads`] launches a runtime-independent
 //!   [`SystemLayout`](borealis_dpc::SystemLayout) — the very object
 //!   `deploy_sim` consumes — so one deployment description serves both
-//!   runtimes.
+//!   runtimes; the layout's `workers` field (or `BOREALIS_WORKERS`) sizes
+//!   the pool.
 //!
 //! The protocol code itself lives in `borealis-dpc` and is runtime-unaware
 //! (see `borealis_dpc::runtime`); this crate only supplies the
-//! [`RuntimeCtx`](borealis_dpc::RuntimeCtx) implementation and the thread
+//! [`RuntimeCtx`](borealis_dpc::RuntimeCtx) implementation and the pool
 //! scaffolding.
 
 #![warn(missing_docs)]
@@ -28,6 +34,7 @@
 pub mod clock;
 pub mod engine;
 pub mod links;
+pub(crate) mod scheduler;
 pub mod wheel;
 
 pub use clock::MonotonicClock;
@@ -61,11 +68,12 @@ pub struct RunningThreads {
 
 impl RunningThreads {
     /// Lets the system run for `wall` (blocks the caller; the actors run on
-    /// their own threads), then refreshes the metrics hub's transport
-    /// gauges.
+    /// the worker pool), then refreshes the metrics hub's transport and
+    /// scheduler gauges.
     pub fn run_for(&self, wall: std::time::Duration) {
         self.runtime.run_for(wall);
         self.metrics.record_flow(self.runtime.links().flow_gauges());
+        self.metrics.record_sched(self.runtime.sched_gauges());
     }
 
     /// Queue-depth and stall-time gauges of the transport's credit ledger.
@@ -73,10 +81,17 @@ impl RunningThreads {
         self.runtime.links().flow_gauges()
     }
 
+    /// Worker-pool scheduler gauges (steals, run-queue depths, activation
+    /// run-time histogram).
+    pub fn sched_gauges(&self) -> borealis_types::SchedGauges {
+        self.runtime.sched_gauges()
+    }
+
     /// Stops every thread in order and returns message-loss statistics
-    /// (including the final transport gauges).
+    /// (including the final transport and scheduler gauges).
     pub fn shutdown(self) -> StatsSnapshot {
         self.metrics.record_flow(self.runtime.links().flow_gauges());
+        self.metrics.record_sched(self.runtime.sched_gauges());
         self.runtime.shutdown()
     }
 }
@@ -85,7 +100,10 @@ impl RunningThreads {
 /// wall-clock sibling of `SystemLayout::deploy_sim`.
 ///
 /// The scripted faults lowered by the layout replay at their scripted
-/// offsets from runtime start.
+/// offsets from runtime start. The pool size is the layout's `workers`
+/// field if set (`SystemBuilder::workers`), else the `BOREALIS_WORKERS`
+/// environment variable, else a machine-derived default
+/// ([`ThreadRuntime::default_workers`]).
 pub fn deploy_threads(layout: SystemLayout) -> RunningThreads {
     let metrics = layout.metrics.clone();
     let actors = layout
@@ -93,12 +111,16 @@ pub fn deploy_threads(layout: SystemLayout) -> RunningThreads {
         .into_iter()
         .map(|spec| spec.into_dpc_actor(&metrics))
         .collect();
-    let runtime = ThreadRuntime::spawn(
+    let workers = layout
+        .workers
+        .unwrap_or_else(ThreadRuntime::default_workers);
+    let runtime = ThreadRuntime::spawn_pooled(
         actors,
         layout.script,
         layout.seed,
         layout.partitions,
         layout.flow_policy,
+        workers,
     );
     RunningThreads {
         runtime,

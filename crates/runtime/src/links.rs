@@ -14,7 +14,7 @@
 use borealis_dpc::{NetMsg, Transport};
 use borealis_sim::{FaultEvent, FlowControl, Network, ShardMsg};
 use borealis_types::{
-    CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SendOutcome, Time,
+    CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SchedGauges, SendOutcome, Time,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -47,6 +47,9 @@ pub struct StatsSnapshot {
     /// Queue-depth and stall-time gauges of the credit ledger (zero under
     /// [`CreditPolicy::Unbounded`]).
     pub flow: FlowGauges,
+    /// Worker-pool scheduler gauges (steals, run-queue depths, activation
+    /// run-time histogram).
+    pub sched: SchedGauges,
 }
 
 impl StatsSnapshot {
@@ -83,6 +86,7 @@ impl RuntimeStats {
             timers_suppressed: self.timers_suppressed.load(Ordering::Relaxed),
             messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
             flow: FlowGauges::default(),
+            sched: SchedGauges::default(),
         }
     }
 }

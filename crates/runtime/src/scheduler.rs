@@ -1,0 +1,583 @@
+//! The work-stealing scheduling fabric of the pooled thread engine.
+//!
+//! Every actor is a [`Task`]: a mailbox plus its protocol state, runnable
+//! by any worker. The scheduler's contract is the *queued-exactly-once*
+//! state machine — a mailbox push transitions an Idle task to Queued and
+//! enqueues it on exactly one run queue; pushes to a Queued or Running
+//! task only append to the mailbox. A worker that drains a task's mailbox
+//! transitions it back to Idle under the mailbox lock, so no envelope can
+//! arrive between "queue observed empty" and "state set Idle" without
+//! re-queueing the task.
+//!
+//! Run queues come in two kinds:
+//!
+//! * one **local queue per worker** — pushes made *by* a worker land on
+//!   its own queue (locality); idle siblings steal from the back;
+//! * a **global injector** — pushes from non-worker threads (the fault
+//!   controller, shutdown) land here and any worker picks them up.
+//!
+//! Idle workers park on a token condvar ([`IdleLot`]): every push that
+//! makes a task runnable deposits a wake token (capped at the worker
+//! count), so a worker observing empty queues either consumes a pending
+//! token and rescans or sleeps until the next deposit — wakeups are never
+//! lost and idle workers burn no CPU. A worker with pending timer-wheel
+//! deadlines bounds its park by the earliest one.
+//!
+//! FIFO guarantees: one mailbox is one `VecDeque` behind one mutex, and a
+//! task is Running on at most one worker at a time, so per-sender delivery
+//! order is preserved no matter which workers run the task or how runs
+//! interleave with steals.
+
+use borealis_dpc::{DpcActor, NetMsg};
+use borealis_sim::FaultEvent;
+use borealis_types::{NodeId, SchedGauges};
+use rand::rngs::StdRng;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+/// One delivery into a task's mailbox.
+pub(crate) enum Envelope {
+    /// A protocol message from another actor.
+    Msg {
+        /// Sending actor.
+        from: NodeId,
+        /// The message.
+        msg: NetMsg,
+    },
+    /// A fault notification from the controller.
+    Fault(FaultEvent),
+    /// A timer that came due on a worker wheel (re-enqueued so it runs
+    /// with the task's other work, in mailbox order).
+    Timer(u64),
+    /// Orderly shutdown: process everything queued before this, then stop.
+    Stop,
+}
+
+/// Scheduling state of a task — the queued-exactly-once machine.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum RunState {
+    /// Mailbox empty, not on any run queue.
+    Idle,
+    /// On exactly one run queue (or in a worker's hand, pre-`begin`).
+    Queued,
+    /// A worker is draining the mailbox.
+    Running,
+}
+
+struct MailboxInner {
+    queue: VecDeque<Envelope>,
+    state: RunState,
+    /// Stop processed (or the actor panicked): further pushes are dropped
+    /// silently, like a connection reset during teardown.
+    stopped: bool,
+}
+
+/// The mutable protocol half of a task, locked by the running worker.
+/// The run-state machine makes the lock uncontended: a task is Running on
+/// at most one worker, and nothing else touches the actor.
+pub(crate) struct ActorCell {
+    pub(crate) actor: Box<dyn DpcActor>,
+    pub(crate) rng: StdRng,
+    pub(crate) started: bool,
+}
+
+/// One schedulable actor.
+pub(crate) struct Task {
+    pub(crate) id: NodeId,
+    mailbox: Mutex<MailboxInner>,
+    pub(crate) cell: Mutex<ActorCell>,
+}
+
+/// Locks tolerating poisoning: the state machine guarantees exclusive
+/// access, so a panic that poisoned a lock left no torn invariants the
+/// next holder could trip over (the task is marked stopped right after).
+pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Task {
+    fn new(id: NodeId, actor: Box<dyn DpcActor>, rng: StdRng) -> Task {
+        Task {
+            id,
+            mailbox: Mutex::new(MailboxInner {
+                queue: VecDeque::new(),
+                state: RunState::Idle,
+                stopped: false,
+            }),
+            cell: Mutex::new(ActorCell {
+                actor,
+                rng,
+                started: false,
+            }),
+        }
+    }
+
+    /// The dequeuing worker takes ownership: Queued → Running.
+    pub(crate) fn begin(&self) {
+        let mut mb = relock(&self.mailbox);
+        debug_assert_eq!(mb.state, RunState::Queued);
+        mb.state = RunState::Running;
+    }
+
+    /// Pops the next envelope while Running; `None` transitions the task
+    /// back to Idle (mailbox drained) under the same lock, closing the
+    /// push race.
+    pub(crate) fn pop_envelope(&self) -> Option<Envelope> {
+        let mut mb = relock(&self.mailbox);
+        match mb.queue.pop_front() {
+            Some(env) => Some(env),
+            None => {
+                mb.state = RunState::Idle;
+                None
+            }
+        }
+    }
+
+    /// Ends an activation that hit its batch budget: Running → Queued if
+    /// work remains (caller re-enqueues; returns `true`), else → Idle.
+    pub(crate) fn yield_back(&self) -> bool {
+        let mut mb = relock(&self.mailbox);
+        if mb.queue.is_empty() {
+            mb.state = RunState::Idle;
+            false
+        } else {
+            mb.state = RunState::Queued;
+            true
+        }
+    }
+
+    /// Marks the task stopped (Stop processed, or the actor panicked):
+    /// drops everything still queued and refuses future pushes. Returns
+    /// `false` if it was already stopped.
+    pub(crate) fn mark_stopped(&self) -> bool {
+        let mut mb = relock(&self.mailbox);
+        if mb.stopped {
+            return false;
+        }
+        mb.stopped = true;
+        mb.queue.clear();
+        mb.state = RunState::Idle;
+        true
+    }
+}
+
+/// The token-based parking lot: `unpark_one` deposits a wake token
+/// (capped at the worker count) and signals; a parking worker first
+/// consumes a pending token (then rescans the queues) and only sleeps
+/// when none is banked. The token closes the scan-then-sleep race — a
+/// push landing between a worker's empty scan and its sleep leaves a
+/// token the sleep consumes immediately.
+struct IdleLot {
+    tokens: Mutex<usize>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl IdleLot {
+    fn new(cap: usize) -> IdleLot {
+        IdleLot {
+            tokens: Mutex::new(0),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn unpark_one(&self) {
+        let mut t = relock(&self.tokens);
+        if *t < self.cap {
+            *t += 1;
+        }
+        drop(t);
+        self.cv.notify_one();
+    }
+
+    fn unpark_all(&self) {
+        let mut t = relock(&self.tokens);
+        *t = self.cap;
+        drop(t);
+        self.cv.notify_all();
+    }
+
+    /// Parks until a token is available or `timeout` elapses (indefinitely
+    /// with `None`). Consumes at most one token.
+    fn park(&self, timeout: Option<std::time::Duration>) {
+        let mut t = relock(&self.tokens);
+        if *t > 0 {
+            *t -= 1;
+            return;
+        }
+        match timeout {
+            Some(d) => {
+                let (mut t, _) = self
+                    .cv
+                    .wait_timeout(t, d)
+                    .unwrap_or_else(PoisonError::into_inner);
+                if *t > 0 {
+                    *t -= 1;
+                }
+            }
+            None => loop {
+                t = self.cv.wait(t).unwrap_or_else(PoisonError::into_inner);
+                if *t > 0 {
+                    *t -= 1;
+                    return;
+                }
+            },
+        }
+    }
+}
+
+/// Cumulative scheduler counters (atomics; relaxed — totals are exact
+/// only after shutdown, like [`RuntimeStats`](crate::links::RuntimeStats)).
+#[derive(Default)]
+struct SchedCounters {
+    local_polls: AtomicU64,
+    global_polls: AtomicU64,
+    steals: AtomicU64,
+    parks: AtomicU64,
+    local_peak: AtomicU64,
+    global_peak: AtomicU64,
+    run_hist: [AtomicU64; 5],
+}
+
+/// The shared scheduling fabric: every task, every run queue, the parking
+/// lot, and the shutdown rendezvous.
+pub(crate) struct Scheduler {
+    pub(crate) tasks: Vec<Arc<Task>>,
+    locals: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    injector: Mutex<VecDeque<Arc<Task>>>,
+    idle: IdleLot,
+    counters: SchedCounters,
+    /// Set once every task has stopped: workers exit their loops.
+    exiting: AtomicBool,
+    stopped: AtomicUsize,
+    exit_mx: Mutex<()>,
+    exit_cv: Condvar,
+    /// Worker names that panicked while running an actor.
+    crashed: Mutex<Vec<String>>,
+}
+
+impl Scheduler {
+    /// Builds the fabric and seeds every task onto the run queues
+    /// round-robin (state Queued), so each actor's `on_start` runs as soon
+    /// as a worker picks it up.
+    pub(crate) fn new(actors: Vec<(Box<dyn DpcActor>, StdRng)>, workers: usize) -> Scheduler {
+        let tasks: Vec<Arc<Task>> = actors
+            .into_iter()
+            .enumerate()
+            .map(|(i, (actor, rng))| Arc::new(Task::new(NodeId(i as u32), actor, rng)))
+            .collect();
+        let mut locals: Vec<VecDeque<Arc<Task>>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for (i, task) in tasks.iter().enumerate() {
+            relock(&task.mailbox).state = RunState::Queued;
+            locals[i % workers].push_back(Arc::clone(task));
+        }
+        Scheduler {
+            tasks,
+            locals: locals.into_iter().map(Mutex::new).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            idle: IdleLot::new(workers),
+            counters: SchedCounters::default(),
+            exiting: AtomicBool::new(false),
+            stopped: AtomicUsize::new(0),
+            exit_mx: Mutex::new(()),
+            exit_cv: Condvar::new(),
+            crashed: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.locals.len()
+    }
+
+    #[cfg(test)]
+    pub(crate) fn task(&self, id: NodeId) -> Option<&Arc<Task>> {
+        self.tasks.get(id.index())
+    }
+
+    /// Delivers `env` into `to`'s mailbox, transitioning an Idle task to
+    /// Queued exactly once. `from_worker` is the pushing worker's index
+    /// (its local queue takes the task); non-worker threads pass `None`
+    /// (the global injector takes it). Pushes to a stopped task are
+    /// dropped silently.
+    pub(crate) fn push(&self, to: NodeId, env: Envelope, from_worker: Option<usize>) {
+        let Some(task) = self.tasks.get(to.index()) else {
+            return;
+        };
+        let newly_queued = {
+            let mut mb = relock(&task.mailbox);
+            if mb.stopped {
+                return;
+            }
+            mb.queue.push_back(env);
+            if mb.state == RunState::Idle {
+                mb.state = RunState::Queued;
+                true
+            } else {
+                false
+            }
+        };
+        if newly_queued {
+            self.enqueue(Arc::clone(task), from_worker);
+            self.idle.unpark_one();
+        }
+    }
+
+    /// Puts an already-Queued task on a run queue (initial seeding is done
+    /// by [`Scheduler::new`]; batch-budget yields come through here too).
+    pub(crate) fn enqueue(&self, task: Arc<Task>, from_worker: Option<usize>) {
+        match from_worker {
+            Some(w) => {
+                let mut q = relock(&self.locals[w]);
+                q.push_back(task);
+                let depth = q.len() as u64;
+                drop(q);
+                self.counters.local_peak.fetch_max(depth, Ordering::Relaxed);
+            }
+            None => {
+                let mut q = relock(&self.injector);
+                q.push_back(task);
+                let depth = q.len() as u64;
+                drop(q);
+                self.counters
+                    .global_peak
+                    .fetch_max(depth, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Finds the next runnable task for worker `w`: own queue front, then
+    /// the global injector, then steal from a sibling's back.
+    pub(crate) fn pop(&self, w: usize) -> Option<Arc<Task>> {
+        if let Some(t) = relock(&self.locals[w]).pop_front() {
+            self.counters.local_polls.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
+        }
+        if let Some(t) = relock(&self.injector).pop_front() {
+            self.counters.global_polls.fetch_add(1, Ordering::Relaxed);
+            return Some(t);
+        }
+        let n = self.locals.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(t) = relock(&self.locals[victim]).pop_back() {
+                self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
+        }
+        None
+    }
+
+    /// Parks worker `w` until a wake token arrives or `timeout` elapses.
+    pub(crate) fn park(&self, timeout: Option<std::time::Duration>) {
+        self.counters.parks.fetch_add(1, Ordering::Relaxed);
+        self.idle.park(timeout);
+    }
+
+    /// Records one actor activation's run time in the histogram.
+    pub(crate) fn record_run(&self, elapsed: std::time::Duration) {
+        let bucket = SchedGauges::bucket_for(elapsed.as_micros() as u64);
+        self.counters.run_hist[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One task stopped for good (Stop processed or actor panicked). The
+    /// last one releases [`Scheduler::wait_all_stopped`].
+    pub(crate) fn note_stopped(&self) {
+        let stopped = self.stopped.fetch_add(1, Ordering::AcqRel) + 1;
+        if stopped >= self.tasks.len() {
+            let _g = relock(&self.exit_mx);
+            self.exit_cv.notify_all();
+        }
+    }
+
+    /// Records a worker panic while running an actor.
+    pub(crate) fn note_crashed(&self, task_name: String) {
+        relock(&self.crashed).push(task_name);
+    }
+
+    /// Names of actors that panicked so far.
+    pub(crate) fn crashed(&self) -> Vec<String> {
+        relock(&self.crashed).clone()
+    }
+
+    /// Blocks until every task has processed its Stop (or died).
+    pub(crate) fn wait_all_stopped(&self) {
+        let mut g = relock(&self.exit_mx);
+        while self.stopped.load(Ordering::Acquire) < self.tasks.len() {
+            g = self.exit_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Tells every worker to exit and wakes them all.
+    pub(crate) fn begin_exit(&self) {
+        self.exiting.store(true, Ordering::Release);
+        self.idle.unpark_all();
+    }
+
+    pub(crate) fn exiting(&self) -> bool {
+        self.exiting.load(Ordering::Acquire)
+    }
+
+    /// Point-in-time scheduler gauges (depths read under the queue locks;
+    /// a cold path).
+    pub(crate) fn gauges(&self) -> SchedGauges {
+        let c = &self.counters;
+        SchedGauges {
+            workers: self.locals.len() as u64,
+            local_polls: c.local_polls.load(Ordering::Relaxed),
+            global_polls: c.global_polls.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            parks: c.parks.load(Ordering::Relaxed),
+            local_depth: self.locals.iter().map(|q| relock(q).len() as u64).sum(),
+            local_peak: c.local_peak.load(Ordering::Relaxed),
+            global_depth: relock(&self.injector).len() as u64,
+            global_peak: c.global_peak.load(Ordering::Relaxed),
+            run_hist: [
+                c.run_hist[0].load(Ordering::Relaxed),
+                c.run_hist[1].load(Ordering::Relaxed),
+                c.run_hist[2].load(Ordering::Relaxed),
+                c.run_hist[3].load(Ordering::Relaxed),
+                c.run_hist[4].load(Ordering::Relaxed),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_dpc::RuntimeCtx;
+    use rand::SeedableRng;
+
+    struct Inert;
+    impl DpcActor for Inert {
+        fn on_message(&mut self, _ctx: &mut dyn RuntimeCtx, _from: NodeId, _msg: NetMsg) {}
+        fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, _kind: u64) {}
+    }
+
+    fn sched(n_actors: usize, workers: usize) -> Scheduler {
+        let actors = (0..n_actors)
+            .map(|i| {
+                (
+                    Box::new(Inert) as Box<dyn DpcActor>,
+                    StdRng::seed_from_u64(i as u64),
+                )
+            })
+            .collect();
+        Scheduler::new(actors, workers)
+    }
+
+    /// Drains the initial seeding so every task is Idle.
+    fn drain_initial(s: &Scheduler) {
+        for w in 0..s.workers() {
+            while let Some(t) = s.pop(w) {
+                t.begin();
+                while t.pop_envelope().is_some() {}
+            }
+        }
+    }
+
+    #[test]
+    fn push_queues_idle_task_exactly_once() {
+        let s = sched(2, 2);
+        drain_initial(&s);
+        s.push(NodeId(0), Envelope::Timer(1), None);
+        s.push(NodeId(0), Envelope::Timer(2), None);
+        // Two pushes, one enqueue: the second saw Queued.
+        let t = s.pop(0).expect("task queued");
+        assert!(s.pop(0).is_none(), "queued exactly once");
+        t.begin();
+        assert!(matches!(t.pop_envelope(), Some(Envelope::Timer(1))));
+        // Pushes while Running only append.
+        s.push(NodeId(0), Envelope::Timer(3), None);
+        assert!(s.pop(0).is_none(), "running task is not re-queued");
+        assert!(matches!(t.pop_envelope(), Some(Envelope::Timer(2))));
+        assert!(matches!(t.pop_envelope(), Some(Envelope::Timer(3))));
+        assert!(t.pop_envelope().is_none(), "drained back to Idle");
+        // Idle again: next push re-queues.
+        s.push(NodeId(0), Envelope::Timer(4), None);
+        assert!(s.pop(1).is_some(), "any worker can pick it up");
+    }
+
+    #[test]
+    fn steal_takes_from_sibling_back() {
+        let s = sched(4, 2);
+        // Initial seeding round-robins 0,2 → worker 0 and 1,3 → worker 1.
+        let t = s.pop(0).unwrap();
+        assert_eq!(t.id, NodeId(0));
+        assert_eq!(s.pop(1).unwrap().id, NodeId(1), "own queue first");
+        assert_eq!(s.pop(1).unwrap().id, NodeId(3));
+        // Worker 1's queue and the injector are empty: steal from 0's back.
+        let stolen = s.pop(1).unwrap();
+        assert_eq!(stolen.id, NodeId(2), "stolen from worker 0's queue");
+        assert!(s.gauges().steals >= 1);
+    }
+
+    #[test]
+    fn stopped_tasks_drop_pushes_silently() {
+        let s = sched(1, 1);
+        drain_initial(&s);
+        let t = Arc::clone(s.task(NodeId(0)).unwrap());
+        assert!(t.mark_stopped());
+        assert!(!t.mark_stopped(), "idempotent");
+        s.push(NodeId(0), Envelope::Timer(1), None);
+        assert!(s.pop(0).is_none(), "push to stopped task dropped");
+    }
+
+    #[test]
+    fn yield_back_requeues_only_with_work_left() {
+        let s = sched(1, 1);
+        drain_initial(&s);
+        s.push(NodeId(0), Envelope::Timer(1), Some(0));
+        let t = s.pop(0).unwrap();
+        t.begin();
+        // Arrives while Running: appends, no second enqueue.
+        s.push(NodeId(0), Envelope::Timer(2), Some(0));
+        assert!(s.pop(0).is_none(), "running task is not re-queued");
+        assert!(matches!(t.pop_envelope(), Some(Envelope::Timer(1))));
+        // Budget hit with work left: yield re-queues.
+        assert!(t.yield_back(), "work left: requeue");
+        s.enqueue(Arc::clone(&t), Some(0));
+        let t2 = s.pop(0).unwrap();
+        assert_eq!(t2.id, t.id);
+        t2.begin();
+        assert!(matches!(t2.pop_envelope(), Some(Envelope::Timer(2))));
+        assert!(!t2.yield_back(), "drained: idle");
+    }
+
+    #[test]
+    fn tokens_cover_the_scan_then_sleep_race() {
+        let lot = IdleLot::new(2);
+        // A push deposited a token before the worker parked: the park
+        // consumes it and returns immediately (no deadline needed).
+        lot.unpark_one();
+        lot.park(None);
+        // Tokens cap at the worker count.
+        lot.unpark_one();
+        lot.unpark_one();
+        lot.unpark_one();
+        lot.park(Some(std::time::Duration::ZERO));
+        lot.park(Some(std::time::Duration::ZERO));
+        // Third park finds no token and times out.
+        let start = std::time::Instant::now();
+        lot.park(Some(std::time::Duration::from_millis(10)));
+        assert!(start.elapsed() >= std::time::Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stop_rendezvous_releases_waiter() {
+        let s = Arc::new(sched(2, 1));
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || s2.wait_all_stopped());
+        for id in [NodeId(0), NodeId(1)] {
+            s.task(id).unwrap().mark_stopped();
+            s.note_stopped();
+        }
+        waiter.join().unwrap();
+        assert!(!s.exiting());
+        s.begin_exit();
+        assert!(s.exiting());
+    }
+}

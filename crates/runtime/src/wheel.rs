@@ -1,12 +1,20 @@
-//! The per-actor timer wheel: deadline-ordered deferred work against the
+//! The per-worker timer wheel: deadline-ordered deferred work against the
 //! monotonic clock.
 //!
-//! Each actor thread owns one wheel holding its pending [`RuntimeCtx`]
-//! timers *and* its delayed sends (`send_after`, the CPU cost model's
-//! "outputs leave when the work completes"). The actor loop pops due
-//! entries before each receive and sleeps at most until the next deadline,
-//! so timer precision is bounded by OS scheduling, not by a polling
-//! period.
+//! Under the pooled engine each **worker** (not each actor) owns one wheel
+//! holding owner-tagged entries for every actor it has recently run: their
+//! pending [`RuntimeCtx`] timers, their delayed sends (`send_after`, the
+//! CPU cost model's "outputs leave when the work completes"), and their
+//! credit replenishments. The worker fires due entries between actor
+//! activations and parks at most until its earliest deadline, so timer
+//! precision is bounded by scheduling granularity, not by a polling
+//! period — and an idle worker with an empty wheel parks indefinitely.
+//!
+//! An entry stays on the wheel of the worker that was running its owner
+//! when it was scheduled; if the owner migrates to another worker in the
+//! meantime the entry still fires on time (a due `Timer` is re-enqueued
+//! into the owner's mailbox; `Send`/`Replenish` are executed directly by
+//! the wheel-owning worker on the owner's behalf).
 //!
 //! [`RuntimeCtx`]: borealis_dpc::RuntimeCtx
 
@@ -15,22 +23,33 @@ use borealis_types::{NodeId, Time};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// What to do when an entry comes due.
+/// What to do when an entry comes due. Every variant carries the actor it
+/// belongs to (`owner`), since one wheel serves many actors.
 #[derive(Debug)]
 pub enum Due {
-    /// Fire `on_timer(kind)` on the owning actor.
-    Timer(u64),
-    /// Release a delayed send (departure instant reached).
+    /// Re-enqueue `on_timer(kind)` into `owner`'s mailbox (suppressed if
+    /// the owner is crashed, as in the simulator).
+    Timer {
+        /// The actor whose timer fires.
+        owner: NodeId,
+        /// Timer kind.
+        kind: u64,
+    },
+    /// Release a delayed send from `owner` (departure instant reached).
     Send {
+        /// The sending actor.
+        owner: NodeId,
         /// Destination actor.
         to: NodeId,
         /// The message.
         msg: NetMsg,
     },
-    /// The owning actor's modeled CPU finished consuming a delivery from
-    /// `from`: return the link credit (releasing the sender's next queued
+    /// `owner`'s modeled CPU finished consuming a delivery from `from`:
+    /// return the link credit (releasing the sender's next queued
     /// message, if any).
     Replenish {
+        /// The consuming actor.
+        owner: NodeId,
         /// The sender whose link credit returns.
         from: NodeId,
     },
@@ -62,7 +81,7 @@ impl Ord for Entry {
     }
 }
 
-/// Deadline-ordered pending work for one actor.
+/// Deadline-ordered pending work for one worker's actors.
 #[derive(Default)]
 pub struct TimerWheel {
     heap: BinaryHeap<Entry>,
@@ -75,20 +94,20 @@ impl TimerWheel {
         TimerWheel::default()
     }
 
-    /// Schedules `on_timer(kind)` at `at`.
-    pub fn push_timer(&mut self, at: Time, kind: u64) {
-        self.push(at, Due::Timer(kind));
+    /// Schedules `owner`'s `on_timer(kind)` at `at`.
+    pub fn push_timer(&mut self, at: Time, owner: NodeId, kind: u64) {
+        self.push(at, Due::Timer { owner, kind });
     }
 
-    /// Schedules a delayed send departing at `at`.
-    pub fn push_send(&mut self, at: Time, to: NodeId, msg: NetMsg) {
-        self.push(at, Due::Send { to, msg });
+    /// Schedules a delayed send from `owner` departing at `at`.
+    pub fn push_send(&mut self, at: Time, owner: NodeId, to: NodeId, msg: NetMsg) {
+        self.push(at, Due::Send { owner, to, msg });
     }
 
-    /// Schedules a credit return for a delivery from `from`, due when the
-    /// owning actor's modeled CPU finishes consuming it.
-    pub fn push_replenish(&mut self, at: Time, from: NodeId) {
-        self.push(at, Due::Replenish { from });
+    /// Schedules a credit return for `owner`'s delivery from `from`, due
+    /// when `owner`'s modeled CPU finishes consuming it.
+    pub fn push_replenish(&mut self, at: Time, owner: NodeId, from: NodeId) {
+        self.push(at, Due::Replenish { owner, from });
     }
 
     fn push(&mut self, at: Time, due: Due) {
@@ -97,7 +116,8 @@ impl TimerWheel {
         self.heap.push(Entry { at, seq, due });
     }
 
-    /// Deadline of the next entry, if any.
+    /// Deadline of the next entry, if any (bounds the owning worker's
+    /// park).
     pub fn next_due(&self) -> Option<Time> {
         self.heap.peek().map(|e| e.at)
     }
@@ -130,31 +150,48 @@ mod tests {
     #[test]
     fn pops_in_deadline_then_insertion_order() {
         let mut w = TimerWheel::new();
-        w.push_timer(Time::from_millis(20), 2);
-        w.push_timer(Time::from_millis(10), 1);
-        w.push_timer(Time::from_millis(10), 3);
+        let me = NodeId(0);
+        w.push_timer(Time::from_millis(20), me, 2);
+        w.push_timer(Time::from_millis(10), me, 1);
+        w.push_timer(Time::from_millis(10), NodeId(7), 3);
         assert_eq!(w.next_due(), Some(Time::from_millis(10)));
         assert!(w.pop_due(Time::from_millis(5)).is_none(), "nothing due yet");
-        let kinds: Vec<u64> = std::iter::from_fn(|| w.pop_due(Time::from_millis(30)))
+        let fired: Vec<(u32, u64)> = std::iter::from_fn(|| w.pop_due(Time::from_millis(30)))
             .map(|(_, d)| match d {
-                Due::Timer(k) => k,
+                Due::Timer { owner, kind } => (owner.0, kind),
                 Due::Send { .. } | Due::Replenish { .. } => unreachable!(),
             })
             .collect();
-        assert_eq!(kinds, vec![1, 3, 2], "deadline order, ties by insertion");
+        assert_eq!(
+            fired,
+            vec![(0, 1), (7, 3), (0, 2)],
+            "deadline order across owners, ties by insertion"
+        );
         assert!(w.is_empty());
     }
 
     #[test]
     fn sends_and_timers_interleave() {
         let mut w = TimerWheel::new();
-        w.push_send(Time::from_millis(5), NodeId(1), NetMsg::HeartbeatReq);
-        w.push_timer(Time::from_millis(3), 9);
+        w.push_send(
+            Time::from_millis(5),
+            NodeId(0),
+            NodeId(1),
+            NetMsg::HeartbeatReq,
+        );
+        w.push_timer(Time::from_millis(3), NodeId(0), 9);
         assert_eq!(w.len(), 2);
         let (at, first) = w.pop_due(Time::from_millis(10)).unwrap();
         assert_eq!(at, Time::from_millis(3));
-        assert!(matches!(first, Due::Timer(9)));
+        assert!(matches!(first, Due::Timer { kind: 9, .. }));
         let (_, second) = w.pop_due(Time::from_millis(10)).unwrap();
-        assert!(matches!(second, Due::Send { to: NodeId(1), .. }));
+        assert!(matches!(
+            second,
+            Due::Send {
+                owner: NodeId(0),
+                to: NodeId(1),
+                ..
+            }
+        ));
     }
 }

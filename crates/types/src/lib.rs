@@ -17,6 +17,7 @@ pub mod batch;
 pub mod expr;
 pub mod flow;
 pub mod ids;
+pub mod sched;
 pub mod shard;
 pub mod time;
 pub mod tuple;
@@ -26,6 +27,7 @@ pub use batch::{BatchLog, TupleBatch};
 pub use expr::{BinOp, EvalError, Expr};
 pub use flow::{BufferPolicy, CreditPolicy, FlowGauges, SendOutcome};
 pub use ids::{FragmentId, NodeId, OpId, StreamId};
+pub use sched::SchedGauges;
 pub use shard::PartitionSpec;
 pub use time::{Duration, Time};
 pub use tuple::{ControlSignal, Tuple, TupleId, TupleKind};

@@ -3,7 +3,8 @@
 //! client) served by the multi-threaded wall-clock runtime — one OS thread
 //! per source, shard replica, and client.
 //!
-//! Run with: `cargo run --release --example realtime_pipeline [clean|overload]`
+//! Run with:
+//! `cargo run --release --example realtime_pipeline [clean|overload|scale]`
 //!
 //! **clean** — the K = 1/2/4 shard sweep at fixed offered load, plus the
 //! K = 4 run with a scripted mid-run crash of one shard replica (the
@@ -18,13 +19,22 @@
 //! shows the buffering growing without bound instead. A bounded-window run
 //! at the reference configuration guards the clean-path throughput.
 //!
-//! With no argument both sections run.
+//! **scale** — the worker-pool scheduler sweep (`BENCH_PR6.json`): a
+//! fragments × workers grid up to 1040 fragments (16 chains × K=64) on an
+//! 8-thread pool, a mid-run shard-replica crash at that scale, an OS
+//! thread-count ceiling check (`workers + 2`), and a dedicated-thread
+//! parity run at the reference configuration.
+//!
+//! With no argument all sections run.
 //!
 //! Knobs: `REALTIME_RATE` (tuples/s per source, default 4000),
 //! `REALTIME_WALL_SECS` (seconds per run, default 4).
 
 use borealis::prelude::*;
-use borealis_workloads::{sharded_chain_builder, ShardedChainOptions};
+use borealis_workloads::{
+    scale_grid_actors, scale_grid_builder, scale_grid_fragments, sharded_chain_builder,
+    ScaleOptions, ShardedChainOptions,
+};
 
 struct RunResult {
     shards: u32,
@@ -309,6 +319,196 @@ fn overload_section(per_source_rate: f64, wall_secs: f64) {
     println!("credit flow control held the reference path: <15% throughput delta, added delay {added} ≤ budget.");
 }
 
+/// OS threads of this process right now, from `/proc/self/status`
+/// (`None` where procfs is unavailable).
+fn os_threads() -> Option<usize> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+}
+
+struct ScaleResult {
+    stable: u64,
+    tentative: u64,
+    dup: u64,
+    drops: u64,
+    threads: Option<usize>,
+    sched: SchedGauges,
+    elapsed: f64,
+}
+
+fn run_scale(o: &ScaleOptions, workers: usize, wall_secs: f64, crash: bool) -> ScaleResult {
+    let (mut builder, outs) = scale_grid_builder(o);
+    builder = builder.workers(workers);
+    if crash {
+        // Kill replica 0 of chain 1's work-stage shard 1 (logical fragment
+        // 2) at t=1.5s, permanently: failover at scale, contained to one
+        // chain out of thousands of fragments.
+        builder = builder.fault(FaultSpec::CrashReplica {
+            frag: 2,
+            shard: 1,
+            replica: 0,
+            from: Time::from_millis(1500),
+            to: None,
+        });
+    }
+    let sys = deploy_threads(builder.layout());
+    let started = std::time::Instant::now();
+    sys.run_for(std::time::Duration::from_secs_f64(wall_secs));
+    let elapsed = started.elapsed().as_secs_f64();
+    let threads = os_threads();
+    let sched = sys.sched_gauges();
+    let (mut stable, mut tentative, mut dup) = (0u64, 0u64, 0u64);
+    for out in &outs {
+        sys.metrics.with(*out, |m| {
+            stable += m.n_stable;
+            tentative += m.n_tentative;
+            dup += m.dup_stable;
+        });
+    }
+    let drops = sys.shutdown();
+    ScaleResult {
+        stable,
+        tentative,
+        dup,
+        drops: drops.total_drops(),
+        threads,
+        sched,
+        elapsed,
+    }
+}
+
+/// The worker-pool scaling sweep: a fragments × workers grid up to the
+/// 1040-fragment / K=64 / 8-worker point, plus a mid-run shard-replica
+/// crash at scale, all on a fixed pool of OS threads.
+fn scale_section(per_source_rate: f64, wall_secs: f64) {
+    println!(
+        "\nscale sweep: chains × (K+1) fragments multiplexed onto a fixed worker pool, \
+         {wall_secs:.0}s per run\n"
+    );
+    println!(
+        "  chains |  K | fragments | actors | workers | threads | stable/s | steals | parks | dup"
+    );
+    println!(
+        "  -------+----+-----------+--------+---------+---------+----------+--------+-------+----"
+    );
+    // Per-chain rate shrinks as the grid grows: the point is actor count,
+    // not offered load — thousands of mostly-idle fragments must cost
+    // (nearly) nothing.
+    let grid = [
+        (4u32, 4u32, 2usize, 200.0),
+        (8, 16, 4, 100.0),
+        (16, 64, 8, 25.0),
+    ];
+    let mut steals_total = 0u64;
+    for (chains, shards, workers, rate) in grid {
+        let o = ScaleOptions {
+            chains,
+            shards,
+            rate_per_chain: rate,
+            ..Default::default()
+        };
+        let fragments = scale_grid_fragments(&o);
+        let actors = scale_grid_actors(&o);
+        let r = run_scale(&o, workers, wall_secs, false);
+        println!(
+            "  {:>6} | {:>2} | {:>9} | {:>6} | {:>7} | {:>7} | {:>8.0} | {:>6} | {:>5} | {:>3}",
+            chains,
+            shards,
+            fragments,
+            actors,
+            workers,
+            r.threads.map_or_else(|| "?".into(), |t| t.to_string()),
+            r.stable as f64 / r.elapsed,
+            r.sched.steals,
+            r.sched.parks,
+            r.dup
+        );
+        assert_eq!(r.dup, 0, "{chains}x{shards}: no duplicate stable tuples");
+        assert_eq!(r.drops, 0, "{chains}x{shards}: healthy runs lose nothing");
+        assert!(
+            r.stable > chains as u64 * 20,
+            "{chains}x{shards}: every chain's output must flow ({} stable)",
+            r.stable
+        );
+        // The pool must stay fixed-size no matter how many actors exist:
+        // `workers` pool threads + the fault controller + the main thread.
+        if let Some(t) = r.threads {
+            assert!(
+                t <= workers + 2,
+                "{actors} actors may never exceed workers+2 OS threads (got {t})"
+            );
+        }
+        assert!(
+            r.sched.parks > 0,
+            "idle workers must park, not spin: {:?}",
+            r.sched
+        );
+        steals_total += r.sched.steals;
+    }
+    assert!(
+        steals_total > 0,
+        "imbalanced queues must trigger work stealing somewhere in the sweep"
+    );
+    println!(
+        "\n1040 fragments ran on 8 pool threads (+ fault controller); idle actors cost \
+         parks, not spins."
+    );
+
+    // --- Mid-run shard-replica crash at the 1040-fragment point ---------
+    let o = ScaleOptions {
+        chains: 16,
+        shards: 64,
+        rate_per_chain: 25.0,
+        ..Default::default()
+    };
+    let c = run_scale(&o, 8, wall_secs + 2.0, true);
+    println!(
+        "crash at scale (1040 fragments, shard replica killed at t=1.5s): \
+         {} stable, {} tentative, {} dup, {} drops",
+        c.stable, c.tentative, c.dup, c.drops
+    );
+    assert_eq!(c.dup, 0, "failover at scale must not duplicate");
+    assert!(
+        c.drops > 0,
+        "the scripted crash must actually sever traffic"
+    );
+    assert!(
+        c.stable > 16 * 20,
+        "stable output must keep flowing through the failure ({} stable)",
+        c.stable
+    );
+    println!("failover at 1040 fragments stayed duplicate-free on the fixed pool.");
+
+    // --- Dedicated-thread parity at today's scale -----------------------
+    // BENCH_PR5 recorded 29249 stable/s for the K=4 reference config on
+    // the dedicated-thread engine (REALTIME_RATE=10000, wall 8s). The
+    // pooled engine must hold that within 10% at the same config.
+    let r = run_once(
+        4,
+        per_source_rate,
+        wall_secs,
+        false,
+        CreditPolicy::Unbounded,
+    );
+    println!(
+        "\nreference config under the pool (K=4, {:.0}/s offered): {:.0} stable tuples/s",
+        per_source_rate * 3.0,
+        r.throughput
+    );
+    if per_source_rate >= 10_000.0 && wall_secs >= 8.0 {
+        assert!(
+            r.throughput >= 29_249.0 * 0.90,
+            "the pooled scheduler must stay within 10% of the dedicated-thread \
+             reference (29249 stable/s): got {:.0}",
+            r.throughput
+        );
+        println!("pooled engine holds the dedicated-thread reference within 10%.");
+    }
+}
+
 fn main() {
     let mode = std::env::args().nth(1).unwrap_or_default();
     let per_source_rate: f64 = std::env::var("REALTIME_RATE")
@@ -323,9 +523,11 @@ fn main() {
     match mode.as_str() {
         "clean" => clean_section(per_source_rate, wall_secs),
         "overload" => overload_section(per_source_rate, wall_secs),
+        "scale" => scale_section(per_source_rate, wall_secs),
         _ => {
             clean_section(per_source_rate, wall_secs);
             overload_section(per_source_rate, wall_secs);
+            scale_section(per_source_rate, wall_secs);
         }
     }
 }

@@ -106,8 +106,8 @@ pub mod prelude {
     pub use borealis_ops::{AggFn, AggregateSpec, DelayMode, SJoinSpec, SUnionConfig};
     pub use borealis_runtime::{deploy_threads, RunningThreads, ThreadRuntime};
     pub use borealis_types::{
-        CreditPolicy, Duration, Expr, FlowGauges, FragmentId, NodeId, PartitionSpec, SendOutcome,
-        StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind, Value,
+        CreditPolicy, Duration, Expr, FlowGauges, FragmentId, NodeId, PartitionSpec, SchedGauges,
+        SendOutcome, StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind, Value,
     };
 }
 

@@ -464,3 +464,74 @@ fn healthy_chain_stable_stream_identical_across_runtimes() {
     );
     assert_eq!(sim_stable[..common], thr_stable[..common]);
 }
+
+/// Worker-count invariance: the sharded chain with a mid-run shard-replica
+/// crash, deployed on pools of 1, 2, and 8 workers, must deliver the same
+/// stable output stream as the single-threaded deterministic simulator —
+/// over the common prefix, tuple for tuple. Pool sizing and steal
+/// interleavings are scheduling details; the stable stream is a function of
+/// the deployment description alone.
+#[test]
+fn stable_stream_invariant_across_worker_counts() {
+    let o = ShardedChainOptions {
+        shards: 2,
+        total_rate: 300.0,
+        per_node_delay: Duration::from_millis(500),
+        work_cost: Duration::from_micros(10),
+        light_cost: Duration::from_micros(5),
+        seed: 55,
+        ..Default::default()
+    };
+    let crash = FaultSpec::CrashReplica {
+        frag: 1,
+        shard: 1,
+        replica: 0,
+        from: Time::from_millis(1500),
+        to: None,
+    };
+
+    // Single-threaded simulator reference.
+    let (builder, out) = sharded_chain_builder(&o);
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let mut sim_sys = builder.metrics(metrics).fault(crash.clone()).build();
+    sim_sys.run_until(Time::from_secs(6));
+    let sim_stable = sim_sys
+        .metrics
+        .with(out, |m| stable_stream(m.trace.as_ref().expect("trace")));
+
+    for workers in [1usize, 2, 8] {
+        let (builder, _) = sharded_chain_builder(&o);
+        let metrics = MetricsHub::new();
+        metrics.enable_trace(out);
+        let layout = builder
+            .metrics(metrics)
+            .fault(crash.clone())
+            .workers(workers)
+            .layout();
+        assert_eq!(layout.workers, Some(workers));
+        let threads = deploy_threads(layout);
+        threads.run_for(std::time::Duration::from_millis(4000));
+        let (thr_stable, thr_dups) = threads.metrics.with(out, |m| {
+            (
+                stable_stream(m.trace.as_ref().expect("trace")),
+                m.dup_stable,
+            )
+        });
+        threads.shutdown();
+
+        assert_eq!(thr_dups, 0, "workers={workers}: duplicate stable tuples");
+        let common = sim_stable.len().min(thr_stable.len());
+        assert!(
+            common >= 250,
+            "workers={workers}: sim={} threads={}",
+            sim_stable.len(),
+            thr_stable.len()
+        );
+        assert_eq!(
+            sim_stable[..common],
+            thr_stable[..common],
+            "workers={workers}: stable stream diverged from the simulator"
+        );
+    }
+}

@@ -33,6 +33,7 @@
 
 pub mod buffers;
 pub mod client;
+pub mod codec;
 pub mod metrics;
 pub mod msg;
 pub mod node;
@@ -44,6 +45,7 @@ pub mod upstream;
 
 pub use buffers::{BufferPolicy, OutputBuffer};
 pub use client::{ClientProxy, ClientStream, ClientTuning};
+pub use codec::{decode_frame, decode_payload, encode_frame, WireMsg};
 pub use metrics::{MetricsHub, StreamMetrics, StreamRecorder, TraceEntry};
 pub use msg::{NetMsg, NodeState};
 pub use node::{NodeConfig, NodeTuning, ProcessingNode, UpstreamSpec};

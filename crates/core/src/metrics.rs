@@ -203,6 +203,9 @@ pub struct MetricsHub {
     /// Latest worker-pool scheduler gauges (steals, queue depths,
     /// activation run-time histogram), recorded by the thread runtime.
     sched: Arc<Mutex<borealis_types::SchedGauges>>,
+    /// Latest socket-transport wire gauges (bytes, frames per flush,
+    /// credit grants), recorded by multi-process deployments.
+    wire: Arc<Mutex<borealis_types::WireGauges>>,
 }
 
 impl MetricsHub {
@@ -303,6 +306,17 @@ impl MetricsHub {
     /// The most recently recorded scheduler gauges.
     pub fn sched_gauges(&self) -> borealis_types::SchedGauges {
         *self.sched.lock().expect("sched gauges lock")
+    }
+
+    /// Records the socket transport's wire gauges (multi-process
+    /// deployments call this next to [`MetricsHub::record_flow`]).
+    pub fn record_wire(&self, gauges: borealis_types::WireGauges) {
+        *self.wire.lock().expect("wire gauges lock") = gauges;
+    }
+
+    /// The most recently recorded wire gauges.
+    pub fn wire_gauges(&self) -> borealis_types::WireGauges {
+        *self.wire.lock().expect("wire gauges lock")
     }
 }
 

@@ -32,6 +32,7 @@
 use crate::clock::MonotonicClock;
 use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
 use crate::scheduler::{relock, ActorCell, Envelope, Scheduler, Task};
+use crate::tcp::TcpFabric;
 use crate::wheel::{Due, TimerWheel};
 use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
 use borealis_sim::{FaultEvent, ShardMsg};
@@ -55,12 +56,19 @@ const ACTIVATION_BATCH: usize = 32;
 /// when the window is exhausted), and a send to a stopped mailbox
 /// (shutdown in progress) is dropped silently, like a connection reset
 /// during teardown.
+///
+/// With a socket `fabric`, a remote destination changes only the last
+/// hop: admission still debits the **local** ledger (it is the wire
+/// credit window — see [`crate::tcp`]), a queued outcome additionally
+/// reports the stall to the remote receiver, and the admitted message is
+/// encoded onto the connection instead of pushed into a mailbox.
 #[allow(clippy::too_many_arguments)]
 fn deliver(
     sched: &Scheduler,
     from_worker: Option<usize>,
     links: &LinkTable,
     stats: &RuntimeStats,
+    fabric: Option<&TcpFabric>,
     from: NodeId,
     to: NodeId,
     msg: NetMsg,
@@ -81,13 +89,34 @@ fn deliver(
         let msg = if links.tracks(&msg) {
             match links.admit(from, to, msg, now) {
                 Some(m) => m,
-                None => return SendOutcome::Queued,
+                None => {
+                    if let Some(f) = fabric {
+                        if f.is_remote(to) {
+                            f.note_queued(from, to, links.stalled_for(from, to, now));
+                        }
+                    }
+                    return SendOutcome::Queued;
+                }
             }
         } else {
             msg
         };
-        sched.push(to, Envelope::Msg { from, msg }, from_worker);
-        SendOutcome::Delivered
+        match fabric {
+            Some(f) if f.is_remote(to) => {
+                if f.send_net(from, to, msg) {
+                    SendOutcome::Delivered
+                } else {
+                    // The connection died between the reachability check
+                    // and the enqueue: the frame is lost in flight.
+                    stats.count_send_drop();
+                    SendOutcome::DroppedFault
+                }
+            }
+            _ => {
+                sched.push(to, Envelope::Msg { from, msg }, from_worker);
+                SendOutcome::Delivered
+            }
+        }
     } else {
         stats.count_send_drop();
         SendOutcome::DroppedFault
@@ -102,6 +131,7 @@ struct ThreadCtx<'a> {
     worker: usize,
     links: &'a LinkTable,
     stats: &'a RuntimeStats,
+    fabric: Option<&'a TcpFabric>,
     /// The *worker's* wheel: deferred work is owner-tagged with `id`.
     wheel: &'a mut TimerWheel,
     rng: &'a mut StdRng,
@@ -125,6 +155,7 @@ impl RuntimeCtx for ThreadCtx<'_> {
             Some(self.worker),
             self.links,
             self.stats,
+            self.fabric,
             self.id,
             to,
             msg,
@@ -154,6 +185,13 @@ impl RuntimeCtx for ThreadCtx<'_> {
     }
 
     fn inbound_stall(&self, from: NodeId) -> Duration {
+        // A remote sender's ledger lives in its own process: use the
+        // stall it reported over the wire instead of the local ledger.
+        if let Some(f) = self.fabric {
+            if f.is_remote(from) {
+                return f.remote_stalled_for(from, self.id);
+            }
+        }
         self.links.stalled_for(from, self.id, self.now)
     }
 
@@ -186,6 +224,7 @@ struct Worker {
     sched: Arc<Scheduler>,
     links: Arc<LinkTable>,
     stats: Arc<RuntimeStats>,
+    fabric: Option<Arc<TcpFabric>>,
     clock: MonotonicClock,
     wheel: TimerWheel,
 }
@@ -234,6 +273,7 @@ impl Worker {
                             Some(self.idx),
                             &self.links,
                             &self.stats,
+                            self.fabric.as_deref(),
                             owner,
                             to,
                             msg,
@@ -255,8 +295,15 @@ impl Worker {
     /// Returns the credit of one consumed delivery from `from` and hands
     /// the released queued message (if any) to `owner`'s own mailbox — the
     /// same delivery path as a fresh send, so the delivery-time checks
-    /// still apply.
+    /// still apply. A *remote* sender's ledger lives in its process: the
+    /// credit travels back as a `CreditGrant` frame instead.
     fn replenish(&mut self, owner: NodeId, from: NodeId) {
+        if let Some(f) = &self.fabric {
+            if f.is_remote(from) {
+                f.send_grant(from, owner);
+                return;
+            }
+        }
         if let Some(msg) = self.links.consumed_release(from, owner, self.clock.now()) {
             self.sched
                 .push(owner, Envelope::Msg { from, msg }, Some(self.idx));
@@ -371,6 +418,7 @@ impl Worker {
             worker: self.idx,
             links: &self.links,
             stats: &self.stats,
+            fabric: self.fabric.as_deref(),
             wheel: &mut self.wheel,
             rng: &mut cell.rng,
             consumed_at: None,
@@ -487,6 +535,23 @@ impl ThreadRuntime {
         flow_policy: CreditPolicy,
         workers: usize,
     ) -> ThreadRuntime {
+        Self::spawn_with_fabric(actors, script, seed, partitions, flow_policy, workers, None)
+    }
+
+    /// [`ThreadRuntime::spawn_pooled`] plus an optional socket fabric
+    /// ([`crate::tcp::TcpFabric`]): sends to actors the fabric plans in
+    /// another process travel the wire, and the fabric's per-connection
+    /// reader threads feed incoming frames into local mailboxes.
+    #[allow(clippy::too_many_arguments)]
+    pub fn spawn_with_fabric(
+        actors: Vec<Box<dyn DpcActor>>,
+        script: Vec<(Time, FaultEvent)>,
+        seed: u64,
+        partitions: Vec<(NodeId, PartitionSpec)>,
+        flow_policy: CreditPolicy,
+        workers: usize,
+        fabric: Option<Arc<TcpFabric>>,
+    ) -> ThreadRuntime {
         let workers = workers.max(1);
         let clock = MonotonicClock::start();
         let links = Arc::new(LinkTable::with_config(partitions, flow_policy));
@@ -514,6 +579,14 @@ impl ThreadRuntime {
             })
             .collect();
         let sched = Arc::new(Scheduler::new(tasks, workers));
+        if let Some(f) = &fabric {
+            f.start_io(
+                Arc::clone(&sched),
+                Arc::clone(&links),
+                Arc::clone(&stats),
+                clock,
+            );
+        }
         let handles = (0..workers)
             .map(|idx| {
                 let worker = Worker {
@@ -521,6 +594,7 @@ impl ThreadRuntime {
                     sched: Arc::clone(&sched),
                     links: Arc::clone(&links),
                     stats: Arc::clone(&stats),
+                    fabric: fabric.clone(),
                     clock,
                     wheel: TimerWheel::new(),
                 };
@@ -567,6 +641,12 @@ impl ThreadRuntime {
     /// Number of pool workers.
     pub fn workers(&self) -> usize {
         self.sched.workers()
+    }
+
+    /// Stops one task (used by the socket deployment to retire the inert
+    /// stubs standing in for remote actors).
+    pub(crate) fn stop_task(&self, id: NodeId) {
+        self.sched.push(id, Envelope::Stop, None);
     }
 
     /// OS threads this runtime spawned: the pool plus the fault

@@ -35,11 +35,13 @@ pub mod clock;
 pub mod engine;
 pub mod links;
 pub(crate) mod scheduler;
+pub mod tcp;
 pub mod wheel;
 
 pub use clock::MonotonicClock;
 pub use engine::ThreadRuntime;
 pub use links::{LinkTable, RuntimeStats, StatsSnapshot};
+pub use tcp::{deploy_tcp, plan_processes, RunningTcp, TcpFabric};
 pub use wheel::{Due, TimerWheel};
 
 use borealis_dpc::{MetricsHub, SystemLayout};

@@ -15,6 +15,7 @@ use borealis_dpc::{NetMsg, Transport};
 use borealis_sim::{FaultEvent, FlowControl, Network, ShardMsg};
 use borealis_types::{
     CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SchedGauges, SendOutcome, Time,
+    WireGauges,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
@@ -50,6 +51,9 @@ pub struct StatsSnapshot {
     /// Worker-pool scheduler gauges (steals, run-queue depths, activation
     /// run-time histogram).
     pub sched: SchedGauges,
+    /// Socket-transport wire gauges (zero for in-process deployments;
+    /// filled by [`RunningTcp`](crate::tcp::RunningTcp)).
+    pub wire: WireGauges,
 }
 
 impl StatsSnapshot {
@@ -87,6 +91,7 @@ impl RuntimeStats {
             messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
             flow: FlowGauges::default(),
             sched: SchedGauges::default(),
+            wire: WireGauges::default(),
         }
     }
 }

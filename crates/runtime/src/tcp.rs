@@ -1,0 +1,982 @@
+//! The socket transport: one `SystemLayout` deployed across OS processes,
+//! with the credit protocol carried on a zero-copy binary wire.
+//!
+//! Each process runs the same worker-pool engine ([`crate::engine`]) over
+//! the *same* actor id space; a process plan (`actor index → process`)
+//! decides which actors are live locally and which are inert
+//! [`RemoteStub`]s. Sends to remote actors are encoded **straight from the
+//! `Arc`'d batch into the destination connection's shared write buffer**
+//! (`borealis_dpc::encode_frame` appends in place — no intermediate
+//! message allocation), where they coalesce with every other frame queued
+//! since the last flush; a dedicated writer thread swaps the buffer out
+//! under the lock and drains it with as few `write` syscalls as the kernel
+//! allows, so heartbeats, acks, and grants amortize into one syscall
+//! (see [`WireGauges::frames_per_flush`]).
+//!
+//! **Credits cross the wire.** The sending process's [`LinkTable`] credit
+//! ledger *is* the wire window: a `Data` frame debits it at `admit` time
+//! exactly as an in-process send would, and the receiving process returns
+//! the credit with an explicit `CreditGrant` frame (replacing the
+//! in-process `Replenish` wheel entry) whose header names the data link
+//! `from → to`. On grant receipt the sender releases the next queued
+//! message from its own ledger and puts it on the wire. Because the ledger
+//! is sender-side, a receiver cannot observe its own inbound stall
+//! locally; the sender reports it with `StallReport` frames (micros
+//! stalled so far, `0` = drained) that the receiver extrapolates in
+//! [`TcpFabric::remote_stalled_for`] — so SUnion's `inbound_stall` probe
+//! and the §6 delay budget work unchanged across the wire.
+//!
+//! **Connection reset = crash.** A torn connection (read error, EOF
+//! without a `Goodbye` frame, or a corrupt frame) marks every actor of the
+//! dead peer process `NodeDown` in the local link table: queued
+//! credit-stalled sends purge as counted delivery drops and later sends
+//! count as send drops — the same `FlowGauges`/`StatsSnapshot` surface the
+//! scripted fault controller feeds, so the chaos semantics of the two
+//! transports are identical. The scripted fault script itself replays in
+//! *every* process against its own link table, which keeps reachability
+//! decisions consistent without any cross-process coordination.
+
+use crate::clock::MonotonicClock;
+use crate::engine::ThreadRuntime;
+use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
+use crate::scheduler::{relock, Envelope, Scheduler};
+use borealis_dpc::{
+    decode_frame, encode_frame, DpcActor, MetricsHub, NetMsg, RuntimeCtx, SystemLayout, WireMsg,
+};
+use borealis_sim::FaultEvent;
+use borealis_types::{Duration, NodeId, StreamId, Time, WireGauges};
+use std::collections::{HashMap, HashSet};
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Per-connection wire counters (relaxed atomics; exact after shutdown,
+/// like [`RuntimeStats`]).
+#[derive(Default)]
+struct ConnGauges {
+    bytes_sent: AtomicU64,
+    bytes_recv: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_recv: AtomicU64,
+    flushes: AtomicU64,
+    grants_sent: AtomicU64,
+    grants_recv: AtomicU64,
+    stall_reports: AtomicU64,
+    purged: AtomicU64,
+    resets: AtomicU64,
+}
+
+/// The coalescing write buffer of one connection: frames append here under
+/// the lock and the writer thread swaps the whole thing out per flush.
+struct WriteSide {
+    buf: Vec<u8>,
+    frames: u64,
+    /// Orderly shutdown requested: flush what is queued (the last frame is
+    /// the `Goodbye`), then shut the write half down.
+    closing: bool,
+}
+
+/// One established connection to a peer process.
+struct Conn {
+    peer_proc: u32,
+    stream: TcpStream,
+    write: Mutex<WriteSide>,
+    wake: Condvar,
+    /// Cleared exactly once, by reset or clean close.
+    alive: AtomicBool,
+    /// The peer announced an orderly close (`Goodbye` frame) — a
+    /// subsequent EOF is a clean teardown, not a crash.
+    peer_goodbye: AtomicBool,
+    /// Bytes read past the `Hello` frame during the handshake, replayed to
+    /// the reader thread.
+    carry: Mutex<Vec<u8>>,
+    g: ConnGauges,
+}
+
+impl Conn {
+    fn new(peer_proc: u32, stream: TcpStream, carry: Vec<u8>) -> Conn {
+        Conn {
+            peer_proc,
+            stream,
+            write: Mutex::new(WriteSide {
+                buf: Vec::with_capacity(16 * 1024),
+                frames: 0,
+                closing: false,
+            }),
+            wake: Condvar::new(),
+            alive: AtomicBool::new(true),
+            peer_goodbye: AtomicBool::new(false),
+            carry: Mutex::new(carry),
+            g: ConnGauges::default(),
+        }
+    }
+
+    /// Appends one frame to the shared write buffer (the closure encodes
+    /// in place — zero intermediate copies) and wakes the writer. Refused
+    /// (`false`) once the connection is dead or closing: the frame is a
+    /// counted drop at the caller.
+    fn enqueue(&self, encode: impl FnOnce(&mut Vec<u8>)) -> bool {
+        let mut ws = relock(&self.write);
+        if !self.alive.load(Ordering::Acquire) || ws.closing {
+            return false;
+        }
+        encode(&mut ws.buf);
+        ws.frames += 1;
+        drop(ws);
+        self.wake.notify_one();
+        true
+    }
+
+    /// Marks the connection dead and unblocks the writer. Returns `true`
+    /// exactly once — the caller owning that edge runs the crash
+    /// accounting.
+    fn mark_dead(&self) -> bool {
+        let was_alive = self.alive.swap(false, Ordering::AcqRel);
+        let mut ws = relock(&self.write);
+        ws.closing = true;
+        drop(ws);
+        self.wake.notify_all();
+        was_alive
+    }
+}
+
+/// The writer thread: parks until frames are queued, swaps the coalesced
+/// buffer out under the lock, and drains it — every frame queued since the
+/// last flush shares the syscall(s) of this one.
+fn writer_loop(conn: Arc<Conn>) {
+    let mut local: Vec<u8> = Vec::with_capacity(16 * 1024);
+    loop {
+        let (frames, closing) = {
+            let mut ws = relock(&conn.write);
+            while ws.buf.is_empty() && !ws.closing {
+                ws = conn.wake.wait(ws).unwrap_or_else(PoisonError::into_inner);
+            }
+            std::mem::swap(&mut local, &mut ws.buf);
+            (std::mem::take(&mut ws.frames), ws.closing)
+        };
+        if !local.is_empty() {
+            let total = local.len() as u64;
+            let mut off = 0usize;
+            let ok = loop {
+                if off >= local.len() {
+                    break true;
+                }
+                match (&conn.stream).write(&local[off..]) {
+                    Ok(0) => break false,
+                    Ok(n) => off += n,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                    Err(_) => break false,
+                }
+            };
+            local.clear();
+            if ok {
+                conn.g.flushes.fetch_add(1, Ordering::Relaxed);
+                conn.g.frames_sent.fetch_add(frames, Ordering::Relaxed);
+                conn.g.bytes_sent.fetch_add(total, Ordering::Relaxed);
+            } else {
+                // The reader observes the same torn socket and runs the
+                // reset accounting; the writer just stops.
+                return;
+            }
+        }
+        if closing {
+            let _ = conn.stream.shutdown(Shutdown::Write);
+            return;
+        }
+    }
+}
+
+/// Placeholder for an actor living in another process: it receives
+/// nothing (sends to it travel the wire) and is stopped right after
+/// deployment.
+struct RemoteStub;
+
+impl DpcActor for RemoteStub {
+    fn on_message(&mut self, _ctx: &mut dyn RuntimeCtx, _from: NodeId, _msg: NetMsg) {}
+    fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, _kind: u64) {}
+}
+
+/// The per-process socket fabric: one connection per peer process, the
+/// process plan, and the cross-process stall bookkeeping.
+pub struct TcpFabric {
+    my_proc: u32,
+    /// `plan[actor index] = process id` — identical in every process.
+    plan: Vec<u32>,
+    /// Indexed by process id; `None` for `my_proc`.
+    conns: Vec<Option<Arc<Conn>>>,
+    /// Sender side: links `from → to` whose stall we have reported to the
+    /// remote receiver and not yet retracted with a `StallReport{0}`.
+    reported_stalls: Mutex<HashSet<(u32, u32)>>,
+    /// Receiver side: last stall report per remote link, as
+    /// `(micros reported, receipt instant)` — extrapolated on read.
+    remote_stalls: Mutex<HashMap<(u32, u32), (u64, Instant)>>,
+    io: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl TcpFabric {
+    /// Establishes the full connection mesh for `my_proc` and returns the
+    /// fabric. `ports[p]` is process `p`'s listen port (every process
+    /// binds its own listener and the launcher exchanges the ports);
+    /// `plan` maps every actor index to its process.
+    ///
+    /// Dial direction is deterministic — the higher process id dials the
+    /// lower and identifies itself with a `Hello` frame — so exactly one
+    /// connection exists per process pair. Dialing retries for ~10 s
+    /// (peers may still be binding); accepting waits up to 30 s for the
+    /// `Hello`. No process returns until its whole mesh is up, which makes
+    /// `establish` double as a start barrier for multi-process runs.
+    pub fn establish(
+        my_proc: u32,
+        listener: TcpListener,
+        ports: &[u16],
+        plan: Vec<u32>,
+    ) -> std::io::Result<Arc<TcpFabric>> {
+        let procs = ports.len() as u32;
+        let mut conns: Vec<Option<Arc<Conn>>> = (0..procs).map(|_| None).collect();
+        // Dial every lower peer, announcing who we are.
+        for p in 0..my_proc {
+            let addr = format!("127.0.0.1:{}", ports[p as usize]);
+            let stream = dial_retry(&addr)?;
+            stream.set_nodelay(true)?;
+            let mut hello = Vec::with_capacity(16);
+            encode_frame(
+                &mut hello,
+                NodeId(my_proc),
+                NodeId(p),
+                &WireMsg::Hello { proc: my_proc },
+            );
+            (&stream).write_all(&hello)?;
+            conns[p as usize] = Some(Arc::new(Conn::new(p, stream, Vec::new())));
+        }
+        // Accept every higher peer; the Hello tells us which one dialed.
+        let higher = procs.saturating_sub(my_proc + 1);
+        for _ in 0..higher {
+            let (stream, _) = listener.accept()?;
+            stream.set_nodelay(true)?;
+            stream.set_read_timeout(Some(std::time::Duration::from_secs(30)))?;
+            let (peer, carry) = read_hello(&stream)?;
+            stream.set_read_timeout(None)?;
+            if peer <= my_proc || peer >= procs || conns[peer as usize].is_some() {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected hello from process {peer}"),
+                ));
+            }
+            conns[peer as usize] = Some(Arc::new(Conn::new(peer, stream, carry)));
+        }
+        Ok(Arc::new(TcpFabric {
+            my_proc,
+            plan,
+            conns,
+            reported_stalls: Mutex::new(HashSet::new()),
+            remote_stalls: Mutex::new(HashMap::new()),
+            io: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// This fabric's process id.
+    pub fn my_proc(&self) -> u32 {
+        self.my_proc
+    }
+
+    /// The process hosting `id`.
+    pub fn proc_of(&self, id: NodeId) -> u32 {
+        self.plan[id.index()]
+    }
+
+    /// True when `id` lives in another process (its sends travel the
+    /// wire; its local task is an inert stub).
+    pub fn is_remote(&self, id: NodeId) -> bool {
+        self.proc_of(id) != self.my_proc
+    }
+
+    fn conn_to(&self, id: NodeId) -> Option<&Arc<Conn>> {
+        self.conns[self.proc_of(id) as usize].as_ref()
+    }
+
+    /// Encodes `msg` into the write buffer of `to`'s process connection.
+    /// `false` means the connection is down: the caller counts the drop.
+    pub(crate) fn send_net(&self, from: NodeId, to: NodeId, msg: NetMsg) -> bool {
+        match self.conn_to(to) {
+            Some(conn) => conn.enqueue(|buf| {
+                encode_frame(buf, from, to, &WireMsg::Net(msg));
+            }),
+            None => false,
+        }
+    }
+
+    /// Returns one consumed delivery's credit to the remote sender: a
+    /// `CreditGrant` frame whose header names the data link `from → to`
+    /// (`from` = the remote sender whose ledger holds the window).
+    pub(crate) fn send_grant(&self, from: NodeId, to: NodeId) {
+        if let Some(conn) = self.conn_to(from) {
+            if conn.enqueue(|buf| {
+                encode_frame(buf, from, to, &WireMsg::CreditGrant);
+            }) {
+                conn.g.grants_sent.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Sender side: a data message to remote `to` just queued in the local
+    /// ledger. Report the stall so the receiver's `inbound_stall` probe
+    /// sees it.
+    pub(crate) fn note_queued(&self, from: NodeId, to: NodeId, stalled: Duration) {
+        relock(&self.reported_stalls).insert((from.0, to.0));
+        if let Some(conn) = self.conn_to(to) {
+            conn.enqueue(|buf| {
+                encode_frame(
+                    buf,
+                    from,
+                    to,
+                    &WireMsg::StallReport {
+                        micros: stalled.as_micros(),
+                    },
+                );
+            });
+        }
+    }
+
+    /// Sender side, on grant receipt: if the link's stall episode ended
+    /// (queue drained), retract the report with a `StallReport{0}`.
+    fn clear_stall_if_drained(&self, links: &LinkTable, from: NodeId, to: NodeId, now: Time) {
+        if links.stalled_for(from, to, now) != Duration::ZERO {
+            return;
+        }
+        if !relock(&self.reported_stalls).remove(&(from.0, to.0)) {
+            return;
+        }
+        if let Some(conn) = self.conn_to(to) {
+            conn.enqueue(|buf| {
+                encode_frame(buf, from, to, &WireMsg::StallReport { micros: 0 });
+            });
+        }
+    }
+
+    /// Receiver side: records (or retracts, `micros == 0`) a sender's
+    /// stall report for the link `from → to`.
+    fn note_remote_stall(&self, from: NodeId, to: NodeId, micros: u64) {
+        let mut map = relock(&self.remote_stalls);
+        if micros == 0 {
+            map.remove(&(from.0, to.0));
+        } else {
+            map.insert((from.0, to.0), (micros, Instant::now()));
+        }
+    }
+
+    /// Continuous inbound credit-stall of the remote link `from → to`, as
+    /// last reported by the sender and extrapolated since receipt — the
+    /// cross-process analogue of [`LinkTable::stalled_for`].
+    pub fn remote_stalled_for(&self, from: NodeId, to: NodeId) -> Duration {
+        match relock(&self.remote_stalls).get(&(from.0, to.0)) {
+            Some((micros, at)) => Duration::from_micros(micros + at.elapsed().as_micros() as u64),
+            None => Duration::ZERO,
+        }
+    }
+
+    /// Crash accounting for a torn connection: every actor of the dead
+    /// peer process goes `NodeDown` in the local link table (queued
+    /// credit-stalled sends purge as counted delivery drops; later sends
+    /// become send drops), exactly as a scripted crash would.
+    fn reset_conn(&self, conn: &Conn, links: &LinkTable, stats: &RuntimeStats, now: Time) {
+        if !conn.mark_dead() {
+            return;
+        }
+        conn.g.resets.fetch_add(1, Ordering::Relaxed);
+        let mut purged = 0u64;
+        for (i, proc) in self.plan.iter().enumerate() {
+            if *proc == conn.peer_proc {
+                purged += links.apply(&FaultEvent::NodeDown(NodeId(i as u32)), now);
+            }
+        }
+        conn.g.purged.fetch_add(purged, Ordering::Relaxed);
+        stats.count_delivery_drops(purged);
+    }
+
+    /// Spawns the per-connection reader and writer threads. Called by the
+    /// engine once the scheduler exists; incoming frames push straight
+    /// into the destination task's mailbox.
+    pub(crate) fn start_io(
+        self: &Arc<Self>,
+        sched: Arc<Scheduler>,
+        links: Arc<LinkTable>,
+        stats: Arc<RuntimeStats>,
+        clock: MonotonicClock,
+    ) {
+        let mut io = relock(&self.io);
+        for conn in self.conns.iter().flatten() {
+            let w = Arc::clone(conn);
+            io.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-writer-{}", conn.peer_proc))
+                    .spawn(move || writer_loop(w))
+                    .expect("spawn tcp writer"),
+            );
+            let fabric = Arc::clone(self);
+            let conn = Arc::clone(conn);
+            let (sched, links, stats) =
+                (Arc::clone(&sched), Arc::clone(&links), Arc::clone(&stats));
+            io.push(
+                std::thread::Builder::new()
+                    .name(format!("tcp-reader-{}", conn.peer_proc))
+                    .spawn(move || reader_loop(fabric, conn, sched, links, stats, clock))
+                    .expect("spawn tcp reader"),
+            );
+        }
+    }
+
+    /// Aggregated wire gauges across every connection.
+    pub fn wire_gauges(&self) -> WireGauges {
+        let mut w = WireGauges::default();
+        for conn in self.conns.iter().flatten() {
+            if conn.alive.load(Ordering::Acquire) {
+                w.conns += 1;
+            }
+            let g = &conn.g;
+            w.bytes_sent += g.bytes_sent.load(Ordering::Relaxed);
+            w.bytes_recv += g.bytes_recv.load(Ordering::Relaxed);
+            w.frames_sent += g.frames_sent.load(Ordering::Relaxed);
+            w.frames_recv += g.frames_recv.load(Ordering::Relaxed);
+            w.flushes += g.flushes.load(Ordering::Relaxed);
+            w.grants_sent += g.grants_sent.load(Ordering::Relaxed);
+            w.grants_recv += g.grants_recv.load(Ordering::Relaxed);
+            w.stall_reports += g.stall_reports.load(Ordering::Relaxed);
+            w.purged_frames += g.purged.load(Ordering::Relaxed);
+            w.resets += g.resets.load(Ordering::Relaxed);
+        }
+        w
+    }
+
+    /// Orderly teardown: sends a `Goodbye` on every live connection,
+    /// flushes, shuts the write halves down, and joins the I/O threads
+    /// (each reader exits on its peer's `Goodbye` + EOF, or was already
+    /// gone). Idempotent.
+    pub fn shutdown(&self) {
+        for conn in self.conns.iter().flatten() {
+            let mut ws = relock(&conn.write);
+            if conn.alive.load(Ordering::Acquire) && !ws.closing {
+                encode_frame(
+                    &mut ws.buf,
+                    NodeId(self.my_proc),
+                    NodeId(conn.peer_proc),
+                    &WireMsg::Goodbye,
+                );
+                ws.frames += 1;
+                ws.closing = true;
+            }
+            drop(ws);
+            conn.wake.notify_all();
+        }
+        let handles: Vec<JoinHandle<()>> = relock(&self.io).drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Test hook: tears the connection to `proc` down without a `Goodbye`
+    /// — the peer observes a crash, not a clean close.
+    #[cfg(test)]
+    pub(crate) fn kill(&self, proc: u32) {
+        if let Some(conn) = &self.conns[proc as usize] {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Dials `addr`, retrying while the peer's listener comes up (~10 s).
+fn dial_retry(addr: &str) -> std::io::Result<TcpStream> {
+    let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() >= deadline => return Err(e),
+            Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+        }
+    }
+}
+
+/// Reads the handshake `Hello` frame off a freshly accepted stream;
+/// returns the dialer's process id and any bytes read past the frame.
+fn read_hello(mut stream: &TcpStream) -> std::io::Result<(u32, Vec<u8>)> {
+    let mut buf = Vec::with_capacity(64);
+    let mut scratch = [0u8; 1024];
+    loop {
+        match decode_frame(&buf) {
+            Ok(Some((_, _, WireMsg::Hello { proc }, used))) => {
+                return Ok((proc, buf.split_off(used)));
+            }
+            Ok(Some(_)) | Err(_) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    "handshake must start with a Hello frame",
+                ));
+            }
+            Ok(None) => {}
+        }
+        let n = stream.read(&mut scratch)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed during handshake",
+            ));
+        }
+        buf.extend_from_slice(&scratch[..n]);
+    }
+}
+
+/// The reader thread: grows a decode buffer from large reads, dispatches
+/// every complete frame, and translates the connection's end into either
+/// a clean close or a crash.
+fn reader_loop(
+    fabric: Arc<TcpFabric>,
+    conn: Arc<Conn>,
+    sched: Arc<Scheduler>,
+    links: Arc<LinkTable>,
+    stats: Arc<RuntimeStats>,
+    clock: MonotonicClock,
+) {
+    let mut buf: Vec<u8> = std::mem::take(&mut relock(&conn.carry));
+    let mut scratch = vec![0u8; 64 * 1024];
+    loop {
+        // Drain every complete frame before reading more.
+        let mut consumed = 0usize;
+        loop {
+            match decode_frame(&buf[consumed..]) {
+                Ok(Some((from, to, msg, used))) => {
+                    consumed += used;
+                    conn.g.frames_recv.fetch_add(1, Ordering::Relaxed);
+                    match msg {
+                        WireMsg::Net(m) => {
+                            // Straight into the destination mailbox: the
+                            // delivery-time checks run in process_msg, the
+                            // same as an in-process send.
+                            sched.push(to, Envelope::Msg { from, msg: m }, None);
+                        }
+                        WireMsg::CreditGrant => {
+                            conn.g.grants_recv.fetch_add(1, Ordering::Relaxed);
+                            let now = clock.now();
+                            // The grant names the data link from → to; our
+                            // ledger holds its window. Release the next
+                            // queued message onto the wire.
+                            if let Some(m) = links.consumed_release(from, to, now) {
+                                if !fabric.send_net(from, to, m) {
+                                    stats.count_delivery_drop();
+                                }
+                            }
+                            fabric.clear_stall_if_drained(&links, from, to, now);
+                        }
+                        WireMsg::StallReport { micros } => {
+                            conn.g.stall_reports.fetch_add(1, Ordering::Relaxed);
+                            fabric.note_remote_stall(from, to, micros);
+                        }
+                        WireMsg::Goodbye => {
+                            conn.peer_goodbye.store(true, Ordering::Release);
+                        }
+                        // Only valid during the handshake; mid-stream it
+                        // means the framing is corrupt.
+                        WireMsg::Hello { .. } => {
+                            fabric.reset_conn(&conn, &links, &stats, clock.now());
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(_) => {
+                    // Corrupt frame: indistinguishable from a torn
+                    // connection — crash semantics.
+                    fabric.reset_conn(&conn, &links, &stats, clock.now());
+                    return;
+                }
+            }
+        }
+        if consumed > 0 {
+            buf.drain(..consumed);
+        }
+        match (&conn.stream).read(&mut scratch) {
+            Ok(0) => {
+                if conn.peer_goodbye.load(Ordering::Acquire) {
+                    conn.mark_dead();
+                } else {
+                    fabric.reset_conn(&conn, &links, &stats, clock.now());
+                }
+                return;
+            }
+            Ok(n) => {
+                conn.g.bytes_recv.fetch_add(n as u64, Ordering::Relaxed);
+                buf.extend_from_slice(&scratch[..n]);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                fabric.reset_conn(&conn, &links, &stats, clock.now());
+                return;
+            }
+        }
+    }
+}
+
+/// Maps every actor of `layout` to a process: sources and the client stay
+/// in process 0 (the launcher, which reads the metrics), and the replicas
+/// of each physical fragment spread round-robin over processes `1..procs`
+/// such that **same-fragment replicas land in different processes** —
+/// killing one process then behaves like the paper's independent node
+/// failures. Every process computes the identical plan from the shared
+/// layout, so no coordination is needed.
+pub fn plan_processes(layout: &SystemLayout, procs: u32) -> Vec<u32> {
+    let mut plan = vec![0u32; layout.actors.len()];
+    if procs <= 1 {
+        return plan;
+    }
+    for (fi, replicas) in layout.fragment_replicas.iter().enumerate() {
+        for (r, id) in replicas.iter().enumerate() {
+            plan[id.index()] = 1 + ((fi + r) as u32 % (procs - 1));
+        }
+    }
+    plan
+}
+
+/// A deployment running under the thread engine in one process of a
+/// multi-process system — the socket sibling of
+/// [`RunningThreads`](crate::RunningThreads).
+pub struct RunningTcp {
+    /// The engine driving this process's live actors.
+    pub runtime: ThreadRuntime,
+    /// The socket fabric connecting this process to its peers.
+    pub fabric: Arc<TcpFabric>,
+    /// Metrics collected by the client proxy (populated only in the
+    /// process hosting the client).
+    pub metrics: MetricsHub,
+    /// Source actor ids, per stream.
+    pub source_ids: Vec<(StreamId, NodeId)>,
+    /// Node ids per physical fragment.
+    pub fragment_replicas: Vec<Vec<NodeId>>,
+    /// Physical fragment indexes per logical fragment, in shard order.
+    pub groups: Vec<Vec<usize>>,
+    /// The client proxy, if hosted here.
+    pub client: Option<NodeId>,
+}
+
+impl RunningTcp {
+    /// Lets the system run for `wall`, then refreshes the metrics hub's
+    /// transport, scheduler, and wire gauges.
+    pub fn run_for(&self, wall: std::time::Duration) {
+        self.runtime.run_for(wall);
+        self.metrics.record_flow(self.runtime.links().flow_gauges());
+        self.metrics.record_sched(self.runtime.sched_gauges());
+        self.metrics.record_wire(self.fabric.wire_gauges());
+    }
+
+    /// Aggregated wire gauges across this process's connections.
+    pub fn wire_gauges(&self) -> WireGauges {
+        self.fabric.wire_gauges()
+    }
+
+    /// Message-loss statistics so far, including the wire gauges.
+    pub fn stats(&self) -> StatsSnapshot {
+        let mut snap = self.runtime.stats();
+        snap.wire = self.fabric.wire_gauges();
+        snap
+    }
+
+    /// Stops the local engine, then tears the fabric down cleanly
+    /// (`Goodbye` + flush on every connection). Returns final statistics
+    /// with the wire gauges filled in.
+    pub fn shutdown(self) -> StatsSnapshot {
+        self.metrics.record_flow(self.runtime.links().flow_gauges());
+        self.metrics.record_sched(self.runtime.sched_gauges());
+        let mut snap = self.runtime.shutdown();
+        self.fabric.shutdown();
+        snap.wire = self.fabric.wire_gauges();
+        self.metrics.record_wire(snap.wire);
+        snap
+    }
+}
+
+/// Launches this process's share of a resolved [`SystemLayout`] over an
+/// established [`TcpFabric`]: actors planned here run for real, actors
+/// planned elsewhere become inert stubs that are stopped immediately (a
+/// send to one travels the wire instead). The scripted fault script
+/// replays in every process, keeping link-table decisions consistent.
+pub fn deploy_tcp(layout: SystemLayout, fabric: Arc<TcpFabric>) -> RunningTcp {
+    assert_eq!(
+        fabric.plan.len(),
+        layout.actors.len(),
+        "process plan must cover every actor"
+    );
+    let metrics = layout.metrics.clone();
+    let mut remote = Vec::new();
+    let actors: Vec<Box<dyn DpcActor>> = layout
+        .actors
+        .into_iter()
+        .enumerate()
+        .map(|(i, spec)| {
+            let id = NodeId(i as u32);
+            if fabric.is_remote(id) {
+                remote.push(id);
+                Box::new(RemoteStub) as Box<dyn DpcActor>
+            } else {
+                spec.into_dpc_actor(&metrics)
+            }
+        })
+        .collect();
+    let workers = layout
+        .workers
+        .unwrap_or_else(ThreadRuntime::default_workers);
+    let runtime = ThreadRuntime::spawn_with_fabric(
+        actors,
+        layout.script,
+        layout.seed,
+        layout.partitions,
+        layout.flow_policy,
+        workers,
+        Some(Arc::clone(&fabric)),
+    );
+    // Stubs process their (no-op) on_start and stop: nothing remote ever
+    // runs here, and shutdown's all-stopped rendezvous already counts
+    // them.
+    for id in &remote {
+        runtime.stop_task(*id);
+    }
+    RunningTcp {
+        runtime,
+        fabric,
+        metrics,
+        source_ids: layout.source_ids,
+        fragment_replicas: layout.fragment_replicas,
+        groups: layout.groups,
+        client: layout.client,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use borealis_types::{CreditPolicy, Tuple, TupleBatch, TupleId};
+    use std::sync::atomic::AtomicUsize;
+
+    fn data_msg() -> NetMsg {
+        NetMsg::Data {
+            stream: StreamId(0),
+            tuples: TupleBatch::single(Tuple::boundary(TupleId::NONE, Time::ZERO)),
+        }
+    }
+
+    /// Two fabrics over loopback in one OS process. Sequential establish
+    /// works because the dialer's connect completes against the
+    /// listener's backlog before accept is called.
+    fn fabric_pair(plan: Vec<u32>) -> (Arc<TcpFabric>, Arc<TcpFabric>) {
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let ports = vec![
+            l0.local_addr().unwrap().port(),
+            l1.local_addr().unwrap().port(),
+        ];
+        let f1 = TcpFabric::establish(1, l1, &ports, plan.clone()).unwrap();
+        let f0 = TcpFabric::establish(0, l0, &ports, plan).unwrap();
+        (f0, f1)
+    }
+
+    /// Sends a burst of data messages to a remote consumer on start.
+    struct Burst {
+        to: NodeId,
+        n: usize,
+    }
+    impl DpcActor for Burst {
+        fn on_start(&mut self, ctx: &mut dyn RuntimeCtx) {
+            for _ in 0..self.n {
+                ctx.send(self.to, data_msg());
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut dyn RuntimeCtx, _from: NodeId, _msg: NetMsg) {}
+        fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, _kind: u64) {}
+    }
+
+    /// Counts data deliveries (consumption is immediate: credit returns
+    /// right away, via a wire grant when the sender is remote).
+    struct Counter {
+        seen: Arc<AtomicUsize>,
+    }
+    impl DpcActor for Counter {
+        fn on_message(&mut self, _ctx: &mut dyn RuntimeCtx, _from: NodeId, _msg: NetMsg) {
+            self.seen.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, _kind: u64) {}
+    }
+
+    fn wait_until(pred: impl Fn() -> bool, ms: u64) -> bool {
+        let deadline = Instant::now() + std::time::Duration::from_millis(ms);
+        while Instant::now() < deadline {
+            if pred() {
+                return true;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        pred()
+    }
+
+    fn spawn_proc(
+        fabric: &Arc<TcpFabric>,
+        actors: Vec<Box<dyn DpcActor>>,
+        policy: CreditPolicy,
+    ) -> ThreadRuntime {
+        let rt = ThreadRuntime::spawn_with_fabric(
+            actors,
+            Vec::new(),
+            1,
+            Vec::new(),
+            policy,
+            2,
+            Some(Arc::clone(fabric)),
+        );
+        // Stop the stubs, as deploy_tcp does.
+        for i in 0..fabric.plan.len() {
+            let id = NodeId(i as u32);
+            if fabric.is_remote(id) {
+                rt.stop_task(id);
+            }
+        }
+        rt
+    }
+
+    #[test]
+    fn window_one_credits_flow_across_the_wire() {
+        // Actor 0 (proc 0) bursts 4 data messages at actor 1 (proc 1)
+        // under Window(1): three queue in proc 0's ledger and release one
+        // by one as CreditGrant frames come back.
+        let (f0, f1) = fabric_pair(vec![0, 1]);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let rt0 = spawn_proc(
+            &f0,
+            vec![
+                Box::new(Burst {
+                    to: NodeId(1),
+                    n: 4,
+                }),
+                Box::new(RemoteStub),
+            ],
+            CreditPolicy::Window(1),
+        );
+        let rt1 = spawn_proc(
+            &f1,
+            vec![
+                Box::new(RemoteStub),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            ],
+            CreditPolicy::Window(1),
+        );
+        assert!(
+            wait_until(|| seen.load(Ordering::SeqCst) == 4, 5000),
+            "all four data messages must arrive; got {}",
+            seen.load(Ordering::SeqCst)
+        );
+        // The queued sends stalled the link, so the receiver heard about
+        // it; the drain retracted the report.
+        assert!(
+            wait_until(
+                || f1.remote_stalled_for(NodeId(0), NodeId(1)) == Duration::ZERO,
+                2000
+            ),
+            "stall retracts once the queue drains"
+        );
+        let w1 = f1.wire_gauges();
+        assert!(
+            w1.grants_sent >= 3,
+            "wire grants released the queue: {w1:?}"
+        );
+        assert!(w1.stall_reports >= 1, "sender reported its stall: {w1:?}");
+        let stats0 = rt0.shutdown();
+        f0.shutdown();
+        rt1.shutdown();
+        f1.shutdown();
+        assert_eq!(stats0.total_drops(), 0, "clean run drops nothing");
+        let w0 = f0.wire_gauges();
+        assert!(w0.grants_recv >= 3, "sender saw the grants: {w0:?}");
+        assert!(w0.frames_per_flush() >= 1.0);
+    }
+
+    #[test]
+    fn torn_connection_is_a_crash_with_counted_drops() {
+        let (f0, f1) = fabric_pair(vec![0, 1]);
+        let seen = Arc::new(AtomicUsize::new(0));
+        let rt0 = spawn_proc(
+            &f0,
+            vec![
+                Box::new(Burst {
+                    to: NodeId(1),
+                    n: 2,
+                }),
+                Box::new(RemoteStub),
+            ],
+            CreditPolicy::Window(1),
+        );
+        let rt1 = spawn_proc(
+            &f1,
+            vec![
+                Box::new(RemoteStub),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            ],
+            CreditPolicy::Window(1),
+        );
+        assert!(wait_until(|| seen.load(Ordering::SeqCst) >= 1, 5000));
+        // Tear the socket down with no Goodbye: both sides must see a
+        // reset, mark the peer's actors down, and count later sends as
+        // drops.
+        f0.kill(1);
+        assert!(
+            wait_until(
+                || f0.wire_gauges().resets + f1.wire_gauges().resets >= 2,
+                5000
+            ),
+            "both sides observe the reset: {:?} / {:?}",
+            f0.wire_gauges(),
+            f1.wire_gauges()
+        );
+        assert!(!rt0.links().node_up(NodeId(1)), "peer actor marked down");
+        assert!(!rt1.links().node_up(NodeId(0)), "peer actor marked down");
+        rt0.shutdown();
+        f0.shutdown();
+        rt1.shutdown();
+        f1.shutdown();
+    }
+
+    #[test]
+    fn plan_spreads_replicas_across_processes() {
+        // Hand-build the minimal layout shape the planner reads.
+        use borealis_diagram::{plan_deployment, DeploymentSpec, DpcConfig, QueryBuilder};
+        use borealis_dpc::SystemBuilder;
+        let mut q = QueryBuilder::new();
+        let s1 = q.source("s1");
+        let s2 = q.source("s2");
+        let u = q.union("u", &[s1, s2]);
+        q.output(u);
+        let d = q.build().unwrap();
+        let p = plan_deployment(&d, &DeploymentSpec::single(2), &DpcConfig::default()).unwrap();
+        let layout = SystemBuilder::new(1, Duration::from_millis(1))
+            .source(borealis_dpc::SourceConfig::seq(s1.id(), 10.0))
+            .source(borealis_dpc::SourceConfig::seq(s2.id(), 10.0))
+            .plan(p)
+            .client_streams(vec![u.id()])
+            .layout();
+        let plan = plan_processes(&layout, 3);
+        assert_eq!(plan.len(), layout.actors.len());
+        // Sources and client stay in process 0.
+        for (_, id) in &layout.source_ids {
+            assert_eq!(plan[id.index()], 0);
+        }
+        assert_eq!(plan[layout.client.unwrap().index()], 0);
+        // Same-fragment replicas land in different processes.
+        for replicas in &layout.fragment_replicas {
+            let procs: HashSet<u32> = replicas.iter().map(|id| plan[id.index()]).collect();
+            assert_eq!(procs.len(), replicas.len().min(2));
+            assert!(!procs.contains(&0), "replicas avoid the client process");
+        }
+        let single = plan_processes(&layout, 1);
+        assert!(single.iter().all(|p| *p == 0));
+    }
+}

@@ -22,6 +22,7 @@ pub mod shard;
 pub mod time;
 pub mod tuple;
 pub mod value;
+pub mod wire;
 
 pub use batch::{BatchLog, TupleBatch};
 pub use expr::{BinOp, EvalError, Expr};
@@ -32,3 +33,4 @@ pub use shard::PartitionSpec;
 pub use time::{Duration, Time};
 pub use tuple::{ControlSignal, Tuple, TupleId, TupleKind};
 pub use value::Value;
+pub use wire::{WireError, WireGauges};

@@ -11,6 +11,7 @@ pub mod benchjson;
 pub mod experiments;
 pub mod report;
 pub mod setups;
+pub mod tcp;
 
 pub use experiments::{
     run_chain, run_delay_assignment, run_fig11, run_fig13, run_switchover, run_table3, run_table4,
@@ -19,7 +20,10 @@ pub use experiments::{
 pub use report::{render_availability, render_chain, render_fig11, render_overhead, TextTable};
 pub use setups::{
     chain_builder, chain_system, overhead_system, scale_grid_actors, scale_grid_builder,
-    scale_grid_fragments, sharded_chain_builder, sharded_chain_system, single_node_system,
-    ChainOptions, OverheadOptions, PolicyVariant, ScaleOptions, ShardedChainOptions,
-    SingleNodeOptions, DISTRIBUTED_VARIANTS, SINGLE_NODE_OUT, VARIANTS,
+    scale_grid_fragments, scale_grid_offered, sharded_chain_builder, sharded_chain_system,
+    single_node_system, ChainOptions, OverheadOptions, PolicyVariant, ScaleOptions,
+    ShardedChainOptions, SingleNodeOptions, DISTRIBUTED_VARIANTS, SINGLE_NODE_OUT, VARIANTS,
+};
+pub use tcp::{
+    run_tcp_child, run_tcp_child_args, run_tcp_parent, ChildCommand, TcpChainSpec, TcpReport,
 };

@@ -416,7 +416,11 @@ pub struct ScaleOptions {
     pub shards: u32,
     /// Replicas per fragment (per shard for the work stages).
     pub replication: usize,
-    /// Input rate per chain (tuples/second).
+    /// Input rate per chain (tuples/second). The grid's **total** offered
+    /// load is `chains × rate_per_chain` ([`scale_grid_offered`]) — when
+    /// comparing grid points, hold that product constant, or the larger
+    /// grid reports lower absolute throughput simply because it was
+    /// offered less input, not because the scheduler got slower.
     pub rate_per_chain: f64,
     /// Per-SUnion delay under uniform assignment (each chain has two
     /// SUnion hops: work, deliver).
@@ -459,6 +463,13 @@ pub fn scale_grid_fragments(o: &ScaleOptions) -> u32 {
 /// one client.
 pub fn scale_grid_actors(o: &ScaleOptions) -> u32 {
     scale_grid_fragments(o) * o.replication as u32 + o.chains + 1
+}
+
+/// Total offered load of the grid (tuples/second): `chains ×
+/// rate_per_chain`. Grid points are throughput-comparable only at equal
+/// offered load.
+pub fn scale_grid_offered(o: &ScaleOptions) -> f64 {
+    o.chains as f64 * o.rate_per_chain
 }
 
 /// Builds the scale grid deployment description; the returned streams are

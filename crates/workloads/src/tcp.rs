@@ -1,0 +1,385 @@
+//! Multi-process launcher for the sharded chain workload over the socket
+//! transport ([`borealis_runtime::tcp`]).
+//!
+//! One parent process (process 0: sources + client, where the metrics
+//! live) forks `procs - 1` worker processes hosting the fragment
+//! replicas. Every process builds the **identical** [`TcpChainSpec`]
+//! layout — the spec serializes to `key=value` argv tokens — so the
+//! process plan, the id space, and the scripted fault script agree
+//! everywhere without further coordination.
+//!
+//! Port discovery is race-free: each child binds port 0 itself and prints
+//! `PORT <p>` on stdout; the parent collects every port and writes one
+//! `PORTS p0 p1 ...` line to each child's stdin; then everyone calls
+//! [`TcpFabric::establish`], which doubles as a start barrier (no process
+//! proceeds until its whole connection mesh is up).
+
+use crate::setups::{sharded_chain_builder, ShardedChainOptions};
+use borealis_dpc::{FaultSpec, MetricsHub, SystemLayout, TraceEntry};
+use borealis_runtime::{deploy_tcp, plan_processes, TcpFabric};
+use borealis_types::{CreditPolicy, Duration, StreamId, Time, WireGauges};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+use std::process::{Child, Command, Stdio};
+
+/// The sharded-chain deployment every process of a multi-process run
+/// rebuilds from argv — one spec, one layout, `procs` processes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TcpChainSpec {
+    /// Shard fan-out of the work stage.
+    pub shards: u32,
+    /// Input rate per source (tuples/second); three sources.
+    pub per_source_rate: f64,
+    /// Wall-clock run length in milliseconds.
+    pub wall_ms: u64,
+    /// Script the mid-run crash of work-stage shard 1's replica 0 at
+    /// t=1.5 s (the reference failover scenario).
+    pub crash: bool,
+    /// Credit window per link (`None` = unbounded).
+    pub window: Option<u32>,
+    /// Total process count (process 0 = sources + client).
+    pub procs: u32,
+    /// Worker-pool threads per process.
+    pub workers: usize,
+    /// Determinism seed.
+    pub seed: u64,
+    /// Stop each source after this many tuples (`None` = unbounded).
+    pub source_limit: Option<u64>,
+}
+
+impl Default for TcpChainSpec {
+    fn default() -> Self {
+        TcpChainSpec {
+            shards: 2,
+            per_source_rate: 100.0,
+            wall_ms: 4000,
+            crash: false,
+            window: None,
+            procs: 3,
+            workers: 2,
+            seed: 7,
+            source_limit: None,
+        }
+    }
+}
+
+impl TcpChainSpec {
+    /// Builds the full deployment description (identical in every
+    /// process). `trace` enables the client arrival trace — only useful
+    /// in process 0, where the client lives.
+    pub fn layout(&self, trace: bool) -> (SystemLayout, StreamId) {
+        let o = ShardedChainOptions {
+            shards: self.shards,
+            replication: 2,
+            total_rate: self.per_source_rate * 3.0,
+            per_node_delay: Duration::from_millis(500),
+            light_cost: Duration::from_micros(2),
+            work_cost: Duration::from_micros(40),
+            source_limit: self.source_limit,
+            seed: self.seed,
+            ..Default::default()
+        };
+        let (mut builder, out) = sharded_chain_builder(&o);
+        let metrics = MetricsHub::new();
+        if trace {
+            metrics.enable_trace(out);
+        }
+        builder = builder.metrics(metrics).workers(self.workers);
+        if let Some(w) = self.window {
+            builder = builder.credit_policy(CreditPolicy::Window(w));
+        }
+        if self.crash {
+            builder = builder.fault(FaultSpec::CrashReplica {
+                frag: 1,
+                shard: 1,
+                replica: 0,
+                from: Time::from_millis(1500),
+                to: None,
+            });
+        }
+        (builder.layout(), out)
+    }
+
+    /// Serializes the spec as `key=value` argv tokens for the child
+    /// processes.
+    pub fn to_args(&self) -> Vec<String> {
+        vec![
+            format!("shards={}", self.shards),
+            format!("rate={}", self.per_source_rate),
+            format!("wall_ms={}", self.wall_ms),
+            format!("crash={}", self.crash),
+            format!("window={}", self.window.unwrap_or(0)),
+            format!("procs={}", self.procs),
+            format!("workers={}", self.workers),
+            format!("seed={}", self.seed),
+            format!("limit={}", self.source_limit.unwrap_or(0)),
+        ]
+    }
+
+    /// Parses `key=value` tokens produced by [`TcpChainSpec::to_args`]
+    /// (unknown keys are ignored, so launchers can carry extra tokens).
+    pub fn parse_args<'a>(args: impl Iterator<Item = &'a str>) -> TcpChainSpec {
+        let mut spec = TcpChainSpec::default();
+        for arg in args {
+            let Some((key, val)) = arg.split_once('=') else {
+                continue;
+            };
+            match key {
+                "shards" => spec.shards = val.parse().unwrap_or(spec.shards),
+                "rate" => spec.per_source_rate = val.parse().unwrap_or(spec.per_source_rate),
+                "wall_ms" => spec.wall_ms = val.parse().unwrap_or(spec.wall_ms),
+                "crash" => spec.crash = val == "true",
+                "window" => {
+                    spec.window = match val.parse::<u32>() {
+                        Ok(0) | Err(_) => None,
+                        Ok(w) => Some(w),
+                    }
+                }
+                "procs" => spec.procs = val.parse().unwrap_or(spec.procs),
+                "workers" => spec.workers = val.parse().unwrap_or(spec.workers),
+                "seed" => spec.seed = val.parse().unwrap_or(spec.seed),
+                "limit" => {
+                    spec.source_limit = match val.parse::<u64>() {
+                        Ok(0) | Err(_) => None,
+                        Ok(n) => Some(n),
+                    }
+                }
+                _ => {}
+            }
+        }
+        spec
+    }
+}
+
+/// How the parent launches one worker process: `program prefix... proc=<i>
+/// key=value...`. The example uses its own binary with a sentinel prefix;
+/// the integration test uses the dedicated `tcp_node` binary.
+#[derive(Debug, Clone)]
+pub struct ChildCommand {
+    /// Executable to spawn.
+    pub program: String,
+    /// Arguments placed before the `proc=` and spec tokens.
+    pub prefix: Vec<String>,
+}
+
+/// What process 0 observed: the client's metrics, the loss accounting,
+/// and the wire gauges of its own connections.
+#[derive(Debug)]
+pub struct TcpReport {
+    /// Stable tuples delivered to the client.
+    pub n_stable: u64,
+    /// Tentative tuples delivered to the client.
+    pub n_tentative: u64,
+    /// Duplicate stable tuples (must be zero).
+    pub dup: u64,
+    /// Total messages lost to faults, summed across **all** processes
+    /// (process 0's stats plus each child's reported `STATS` line).
+    pub drops: u64,
+    /// Wall-clock seconds measured around the run.
+    pub elapsed: f64,
+    /// Stable tuples per second.
+    pub throughput: f64,
+    /// Wire gauges of process 0's connections.
+    pub wire: WireGauges,
+    /// The client arrival trace, if requested.
+    pub trace: Option<Vec<TraceEntry>>,
+}
+
+fn invalid(msg: String) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
+}
+
+/// Runs the multi-process deployment as process 0: forks `procs - 1`
+/// children with `child`, exchanges listen ports over their stdio,
+/// establishes the mesh, hosts the sources and the client for
+/// `spec.wall_ms`, and reaps the children.
+pub fn run_tcp_parent(spec: &TcpChainSpec, child: &ChildCommand) -> std::io::Result<TcpReport> {
+    let (layout, out) = spec.layout(true);
+    let plan = plan_processes(&layout, spec.procs);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let mut ports = vec![0u16; spec.procs as usize];
+    ports[0] = listener.local_addr()?.port();
+
+    let mut children: Vec<Child> = Vec::new();
+    for p in 1..spec.procs {
+        let mut cmd = Command::new(&child.program);
+        cmd.args(&child.prefix)
+            .arg(format!("proc={p}"))
+            .args(spec.to_args())
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped());
+        children.push(cmd.spawn()?);
+    }
+    // Every child binds its own listener and reports the port.
+    let mut outputs = Vec::new();
+    for (i, c) in children.iter_mut().enumerate() {
+        let mut reader = BufReader::new(c.stdout.take().expect("child stdout piped"));
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let port = line
+            .trim()
+            .strip_prefix("PORT ")
+            .and_then(|v| v.parse::<u16>().ok())
+            .ok_or_else(|| invalid(format!("child {} bad port line: {line:?}", i + 1)))?;
+        ports[i + 1] = port;
+        outputs.push(reader);
+    }
+    // Broadcast the full port map; the children then establish.
+    let port_line = format!(
+        "PORTS {}\n",
+        ports
+            .iter()
+            .map(|p| p.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    for c in &mut children {
+        c.stdin
+            .as_mut()
+            .expect("child stdin piped")
+            .write_all(port_line.as_bytes())?;
+    }
+
+    let fabric = TcpFabric::establish(0, listener, &ports, plan)?;
+    let sys = deploy_tcp(layout, fabric);
+    let started = std::time::Instant::now();
+    sys.run_for(std::time::Duration::from_millis(spec.wall_ms));
+    let elapsed = started.elapsed().as_secs_f64();
+    let (n_stable, n_tentative, dup, trace) = sys.metrics.with(out, |m| {
+        (m.n_stable, m.n_tentative, m.dup_stable, m.trace.clone())
+    });
+    // Wire gauges before teardown, while the connections still count as
+    // alive (the post-shutdown snapshot would report `conns == 0`).
+    let wire = sys.wire_gauges();
+    let stats = sys.shutdown();
+
+    let mut drops = stats.total_drops();
+    for (i, (mut reader, mut c)) in outputs.into_iter().zip(children).enumerate() {
+        let mut line = String::new();
+        loop {
+            line.clear();
+            if reader.read_line(&mut line)? == 0 || line.trim() == "DONE" {
+                break;
+            }
+            // Fold each child's loss accounting into the cluster total.
+            if line.starts_with("STATS ") {
+                drops += line
+                    .split_whitespace()
+                    .find_map(|tok| tok.strip_prefix("drops="))
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .unwrap_or(0);
+            }
+        }
+        let status = c.wait()?;
+        if !status.success() {
+            return Err(invalid(format!("child {} exited with {status}", i + 1)));
+        }
+    }
+
+    Ok(TcpReport {
+        n_stable,
+        n_tentative,
+        dup,
+        drops,
+        elapsed,
+        throughput: n_stable as f64 / elapsed,
+        wire,
+        trace,
+    })
+}
+
+/// Runs one worker process: binds a listener, reports the port on stdout
+/// (`PORT <p>`), reads the full port map from stdin (`PORTS p0 p1 ...`),
+/// establishes the mesh, runs its share of the layout, and prints a
+/// `STATS` line plus `DONE`.
+pub fn run_tcp_child(my_proc: u32, spec: &TcpChainSpec) -> std::io::Result<()> {
+    let (layout, _) = spec.layout(false);
+    let plan = plan_processes(&layout, spec.procs);
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    println!("PORT {}", listener.local_addr()?.port());
+    std::io::stdout().flush()?;
+    let mut line = String::new();
+    std::io::stdin().read_line(&mut line)?;
+    let ports = line
+        .trim()
+        .strip_prefix("PORTS ")
+        .map(|rest| {
+            rest.split_whitespace()
+                .filter_map(|p| p.parse::<u16>().ok())
+                .collect::<Vec<u16>>()
+        })
+        .filter(|p| p.len() == spec.procs as usize)
+        .ok_or_else(|| invalid(format!("bad port map line: {line:?}")))?;
+
+    let fabric = TcpFabric::establish(my_proc, listener, &ports, plan)?;
+    let sys = deploy_tcp(layout, fabric);
+    sys.run_for(std::time::Duration::from_millis(spec.wall_ms));
+    let stats = sys.shutdown();
+    println!(
+        "STATS delivered={} drops={} frames_sent={} frames_recv={} flushes={} grants_sent={}",
+        stats.messages_delivered,
+        stats.total_drops(),
+        stats.wire.frames_sent,
+        stats.wire.frames_recv,
+        stats.wire.flushes,
+        stats.wire.grants_sent,
+    );
+    println!("DONE");
+    std::io::stdout().flush()?;
+    Ok(())
+}
+
+/// Entry point shared by the `tcp_node` binary and the example's
+/// self-exec child mode: parses `proc=<i>` plus the spec tokens from
+/// `args` and runs the worker process.
+pub fn run_tcp_child_args<'a>(args: impl Iterator<Item = &'a str> + Clone) -> std::io::Result<()> {
+    let my_proc = args
+        .clone()
+        .find_map(|a| a.strip_prefix("proc=").and_then(|v| v.parse::<u32>().ok()))
+        .ok_or_else(|| invalid("missing proc=<i> argument".into()))?;
+    let spec = TcpChainSpec::parse_args(args);
+    run_tcp_child(my_proc, &spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_round_trips_through_argv() {
+        let spec = TcpChainSpec {
+            shards: 4,
+            per_source_rate: 2500.0,
+            wall_ms: 8000,
+            crash: true,
+            window: Some(64),
+            procs: 4,
+            workers: 3,
+            seed: 99,
+            source_limit: Some(1000),
+        };
+        let args = spec.to_args();
+        let parsed = TcpChainSpec::parse_args(args.iter().map(|s| s.as_str()));
+        assert_eq!(parsed, spec);
+        // Defaults survive empty/foreign tokens.
+        let d = TcpChainSpec::parse_args(["proc=2", "noise"].into_iter());
+        assert_eq!(d, TcpChainSpec::default());
+    }
+
+    #[test]
+    fn layout_is_identical_across_rebuilds() {
+        // Parent and children must derive the same id space and plan.
+        let spec = TcpChainSpec::default();
+        let (a, out_a) = spec.layout(false);
+        let (b, out_b) = spec.layout(true);
+        assert_eq!(out_a, out_b);
+        assert_eq!(a.actors.len(), b.actors.len());
+        assert_eq!(a.source_ids, b.source_ids);
+        assert_eq!(a.fragment_replicas, b.fragment_replicas);
+        assert_eq!(a.client, b.client);
+        assert_eq!(
+            plan_processes(&a, spec.procs),
+            plan_processes(&b, spec.procs)
+        );
+    }
+}

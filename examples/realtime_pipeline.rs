@@ -4,7 +4,7 @@
 //! per source, shard replica, and client.
 //!
 //! Run with:
-//! `cargo run --release --example realtime_pipeline [clean|overload|scale]`
+//! `cargo run --release --example realtime_pipeline [clean|overload|scale|tcp]`
 //!
 //! **clean** — the K = 1/2/4 shard sweep at fixed offered load, plus the
 //! K = 4 run with a scripted mid-run crash of one shard replica (the
@@ -25,6 +25,14 @@
 //! thread-count ceiling check (`workers + 2`), and a dedicated-thread
 //! parity run at the reference configuration.
 //!
+//! **tcp** — the multi-process deployment (`BENCH_PR7.json`): the same
+//! K = 4 reference chain forked across **three OS processes** over
+//! loopback sockets (this binary re-execs itself as the worker
+//! processes). Measures loopback throughput against the in-process
+//! engine, the frame-coalescing ratio, a mid-run replica crash in a
+//! worker process, and a bounded-window run proving credit grants ride
+//! the wire as explicit frames.
+//!
 //! With no argument all sections run.
 //!
 //! Knobs: `REALTIME_RATE` (tuples/s per source, default 4000),
@@ -32,8 +40,9 @@
 
 use borealis::prelude::*;
 use borealis_workloads::{
-    scale_grid_actors, scale_grid_builder, scale_grid_fragments, sharded_chain_builder,
-    ScaleOptions, ShardedChainOptions,
+    run_tcp_child_args, run_tcp_parent, scale_grid_actors, scale_grid_builder,
+    scale_grid_fragments, scale_grid_offered, sharded_chain_builder, ChildCommand, ScaleOptions,
+    ShardedChainOptions, TcpChainSpec,
 };
 
 struct RunResult {
@@ -389,18 +398,21 @@ fn scale_section(per_source_rate: f64, wall_secs: f64) {
          {wall_secs:.0}s per run\n"
     );
     println!(
-        "  chains |  K | fragments | actors | workers | threads | stable/s | steals | parks | dup"
+        "  chains |  K | fragments | actors | workers | offered/s | threads | stable/s | steals | parks | dup"
     );
     println!(
-        "  -------+----+-----------+--------+---------+---------+----------+--------+-------+----"
+        "  -------+----+-----------+--------+---------+-----------+---------+----------+--------+-------+----"
     );
-    // Per-chain rate shrinks as the grid grows: the point is actor count,
-    // not offered load — thousands of mostly-idle fragments must cost
-    // (nearly) nothing.
+    // Per-chain rate shrinks as the grid grows — the point is actor count,
+    // not offered load — but the *total* offered load (chains × rate) is
+    // held at 800/s across all three points so the stable/s column is
+    // comparable. (The earlier 16×25 = 400/s grid point made the
+    // 1040-fragment row look like a throughput cliff when it was simply
+    // offered half the input.)
     let grid = [
         (4u32, 4u32, 2usize, 200.0),
         (8, 16, 4, 100.0),
-        (16, 64, 8, 25.0),
+        (16, 64, 8, 50.0),
     ];
     let mut steals_total = 0u64;
     for (chains, shards, workers, rate) in grid {
@@ -414,12 +426,13 @@ fn scale_section(per_source_rate: f64, wall_secs: f64) {
         let actors = scale_grid_actors(&o);
         let r = run_scale(&o, workers, wall_secs, false);
         println!(
-            "  {:>6} | {:>2} | {:>9} | {:>6} | {:>7} | {:>7} | {:>8.0} | {:>6} | {:>5} | {:>3}",
+            "  {:>6} | {:>2} | {:>9} | {:>6} | {:>7} | {:>9.0} | {:>7} | {:>8.0} | {:>6} | {:>5} | {:>3}",
             chains,
             shards,
             fragments,
             actors,
             workers,
+            scale_grid_offered(&o),
             r.threads.map_or_else(|| "?".into(), |t| t.to_string()),
             r.stable as f64 / r.elapsed,
             r.sched.steals,
@@ -461,7 +474,7 @@ fn scale_section(per_source_rate: f64, wall_secs: f64) {
     let o = ScaleOptions {
         chains: 16,
         shards: 64,
-        rate_per_chain: 25.0,
+        rate_per_chain: 50.0,
         ..Default::default()
     };
     let c = run_scale(&o, 8, wall_secs + 2.0, true);
@@ -509,8 +522,131 @@ fn scale_section(per_source_rate: f64, wall_secs: f64) {
     }
 }
 
+/// The multi-process socket section: the K = 4 reference chain forked
+/// across three OS processes over loopback TCP (this binary re-execs
+/// itself with the `__tcp_child` sentinel as the worker processes; the
+/// parent process hosts the sources and the client).
+fn tcp_section(per_source_rate: f64, wall_secs: f64) {
+    let offered = per_source_rate * 3.0;
+    println!(
+        "\ntcp deployment: K=4 chain across 3 OS processes over loopback sockets, \
+         {offered:.0} tuples/s offered, {wall_secs:.0}s per run\n"
+    );
+    let exe = std::env::current_exe().expect("own executable path");
+    let child = ChildCommand {
+        program: exe.to_string_lossy().into_owned(),
+        prefix: vec!["__tcp_child".into()],
+    };
+    let spec = |crash: bool, window: Option<u32>| TcpChainSpec {
+        shards: 4,
+        per_source_rate,
+        wall_ms: (wall_secs * 1000.0) as u64,
+        crash,
+        window,
+        procs: 3,
+        workers: 4,
+        seed: 7,
+        source_limit: None,
+    };
+
+    // In-process reference at the identical config, then the same chain
+    // with every fragment replica living in a forked worker process.
+    let inproc = run_once(
+        4,
+        per_source_rate,
+        wall_secs,
+        false,
+        CreditPolicy::Unbounded,
+    );
+    let clean = run_tcp_parent(&spec(false, None), &child).expect("tcp clean run");
+    println!("  in-process  : {:.0} stable tuples/s", inproc.throughput);
+    println!(
+        "  loopback tcp: {:.0} stable tuples/s ({:.0}% of in-process), {} stable, {} dup",
+        clean.throughput,
+        100.0 * clean.throughput / inproc.throughput,
+        clean.n_stable,
+        clean.dup
+    );
+    println!(
+        "  wire (proc 0): {} frames in {} flushes ({:.1} frames/syscall), \
+         {} bytes sent, {} bytes received, {} conns",
+        clean.wire.frames_sent,
+        clean.wire.flushes,
+        clean.wire.frames_per_flush(),
+        clean.wire.bytes_sent,
+        clean.wire.bytes_recv,
+        clean.wire.conns
+    );
+    assert_eq!(clean.dup, 0, "sockets must not duplicate stable tuples");
+    assert!(
+        clean.n_stable > 1_000,
+        "live traffic must flow across the wire ({} stable)",
+        clean.n_stable
+    );
+    assert!(
+        clean.wire.frames_per_flush() >= 1.0,
+        "the writer must coalesce frames into syscalls: {:?}",
+        clean.wire
+    );
+    // No drops assertion on clean tcp runs: at teardown the peer that sends
+    // its Goodbye first makes the other side count a few late heartbeats as
+    // send drops — benign shutdown skew, not data loss (dup == 0 and the
+    // three-way equivalence test pin correctness).
+    if per_source_rate >= 10_000.0 && wall_secs >= 8.0 {
+        assert!(
+            clean.throughput >= 29_249.0 * 0.80,
+            "loopback TCP must hold ≥80% of the in-process reference \
+             (29249 stable/s): got {:.0}",
+            clean.throughput
+        );
+        println!("  loopback tcp holds ≥80% of the in-process reference.");
+    }
+
+    // --- Mid-run replica crash in a worker process -----------------------
+    let crash = run_tcp_parent(&spec(true, None), &child).expect("tcp crash run");
+    println!(
+        "\ncrash run (work-shard replica killed at t=1.5s in a worker process): \
+         {:.0} stable/s, {} stable, {} tentative, {} dup, {} drops",
+        crash.throughput, crash.n_stable, crash.n_tentative, crash.dup, crash.drops
+    );
+    assert_eq!(crash.dup, 0, "cross-process failover must not duplicate");
+    assert!(
+        crash.drops > 0,
+        "the scripted crash must sever traffic somewhere in the cluster"
+    );
+    assert!(
+        crash.n_stable > 1_000,
+        "stable output must keep flowing through the failure ({} stable)",
+        crash.n_stable
+    );
+
+    // --- Bounded window: the credit protocol rides the wire --------------
+    let windowed = run_tcp_parent(&spec(false, Some(64)), &child).expect("tcp windowed run");
+    println!(
+        "\nwindow-64 run: {:.0} stable/s; {} grant frames sent, {} received (proc 0)",
+        windowed.throughput, windowed.wire.grants_sent, windowed.wire.grants_recv
+    );
+    assert_eq!(windowed.dup, 0);
+    assert!(
+        windowed.wire.grants_sent > 0 && windowed.wire.grants_recv > 0,
+        "credit grants must ride the wire as explicit frames: {:?}",
+        windowed.wire
+    );
+    println!(
+        "credit flow control crossed process boundaries: grants on the wire, \
+         failover duplicate-free."
+    );
+}
+
 fn main() {
-    let mode = std::env::args().nth(1).unwrap_or_default();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    // Forked worker process of the tcp section: argv carries the sentinel,
+    // `proc=<i>`, and the serialized spec; the port map arrives on stdin.
+    if args.first().is_some_and(|a| a == "__tcp_child") {
+        run_tcp_child_args(args.iter().skip(1).map(|s| s.as_str())).expect("tcp worker process");
+        return;
+    }
+    let mode = args.first().cloned().unwrap_or_default();
     let per_source_rate: f64 = std::env::var("REALTIME_RATE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -524,10 +660,12 @@ fn main() {
         "clean" => clean_section(per_source_rate, wall_secs),
         "overload" => overload_section(per_source_rate, wall_secs),
         "scale" => scale_section(per_source_rate, wall_secs),
+        "tcp" => tcp_section(per_source_rate, wall_secs),
         _ => {
             clean_section(per_source_rate, wall_secs);
             overload_section(per_source_rate, wall_secs);
             scale_section(per_source_rate, wall_secs);
+            tcp_section(per_source_rate, wall_secs);
         }
     }
 }

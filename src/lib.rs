@@ -104,10 +104,13 @@ pub mod prelude {
         SourceConfig, SystemBuilder, SystemLayout, Transport, ValueGen,
     };
     pub use borealis_ops::{AggFn, AggregateSpec, DelayMode, SJoinSpec, SUnionConfig};
-    pub use borealis_runtime::{deploy_threads, RunningThreads, ThreadRuntime};
+    pub use borealis_runtime::{
+        deploy_tcp, deploy_threads, plan_processes, RunningTcp, RunningThreads, TcpFabric,
+        ThreadRuntime,
+    };
     pub use borealis_types::{
         CreditPolicy, Duration, Expr, FlowGauges, FragmentId, NodeId, PartitionSpec, SchedGauges,
-        SendOutcome, StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind, Value,
+        SendOutcome, StreamId, Time, Tuple, TupleBatch, TupleId, TupleKind, Value, WireGauges,
     };
 }
 

@@ -13,7 +13,8 @@
 
 use borealis::prelude::*;
 use borealis_workloads::{
-    chain_builder, sharded_chain_builder, ChainOptions, ShardedChainOptions, DISTRIBUTED_VARIANTS,
+    chain_builder, run_tcp_parent, sharded_chain_builder, ChainOptions, ChildCommand,
+    ShardedChainOptions, TcpChainSpec, DISTRIBUTED_VARIANTS,
 };
 
 /// Reconstructs the stable output stream from a client arrival trace:
@@ -463,6 +464,103 @@ fn healthy_chain_stable_stream_identical_across_runtimes() {
         thr_stable.len()
     );
     assert_eq!(sim_stable[..common], thr_stable[..common]);
+}
+
+/// The full portability ladder: the same [`TcpChainSpec`] deployment —
+/// sharded chain, replication 2, one work-shard replica crashed mid-run —
+/// executed (a) under the deterministic simulator, (b) on one in-process
+/// worker pool, and (c) across **three OS processes** over loopback TCP,
+/// must deliver byte-identical stable output over the common prefix.
+///
+/// This is the transport-independence guarantee the socket layer must not
+/// break: credit windows ride the wire as explicit `CreditGrant` frames, a
+/// torn connection is handled through the same NodeDown/purge path as an
+/// in-process crash, and SUnion's deterministic bucket serialization makes
+/// the corrected stable stream a function of the deployment description
+/// alone — not of which transport carried it.
+#[test]
+fn stable_stream_identical_across_sim_threads_and_sockets() {
+    let spec = TcpChainSpec {
+        shards: 2,
+        per_source_rate: 100.0,
+        wall_ms: 4500,
+        crash: true,
+        window: None,
+        procs: 3,
+        workers: 2,
+        seed: 33,
+        source_limit: None,
+    };
+
+    // (a) Deterministic simulator, virtual time.
+    let (layout, out) = spec.layout(true);
+    let mut sim_sys = layout.deploy_sim();
+    sim_sys.run_until(Time::from_secs(6));
+    let (sim_stable, sim_dups) = sim_sys.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+
+    // (b) One process, worker-pool threads.
+    let (layout, _) = spec.layout(true);
+    let threads = deploy_threads(layout);
+    threads.run_for(std::time::Duration::from_millis(spec.wall_ms));
+    let (thr_stable, thr_dups) = threads.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+    threads.shutdown();
+
+    // (c) Three OS processes over loopback sockets: this process hosts the
+    // sources and the client; two forked `tcp_node` children host the
+    // fragment replicas (same-fragment replicas in different processes).
+    let child = ChildCommand {
+        program: env!("CARGO_BIN_EXE_tcp_node").to_string(),
+        prefix: Vec::new(),
+    };
+    let report = run_tcp_parent(&spec, &child).expect("tcp deployment runs");
+    let tcp_stable = stable_stream(report.trace.as_ref().expect("trace enabled"));
+
+    assert_eq!(sim_dups, 0, "simulator run violated stable-id monotonicity");
+    assert_eq!(thr_dups, 0, "thread run violated stable-id monotonicity");
+    assert_eq!(report.dup, 0, "socket run violated stable-id monotonicity");
+    assert!(
+        report.drops > 0,
+        "the scripted crash must sever traffic somewhere in the cluster: {report:?}"
+    );
+    assert!(
+        report.wire.frames_sent > 0 && report.wire.frames_recv > 0,
+        "data must actually cross the wire: {:?}",
+        report.wire
+    );
+    assert!(
+        report.wire.frames_per_flush() >= 1.0,
+        "the writer coalesces at least one frame per syscall: {:?}",
+        report.wire
+    );
+
+    let common = sim_stable.len().min(thr_stable.len()).min(tcp_stable.len());
+    assert!(
+        common >= 300,
+        "all three runs must deliver a substantial stable stream: sim={} threads={} tcp={}",
+        sim_stable.len(),
+        thr_stable.len(),
+        tcp_stable.len()
+    );
+    assert_eq!(
+        sim_stable[..common],
+        thr_stable[..common],
+        "thread run diverges from the simulator"
+    );
+    assert_eq!(
+        sim_stable[..common],
+        tcp_stable[..common],
+        "socket run diverges from the simulator within the common prefix"
+    );
 }
 
 /// Worker-count invariance: the sharded chain with a mid-run shard-replica

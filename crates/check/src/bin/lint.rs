@@ -1,0 +1,39 @@
+//! Facade lint runner: fails the build if `crates/runtime` uses
+//! `std::sync` outside its `sync.rs` facade. See [`borealis_check::lint`].
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let runtime_src = match std::env::args().nth(1) {
+        Some(dir) => PathBuf::from(dir),
+        None => PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("..")
+            .join("runtime")
+            .join("src"),
+    };
+    let findings = match borealis_check::lint::scan_dir(&runtime_src, "sync.rs") {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("lint: cannot scan {}: {e}", runtime_src.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!(
+            "lint: OK — no direct std::sync use in {} outside sync.rs",
+            runtime_src.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+    eprintln!(
+        "lint: {} direct std::sync use(s) in {} outside the sync facade — \
+         route them through crate::sync so the model checker can see them:",
+        findings.len(),
+        runtime_src.display()
+    );
+    for f in &findings {
+        eprintln!("  {f}");
+    }
+    ExitCode::FAILURE
+}

@@ -1,0 +1,104 @@
+//! Source-level facade lint.
+//!
+//! The model checker only sees what goes through the sync facade
+//! (`crates/runtime/src/sync.rs`). A direct `std::sync` use anywhere else
+//! in `crates/runtime` silently escapes the model — so this lint makes it
+//! a build failure instead. Run as `cargo run -p borealis-check --bin
+//! lint` (CI does).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// File the offense is in.
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// The offending source line, trimmed.
+    pub text: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}", self.file.display(), self.line, self.text)
+    }
+}
+
+/// Scans one source text for direct `std::sync` references, ignoring
+/// comment-only occurrences (`//` to end of line).
+pub fn scan_source(file: &Path, src: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for (i, raw) in src.lines().enumerate() {
+        let line = match raw.find("//") {
+            Some(idx) => &raw[..idx],
+            None => raw,
+        };
+        if line.contains("std::sync") {
+            out.push(Finding {
+                file: file.to_path_buf(),
+                line: i + 1,
+                text: raw.trim().to_string(),
+            });
+        }
+    }
+    out
+}
+
+/// Recursively scans every `.rs` file under `dir` except files named
+/// `allow_file` (the facade itself). Files are visited in sorted order so
+/// output is deterministic.
+pub fn scan_dir(dir: &Path, allow_file: &str) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    collect_rs_files(dir, &mut files)?;
+    files.sort();
+    let mut out = Vec::new();
+    for f in files {
+        if f.file_name().and_then(|n| n.to_str()) == Some(allow_file) {
+            continue;
+        }
+        let src = fs::read_to_string(&f)?;
+        out.extend(scan_source(&f, &src));
+    }
+    Ok(out)
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let p = entry.path();
+        if p.is_dir() {
+            collect_rs_files(&p, out)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_direct_mutex_use() {
+        let src = "use std::sync::Mutex;\nfn f() { let _m = Mutex::new(0); }\n";
+        let f = scan_source(Path::new("x.rs"), src);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert!(f[0].text.contains("std::sync::Mutex"));
+    }
+
+    #[test]
+    fn flags_inline_paths_and_atomics() {
+        let src = "fn f() { let x = std::sync::atomic::AtomicU64::new(0); let _ = x; }\n";
+        assert_eq!(scan_source(Path::new("x.rs"), src).len(), 1);
+    }
+
+    #[test]
+    fn ignores_comments_and_facade_users() {
+        let src = "// std::sync is re-exported by the facade\nuse crate::sync::Mutex;\nlet _x = 1; // trailing std::sync mention\n";
+        assert!(scan_source(Path::new("x.rs"), src).is_empty());
+    }
+}

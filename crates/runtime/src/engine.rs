@@ -31,7 +31,10 @@
 
 use crate::clock::MonotonicClock;
 use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
-use crate::scheduler::{relock, ActorCell, Envelope, Scheduler, Task};
+use crate::scheduler::{ActorCell, Envelope, Scheduler, Task};
+use crate::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use crate::sync::relock;
+use crate::sync::Arc;
 use crate::tcp::TcpFabric;
 use crate::wheel::{Due, TimerWheel};
 use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
@@ -41,8 +44,6 @@ use borealis_types::{
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Envelopes one activation may process before yielding the worker (the
@@ -713,6 +714,10 @@ impl ThreadRuntime {
         for h in self.workers.drain(..) {
             let _ = h.join();
         }
+        // Workers joined: nothing pushes concurrently, so the depth
+        // gauges must now equal the actual queue lengths exactly.
+        #[cfg(debug_assertions)]
+        self.sched.debug_verify_depths();
         self.sched.crashed()
     }
 }
@@ -732,8 +737,8 @@ impl Drop for ThreadRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::Mutex;
     use borealis_types::{Duration, StreamId};
-    use std::sync::Mutex;
 
     /// Records everything it receives; replies to heartbeats.
     struct Recorder {

@@ -32,19 +32,39 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+#[cfg(not(borealis_model))]
 pub mod engine;
+// In model builds the engine is compiled out, so the scheduler and the
+// stats half of links are reachable only from the model tests — the
+// non-test model build would flag them dead.
+#[cfg_attr(borealis_model, allow(dead_code))]
 pub mod links;
+#[cfg_attr(borealis_model, allow(dead_code))]
 pub(crate) mod scheduler;
+pub mod sync;
+#[cfg(not(borealis_model))]
 pub mod tcp;
 pub mod wheel;
 
+// Model builds (`--cfg borealis_model`) swap the sync facade for the
+// virtual primitives of `borealis-check` and compile only the protocol
+// cores the model tests exercise (scheduler, links, wheel); the real
+// OS-thread engine and TCP fabric need wall clocks and sockets, which
+// have no meaning under the interleaving explorer.
+#[cfg(all(test, borealis_model))]
+mod model_tests;
+
 pub use clock::MonotonicClock;
+#[cfg(not(borealis_model))]
 pub use engine::ThreadRuntime;
 pub use links::{LinkTable, RuntimeStats, StatsSnapshot};
+#[cfg(not(borealis_model))]
 pub use tcp::{deploy_tcp, plan_processes, RunningTcp, TcpFabric};
 pub use wheel::{Due, TimerWheel};
 
+#[cfg(not(borealis_model))]
 use borealis_dpc::{MetricsHub, SystemLayout};
+#[cfg(not(borealis_model))]
 use borealis_types::{NodeId, StreamId};
 
 /// A deployment running under the thread engine.
@@ -52,6 +72,7 @@ use borealis_types::{NodeId, StreamId};
 /// The mirror of `borealis_dpc::RunningSystem`: same topology lookup
 /// fields, but progress happens in wall-clock time on background threads —
 /// [`RunningThreads::run_for`] simply lets it.
+#[cfg(not(borealis_model))]
 pub struct RunningThreads {
     /// The engine driving the actors.
     pub runtime: ThreadRuntime,
@@ -68,6 +89,7 @@ pub struct RunningThreads {
     pub client: Option<NodeId>,
 }
 
+#[cfg(not(borealis_model))]
 impl RunningThreads {
     /// Lets the system run for `wall` (blocks the caller; the actors run on
     /// the worker pool), then refreshes the metrics hub's transport and
@@ -106,6 +128,7 @@ impl RunningThreads {
 /// field if set (`SystemBuilder::workers`), else the `BOREALIS_WORKERS`
 /// environment variable, else a machine-derived default
 /// ([`ThreadRuntime::default_workers`]).
+#[cfg(not(borealis_model))]
 pub fn deploy_threads(layout: SystemLayout) -> RunningThreads {
     let metrics = layout.metrics.clone();
     let actors = layout
@@ -134,7 +157,7 @@ pub fn deploy_threads(layout: SystemLayout) -> RunningThreads {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(borealis_model)))]
 mod tests {
     use super::*;
     use borealis_diagram::{plan_deployment, DeploymentSpec, DpcConfig, QueryBuilder};

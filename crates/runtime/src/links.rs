@@ -11,14 +11,13 @@
 //! check again at delivery time — the same two drop points the simulator
 //! counts.
 
+use crate::sync::{read, relock, write, Arc, AtomicU64, Mutex, Ordering, RwLock};
 use borealis_dpc::{NetMsg, Transport};
 use borealis_sim::{FaultEvent, FlowControl, Network, ShardMsg};
 use borealis_types::{
     CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SchedGauges, SendOutcome, Time,
     WireGauges,
 };
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, RwLock};
 
 /// Message-loss accounting for a whole thread-engine run (the wall-clock
 /// sibling of `borealis_sim::SimStats`).
@@ -150,12 +149,12 @@ impl LinkTable {
 
     /// True if a message from `a` can currently reach `b`.
     pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
-        self.net.read().expect("link table lock").reachable(a, b)
+        read(&self.net).reachable(a, b)
     }
 
     /// True if the node itself is up.
     pub fn node_up(&self, n: NodeId) -> bool {
-        self.net.read().expect("link table lock").node_up(n)
+        read(&self.net).node_up(n)
     }
 
     /// The partition filter governing deliveries to `node`, if any
@@ -177,19 +176,21 @@ impl LinkTable {
     /// Admits a credit-controlled message to `from → to`: returns it when
     /// a credit was available, or queues it at the sender (`None`).
     pub fn admit(&self, from: NodeId, to: NodeId, msg: NetMsg, now: Time) -> Option<NetMsg> {
-        self.flow
-            .lock()
-            .expect("flow ledger lock")
-            .admit(from, to, msg, now)
+        let mut flow = relock(&self.flow);
+        let admitted = flow.admit(from, to, msg, now);
+        #[cfg(debug_assertions)]
+        flow.check_invariants();
+        admitted
     }
 
     /// One delivery on `from → to` was consumed: returns the next queued
     /// message to release, if any.
     pub fn consumed_release(&self, from: NodeId, to: NodeId, now: Time) -> Option<NetMsg> {
-        self.flow
-            .lock()
-            .expect("flow ledger lock")
-            .replenish(from, to, now)
+        let mut flow = relock(&self.flow);
+        let released = flow.replenish(from, to, now);
+        #[cfg(debug_assertions)]
+        flow.check_invariants();
+        released
     }
 
     /// Continuous credit-stall duration of `from → to` (lock-free zero
@@ -198,15 +199,12 @@ impl LinkTable {
         if !self.policy.is_tracking() {
             return Duration::ZERO;
         }
-        self.flow
-            .lock()
-            .expect("flow ledger lock")
-            .stalled_for(from, to, now)
+        relock(&self.flow).stalled_for(from, to, now)
     }
 
     /// Queue-depth and stall-time gauges of the credit ledger.
     pub fn flow_gauges(&self) -> FlowGauges {
-        self.flow.lock().expect("flow ledger lock").gauges()
+        relock(&self.flow).gauges()
     }
 
     /// Applies a fault (or heal) to the connectivity state at `now` (the
@@ -214,7 +212,7 @@ impl LinkTable {
     /// queued sends purged by a node crash (in-flight losses the caller
     /// records as delivery drops).
     pub fn apply(&self, fault: &FaultEvent, now: Time) -> u64 {
-        let mut net = self.net.write().expect("link table lock");
+        let mut net = write(&self.net);
         match fault {
             FaultEvent::LinkDown { a, b } => net.link_down(*a, *b),
             FaultEvent::LinkUp { a, b } => net.link_up(*a, *b),
@@ -222,12 +220,14 @@ impl LinkTable {
                 net.node_down(*n);
                 if self.policy.is_tracking() {
                     // Pending credits and queued sends die with the node;
-                    // the links restart with a full window.
-                    return self
-                        .flow
-                        .lock()
-                        .expect("flow ledger lock")
-                        .reset_node(*n, now);
+                    // the links restart with a full window. The purge
+                    // count is computed inside the ledger lock, so an
+                    // in-flight admit can never be counted twice.
+                    let mut flow = relock(&self.flow);
+                    let purged = flow.reset_node(*n, now);
+                    #[cfg(debug_assertions)]
+                    flow.check_invariants();
+                    return purged;
                 }
             }
             FaultEvent::NodeUp(n) => net.node_up_again(*n),
@@ -240,18 +240,12 @@ impl LinkTable {
     /// goes down (scripting convenience mirroring
     /// `borealis_sim::Network::partition`).
     pub fn partition(&self, group_a: &[NodeId], group_b: &[NodeId]) {
-        self.net
-            .write()
-            .expect("link table lock")
-            .partition(group_a, group_b);
+        write(&self.net).partition(group_a, group_b);
     }
 
     /// Heals a partition created with [`LinkTable::partition`].
     pub fn heal_partition(&self, group_a: &[NodeId], group_b: &[NodeId]) {
-        self.net
-            .write()
-            .expect("link table lock")
-            .heal_partition(group_a, group_b);
+        write(&self.net).heal_partition(group_a, group_b);
     }
 }
 
@@ -300,7 +294,7 @@ impl Transport for LinkTable {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(borealis_model)))]
 mod tests {
     use super::*;
 

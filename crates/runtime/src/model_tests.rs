@@ -1,0 +1,445 @@
+//! Exhaustive interleaving tests for the runtime's core concurrency
+//! protocols, run under `borealis-check`'s bounded model checker
+//! (`RUSTFLAGS="--cfg borealis_model" cargo test -p borealis-runtime --lib`).
+//!
+//! Every test explores *all* thread interleavings up to the preemption
+//! bound (2 — the CHESS observation: almost all real concurrency bugs
+//! need at most two preemptive switches). Four protocols are covered:
+//!
+//! 1. the mailbox queued-exactly-once state machine ([`Scheduler::push`]);
+//! 2. [`IdleLot`] token parking (no lost wakeup, token bank capped);
+//! 3. [`FlowControl`] window accounting behind [`LinkTable`]'s ledger lock;
+//! 4. crash purge vs in-flight sends (every purged send counted exactly
+//!    once as a delivery drop).
+//!
+//! Each protocol also has a **seeded-bug twin**: a compact
+//! reimplementation with one critical line mutated the way a plausible
+//! refactor would, checked with [`explore_expect_violation`] — proving
+//! the explorer *detects* the class of bug the real code avoids, and
+//! printing the replayable trace a real regression would produce.
+//!
+//! [`FlowControl`]: borealis_sim::FlowControl
+
+use crate::links::{LinkTable, RuntimeStats};
+use crate::scheduler::{Envelope, IdleLot, Scheduler};
+use crate::sync::{relock, Arc, AtomicU64, Condvar, Mutex, Ordering};
+use borealis_check::sync::thread;
+use borealis_check::{explore, explore_expect_violation, Opts, Report};
+use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
+use borealis_sim::FaultEvent;
+use borealis_types::{CreditPolicy, NodeId, Time};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::VecDeque;
+
+struct Inert;
+impl DpcActor for Inert {
+    fn on_message(&mut self, _ctx: &mut dyn RuntimeCtx, _from: NodeId, _msg: NetMsg) {}
+    fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, _kind: u64) {}
+}
+
+fn sched(n_actors: usize, workers: usize) -> Scheduler {
+    let actors = (0..n_actors)
+        .map(|i| {
+            (
+                Box::new(Inert) as Box<dyn DpcActor>,
+                StdRng::seed_from_u64(i as u64),
+            )
+        })
+        .collect();
+    Scheduler::new(actors, workers)
+}
+
+/// Drains the initial seeding so every task is Idle.
+fn drain_initial(s: &Scheduler) {
+    for w in 0..s.workers() {
+        while let Some(t) = s.pop(w) {
+            t.begin();
+            while t.pop_envelope().is_some() {}
+        }
+    }
+}
+
+fn data_msg() -> NetMsg {
+    NetMsg::Data {
+        stream: borealis_types::StreamId(0),
+        tuples: borealis_types::TupleBatch::single(borealis_types::Tuple::boundary(
+            borealis_types::TupleId::NONE,
+            Time::ZERO,
+        )),
+    }
+}
+
+/// State-space sizes land in `BENCH_PR8.json`; collect them with
+/// `-- --nocapture`.
+fn report(name: &str, r: Report) {
+    println!(
+        "model-state-space {name}: executions={} bound={} depth={}",
+        r.executions, r.preemption_bound, r.max_branch_depth
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 1: the mailbox queued-exactly-once machine
+// ---------------------------------------------------------------------------
+
+/// Two concurrent pushers against one parked worker: every envelope is
+/// processed exactly once, the task is never double-enqueued (the
+/// `begin()` debug assert fires on a second run-queue entry), and the
+/// worker never misses a wakeup (a lost one deadlocks the exploration,
+/// which the checker reports).
+#[test]
+fn model_mailbox_queued_exactly_once() {
+    let r = explore(Opts::default(), || {
+        let s = Arc::new(sched(1, 1));
+        drain_initial(&s);
+        let s1 = Arc::clone(&s);
+        let p1 = thread::spawn(move || s1.push(NodeId(0), Envelope::Timer(1), None));
+        let s2 = Arc::clone(&s);
+        let p2 = thread::spawn(move || s2.push(NodeId(0), Envelope::Timer(2), None));
+        // The worker loop: drain, then park on the IdleLot like the real
+        // engine — a lost wakeup shows up as a deadlock violation.
+        let mut seen: Vec<u64> = Vec::new();
+        while seen.len() < 2 {
+            match s.pop(0) {
+                Some(t) => {
+                    t.begin();
+                    while let Some(env) = t.pop_envelope() {
+                        match env {
+                            Envelope::Timer(k) => seen.push(k),
+                            _ => unreachable!("only timers pushed"),
+                        }
+                    }
+                }
+                None => s.park(None),
+            }
+        }
+        p1.join();
+        p2.join();
+        seen.sort_unstable();
+        assert_eq!(seen, [1, 2], "each envelope delivered exactly once");
+        assert!(s.pop(0).is_none(), "no residual run-queue entry");
+    });
+    report("mailbox_queued_exactly_once", r);
+}
+
+/// Seeded-bug twin of [`Scheduler::push`]: the Idle→Queued decision is
+/// made *after* the mailbox lock is dropped (the real code flips the state
+/// under the same lock that appends the envelope — `scheduler.rs`,
+/// `push()`). Two pushers can then both observe Idle and enqueue twice.
+#[test]
+fn model_mailbox_double_enqueue_twin_is_caught() {
+    struct TwinSched {
+        /// (mailbox queue, queued-or-running flag).
+        mailbox: Mutex<(VecDeque<u64>, bool)>,
+        /// Run-queue entries for the one task.
+        runq: Mutex<Vec<u8>>,
+    }
+    impl TwinSched {
+        fn buggy_push(&self, v: u64) {
+            let was_idle = {
+                let mut mb = relock(&self.mailbox);
+                mb.0.push_back(v);
+                !mb.1
+            };
+            // BUG: the decision leaves the critical section before the
+            // state flips — a second pusher interleaving here also sees
+            // Idle and enqueues the task again.
+            if was_idle {
+                relock(&self.mailbox).1 = true;
+                relock(&self.runq).push(1);
+            }
+        }
+    }
+    let msg = explore_expect_violation(Opts::default(), || {
+        let s = Arc::new(TwinSched {
+            mailbox: Mutex::new((VecDeque::new(), false)),
+            runq: Mutex::new(Vec::new()),
+        });
+        let s1 = Arc::clone(&s);
+        let p1 = thread::spawn(move || s1.buggy_push(1));
+        let s2 = Arc::clone(&s);
+        let p2 = thread::spawn(move || s2.buggy_push(2));
+        p1.join();
+        p2.join();
+        assert!(relock(&s.runq).len() <= 1, "task enqueued more than once");
+    });
+    assert!(
+        msg.contains("BOREALIS_MODEL_REPLAY"),
+        "violation trace is replayable: {msg}"
+    );
+    println!("seeded double-enqueue trace:\n{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 2: IdleLot token parking
+// ---------------------------------------------------------------------------
+
+/// Two parkers against three wake deposits (cap 2): no wakeup is ever
+/// lost (both parks return in every interleaving — a loss deadlocks the
+/// exploration) and the token bank never exceeds the cap (debug-asserted
+/// inside `unpark_one`; at most one token can remain banked).
+#[test]
+fn model_idlelot_no_lost_wakeup_no_herd() {
+    let r = explore(Opts::default(), || {
+        let lot = Arc::new(IdleLot::new(2));
+        let l1 = Arc::clone(&lot);
+        let p1 = thread::spawn(move || l1.park(None));
+        let l2 = Arc::clone(&lot);
+        let p2 = thread::spawn(move || l2.park(None));
+        lot.unpark_one();
+        lot.unpark_one();
+        lot.unpark_one(); // over-deposit: capped, not banked
+        p1.join();
+        p2.join();
+        // 3 deposits capped at 2, 2 consumed: at most one token can remain
+        // — a bank above that would wake workers with nothing to scan for.
+        assert!(lot.banked() <= 1, "token bank exceeds deposits minus parks");
+    });
+    report("idlelot_no_lost_wakeup_no_herd", r);
+}
+
+/// Seeded-bug twin of [`IdleLot::park`]: a condvar sleep with no banked
+/// token to consume first (the real code checks `*t > 0` before waiting —
+/// `scheduler.rs`, `IdleLot::park`). A deposit landing before the sleep
+/// is then lost and the parker never wakes: a deadlock the checker finds.
+#[test]
+fn model_idlelot_tokenless_twin_loses_wakeup() {
+    struct TokenlessLot {
+        m: Mutex<()>,
+        cv: Condvar,
+    }
+    let msg = explore_expect_violation(Opts::default(), || {
+        let lot = Arc::new(TokenlessLot {
+            m: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let l = Arc::clone(&lot);
+        let parker = thread::spawn(move || {
+            let g = relock(&l.m);
+            // BUG: no token check before the wait — a notify that already
+            // happened is gone (condvars have no memory).
+            let _g = l.cv.wait(g);
+        });
+        lot.cv.notify_one();
+        parker.join();
+    });
+    assert!(
+        msg.contains("BOREALIS_MODEL_REPLAY"),
+        "violation trace is replayable: {msg}"
+    );
+    println!("seeded lost-wakeup trace:\n{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 3: FlowControl window accounting behind the ledger lock
+// ---------------------------------------------------------------------------
+
+/// A sender and a consumer race on one Window(1) link: the in-flight
+/// count never exceeds the window, no credit is double-replenished, and
+/// the queue-depth gauges equal the actual ledger totals
+/// (`FlowControl::check_invariants` runs inside every [`LinkTable`] op in
+/// debug builds — which every model interleaving is).
+#[test]
+fn model_flow_window_accounting() {
+    let r = explore(Opts::default(), || {
+        let t = Arc::new(LinkTable::with_config(Vec::new(), CreditPolicy::Window(1)));
+        let (a, b) = (NodeId(0), NodeId(1));
+        let t1 = Arc::clone(&t);
+        let sender = thread::spawn(move || {
+            t1.admit(a, b, data_msg(), Time::ZERO);
+            t1.admit(a, b, data_msg(), Time::ZERO);
+        });
+        let t2 = Arc::clone(&t);
+        let consumer = thread::spawn(move || {
+            t2.consumed_release(a, b, Time::ZERO);
+        });
+        sender.join();
+        consumer.join();
+        let g = t.flow_gauges();
+        assert!(g.inflight_peak <= 1, "credit window exceeded: {g:?}");
+        assert_eq!(
+            g.delivered + g.queued,
+            2,
+            "each admit exactly once delivered or queued: {g:?}"
+        );
+        assert_eq!(
+            g.queued_now,
+            g.queued - g.released,
+            "no double-replenish: {g:?}"
+        );
+    });
+    report("flow_window_accounting", r);
+}
+
+/// Seeded-bug twin of the ledger's window check: `FlowControl::admit`'s
+/// `link.inflight < w` test is safe only because [`LinkTable::admit`]
+/// holds the ledger mutex across check *and* increment — split into two
+/// atomic ops (as lock-free "optimization" would), two senders both pass
+/// the check and the window is exceeded.
+#[test]
+fn model_flow_check_then_act_twin_exceeds_window() {
+    struct BuggyLedger {
+        inflight: AtomicU64,
+    }
+    impl BuggyLedger {
+        fn buggy_admit(&self) {
+            // BUG: check-then-act across two atomics instead of one
+            // critical section (links.rs `admit` wraps both in the lock).
+            if self.inflight.load(Ordering::SeqCst) < 1 {
+                self.inflight.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+    let msg = explore_expect_violation(Opts::default(), || {
+        let l = Arc::new(BuggyLedger {
+            inflight: AtomicU64::new(0),
+        });
+        let l1 = Arc::clone(&l);
+        let s1 = thread::spawn(move || l1.buggy_admit());
+        let l2 = Arc::clone(&l);
+        let s2 = thread::spawn(move || l2.buggy_admit());
+        s1.join();
+        s2.join();
+        assert!(
+            l.inflight.load(Ordering::SeqCst) <= 1,
+            "credit window exceeded"
+        );
+    });
+    assert!(
+        msg.contains("BOREALIS_MODEL_REPLAY"),
+        "violation trace is replayable: {msg}"
+    );
+    println!("seeded window-overrun trace:\n{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Protocol 4: crash purge vs in-flight sends
+// ---------------------------------------------------------------------------
+
+/// A sender races a node crash on its link: however the purge interleaves
+/// with the admits, every send ends up in exactly one bucket — delivered,
+/// purged (counted as a delivery drop, as the engine's fault controller
+/// does), or still queued. Nothing is dropped twice and nothing vanishes.
+#[test]
+fn model_crash_purge_counts_each_send_once() {
+    let r = explore(Opts::default(), || {
+        let t = Arc::new(LinkTable::with_config(Vec::new(), CreditPolicy::Window(1)));
+        let stats = Arc::new(RuntimeStats::default());
+        let (a, b) = (NodeId(0), NodeId(1));
+        let t1 = Arc::clone(&t);
+        let sender = thread::spawn(move || {
+            for _ in 0..3 {
+                t1.admit(a, b, data_msg(), Time::ZERO);
+            }
+        });
+        let t2 = Arc::clone(&t);
+        let st = Arc::clone(&stats);
+        let crasher = thread::spawn(move || {
+            // The engine's fault-controller line: purge count becomes
+            // delivery drops in one motion (engine.rs `fault_loop`).
+            st.count_delivery_drops(t2.apply(&FaultEvent::NodeDown(b), Time::ZERO));
+        });
+        sender.join();
+        crasher.join();
+        let g = t.flow_gauges();
+        assert_eq!(
+            g.delivered + g.queued,
+            3,
+            "every send admitted or queued exactly once: {g:?}"
+        );
+        assert_eq!(
+            g.queued,
+            g.released + g.purged + g.queued_now,
+            "every queued send released, purged, or still pending: {g:?}"
+        );
+        assert_eq!(
+            stats.snapshot().delivery_drops,
+            g.purged,
+            "every purged send counted exactly once as a delivery drop"
+        );
+    });
+    report("crash_purge_counts_each_send_once", r);
+}
+
+/// Seeded-bug twin of [`LinkTable::apply`]'s NodeDown arm: the purge
+/// count read in one critical section, the purge done in another (the
+/// real code computes the count *inside* the ledger lock — links.rs,
+/// `apply`). A send landing in the gap is purged but never counted.
+#[test]
+fn model_crash_purge_outside_lock_twin_drops_counts() {
+    struct TwinLedger {
+        q: Mutex<VecDeque<u64>>,
+        drops: AtomicU64,
+    }
+    impl TwinLedger {
+        fn buggy_purge(&self) {
+            // BUG: count and clear in two separate lock acquisitions.
+            let n = relock(&self.q).len() as u64;
+            relock(&self.q).clear();
+            self.drops.fetch_add(n, Ordering::SeqCst);
+        }
+    }
+    let msg = explore_expect_violation(Opts::default(), || {
+        let l = Arc::new(TwinLedger {
+            q: Mutex::new(VecDeque::new()),
+            drops: AtomicU64::new(0),
+        });
+        let l1 = Arc::clone(&l);
+        let sender = thread::spawn(move || l1.q.lock().push_back(7));
+        let l2 = Arc::clone(&l);
+        let crasher = thread::spawn(move || l2.buggy_purge());
+        sender.join();
+        crasher.join();
+        let still_queued = relock(&l.q).len() as u64;
+        assert_eq!(
+            l.drops.load(Ordering::SeqCst) + still_queued,
+            1,
+            "the send must be counted dropped or still queued, exactly once"
+        );
+    });
+    assert!(
+        msg.contains("BOREALIS_MODEL_REPLAY"),
+        "violation trace is replayable: {msg}"
+    );
+    println!("seeded purge-undercount trace:\n{msg}");
+}
+
+// ---------------------------------------------------------------------------
+// Panic containment (engine.rs `run_task` Err arm, modeled)
+// ---------------------------------------------------------------------------
+
+/// The worker's panic path — `mark_stopped` while the task is Running —
+/// races a concurrent pusher: the dead mailbox drops pushes instead of
+/// deadlocking or re-queueing, and the scheduler keeps serving the
+/// healthy task in every interleaving.
+#[test]
+fn model_panic_containment_stops_mailbox_not_worker() {
+    let r = explore(Opts::default(), || {
+        let s = Arc::new(sched(2, 1));
+        drain_initial(&s);
+        s.push(NodeId(0), Envelope::Timer(1), None);
+        let t = s.pop(0).expect("queued");
+        t.begin();
+        let s2 = Arc::clone(&s);
+        let racer = thread::spawn(move || s2.push(NodeId(0), Envelope::Timer(9), None));
+        let _ = t.pop_envelope();
+        // The panic path runs while the task is still Running, exactly as
+        // engine.rs does after catch_unwind — the racer's push lands in a
+        // Running mailbox (append only) or after the stop (dropped);
+        // neither re-queues the task.
+        assert!(t.mark_stopped());
+        racer.join();
+        assert!(s.pop(0).is_none(), "dead task never re-queued");
+        s.push(NodeId(0), Envelope::Timer(3), None);
+        assert!(s.pop(0).is_none(), "pushes to the stopped task dropped");
+        // The pool keeps scheduling the healthy sibling.
+        s.push(NodeId(1), Envelope::Timer(2), None);
+        let healthy = s.pop(0).expect("healthy task still schedulable");
+        assert_eq!(healthy.id, NodeId(1));
+        healthy.begin();
+        assert!(matches!(healthy.pop_envelope(), Some(Envelope::Timer(2))));
+        assert!(healthy.pop_envelope().is_none());
+    });
+    report("panic_containment_stops_mailbox_not_worker", r);
+}

@@ -28,14 +28,15 @@
 //! order is preserved no matter which workers run the task or how runs
 //! interleave with steals.
 
+use crate::sync::{
+    cv_wait, cv_wait_timeout, relock, Arc, AtomicBool, AtomicU64, AtomicUsize, Condvar, Mutex,
+    Ordering,
+};
 use borealis_dpc::{DpcActor, NetMsg};
 use borealis_sim::FaultEvent;
 use borealis_types::{NodeId, SchedGauges};
 use rand::rngs::StdRng;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
 /// One delivery into a task's mailbox.
 pub(crate) enum Envelope {
@@ -90,13 +91,6 @@ pub(crate) struct Task {
     pub(crate) cell: Mutex<ActorCell>,
 }
 
-/// Locks tolerating poisoning: the state machine guarantees exclusive
-/// access, so a panic that poisoned a lock left no torn invariants the
-/// next holder could trip over (the task is marked stopped right after).
-pub(crate) fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 impl Task {
     fn new(id: NodeId, actor: Box<dyn DpcActor>, rng: StdRng) -> Task {
         Task {
@@ -126,6 +120,11 @@ impl Task {
     /// push race.
     pub(crate) fn pop_envelope(&self) -> Option<Envelope> {
         let mut mb = relock(&self.mailbox);
+        debug_assert!(
+            mb.state == RunState::Running || mb.stopped,
+            "pop_envelope on a task that is not Running: {:?}",
+            mb.state
+        );
         match mb.queue.pop_front() {
             Some(env) => Some(env),
             None => {
@@ -139,6 +138,11 @@ impl Task {
     /// work remains (caller re-enqueues; returns `true`), else → Idle.
     pub(crate) fn yield_back(&self) -> bool {
         let mut mb = relock(&self.mailbox);
+        debug_assert!(
+            mb.state == RunState::Running || mb.stopped,
+            "yield_back on a task that is not Running: {:?}",
+            mb.state
+        );
         if mb.queue.is_empty() {
             mb.state = RunState::Idle;
             false
@@ -169,14 +173,14 @@ impl Task {
 /// when none is banked. The token closes the scan-then-sleep race — a
 /// push landing between a worker's empty scan and its sleep leaves a
 /// token the sleep consumes immediately.
-struct IdleLot {
+pub(crate) struct IdleLot {
     tokens: Mutex<usize>,
     cv: Condvar,
     cap: usize,
 }
 
 impl IdleLot {
-    fn new(cap: usize) -> IdleLot {
+    pub(crate) fn new(cap: usize) -> IdleLot {
         IdleLot {
             tokens: Mutex::new(0),
             cv: Condvar::new(),
@@ -184,11 +188,12 @@ impl IdleLot {
         }
     }
 
-    fn unpark_one(&self) {
+    pub(crate) fn unpark_one(&self) {
         let mut t = relock(&self.tokens);
         if *t < self.cap {
             *t += 1;
         }
+        debug_assert!(*t <= self.cap, "token bank never exceeds the cap");
         drop(t);
         self.cv.notify_one();
     }
@@ -200,9 +205,15 @@ impl IdleLot {
         self.cv.notify_all();
     }
 
+    /// Tokens currently banked (model-test observability).
+    #[cfg(all(test, borealis_model))]
+    pub(crate) fn banked(&self) -> usize {
+        *relock(&self.tokens)
+    }
+
     /// Parks until a token is available or `timeout` elapses (indefinitely
     /// with `None`). Consumes at most one token.
-    fn park(&self, timeout: Option<std::time::Duration>) {
+    pub(crate) fn park(&self, timeout: Option<std::time::Duration>) {
         let mut t = relock(&self.tokens);
         if *t > 0 {
             *t -= 1;
@@ -210,16 +221,13 @@ impl IdleLot {
         }
         match timeout {
             Some(d) => {
-                let (mut t, _) = self
-                    .cv
-                    .wait_timeout(t, d)
-                    .unwrap_or_else(PoisonError::into_inner);
+                let (mut t, _) = cv_wait_timeout(&self.cv, t, d);
                 if *t > 0 {
                     *t -= 1;
                 }
             }
             None => loop {
-                t = self.cv.wait(t).unwrap_or_else(PoisonError::into_inner);
+                t = cv_wait(&self.cv, t);
                 if *t > 0 {
                     *t -= 1;
                     return;
@@ -248,6 +256,12 @@ pub(crate) struct Scheduler {
     pub(crate) tasks: Vec<Arc<Task>>,
     locals: Vec<Mutex<VecDeque<Arc<Task>>>>,
     injector: Mutex<VecDeque<Arc<Task>>>,
+    /// Exact depth of each local queue, updated under that queue's lock —
+    /// so the gauge provably equals `q.len()` at every push/pop/steal
+    /// boundary (debug-asserted there).
+    local_depths: Vec<AtomicU64>,
+    /// Exact depth of the injector, updated under its lock.
+    global_depth: AtomicU64,
     idle: IdleLot,
     counters: SchedCounters,
     /// Set once every task has stopped: workers exit their loops.
@@ -274,10 +288,16 @@ impl Scheduler {
             relock(&task.mailbox).state = RunState::Queued;
             locals[i % workers].push_back(Arc::clone(task));
         }
+        let local_depths = locals
+            .iter()
+            .map(|q| AtomicU64::new(q.len() as u64))
+            .collect();
         Scheduler {
             tasks,
             locals: locals.into_iter().map(Mutex::new).collect(),
             injector: Mutex::new(VecDeque::new()),
+            local_depths,
+            global_depth: AtomicU64::new(0),
             idle: IdleLot::new(workers),
             counters: SchedCounters::default(),
             exiting: AtomicBool::new(false),
@@ -333,6 +353,11 @@ impl Scheduler {
                 let mut q = relock(&self.locals[w]);
                 q.push_back(task);
                 let depth = q.len() as u64;
+                let gauge = self.local_depths[w].fetch_add(1, Ordering::Relaxed) + 1;
+                debug_assert_eq!(
+                    gauge, depth,
+                    "local depth gauge drifted on push (worker {w})"
+                );
                 drop(q);
                 self.counters.local_peak.fetch_max(depth, Ordering::Relaxed);
             }
@@ -340,6 +365,8 @@ impl Scheduler {
                 let mut q = relock(&self.injector);
                 q.push_back(task);
                 let depth = q.len() as u64;
+                let gauge = self.global_depth.fetch_add(1, Ordering::Relaxed) + 1;
+                debug_assert_eq!(gauge, depth, "global depth gauge drifted on push");
                 drop(q);
                 self.counters
                     .global_peak
@@ -351,18 +378,34 @@ impl Scheduler {
     /// Finds the next runnable task for worker `w`: own queue front, then
     /// the global injector, then steal from a sibling's back.
     pub(crate) fn pop(&self, w: usize) -> Option<Arc<Task>> {
-        if let Some(t) = relock(&self.locals[w]).pop_front() {
-            self.counters.local_polls.fetch_add(1, Ordering::Relaxed);
-            return Some(t);
+        {
+            let mut q = relock(&self.locals[w]);
+            if let Some(t) = q.pop_front() {
+                let gauge = self.local_depths[w].fetch_sub(1, Ordering::Relaxed) - 1;
+                debug_assert_eq!(gauge, q.len() as u64, "local depth gauge drifted on pop");
+                drop(q);
+                self.counters.local_polls.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
         }
-        if let Some(t) = relock(&self.injector).pop_front() {
-            self.counters.global_polls.fetch_add(1, Ordering::Relaxed);
-            return Some(t);
+        {
+            let mut q = relock(&self.injector);
+            if let Some(t) = q.pop_front() {
+                let gauge = self.global_depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                debug_assert_eq!(gauge, q.len() as u64, "global depth gauge drifted on pop");
+                drop(q);
+                self.counters.global_polls.fetch_add(1, Ordering::Relaxed);
+                return Some(t);
+            }
         }
         let n = self.locals.len();
         for off in 1..n {
             let victim = (w + off) % n;
-            if let Some(t) = relock(&self.locals[victim]).pop_back() {
+            let mut q = relock(&self.locals[victim]);
+            if let Some(t) = q.pop_back() {
+                let gauge = self.local_depths[victim].fetch_sub(1, Ordering::Relaxed) - 1;
+                debug_assert_eq!(gauge, q.len() as u64, "local depth gauge drifted on steal");
+                drop(q);
                 self.counters.steals.fetch_add(1, Ordering::Relaxed);
                 return Some(t);
             }
@@ -406,8 +449,27 @@ impl Scheduler {
     pub(crate) fn wait_all_stopped(&self) {
         let mut g = relock(&self.exit_mx);
         while self.stopped.load(Ordering::Acquire) < self.tasks.len() {
-            g = self.exit_cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+            g = cv_wait(&self.exit_cv, g);
         }
+    }
+
+    /// Debug-only full check that the depth gauges equal the actual queue
+    /// lengths. Only valid at quiescent points (no concurrent pushers) —
+    /// the engine calls it after the workers have been joined.
+    #[cfg(debug_assertions)]
+    pub(crate) fn debug_verify_depths(&self) {
+        for (w, q) in self.locals.iter().enumerate() {
+            assert_eq!(
+                self.local_depths[w].load(Ordering::Relaxed),
+                relock(q).len() as u64,
+                "local depth gauge drifted (worker {w})"
+            );
+        }
+        assert_eq!(
+            self.global_depth.load(Ordering::Relaxed),
+            relock(&self.injector).len() as u64,
+            "global depth gauge drifted"
+        );
     }
 
     /// Tells every worker to exit and wakes them all.
@@ -430,9 +492,13 @@ impl Scheduler {
             global_polls: c.global_polls.load(Ordering::Relaxed),
             steals: c.steals.load(Ordering::Relaxed),
             parks: c.parks.load(Ordering::Relaxed),
-            local_depth: self.locals.iter().map(|q| relock(q).len() as u64).sum(),
+            local_depth: self
+                .local_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum(),
             local_peak: c.local_peak.load(Ordering::Relaxed),
-            global_depth: relock(&self.injector).len() as u64,
+            global_depth: self.global_depth.load(Ordering::Relaxed),
             global_peak: c.global_peak.load(Ordering::Relaxed),
             run_hist: [
                 c.run_hist[0].load(Ordering::Relaxed),
@@ -445,7 +511,7 @@ impl Scheduler {
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(borealis_model)))]
 mod tests {
     use super::*;
     use borealis_dpc::RuntimeCtx;

@@ -39,7 +39,9 @@
 use crate::clock::MonotonicClock;
 use crate::engine::ThreadRuntime;
 use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
-use crate::scheduler::{relock, Envelope, Scheduler};
+use crate::scheduler::{Envelope, Scheduler};
+use crate::sync::{cv_wait, relock};
+use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
 use borealis_dpc::{
     decode_frame, encode_frame, DpcActor, MetricsHub, NetMsg, RuntimeCtx, SystemLayout, WireMsg,
 };
@@ -48,8 +50,6 @@ use borealis_types::{Duration, NodeId, StreamId, Time, WireGauges};
 use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -152,7 +152,7 @@ fn writer_loop(conn: Arc<Conn>) {
         let (frames, closing) = {
             let mut ws = relock(&conn.write);
             while ws.buf.is_empty() && !ws.closing {
-                ws = conn.wake.wait(ws).unwrap_or_else(PoisonError::into_inner);
+                ws = cv_wait(&conn.wake, ws);
             }
             std::mem::swap(&mut local, &mut ws.buf);
             (std::mem::take(&mut ws.frames), ws.closing)
@@ -753,8 +753,8 @@ pub fn deploy_tcp(layout: SystemLayout, fabric: Arc<TcpFabric>) -> RunningTcp {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sync::AtomicUsize;
     use borealis_types::{CreditPolicy, Tuple, TupleBatch, TupleId};
-    use std::sync::atomic::AtomicUsize;
 
     fn data_msg() -> NetMsg {
         NetMsg::Data {

@@ -86,6 +86,11 @@ impl Ord for Entry {
 pub struct TimerWheel {
     heap: BinaryHeap<Entry>,
     seq: u64,
+    /// Deadline/seq of the last popped entry: pops must be monotone in
+    /// `(at, seq)` or the wheel no longer matches the simulator's event
+    /// order (debug builds assert this in [`TimerWheel::pop_due`]).
+    #[cfg(debug_assertions)]
+    last_popped: Option<(Time, u64)>,
 }
 
 impl TimerWheel {
@@ -126,6 +131,17 @@ impl TimerWheel {
     pub fn pop_due(&mut self, now: Time) -> Option<(Time, Due)> {
         if self.heap.peek().is_some_and(|e| e.at <= now) {
             let e = self.heap.pop().expect("peeked entry exists");
+            #[cfg(debug_assertions)]
+            {
+                debug_assert!(
+                    self.last_popped.is_none_or(|last| last < (e.at, e.seq)),
+                    "timer wheel popped out of (deadline, seq) order: \
+                     {:?} after {:?}",
+                    (e.at, e.seq),
+                    self.last_popped
+                );
+                self.last_popped = Some((e.at, e.seq));
+            }
             Some((e.at, e.due))
         } else {
             None

@@ -151,8 +151,15 @@ impl<M> FlowControl<M> {
                 Some(msg)
             }
             None => {
-                link.inflight = link.inflight.saturating_sub(1);
-                self.gauges.inflight_now = self.gauges.inflight_now.saturating_sub(1);
+                // A credit can come back for a link that no longer has
+                // in-flight deliveries — a crash purge (`reset_node`) ran
+                // while the consumption was pending. The link count and
+                // the global gauge must saturate *together*, or the gauge
+                // drifts below the actual total across the other links.
+                if link.inflight > 0 {
+                    link.inflight -= 1;
+                    self.gauges.inflight_now -= 1;
+                }
                 None
             }
         }
@@ -195,6 +202,38 @@ impl<M> FlowControl<M> {
         }
         self.gauges.purged += purged;
         purged
+    }
+
+    /// Asserts the gauge/ledger consistency invariants: the `queued_now`
+    /// and `inflight_now` gauges must equal the actual totals across
+    /// links, no link's in-flight count may exceed the policy window, and
+    /// a non-empty pending queue must have an open stall episode. Called
+    /// by the thread engine's `LinkTable` after every ledger operation in
+    /// debug builds, and by the model tests as the checked invariant.
+    pub fn check_invariants(&self) {
+        let queued: u64 = self.links.values().map(|l| l.queue.len() as u64).sum();
+        assert_eq!(
+            self.gauges.queued_now, queued,
+            "queued_now gauge must equal the actual pending-queue total"
+        );
+        let inflight: u64 = self.links.values().map(|l| l.inflight as u64).sum();
+        assert_eq!(
+            self.gauges.inflight_now, inflight,
+            "inflight_now gauge must equal the actual in-flight total"
+        );
+        if let Some(w) = self.policy.window() {
+            for (&(a, b), l) in &self.links {
+                assert!(
+                    l.inflight <= w,
+                    "link {a:?}→{b:?} exceeds its credit window: {} > {w}",
+                    l.inflight
+                );
+                assert!(
+                    l.queue.is_empty() || l.stalled_since.is_some(),
+                    "link {a:?}→{b:?} has pending sends but no stall episode"
+                );
+            }
+        }
     }
 }
 

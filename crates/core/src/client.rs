@@ -13,7 +13,7 @@ use crate::metrics::{MetricsHub, StreamRecorder};
 use crate::msg::NetMsg;
 use crate::runtime::{DpcActor, RuntimeCtx};
 use crate::upstream::{UpstreamAction, UpstreamManager};
-use borealis_sim::{Actor, Ctx};
+use borealis_sim::{Actor, Ctx, FaultEvent};
 use borealis_types::{Duration, NodeId, StreamId, Tuple};
 
 /// Tuning knobs for a client proxy.
@@ -202,6 +202,22 @@ impl ClientProxy {
             _ => {}
         }
     }
+
+    /// Reacts to a fault notification: a torn transport connection (crash
+    /// of a producer's process) invalidates the subscriptions that process
+    /// held for us — the next evaluation switches to a live replica or
+    /// re-subscribes when the producer recovers from disk.
+    pub fn fault<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, fault: &FaultEvent) {
+        if let FaultEvent::NodeDown(n) = fault {
+            if *n == ctx.id() {
+                return;
+            }
+            let now = ctx.now();
+            for um in &mut self.ums {
+                um.connection_lost(*n, now);
+            }
+        }
+    }
 }
 
 /// Simulator adapter: static dispatch into the shared protocol body.
@@ -215,6 +231,9 @@ impl Actor<NetMsg> for ClientProxy {
     fn on_timer(&mut self, ctx: &mut Ctx<NetMsg>, kind: u64) {
         self.timer(ctx, kind)
     }
+    fn on_fault(&mut self, ctx: &mut Ctx<NetMsg>, fault: &FaultEvent) {
+        self.fault(ctx, fault)
+    }
 }
 
 /// Thread-engine adapter: dynamic dispatch into the shared protocol body.
@@ -227,5 +246,8 @@ impl DpcActor for ClientProxy {
     }
     fn on_timer(&mut self, ctx: &mut dyn RuntimeCtx, kind: u64) {
         self.timer(ctx, kind)
+    }
+    fn on_fault(&mut self, ctx: &mut dyn RuntimeCtx, fault: &FaultEvent) {
+        self.fault(ctx, fault)
     }
 }

@@ -34,6 +34,7 @@
 pub mod buffers;
 pub mod client;
 pub mod codec;
+pub mod durable;
 pub mod metrics;
 pub mod msg;
 pub mod node;
@@ -46,12 +47,13 @@ pub mod upstream;
 pub use buffers::{BufferPolicy, OutputBuffer};
 pub use client::{ClientProxy, ClientStream, ClientTuning};
 pub use codec::{decode_frame, decode_payload, encode_frame, WireMsg};
+pub use durable::{DurabilityConfig, NodeDisk, RecoveredImage};
 pub use metrics::{MetricsHub, StreamMetrics, StreamRecorder, TraceEntry};
 pub use msg::{NetMsg, NodeState};
 pub use node::{NodeConfig, NodeTuning, ProcessingNode, UpstreamSpec};
 pub use runtime::{DpcActor, RuntimeCtx};
 pub use source::{DataSource, SourceConfig, ValueGen};
-pub use system::{ActorSpec, FaultSpec, RunningSystem, SystemBuilder, SystemLayout};
+pub use system::{ActorSpec, FaultSpec, RunningSystem, SystemBuilder, SystemLayout, RESTART_DELAY};
 pub use transport::Transport;
 pub use upstream::{UpstreamAction, UpstreamManager};
 

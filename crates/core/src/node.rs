@@ -19,6 +19,7 @@
 //!   queueing delays §6.3 subtracts from the delay budget.
 
 use crate::buffers::{BufferPolicy, OutputBuffer};
+use crate::durable::{DurabilityConfig, NodeDisk};
 use crate::msg::{NetMsg, NodeState};
 use crate::runtime::{DpcActor, RuntimeCtx};
 use crate::upstream::{UpstreamAction, UpstreamManager};
@@ -89,6 +90,9 @@ pub struct NodeConfig {
     pub downstream_counts: Vec<(StreamId, usize)>,
     /// Tuning knobs.
     pub tuning: NodeTuning,
+    /// Durable checkpoints + input log (None: volatile node, crash
+    /// recovery rebuilds from an empty state as in §4.5).
+    pub durability: Option<DurabilityConfig>,
 }
 
 const TIMER_TICK: u64 = 1;
@@ -98,6 +102,7 @@ const TIMER_RETRY: u64 = 4;
 const TIMER_STAB_DONE: u64 = 5;
 const TIMER_GRANT_TIMEOUT: u64 = 6;
 const TIMER_RECOVERY_DONE: u64 = 7;
+const TIMER_CHECKPOINT: u64 = 8;
 
 /// The processing-node actor.
 pub struct ProcessingNode {
@@ -122,6 +127,8 @@ pub struct ProcessingNode {
     scheduled_tick: Option<Time>,
     /// True while rebuilding after a crash (§4.5): no requests answered.
     recovering: bool,
+    /// Open durable store, when configured.
+    disk: Option<NodeDisk>,
 }
 
 impl ProcessingNode {
@@ -148,6 +155,7 @@ impl ProcessingNode {
             stab_done_at: None,
             scheduled_tick: None,
             recovering: false,
+            disk: None,
         }
     }
 
@@ -356,19 +364,83 @@ impl ProcessingNode {
 /// identical logic runs under the simulator (static dispatch) and the
 /// thread engine (dynamic dispatch).
 impl ProcessingNode {
-    /// Startup: subscribe to upstreams, arm the periodic timers.
+    /// Startup: recover from disk if a durable store exists, then
+    /// subscribe to upstreams and arm the periodic timers. The disk
+    /// recovery runs *before* the first `Subscribe`, so the subscription
+    /// carries the recovered stable positions — the upstream replays only
+    /// the suffix the disk image does not cover.
     pub fn start<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C) {
         let now = ctx.now();
         let specs = self.cfg.upstreams.clone();
         for spec in specs {
-            let mut um = UpstreamManager::new(spec.stream, spec.candidates, spec.monitor, now);
-            let actions = um.initial_subscribe();
-            let stream = um.stream();
-            self.ums.push(um);
+            self.ums.push(UpstreamManager::new(
+                spec.stream,
+                spec.candidates,
+                spec.monitor,
+                now,
+            ));
+        }
+        if let Some(dcfg) = self.cfg.durability.clone() {
+            self.recover_from_disk(ctx, &dcfg);
+            ctx.set_timer(now + dcfg.interval, TIMER_CHECKPOINT);
+        }
+        for i in 0..self.ums.len() {
+            let actions = self.ums[i].initial_subscribe();
+            let stream = self.ums[i].stream();
             self.apply_actions(ctx, stream, actions);
         }
         ctx.set_timer(now + self.cfg.tuning.heartbeat_period, TIMER_HEARTBEAT);
         ctx.set_timer(now + self.cfg.tuning.ack_period, TIMER_ACK);
+    }
+
+    /// Opens the durable store and, when it holds a snapshot, performs
+    /// the crash→restart→catch-up sequence: restore the operator states,
+    /// replay the logged input suffix through the fragment (charging the
+    /// modeled CPU — catching up takes real time), and seed the upstream
+    /// managers so their first `Subscribe` resumes where the disk image
+    /// ends. A cold or unreadable store degrades to the volatile §4.5
+    /// empty-state start.
+    fn recover_from_disk<C: RuntimeCtx + ?Sized>(&mut self, ctx: &mut C, dcfg: &DurabilityConfig) {
+        self.disk = None; // close a previous incarnation's handles first
+        let wall_start = std::time::Instant::now();
+        let mut disk = match NodeDisk::open(dcfg) {
+            Ok(d) => d,
+            Err(_) => return, // disk unavailable: run without durability
+        };
+        let image = match disk.recover() {
+            Ok(Some(image)) => image,
+            Ok(None) | Err(_) => {
+                self.disk = Some(disk);
+                return;
+            }
+        };
+        if self.fragment.restore_durable(&image.ops_bytes).is_err() {
+            // Undecodable operator region (e.g. plan changed across the
+            // restart): fall back to the empty-state rebuild.
+            self.disk = Some(disk);
+            return;
+        }
+        let now = ctx.now();
+        for &(stream, last_stable, saw_tentative) in &image.positions {
+            if let Some(um) = self.ums.iter_mut().find(|u| u.stream() == stream) {
+                um.seed_recovered(last_stable, saw_tentative);
+            }
+        }
+        let n_replay = image.replay.len();
+        for (stream, tuples) in image.replay {
+            if let Some(um) = self.ums.iter_mut().find(|u| u.stream() == stream) {
+                for t in tuples.as_slice() {
+                    um.observe_replay(t);
+                }
+            }
+            let batch = self.fragment.push_batch(stream, &tuples, now);
+            self.handle_batch(ctx, batch, now);
+        }
+        let recover_us = wall_start.elapsed().as_micros() as u64;
+        disk.write_recovery_marker(image.snapshot_id, recover_us, n_replay);
+        self.disk = Some(disk);
+        self.recovering = true;
+        ctx.set_timer(self.busy_until.max(now), TIMER_RECOVERY_DONE);
     }
 
     /// Handles one protocol message.
@@ -397,6 +469,9 @@ impl ProcessingNode {
                 let batch = if dup_idx.is_empty() {
                     // Common case: the received batch enters the fragment
                     // as a shared view, no tuple copies.
+                    if let Some(disk) = self.disk.as_mut() {
+                        disk.append_input(stream, &tuples);
+                    }
                     self.fragment.push_batch(stream, &tuples, now)
                 } else {
                     let mut fresh: Vec<Tuple> = Vec::with_capacity(tuples.len() - dup_idx.len());
@@ -408,8 +483,13 @@ impl ProcessingNode {
                         }
                         fresh.push(t.clone());
                     }
-                    self.fragment
-                        .push_batch(stream, &TupleBatch::from_vec(fresh), now)
+                    let fresh = TupleBatch::from_vec(fresh);
+                    // Only deduplicated input reaches the log, so a replay
+                    // feeds the fragment the exact accepted stream.
+                    if let Some(disk) = self.disk.as_mut() {
+                        disk.append_input(stream, &fresh);
+                    }
+                    self.fragment.push_batch(stream, &fresh, now)
                 };
                 self.handle_batch(ctx, batch, now);
                 // Credit accounting: this delivery is consumed when the
@@ -635,6 +715,28 @@ impl ProcessingNode {
                 }
                 self.post_event(ctx);
             }
+            TIMER_CHECKPOINT => {
+                if let Some(disk) = self.disk.as_mut() {
+                    // Only an untainted fragment yields a durable image
+                    // (checkpoint-before-tentative, §4.4.1: tentative eras
+                    // are recovered via upstream replay, not from disk).
+                    if let Some(parts) = self.fragment.capture_durable() {
+                        let positions: Vec<(StreamId, TupleId, bool)> = self
+                            .ums
+                            .iter()
+                            .map(|u| (u.stream(), u.last_stable(), u.saw_tentative()))
+                            .collect();
+                        disk.checkpoint(parts, &positions);
+                    }
+                    let interval = self
+                        .cfg
+                        .durability
+                        .as_ref()
+                        .map(|d| d.interval)
+                        .unwrap_or(Duration::from_millis(250));
+                    ctx.set_timer(now + interval, TIMER_CHECKPOINT);
+                }
+            }
             TIMER_GRANT_TIMEOUT => {
                 let timeout = self.cfg.tuning.grant_timeout;
                 self.granted_to.retain(|(_, t)| now.since(*t) < timeout);
@@ -680,8 +782,10 @@ impl ProcessingNode {
                 self.flush_subscribers(ctx, start, start);
             }
             FaultEvent::NodeUp(n) if *n == ctx.id() => {
-                // Crash recovery (§4.5): restart from an empty state and
-                // rebuild by reprocessing upstream logs from the beginning.
+                // Crash recovery: restart from an empty state (§4.5) —
+                // unless a durable store is configured, in which case
+                // `start` reloads the newest snapshot and replays the
+                // logged input suffix before resubscribing.
                 self.fragment = Fragment::from_plan(&self.cfg.plan);
                 self.out = self
                     .fragment
@@ -700,6 +804,25 @@ impl ProcessingNode {
                 self.recovering = true;
                 self.start(ctx);
                 ctx.set_timer(ctx.now() + Duration::from_millis(500), TIMER_RECOVERY_DONE);
+            }
+            FaultEvent::NodeDown(n) if *n != ctx.id() => {
+                // The transport saw the connection to `n`'s process torn (a
+                // crash, not a scripted fault — those only notify the
+                // victim). Everything `n` knew about us died with it:
+                // upstream subscriptions we held there are gone even if it
+                // restarts before a keep-alive goes stale, and a
+                // subscription *it* held here will be re-requested from
+                // scratch once it recovers.
+                let now = ctx.now();
+                for um in &mut self.ums {
+                    um.connection_lost(*n, now);
+                }
+                for subs in self.subscribers.values_mut() {
+                    subs.remove(n);
+                }
+                for acks in self.acks.values_mut() {
+                    acks.remove(n);
+                }
             }
             _ => {}
         }

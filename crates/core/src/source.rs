@@ -292,6 +292,13 @@ impl DataSource {
                 }
                 self.flush(ctx);
             }
+            FaultEvent::NodeDown(n) if *n != ctx.id() => {
+                // A crashed subscriber process lost its subscription state;
+                // it re-subscribes from scratch (with its recovered
+                // position) when it comes back.
+                self.subscribers.remove(n);
+                self.acked.remove(n);
+            }
             _ => {}
         }
     }

@@ -23,6 +23,7 @@
 //!    never knows which runtime drives it.
 
 use crate::client::{ClientProxy, ClientStream, ClientTuning};
+use crate::durable::DurabilityConfig;
 use crate::metrics::MetricsHub;
 use crate::msg::NetMsg;
 use crate::node::{NodeConfig, NodeTuning, ProcessingNode, UpstreamSpec};
@@ -76,7 +77,27 @@ pub enum FaultSpec {
         /// Optional restart instant.
         to: Option<Time>,
     },
+    /// Kill replica `replica` of shard `shard` of logical fragment `frag`
+    /// at `after`, then respawn it [`RESTART_DELAY`] later. With
+    /// durability enabled ([`SystemBuilder::durability`]) the respawned
+    /// node restarts *from disk*: it loads its latest checkpoint, replays
+    /// the bounded input-log suffix, re-registers with its upstreams, and
+    /// rejoins the DPC protocol.
+    RestartReplica {
+        /// Logical fragment index (deployment-spec order).
+        frag: usize,
+        /// Shard index within the fragment (0 for unsharded fragments).
+        shard: usize,
+        /// Replica index within the shard.
+        replica: usize,
+        /// Kill instant; the respawn follows [`RESTART_DELAY`] later.
+        after: Time,
+    },
 }
+
+/// How long a [`FaultSpec::RestartReplica`] stays down: the modeled
+/// process-respawn time between the kill and the restart.
+pub const RESTART_DELAY: Duration = Duration::from_millis(300);
 
 /// Builds a complete deployment description from a planned
 /// [`PhysicalPlan`] (which carries the fragment cut, per-fragment
@@ -94,6 +115,7 @@ pub struct SystemBuilder {
     faults: Vec<FaultSpec>,
     flow_policy: CreditPolicy,
     workers: Option<usize>,
+    durability: Option<(std::path::PathBuf, Duration, bool)>,
 }
 
 impl SystemBuilder {
@@ -113,7 +135,23 @@ impl SystemBuilder {
             faults: Vec::new(),
             flow_policy: CreditPolicy::default(),
             workers: None,
+            durability: None,
         }
+    }
+
+    /// Enables durable checkpoints and a replayable input log on every
+    /// node replica. Each replica gets its own store under
+    /// `root/node-<id>`; `interval` is the checkpoint period;
+    /// `background` moves snapshot serialization to a flusher thread
+    /// (keep it `false` for deterministic simulator runs).
+    pub fn durability(
+        mut self,
+        root: impl Into<std::path::PathBuf>,
+        interval: Duration,
+        background: bool,
+    ) -> Self {
+        self.durability = Some((root.into(), interval, background));
+        self
     }
 
     /// Sets the transport's credit-based flow-control policy (all links;
@@ -311,12 +349,22 @@ impl SystemBuilder {
                     })
                     .collect();
                 debug_assert_eq!(actors.len(), my_id.index(), "id layout mismatch");
+                let durability = self
+                    .durability
+                    .as_ref()
+                    .map(|(root, interval, background)| DurabilityConfig {
+                        dir: root.join(format!("node-{}", my_id.index())),
+                        interval: *interval,
+                        background: *background,
+                        sync_log: false,
+                    });
                 actors.push(ActorSpec::Node(Box::new(NodeConfig {
                     plan: fp.clone(),
                     replicas,
                     upstreams,
                     downstream_counts,
                     tuning: tuning.clone(),
+                    durability,
                 })));
             }
             fragment_replicas.push(ids);
@@ -520,6 +568,17 @@ impl SystemLayout {
                 if let Some(to) = to {
                     self.script.push((to, FaultEvent::NodeUp(node)));
                 }
+            }
+            FaultSpec::RestartReplica {
+                frag,
+                shard,
+                replica,
+                after,
+            } => {
+                let node = self.shard_replicas(frag, shard)[replica];
+                self.script.push((after, FaultEvent::NodeDown(node)));
+                self.script
+                    .push((after + RESTART_DELAY, FaultEvent::NodeUp(node)));
             }
         }
     }

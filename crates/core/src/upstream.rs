@@ -120,6 +120,64 @@ impl UpstreamManager {
         self.last_stable
     }
 
+    /// Whether tentative data was accepted since the stable prefix.
+    pub fn saw_tentative(&self) -> bool {
+        self.saw_tentative
+    }
+
+    /// Seeds the position recovered from a durable checkpoint. Must run
+    /// before [`UpstreamManager::initial_subscribe`], so the first
+    /// `Subscribe` resumes after the disk image instead of replaying the
+    /// upstream buffer from the beginning.
+    pub fn seed_recovered(&mut self, last_stable: TupleId, saw_tentative: bool) {
+        self.last_stable = last_stable;
+        self.saw_tentative = saw_tentative;
+    }
+
+    /// Replays one logged input tuple's prefix bookkeeping during a
+    /// durable restart — the same transitions as live
+    /// [`UpstreamManager::observe_tuple`], minus the subscription actions
+    /// (there is no live peer yet).
+    pub fn observe_replay(&mut self, t: &Tuple) {
+        match t.kind {
+            TupleKind::Insertion => self.last_stable = self.last_stable.max(t.id),
+            TupleKind::Tentative => self.saw_tentative = true,
+            TupleKind::Undo => {
+                if let Some(target) = t.undo_target() {
+                    self.last_stable = self.last_stable.min(target);
+                }
+                self.saw_tentative = false;
+            }
+            TupleKind::RecDone => self.saw_tentative = false,
+            TupleKind::Boundary => {}
+        }
+    }
+
+    /// The transport reported the connection to `peer` torn (a process
+    /// crash seen as a TCP reset). The peer has lost our subscription
+    /// state, so the subscription is gone even if the peer restarts before
+    /// any keep-alive goes stale: mark it failed and forget the
+    /// subscription — the next [`UpstreamManager::evaluate`] switches to a
+    /// live replica (Table II) or re-subscribes when the peer recovers.
+    pub fn connection_lost(&mut self, peer: NodeId, now: Time) {
+        if !self.monitor {
+            // Unmonitored (single-producer) streams have no switch/
+            // re-subscribe machinery; leave their state untouched.
+            return;
+        }
+        let Some(i) = self.candidates.iter().position(|&c| c == peer) else {
+            return;
+        };
+        if self.trace {
+            eprintln!("[um {}] connection to {} lost", self.stream, peer);
+        }
+        self.peers[i] = PeerInfo {
+            state: NodeState::Failed,
+            last_heard: now,
+        };
+        self.subscribed.remove(&peer);
+    }
+
     /// True if data from `from` should be accepted (we are subscribed).
     pub fn accepts_from(&self, from: NodeId) -> bool {
         self.subscribed.contains(&from)

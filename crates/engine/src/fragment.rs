@@ -29,7 +29,8 @@
 
 use borealis_diagram::FragmentPlan;
 use borealis_ops::sunion::Phase;
-use borealis_ops::{BatchEmitter, OpSnapshot, Operator};
+use borealis_ops::{BatchEmitter, OpSnapshot, Operator, SnapshotCodec};
+use borealis_types::wire::{self, Reader, WireError};
 use borealis_types::{ControlSignal, Duration, StreamId, Time, Tuple, TupleBatch, TupleKind};
 use std::collections::VecDeque;
 
@@ -490,6 +491,69 @@ impl Fragment {
         }
     }
 
+    /// Captures the fragment for the *durable* store: `(codec, snapshot)`
+    /// pairs, one per operator, in operator order. The capture itself is
+    /// O(#operators) reference-count bumps — serialization happens later
+    /// (possibly on a background flusher thread) via
+    /// [`encode_durable_capture`].
+    ///
+    /// Returns `None` while the fragment is tainted: a durable checkpoint
+    /// must describe a stable-era state (tentative divergence is repaired by
+    /// live reconciliation, never persisted), and taking it only when clean
+    /// also guarantees the SUnion replay logs — which the durable image
+    /// deliberately omits — are empty.
+    pub fn capture_durable(&self) -> Option<Vec<(SnapshotCodec, OpSnapshot)>> {
+        if self.tainted {
+            return None;
+        }
+        Some(
+            self.ops
+                .iter()
+                .map(|o| (o.snapshot_codec(), o.checkpoint()))
+                .collect(),
+        )
+    }
+
+    /// Restores every operator from bytes produced by
+    /// [`encode_durable_capture`], resetting queues, taint flags, and the
+    /// reconciliation checkpoint — the fragment comes back exactly as the
+    /// stable-era capture left it. Corrupt or mismatched bytes (wrong
+    /// operator count, trailing data) come back as a typed [`WireError`].
+    pub fn restore_durable(&mut self, bytes: &[u8]) -> Result<(), WireError> {
+        let mut r = Reader::new(bytes);
+        let n = r.u32()? as usize;
+        if n != self.ops.len() {
+            return Err(WireError::BadLength(n));
+        }
+        // Decode everything before mutating any operator: a torn payload
+        // must not leave the fragment half-restored.
+        let mut snaps = Vec::with_capacity(n);
+        for i in 0..n {
+            let len = r.u32()? as usize;
+            let op_bytes = r.bytes(len)?;
+            let mut or = Reader::new(op_bytes);
+            let snap = (self.ops[i].snapshot_codec().decode)(&mut or)?;
+            or.finish()?;
+            snaps.push(snap);
+        }
+        r.finish()?;
+        for (i, snap) in snaps.iter().enumerate() {
+            self.ops[i].restore(snap);
+            self.op_tainted[i] = false;
+            self.queues[i].clear();
+        }
+        self.tainted = false;
+        self.checkpoint = None;
+        for k in 0..self.input_sunions.len() {
+            let i = self.input_sunions[k];
+            self.ops[i]
+                .as_sunion_mut()
+                .expect("input_sunions holds SUnions")
+                .set_recording(false);
+        }
+        Ok(())
+    }
+
     /// Per-output-stream health (§8.2 fine-grained failure advertisement):
     /// `true` means the stream currently ends in an uncorrected tentative
     /// suffix.
@@ -519,5 +583,21 @@ impl Fragment {
     /// Number of operators.
     pub fn n_ops(&self) -> usize {
         self.ops.len()
+    }
+}
+
+/// Serializes a [`Fragment::capture_durable`] result: operator count, then
+/// one length-prefixed state record per operator in operator order. This is
+/// the half of the durable checkpoint that runs *off* the hot path — the
+/// capture is refcount bumps on the actor thread; this walk of the shared
+/// state can run on a background flusher.
+pub fn encode_durable_capture(parts: &[(SnapshotCodec, OpSnapshot)], buf: &mut Vec<u8>) {
+    wire::put_u32(buf, parts.len() as u32);
+    for (codec, snap) in parts {
+        let mark = buf.len();
+        wire::put_u32(buf, 0); // patched with the record length below
+        (codec.encode)(snap, buf);
+        let len = (buf.len() - mark - 4) as u32;
+        buf[mark..mark + 4].copy_from_slice(&len.to_le_bytes());
     }
 }

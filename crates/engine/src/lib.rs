@@ -11,7 +11,7 @@
 
 pub mod fragment;
 
-pub use fragment::{Batch, Fragment};
+pub use fragment::{encode_durable_capture, Batch, Fragment};
 
 #[cfg(test)]
 mod tests {

@@ -29,7 +29,7 @@ pub use aggregate::{AggFn, Aggregate, AggregateSpec};
 pub use filter::Filter;
 pub use join::{SJoin, SJoinSpec};
 pub use map::Map;
-pub use snapshot::OpSnapshot;
+pub use snapshot::{OpSnapshot, SnapshotCodec};
 pub use soutput::SOutput;
 pub use spec::OperatorSpec;
 pub use sunion::{DelayMode, SUnion, SUnionConfig};
@@ -214,6 +214,14 @@ pub trait Operator: Send {
     /// operators adopt the snapshot's allocation ([`OpSnapshot::shared`],
     /// O(1)) and diverge later by copy-on-write.
     fn restore(&mut self, snap: &OpSnapshot);
+
+    /// Codec that serializes this operator's checkpoints for the durable
+    /// store (disk recovery). Stateless operators keep the default unit
+    /// codec; stateful operators must override it — a fragment is only
+    /// durably checkpointable if every stateful operator round-trips.
+    fn snapshot_codec(&self) -> SnapshotCodec {
+        SnapshotCodec::unit()
+    }
 
     /// Whether fragment-wide reconciliation restores this operator. SOutput
     /// keeps its runtime duplicate-suppression state across reconciliations

@@ -30,6 +30,8 @@
 use std::any::Any;
 use std::sync::Arc;
 
+use borealis_types::wire::{Reader, WireError};
+
 /// A type-erased, immutable, cheaply clonable snapshot of one operator's
 /// state.
 ///
@@ -84,6 +86,90 @@ impl std::fmt::Debug for OpSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str("OpSnapshot(..)")
     }
+}
+
+/// Encode/decode function pair turning a type-erased [`OpSnapshot`] into
+/// durable bytes and back — the bridge between the O(1) in-memory
+/// checkpoint and the on-disk durability layer (`borealis-store`).
+///
+/// Plain function pointers keep the codec `Copy + Send + 'static`, so the
+/// hot path only *captures* (an `Arc` refcount bump via
+/// `Operator::checkpoint`) and hands `(codec, snapshot)` pairs to a
+/// background flusher, which walks the shared state and serializes it off
+/// the critical path.
+///
+/// Byte format is the little-endian `borealis_types::wire` vocabulary;
+/// corrupted input decodes to a typed [`WireError`], never a panic.
+#[derive(Clone, Copy)]
+pub struct SnapshotCodec {
+    /// Serializes the snapshot's state into `buf`.
+    ///
+    /// # Panics
+    /// Panics if the snapshot holds a different state type than the codec
+    /// expects — pairing a codec with a foreign snapshot is a wiring bug.
+    pub encode: fn(&OpSnapshot, &mut Vec<u8>),
+    /// Rebuilds a snapshot from bytes produced by `encode`.
+    pub decode: fn(&mut Reader<'_>) -> Result<OpSnapshot, WireError>,
+}
+
+impl SnapshotCodec {
+    /// Codec for stateless operators (`Filter`, `Map`): writes nothing and
+    /// restores the unit snapshot.
+    pub fn unit() -> SnapshotCodec {
+        SnapshotCodec {
+            encode: |_snap, _buf| {},
+            decode: |_r| Ok(OpSnapshot::new(())),
+        }
+    }
+}
+
+impl std::fmt::Debug for SnapshotCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SnapshotCodec(..)")
+    }
+}
+
+// Shared wire helpers for the per-operator codecs (sibling modules).
+
+pub(crate) fn put_bool(buf: &mut Vec<u8>, v: bool) {
+    buf.push(v as u8);
+}
+
+pub(crate) fn read_bool(r: &mut Reader<'_>) -> Result<bool, WireError> {
+    match r.u8()? {
+        0 => Ok(false),
+        1 => Ok(true),
+        tag => Err(WireError::BadTag { what: "bool", tag }),
+    }
+}
+
+pub(crate) fn put_opt_u64(buf: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => buf.push(0),
+        Some(x) => {
+            buf.push(1);
+            borealis_types::wire::put_u64(buf, x);
+        }
+    }
+}
+
+pub(crate) fn read_opt_u64(r: &mut Reader<'_>) -> Result<Option<u64>, WireError> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(r.u64()?)),
+        tag => Err(WireError::BadTag {
+            what: "option",
+            tag,
+        }),
+    }
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    borealis_types::wire::put_u64(buf, v.to_bits());
+}
+
+pub(crate) fn read_f64(r: &mut Reader<'_>) -> Result<f64, WireError> {
+    Ok(f64::from_bits(r.u64()?))
 }
 
 #[cfg(test)]

@@ -6,7 +6,9 @@
 //! it cannot keep replicas consistent — and merges boundaries by emitting
 //! the minimum watermark across its inputs.
 
+use crate::snapshot::{put_opt_u64, read_opt_u64, SnapshotCodec};
 use crate::{BatchEmitter, OpSnapshot, Operator};
+use borealis_types::wire;
 use borealis_types::{Time, Tuple, TupleId, TupleKind};
 use std::sync::Arc;
 
@@ -100,6 +102,34 @@ impl Operator for Union {
 
     fn restore(&mut self, snap: &OpSnapshot) {
         self.state = snap.shared::<UnionState>();
+    }
+
+    fn snapshot_codec(&self) -> SnapshotCodec {
+        SnapshotCodec {
+            encode: |snap, buf| {
+                let st = snap.get::<UnionState>();
+                wire::put_u32(buf, st.watermarks.len() as u32);
+                for wm in &st.watermarks {
+                    put_opt_u64(buf, wm.map(|t| t.0));
+                }
+                put_opt_u64(buf, st.emitted_wm.map(|t| t.0));
+                wire::put_u64(buf, st.next_id);
+            },
+            decode: |r| {
+                let n = r.u32()? as usize;
+                let mut watermarks = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    watermarks.push(read_opt_u64(r)?.map(Time));
+                }
+                let emitted_wm = read_opt_u64(r)?.map(Time);
+                let next_id = r.u64()?;
+                Ok(OpSnapshot::new(UnionState {
+                    watermarks,
+                    emitted_wm,
+                    next_id,
+                }))
+            },
+        }
     }
 }
 

@@ -35,13 +35,21 @@
 //! transports are identical. The scripted fault script itself replays in
 //! *every* process against its own link table, which keeps reachability
 //! decisions consistent without any cross-process coordination.
+//!
+//! **Crashed processes may come back.** Every process keeps its listener
+//! open on a persistent acceptor thread; a respawned worker re-dials the
+//! whole mesh ([`TcpFabric::establish_rejoin`]) and each survivor installs
+//! the fresh connection in the torn slot and marks the rejoiner's actors
+//! back up. The rejoined process recovers its *protocol* state itself
+//! (checkpoint + input-log replay from its durable store, then
+//! re-subscription) — the fabric only restores connectivity.
 
 use crate::clock::MonotonicClock;
 use crate::engine::ThreadRuntime;
 use crate::links::{LinkTable, RuntimeStats, StatsSnapshot};
 use crate::scheduler::{Envelope, Scheduler};
-use crate::sync::{cv_wait, relock};
-use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Mutex, Ordering};
+use crate::sync::{cv_wait, read, relock, write};
+use crate::sync::{Arc, AtomicBool, AtomicU64, Condvar, Mutex, Ordering, RwLock};
 use borealis_dpc::{
     decode_frame, encode_frame, DpcActor, MetricsHub, NetMsg, RuntimeCtx, SystemLayout, WireMsg,
 };
@@ -199,14 +207,36 @@ impl DpcActor for RemoteStub {
     fn on_timer(&mut self, _ctx: &mut dyn RuntimeCtx, _kind: u64) {}
 }
 
+/// What the acceptor thread needs to wire a rejoining peer's connection
+/// into the running engine: handed to the fabric by
+/// [`TcpFabric::start_io`].
+#[derive(Clone)]
+struct IoCtx {
+    sched: Arc<Scheduler>,
+    links: Arc<LinkTable>,
+    stats: Arc<RuntimeStats>,
+    clock: MonotonicClock,
+}
+
 /// The per-process socket fabric: one connection per peer process, the
 /// process plan, and the cross-process stall bookkeeping.
 pub struct TcpFabric {
     my_proc: u32,
     /// `plan[actor index] = process id` — identical in every process.
     plan: Vec<u32>,
-    /// Indexed by process id; `None` for `my_proc`.
-    conns: Vec<Option<Arc<Conn>>>,
+    /// Indexed by process id; `None` for `my_proc`. Slots are writable
+    /// because a killed peer process may respawn and re-dial mid-run: the
+    /// acceptor thread installs the fresh connection in place.
+    conns: Vec<RwLock<Option<Arc<Conn>>>>,
+    /// Connections replaced by a rejoin, kept for their wire gauges.
+    retired: Mutex<Vec<Arc<Conn>>>,
+    /// The listener, parked here between `establish` and `start_io`
+    /// (which moves it into the acceptor thread).
+    listener: Mutex<Option<TcpListener>>,
+    /// Engine hooks for mid-run connection installs; set by `start_io`.
+    ioctx: Mutex<Option<IoCtx>>,
+    /// Orderly shutdown: stops the acceptor and refuses late installs.
+    closing: AtomicBool,
     /// Sender side: links `from → to` whose stall we have reported to the
     /// remote receiver and not yet retracted with a `StallReport{0}`.
     reported_stalls: Mutex<HashSet<(u32, u32)>>,
@@ -218,38 +248,28 @@ pub struct TcpFabric {
 
 impl TcpFabric {
     /// Establishes the full connection mesh for `my_proc` and returns the
-    /// fabric. `ports[p]` is process `p`'s listen port (every process
-    /// binds its own listener and the launcher exchanges the ports);
-    /// `plan` maps every actor index to its process.
+    /// fabric. `addrs[p]` is process `p`'s listen address (an explicit
+    /// `host:port` map every process receives up front — no port
+    /// handshake); `plan` maps every actor index to its process.
     ///
     /// Dial direction is deterministic — the higher process id dials the
     /// lower and identifies itself with a `Hello` frame — so exactly one
-    /// connection exists per process pair. Dialing retries for ~10 s
-    /// (peers may still be binding); accepting waits up to 30 s for the
-    /// `Hello`. No process returns until its whole mesh is up, which makes
-    /// `establish` double as a start barrier for multi-process runs.
+    /// connection exists per process pair. Dialing retries with bounded
+    /// exponential backoff for ~10 s (peers may still be binding);
+    /// accepting waits up to 30 s for the `Hello`. No process returns
+    /// until its whole mesh is up, which makes `establish` double as a
+    /// start barrier for multi-process runs.
     pub fn establish(
         my_proc: u32,
         listener: TcpListener,
-        ports: &[u16],
+        addrs: &[String],
         plan: Vec<u32>,
     ) -> std::io::Result<Arc<TcpFabric>> {
-        let procs = ports.len() as u32;
+        let procs = addrs.len() as u32;
         let mut conns: Vec<Option<Arc<Conn>>> = (0..procs).map(|_| None).collect();
         // Dial every lower peer, announcing who we are.
         for p in 0..my_proc {
-            let addr = format!("127.0.0.1:{}", ports[p as usize]);
-            let stream = dial_retry(&addr)?;
-            stream.set_nodelay(true)?;
-            let mut hello = Vec::with_capacity(16);
-            encode_frame(
-                &mut hello,
-                NodeId(my_proc),
-                NodeId(p),
-                &WireMsg::Hello { proc: my_proc },
-            );
-            (&stream).write_all(&hello)?;
-            conns[p as usize] = Some(Arc::new(Conn::new(p, stream, Vec::new())));
+            conns[p as usize] = Some(dial_peer(my_proc, p, &addrs[p as usize])?);
         }
         // Accept every higher peer; the Hello tells us which one dialed.
         let higher = procs.saturating_sub(my_proc + 1);
@@ -267,14 +287,46 @@ impl TcpFabric {
             }
             conns[peer as usize] = Some(Arc::new(Conn::new(peer, stream, carry)));
         }
-        Ok(Arc::new(TcpFabric {
+        Ok(Self::assemble(my_proc, listener, plan, conns))
+    }
+
+    /// Establishes the mesh for a process **rejoining** a running system
+    /// (a respawned worker): instead of the dial-lower/accept-higher
+    /// split, the rejoiner dials *every* peer — each survivor's acceptor
+    /// thread reads the `Hello`, installs the fresh connection in the
+    /// torn slot, and marks the rejoiner's actors back up.
+    pub fn establish_rejoin(
+        my_proc: u32,
+        listener: TcpListener,
+        addrs: &[String],
+        plan: Vec<u32>,
+    ) -> std::io::Result<Arc<TcpFabric>> {
+        let procs = addrs.len() as u32;
+        let mut conns: Vec<Option<Arc<Conn>>> = (0..procs).map(|_| None).collect();
+        for p in (0..procs).filter(|p| *p != my_proc) {
+            conns[p as usize] = Some(dial_peer(my_proc, p, &addrs[p as usize])?);
+        }
+        Ok(Self::assemble(my_proc, listener, plan, conns))
+    }
+
+    fn assemble(
+        my_proc: u32,
+        listener: TcpListener,
+        plan: Vec<u32>,
+        conns: Vec<Option<Arc<Conn>>>,
+    ) -> Arc<TcpFabric> {
+        Arc::new(TcpFabric {
             my_proc,
             plan,
-            conns,
+            conns: conns.into_iter().map(RwLock::new).collect(),
+            retired: Mutex::new(Vec::new()),
+            listener: Mutex::new(Some(listener)),
+            ioctx: Mutex::new(None),
+            closing: AtomicBool::new(false),
             reported_stalls: Mutex::new(HashSet::new()),
             remote_stalls: Mutex::new(HashMap::new()),
             io: Mutex::new(Vec::new()),
-        }))
+        })
     }
 
     /// This fabric's process id.
@@ -293,8 +345,8 @@ impl TcpFabric {
         self.proc_of(id) != self.my_proc
     }
 
-    fn conn_to(&self, id: NodeId) -> Option<&Arc<Conn>> {
-        self.conns[self.proc_of(id) as usize].as_ref()
+    fn conn_to(&self, id: NodeId) -> Option<Arc<Conn>> {
+        read(&self.conns[self.proc_of(id) as usize]).clone()
     }
 
     /// Encodes `msg` into the write buffer of `to`'s process connection.
@@ -380,25 +432,46 @@ impl TcpFabric {
     /// Crash accounting for a torn connection: every actor of the dead
     /// peer process goes `NodeDown` in the local link table (queued
     /// credit-stalled sends purge as counted delivery drops; later sends
-    /// become send drops), exactly as a scripted crash would.
+    /// become send drops), and every live local actor is notified so it
+    /// drops the subscription state the dead process held for it. Without
+    /// the notification a peer that restarts *faster* than the keep-alive
+    /// staleness window leaves its consumers subscribed to a node that no
+    /// longer knows them — a dangling subscription that silences the
+    /// stream forever.
     fn reset_conn(&self, conn: &Conn, links: &LinkTable, stats: &RuntimeStats, now: Time) {
         if !conn.mark_dead() {
             return;
         }
         conn.g.resets.fetch_add(1, Ordering::Relaxed);
         let mut purged = 0u64;
+        let mut dead: Vec<NodeId> = Vec::new();
         for (i, proc) in self.plan.iter().enumerate() {
             if *proc == conn.peer_proc {
-                purged += links.apply(&FaultEvent::NodeDown(NodeId(i as u32)), now);
+                let id = NodeId(i as u32);
+                purged += links.apply(&FaultEvent::NodeDown(id), now);
+                dead.push(id);
             }
         }
         conn.g.purged.fetch_add(purged, Ordering::Relaxed);
         stats.count_delivery_drops(purged);
+        if let Some(ctx) = relock(&self.ioctx).clone() {
+            for (l, proc) in self.plan.iter().enumerate() {
+                let local = NodeId(l as u32);
+                if *proc != self.my_proc || !ctx.links.node_up(local) {
+                    continue;
+                }
+                for &d in &dead {
+                    ctx.sched
+                        .push(local, Envelope::Fault(FaultEvent::NodeDown(d)), None);
+                }
+            }
+        }
     }
 
-    /// Spawns the per-connection reader and writer threads. Called by the
-    /// engine once the scheduler exists; incoming frames push straight
-    /// into the destination task's mailbox.
+    /// Spawns the per-connection reader and writer threads plus the
+    /// persistent acceptor (which admits rejoining peers mid-run). Called
+    /// by the engine once the scheduler exists; incoming frames push
+    /// straight into the destination task's mailbox.
     pub(crate) fn start_io(
         self: &Arc<Self>,
         sched: Arc<Scheduler>,
@@ -406,32 +479,103 @@ impl TcpFabric {
         stats: Arc<RuntimeStats>,
         clock: MonotonicClock,
     ) {
-        let mut io = relock(&self.io);
-        for conn in self.conns.iter().flatten() {
-            let w = Arc::clone(conn);
-            io.push(
-                std::thread::Builder::new()
-                    .name(format!("tcp-writer-{}", conn.peer_proc))
-                    .spawn(move || writer_loop(w))
-                    .expect("spawn tcp writer"),
-            );
+        let ctx = IoCtx {
+            sched,
+            links,
+            stats,
+            clock,
+        };
+        *relock(&self.ioctx) = Some(ctx.clone());
+        for slot in &self.conns {
+            if let Some(conn) = read(slot).clone() {
+                self.spawn_conn_io(&conn, &ctx);
+            }
+        }
+        if let Some(listener) = relock(&self.listener).take() {
             let fabric = Arc::clone(self);
-            let conn = Arc::clone(conn);
-            let (sched, links, stats) =
-                (Arc::clone(&sched), Arc::clone(&links), Arc::clone(&stats));
-            io.push(
+            relock(&self.io).push(
                 std::thread::Builder::new()
-                    .name(format!("tcp-reader-{}", conn.peer_proc))
-                    .spawn(move || reader_loop(fabric, conn, sched, links, stats, clock))
-                    .expect("spawn tcp reader"),
+                    .name("tcp-acceptor".into())
+                    .spawn(move || acceptor_loop(fabric, listener))
+                    .expect("spawn tcp acceptor"),
             );
         }
     }
 
-    /// Aggregated wire gauges across every connection.
+    /// Spawns the writer and reader threads of one connection.
+    fn spawn_conn_io(self: &Arc<Self>, conn: &Arc<Conn>, ctx: &IoCtx) {
+        let mut io = relock(&self.io);
+        let w = Arc::clone(conn);
+        io.push(
+            std::thread::Builder::new()
+                .name(format!("tcp-writer-{}", conn.peer_proc))
+                .spawn(move || writer_loop(w))
+                .expect("spawn tcp writer"),
+        );
+        let fabric = Arc::clone(self);
+        let conn = Arc::clone(conn);
+        let ctx = ctx.clone();
+        io.push(
+            std::thread::Builder::new()
+                .name(format!("tcp-reader-{}", conn.peer_proc))
+                .spawn(move || {
+                    reader_loop(fabric, conn, ctx.sched, ctx.links, ctx.stats, ctx.clock)
+                })
+                .expect("spawn tcp reader"),
+        );
+    }
+
+    /// Installs a rejoining peer's fresh connection: retires whatever
+    /// occupied the slot (running its crash accounting if the reader had
+    /// not already), marks the peer's actors back up in the link table,
+    /// and spawns the new connection's I/O threads. The peer's *protocol*
+    /// recovery — reloading its checkpoint, replaying its input log,
+    /// re-subscribing — happens in the rejoined process itself; survivors
+    /// only need delivery re-enabled, after which heartbeats resume.
+    fn install_conn(self: &Arc<Self>, peer: u32, stream: TcpStream, carry: Vec<u8>) {
+        let ctx = match relock(&self.ioctx).clone() {
+            Some(ctx) => ctx,
+            None => return,
+        };
+        if peer == self.my_proc
+            || peer as usize >= self.conns.len()
+            || self.closing.load(Ordering::Acquire)
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let conn = Arc::new(Conn::new(peer, stream, carry));
+        let old = {
+            let mut slot = write(&self.conns[peer as usize]);
+            slot.replace(Arc::clone(&conn))
+        };
+        if let Some(old) = old {
+            // Usually already dead (the reader saw the torn socket when
+            // the peer was killed); if the kill and the rejoin raced, the
+            // crash accounting runs now, before the NodeUp below.
+            self.reset_conn(&old, &ctx.links, &ctx.stats, ctx.clock.now());
+            relock(&self.retired).push(old);
+        }
+        let now = ctx.clock.now();
+        for (i, proc) in self.plan.iter().enumerate() {
+            if *proc == peer {
+                ctx.links.apply(&FaultEvent::NodeUp(NodeId(i as u32)), now);
+            }
+        }
+        self.spawn_conn_io(&conn, &ctx);
+    }
+
+    /// Aggregated wire gauges across every connection, including retired
+    /// ones (a rejoin replaces the `Conn` but its traffic still counts).
     pub fn wire_gauges(&self) -> WireGauges {
         let mut w = WireGauges::default();
-        for conn in self.conns.iter().flatten() {
+        let live: Vec<Arc<Conn>> = self
+            .conns
+            .iter()
+            .filter_map(|slot| read(slot).clone())
+            .collect();
+        let retired: Vec<Arc<Conn>> = relock(&self.retired).clone();
+        for conn in live.iter().chain(retired.iter()) {
             if conn.alive.load(Ordering::Acquire) {
                 w.conns += 1;
             }
@@ -450,12 +594,16 @@ impl TcpFabric {
         w
     }
 
-    /// Orderly teardown: sends a `Goodbye` on every live connection,
-    /// flushes, shuts the write halves down, and joins the I/O threads
-    /// (each reader exits on its peer's `Goodbye` + EOF, or was already
-    /// gone). Idempotent.
+    /// Orderly teardown: stops the acceptor, sends a `Goodbye` on every
+    /// live connection, flushes, shuts the write halves down, and joins
+    /// the I/O threads (each reader exits on its peer's `Goodbye` + EOF,
+    /// or was already gone). Idempotent.
     pub fn shutdown(&self) {
-        for conn in self.conns.iter().flatten() {
+        self.closing.store(true, Ordering::Release);
+        for slot in &self.conns {
+            let Some(conn) = read(slot).clone() else {
+                continue;
+            };
             let mut ws = relock(&conn.write);
             if conn.alive.load(Ordering::Acquire) && !ws.closing {
                 encode_frame(
@@ -480,20 +628,74 @@ impl TcpFabric {
     /// — the peer observes a crash, not a clean close.
     #[cfg(test)]
     pub(crate) fn kill(&self, proc: u32) {
-        if let Some(conn) = &self.conns[proc as usize] {
+        if let Some(conn) = read(&self.conns[proc as usize]).clone() {
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
     }
 }
 
-/// Dials `addr`, retrying while the peer's listener comes up (~10 s).
+/// Dials one peer and announces ourselves with a `Hello` frame.
+fn dial_peer(my_proc: u32, peer: u32, addr: &str) -> std::io::Result<Arc<Conn>> {
+    let stream = dial_retry(addr)?;
+    stream.set_nodelay(true)?;
+    let mut hello = Vec::with_capacity(16);
+    encode_frame(
+        &mut hello,
+        NodeId(my_proc),
+        NodeId(peer),
+        &WireMsg::Hello { proc: my_proc },
+    );
+    (&stream).write_all(&hello)?;
+    Ok(Arc::new(Conn::new(peer, stream, Vec::new())))
+}
+
+/// Dials `addr`, retrying while the peer's listener comes up (~10 s
+/// deadline) with bounded exponential backoff: 10 ms doubling to a 500 ms
+/// cap, so a slow peer costs few connection attempts but a fast one is
+/// picked up within milliseconds.
 fn dial_retry(addr: &str) -> std::io::Result<TcpStream> {
     let deadline = Instant::now() + std::time::Duration::from_secs(10);
+    let mut backoff = std::time::Duration::from_millis(10);
+    let cap = std::time::Duration::from_millis(500);
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) if Instant::now() >= deadline => return Err(e),
-            Err(_) => std::thread::sleep(std::time::Duration::from_millis(50)),
+            Err(_) => {
+                std::thread::sleep(backoff.min(deadline.saturating_duration_since(Instant::now())));
+                backoff = (backoff * 2).min(cap);
+            }
+        }
+    }
+}
+
+/// The acceptor thread: admits peers that (re)dial after startup — a
+/// respawned worker process rejoining the mesh. Polls a non-blocking
+/// listener so shutdown can stop it promptly.
+fn acceptor_loop(fabric: Arc<TcpFabric>, listener: TcpListener) {
+    if listener.set_nonblocking(true).is_err() {
+        return;
+    }
+    while !fabric.closing.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The Hello read is blocking (with a deadline) — the
+                // accepted socket must not inherit the listener's mode.
+                if stream.set_nonblocking(false).is_err() || stream.set_nodelay(true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+                let Ok((peer, carry)) = read_hello(&stream) else {
+                    continue;
+                };
+                let _ = stream.set_read_timeout(None);
+                fabric.install_conn(peer, stream, carry);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return,
         }
     }
 }
@@ -769,12 +971,12 @@ mod tests {
     fn fabric_pair(plan: Vec<u32>) -> (Arc<TcpFabric>, Arc<TcpFabric>) {
         let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
         let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
-        let ports = vec![
-            l0.local_addr().unwrap().port(),
-            l1.local_addr().unwrap().port(),
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
         ];
-        let f1 = TcpFabric::establish(1, l1, &ports, plan.clone()).unwrap();
-        let f0 = TcpFabric::establish(0, l0, &ports, plan).unwrap();
+        let f1 = TcpFabric::establish(1, l1, &addrs, plan.clone()).unwrap();
+        let f0 = TcpFabric::establish(0, l0, &addrs, plan).unwrap();
         (f0, f1)
     }
 
@@ -943,6 +1145,85 @@ mod tests {
         f0.shutdown();
         rt1.shutdown();
         f1.shutdown();
+    }
+
+    #[test]
+    fn respawned_peer_rejoins_and_delivers_again() {
+        // Actor 0 lives in proc 1 (the sender), actor 1 in proc 0 (the
+        // counter). Proc 1 dies hard (torn socket), then a fresh fabric
+        // rejoins through proc 0's acceptor thread — the slot is
+        // reinstalled, the actor marked back up, and deliveries resume.
+        let l0 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let l1 = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs = vec![
+            l0.local_addr().unwrap().to_string(),
+            l1.local_addr().unwrap().to_string(),
+        ];
+        let plan = vec![1u32, 0u32];
+        let f1 = TcpFabric::establish(1, l1, &addrs, plan.clone()).unwrap();
+        let f0 = TcpFabric::establish(0, l0, &addrs, plan.clone()).unwrap();
+        let seen = Arc::new(AtomicUsize::new(0));
+        let rt0 = spawn_proc(
+            &f0,
+            vec![
+                Box::new(RemoteStub),
+                Box::new(Counter {
+                    seen: Arc::clone(&seen),
+                }),
+            ],
+            CreditPolicy::Window(1),
+        );
+        let rt1 = spawn_proc(
+            &f1,
+            vec![
+                Box::new(Burst {
+                    to: NodeId(1),
+                    n: 2,
+                }),
+                Box::new(RemoteStub),
+            ],
+            CreditPolicy::Window(1),
+        );
+        assert!(wait_until(|| seen.load(Ordering::SeqCst) == 2, 5000));
+        // Kill proc 1 the hard way: no Goodbye, proc 0 sees a crash.
+        f1.kill(0);
+        assert!(
+            wait_until(|| !rt0.links().node_up(NodeId(0)), 5000),
+            "torn socket marks the peer's actor down"
+        );
+        rt1.shutdown();
+        f1.shutdown();
+        // Respawn proc 1 (new listener — a real respawn rebinds its
+        // configured address; a fresh port keeps the test race-free).
+        let l1b = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addrs2 = vec![addrs[0].clone(), l1b.local_addr().unwrap().to_string()];
+        let f1b = TcpFabric::establish_rejoin(1, l1b, &addrs2, plan).unwrap();
+        let rt1b = spawn_proc(
+            &f1b,
+            vec![
+                Box::new(Burst {
+                    to: NodeId(1),
+                    n: 3,
+                }),
+                Box::new(RemoteStub),
+            ],
+            CreditPolicy::Window(1),
+        );
+        assert!(
+            wait_until(|| rt0.links().node_up(NodeId(0)), 5000),
+            "rejoin marks the peer's actors back up"
+        );
+        assert!(
+            wait_until(|| seen.load(Ordering::SeqCst) == 5, 5000),
+            "deliveries resume after the rejoin: {}",
+            seen.load(Ordering::SeqCst)
+        );
+        let w0 = f0.wire_gauges();
+        assert!(w0.resets >= 1, "the kill counted as a reset: {w0:?}");
+        rt1b.shutdown();
+        f1b.shutdown();
+        rt0.shutdown();
+        f0.shutdown();
     }
 
     #[test]

@@ -254,6 +254,13 @@ impl<'a> Reader<'a> {
         ))
     }
 
+    /// Reads `n` raw bytes — the escape hatch for nested records (the
+    /// durable snapshot format length-prefixes each operator's state so a
+    /// decoder can skip or sandbox it).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        self.take(n)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     pub fn str(&mut self) -> Result<&'a str, WireError> {
         let len = self.u32()? as usize;

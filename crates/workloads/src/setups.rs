@@ -206,6 +206,11 @@ pub struct ChainOptions {
     pub variant: PolicyVariant,
     /// Per-tuple CPU cost of the nodes.
     pub per_tuple_cost: Duration,
+    /// Keep-alive period for nodes and the client (stale timeout follows
+    /// at 2.5×, preserving the paper's 100 ms/250 ms ratio). Wall-clock
+    /// equivalence tests stretch it so a scheduling hiccup on a starved
+    /// host cannot trip spurious staleness.
+    pub heartbeat_period: Duration,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -219,6 +224,7 @@ impl Default for ChainOptions {
             assignment: DelayAssignment::Uniform,
             variant: DISTRIBUTED_VARIANTS[1],
             per_tuple_cost: Duration::from_micros(40),
+            heartbeat_period: Duration::from_millis(100),
             seed: 42,
         }
     }
@@ -260,13 +266,21 @@ pub fn chain_builder(o: &ChainOptions) -> (SystemBuilder, StreamId) {
     };
     let p = plan_deployment(&d, &spec, &cfg).expect("chain plan is valid");
     let metrics = MetricsHub::new();
+    let stale = Duration::from_micros(o.heartbeat_period.as_micros() * 5 / 2);
     let mut builder = SystemBuilder::new(o.seed, Duration::from_millis(1))
         .plan(p)
         .client_streams(vec![last.id()])
         .metrics(metrics)
         .node_tuning(NodeTuning {
             per_tuple_cost: o.per_tuple_cost,
+            heartbeat_period: o.heartbeat_period,
+            stale_timeout: stale,
             ..NodeTuning::default()
+        })
+        .client_tuning(ClientTuning {
+            heartbeat_period: o.heartbeat_period,
+            stale_timeout: stale,
+            ..ClientTuning::default()
         });
     for s in [s1, s2, s3] {
         builder = builder.source(SourceConfig {
@@ -312,6 +326,11 @@ pub struct ShardedChainOptions {
     /// finite load episode: the overload scenarios burst past saturation,
     /// then drain and stabilize.
     pub source_limit: Option<u64>,
+    /// Keep-alive period for nodes and the client (stale timeout follows
+    /// at 2.5×, preserving the paper's 100 ms/250 ms ratio). Wall-clock
+    /// equivalence tests stretch it so a scheduling hiccup on a starved
+    /// host cannot trip spurious staleness.
+    pub heartbeat_period: Duration,
     /// Determinism seed.
     pub seed: u64,
 }
@@ -327,6 +346,7 @@ impl Default for ShardedChainOptions {
             light_cost: Duration::from_micros(2),
             work_cost: Duration::from_micros(40),
             source_limit: None,
+            heartbeat_period: Duration::from_millis(100),
             seed: 42,
         }
     }
@@ -375,13 +395,21 @@ pub fn sharded_chain_builder(o: &ShardedChainOptions) -> (SystemBuilder, StreamI
         protection: Protection::Dpc,
     };
     let p = plan_deployment(&d, &spec, &cfg).expect("sharded chain plan is valid");
+    let stale = Duration::from_micros(o.heartbeat_period.as_micros() * 5 / 2);
     let mut builder = SystemBuilder::new(o.seed, Duration::from_millis(1))
         .plan(p)
         .client_streams(vec![deliver.id()])
         .metrics(MetricsHub::new())
         .node_tuning(NodeTuning {
             per_tuple_cost: o.light_cost,
+            heartbeat_period: o.heartbeat_period,
+            stale_timeout: stale,
             ..NodeTuning::default()
+        })
+        .client_tuning(ClientTuning {
+            heartbeat_period: o.heartbeat_period,
+            stale_timeout: stale,
+            ..ClientTuning::default()
         });
     for s in [s1, s2, s3] {
         builder = builder.source(SourceConfig {

@@ -8,11 +8,15 @@
 //! process plan, the id space, and the scripted fault script agree
 //! everywhere without further coordination.
 //!
-//! Port discovery is race-free: each child binds port 0 itself and prints
-//! `PORT <p>` on stdout; the parent collects every port and writes one
-//! `PORTS p0 p1 ...` line to each child's stdin; then everyone calls
-//! [`TcpFabric::establish`], which doubles as a start barrier (no process
-//! proceeds until its whole connection mesh is up).
+//! Addressing is explicit: the spec carries the full `host:port` map
+//! ([`TcpChainSpec::addrs`], one entry per process). The parent fills it
+//! in up front when the caller leaves it empty — it binds ephemeral
+//! loopback listeners to allocate the ports, keeps its own, and hands the
+//! map to every child as an `addrs=` argv token — so each child binds its
+//! *own* entry and calls [`TcpFabric::establish`] directly, with no stdio
+//! handshake. An explicit map is also what a respawned worker needs to
+//! re-dial the survivors ([`TcpChainSpec::restart`]), and the first step
+//! toward placing processes on different machines.
 
 use crate::setups::{sharded_chain_builder, ShardedChainOptions};
 use borealis_dpc::{FaultSpec, MetricsHub, SystemLayout, TraceEntry};
@@ -20,7 +24,7 @@ use borealis_runtime::{deploy_tcp, plan_processes, TcpFabric};
 use borealis_types::{CreditPolicy, Duration, StreamId, Time, WireGauges};
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
-use std::process::{Child, Command, Stdio};
+use std::process::{Child, ChildStdout, Command, Stdio};
 
 /// The sharded-chain deployment every process of a multi-process run
 /// rebuilds from argv — one spec, one layout, `procs` processes.
@@ -45,6 +49,23 @@ pub struct TcpChainSpec {
     pub seed: u64,
     /// Stop each source after this many tuples (`None` = unbounded).
     pub source_limit: Option<u64>,
+    /// Explicit `host:port` listen address per process. Empty = the
+    /// parent allocates loopback ports up front and passes the full map
+    /// to every child via the `addrs=` argv token.
+    pub addrs: Vec<String>,
+    /// Root directory for per-node durable stores (`None` = no
+    /// durability): checkpoints + input logs land under
+    /// `<dir>/node-<id>/`, and a killed-then-respawned worker recovers
+    /// its fragment state from there.
+    pub durable_dir: Option<String>,
+    /// Kill worker process `p` at `t = ms` into the run and respawn it
+    /// (`rejoin=true`): the respawned process re-dials the mesh and its
+    /// nodes restart from their durable stores.
+    pub restart: Option<(u32, u64)>,
+    /// Keep-alive period in milliseconds (stale timeout follows at 2.5×).
+    /// Wall-clock equivalence tests stretch it so a scheduling hiccup on
+    /// a starved host cannot trip spurious staleness.
+    pub heartbeat_ms: u64,
 }
 
 impl Default for TcpChainSpec {
@@ -59,6 +80,10 @@ impl Default for TcpChainSpec {
             workers: 2,
             seed: 7,
             source_limit: None,
+            addrs: Vec::new(),
+            durable_dir: None,
+            restart: None,
+            heartbeat_ms: 100,
         }
     }
 }
@@ -76,6 +101,7 @@ impl TcpChainSpec {
             light_cost: Duration::from_micros(2),
             work_cost: Duration::from_micros(40),
             source_limit: self.source_limit,
+            heartbeat_period: Duration::from_millis(self.heartbeat_ms),
             seed: self.seed,
             ..Default::default()
         };
@@ -87,6 +113,11 @@ impl TcpChainSpec {
         builder = builder.metrics(metrics).workers(self.workers);
         if let Some(w) = self.window {
             builder = builder.credit_policy(CreditPolicy::Window(w));
+        }
+        if let Some(dir) = &self.durable_dir {
+            // Background flusher: capture stays off the data path; the
+            // snapshot objects are written by a dedicated thread.
+            builder = builder.durability(dir, Duration::from_millis(250), true);
         }
         if self.crash {
             builder = builder.fault(FaultSpec::CrashReplica {
@@ -103,7 +134,7 @@ impl TcpChainSpec {
     /// Serializes the spec as `key=value` argv tokens for the child
     /// processes.
     pub fn to_args(&self) -> Vec<String> {
-        vec![
+        let mut args = vec![
             format!("shards={}", self.shards),
             format!("rate={}", self.per_source_rate),
             format!("wall_ms={}", self.wall_ms),
@@ -113,7 +144,18 @@ impl TcpChainSpec {
             format!("workers={}", self.workers),
             format!("seed={}", self.seed),
             format!("limit={}", self.source_limit.unwrap_or(0)),
-        ]
+            format!("hb={}", self.heartbeat_ms),
+        ];
+        if !self.addrs.is_empty() {
+            args.push(format!("addrs={}", self.addrs.join(",")));
+        }
+        if let Some(dir) = &self.durable_dir {
+            args.push(format!("durable={dir}"));
+        }
+        if let Some((p, ms)) = self.restart {
+            args.push(format!("restart={p}@{ms}"));
+        }
+        args
     }
 
     /// Parses `key=value` tokens produced by [`TcpChainSpec::to_args`]
@@ -143,6 +185,22 @@ impl TcpChainSpec {
                         Ok(0) | Err(_) => None,
                         Ok(n) => Some(n),
                     }
+                }
+                "addrs" => {
+                    spec.addrs = val
+                        .split(',')
+                        .filter(|a| !a.is_empty())
+                        .map(str::to_string)
+                        .collect();
+                }
+                "durable" => {
+                    spec.durable_dir = (!val.is_empty()).then(|| val.to_string());
+                }
+                "hb" => spec.heartbeat_ms = val.parse().unwrap_or(spec.heartbeat_ms),
+                "restart" => {
+                    spec.restart = val.split_once('@').and_then(|(p, ms)| {
+                        Some((p.parse::<u32>().ok()?, ms.parse::<u64>().ok()?))
+                    });
                 }
                 _ => {}
             }
@@ -183,67 +241,103 @@ pub struct TcpReport {
     pub wire: WireGauges,
     /// The client arrival trace, if requested.
     pub trace: Option<Vec<TraceEntry>>,
+    /// Contents of every `last_recovery.marker` found under the durable
+    /// root after the run — one entry per node that restarted from disk.
+    pub recoveries: Vec<String>,
 }
 
 fn invalid(msg: String) -> std::io::Error {
     std::io::Error::new(std::io::ErrorKind::InvalidData, msg)
 }
 
-/// Runs the multi-process deployment as process 0: forks `procs - 1`
-/// children with `child`, exchanges listen ports over their stdio,
-/// establishes the mesh, hosts the sources and the client for
-/// `spec.wall_ms`, and reaps the children.
+/// Reads every node store's `last_recovery.marker` under `root`.
+fn read_recovery_markers(root: &str) -> Vec<String> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return found;
+    };
+    for e in entries.flatten() {
+        let marker = e.path().join("last_recovery.marker");
+        if let Ok(s) = std::fs::read_to_string(&marker) {
+            found.push(s.trim().to_string());
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Runs the multi-process deployment as process 0: allocates the address
+/// map (unless the spec carries one), forks `procs - 1` children with the
+/// full map on their argv, establishes the mesh, hosts the sources and
+/// the client for `spec.wall_ms`, and reaps the children. With
+/// [`TcpChainSpec::restart`] set, the named worker is killed hard
+/// mid-run and respawned with `rejoin=true` — it re-dials the survivors
+/// and (with [`TcpChainSpec::durable_dir`]) restarts its nodes from disk.
 pub fn run_tcp_parent(spec: &TcpChainSpec, child: &ChildCommand) -> std::io::Result<TcpReport> {
+    let mut spec = spec.clone();
     let (layout, out) = spec.layout(true);
     let plan = plan_processes(&layout, spec.procs);
-    let listener = TcpListener::bind("127.0.0.1:0")?;
-    let mut ports = vec![0u16; spec.procs as usize];
-    ports[0] = listener.local_addr()?.port();
+    // Explicit address map: bind an ephemeral loopback listener per
+    // process to allocate the ports, keep our own, free the children's
+    // (each child rebinds its own entry; `SO_REUSEADDR` — set by the
+    // standard library on Unix — also lets a respawned worker rebind).
+    let listener = if spec.addrs.is_empty() {
+        let mut listeners = Vec::new();
+        for _ in 0..spec.procs {
+            let l = TcpListener::bind("127.0.0.1:0")?;
+            spec.addrs.push(l.local_addr()?.to_string());
+            listeners.push(l);
+        }
+        listeners.into_iter().next().expect("procs >= 1")
+    } else {
+        if spec.addrs.len() != spec.procs as usize {
+            return Err(invalid(format!(
+                "address map must cover all {} processes: {:?}",
+                spec.procs, spec.addrs
+            )));
+        }
+        TcpListener::bind(spec.addrs[0].as_str())?
+    };
 
-    let mut children: Vec<Child> = Vec::new();
+    let spawn =
+        |p: u32, wall_ms: u64, rejoin: bool| -> std::io::Result<(BufReader<ChildStdout>, Child)> {
+            let mut s = spec.clone();
+            s.wall_ms = wall_ms;
+            let mut cmd = Command::new(&child.program);
+            cmd.args(&child.prefix).arg(format!("proc={p}"));
+            if rejoin {
+                cmd.arg("rejoin=true");
+            }
+            cmd.args(s.to_args())
+                .stdin(Stdio::null())
+                .stdout(Stdio::piped());
+            let mut c = cmd.spawn()?;
+            let reader = BufReader::new(c.stdout.take().expect("child stdout piped"));
+            Ok((reader, c))
+        };
+    let mut children: Vec<Option<(BufReader<ChildStdout>, Child)>> = Vec::new();
     for p in 1..spec.procs {
-        let mut cmd = Command::new(&child.program);
-        cmd.args(&child.prefix)
-            .arg(format!("proc={p}"))
-            .args(spec.to_args())
-            .stdin(Stdio::piped())
-            .stdout(Stdio::piped());
-        children.push(cmd.spawn()?);
-    }
-    // Every child binds its own listener and reports the port.
-    let mut outputs = Vec::new();
-    for (i, c) in children.iter_mut().enumerate() {
-        let mut reader = BufReader::new(c.stdout.take().expect("child stdout piped"));
-        let mut line = String::new();
-        reader.read_line(&mut line)?;
-        let port = line
-            .trim()
-            .strip_prefix("PORT ")
-            .and_then(|v| v.parse::<u16>().ok())
-            .ok_or_else(|| invalid(format!("child {} bad port line: {line:?}", i + 1)))?;
-        ports[i + 1] = port;
-        outputs.push(reader);
-    }
-    // Broadcast the full port map; the children then establish.
-    let port_line = format!(
-        "PORTS {}\n",
-        ports
-            .iter()
-            .map(|p| p.to_string())
-            .collect::<Vec<_>>()
-            .join(" ")
-    );
-    for c in &mut children {
-        c.stdin
-            .as_mut()
-            .expect("child stdin piped")
-            .write_all(port_line.as_bytes())?;
+        children.push(Some(spawn(p, spec.wall_ms, false)?));
     }
 
-    let fabric = TcpFabric::establish(0, listener, &ports, plan)?;
+    let fabric = TcpFabric::establish(0, listener, &spec.addrs, plan)?;
     let sys = deploy_tcp(layout, fabric);
     let started = std::time::Instant::now();
-    sys.run_for(std::time::Duration::from_millis(spec.wall_ms));
+    match spec.restart {
+        Some((victim, at_ms)) if victim >= 1 && victim < spec.procs => {
+            let at_ms = at_ms.min(spec.wall_ms);
+            sys.run_for(std::time::Duration::from_millis(at_ms));
+            // Kill the worker hard (no Goodbye — survivors see a crash),
+            // then respawn it as a rejoiner for the remaining wall time.
+            if let Some((_, mut c)) = children[victim as usize - 1].take() {
+                let _ = c.kill();
+                let _ = c.wait();
+            }
+            children[victim as usize - 1] = Some(spawn(victim, spec.wall_ms - at_ms, true)?);
+            sys.run_for(std::time::Duration::from_millis(spec.wall_ms - at_ms));
+        }
+        _ => sys.run_for(std::time::Duration::from_millis(spec.wall_ms)),
+    }
     let elapsed = started.elapsed().as_secs_f64();
     let (n_stable, n_tentative, dup, trace) = sys.metrics.with(out, |m| {
         (m.n_stable, m.n_tentative, m.dup_stable, m.trace.clone())
@@ -254,7 +348,10 @@ pub fn run_tcp_parent(spec: &TcpChainSpec, child: &ChildCommand) -> std::io::Res
     let stats = sys.shutdown();
 
     let mut drops = stats.total_drops();
-    for (i, (mut reader, mut c)) in outputs.into_iter().zip(children).enumerate() {
+    for (i, entry) in children.into_iter().enumerate() {
+        let Some((mut reader, mut c)) = entry else {
+            continue;
+        };
         let mut line = String::new();
         loop {
             line.clear();
@@ -276,6 +373,11 @@ pub fn run_tcp_parent(spec: &TcpChainSpec, child: &ChildCommand) -> std::io::Res
         }
     }
 
+    let recoveries = spec
+        .durable_dir
+        .as_deref()
+        .map(read_recovery_markers)
+        .unwrap_or_default();
     Ok(TcpReport {
         n_stable,
         n_tentative,
@@ -285,33 +387,29 @@ pub fn run_tcp_parent(spec: &TcpChainSpec, child: &ChildCommand) -> std::io::Res
         throughput: n_stable as f64 / elapsed,
         wire,
         trace,
+        recoveries,
     })
 }
 
-/// Runs one worker process: binds a listener, reports the port on stdout
-/// (`PORT <p>`), reads the full port map from stdin (`PORTS p0 p1 ...`),
-/// establishes the mesh, runs its share of the layout, and prints a
-/// `STATS` line plus `DONE`.
-pub fn run_tcp_child(my_proc: u32, spec: &TcpChainSpec) -> std::io::Result<()> {
+/// Runs one worker process: binds its own entry of the explicit address
+/// map, establishes the mesh (dial-lower/accept-higher for an initial
+/// start, full re-dial for a `rejoin`), runs its share of the layout, and
+/// prints a `STATS` line plus `DONE`.
+pub fn run_tcp_child(my_proc: u32, spec: &TcpChainSpec, rejoin: bool) -> std::io::Result<()> {
+    if spec.addrs.len() != spec.procs as usize {
+        return Err(invalid(format!(
+            "worker needs the full address map (addrs=h:p,...), got {:?}",
+            spec.addrs
+        )));
+    }
     let (layout, _) = spec.layout(false);
     let plan = plan_processes(&layout, spec.procs);
-    let listener = TcpListener::bind("127.0.0.1:0")?;
-    println!("PORT {}", listener.local_addr()?.port());
-    std::io::stdout().flush()?;
-    let mut line = String::new();
-    std::io::stdin().read_line(&mut line)?;
-    let ports = line
-        .trim()
-        .strip_prefix("PORTS ")
-        .map(|rest| {
-            rest.split_whitespace()
-                .filter_map(|p| p.parse::<u16>().ok())
-                .collect::<Vec<u16>>()
-        })
-        .filter(|p| p.len() == spec.procs as usize)
-        .ok_or_else(|| invalid(format!("bad port map line: {line:?}")))?;
-
-    let fabric = TcpFabric::establish(my_proc, listener, &ports, plan)?;
+    let listener = TcpListener::bind(spec.addrs[my_proc as usize].as_str())?;
+    let fabric = if rejoin {
+        TcpFabric::establish_rejoin(my_proc, listener, &spec.addrs, plan)?
+    } else {
+        TcpFabric::establish(my_proc, listener, &spec.addrs, plan)?
+    };
     let sys = deploy_tcp(layout, fabric);
     sys.run_for(std::time::Duration::from_millis(spec.wall_ms));
     let stats = sys.shutdown();
@@ -330,15 +428,17 @@ pub fn run_tcp_child(my_proc: u32, spec: &TcpChainSpec) -> std::io::Result<()> {
 }
 
 /// Entry point shared by the `tcp_node` binary and the example's
-/// self-exec child mode: parses `proc=<i>` plus the spec tokens from
-/// `args` and runs the worker process.
+/// self-exec child mode: parses `proc=<i>` (plus the optional
+/// `rejoin=true` respawn flag) and the spec tokens from `args`, then runs
+/// the worker process.
 pub fn run_tcp_child_args<'a>(args: impl Iterator<Item = &'a str> + Clone) -> std::io::Result<()> {
     let my_proc = args
         .clone()
         .find_map(|a| a.strip_prefix("proc=").and_then(|v| v.parse::<u32>().ok()))
         .ok_or_else(|| invalid("missing proc=<i> argument".into()))?;
+    let rejoin = args.clone().any(|a| a == "rejoin=true");
     let spec = TcpChainSpec::parse_args(args);
-    run_tcp_child(my_proc, &spec)
+    run_tcp_child(my_proc, &spec, rejoin)
 }
 
 #[cfg(test)]
@@ -357,6 +457,10 @@ mod tests {
             workers: 3,
             seed: 99,
             source_limit: Some(1000),
+            addrs: vec!["127.0.0.1:4001".into(), "10.0.0.2:4002".into()],
+            durable_dir: Some("/tmp/borealis-durable".into()),
+            restart: Some((2, 1500)),
+            heartbeat_ms: 250,
         };
         let args = spec.to_args();
         let parsed = TcpChainSpec::parse_args(args.iter().map(|s| s.as_str()));

@@ -4,7 +4,7 @@
 //! per source, shard replica, and client.
 //!
 //! Run with:
-//! `cargo run --release --example realtime_pipeline [clean|overload|scale|tcp]`
+//! `cargo run --release --example realtime_pipeline [clean|overload|scale|tcp|recover]`
 //!
 //! **clean** — the K = 1/2/4 shard sweep at fixed offered load, plus the
 //! K = 4 run with a scripted mid-run crash of one shard replica (the
@@ -32,6 +32,14 @@
 //! engine, the frame-coalescing ratio, a mid-run replica crash in a
 //! worker process, and a bounded-window run proving credit grants ride
 //! the wire as explicit frames.
+//!
+//! **recover** — the durable-restart study (`BENCH_PR9.json`): every node
+//! replica writes periodic checkpoints and an append-only input log to a
+//! per-node store. A durability-on run guards the reference throughput, a
+//! worker **process** is SIGKILLed mid-run and respawned to restart from
+//! disk (snapshot load + bounded log replay + mesh rejoin), and a
+//! checkpoint-interval sweep shows the replayed log-suffix length and
+//! recovery time tracking the interval.
 //!
 //! With no argument all sections run.
 //!
@@ -547,6 +555,7 @@ fn tcp_section(per_source_rate: f64, wall_secs: f64) {
         workers: 4,
         seed: 7,
         source_limit: None,
+        ..TcpChainSpec::default()
     };
 
     // In-process reference at the identical config, then the same chain
@@ -638,10 +647,231 @@ fn tcp_section(per_source_rate: f64, wall_secs: f64) {
     );
 }
 
+/// Scratch directory for a durable-store run, clean at entry.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("borealis-recover-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Parses a `last_recovery.marker`: `(snapshot id, recover µs, replayed)`.
+fn parse_marker(m: &str) -> (u64, u64, u64) {
+    let field = |k: &str| {
+        m.split(&format!("{k}="))
+            .nth(1)
+            .and_then(|s| s.split_whitespace().next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0u64)
+    };
+    (field("snapshot"), field("recover_us"), field("replayed"))
+}
+
+/// Reads every node store's recovery marker under `root`.
+fn recovery_markers(root: &std::path::Path) -> Vec<String> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return found;
+    };
+    for e in entries.flatten() {
+        if let Ok(s) = std::fs::read_to_string(e.path().join("last_recovery.marker")) {
+            found.push(s.trim().to_string());
+        }
+    }
+    found
+}
+
+/// The durable-recovery section (`BENCH_PR9.json`): per-node durable
+/// stores (background checkpoint flusher + append-only input log), a
+/// durability-on throughput guard at the reference config, a worker
+/// process SIGKILLed mid-run and respawned to restart from disk, and a
+/// checkpoint-interval sweep quantifying the log-suffix length and
+/// recovery time a restart pays.
+fn recover_section(per_source_rate: f64, wall_secs: f64) {
+    let offered = per_source_rate * 3.0;
+    let wall_ms = (wall_secs * 1000.0) as u64;
+    println!(
+        "\ndurable recovery: K=4 chain, 250 ms background checkpoints + input log, \
+         {offered:.0} tuples/s offered, {wall_secs:.0}s per run\n"
+    );
+
+    // --- Durability-on reference throughput ------------------------------
+    // The CoW capture runs on the data path; serialization and fsync live
+    // on the flusher thread — throughput must hold the durability-off
+    // reference (29249 stable/s at the reference config).
+    let root = scratch_dir("reference");
+    let (mut builder, out) = sharded_chain_builder(&options(4, per_source_rate));
+    builder = builder.durability(&root, Duration::from_millis(250), true);
+    let sys = deploy_threads(builder.layout());
+    let started = std::time::Instant::now();
+    sys.run_for(std::time::Duration::from_secs_f64(wall_secs));
+    let elapsed = started.elapsed().as_secs_f64();
+    let (ref_stable, ref_dup) = sys.metrics.with(out, |m| (m.n_stable, m.dup_stable));
+    sys.shutdown();
+    let ref_throughput = ref_stable as f64 / elapsed;
+    println!(
+        "  durability on : {ref_throughput:.0} stable tuples/s ({ref_stable} stable, {ref_dup} dup)"
+    );
+    assert_eq!(ref_dup, 0, "durable clean run must not duplicate");
+    assert!(
+        ref_stable > 1_000,
+        "live traffic must flow with durability on ({ref_stable} stable)"
+    );
+    if per_source_rate >= 10_000.0 && wall_secs >= 8.0 {
+        assert!(
+            ref_throughput >= 29_249.0 * 0.85,
+            "durability must hold the reference throughput (29249 stable/s): \
+             got {ref_throughput:.0}"
+        );
+        println!("  durability holds the 29249 stable/s reference within 15%.");
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    // --- Kill + respawn across OS processes ------------------------------
+    // Worker process 1 (one replica of every fragment) dies by SIGKILL at
+    // half-run and is respawned with `rejoin=true`: each of its nodes
+    // reloads its latest checkpoint, replays the bounded input-log
+    // suffix, re-dials the mesh, and rejoins DPC.
+    let root = scratch_dir("tcp");
+    let exe = std::env::current_exe().expect("own executable path");
+    let child = ChildCommand {
+        program: exe.to_string_lossy().into_owned(),
+        prefix: vec!["__tcp_child".into()],
+    };
+    let spec = TcpChainSpec {
+        shards: 4,
+        per_source_rate,
+        wall_ms,
+        crash: false,
+        window: None,
+        procs: 3,
+        workers: 4,
+        seed: 7,
+        source_limit: None,
+        durable_dir: Some(root.to_string_lossy().into_owned()),
+        restart: Some((1, wall_ms / 2)),
+        ..TcpChainSpec::default()
+    };
+    let report = run_tcp_parent(&spec, &child).expect("tcp recover run");
+    println!(
+        "\nkill+respawn run (worker process 1 SIGKILLed at t={:.1}s, respawned): \
+         {:.0} stable/s, {} stable, {} tentative, {} dup, {} drops",
+        wall_ms as f64 / 2000.0,
+        report.throughput,
+        report.n_stable,
+        report.n_tentative,
+        report.dup,
+        report.drops
+    );
+    assert_eq!(
+        report.dup, 0,
+        "disk recovery must not duplicate stable tuples"
+    );
+    assert!(
+        report.n_stable > 1_000,
+        "stable output must keep flowing through the kill ({} stable)",
+        report.n_stable
+    );
+    assert!(
+        !report.recoveries.is_empty(),
+        "the respawned worker's nodes must restart from their durable stores"
+    );
+    for marker in &report.recoveries {
+        let (snap, us, replayed) = parse_marker(marker);
+        println!(
+            "  recovered node: snapshot #{snap}, {replayed} log records replayed, \
+             {:.1} ms to catch up",
+            us as f64 / 1000.0
+        );
+        assert!(
+            snap >= 1,
+            "a mid-run restart must find a checkpoint: {marker}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&root);
+
+    // --- Checkpoint-interval sweep ---------------------------------------
+    // The interval buys off recovery work: a restarted node replays only
+    // the input logged past its last snapshot, so the suffix length (and
+    // the catch-up time) scales with the interval, not the run length.
+    // The scripted restart kills work-shard 1's replica 0 at t=1.5s and
+    // respawns it 300 ms later (the in-process analogue of the kill run).
+    println!("\n  checkpoint | stable/s | post/pre rate | replayed | recover");
+    println!("  -----------+----------+---------------+----------+--------");
+    for interval_ms in [100u64, 250, 1000] {
+        let root = scratch_dir(&format!("sweep-{interval_ms}"));
+        let (mut builder, out) = sharded_chain_builder(&options(4, per_source_rate));
+        let metrics = MetricsHub::new();
+        metrics.enable_trace(out);
+        builder = builder
+            .metrics(metrics)
+            .durability(&root, Duration::from_millis(interval_ms), true)
+            .fault(FaultSpec::RestartReplica {
+                frag: 1,
+                shard: 1,
+                replica: 0,
+                after: Time::from_millis(1500),
+            });
+        let sys = deploy_threads(builder.layout());
+        let started = std::time::Instant::now();
+        sys.run_for(std::time::Duration::from_secs_f64(wall_secs));
+        let elapsed = started.elapsed().as_secs_f64();
+        let (n_stable, dup, trace) = sys
+            .metrics
+            .with(out, |m| (m.n_stable, m.dup_stable, m.trace.clone()));
+        sys.shutdown();
+        // Stable arrival rate in the second before the kill vs the second
+        // after the respawned replica is back: the post-recovery dip.
+        let rate_in = |from_ms: u64, to_ms: u64| {
+            trace
+                .as_ref()
+                .map(|t| {
+                    t.iter()
+                        .filter(|e| {
+                            e.kind == TupleKind::Insertion
+                                && e.arrival >= Time::from_millis(from_ms)
+                                && e.arrival < Time::from_millis(to_ms)
+                        })
+                        .count() as f64
+                        / ((to_ms - from_ms) as f64 / 1000.0)
+                })
+                .unwrap_or(0.0)
+        };
+        let pre = rate_in(500, 1500);
+        let post = rate_in(1800, 2800);
+        let markers = recovery_markers(&root);
+        let (_, us, replayed) = markers
+            .first()
+            .map(|m| parse_marker(m))
+            .unwrap_or((0, 0, 0));
+        println!(
+            "  {:>7} ms | {:>8.0} | {:>12.0}% | {:>8} | {:>4.1} ms",
+            interval_ms,
+            n_stable as f64 / elapsed,
+            100.0 * post / pre.max(1.0),
+            replayed,
+            us as f64 / 1000.0
+        );
+        assert_eq!(
+            dup, 0,
+            "interval {interval_ms} ms: duplicates after restart"
+        );
+        assert_eq!(
+            markers.len(),
+            1,
+            "interval {interval_ms} ms: exactly the restarted replica recovers: {markers:?}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    println!(
+        "\nrestart cost tracks the checkpoint interval: the input log is truncated at \
+         every published snapshot, so catch-up replays a bounded suffix."
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Forked worker process of the tcp section: argv carries the sentinel,
-    // `proc=<i>`, and the serialized spec; the port map arrives on stdin.
+    // `proc=<i>`, and the serialized spec (including the full address map).
     if args.first().is_some_and(|a| a == "__tcp_child") {
         run_tcp_child_args(args.iter().skip(1).map(|s| s.as_str())).expect("tcp worker process");
         return;
@@ -661,11 +891,13 @@ fn main() {
         "overload" => overload_section(per_source_rate, wall_secs),
         "scale" => scale_section(per_source_rate, wall_secs),
         "tcp" => tcp_section(per_source_rate, wall_secs),
+        "recover" => recover_section(per_source_rate, wall_secs),
         _ => {
             clean_section(per_source_rate, wall_secs);
             overload_section(per_source_rate, wall_secs);
             scale_section(per_source_rate, wall_secs);
             tcp_section(per_source_rate, wall_secs);
+            recover_section(per_source_rate, wall_secs);
         }
     }
 }

@@ -37,6 +37,17 @@ fn stable_stream(trace: &[borealis::dpc::TraceEntry]) -> Vec<(u64, u64)> {
     v
 }
 
+/// Serializes the tests in this binary. Every test here deploys on the
+/// wall-clock thread engine (some additionally fork OS processes) and
+/// compares the result against the virtual-time simulator; running them
+/// concurrently oversubscribes the CPU far enough that keep-alives go
+/// stale spuriously and the runs diverge for scheduling reasons, not
+/// protocol ones.
+fn serial() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Chain options tuned so a wall-clock run finishes in a few seconds.
 fn fast_chain() -> ChainOptions {
     ChainOptions {
@@ -45,6 +56,11 @@ fn fast_chain() -> ChainOptions {
         per_node_delay: Duration::from_millis(500),
         variant: DISTRIBUTED_VARIANTS[1], // Process & Process
         per_tuple_cost: Duration::from_micros(10),
+        // A starved wall-clock runner (1-CPU CI, debug profile, host
+        // steal) can stall any thread past the default 250 ms staleness
+        // window; stretched keep-alives make spurious failovers
+        // impossible while the sim recomputes the identical reference.
+        heartbeat_period: Duration::from_millis(400),
         seed: 21,
         ..Default::default()
     }
@@ -56,6 +72,7 @@ fn fast_chain() -> ChainOptions {
 /// common prefix — the shorter run is a prefix of the longer one.
 #[test]
 fn chain_stable_stream_identical_across_runtimes() {
+    let _serial = serial();
     let o = fast_chain();
     let crash_frag = o.depth - 1; // the fragment the client watches
     let horizon = Time::from_secs(6);
@@ -140,12 +157,14 @@ fn chain_stable_stream_identical_across_runtimes() {
 /// deterministic across runtimes.
 #[test]
 fn sharded_chain_stable_stream_identical_across_runtimes() {
+    let _serial = serial();
     let o = ShardedChainOptions {
         shards: 2,
         total_rate: 300.0,
         per_node_delay: Duration::from_millis(500),
         work_cost: Duration::from_micros(10),
         light_cost: Duration::from_micros(5),
+        heartbeat_period: Duration::from_millis(400),
         seed: 33,
         ..Default::default()
     };
@@ -237,6 +256,7 @@ fn overload_chain(
         // sustained overload (the node never catches up, §4.4.2, so no
         // REC_DONE — used for the boundedness measurements).
         source_limit: episode,
+        heartbeat_period: Duration::from_millis(400),
         seed,
         ..Default::default()
     };
@@ -250,6 +270,7 @@ fn overload_chain(
 /// ROADMAP's "delayed, not unboundedly buffered" contract, measured.
 #[test]
 fn overload_bounded_window_caps_inflight_where_baseline_grows() {
+    let _serial = serial();
     // --- Bounded: Window(4), sustained overload --------------------------
     let (builder, out) = overload_chain(CreditPolicy::Window(4), 77, None);
     let mut sys = builder.build();
@@ -300,6 +321,7 @@ fn overload_bounded_window_caps_inflight_where_baseline_grows() {
 /// backpressure may delay buckets, never reorder or drop stable data.
 #[test]
 fn overload_stable_stream_identical_across_runtimes() {
+    let _serial = serial();
     let horizon = Time::from_secs(10);
 
     let (builder, out) = overload_chain(CreditPolicy::Window(4), 78, Some(150));
@@ -372,6 +394,7 @@ fn overload_stable_stream_identical_across_runtimes() {
 /// survivor, and the stable streams still match across runtimes.
 #[test]
 fn overload_with_replica_crash_identical_across_runtimes() {
+    let _serial = serial();
     let crash = FaultSpec::CrashReplica {
         frag: 1, // the overloaded work stage
         shard: 0,
@@ -431,6 +454,7 @@ fn overload_with_replica_crash_identical_across_runtimes() {
 /// reorder or drop stable output.
 #[test]
 fn healthy_chain_stable_stream_identical_across_runtimes() {
+    let _serial = serial();
     let o = ChainOptions {
         seed: 9,
         ..fast_chain()
@@ -480,6 +504,7 @@ fn healthy_chain_stable_stream_identical_across_runtimes() {
 /// alone — not of which transport carried it.
 #[test]
 fn stable_stream_identical_across_sim_threads_and_sockets() {
+    let _serial = serial();
     let spec = TcpChainSpec {
         shards: 2,
         per_source_rate: 100.0,
@@ -490,6 +515,8 @@ fn stable_stream_identical_across_sim_threads_and_sockets() {
         workers: 2,
         seed: 33,
         source_limit: None,
+        heartbeat_ms: 400,
+        ..TcpChainSpec::default()
     };
 
     // (a) Deterministic simulator, virtual time.
@@ -571,12 +598,14 @@ fn stable_stream_identical_across_sim_threads_and_sockets() {
 /// the deployment description alone.
 #[test]
 fn stable_stream_invariant_across_worker_counts() {
+    let _serial = serial();
     let o = ShardedChainOptions {
         shards: 2,
         total_rate: 300.0,
         per_node_delay: Duration::from_millis(500),
         work_cost: Duration::from_micros(10),
         light_cost: Duration::from_micros(5),
+        heartbeat_period: Duration::from_millis(400),
         seed: 55,
         ..Default::default()
     };
@@ -632,4 +661,202 @@ fn stable_stream_invariant_across_worker_counts() {
             "workers={workers}: stable stream diverged from the simulator"
         );
     }
+}
+
+/// Scratch directory for a durable-store test, clean at entry.
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "borealis-cross-durable-{}-{name}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Reads every node store's `last_recovery.marker` under `root`.
+fn recovery_markers(root: &std::path::Path) -> Vec<String> {
+    let mut found = Vec::new();
+    let Ok(entries) = std::fs::read_dir(root) else {
+        return found;
+    };
+    for e in entries.flatten() {
+        if let Ok(s) = std::fs::read_to_string(e.path().join("last_recovery.marker")) {
+            found.push(s.trim().to_string());
+        }
+    }
+    found
+}
+
+/// Crash-then-restart with durable stores, sim vs threads: the replica the
+/// client watches is killed mid-run and respawned 300 ms later; under both
+/// runtimes it reloads its latest checkpoint from disk, replays the logged
+/// input suffix, rejoins — and the delivered stable stream stays
+/// byte-identical to the single-threaded simulator's, with zero duplicate
+/// stable tuples.
+#[test]
+fn durable_restart_stable_stream_identical_across_runtimes() {
+    let _serial = serial();
+    let o = fast_chain();
+    let frag = o.depth - 1; // the fragment the client watches
+    let restart = FaultSpec::RestartReplica {
+        frag,
+        shard: 0,
+        replica: 0,
+        after: Time::from_millis(1500),
+    };
+
+    // --- Simulator run, durable stores on virtual time -------------------
+    let sim_root = scratch("sim");
+    let (builder, out) = chain_builder(&o);
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let mut sim_sys = builder
+        .metrics(metrics)
+        .durability(&sim_root, Duration::from_millis(250), false)
+        .fault(restart.clone())
+        .build();
+    sim_sys.run_until(Time::from_secs(6));
+    let (sim_stable, sim_dups) = sim_sys.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+    let sim_markers = recovery_markers(&sim_root);
+
+    // --- Thread-runtime run, background flusher --------------------------
+    let thr_root = scratch("threads");
+    let (builder, out2) = chain_builder(&o);
+    assert_eq!(out, out2);
+    let metrics = MetricsHub::new();
+    metrics.enable_trace(out);
+    let layout = builder
+        .metrics(metrics)
+        .durability(&thr_root, Duration::from_millis(250), true)
+        .fault(restart)
+        .layout();
+    let threads = deploy_threads(layout);
+    threads.run_for(std::time::Duration::from_millis(4500));
+    let (thr_stable, thr_dups) = threads.metrics.with(out, |m| {
+        (
+            stable_stream(m.trace.as_ref().expect("trace enabled")),
+            m.dup_stable,
+        )
+    });
+    threads.shutdown();
+
+    assert_eq!(sim_dups, 0, "sim restart re-delivered stable tuples");
+    assert_eq!(thr_dups, 0, "thread restart re-delivered stable tuples");
+    assert_eq!(
+        sim_markers.len(),
+        1,
+        "exactly the respawned replica recovers from disk: {sim_markers:?}"
+    );
+    let thr_markers = recovery_markers(&thr_root);
+    assert_eq!(
+        thr_markers.len(),
+        1,
+        "thread runtime: exactly one disk recovery: {thr_markers:?}"
+    );
+    assert!(
+        thr_markers[0].starts_with("snapshot="),
+        "marker records the recovered snapshot: {}",
+        thr_markers[0]
+    );
+    let common = sim_stable.len().min(thr_stable.len());
+    assert!(
+        common >= 300,
+        "both runs must deliver a substantial stable stream: sim={} threads={}",
+        sim_stable.len(),
+        thr_stable.len()
+    );
+    assert_eq!(
+        sim_stable[..common],
+        thr_stable[..common],
+        "disk recovery changed the stable output"
+    );
+    let _ = std::fs::remove_dir_all(&sim_root);
+    let _ = std::fs::remove_dir_all(&thr_root);
+}
+
+/// Kill-then-respawn across OS processes: worker process 1 (hosting one
+/// replica of every fragment) is SIGKILLed at t=2 s and respawned with
+/// `rejoin=true`; its nodes reload their checkpoints from the durable
+/// stores, replay their input-log suffixes, and re-dial the mesh. The
+/// stable stream the client retains must match the failure-free
+/// deterministic simulator run of the same spec, tuple for tuple, with
+/// zero duplicates — the tentpole guarantee on the real transport.
+#[test]
+fn tcp_killed_worker_respawns_and_recovers_from_disk() {
+    let _serial = serial();
+    let root = scratch("tcp");
+    let spec = TcpChainSpec {
+        shards: 2,
+        per_source_rate: 100.0,
+        wall_ms: 5000,
+        crash: false,
+        window: None,
+        procs: 3,
+        workers: 2,
+        seed: 33,
+        source_limit: None,
+        durable_dir: Some(root.to_string_lossy().into_owned()),
+        restart: Some((1, 2000)),
+        // Subscription cleanup on the kill comes from the connection
+        // reset, not staleness — stretched keep-alives only remove the
+        // spurious-failover hazard on a starved runner.
+        heartbeat_ms: 400,
+        ..TcpChainSpec::default()
+    };
+
+    // Failure-free simulator reference of the identical topology (no
+    // durable stores — the sim must not seed the TCP run's directories;
+    // durability does not change the layout's id space).
+    let sim_spec = TcpChainSpec {
+        durable_dir: None,
+        restart: None,
+        ..spec.clone()
+    };
+    let (layout, out) = sim_spec.layout(true);
+    let mut sim_sys = layout.deploy_sim();
+    sim_sys.run_until(Time::from_secs(6));
+    let sim_stable = sim_sys
+        .metrics
+        .with(out, |m| stable_stream(m.trace.as_ref().expect("trace")));
+
+    let child = ChildCommand {
+        program: env!("CARGO_BIN_EXE_tcp_node").to_string(),
+        prefix: Vec::new(),
+    };
+    let report = run_tcp_parent(&spec, &child).expect("tcp restart run");
+    let tcp_stable = stable_stream(report.trace.as_ref().expect("trace enabled"));
+
+    assert_eq!(report.dup, 0, "restart must not re-deliver stable tuples");
+    assert!(
+        report.drops > 0,
+        "the kill must sever traffic somewhere: {report:?}"
+    );
+    assert!(
+        !report.recoveries.is_empty(),
+        "the respawned worker's nodes must recover from disk"
+    );
+    for marker in &report.recoveries {
+        assert!(
+            marker.starts_with("snapshot="),
+            "marker records the recovered snapshot: {marker}"
+        );
+    }
+    let common = sim_stable.len().min(tcp_stable.len());
+    assert!(
+        common >= 300,
+        "both runs must deliver a substantial stable stream: sim={} tcp={}",
+        sim_stable.len(),
+        tcp_stable.len()
+    );
+    assert_eq!(
+        sim_stable[..common],
+        tcp_stable[..common],
+        "kill + disk recovery changed the stable output on the wire"
+    );
+    let _ = std::fs::remove_dir_all(&root);
 }

@@ -1,0 +1,81 @@
+//! Shard-routing microbenchmark: per-batch partition cost of the
+//! delivery layer, before/after the one-pass selection-view partitioner.
+//!
+//! `per_link_filter/*` is the pre-change shape — every receiving replica
+//! link runs `PartitionSpec::filter_batch` over the whole batch, so cost
+//! grows with K·R. `router_views/*` is the shipped path — the first
+//! receiver's `ShardRouter::route` computes all K selection views in one
+//! eval+hash pass and the remaining K·R−1 links clone `Arc`s — so cost is
+//! flat in R (and near-flat in K). Debug builds additionally assert the
+//! one-hash-per-tuple property via the routing gauge.
+
+use borealis_types::{
+    route_key_evals, Expr, PartitionSpec, ShardRouter, Time, Tuple, TupleId, Value,
+};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+const BATCH: u64 = 1024;
+
+fn batch() -> borealis_types::TupleBatch {
+    (0..BATCH)
+        .map(|i| {
+            Tuple::insertion(
+                TupleId(i + 1),
+                Time::from_millis(i),
+                vec![Value::Int((i as i64).wrapping_mul(2654435761))],
+            )
+        })
+        .collect()
+}
+
+fn spec(shards: u32, index: u32) -> PartitionSpec {
+    PartitionSpec {
+        key: Expr::field(0),
+        shards,
+        index,
+    }
+}
+
+fn bench_shard_route(c: &mut Criterion) {
+    let input = batch();
+    for replication in [1u32, 2] {
+        let mut g = c.benchmark_group(format!("shard_route_r{replication}"));
+        g.throughput(Throughput::Elements(BATCH));
+        for k in [1u32, 4, 8] {
+            // Pre-change shape: each of the K·R receiver links filters the
+            // whole batch independently.
+            g.bench_function(format!("per_link_filter_k{k}"), |b| {
+                b.iter(|| {
+                    for shard in 0..k {
+                        for _ in 0..replication {
+                            black_box(spec(k, shard).filter_batch(black_box(&input)));
+                        }
+                    }
+                });
+            });
+            // Shipped path: one router pass serves the whole fan-out.
+            g.bench_function(format!("router_views_k{k}"), |b| {
+                b.iter(|| {
+                    let view = black_box(input.clone()).into();
+                    let mut router = ShardRouter::new();
+                    let before = route_key_evals();
+                    for shard in 0..k {
+                        for _ in 0..replication {
+                            black_box(router.route(&spec(k, shard), &view));
+                        }
+                    }
+                    // The one-pass contract, checked on every iteration in
+                    // debug builds (the gauge reads 0 in release builds).
+                    if cfg!(debug_assertions) {
+                        assert_eq!(route_key_evals() - before, if k > 1 { BATCH } else { 0 });
+                    }
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_shard_route);
+criterion_main!(benches);

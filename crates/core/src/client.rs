@@ -136,7 +136,7 @@ impl ClientProxy {
                 }
                 let mut actions = Vec::new();
                 let mut accepted: Vec<&Tuple> = Vec::with_capacity(tuples.len());
-                for t in tuples.as_slice() {
+                for t in tuples.iter() {
                     if self.ums[i].is_duplicate(t) {
                         continue; // retransmission after a link heal
                     }

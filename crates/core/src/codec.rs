@@ -30,7 +30,7 @@
 
 use crate::msg::{NetMsg, NodeState};
 use borealis_types::wire::{
-    begin_frame, end_frame, put_batch, put_u32, put_u64, put_u8, split_frame, Reader,
+    begin_frame, end_frame, put_u32, put_u64, put_u8, put_view, split_frame, Reader,
 };
 use borealis_types::{NodeId, StreamId, TupleId, WireError};
 
@@ -132,9 +132,12 @@ pub fn encode_frame(buf: &mut Vec<u8>, from: NodeId, to: NodeId, msg: &WireMsg) 
 fn encode_net(buf: &mut Vec<u8>, from: NodeId, to: NodeId, msg: &NetMsg) {
     match msg {
         NetMsg::Data { stream, tuples } => {
+            // Encoded straight from the selection view into the write
+            // buffer: a sharded receiver's run list is walked in place, no
+            // intermediate batch is materialized on the send path.
             let mark = begin_frame(buf, from, to, kind::DATA);
             put_u32(buf, stream.0);
-            put_batch(buf, tuples);
+            put_view(buf, tuples);
             end_frame(buf, mark);
         }
         NetMsg::Subscribe {
@@ -202,7 +205,9 @@ pub fn decode_payload(kind_byte: u8, payload: &[u8]) -> Result<WireMsg, WireErro
     let msg = match kind_byte {
         kind::DATA => {
             let stream = StreamId(r.u32()?);
-            let tuples = r.batch()?;
+            // The receiver sees one contiguous batch regardless of how
+            // fragmented the sender's selection was.
+            let tuples = r.batch()?.into();
             WireMsg::Net(NetMsg::Data { stream, tuples })
         }
         kind::SUBSCRIBE => {
@@ -352,7 +357,7 @@ mod tests {
         match variant {
             0 => NetMsg::Data {
                 stream: StreamId(rng.gen_range(0..64u32)),
-                tuples: random_batch(rng),
+                tuples: random_batch(rng).into(),
             },
             1 => NetMsg::Subscribe {
                 stream: StreamId(rng.gen_range(0..64u32)),
@@ -516,7 +521,7 @@ mod tests {
             NodeId(1),
             &WireMsg::Net(NetMsg::Data {
                 stream: StreamId(7),
-                tuples: full,
+                tuples: full.into(),
             }),
         );
         let view_bytes = encode_one(
@@ -524,7 +529,7 @@ mod tests {
             NodeId(1),
             &WireMsg::Net(NetMsg::Data {
                 stream: StreamId(7),
-                tuples: view.clone(),
+                tuples: view.clone().into(),
             }),
         );
         assert!(view_bytes.len() < full_bytes.len());
@@ -532,7 +537,8 @@ mod tests {
         let WireMsg::Net(NetMsg::Data { tuples, .. }) = decoded else {
             panic!("expected Data");
         };
-        assert_eq!(tuples.as_slice(), view.as_slice());
-        assert!(!tuples.shares_backing(&view), "decode rebuilds its own arc");
+        let got = tuples.to_batch();
+        assert_eq!(got.as_slice(), view.as_slice());
+        assert!(!got.shares_backing(&view), "decode rebuilds its own arc");
     }
 }

@@ -23,7 +23,7 @@ use borealis_engine::encode_durable_capture;
 use borealis_ops::{OpSnapshot, SnapshotCodec};
 use borealis_store::{LogWriter, NodeStore, StoreError};
 use borealis_types::wire::{self, Reader};
-use borealis_types::{Duration, StreamId, TupleBatch, TupleId};
+use borealis_types::{BatchView, Duration, StreamId, TupleBatch, TupleId};
 use std::path::PathBuf;
 use std::sync::mpsc;
 use std::thread;
@@ -153,11 +153,13 @@ impl NodeDisk {
         &self.store
     }
 
-    /// Appends one deduplicated input batch to the log.
-    pub fn append_input(&mut self, stream: StreamId, tuples: &TupleBatch) {
+    /// Appends one deduplicated input view to the log, encoding straight
+    /// from the selection (the record format matches `wire::put_batch`, so
+    /// recovery still decodes contiguous batches).
+    pub fn append_input(&mut self, stream: StreamId, tuples: &BatchView) {
         let mut buf = Vec::with_capacity(16 + tuples.len() * 24);
         wire::put_u64(&mut buf, stream.0 as u64);
-        wire::put_batch(&mut buf, tuples);
+        wire::put_view(&mut buf, tuples);
         let _ = self.log.append(&buf);
     }
 

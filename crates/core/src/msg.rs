@@ -7,7 +7,7 @@
 //! inter-replica stabilization stagger protocol (§4.4.3, Fig. 9).
 
 use borealis_sim::ShardMsg;
-use borealis_types::{PartitionSpec, StreamId, TupleBatch, TupleId};
+use borealis_types::{BatchView, PartitionSpec, ShardRouter, StreamId, TupleId};
 
 /// Consistency state of a node or of one of its output streams (Fig. 5,
 /// plus the `Failed` state a monitor assigns to unreachable peers).
@@ -28,14 +28,16 @@ pub enum NodeState {
 pub enum NetMsg {
     /// Tuples on a stream, in order.
     ///
-    /// The payload is a shared batch view: fanning the same tuples out to
-    /// every replica of every downstream neighbor clones reference counts,
-    /// not tuples, so per-hop cost is independent of replication degree.
+    /// The payload is a shared selection view: fanning the same tuples out
+    /// to every replica of every downstream neighbor clones reference
+    /// counts, not tuples, and a key-sharded receiver's shard is a run
+    /// list over the producer's batch — so per-hop cost is independent of
+    /// both replication degree and shard count.
     Data {
         /// The stream they belong to.
         stream: StreamId,
         /// The tuples (data, boundaries, undo, rec-done).
-        tuples: TupleBatch,
+        tuples: BatchView,
     },
     /// Subscribe to a stream, stating exactly what was already received so
     /// the upstream peer can replay missing tuples or correct tentative
@@ -105,10 +107,10 @@ pub enum NetMsg {
 /// link still heartbeats, so a stalled peer is never mistaken for a dead
 /// one.
 impl ShardMsg for NetMsg {
-    fn partition(self, spec: &PartitionSpec) -> Option<NetMsg> {
+    fn partition(self, spec: &PartitionSpec, router: &mut ShardRouter) -> Option<NetMsg> {
         match self {
             NetMsg::Data { stream, tuples } => {
-                let tuples = spec.filter_batch(&tuples);
+                let tuples = router.route(spec, &tuples);
                 if tuples.is_empty() {
                     None
                 } else {
@@ -151,7 +153,7 @@ mod tests {
         let msgs = [
             NetMsg::Data {
                 stream: StreamId(0),
-                tuples: TupleBatch::empty(),
+                tuples: BatchView::empty(),
             },
             NetMsg::Subscribe {
                 stream: StreamId(0),

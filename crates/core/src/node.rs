@@ -26,7 +26,7 @@ use crate::upstream::{UpstreamAction, UpstreamManager};
 use borealis_diagram::FragmentPlan;
 use borealis_engine::{Batch, Fragment};
 use borealis_sim::{Actor, Ctx, FaultEvent};
-use borealis_types::{Duration, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId};
+use borealis_types::{BatchView, Duration, NodeId, StreamId, Time, Tuple, TupleBatch, TupleId};
 use std::collections::HashMap;
 
 /// Upstream binding of one input stream.
@@ -265,7 +265,7 @@ impl ProcessingNode {
                         sub,
                         NetMsg::Data {
                             stream,
-                            tuples: piece,
+                            tuples: piece.into(),
                         },
                         depart,
                     );
@@ -459,7 +459,7 @@ impl ProcessingNode {
                 // interleaves with prefix bookkeeping, as tuple-at-a-time
                 // processing would.
                 let mut dup_idx: Vec<usize> = Vec::new();
-                for (k, t) in tuples.as_slice().iter().enumerate() {
+                for (k, t) in tuples.iter().enumerate() {
                     if self.ums[i].is_duplicate(t) {
                         dup_idx.push(k);
                         continue;
@@ -467,29 +467,29 @@ impl ProcessingNode {
                     actions.extend(self.ums[i].observe_tuple(from, t));
                 }
                 let batch = if dup_idx.is_empty() {
-                    // Common case: the received batch enters the fragment
-                    // as a shared view, no tuple copies.
+                    // Common case: the received view enters the fragment
+                    // run by run as shared slices, no tuple copies.
                     if let Some(disk) = self.disk.as_mut() {
                         disk.append_input(stream, &tuples);
                     }
-                    self.fragment.push_batch(stream, &tuples, now)
+                    self.fragment.push_view(stream, &tuples, now)
                 } else {
                     let mut fresh: Vec<Tuple> = Vec::with_capacity(tuples.len() - dup_idx.len());
                     let mut d = 0;
-                    for (k, t) in tuples.as_slice().iter().enumerate() {
+                    for (k, t) in tuples.iter().enumerate() {
                         if d < dup_idx.len() && dup_idx[d] == k {
                             d += 1;
                             continue;
                         }
                         fresh.push(t.clone());
                     }
-                    let fresh = TupleBatch::from_vec(fresh);
+                    let fresh: BatchView = TupleBatch::from_vec(fresh).into();
                     // Only deduplicated input reaches the log, so a replay
                     // feeds the fragment the exact accepted stream.
                     if let Some(disk) = self.disk.as_mut() {
                         disk.append_input(stream, &fresh);
                     }
-                    self.fragment.push_batch(stream, &fresh, now)
+                    self.fragment.push_view(stream, &fresh, now)
                 };
                 self.handle_batch(ctx, batch, now);
                 // Credit accounting: this delivery is consumed when the
@@ -522,7 +522,8 @@ impl ProcessingNode {
                         from,
                         NetMsg::Data {
                             stream,
-                            tuples: TupleBatch::single(Tuple::undo(TupleId::NONE, last_stable)),
+                            tuples: TupleBatch::single(Tuple::undo(TupleId::NONE, last_stable))
+                                .into(),
                         },
                     );
                 }

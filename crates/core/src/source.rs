@@ -145,7 +145,13 @@ impl DataSource {
             // same position receives reference-counted clones of the same
             // sealed batches.
             for tuples in self.log.batches_from(*pos) {
-                ctx.send(sub, NetMsg::Data { stream, tuples });
+                ctx.send(
+                    sub,
+                    NetMsg::Data {
+                        stream,
+                        tuples: tuples.into(),
+                    },
+                );
             }
             *pos = self.log.len();
         }
@@ -221,7 +227,8 @@ impl DataSource {
                         from,
                         NetMsg::Data {
                             stream,
-                            tuples: TupleBatch::single(Tuple::undo(TupleId::NONE, last_stable)),
+                            tuples: TupleBatch::single(Tuple::undo(TupleId::NONE, last_stable))
+                                .into(),
                         },
                     );
                 }

@@ -122,7 +122,8 @@ mod tests {
             tuples: TupleBatch::single(borealis_types::Tuple::boundary(
                 borealis_types::TupleId::NONE,
                 Time::ZERO,
-            )),
+            ))
+            .into(),
         }
     }
 

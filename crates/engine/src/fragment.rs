@@ -31,7 +31,9 @@ use borealis_diagram::FragmentPlan;
 use borealis_ops::sunion::Phase;
 use borealis_ops::{BatchEmitter, OpSnapshot, Operator, SnapshotCodec};
 use borealis_types::wire::{self, Reader, WireError};
-use borealis_types::{ControlSignal, Duration, StreamId, Time, Tuple, TupleBatch, TupleKind};
+use borealis_types::{
+    BatchView, ControlSignal, Duration, StreamId, Time, Tuple, TupleBatch, TupleKind,
+};
 use std::collections::VecDeque;
 
 /// Everything a fragment produced while handling one call: output-stream
@@ -187,23 +189,47 @@ impl Fragment {
     /// tuple-at-a-time delivery.
     pub fn push_batch(&mut self, stream: StreamId, tuples: &TupleBatch, now: Time) -> Batch {
         let mut batch = Batch::default();
+        self.push_contiguous(stream, tuples, now, &mut batch);
+        batch
+    }
+
+    /// Delivers a selection view of external tuples — the partitioned
+    /// intake: a sharded replica's run list is consumed run by run, each
+    /// run a zero-copy slice of the producer's batch, with no
+    /// re-materialization of the selection. Semantics (including the
+    /// checkpoint-before-tentative split) are identical to delivering the
+    /// selected tuples one contiguous batch at a time.
+    pub fn push_view(&mut self, stream: StreamId, view: &BatchView, now: Time) -> Batch {
+        let mut batch = Batch::default();
+        for run in view.run_batches() {
+            self.push_contiguous(stream, &run, now, &mut batch);
+        }
+        batch
+    }
+
+    fn push_contiguous(
+        &mut self,
+        stream: StreamId,
+        tuples: &TupleBatch,
+        now: Time,
+        batch: &mut Batch,
+    ) {
         if !self.tainted {
             if let Some(k) = tuples.first_tentative() {
                 if k > 0 {
                     let prefix = tuples.slice(0..k);
                     self.enqueue_external(stream, &prefix);
-                    self.drain(now, &mut batch);
+                    self.drain(now, batch);
                 }
                 self.take_checkpoint();
                 let suffix = tuples.slice(k..tuples.len());
                 self.enqueue_external(stream, &suffix);
-                self.drain(now, &mut batch);
-                return batch;
+                self.drain(now, batch);
+                return;
             }
         }
         self.enqueue_external(stream, tuples);
-        self.drain(now, &mut batch);
-        batch
+        self.drain(now, batch);
     }
 
     /// Queues one external batch view on every bound operator port.

@@ -40,7 +40,7 @@ use crate::wheel::{Due, TimerWheel};
 use borealis_dpc::{DpcActor, NetMsg, RuntimeCtx};
 use borealis_sim::{FaultEvent, ShardMsg};
 use borealis_types::{
-    CreditPolicy, Duration, NodeId, PartitionSpec, SchedGauges, SendOutcome, Time,
+    CreditPolicy, Duration, NodeId, PartitionSpec, SchedGauges, SendOutcome, ShardRouter, Time,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -68,6 +68,7 @@ fn deliver(
     sched: &Scheduler,
     from_worker: Option<usize>,
     links: &LinkTable,
+    router: &mut ShardRouter,
     stats: &RuntimeStats,
     fabric: Option<&TcpFabric>,
     from: NodeId,
@@ -77,9 +78,11 @@ fn deliver(
 ) -> SendOutcome {
     if links.reachable(from, to) {
         // Partitioned send path: a key-sharded receiver gets only its shard
-        // of the message (routing, not loss).
+        // of the message (routing, not loss). The worker-local router memo
+        // makes the whole K·R fan-out of one batch a single key-hash pass:
+        // all of a sender's receiver links are routed on this worker.
         let msg = match links.partition_of(to) {
-            Some(spec) => match msg.partition(spec.as_ref()) {
+            Some(spec) => match msg.partition(spec.as_ref(), router) {
                 Some(m) => m,
                 None => return SendOutcome::Delivered,
             },
@@ -131,6 +134,9 @@ struct ThreadCtx<'a> {
     sched: &'a Scheduler,
     worker: usize,
     links: &'a LinkTable,
+    /// The worker's one-pass partition memo (every send from this worker
+    /// routes through it).
+    router: &'a mut ShardRouter,
     stats: &'a RuntimeStats,
     fabric: Option<&'a TcpFabric>,
     /// The *worker's* wheel: deferred work is owner-tagged with `id`.
@@ -155,6 +161,7 @@ impl RuntimeCtx for ThreadCtx<'_> {
             self.sched,
             Some(self.worker),
             self.links,
+            self.router,
             self.stats,
             self.fabric,
             self.id,
@@ -228,6 +235,9 @@ struct Worker {
     fabric: Option<Arc<TcpFabric>>,
     clock: MonotonicClock,
     wheel: TimerWheel,
+    /// Worker-local one-pass partition memo: a sender's whole fan-out runs
+    /// on its worker, so per-worker state needs no cross-thread sharing.
+    router: ShardRouter,
 }
 
 impl Worker {
@@ -273,6 +283,7 @@ impl Worker {
                             &self.sched,
                             Some(self.idx),
                             &self.links,
+                            &mut self.router,
                             &self.stats,
                             self.fabric.as_deref(),
                             owner,
@@ -418,6 +429,7 @@ impl Worker {
             sched: &self.sched,
             worker: self.idx,
             links: &self.links,
+            router: &mut self.router,
             stats: &self.stats,
             fabric: self.fabric.as_deref(),
             wheel: &mut self.wheel,
@@ -598,6 +610,7 @@ impl ThreadRuntime {
                     fabric: fabric.clone(),
                     clock,
                     wheel: TimerWheel::new(),
+                    router: ShardRouter::new(),
                 };
                 std::thread::Builder::new()
                     .name(format!("dpc-worker-{idx}"))

@@ -331,7 +331,8 @@ mod tests {
             tuples: borealis_types::TupleBatch::single(borealis_types::Tuple::boundary(
                 borealis_types::TupleId::NONE,
                 Time::ZERO,
-            )),
+            ))
+            .into(),
         }
     }
 

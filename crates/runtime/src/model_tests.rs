@@ -66,7 +66,8 @@ fn data_msg() -> NetMsg {
         tuples: borealis_types::TupleBatch::single(borealis_types::Tuple::boundary(
             borealis_types::TupleId::NONE,
             Time::ZERO,
-        )),
+        ))
+        .into(),
     }
 }
 

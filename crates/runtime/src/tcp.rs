@@ -961,7 +961,7 @@ mod tests {
     fn data_msg() -> NetMsg {
         NetMsg::Data {
             stream: StreamId(0),
-            tuples: TupleBatch::single(Tuple::boundary(TupleId::NONE, Time::ZERO)),
+            tuples: TupleBatch::single(Tuple::boundary(TupleId::NONE, Time::ZERO)).into(),
         }
     }
 

@@ -12,7 +12,7 @@ use crate::fault::FaultEvent;
 use crate::flow::FlowControl;
 use crate::net::Network;
 use borealis_types::{
-    CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SendOutcome, Time,
+    CreditPolicy, Duration, FlowGauges, NodeId, PartitionSpec, SendOutcome, ShardRouter, Time,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -29,7 +29,13 @@ use std::collections::BinaryHeap;
 /// protocol-free message types opt in with an empty `impl`.
 pub trait ShardMsg: Sized {
     /// This shard's view of the message, or `None` if nothing remains.
-    fn partition(self, _spec: &PartitionSpec) -> Option<Self> {
+    ///
+    /// `router` is the delivery layer's one-pass partition memo: the first
+    /// receiver of a batch computes every shard's selection view, the
+    /// remaining K·R−1 receivers clone theirs out of the shared result —
+    /// the shard key is evaluated and hashed once per tuple per producing
+    /// link regardless of fan-out.
+    fn partition(self, _spec: &PartitionSpec, _router: &mut ShardRouter) -> Option<Self> {
         Some(self)
     }
 
@@ -112,6 +118,7 @@ pub struct Ctx<'a, M> {
     self_id: NodeId,
     net: &'a Network,
     flow: &'a mut FlowControl<M>,
+    router: &'a mut ShardRouter,
     rng: &'a mut StdRng,
     stats: &'a mut SimStats,
     actions: Vec<Action<M>>,
@@ -224,7 +231,7 @@ impl<'a, M: ShardMsg> Ctx<'a, M> {
             // delivery (nothing for the shard) never consumes a credit;
             // the action is marked routed so it is not filtered twice.
             let msg = match self.net.partition_of(to) {
-                Some(spec) => match msg.partition(spec.as_ref()) {
+                Some(spec) => match msg.partition(spec.as_ref(), self.router) {
                     Some(m) => m,
                     None => return SendOutcome::Delivered,
                 },
@@ -316,6 +323,9 @@ pub struct Sim<M> {
     rng: StdRng,
     events_dispatched: u64,
     stats: SimStats,
+    /// One-pass partition memo shared by every routed send in the
+    /// simulation (single-threaded, so one router covers all senders).
+    router: ShardRouter,
 }
 
 impl<M: ShardMsg> Sim<M> {
@@ -332,6 +342,7 @@ impl<M: ShardMsg> Sim<M> {
             rng: StdRng::seed_from_u64(seed),
             events_dispatched: 0,
             stats: SimStats::default(),
+            router: ShardRouter::new(),
         }
     }
 
@@ -460,7 +471,7 @@ impl<M: ShardMsg> Sim<M> {
                     return;
                 }
                 let msg = match self.net.partition_of(to) {
-                    Some(spec) => match msg.partition(spec.as_ref()) {
+                    Some(spec) => match msg.partition(spec.as_ref(), &mut self.router) {
                         Some(m) => m,
                         None => return,
                     },
@@ -526,6 +537,7 @@ impl<M: ShardMsg> Sim<M> {
             self_id: id,
             net: &self.net,
             flow: &mut self.flow,
+            router: &mut self.router,
             rng: &mut self.rng,
             stats: &mut self.stats,
             actions: Vec::new(),
@@ -547,10 +559,12 @@ impl<M: ShardMsg> Sim<M> {
                     // is counted as dropped). Credit-admitted messages were
                     // already filtered.
                     let msg = match self.net.partition_of(to) {
-                        Some(spec) if !routed => match msg.partition(spec.as_ref()) {
-                            Some(m) => m,
-                            None => continue,
-                        },
+                        Some(spec) if !routed => {
+                            match msg.partition(spec.as_ref(), &mut self.router) {
+                                Some(m) => m,
+                                None => continue,
+                            }
+                        }
                         _ => msg,
                     };
                     self.push_event(at, EventKind::Message { from: id, to, msg })

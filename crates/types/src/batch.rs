@@ -20,7 +20,7 @@ use crate::time::Time;
 use crate::tuple::{Tuple, TupleId};
 use std::fmt;
 use std::ops::{Deref, Range};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// An immutable, cheaply clonable batch of tuples.
 ///
@@ -36,10 +36,13 @@ pub struct TupleBatch {
 }
 
 impl TupleBatch {
-    /// An empty batch (no allocation shared with anything).
+    /// An empty batch. Every empty batch shares one process-wide cached
+    /// allocation — heartbeat and tick paths call this constantly, and a
+    /// fresh zero-length `Arc` per call is still a heap allocation.
     pub fn empty() -> TupleBatch {
+        static EMPTY: OnceLock<Arc<[Tuple]>> = OnceLock::new();
         TupleBatch {
-            data: Arc::from(Vec::new()),
+            data: Arc::clone(EMPTY.get_or_init(|| Arc::from(Vec::new()))),
             start: 0,
             end: 0,
         }
@@ -180,6 +183,182 @@ impl fmt::Debug for TupleBatch {
     }
 }
 
+/// A selection view over a shared batch: the unit shard routing ships.
+///
+/// Holds the producing batch's allocation plus an optional sorted run
+/// list selecting which of its tuples are visible. A contiguous selection
+/// collapses to plain range arithmetic (`sel == None` over a
+/// [`TupleBatch::slice`]) — the whole-batch and single-run cases allocate
+/// nothing; a fragmented selection stores one `(start, end)` pair per run,
+/// never a per-tuple copy. All R replicas of one shard share a single view
+/// through its internal `Arc`s: `clone` is reference-count bumps, so a
+/// K-shard fan-out of one batch costs one key-hash pass plus K run lists
+/// regardless of replication degree.
+#[derive(Clone)]
+pub struct BatchView {
+    base: TupleBatch,
+    /// Sorted, disjoint, non-empty `[start, end)` runs relative to `base`;
+    /// `None` selects all of `base`. Invariant: `Some` holds at least two
+    /// runs (anything less collapses into `base` itself).
+    sel: Option<Arc<[(u32, u32)]>>,
+    len: usize,
+}
+
+impl BatchView {
+    /// A view over an entire batch (no selection metadata).
+    pub fn whole(base: TupleBatch) -> BatchView {
+        let len = base.len();
+        BatchView {
+            base,
+            sel: None,
+            len,
+        }
+    }
+
+    /// An empty view (shares the cached empty allocation).
+    pub fn empty() -> BatchView {
+        BatchView::whole(TupleBatch::empty())
+    }
+
+    /// Builds a view from sorted, disjoint, non-empty runs relative to
+    /// `base`. Zero or one runs collapse to the run-list-free form; a full
+    /// single run is `base` itself.
+    ///
+    /// # Panics
+    /// Panics (debug builds) if the runs are unsorted, overlapping, empty,
+    /// or out of `base`'s bounds.
+    pub fn from_runs(base: TupleBatch, runs: Vec<(u32, u32)>) -> BatchView {
+        #[cfg(debug_assertions)]
+        {
+            let mut prev = 0u32;
+            for &(s, e) in &runs {
+                assert!(
+                    s >= prev && s < e && e as usize <= base.len(),
+                    "bad run list"
+                );
+                prev = e;
+            }
+        }
+        match runs.len() {
+            0 => BatchView::empty(),
+            1 => {
+                let (s, e) = runs[0];
+                BatchView::whole(base.slice(s as usize..e as usize))
+            }
+            _ => {
+                let len = runs.iter().map(|&(s, e)| (e - s) as usize).sum();
+                BatchView {
+                    base,
+                    sel: Some(Arc::from(runs)),
+                    len,
+                }
+            }
+        }
+    }
+
+    /// Number of selected tuples.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the view selects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The selected run bounds, relative to the base view (one implicit
+    /// whole-base run when there is no run list).
+    fn bounds(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        let empty: &[(u32, u32)] = &[];
+        let (implicit, sel) = match &self.sel {
+            None if self.base.is_empty() => (None, empty),
+            None => (Some((0, self.base.len())), empty),
+            Some(s) => (None, &s[..]),
+        };
+        implicit
+            .into_iter()
+            .chain(sel.iter().map(|&(s, e)| (s as usize, e as usize)))
+    }
+
+    /// The selected tuples as contiguous runs (no allocation, no `Arc`
+    /// traffic) — the wire encoder and batch-native consumers walk these.
+    pub fn runs(&self) -> impl Iterator<Item = &[Tuple]> + '_ {
+        self.bounds().map(|(s, e)| &self.base.as_slice()[s..e])
+    }
+
+    /// The selected runs as zero-copy [`TupleBatch`] slices sharing the
+    /// base allocation (SUnion's batch-native intake consumes these).
+    pub fn run_batches(&self) -> impl Iterator<Item = TupleBatch> + '_ {
+        self.bounds().map(|(s, e)| self.base.slice(s..e))
+    }
+
+    /// Iterates the selected tuples in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> + '_ {
+        self.runs().flatten()
+    }
+
+    /// Number of data-carrying tuples (stable + tentative) in the view —
+    /// the CPU cost model's work unit.
+    pub fn data_count(&self) -> u64 {
+        self.iter().filter(|t| t.is_data()).count() as u64
+    }
+
+    /// A contiguous batch of the selected tuples. Zero-copy when the view
+    /// is already contiguous (the overwhelmingly common case); a
+    /// fragmented selection copies out once.
+    pub fn to_batch(&self) -> TupleBatch {
+        match &self.sel {
+            None => self.base.clone(),
+            Some(_) => {
+                let mut v = Vec::with_capacity(self.len);
+                for run in self.runs() {
+                    v.extend_from_slice(run);
+                }
+                TupleBatch::from_vec(v)
+            }
+        }
+    }
+
+    /// Identity (not content) comparison: true when both views are the
+    /// same selection of the same backing range. The shard router's memo
+    /// uses this — entries hold a clone of the compared view, so a true
+    /// result can never be an address-reuse coincidence.
+    pub fn same_view(&self, other: &BatchView) -> bool {
+        self.base.shares_backing(&other.base)
+            && self.base.start == other.base.start
+            && self.base.end == other.base.end
+            && match (&self.sel, &other.sel) {
+                (None, None) => true,
+                (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                _ => false,
+            }
+    }
+}
+
+impl From<TupleBatch> for BatchView {
+    fn from(b: TupleBatch) -> BatchView {
+        BatchView::whole(b)
+    }
+}
+
+impl Default for BatchView {
+    fn default() -> BatchView {
+        BatchView::empty()
+    }
+}
+
+impl PartialEq for BatchView {
+    fn eq(&self, other: &BatchView) -> bool {
+        self.len == other.len && self.iter().eq(other.iter())
+    }
+}
+
+impl fmt::Debug for BatchView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.iter()).finish()
+    }
+}
+
 /// An append-only log of tuples stored as shared batches, addressed by
 /// logical (all-time) position.
 ///
@@ -313,6 +492,71 @@ mod tests {
             Time::from_millis(id),
             vec![Value::Int(id as i64)],
         )
+    }
+
+    #[test]
+    fn empty_batches_share_one_cached_allocation() {
+        let a = TupleBatch::empty();
+        let b = TupleBatch::empty();
+        assert!(a.shares_backing(&b), "no fresh allocation per empty()");
+        assert!(a.is_empty() && b.is_empty());
+    }
+
+    #[test]
+    fn view_collapses_contiguous_runs() {
+        let b = TupleBatch::from_vec((1..=8).map(stable).collect());
+        let whole = BatchView::from(b.clone());
+        assert_eq!(whole.len(), 8);
+        assert!(
+            whole.to_batch().shares_backing(&b),
+            "whole view is the batch"
+        );
+
+        let single = BatchView::from_runs(b.clone(), vec![(2, 6)]);
+        assert_eq!(single.len(), 4);
+        assert!(
+            single.to_batch().shares_backing(&b),
+            "one run is a zero-copy slice"
+        );
+        assert_eq!(
+            single.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![3, 4, 5, 6]
+        );
+
+        let none = BatchView::from_runs(b.clone(), vec![]);
+        assert!(none.is_empty());
+        assert_eq!(none.to_batch().len(), 0);
+    }
+
+    #[test]
+    fn fragmented_view_iterates_runs_in_order() {
+        let b = TupleBatch::from_vec((1..=8).map(stable).collect());
+        let v = BatchView::from_runs(b.clone(), vec![(0, 2), (3, 4), (6, 8)]);
+        assert_eq!(v.len(), 5);
+        assert_eq!(
+            v.iter().map(|t| t.id.0).collect::<Vec<_>>(),
+            vec![1, 2, 4, 7, 8]
+        );
+        let runs: Vec<usize> = v.run_batches().map(|r| r.len()).collect();
+        assert_eq!(runs, vec![2, 1, 2]);
+        assert!(
+            v.run_batches().all(|r| r.shares_backing(&b)),
+            "runs share the base"
+        );
+        assert_eq!(v.to_batch().len(), 5, "materializes only on demand");
+        assert_eq!(v.data_count(), 5);
+    }
+
+    #[test]
+    fn view_identity_vs_equality() {
+        let b = TupleBatch::from_vec((1..=4).map(stable).collect());
+        let v1 = BatchView::from(b.clone());
+        let v2 = BatchView::from(b.clone());
+        let copy = BatchView::from(TupleBatch::from_vec(b.to_vec()));
+        assert!(v1.same_view(&v2));
+        assert!(!v1.same_view(&copy), "identity tracks the allocation");
+        assert_eq!(v1, copy, "equality tracks contents");
+        assert!(!v1.same_view(&BatchView::from(b.slice(1..3))));
     }
 
     #[test]

@@ -24,12 +24,12 @@ pub mod tuple;
 pub mod value;
 pub mod wire;
 
-pub use batch::{BatchLog, TupleBatch};
+pub use batch::{BatchLog, BatchView, TupleBatch};
 pub use expr::{BinOp, EvalError, Expr};
 pub use flow::{BufferPolicy, CreditPolicy, FlowGauges, SendOutcome};
 pub use ids::{FragmentId, NodeId, OpId, StreamId};
 pub use sched::SchedGauges;
-pub use shard::PartitionSpec;
+pub use shard::{route_key_evals, PartitionSpec, ShardRouter};
 pub use time::{Duration, Time};
 pub use tuple::{ControlSignal, Tuple, TupleId, TupleKind};
 pub use value::Value;

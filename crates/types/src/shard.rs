@@ -15,10 +15,32 @@
 //! routes to the same shard on every replica, every runtime, and every
 //! replay — a requirement for DPC's replica determinism (§2.1).
 
-use crate::batch::TupleBatch;
+use crate::batch::{BatchView, TupleBatch};
 use crate::expr::Expr;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::sync::Arc;
+
+#[cfg(debug_assertions)]
+thread_local! {
+    static ROUTE_KEY_EVALS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Debug-build routing gauge: how many shard-key evaluate+hash operations
+/// this thread has performed. The one-pass partitioner's contract — the
+/// key is hashed exactly once per tuple per producing link, regardless of
+/// K·R — is asserted against this counter in tests and the `shard_route`
+/// microbench. Always 0 in release builds (no counting on the hot path).
+pub fn route_key_evals() -> u64 {
+    #[cfg(debug_assertions)]
+    {
+        ROUTE_KEY_EVALS.with(|c| c.get())
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        0
+    }
+}
 
 /// One shard's slice of a key-partitioned stream: tuples whose
 /// `hash(key) % shards == index` (plus all control tuples).
@@ -54,13 +76,21 @@ pub fn route_hash(v: &Value) -> u64 {
     }
 }
 
+/// Evaluates the key and hashes it — the one place shard routing touches
+/// tuple contents, so the debug routing gauge counts every call.
+fn hash_shard(key: &Expr, t: &Tuple, shards: u64) -> u32 {
+    #[cfg(debug_assertions)]
+    ROUTE_KEY_EVALS.with(|c| c.set(c.get() + 1));
+    let h = key.eval(t).map(|v| route_hash(&v)).unwrap_or(0);
+    (h % shards) as u32
+}
+
 impl PartitionSpec {
     /// The shard a data tuple routes to. Tuples whose key expression fails
     /// to evaluate (missing field, type error) deterministically route to
     /// shard 0 — a planner-level key mismatch must not fork replicas.
     pub fn shard_of(&self, t: &Tuple) -> u32 {
-        let h = self.key.eval(t).map(|v| route_hash(&v)).unwrap_or(0);
-        (h % self.shards.max(1) as u64) as u32
+        hash_shard(&self.key, t, self.shards.max(1) as u64)
     }
 
     /// True if this shard keeps `t`: every control tuple, plus the data
@@ -69,14 +99,128 @@ impl PartitionSpec {
         !t.is_data() || self.shard_of(t) == self.index
     }
 
-    /// This shard's view of a batch. When every tuple is kept the original
-    /// view is returned unchanged (zero-copy); otherwise the kept tuples
-    /// are collected into a fresh batch.
+    /// This shard's view of a batch, in a single eval+hash pass. Scans
+    /// optimistically: as long as every tuple is kept nothing is copied,
+    /// and an all-kept batch is returned as a zero-copy clone; the first
+    /// rejected tuple triggers one prefix copy, after which kept tuples
+    /// are appended.
     pub fn filter_batch(&self, batch: &TupleBatch) -> TupleBatch {
-        if batch.iter().all(|t| self.keeps(t)) {
-            return batch.clone();
+        let all = batch.as_slice();
+        let mut kept: Option<Vec<Tuple>> = None;
+        for (i, t) in all.iter().enumerate() {
+            match (self.keeps(t), &mut kept) {
+                (true, Some(v)) => v.push(t.clone()),
+                (true, None) => {}
+                (false, Some(_)) => {}
+                (false, None) => kept = Some(all[..i].to_vec()),
+            }
         }
-        batch.iter().filter(|t| self.keeps(t)).cloned().collect()
+        match kept {
+            None => batch.clone(),
+            Some(v) => TupleBatch::from_vec(v),
+        }
+    }
+
+    /// One-pass K-way partition: evaluates the key expression and
+    /// `route_hash` exactly once per data tuple, producing one selection
+    /// view per shard over the input's backing allocation (index `i` is
+    /// shard `i`'s view; `self.index` is ignored). Control tuples appear
+    /// in every shard's view; contiguous selections collapse to zero-copy
+    /// range slices. The result is shared — every replica of every shard
+    /// clones `Arc`s out of it instead of rescanning the batch.
+    pub fn split_views(&self, input: &BatchView) -> Arc<[BatchView]> {
+        let k = self.shards.max(1) as usize;
+        let mut runs: Vec<Vec<(u32, u32)>> = vec![Vec::new(); k];
+        fn push_pos(runs: &mut Vec<(u32, u32)>, pos: u32) {
+            match runs.last_mut() {
+                Some(last) if last.1 == pos => last.1 = pos + 1,
+                _ => runs.push((pos, pos + 1)),
+            }
+        }
+        // `input` is usually contiguous (a producer's outgoing batch); when
+        // it is itself fragmented the output views select from a compacted
+        // copy so downstream runs stay dense.
+        let base = input.to_batch();
+        for (pos, t) in base.as_slice().iter().enumerate() {
+            let pos = pos as u32;
+            if t.is_data() {
+                let s = hash_shard(&self.key, t, k as u64) as usize;
+                push_pos(&mut runs[s], pos);
+            } else {
+                for r in runs.iter_mut() {
+                    push_pos(r, pos);
+                }
+            }
+        }
+        runs.into_iter()
+            .map(|r| BatchView::from_runs(base.clone(), r))
+            .collect()
+    }
+}
+
+/// Delivery-layer memo that makes fan-out routing one-pass: the first
+/// receiver of a (batch, shard group) computes all K selection views via
+/// [`PartitionSpec::split_views`]; the remaining K·R−1 receivers of the
+/// same batch find the entry and clone their shard's view — no key
+/// evaluation, no hashing, no copying.
+///
+/// The cache is identity-keyed ([`BatchView::same_view`]) and each entry
+/// holds a clone of its input view, so a hit can never be a reused
+/// allocation address. A handful of entries suffices: all receivers of one
+/// batch are routed back-to-back by a single sender activation, so the
+/// working set is the few batches currently fanning out, not history.
+#[derive(Default)]
+pub struct ShardRouter {
+    entries: Vec<RouteEntry>,
+}
+
+struct RouteEntry {
+    key: Expr,
+    shards: u32,
+    input: BatchView,
+    views: Arc<[BatchView]>,
+}
+
+/// Entries kept per router (MRU order). Fan-out routes one batch to all
+/// its receivers consecutively, so a small cache already captures the
+/// K·R−1 follow-up lookups; interleavings of a few concurrent batches
+/// (e.g. subscriber replay) still hit.
+const ROUTER_CAP: usize = 4;
+
+impl ShardRouter {
+    /// An empty router.
+    pub fn new() -> ShardRouter {
+        ShardRouter::default()
+    }
+
+    /// Routes `input` for the receiver described by `spec`, computing the
+    /// shard group's K views on the first call for this batch and serving
+    /// `Arc` clones on every subsequent one.
+    pub fn route(&mut self, spec: &PartitionSpec, input: &BatchView) -> BatchView {
+        if spec.shards <= 1 {
+            return input.clone();
+        }
+        if let Some(i) = self
+            .entries
+            .iter()
+            .position(|e| e.shards == spec.shards && e.input.same_view(input) && e.key == spec.key)
+        {
+            self.entries.swap(0, i);
+            return self.entries[0].views[spec.index as usize].clone();
+        }
+        let views = spec.split_views(input);
+        let out = views[spec.index as usize].clone();
+        self.entries.insert(
+            0,
+            RouteEntry {
+                key: spec.key.clone(),
+                shards: spec.shards,
+                input: input.clone(),
+                views,
+            },
+        );
+        self.entries.truncate(ROUTER_CAP);
+        out
     }
 }
 
@@ -156,6 +300,134 @@ mod tests {
         assert_eq!(s.shard_of(&t), 0);
         assert!(s.keeps(&t));
         assert!(!PartitionSpec { index: 2, ..s }.keeps(&t));
+    }
+
+    #[test]
+    fn filter_batch_single_pass_and_correct() {
+        let data = TupleBatch::from_vec((0..64).map(|i| keyed(i, i as i64)).collect());
+        let expected: Vec<Tuple> = data
+            .iter()
+            .filter(|t| spec(4, 2).keeps(t))
+            .cloned()
+            .collect();
+        let evals_before = route_key_evals();
+        let got = spec(4, 2).filter_batch(&data);
+        if cfg!(debug_assertions) {
+            assert_eq!(
+                route_key_evals() - evals_before,
+                64,
+                "one eval+hash per tuple, not two"
+            );
+        }
+        assert_eq!(got.as_slice(), &expected[..]);
+    }
+
+    #[test]
+    fn split_views_matches_per_link_filter_batch() {
+        for k in [1u32, 2, 4, 8] {
+            let mut tuples: Vec<Tuple> = (0..40).map(|i| keyed(i, (i * 7) as i64)).collect();
+            tuples.insert(10, Tuple::boundary(TupleId::NONE, Time::from_secs(1)));
+            tuples.push(Tuple::boundary(TupleId::NONE, Time::from_secs(2)));
+            let b = TupleBatch::from_vec(tuples);
+            let views = spec(k, 0).split_views(&b.clone().into());
+            assert_eq!(views.len(), k as usize);
+            for (i, v) in views.iter().enumerate() {
+                let expect = spec(k, i as u32).filter_batch(&b);
+                let got: Vec<Tuple> = v.iter().cloned().collect();
+                assert_eq!(got, expect.to_vec(), "K={k} shard {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_views_hashes_once_per_tuple() {
+        let b = TupleBatch::from_vec((0..100).map(|i| keyed(i, i as i64)).collect());
+        let before = route_key_evals();
+        let views = spec(8, 0).split_views(&b.into());
+        if cfg!(debug_assertions) {
+            assert_eq!(
+                route_key_evals() - before,
+                100,
+                "one hash per tuple for all 8 shards"
+            );
+        }
+        let total: usize = views.iter().map(|v| v.len()).sum();
+        assert_eq!(
+            total, 100,
+            "data tuples are partitioned totally and disjointly"
+        );
+    }
+
+    #[test]
+    fn split_views_contiguous_selection_is_zero_copy() {
+        // All-one-shard keys: shard s gets the whole batch as a zero-copy
+        // slice, the others get empty views.
+        let b = TupleBatch::from_vec((0..16).map(|i| keyed(i, 42)).collect());
+        let views = spec(4, 0).split_views(&b.clone().into());
+        let owner = spec(4, 0).shard_of(&keyed(0, 42)) as usize;
+        for (i, v) in views.iter().enumerate() {
+            if i == owner {
+                assert_eq!(v.len(), 16);
+                assert!(
+                    v.to_batch().shares_backing(&b),
+                    "contiguous run stays zero-copy"
+                );
+            } else {
+                assert!(v.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn router_serves_fanout_from_one_pass() {
+        let b: BatchView =
+            TupleBatch::from_vec((0..50).map(|i| keyed(i, i as i64)).collect()).into();
+        let mut router = ShardRouter::new();
+        let before = route_key_evals();
+        // K=4, R=2: eight receiver links route the same batch.
+        let mut outs = Vec::new();
+        for shard in 0..4u32 {
+            for _replica in 0..2 {
+                outs.push(router.route(&spec(4, shard), &b));
+            }
+        }
+        if cfg!(debug_assertions) {
+            assert_eq!(
+                route_key_evals() - before,
+                50,
+                "K·R fan-out still hashes once per tuple"
+            );
+        }
+        for (n, out) in outs.iter().enumerate() {
+            assert_eq!(
+                out,
+                &outs[(n / 2) * 2],
+                "both replicas share the shard's view"
+            );
+        }
+        let total: usize = outs.iter().step_by(2).map(|v| v.len()).sum();
+        assert_eq!(total, 50);
+    }
+
+    #[test]
+    fn router_distinguishes_batches_groups_and_unsharded() {
+        let b1: BatchView =
+            TupleBatch::from_vec((0..10).map(|i| keyed(i, i as i64)).collect()).into();
+        let b2: BatchView = TupleBatch::from_vec((0..10).map(|i| keyed(i, 1)).collect()).into();
+        let mut router = ShardRouter::new();
+        let v1 = router.route(&spec(2, 0), &b1);
+        let v2 = router.route(&spec(2, 0), &b2);
+        assert_ne!(v1, v2, "different batches route independently");
+        // A different shard count is a different group even for the same batch.
+        let v3 = router.route(&spec(3, 0), &b1);
+        assert_eq!(
+            v3.len(),
+            spec(3, 0).filter_batch(&b1.to_batch()).len(),
+            "group (key, K) is part of the cache identity"
+        );
+        // Unsharded links pass through untouched.
+        let whole = router.route(&spec(1, 0), &b1);
+        assert_eq!(whole.len(), b1.len());
     }
 
     #[test]

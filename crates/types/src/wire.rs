@@ -197,6 +197,19 @@ pub fn put_batch(buf: &mut Vec<u8>, b: &TupleBatch) {
     }
 }
 
+/// Encodes a selection view straight into the write buffer — the count
+/// header then each selected run's tuples in order. Wire-compatible with
+/// [`put_batch`]/[`Reader::batch`]: the receiver decodes a contiguous
+/// batch, so a fragmented selection is never materialized on the sender.
+pub fn put_view(buf: &mut Vec<u8>, v: &crate::batch::BatchView) {
+    put_u32(buf, v.len() as u32);
+    for run in v.runs() {
+        for t in run {
+            put_tuple(buf, t);
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Decode side: a bounds-checked cursor. Every read that would run off the
 // end returns WireError::Truncated instead of slicing out of range.

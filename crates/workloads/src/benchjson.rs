@@ -243,21 +243,21 @@ pub fn parse(input: &str) -> Result<Json, String> {
     Ok(v)
 }
 
-/// Collects every number stored under a key named `stable_tuples_per_s`,
-/// anywhere in the document. The value may be a plain number (PR 2's flat
-/// rows) or an object of per-configuration numbers (PR 3's `{K1,K2,K4}`
-/// sweeps) — all numeric leaves count.
-fn stable_rates(j: &Json, under_key: bool, out: &mut Vec<f64>) {
+/// Collects every number stored under a key named `key`, anywhere in the
+/// document. The value may be a plain number (PR 2's flat rows) or an
+/// object of per-configuration numbers (PR 3's `{K1,K2,K4}` sweeps) — all
+/// numeric leaves count.
+fn rates_under(j: &Json, key: &str, under_key: bool, out: &mut Vec<f64>) {
     match j {
         Json::Num(n) if under_key => out.push(*n),
         Json::Arr(items) => {
             for item in items {
-                stable_rates(item, under_key, out);
+                rates_under(item, key, under_key, out);
             }
         }
         Json::Obj(fields) => {
             for (k, v) in fields {
-                stable_rates(v, under_key || k == "stable_tuples_per_s", out);
+                rates_under(v, key, under_key || k == key, out);
             }
         }
         _ => {}
@@ -277,6 +277,10 @@ pub struct BenchPoint {
     /// recorded anywhere in the file. `None` for files that predate the
     /// realtime benchmark (PR 1's micro-bench baseline).
     pub rate: Option<f64>,
+    /// The best `saturation_stable_tuples_per_s` recorded anywhere in the
+    /// file — the K=4 clean capacity knee from `realtime_pipeline
+    /// saturate`. `None` for PRs that predate the saturation sweep.
+    pub saturation: Option<f64>,
     /// The file's own description of what it measured.
     pub benchmark: Option<String>,
 }
@@ -304,13 +308,19 @@ pub fn trajectory(files: &[(String, String)]) -> Result<Vec<BenchPoint>, String>
             .and_then(Json::as_num)
             .or_else(|| {
                 let mut rates = Vec::new();
-                stable_rates(&doc, false, &mut rates);
+                rates_under(&doc, "stable_tuples_per_s", false, &mut rates);
                 rates.iter().copied().reduce(f64::max)
             });
+        let saturation = {
+            let mut rates = Vec::new();
+            rates_under(&doc, "saturation_stable_tuples_per_s", false, &mut rates);
+            rates.iter().copied().reduce(f64::max)
+        };
         points.push(BenchPoint {
             pr,
             file: name.clone(),
             rate,
+            saturation,
             benchmark: doc
                 .get("benchmark")
                 .or_else(|| doc.get("description"))
@@ -325,7 +335,14 @@ pub fn trajectory(files: &[(String, String)]) -> Result<Vec<BenchPoint>, String>
 /// Renders the trajectory as a table (one row per PR, with the change
 /// relative to the previous PR that carried the metric).
 pub fn render_trajectory(points: &[BenchPoint]) -> String {
-    let mut t = TextTable::new(&["pr", "file", "stable tuples/s", "vs prev", "benchmark"]);
+    let mut t = TextTable::new(&[
+        "pr",
+        "file",
+        "stable tuples/s",
+        "vs prev",
+        "saturation/s",
+        "benchmark",
+    ]);
     let mut prev: Option<f64> = None;
     for p in points {
         let (rate, delta) = match p.rate {
@@ -339,11 +356,16 @@ pub fn render_trajectory(points: &[BenchPoint]) -> String {
             }
             None => ("-".to_string(), "-".to_string()),
         };
+        let saturation = match p.saturation {
+            Some(s) => format!("{s:.0}"),
+            None => "-".to_string(),
+        };
         t.row(vec![
             format!("{}", p.pr),
             p.file.clone(),
             rate,
             delta,
+            saturation,
             p.benchmark
                 .clone()
                 .unwrap_or_default()
@@ -358,13 +380,33 @@ pub fn render_trajectory(points: &[BenchPoint]) -> String {
 /// Compares the two newest PRs carrying the reference metric; returns the
 /// pair if the newest regressed by more than `tolerance` (e.g. `0.15`).
 pub fn regression(points: &[BenchPoint], tolerance: f64) -> Option<(BenchPoint, BenchPoint)> {
-    let with_rate: Vec<&BenchPoint> = points.iter().filter(|p| p.rate.is_some()).collect();
+    metric_regression(points, tolerance, |p| p.rate)
+}
+
+/// Same check for the saturation capacity knee
+/// (`saturation_stable_tuples_per_s`): compares the two newest PRs that
+/// recorded one and returns the pair if capacity dropped beyond the
+/// tolerance. PRs that predate the saturation sweep are skipped, not
+/// treated as zero.
+pub fn saturation_regression(
+    points: &[BenchPoint],
+    tolerance: f64,
+) -> Option<(BenchPoint, BenchPoint)> {
+    metric_regression(points, tolerance, |p| p.saturation)
+}
+
+fn metric_regression(
+    points: &[BenchPoint],
+    tolerance: f64,
+    metric: impl Fn(&BenchPoint) -> Option<f64>,
+) -> Option<(BenchPoint, BenchPoint)> {
+    let with_rate: Vec<&BenchPoint> = points.iter().filter(|p| metric(p).is_some()).collect();
     let [.., prev, last] = with_rate[..] else {
         return None;
     };
-    let (p, l) = (prev.rate.unwrap(), last.rate.unwrap());
+    let (p, l) = (metric(prev).unwrap(), metric(last).unwrap());
     if l < p * (1.0 - tolerance) {
-        Some((prev.clone(), last.clone()))
+        Some(((*prev).clone(), (*last).clone()))
     } else {
         None
     }
@@ -390,7 +432,7 @@ mod tests {
         .unwrap();
         assert_eq!(doc.get("pr").and_then(Json::as_num), Some(3.0));
         let mut rates = Vec::new();
-        stable_rates(&doc, false, &mut rates);
+        rates_under(&doc, "stable_tuples_per_s", false, &mut rates);
         rates.sort_by(f64::total_cmp);
         assert_eq!(rates, vec![8099.0, 11699.0, 11699.0, 28874.0]);
     }
@@ -442,6 +484,33 @@ mod tests {
         let rendered = render_trajectory(&points);
         assert!(rendered.contains("28874"));
         assert!(rendered.contains("-1.3%"), "delta column: {rendered}");
+    }
+
+    #[test]
+    fn saturation_column_and_regression() {
+        // The saturation knee is a distinct metric: it must not leak into
+        // the reference column, and it gets its own regression check.
+        let sat_file = |pr: u64, sat: f64| {
+            (
+                format!("BENCH_PR{pr}.json"),
+                format!(
+                    "{{\"pr\": {pr}, \"reference_stable_tuples_per_s\": 29100, \
+                     \"results\": [{{\"saturation_stable_tuples_per_s\": {sat}}}]}}"
+                ),
+            )
+        };
+        let points = trajectory(&[file(9, Some(29200.0)), sat_file(10, 250000.0)]).unwrap();
+        assert_eq!(points[0].saturation, None);
+        assert_eq!(points[1].rate, Some(29100.0), "saturation must not leak");
+        assert_eq!(points[1].saturation, Some(250000.0));
+        let rendered = render_trajectory(&points);
+        assert!(rendered.contains("250000"), "{rendered}");
+        // Only one PR carries the metric: nothing to compare yet.
+        assert!(saturation_regression(&points, 0.15).is_none());
+        let dropped = trajectory(&[sat_file(10, 250000.0), sat_file(11, 150000.0)]).unwrap();
+        let (prev, last) = saturation_regression(&dropped, 0.15).expect("-40% must flag");
+        assert_eq!((prev.pr, last.pr), (10, 11));
+        assert!(regression(&dropped, 0.15).is_none(), "reference held");
     }
 
     #[test]

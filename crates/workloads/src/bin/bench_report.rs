@@ -13,7 +13,9 @@
 //! that were never re-measured. CI runs it as `cargo run --release -p
 //! borealis-workloads --bin bench_report`.
 
-use borealis_workloads::benchjson::{regression, render_trajectory, trajectory};
+use borealis_workloads::benchjson::{
+    regression, render_trajectory, saturation_regression, trajectory,
+};
 use std::process::ExitCode;
 
 const TOLERANCE: f64 = 0.15;
@@ -53,22 +55,35 @@ fn main() -> ExitCode {
     };
     println!("benchmark trajectory (reference stable tuples/s per PR)\n");
     print!("{}", render_trajectory(&points));
-    match regression(&points, TOLERANCE) {
-        Some((prev, last)) => {
-            eprintln!(
-                "\nREGRESSION: PR {} records {:.0} stable tuples/s, more than {:.0}% below \
-                 PR {}'s {:.0}",
-                last.pr,
-                last.rate.unwrap_or(0.0),
-                TOLERANCE * 100.0,
-                prev.pr,
-                prev.rate.unwrap_or(0.0),
-            );
-            ExitCode::FAILURE
-        }
-        None => {
-            println!("\nno regression beyond {:.0}% tolerance", TOLERANCE * 100.0);
-            ExitCode::SUCCESS
-        }
+    let mut failed = false;
+    if let Some((prev, last)) = regression(&points, TOLERANCE) {
+        eprintln!(
+            "\nREGRESSION: PR {} records {:.0} stable tuples/s, more than {:.0}% below \
+             PR {}'s {:.0}",
+            last.pr,
+            last.rate.unwrap_or(0.0),
+            TOLERANCE * 100.0,
+            prev.pr,
+            prev.rate.unwrap_or(0.0),
+        );
+        failed = true;
+    }
+    if let Some((prev, last)) = saturation_regression(&points, TOLERANCE) {
+        eprintln!(
+            "\nREGRESSION: PR {} records a saturation capacity of {:.0} stable tuples/s, \
+             more than {:.0}% below PR {}'s {:.0}",
+            last.pr,
+            last.saturation.unwrap_or(0.0),
+            TOLERANCE * 100.0,
+            prev.pr,
+            prev.saturation.unwrap_or(0.0),
+        );
+        failed = true;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        println!("\nno regression beyond {:.0}% tolerance", TOLERANCE * 100.0);
+        ExitCode::SUCCESS
     }
 }

@@ -41,6 +41,14 @@
 //! checkpoint-interval sweep shows the replayed log-suffix length and
 //! recovery time tracking the interval.
 //!
+//! **saturate** — the capacity-knee study (`BENCH_PR10.json`): offered
+//! load is ramped (geometric climb + bisection) to locate the highest
+//! duplicate-free sustained stable throughput at K = 1/4/8 shards, clean
+//! and through a mid-run shard-replica crash. The modeled per-tuple CPU
+//! cost is dialed down to 1 µs so the *real* data plane — shard routing,
+//! scheduler handoff, SUnion merge — is what saturates, not the synthetic
+//! cost model. `SATURATE_WALL_SECS` overrides the per-probe run length.
+//!
 //! With no argument all sections run.
 //!
 //! Knobs: `REALTIME_RATE` (tuples/s per source, default 4000),
@@ -868,6 +876,236 @@ fn recover_section(per_source_rate: f64, wall_secs: f64) {
     );
 }
 
+/// One saturation probe: the sharded chain with the modeled CPU dialed
+/// down to 1 µs/tuple, so the *real* data plane — shard routing, scheduler
+/// handoff, credit accounting, SUnion merge, client metrics — is the
+/// measured object rather than the synthetic cost model. Replication stays
+/// at 2, so every batch leaving a sharded producer fans out to 2K replica
+/// links.
+fn saturate_run(shards: u32, per_source_rate: f64, wall_secs: f64, crash: bool) -> RunResult {
+    let opts = ShardedChainOptions {
+        shards,
+        replication: 2,
+        total_rate: per_source_rate * 3.0,
+        per_node_delay: Duration::from_millis(500),
+        light_cost: Duration::from_micros(1),
+        work_cost: Duration::from_micros(1),
+        seed: 7,
+        ..Default::default()
+    };
+    let (mut builder, out) = sharded_chain_builder(&opts);
+    if crash {
+        // Kill one work-stage shard replica at 40% of the run: the knee
+        // must hold through checkpoint, failover, and reconciliation.
+        builder = builder.fault(FaultSpec::CrashReplica {
+            frag: 1,
+            shard: if shards > 1 { 1 } else { 0 },
+            replica: 0,
+            from: Time::from_millis((wall_secs * 400.0) as u64),
+            to: None,
+        });
+    }
+    let sys = deploy_threads(builder.layout());
+    let started = std::time::Instant::now();
+    sys.run_for(std::time::Duration::from_secs_f64(wall_secs));
+    let elapsed = started.elapsed().as_secs_f64();
+    let (n_stable, n_tentative, dup, max_gap, procnew) = sys.metrics.with(out, |m| {
+        (
+            m.n_stable,
+            m.n_tentative,
+            m.dup_stable,
+            m.max_gap,
+            m.procnew,
+        )
+    });
+    let flow = sys.flow_gauges();
+    let drops = sys.shutdown();
+    RunResult {
+        shards,
+        throughput: n_stable as f64 / elapsed,
+        n_stable,
+        n_tentative,
+        dup,
+        drops: drops.total_drops(),
+        max_gap,
+        procnew,
+        flow,
+    }
+}
+
+/// The highest sustained load found by the ramp, and what it measured.
+struct Knee {
+    /// Aggregate offered rate at the knee (tuples/s).
+    offered: f64,
+    /// Measured stable throughput there (the capacity figure).
+    stable_per_s: f64,
+    /// Probes spent locating it.
+    probes: u32,
+}
+
+/// Locates the capacity knee for one configuration: geometric ramp of the
+/// offered load until a run fails to sustain it, then two bisection steps
+/// to tighten the bracket. "Sustained" means duplicate-free stable output
+/// whose delivery efficiency (stable/offered) holds ≥95% (clean) / ≥90%
+/// (crash) of the efficiency measured at the floor rate — normalizing out
+/// the constant subscription-ramp and drain overhead at the run's edges.
+fn find_knee(shards: u32, wall_secs: f64, crash: bool) -> Knee {
+    let frac = if crash { 0.90 } else { 0.95 };
+    let mut probes = 0u32;
+    let mut one_run = |per_source: f64, floor_eff: f64| -> (bool, f64, f64) {
+        probes += 1;
+        let r = saturate_run(shards, per_source, wall_secs, crash);
+        let offered = per_source * 3.0;
+        let eff = r.throughput / offered;
+        let ok = r.dup == 0 && eff >= floor_eff * frac;
+        println!(
+            "    K={} {}: offered {:>7.0}/s -> stable {:>7.0}/s ({:>5.1}%){}",
+            shards,
+            if crash { "crash" } else { "clean" },
+            offered,
+            r.throughput,
+            100.0 * eff,
+            if ok { "" } else { "  <- miss" },
+        );
+        (ok, r.throughput, eff)
+    };
+    // A single marginally-below-threshold run is scheduling noise, not the
+    // knee: a failed probe only counts after a confirming re-run also fails.
+    let mut probe = |per_source: f64, floor_eff: f64| -> (bool, f64, f64) {
+        let first = one_run(per_source, floor_eff);
+        if first.0 || floor_eff == 0.0 {
+            return first;
+        }
+        one_run(per_source, floor_eff)
+    };
+
+    let mut lo = 4_000.0; // per-source floor: 12k/s aggregate
+    let (_, mut best, floor_eff) = probe(lo, 0.0);
+    assert!(
+        floor_eff > 0.70,
+        "K={shards} crash={crash}: the {:.0}/s floor must deliver most of the offered \
+         load ({:.0}% measured)",
+        lo * 3.0,
+        floor_eff * 100.0
+    );
+    let mut hi = None;
+    while hi.is_none() && lo < 700_000.0 {
+        let next = lo * 1.6;
+        let (ok, stable, _) = probe(next, floor_eff);
+        if ok {
+            lo = next;
+            best = stable;
+        } else {
+            hi = Some(next);
+        }
+    }
+    if let Some(mut hi) = hi {
+        for _ in 0..2 {
+            let mid = (lo + hi) / 2.0;
+            let (ok, stable, _) = probe(mid, floor_eff);
+            if ok {
+                lo = mid;
+                best = stable;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+    Knee {
+        offered: lo * 3.0,
+        stable_per_s: best,
+        probes,
+    }
+}
+
+/// The saturation capacity study (`BENCH_PR10.json`): ramp the offered
+/// load to locate the capacity knee — the highest duplicate-free sustained
+/// stable throughput — at K = 1/4/8 shards, clean and through a mid-run
+/// shard-replica crash. The knee, not the fixed 30k reference point, is
+/// the number the routing data plane actually moves.
+fn saturate_section(wall_secs: f64) {
+    let wall: f64 = std::env::var("SATURATE_WALL_SECS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| wall_secs.min(2.0));
+    println!(
+        "\nsaturation capacity: offered-load ramp to the knee, modeled CPU at 1 µs/tuple \
+         (the real data plane is the measured object), replication 2, {wall:.1}s per probe\n"
+    );
+    // `SATURATE_FIXED_RATE` bypasses the knee search: one probe at the
+    // given per-source rate, reporting delivered stable throughput. This is
+    // the low-variance head-to-head mode for A/B capacity comparisons.
+    if let Some(per_source) = std::env::var("SATURATE_FIXED_RATE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+    {
+        let shards: u32 = std::env::var("SATURATE_SHARDS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4);
+        let crash = std::env::var("SATURATE_CRASH").is_ok_and(|v| v == "1");
+        let r = saturate_run(shards, per_source, wall, crash);
+        println!(
+            "fixed probe K={} crash={}: offered {:.0}/s -> stable {:.0}/s (dup {})",
+            shards,
+            crash,
+            per_source * 3.0,
+            r.throughput,
+            r.dup
+        );
+        return;
+    }
+    // `SATURATE_SHARDS` restricts the sweep (comma-separated K list) so CI
+    // and A/B comparisons can probe a single configuration quickly.
+    let ks: Vec<u32> = std::env::var("SATURATE_SHARDS")
+        .ok()
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .filter(|ks: &Vec<u32>| !ks.is_empty())
+        .unwrap_or_else(|| vec![1, 4, 8]);
+    let crash_too = std::env::var("SATURATE_CRASH").map_or(true, |v| v != "0");
+    let mut rows = Vec::new();
+    for &k in &ks {
+        let clean = find_knee(k, wall, false);
+        let crash = crash_too.then(|| find_knee(k, wall.max(2.0), true));
+        rows.push((k, clean, crash));
+    }
+    println!("\n  K | clean knee offered | clean stable/s | crash knee offered | crash stable/s");
+    println!("  --+--------------------+----------------+--------------------+---------------");
+    for (k, clean, crash) in &rows {
+        let (co, cs) = crash
+            .as_ref()
+            .map_or((0.0, 0.0), |c| (c.offered, c.stable_per_s));
+        println!(
+            "  {} | {:>18.0} | {:>14.0} | {:>18.0} | {:>13.0}",
+            k, clean.offered, clean.stable_per_s, co, cs
+        );
+    }
+    let probes: u32 = rows
+        .iter()
+        .map(|(_, a, b)| a.probes + b.as_ref().map_or(0, |c| c.probes))
+        .sum();
+    let headline = rows.iter().find(|(k, ..)| *k == 4).unwrap_or(&rows[0]);
+    println!(
+        "\nsaturation_stable_tuples_per_s (K={} clean knee): {:.0}  ({} probes total)",
+        headline.0, headline.1.stable_per_s, probes
+    );
+    for (k, clean, crash) in &rows {
+        assert!(
+            clean.stable_per_s > 10_000.0,
+            "K={k}: the clean knee must clear 10k stable/s ({:.0})",
+            clean.stable_per_s
+        );
+        if let Some(crash) = crash {
+            assert!(
+                crash.stable_per_s > clean.stable_per_s * 0.35,
+                "K={k}: capacity must survive the mid-run crash ({:.0} vs clean {:.0})",
+                crash.stable_per_s,
+                clean.stable_per_s
+            );
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     // Forked worker process of the tcp section: argv carries the sentinel,
@@ -892,12 +1130,14 @@ fn main() {
         "scale" => scale_section(per_source_rate, wall_secs),
         "tcp" => tcp_section(per_source_rate, wall_secs),
         "recover" => recover_section(per_source_rate, wall_secs),
+        "saturate" => saturate_section(wall_secs),
         _ => {
             clean_section(per_source_rate, wall_secs);
             overload_section(per_source_rate, wall_secs);
             scale_section(per_source_rate, wall_secs);
             tcp_section(per_source_rate, wall_secs);
             recover_section(per_source_rate, wall_secs);
+            saturate_section(wall_secs);
         }
     }
 }
